@@ -1,0 +1,96 @@
+// Ablations over the design choices DESIGN.md calls out (not a paper
+// figure — supporting evidence for the defaults):
+//
+//   COMB policy      : most-recent (TGN-attn's choice, the default) vs
+//                      mean-of-batch mails.
+//   neighbor window K: the paper fixes K = 10; smaller windows lean
+//                      harder on the node memory.
+//   attention heads  : 1 vs 2 vs 4 at fixed total attention width.
+//   static dim       : 0 / 8 / 16 concatenated to the dynamic memory.
+#include "bench_common.hpp"
+#include "core/static_memory.hpp"
+#include "core/trainer.hpp"
+#include "datagen/presets.hpp"
+#include "datagen/generator.hpp"
+
+namespace {
+
+using namespace disttgl;
+
+TrainingConfig base_config() {
+  TrainingConfig cfg;
+  cfg.model.mem_dim = 16;
+  cfg.model.time_dim = 8;
+  cfg.model.attn_dim = 16;
+  cfg.model.emb_dim = 16;
+  cfg.model.num_neighbors = 5;
+  cfg.model.head_hidden = 16;
+  cfg.local_batch = 60;
+  cfg.epochs = 8;
+  cfg.base_lr = 2e-3f;
+  cfg.seed = 11;
+  return cfg;
+}
+
+void run(const TemporalGraph& g, const char* label, const TrainingConfig& cfg,
+         const Matrix* static_mem = nullptr) {
+  SequentialTrainer trainer(cfg, g, static_mem);
+  TrainResult res = trainer.train();
+  std::printf("%-28s best_val=%.4f test=%.4f\n", label, res.log.best_val(),
+              res.final_test);
+}
+
+}  // namespace
+
+int main() {
+  using namespace disttgl;
+  bench::header("Ablations: COMB policy, neighbor window, heads, static dim",
+                "most-recent COMB and K=10 are solid defaults; static "
+                "memory adds accuracy at small extra state");
+
+  TemporalGraph g = datagen::generate(datagen::wikipedia_like(0.25));
+
+  bench::section("COMB policy");
+  {
+    TrainingConfig cfg = base_config();
+    run(g, "  COMB = most recent", cfg);
+    cfg.model.comb = CombPolicy::kMean;
+    run(g, "  COMB = mean", cfg);
+  }
+
+  bench::section("neighbor window K");
+  for (std::size_t k : {2u, 5u, 10u}) {
+    TrainingConfig cfg = base_config();
+    cfg.model.num_neighbors = k;
+    char label[32];
+    std::snprintf(label, sizeof(label), "  K = %zu", k);
+    run(g, label, cfg);
+  }
+
+  bench::section("attention heads (attn width fixed at 16)");
+  for (std::size_t h : {1u, 2u, 4u}) {
+    TrainingConfig cfg = base_config();
+    cfg.model.num_heads = h;
+    char label[32];
+    std::snprintf(label, sizeof(label), "  heads = %zu", h);
+    run(g, label, cfg);
+  }
+
+  bench::section("static memory width");
+  {
+    EventSplit split = chronological_split(g);
+    StaticPretrainConfig pre;
+    pre.dim = 16;
+    Matrix table16 = pretrain_static_memory(g, split, pre);
+    pre.dim = 8;
+    Matrix table8 = pretrain_static_memory(g, split, pre);
+
+    TrainingConfig cfg = base_config();
+    run(g, "  static dim = 0", cfg);
+    cfg.model.static_dim = 8;
+    run(g, "  static dim = 8", cfg, &table8);
+    cfg.model.static_dim = 16;
+    run(g, "  static dim = 16", cfg, &table16);
+  }
+  return 0;
+}

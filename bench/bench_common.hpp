@@ -1,0 +1,39 @@
+// Shared helpers for the table/figure reproduction binaries.
+//
+// Every bench prints (a) the experiment id it reproduces, (b) the paper's
+// qualitative expectation, and (c) the measured series, so
+// bench_output.txt reads as a self-contained experiment log.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace disttgl::bench {
+
+inline void header(const std::string& id, const std::string& claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", id.c_str());
+  std::printf("paper expectation: %s\n", claim.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void section(const std::string& name) {
+  std::printf("--- %s ---\n", name.c_str());
+}
+
+}  // namespace disttgl::bench
+
+#include "core/metrics_log.hpp"
+
+namespace disttgl::bench {
+
+// Compact convergence series: "label  iter:val iter:val ... | test=x".
+inline void print_curve(const std::string& label, const ConvergenceLog& log,
+                        double test_metric) {
+  std::printf("%-26s", label.c_str());
+  for (const auto& p : log.points())
+    std::printf(" %zu:%.3f", p.iteration, p.val_metric);
+  std::printf(" | test=%.4f\n", test_metric);
+}
+
+}  // namespace disttgl::bench

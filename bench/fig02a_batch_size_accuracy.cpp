@@ -1,0 +1,74 @@
+// Figure 2(a) — test accuracy (F1-micro) on the GDELT-like dataset as a
+// function of training batch size.
+//
+// Paper shape: accuracy is roughly flat for small/medium batches and
+// falls off as the batch grows (staleness + COMB information loss — see
+// fig03/fig08). GDELT tolerates much larger batches than the small
+// datasets, which is what licenses mini-batch parallelism there
+// (§3.2.4, Fig 11); the same sweep on wikipedia-like falls off much
+// earlier, shown for contrast.
+#include "bench_common.hpp"
+#include "core/planner.hpp"
+#include "core/trainer.hpp"
+#include "datagen/presets.hpp"
+#include "datagen/generator.hpp"
+
+namespace {
+
+using namespace disttgl;
+
+// Sweeps batch size at an (approximately) constant optimizer-update
+// budget. The paper's runs take tens of thousands of updates at every
+// batch size; at our scale a fixed epoch count would starve the largest
+// batches of updates and confound the batch-size effect, so epochs grow
+// with the batch (capped for runtime).
+void sweep(const TemporalGraph& g, const std::vector<std::size_t>& batches,
+           std::size_t target_iters, std::size_t max_epochs, float lr) {
+  EventSplit split = chronological_split(g);
+  std::printf("%-12s %8s %12s %12s %14s\n", "batch size", "epochs", "val",
+              "test", "capture frac");
+  for (std::size_t bs : batches) {
+    TrainingConfig cfg;
+    cfg.model.mem_dim = 16;
+    cfg.model.time_dim = 8;
+    cfg.model.attn_dim = 16;
+    cfg.model.emb_dim = 16;
+    cfg.model.num_neighbors = 5;
+    cfg.model.head_hidden = 16;
+    cfg.local_batch = bs;
+    cfg.epochs = std::min(
+        max_epochs,
+        std::max<std::size_t>(
+            6, target_iters * bs / std::max<std::size_t>(1, split.num_train())));
+    cfg.base_lr = lr;
+    cfg.seed = 11;
+    SequentialTrainer trainer(cfg, g, nullptr);
+    TrainResult res = trainer.train();
+    const double cap =
+        captured_fraction(g, split.train_begin, split.train_end, bs);
+    std::printf("%-12zu %8zu %12.4f %12.4f %14.3f\n", bs, cfg.epochs,
+                res.log.best_val(), res.final_test, cap);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace disttgl;
+  bench::header("Figure 2(a): accuracy vs training batch size",
+                "flat at small batches, degrading as the batch grows; the "
+                "cliff arrives later on GDELT-like than wikipedia-like");
+
+  bench::section("gdelt-like (F1-micro, paper's Fig 2a)");
+  TemporalGraph gdelt = datagen::generate(datagen::gdelt_like(0.2));
+  sweep(gdelt, {25, 50, 100, 200, 400, 800, 1600}, 300, 20, 1e-3f);
+
+  bench::section("wikipedia-like (MRR, for contrast)");
+  TemporalGraph wiki = datagen::generate(datagen::wikipedia_like(0.25));
+  sweep(wiki, {15, 30, 60, 120, 240, 480}, 280, 20, 2e-3f);
+
+  std::printf("\nconclusion: each dataset has a largest loss-free batch "
+              "size; the planner reads it off this curve (capture "
+              "fraction), and it is much larger on GDELT-like data.\n");
+  return 0;
+}

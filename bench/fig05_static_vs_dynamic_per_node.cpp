@@ -1,0 +1,98 @@
+// Figure 5 — per-node accuracy difference between a model with dynamic
+// node memory and one with static node memory only, nodes sorted by
+// degree (Wikipedia-like).
+//
+// Paper finding: there is NO systematic inclination — high-degree nodes
+// do not uniformly favor static memory (contra the EDGE hypothesis);
+// both signs appear across the degree spectrum. This motivates keeping
+// BOTH memories (§3.1).
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "core/static_memory.hpp"
+#include "core/trainer.hpp"
+#include "datagen/presets.hpp"
+#include "datagen/generator.hpp"
+
+int main() {
+  using namespace disttgl;
+  bench::header("Figure 5: per-node accuracy, dynamic vs static memory",
+                "no monotone degree trend; both signs occur in every "
+                "degree bucket");
+
+  TemporalGraph g = datagen::generate(datagen::wikipedia_like(0.3));
+  EventSplit split = chronological_split(g);
+
+  StaticPretrainConfig pre;
+  pre.dim = 16;
+  pre.epochs = 10;
+  Matrix static_mem = pretrain_static_memory(g, split, pre);
+
+  auto train_and_eval_per_node = [&](bool dynamic) {
+    TrainingConfig cfg;
+    cfg.model.mem_dim = 16;
+    cfg.model.time_dim = 8;
+    cfg.model.attn_dim = 16;
+    cfg.model.emb_dim = 16;
+    cfg.model.num_neighbors = 5;
+    cfg.model.head_hidden = 16;
+    cfg.model.dynamic_memory = dynamic;
+    cfg.model.static_dim = dynamic ? 0 : pre.dim;
+    cfg.local_batch = 60;
+    cfg.epochs = 8;
+    cfg.base_lr = 2e-3f;
+    cfg.seed = 11;
+    SequentialTrainer trainer(cfg, g, dynamic ? nullptr : &static_mem);
+    trainer.train();
+    // Per-node evaluation over val+test with a fresh memory clone.
+    MemoryState state = trainer.state(0);
+    NeighborSampler sampler(g, cfg.model.num_neighbors);
+    EvalConfig ec;
+    ec.batch_size = 60;
+    ec.num_negs = 49;
+    return evaluate_per_node(trainer.model(), state, g, sampler,
+                             split.train_end, split.test_end, ec);
+  };
+
+  PerNodeEval dyn = train_and_eval_per_node(/*dynamic=*/true);
+  PerNodeEval sta = train_and_eval_per_node(/*dynamic=*/false);
+
+  // Sort source nodes by degree descending, bucket, report MRR diff.
+  std::vector<std::size_t> order;
+  for (NodeId v = 0; v < g.dst_partition_begin(); ++v)
+    if (dyn.count[v] > 0 && sta.count[v] > 0) order.push_back(v);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return g.degree(a) > g.degree(b);
+  });
+
+  const std::size_t buckets = 8;
+  const std::size_t per = std::max<std::size_t>(1, order.size() / buckets);
+  std::printf("%-24s %10s %14s %14s %14s\n", "degree bucket (hi->lo)",
+              "nodes", "dyn>static", "static>dyn", "mean diff");
+  std::size_t total_dyn_wins = 0, total_sta_wins = 0;
+  for (std::size_t bkt = 0; bkt < buckets && bkt * per < order.size(); ++bkt) {
+    const std::size_t lo = bkt * per;
+    const std::size_t hi = std::min(order.size(), lo + per);
+    std::size_t dyn_wins = 0, sta_wins = 0;
+    double diff_sum = 0.0;
+    for (std::size_t x = lo; x < hi; ++x) {
+      const NodeId v = static_cast<NodeId>(order[x]);
+      const double d = dyn.rr_sum[v] / dyn.count[v];
+      const double s = sta.rr_sum[v] / sta.count[v];
+      diff_sum += d - s;
+      if (d > s) ++dyn_wins;
+      else if (s > d) ++sta_wins;
+    }
+    total_dyn_wins += dyn_wins;
+    total_sta_wins += sta_wins;
+    char label[32];
+    std::snprintf(label, sizeof(label), "bucket %zu", bkt);
+    std::printf("%-24s %10zu %14zu %14zu %+14.4f\n", label, hi - lo, dyn_wins,
+                sta_wins, diff_sum / (hi - lo));
+  }
+  std::printf("\ntotals: dynamic better on %zu nodes, static better on %zu — "
+              "both memories carry node-specific signal, so DistTGL keeps "
+              "both (§3.1).\n",
+              total_dyn_wins, total_sta_wins);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 6 — validation accuracy with and without pre-trained static
+// node memory on the Flights-like and MOOC-like datasets, single GPU and
+// with epoch parallelism.
+//
+// Paper shapes: static memory improves accuracy and smooths convergence
+// on both datasets, and on MOOC it additionally improves the multi-GPU
+// (epoch-parallelism) scalability.
+#include "bench_common.hpp"
+#include "core/static_memory.hpp"
+#include "core/trainer.hpp"
+#include "datagen/presets.hpp"
+#include "datagen/generator.hpp"
+
+namespace {
+
+using namespace disttgl;
+
+void run_dataset(const datagen::SynthSpec& spec) {
+  TemporalGraph g = datagen::generate(spec);
+  bench::section(g.name());
+
+  EventSplit split = chronological_split(g);
+  StaticPretrainConfig pre;
+  pre.dim = 16;
+  pre.epochs = 10;  // paper: 10 pre-train epochs on the small datasets
+  Matrix static_mem = pretrain_static_memory(g, split, pre);
+
+  for (std::size_t j : {1u, 4u}) {
+    for (bool with_static : {false, true}) {
+      TrainingConfig cfg;
+      cfg.model.mem_dim = 16;
+      cfg.model.time_dim = 8;
+      cfg.model.attn_dim = 16;
+      cfg.model.emb_dim = 16;
+      cfg.model.num_neighbors = 5;
+      cfg.model.head_hidden = 16;
+      cfg.model.static_dim = with_static ? pre.dim : 0;
+      cfg.local_batch = 60;
+      cfg.epochs = 8;
+      cfg.base_lr = 2e-3f;
+      cfg.parallel.j = j;
+      cfg.seed = 11;
+      SequentialTrainer trainer(cfg, g, with_static ? &static_mem : nullptr);
+      TrainResult res = trainer.train();
+      char label[64];
+      std::snprintf(label, sizeof(label), "  1x%zux1 %s", j,
+                    with_static ? "w/ static " : "w/o static");
+      bench::print_curve(label, res.log, res.final_test);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace disttgl;
+  bench::header("Figure 6: pre-trained static node memory (§3.1)",
+                "static memory lifts accuracy on both datasets and helps "
+                "epoch-parallel scaling on mooc-like");
+  run_dataset(datagen::flights_like(0.25));
+  run_dataset(datagen::mooc_like(0.25));
+  std::printf("\n(static table pre-trained on the training split only — no "
+              "test-set information; §3.1)\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Figure 8 — number of events captured in the node memory per node,
+// sorted by node degree (high→low), for increasing batch sizes.
+//
+// COMB keeps at most one mail per node per batch, so a node with many
+// events inside one batch loses all but the last; the loss concentrates
+// on high-degree nodes as batch size grows. The paper uses this curve to
+// pick the largest acceptable batch size (§3.2.4).
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "datagen/presets.hpp"
+#include "datagen/generator.hpp"
+#include "sampling/batching.hpp"
+
+int main() {
+  using namespace disttgl;
+  bench::header("Figure 8: captured events in node memory vs batch size",
+                "larger batches capture fewer events, the gap widest for "
+                "high-degree nodes");
+
+  TemporalGraph g = datagen::generate(datagen::wikipedia_like(1.0));
+  const EventSplit split = chronological_split(g);
+
+  // Per-node captured-event counts for one epoch at a given batch size.
+  auto captured_per_node = [&](std::size_t bs) {
+    std::vector<std::size_t> captured(g.num_nodes(), 0);
+    std::vector<std::uint8_t> seen(g.num_nodes(), 0);
+    std::vector<NodeId> touched;
+    for (std::size_t b = split.train_begin; b < split.train_end; b += bs) {
+      const std::size_t e = std::min(b + bs, split.train_end);
+      touched.clear();
+      for (std::size_t idx = b; idx < e; ++idx) {
+        const TemporalEdge& ev = g.event(static_cast<EdgeId>(idx));
+        for (NodeId v : {ev.src, ev.dst}) {
+          if (!seen[v]) {
+            seen[v] = 1;
+            touched.push_back(v);
+          }
+        }
+      }
+      for (NodeId v : touched) {
+        ++captured[v];  // COMB keeps exactly one mail per touched node
+        seen[v] = 0;
+      }
+    }
+    return captured;
+  };
+
+  // Sort nodes by degree descending; report bucket means like the paper's
+  // per-node curve.
+  std::vector<std::size_t> order(g.num_nodes());
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return g.degree(a) > g.degree(b);
+  });
+
+  const std::vector<std::size_t> batch_sizes = {75, 150, 300, 600, 1200};
+  std::printf("%-22s", "degree-rank bucket");
+  for (std::size_t bs : batch_sizes) std::printf(" bs=%-6zu", bs);
+  std::printf("\n");
+
+  std::vector<std::vector<std::size_t>> results;
+  for (std::size_t bs : batch_sizes) results.push_back(captured_per_node(bs));
+
+  const std::size_t buckets = 8;
+  const std::size_t per = g.num_nodes() / buckets;
+  for (std::size_t bkt = 0; bkt < buckets; ++bkt) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "[%zu, %zu)", bkt * per,
+                  (bkt + 1) * per);
+    std::printf("%-22s", label);
+    for (std::size_t i = 0; i < batch_sizes.size(); ++i) {
+      double sum = 0.0;
+      for (std::size_t x = bkt * per; x < (bkt + 1) * per; ++x)
+        sum += static_cast<double>(results[i][order[x]]);
+      std::printf(" %-9.1f", sum / per);
+    }
+    std::printf("\n");
+  }
+
+  // Headline totals.
+  std::printf("\n%-22s", "total captured");
+  for (std::size_t i = 0; i < batch_sizes.size(); ++i) {
+    double sum = 0.0;
+    for (std::size_t v = 0; v < g.num_nodes(); ++v)
+      sum += static_cast<double>(results[i][v]);
+    std::printf(" %-9.0f", sum);
+  }
+  std::printf("\n\nconclusion: doubling the batch size monotonically reduces "
+              "captured events, steepest in the top degree bucket — the "
+              "planner's capture-threshold input (§3.2.4).\n");
+  return 0;
+}

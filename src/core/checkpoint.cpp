@@ -1,0 +1,137 @@
+#include "core/checkpoint.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "util/check.hpp"
+
+namespace disttgl {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4c475444;  // "DTGL"
+constexpr std::uint32_t kVersion = 1;
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::istream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  DT_CHECK_MSG(in.good(), "checkpoint truncated");
+  return v;
+}
+
+void write_floats(std::ostream& out, const float* data, std::size_t n) {
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(n * sizeof(float)));
+}
+
+void read_floats(std::istream& in, float* data, std::size_t n) {
+  in.read(reinterpret_cast<char*>(data),
+          static_cast<std::streamsize>(n * sizeof(float)));
+  DT_CHECK_MSG(in.good(), "checkpoint truncated");
+}
+
+}  // namespace
+
+void save_checkpoint(const std::string& path,
+                     const std::vector<nn::Parameter*>& params,
+                     const std::vector<const MemoryState*>& states) {
+  std::ofstream out(path, std::ios::binary);
+  DT_CHECK_MSG(out.good(), "cannot open checkpoint for writing: " << path);
+  std::uint32_t head[2] = {kMagic, kVersion};
+  out.write(reinterpret_cast<const char*>(head), sizeof(head));
+
+  std::vector<float> weights;
+  nn::flatten_values(params, weights);
+  write_u64(out, weights.size());
+  write_floats(out, weights.data(), weights.size());
+
+  write_u64(out, states.size());
+  for (const MemoryState* s : states) {
+    write_u64(out, s->num_nodes());
+    write_u64(out, s->mem_dim());
+    write_u64(out, s->mail_dim());
+    // Gather all rows in node order (also serializes timestamps/flags).
+    std::vector<NodeId> all(s->num_nodes());
+    for (NodeId v = 0; v < s->num_nodes(); ++v) all[v] = v;
+    MemorySlice slice = s->read(all);
+    write_floats(out, slice.mem.data(), slice.mem.size());
+    write_floats(out, slice.mem_ts.data(), slice.mem_ts.size());
+    write_floats(out, slice.mail.data(), slice.mail.size());
+    write_floats(out, slice.mail_ts.data(), slice.mail_ts.size());
+    std::vector<float> flags(slice.has_mail.begin(), slice.has_mail.end());
+    write_floats(out, flags.data(), flags.size());
+  }
+  DT_CHECK_MSG(out.good(), "checkpoint write failed: " << path);
+}
+
+void load_checkpoint(const std::string& path,
+                     std::vector<nn::Parameter*>& params,
+                     std::vector<MemoryState*>& states) {
+  std::ifstream in(path, std::ios::binary);
+  DT_CHECK_MSG(in.good(), "cannot open checkpoint: " << path);
+  std::uint32_t head[2] = {0, 0};
+  in.read(reinterpret_cast<char*>(head), sizeof(head));
+  DT_CHECK_MSG(head[0] == kMagic, "not a DistTGL checkpoint: " << path);
+  DT_CHECK_MSG(head[1] == kVersion, "unsupported checkpoint version "
+                                        << head[1]);
+
+  const std::uint64_t weight_count = read_u64(in);
+  DT_CHECK_MSG(weight_count == nn::flat_size(params),
+               "checkpoint weight count " << weight_count
+                                          << " != model parameter count "
+                                          << nn::flat_size(params));
+  std::vector<float> weights(weight_count);
+  read_floats(in, weights.data(), weights.size());
+  nn::unflatten_values(weights, params);
+
+  const std::uint64_t num_states = read_u64(in);
+  DT_CHECK_EQ(num_states, states.size());
+  for (MemoryState* s : states) {
+    const std::uint64_t nodes = read_u64(in);
+    const std::uint64_t mem_dim = read_u64(in);
+    const std::uint64_t mail_dim = read_u64(in);
+    DT_CHECK_EQ(nodes, s->num_nodes());
+    DT_CHECK_EQ(mem_dim, s->mem_dim());
+    DT_CHECK_EQ(mail_dim, s->mail_dim());
+
+    MemoryWrite w;
+    w.nodes.resize(nodes);
+    for (NodeId v = 0; v < nodes; ++v) w.nodes[v] = v;
+    w.mem.resize(nodes, mem_dim);
+    read_floats(in, w.mem.data(), w.mem.size());
+    w.mem_ts.resize(nodes);
+    read_floats(in, w.mem_ts.data(), w.mem_ts.size());
+    w.mail.resize(nodes, mail_dim);
+    read_floats(in, w.mail.data(), w.mail.size());
+    w.mail_ts.resize(nodes);
+    read_floats(in, w.mail_ts.data(), w.mail_ts.size());
+    std::vector<float> flags(nodes);
+    read_floats(in, flags.data(), flags.size());
+
+    // Memory rows restore unconditionally; mailbox rows only where the
+    // has_mail flag was set (scatter marks flags, so restore precisely).
+    s->reset();
+    s->memory().scatter(w.nodes, w.mem, w.mem_ts);
+    std::vector<NodeId> with_mail;
+    std::vector<std::size_t> rows;
+    for (NodeId v = 0; v < nodes; ++v) {
+      if (flags[v] != 0.0f) {
+        with_mail.push_back(v);
+        rows.push_back(v);
+      }
+    }
+    if (!with_mail.empty()) {
+      Matrix mails = w.mail.gather_rows(rows);
+      std::vector<float> ts(with_mail.size());
+      for (std::size_t x = 0; x < rows.size(); ++x) ts[x] = w.mail_ts[rows[x]];
+      s->mailbox().scatter(with_mail, mails, ts);
+    }
+  }
+}
+
+}  // namespace disttgl

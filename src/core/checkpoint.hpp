@@ -1,0 +1,30 @@
+// Checkpointing: model weights + node-memory state.
+//
+// M-TGNN inference needs more than the weights — the node memory and
+// mailbox ARE the model's state for a given point in the event stream,
+// so a deployable checkpoint carries both. Format: a small
+// header-checked binary ("DTGL" magic, version, sizes), then the flat
+// weight vector, then each memory copy's matrices. Endianness follows
+// the host (single-machine reload is the use case).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "memory/memory_state.hpp"
+#include "nn/module.hpp"
+
+namespace disttgl {
+
+// Writes weights (flattened from `params`) and the given memory states.
+void save_checkpoint(const std::string& path,
+                     const std::vector<nn::Parameter*>& params,
+                     const std::vector<const MemoryState*>& states);
+
+// Restores into pre-constructed params/states. Shapes must match the
+// checkpoint exactly (throws std::logic_error otherwise).
+void load_checkpoint(const std::string& path,
+                     std::vector<nn::Parameter*>& params,
+                     std::vector<MemoryState*>& states);
+
+}  // namespace disttgl

@@ -1,0 +1,25 @@
+#include "core/config.hpp"
+
+#include "util/check.hpp"
+
+namespace disttgl {
+
+// Validation lives out-of-line so every orchestrator shares one set of
+// invariants (and so the header stays cheap to include).
+void validate(const TrainingConfig& cfg) {
+  DT_CHECK_GT(cfg.model.mem_dim, 0u);
+  DT_CHECK_GT(cfg.model.time_dim, 0u);
+  DT_CHECK_GT(cfg.model.num_heads, 0u);
+  DT_CHECK_EQ(cfg.model.attn_dim % cfg.model.num_heads, 0u);
+  DT_CHECK_GT(cfg.model.num_neighbors, 0u);
+  DT_CHECK_GT(cfg.parallel.i, 0u);
+  DT_CHECK_GT(cfg.parallel.j, 0u);
+  DT_CHECK_GT(cfg.parallel.k, 0u);
+  DT_CHECK_GE(cfg.parallel.k, cfg.parallel.machines);
+  DT_CHECK_GT(cfg.local_batch, 0u);
+  DT_CHECK_GT(cfg.epochs, 0u);
+  DT_CHECK_GT(cfg.neg_groups, 0u);
+  DT_CHECK_GT(cfg.base_lr, 0.0f);
+}
+
+}  // namespace disttgl

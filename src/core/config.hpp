@@ -1,0 +1,69 @@
+// Model and training configuration.
+#pragma once
+
+#include <cstdint>
+
+#include "memory/mailbox.hpp"
+
+namespace disttgl {
+
+// TGN-attn architecture hyperparameters (§4.0.1: memory dim 100, 10 most
+// recent neighbors, one attention layer). Defaults here are scaled to the
+// synthetic datasets; benches override as needed.
+struct ModelConfig {
+  std::size_t mem_dim = 32;         // node memory width (paper: 100)
+  std::size_t time_dim = 8;         // time encoding width
+  std::size_t attn_dim = 32;        // attention q/K/V width (all heads)
+  std::size_t num_heads = 2;
+  std::size_t emb_dim = 32;         // output embedding width
+  std::size_t num_neighbors = 10;   // K most recent neighbors
+  std::size_t static_dim = 0;       // 0 = no static node memory (§3.1)
+  std::size_t head_hidden = 32;     // predictor/classifier MLP hidden
+  CombPolicy comb = CombPolicy::kMostRecent;
+  // false disables the GRU dynamic memory entirely (static-only ablation
+  // used by the Fig 5 study and the EDGE-style comparison).
+  bool dynamic_memory = true;
+};
+
+// Parallel training configuration i×j×k (§3.2.4): i = mini-batch
+// parallelism, j = epoch parallelism, k = memory parallelism, laid out on
+// `machines` × `gpus_per_machine` trainers.
+struct ParallelConfig {
+  std::size_t i = 1;
+  std::size_t j = 1;
+  std::size_t k = 1;
+  std::size_t machines = 1;
+  std::size_t gpus_per_machine = 1;
+
+  std::size_t total_trainers() const { return i * j * k; }
+};
+
+struct TrainingConfig {
+  ModelConfig model;
+  ParallelConfig parallel;
+
+  std::size_t local_batch = 200;    // positive events per trainer iteration
+  std::size_t num_neg = 1;          // training negatives per positive
+  std::size_t neg_groups = 10;      // pre-generated negative groups (§4.0.2)
+  std::size_t epochs = 10;          // traversals of the training events
+  float base_lr = 1e-3f;
+  bool scale_lr_with_world = true;  // lr linear in global batch (§4.0.1)
+  float grad_clip = 10.0f;
+  std::uint64_t seed = 7;
+
+  std::size_t eval_negs = 49;       // MRR negatives (§4: 49 sampled)
+  double train_frac = 0.70;
+  double val_frac = 0.15;
+  bool collect_grad_stats = false;  // record TrainResult::grad_* series
+
+  float lr() const {
+    return scale_lr_with_world
+               ? base_lr * static_cast<float>(parallel.total_trainers())
+               : base_lr;
+  }
+};
+
+// Throws on invalid configurations (dimension mismatches, k < machines…).
+void validate(const TrainingConfig& cfg);
+
+}  // namespace disttgl

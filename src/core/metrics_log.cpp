@@ -1,0 +1,29 @@
+#include "core/metrics_log.hpp"
+
+#include <algorithm>
+
+namespace disttgl {
+
+double ConvergenceLog::best_val() const {
+  double best = 0.0;
+  for (const auto& p : points_) best = std::max(best, p.val_metric);
+  return best;
+}
+
+std::size_t ConvergenceLog::iterations_to_fraction(double fraction) const {
+  if (points_.empty()) return 0;
+  const double target = best_val() * fraction;
+  for (const auto& p : points_) {
+    if (p.val_metric >= target) return p.iteration;
+  }
+  return points_.back().iteration;
+}
+
+void ConvergenceLog::print_series(const std::string& label) const {
+  for (const auto& p : points_) {
+    std::printf("%s iter=%zu val=%.4f\n", label.c_str(), p.iteration,
+                p.val_metric);
+  }
+}
+
+}  // namespace disttgl

@@ -1,0 +1,37 @@
+// Convergence recording: the data behind Figures 1, 6, 9, 10, 11.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace disttgl {
+
+struct ConvergencePoint {
+  std::size_t iteration = 0;
+  double val_metric = 0.0;  // MRR or F1-micro
+};
+
+class ConvergenceLog {
+ public:
+  void add(std::size_t iteration, double val_metric) {
+    points_.push_back({iteration, val_metric});
+  }
+
+  const std::vector<ConvergencePoint>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+
+  double best_val() const;
+  // First iteration whose validation metric reaches `fraction` of the
+  // best — the paper's "iterations before convergence" (Fig 10b).
+  // Returns the last iteration if never reached.
+  std::size_t iterations_to_fraction(double fraction) const;
+
+  // Prints "iter metric" rows prefixed by `label`.
+  void print_series(const std::string& label) const;
+
+ private:
+  std::vector<ConvergencePoint> points_;
+};
+
+}  // namespace disttgl

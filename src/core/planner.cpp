@@ -1,0 +1,81 @@
+#include "core/planner.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace disttgl {
+
+double captured_fraction(const TemporalGraph& g, std::size_t begin,
+                         std::size_t end, std::size_t batch_size) {
+  DT_CHECK_LT(begin, end);
+  DT_CHECK_GT(batch_size, 0u);
+  std::size_t generated = 0, kept = 0;
+  std::unordered_set<NodeId> uniq;
+  for (std::size_t b = begin; b < end; b += batch_size) {
+    const std::size_t e = std::min(b + batch_size, end);
+    uniq.clear();
+    for (std::size_t idx = b; idx < e; ++idx) {
+      const TemporalEdge& ev = g.event(static_cast<EdgeId>(idx));
+      generated += 2;  // one mail at each endpoint
+      uniq.insert(ev.src);
+      uniq.insert(ev.dst);
+    }
+    kept += uniq.size();  // COMB keeps one mail per node per batch
+  }
+  return generated == 0 ? 1.0
+                        : static_cast<double>(kept) / static_cast<double>(generated);
+}
+
+Plan plan_training(const TemporalGraph& g, const EventSplit& split,
+                   const PlannerInputs& in) {
+  DT_CHECK_GT(in.gpus_per_machine, 0u);
+  DT_CHECK_GT(in.machines, 0u);
+  const std::size_t total_gpus = in.machines * in.gpus_per_machine;
+
+  // 1. Largest global batch above the capture threshold (geometric scan,
+  //    capped so one epoch still has a few batches).
+  const std::size_t train_n = split.num_train();
+  const std::size_t cap = std::max<std::size_t>(in.min_batch, train_n / 4);
+  std::size_t best_batch = in.min_batch;
+  double best_fraction =
+      captured_fraction(g, split.train_begin, split.train_end, best_batch);
+  for (std::size_t bs = in.min_batch * 2; bs <= cap; bs *= 2) {
+    const double f = captured_fraction(g, split.train_begin, split.train_end, bs);
+    if (f < in.capture_threshold) break;
+    best_batch = bs;
+    best_fraction = f;
+  }
+
+  Plan plan;
+  plan.capture_fraction = best_fraction;
+
+  // 2. Mini-batch parallelism up to GPU saturation.
+  std::size_t i = std::max<std::size_t>(1, best_batch / in.gpu_saturation_batch);
+  i = std::min(i, total_gpus);
+  // i must divide the trainer grid.
+  while (total_gpus % i != 0) --i;
+  plan.parallel.i = i;
+  plan.local_batch = std::max<std::size_t>(1, best_batch / i);
+  plan.global_batch = plan.local_batch * i;
+
+  // 3. Memory parallelism: as many copies as host memory allows, at
+  //    least one per machine, and dividing the remaining trainer grid.
+  const std::size_t remaining = total_gpus / i;
+  std::size_t k = std::min(remaining, in.machines * in.mem_copies_per_machine);
+  while (remaining % k != 0) --k;
+  k = std::max(k, in.machines);  // memory never crosses machines
+  while (remaining % k != 0) ++k;
+  DT_CHECK_LE(k, remaining);
+  plan.parallel.k = k;
+
+  // 4. Epoch parallelism fills the rest.
+  plan.parallel.j = remaining / k;
+  plan.parallel.machines = in.machines;
+  plan.parallel.gpus_per_machine = in.gpus_per_machine;
+  DT_CHECK_EQ(plan.parallel.total_trainers(), total_gpus);
+  return plan;
+}
+
+}  // namespace disttgl

@@ -1,0 +1,50 @@
+// Heuristic training-configuration planner (§3.2.4).
+//
+// Given dataset characteristics and hardware limits, pick (i, j, k):
+//   1. Measure the captured-dependency fraction as a function of batch
+//      size (the Fig. 8 curve: larger batches mean more same-batch mails
+//      collapsed by COMB, i.e. lost graph events) and find the largest
+//      global batch keeping it above the user threshold.
+//   2. i = global batch / GPU-saturation batch (mini-batch parallelism
+//      only as far as the accuracy budget allows).
+//   3. k as large as host memory and the k ≥ machines constraint allow —
+//      memory parallelism is always preferred (§3.2.4, validated in
+//      Fig 9/10).
+//   4. j fills the remainder: j = (machines·gpus)/(i·k).
+#pragma once
+
+#include "core/config.hpp"
+#include "graph/temporal_graph.hpp"
+#include "sampling/batching.hpp"
+
+namespace disttgl {
+
+struct PlannerInputs {
+  std::size_t machines = 1;
+  std::size_t gpus_per_machine = 8;
+  // Host-memory capacity expressed as node-memory copies per machine.
+  std::size_t mem_copies_per_machine = 8;
+  // Local batch size beyond which the GPU shows no throughput gain.
+  std::size_t gpu_saturation_batch = 600;
+  // Minimum acceptable captured-dependency fraction (Fig 8 threshold).
+  double capture_threshold = 0.85;
+  std::size_t min_batch = 60;
+};
+
+struct Plan {
+  ParallelConfig parallel;
+  std::size_t local_batch = 0;
+  std::size_t global_batch = 0;
+  double capture_fraction = 0.0;  // at the chosen global batch
+};
+
+// Fraction of graph events whose mail survives COMB when training events
+// [begin, end) are processed in batches of `batch_size` — the planner's
+// dependency-capture metric and the quantity plotted in Fig 8.
+double captured_fraction(const TemporalGraph& g, std::size_t begin,
+                         std::size_t end, std::size_t batch_size);
+
+Plan plan_training(const TemporalGraph& g, const EventSplit& split,
+                   const PlannerInputs& in);
+
+}  // namespace disttgl

@@ -1,0 +1,86 @@
+#include "core/schedule.hpp"
+
+#include "util/check.hpp"
+
+namespace disttgl {
+
+Schedule build_schedule(const ParallelConfig& parallel, std::size_t num_batches,
+                        std::size_t epochs, std::size_t neg_groups) {
+  const std::size_t i = parallel.i, j = parallel.j, k = parallel.k;
+  DT_CHECK_GT(i, 0u);
+  DT_CHECK_GT(j, 0u);
+  DT_CHECK_GT(k, 0u);
+  DT_CHECK_GT(num_batches, 0u);
+  DT_CHECK_GT(epochs, 0u);
+  DT_CHECK_GT(neg_groups, 0u);
+
+  Schedule sched;
+  sched.i = i;
+  sched.j = j;
+  sched.k = k;
+  sched.num_batches = num_batches;
+  sched.epochs = epochs;
+  // Total batch-versions to run: E·B, split evenly over groups (k) with j
+  // versions produced per started batch.
+  sched.rounds_per_group = (epochs * num_batches) / (j * k);
+  DT_CHECK_MSG(sched.rounds_per_group > 0,
+               "epochs*batches too small for j*k trainers");
+  sched.total_iterations = sched.rounds_per_group + j - 1;
+
+  const std::size_t B = num_batches;
+  const std::size_t stagger = (B + k - 1) / k;  // memory-parallel offset
+
+  // ---- per-group round streams (also consumed by the daemons) ----
+  sched.groups.resize(k);
+  for (std::size_t m = 0; m < k; ++m) {
+    GroupSchedule& g = sched.groups[m];
+    g.reset_before_round.resize(sched.rounds_per_group);
+    g.round_to_batch.resize(sched.rounds_per_group);
+    const std::size_t offset = (m * stagger) % B;
+    for (std::size_t r = 0; r < sched.rounds_per_group; ++r) {
+      const std::size_t pos = offset + r;
+      g.round_to_batch[r] = pos % B;
+      // Reset at the very first round (fresh memory) and at every wrap
+      // back to batch 0 (epoch boundary for this copy).
+      g.reset_before_round[r] = (r == 0 || g.round_to_batch[r] == 0) ? 1 : 0;
+    }
+  }
+
+  // ---- per-trainer work items ----
+  sched.trainers.resize(parallel.total_trainers());
+  for (std::size_t m = 0; m < k; ++m) {
+    const std::size_t offset = (m * stagger) % B;
+    for (std::size_t s = 0; s < j; ++s) {
+      for (std::size_t c = 0; c < i; ++c) {
+        const std::size_t rank = (m * j + s) * i + c;
+        TrainerSchedule& ts = sched.trainers[rank];
+        ts.rank = rank;
+        ts.mem_copy = m;
+        ts.subgroup = s;
+        ts.chunk = c;
+        ts.group_rank = s * i + c;
+        // This subgroup starts a new batch at rounds r ≡ s (mod j).
+        for (std::size_t r = s; r < sched.rounds_per_group; r += j) {
+          const std::size_t pos = offset + r;
+          const std::size_t batch = pos % B;
+          const std::size_t cycle = pos / B;
+          for (std::size_t v = 0; v < j; ++v) {
+            WorkItem item;
+            item.iteration = r + v;
+            item.global_batch = batch;
+            item.cycle = cycle;
+            item.version = v;
+            item.memory_ops = (v == 0);
+            // Negative groups must differ across the j versions of one
+            // batch and decorrelate across groups and cycles.
+            item.neg_group = (cycle * j * k + m * j + v) % neg_groups;
+            ts.items.push_back(item);
+          }
+        }
+      }
+    }
+  }
+  return sched;
+}
+
+}  // namespace disttgl

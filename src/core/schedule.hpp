@@ -1,0 +1,82 @@
+// i×j×k training schedules (§3.2, Figure 7), with the cross-trainer
+// reorderings the paper introduces for epoch and memory parallelism.
+//
+// Terminology (one memory-copy group = i·j trainers sharing a
+// MemoryState through one daemon; there are k such groups):
+//
+//  * round r of a group = one served (R…R)(W…W) bracket of the daemon;
+//    exactly one *subgroup* (the i mini-batch-parallel trainers with the
+//    same epoch-parallel index s = r mod j) starts a new global batch.
+//  * trainer address: rank = ((copy·j) + subgroup)·i + chunk.
+//  * reordered epoch parallelism: a trainer starting global batch b at
+//    round r trains versions 0…j−1 of b at iterations r…r+j−1, each with
+//    a different negative group, reading memory once (version 0) and
+//    writing once (after version 0) — Fig 7(b) right.
+//  * reordered memory parallelism: group m starts its sweep at batch
+//    offset m·⌈B/k⌉ and cycles through all B batches chronologically,
+//    resetting its memory copy whenever the cycle wraps past batch 0 —
+//    Fig 7(c) right. No memory ever crosses groups.
+//
+// Accounting: with B global batches, E epochs (total traversals of the
+// training events) and n = i·j·k trainers, each group serves
+// R = E·B/(j·k) rounds and the whole run takes R + j − 1 synchronized
+// iterations — the paper's "iterations on x GPUs = 1/x of a single GPU"
+// up to pipeline fill/drain.
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace disttgl {
+
+struct WorkItem {
+  std::size_t iteration = 0;     // synchronized global iteration index
+  std::size_t global_batch = 0;  // batch index within the epoch, [0, B)
+  std::size_t cycle = 0;         // how many times this group wrapped
+  std::size_t version = 0;       // epoch-parallel version, [0, j)
+  std::size_t neg_group = 0;     // negative group for this version
+  bool memory_ops = false;       // true on version 0: read + write
+};
+
+struct TrainerSchedule {
+  std::size_t rank = 0;
+  std::size_t mem_copy = 0;    // group index, [0, k)
+  std::size_t group_rank = 0;  // rank within the group, [0, i*j)
+  std::size_t subgroup = 0;    // epoch-parallel index, [0, j)
+  std::size_t chunk = 0;       // mini-batch-parallel index, [0, i)
+  std::vector<WorkItem> items; // ascending by iteration, at most 1 per iter
+};
+
+struct GroupSchedule {
+  // reset_before_round[r] = 1 ⇔ the daemon must zero the memory copy
+  // before serving round r (epoch wrap).
+  std::vector<std::uint8_t> reset_before_round;
+  // Global batch started at round r.
+  std::vector<std::size_t> round_to_batch;
+};
+
+struct Schedule {
+  std::size_t i = 1, j = 1, k = 1;
+  std::size_t num_batches = 0;      // B (global batches per epoch)
+  std::size_t epochs = 0;           // E
+  std::size_t rounds_per_group = 0; // R
+  std::size_t total_iterations = 0; // R + j − 1
+  std::vector<TrainerSchedule> trainers;  // size i*j*k
+  std::vector<GroupSchedule> groups;      // size k
+
+  // Iterations that complete one traversal of the training events —
+  // the evaluation cadence (B/(j·k), at least 1).
+  std::size_t iterations_per_epoch() const {
+    const std::size_t d = j * k;
+    return std::max<std::size_t>(1, num_batches / d);
+  }
+};
+
+// Builds the full schedule. Requirements: E divisible by j·k would make
+// the accounting exact; otherwise rounds are rounded up and the final
+// partial sweep is dropped (benches choose divisible configurations).
+Schedule build_schedule(const ParallelConfig& parallel, std::size_t num_batches,
+                        std::size_t epochs, std::size_t neg_groups);
+
+}  // namespace disttgl

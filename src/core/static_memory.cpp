@@ -1,0 +1,88 @@
+#include "core/static_memory.hpp"
+
+#include <cmath>
+
+#include "nn/init.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace disttgl {
+
+namespace {
+float stable_sigmoid(float x) {
+  return x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
+                   : std::exp(x) / (1.0f + std::exp(x));
+}
+}  // namespace
+
+Matrix pretrain_static_memory(const TemporalGraph& graph, const EventSplit& split,
+                              const StaticPretrainConfig& cfg) {
+  Rng rng(cfg.seed);
+  const std::size_t V = graph.num_nodes();
+  const std::size_t D = cfg.dim;
+
+  // Embedding table; seeded from raw node features when available (the
+  // GDELT case, where 413-dim features exist).
+  Matrix table(V, D);
+  nn::normal_init(table, rng, 0.1f);
+  if (graph.has_node_features()) {
+    const Matrix& nf = graph.node_features();
+    Matrix proj(nf.cols(), D);
+    nn::xavier_uniform(proj, rng, nf.cols(), D);
+    Matrix seeded = matmul(nf, proj);
+    seeded *= 0.5f;
+    table += seeded;
+  }
+
+  const NodeId dst_begin = graph.bipartite() ? graph.dst_partition_begin() : 0;
+  const std::size_t dst_count = graph.num_nodes() - dst_begin;
+  const std::size_t train_n = split.num_train();
+
+  // Matrix-factorization pre-training: score(u, v) = e_u · e_v, BCE
+  // against sampled negatives. Time-agnostic by construction — events are
+  // drawn stochastically, which is exactly what makes the signal
+  // "static" (§3.1). Only training-split events are used: no test leak.
+  std::vector<float> grad_u(D);
+  for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    const std::size_t samples = train_n;
+    for (std::size_t s = 0; s < samples; ++s) {
+      const auto& e = graph.event(
+          static_cast<EdgeId>(split.train_begin + rng.uniform_int(train_n)));
+      const NodeId neg =
+          dst_begin + static_cast<NodeId>(rng.uniform_int(dst_count));
+      float* eu = table.row_ptr(e.src);
+      float* ev = table.row_ptr(e.dst);
+      float* en = table.row_ptr(neg);
+
+      float pos_score = 0.0f, neg_score = 0.0f;
+      for (std::size_t c = 0; c < D; ++c) {
+        pos_score += eu[c] * ev[c];
+        neg_score += eu[c] * en[c];
+      }
+      // d/ds of -logσ(s) is σ(s)−1; of -logσ(-s) is σ(s).
+      const float gpos = stable_sigmoid(pos_score) - 1.0f;
+      const float gneg = stable_sigmoid(neg_score);
+      for (std::size_t c = 0; c < D; ++c) {
+        grad_u[c] = gpos * ev[c] + gneg * en[c];
+        ev[c] -= cfg.lr * gpos * eu[c];
+        en[c] -= cfg.lr * gneg * eu[c];
+      }
+      for (std::size_t c = 0; c < D; ++c) eu[c] -= cfg.lr * grad_u[c];
+    }
+  }
+
+  // L2-normalize rows: downstream usage concatenates the table with the
+  // dynamic memory, so a bounded scale keeps attention inputs balanced.
+  for (std::size_t v = 0; v < V; ++v) {
+    float* row = table.row_ptr(v);
+    double sq = 0.0;
+    for (std::size_t c = 0; c < D; ++c) sq += static_cast<double>(row[c]) * row[c];
+    if (sq > 1e-12) {
+      const float inv = static_cast<float>(1.0 / std::sqrt(sq));
+      for (std::size_t c = 0; c < D; ++c) row[c] *= inv;
+    }
+  }
+  return table;
+}
+
+}  // namespace disttgl

@@ -1,0 +1,33 @@
+// Static node memory (§3.1).
+//
+// DistTGL's model improvement: alongside the dynamic GRU memory, every
+// node carries a *static* embedding capturing time-invariant information.
+// Because it is batch-size independent, it restores the information that
+// large-batch training loses, and it is pre-trained (then frozen) with
+// the same self-supervised objective but no temporal signal — the paper
+// pre-trains with a static GNN in DGL; here the pre-trainer is an
+// embedding-table + MLP factorization of the training events, which
+// plays the identical role (time-agnostic, task-supervised, no test-set
+// leakage: only training-split events are used).
+#pragma once
+
+#include "graph/temporal_graph.hpp"
+#include "sampling/batching.hpp"
+#include "tensor/matrix.hpp"
+
+namespace disttgl {
+
+struct StaticPretrainConfig {
+  std::size_t dim = 32;
+  std::size_t epochs = 10;  // paper: 10 epochs (1 on GDELT)
+  float lr = 0.05f;
+  std::uint64_t seed = 1234;
+};
+
+// Pre-trains static embeddings on the training split only. If the graph
+// carries raw node features, they seed the embedding table through a
+// random projection before training (the GDELT case).
+Matrix pretrain_static_memory(const TemporalGraph& graph, const EventSplit& split,
+                              const StaticPretrainConfig& cfg);
+
+}  // namespace disttgl

@@ -1,0 +1,127 @@
+// TGN-attn with static node memory — the DistTGL model (§2.1, §3.1).
+//
+// One training step, given a mini-batch and the memory slice for its
+// unique nodes (read through the daemon or directly from a MemoryState):
+//
+//   1. UPDT: for every unique node with a cached mail, update its memory
+//      with one GRU application on {mail || Φ(t_mail − t_mem)} (Eq. 3/8;
+//      COMB already applied at mailbox-write time). Gradients train the
+//      GRU within the cell — the chain stops at the previous memory, as
+//      in the paper (no BPTT).
+//   2. Node representation = {s_new || static_memory[v]} (§3.1). The
+//      static table is pre-trained and frozen.
+//   3. Temporal attention (Eq. 4–7) over the version-v root subset
+//      {src, dst, variant-v negatives} produces output embeddings. Δt
+//      for neighbor w is query-time − last-update-time of w's memory.
+//   4. Task head: link-prediction BCE against the variant's negatives,
+//      or multi-label classification against edge labels.
+//   5. Version 0 additionally assembles the MemoryWrite: updated memory
+//      rows for positive roots and fresh mails {s'_u || s'_v || e_uv}
+//      with COMB = most-recent (the last event per node in the batch
+//      wins), using the *updated-but-pre-batch* memory — exactly the
+//      staleness/information-loss behaviour of Fig. 3.
+//
+// The model owns learnable weights only; all mutable per-batch state
+// lives in stack contexts, so one instance is reusable across versions
+// and safe to replicate per trainer thread.
+#pragma once
+
+#include <optional>
+
+#include "core/config.hpp"
+#include "memory/memory_state.hpp"
+#include "nn/attention.hpp"
+#include "nn/gru_cell.hpp"
+#include "nn/loss.hpp"
+#include "nn/optim.hpp"
+#include "nn/predictor.hpp"
+#include "sampling/minibatch.hpp"
+
+namespace disttgl {
+
+// Per-batch bookkeeping for the diagnostics figures (Fig 3 / Fig 8).
+struct BatchDiagnostics {
+  std::size_t mails_generated = 0;  // 2 per event (src and dst sides)
+  std::size_t mails_kept = 0;       // after COMB (unique positive roots)
+  double staleness_sum = 0.0;       // Σ (event_ts − mem_ts) over roots
+  std::size_t staleness_count = 0;
+};
+
+class TGNModel : public nn::Module {
+ public:
+  enum class Task { kLinkPrediction, kEdgeClassification };
+
+  // `static_memory` may be null (model without the §3.1 enhancement);
+  // if given it must outlive the model and have one row per node.
+  TGNModel(const ModelConfig& cfg, const TemporalGraph& graph,
+           const Matrix* static_memory, Rng& rng);
+
+  const ModelConfig& config() const { return cfg_; }
+  Task task() const { return task_; }
+  std::size_t mail_raw_dim() const { return mail_raw_dim_; }
+
+  struct StepResult {
+    float loss = 0.0f;
+    // Link prediction: scores for MRR-style metrics.
+    Matrix pos_scores;  // [n x 1]
+    Matrix neg_scores;  // [n x num_neg]
+    // Classification: logits [n x C].
+    Matrix logits;
+    BatchDiagnostics diag;
+  };
+
+  // Forward + backward for version `version` of the batch; accumulates
+  // parameter gradients. If `write` is non-null (version 0 only), fills
+  // the memory write-back for the positive roots.
+  StepResult train_step(const MiniBatch& mb, const MemorySlice& slice,
+                        std::size_t version, MemoryWrite* write);
+
+  // Forward only (no gradients); used by the evaluator. Fills `write`
+  // when non-null so evaluation advances the memory stream.
+  StepResult infer(const MiniBatch& mb, const MemorySlice& slice,
+                   MemoryWrite* write);
+
+  void collect_parameters(std::vector<nn::Parameter*>& out) override;
+
+ private:
+  struct EmbedCtx {
+    nn::GRUCell::Ctx gru_ctx;
+    nn::TimeEncoding::Ctx mail_time_ctx;
+    nn::TemporalAttention::Ctx attn_ctx;
+    Matrix s_new;                        // [U x mem] post-UPDT memory
+    std::vector<std::size_t> gru_rows;   // unique rows the GRU touched
+    std::vector<std::size_t> root_rows;  // version root rows (global ids)
+    std::size_t n = 0;                   // positives in the batch
+  };
+
+  // Shared forward: UPDT + representations + attention for one version.
+  // Returns embeddings [n*(2+num_neg) x emb_dim] for roots
+  // {src, dst, neg_v}, in that order.
+  Matrix embed(const MiniBatch& mb, const MemorySlice& slice,
+               std::size_t version, EmbedCtx& ctx) const;
+  // Backward through embed (grads accumulate into parameters).
+  void embed_backward(const MiniBatch& mb, const EmbedCtx& ctx,
+                      const Matrix& demb);
+
+  // Loss + head forward (and backward when `train`).
+  StepResult run(const MiniBatch& mb, const MemorySlice& slice,
+                 std::size_t version, MemoryWrite* write, bool train);
+
+  MemoryWrite make_write(const MiniBatch& mb, const MemorySlice& slice,
+                         const EmbedCtx& ctx, BatchDiagnostics& diag) const;
+
+  ModelConfig cfg_;
+  const TemporalGraph* graph_;
+  const Matrix* static_memory_;
+  Task task_;
+  std::size_t mail_raw_dim_;  // 2*mem_dim + edge_feat_dim
+  std::size_t node_feat_dim_; // raw node features appended to the repr
+
+  nn::TimeEncoding mail_time_enc_;  // Φ inside UPDT input
+  nn::GRUCell updater_;
+  nn::TemporalAttention attention_;
+  std::optional<nn::EdgePredictor> predictor_;
+  std::optional<nn::EdgeClassifier> classifier_;
+};
+
+}  // namespace disttgl

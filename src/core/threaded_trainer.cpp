@@ -1,0 +1,197 @@
+#include "core/threaded_trainer.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/timer.hpp"
+
+namespace disttgl {
+
+ThreadedTrainer::ThreadedTrainer(const TrainingConfig& cfg,
+                                 const TemporalGraph& graph,
+                                 const Matrix* static_memory)
+    : cfg_(cfg),
+      graph_(&graph),
+      static_memory_(static_memory),
+      split_(chronological_split(graph, cfg.train_frac, cfg.val_frac)) {
+  const auto& par = cfg_.parallel;
+  const std::size_t global_batch = cfg_.local_batch * par.i;
+  batches_ = make_batches(split_.train_begin, split_.train_end, global_batch);
+  schedule_ = build_schedule(par, batches_.size(), cfg_.epochs, cfg_.neg_groups);
+
+  sampler_ = std::make_unique<NeighborSampler>(graph, cfg_.model.num_neighbors);
+  negatives_ = std::make_unique<NegativeSampler>(graph, cfg_.neg_groups,
+                                                 cfg_.seed ^ 0x5eedULL);
+  const bool link = !graph.has_edge_labels();
+  builder_ = std::make_unique<MiniBatchBuilder>(graph, *sampler_, *negatives_,
+                                                link ? cfg_.num_neg : 0);
+
+  // Every replica must be initialized with an identical RNG stream —
+  // reproduce SequentialTrainer's derivation exactly.
+  const std::size_t n = par.total_trainers();
+  models_.reserve(n);
+  optimizers_.reserve(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    Rng root(cfg_.seed);
+    Rng model_rng = root.split();
+    models_.push_back(
+        std::make_unique<TGNModel>(cfg_.model, graph, static_memory, model_rng));
+    optimizers_.push_back(std::make_unique<nn::Adam>(
+        models_.back()->parameters(), nn::AdamOptions{.lr = cfg_.lr()}));
+  }
+
+  const std::size_t mail_dim = models_[0]->mail_raw_dim();
+  states_.reserve(par.k);
+  for (std::size_t m = 0; m < par.k; ++m)
+    states_.emplace_back(graph.num_nodes(), cfg_.model.mem_dim, mail_dim);
+
+  comm_ = std::make_unique<dist::ThreadComm>(n);
+}
+
+std::pair<std::size_t, std::size_t> ThreadedTrainer::chunk_events(
+    std::size_t global_batch, std::size_t chunk) const {
+  const BatchRange& range = batches_[global_batch];
+  const std::size_t per = (range.size() + cfg_.parallel.i - 1) / cfg_.parallel.i;
+  const std::size_t begin = std::min(range.begin + chunk * per, range.end);
+  const std::size_t end = std::min(begin + per, range.end);
+  return {begin, end};
+}
+
+void ThreadedTrainer::trainer_thread(std::size_t rank) {
+  const auto& par = cfg_.parallel;
+  const TrainerSchedule& ts = schedule_.trainers[rank];
+  TGNModel& model = *models_[rank];
+  nn::Adam& opt = *optimizers_[rank];
+  auto params = model.parameters();
+  MemoryDaemon& daemon = *daemons_[ts.mem_copy];
+
+  // Prefetch requests: one per version-0 (memory-op) item. Empty chunks
+  // yield no request but still take part in the daemon protocol.
+  std::vector<Prefetcher::Request> requests;
+  for (const WorkItem& item : ts.items) {
+    if (!item.memory_ops) continue;
+    const auto [begin, end] = chunk_events(item.global_batch, ts.chunk);
+    if (begin >= end) continue;
+    Prefetcher::Request req;
+    req.batch_idx = item.global_batch * par.i + ts.chunk;
+    req.begin = begin;
+    req.end = end;
+    if (model.task() == TGNModel::Task::kLinkPrediction) {
+      for (std::size_t v = 0; v < par.j; ++v)
+        req.neg_groups.push_back(
+            (item.cycle * par.j * par.k + ts.mem_copy * par.j + v) %
+            cfg_.neg_groups);
+    }
+    requests.push_back(std::move(req));
+  }
+  Prefetcher prefetcher(*builder_, std::move(requests), /*ahead=*/par.j + 1);
+
+  std::optional<MiniBatch> batch;
+  std::optional<MemorySlice> slice;
+  std::vector<float> grads(nn::flat_size(params));
+  double local_loss = 0.0;
+  std::size_t local_count = 0;
+
+  std::size_t cursor = 0;
+  for (std::size_t t = 0; t < schedule_.total_iterations; ++t) {
+    const WorkItem* item = nullptr;
+    if (cursor < ts.items.size() && ts.items[cursor].iteration == t)
+      item = &ts.items[cursor];
+
+    std::fill(grads.begin(), grads.end(), 0.0f);
+    bool computed = false;
+    MemoryWrite write;
+    bool post_write = false;
+
+    if (item != nullptr) {
+      if (item->memory_ops) {
+        const auto [begin, end] = chunk_events(item->global_batch, ts.chunk);
+        if (begin >= end) {
+          // Empty chunk: keep the daemon protocol in lockstep.
+          batch.reset();
+          slice.reset();
+          daemon.read(ts.group_rank, {});
+          post_write = true;  // empty write below
+        } else {
+          batch = prefetcher.next();
+          DT_CHECK(batch.has_value());
+          slice = daemon.read(ts.group_rank, batch->unique_nodes);
+          post_write = true;
+        }
+      }
+      if (batch.has_value()) {
+        model.zero_grad();
+        TGNModel::StepResult res =
+            model.train_step(*batch, *slice, item->version,
+                             item->memory_ops ? &write : nullptr);
+        local_loss += res.loss;
+        ++local_count;
+        computed = true;
+      }
+      ++cursor;
+    }
+
+    if (post_write) daemon.write(ts.group_rank, std::move(write));
+
+    if (computed) {
+      nn::flatten_grads(params, grads);
+    }
+    comm_->allreduce_mean(rank, grads);
+    nn::unflatten_grads(grads, params);
+    nn::clip_grad_norm(params, cfg_.grad_clip);
+    opt.step();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    loss_sum_ += local_loss;
+    loss_count_ += local_count;
+  }
+}
+
+ThreadedTrainResult ThreadedTrainer::train() {
+  const auto& par = cfg_.parallel;
+  const std::size_t n = par.total_trainers();
+
+  daemons_.clear();
+  for (std::size_t m = 0; m < par.k; ++m) {
+    DaemonConfig dc;
+    dc.i = par.i;
+    dc.j = par.j;
+    dc.reset_before_round = schedule_.groups[m].reset_before_round;
+    daemons_.push_back(std::make_unique<MemoryDaemon>(states_[m], dc));
+    daemons_.back()->start();
+  }
+
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (std::size_t r = 0; r < n; ++r)
+    threads.emplace_back([this, r] { trainer_thread(r); });
+  for (auto& th : threads) th.join();
+  for (auto& d : daemons_) d->join();
+
+  ThreadedTrainResult result;
+  result.wall_seconds = timer.seconds();
+  result.iterations = schedule_.total_iterations;
+  const double traversals = static_cast<double>(cfg_.epochs) *
+                            static_cast<double>(split_.num_train());
+  result.events_per_second = traversals / result.wall_seconds;
+
+  // Final evaluation on memory copy 0 (validation then test, one clone).
+  MemoryState clone = states_[0];
+  EvalConfig ec;
+  ec.batch_size = cfg_.local_batch;
+  ec.num_negs = cfg_.eval_negs;
+  ec.seed = cfg_.seed ^ 0xe7a1ULL;
+  result.final_val = evaluate_range(*models_[0], clone, *graph_, *sampler_,
+                                    split_.train_end, split_.val_end, ec)
+                         .metric;
+  result.final_test = evaluate_range(*models_[0], clone, *graph_, *sampler_,
+                                     split_.val_end, split_.test_end, ec)
+                          .metric;
+  nn::flatten_values(models_[0]->parameters(), result.weights);
+  return result;
+}
+
+}  // namespace disttgl

@@ -1,0 +1,82 @@
+// Threaded orchestrator: the real DistTGL system (§3.3).
+//
+// One OS thread per trainer, one memory-daemon thread per memory copy
+// (Algorithm 1), a per-trainer prefetcher preparing super-batches ahead
+// of schedule, and a deterministic in-process allreduce for gradient
+// averaging. Each trainer owns a full model replica and optimizer (the
+// data-parallel pattern); replicas start identical and stay identical
+// because the allreduce is bitwise deterministic.
+//
+// The protocol per iteration, per trainer:
+//   version-0 item : pop prefetched batch → daemon read (blocks until the
+//                    serialized order admits it) → compute → daemon write
+//                    → allreduce → local optimizer step.
+//   version>0 item : recompute on cached inputs with fresh weights and
+//                    the variant's negatives → allreduce → step.
+//   no item        : contribute zero gradients to the allreduce.
+// Trainers whose chunk of the global batch is empty still post empty
+// reads/writes to keep the daemon's round protocol in lockstep.
+//
+// Produces results identical to SequentialTrainer for the same config
+// (asserted by tests/test_orchestrator_equivalence).
+#pragma once
+
+#include "core/metrics_log.hpp"
+#include "core/schedule.hpp"
+#include "core/tgn_model.hpp"
+#include "distributed/comm.hpp"
+#include "eval/evaluator.hpp"
+#include "memory/daemon.hpp"
+#include "pipeline/prefetcher.hpp"
+
+namespace disttgl {
+
+struct ThreadedTrainResult {
+  double final_val = 0.0;
+  double final_test = 0.0;
+  std::size_t iterations = 0;
+  double wall_seconds = 0.0;
+  double events_per_second = 0.0;
+  std::vector<float> weights;  // final replica-0 weights
+};
+
+class ThreadedTrainer {
+ public:
+  ThreadedTrainer(const TrainingConfig& cfg, const TemporalGraph& graph,
+                  const Matrix* static_memory);
+
+  ThreadedTrainResult train();
+
+  const Schedule& schedule() const { return schedule_; }
+  const EventSplit& split() const { return split_; }
+
+ private:
+  void trainer_thread(std::size_t rank);
+  std::pair<std::size_t, std::size_t> chunk_events(std::size_t global_batch,
+                                                   std::size_t chunk) const;
+
+  TrainingConfig cfg_;
+  const TemporalGraph* graph_;
+  const Matrix* static_memory_;
+  EventSplit split_;
+  std::vector<BatchRange> batches_;
+  Schedule schedule_;
+
+  std::unique_ptr<NeighborSampler> sampler_;
+  std::unique_ptr<NegativeSampler> negatives_;
+  std::unique_ptr<MiniBatchBuilder> builder_;
+  std::vector<MemoryState> states_;
+  std::vector<std::unique_ptr<MemoryDaemon>> daemons_;
+  std::unique_ptr<dist::ThreadComm> comm_;
+
+  // Per-trainer replicas (created identically from the shared seed).
+  std::vector<std::unique_ptr<TGNModel>> models_;
+  std::vector<std::unique_ptr<nn::Adam>> optimizers_;
+
+  // Aggregated training loss (for smoke checks).
+  std::mutex stats_mu_;
+  double loss_sum_ = 0.0;
+  std::size_t loss_count_ = 0;
+};
+
+}  // namespace disttgl

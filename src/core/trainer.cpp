@@ -1,0 +1,211 @@
+#include "core/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace disttgl {
+
+SequentialTrainer::SequentialTrainer(const TrainingConfig& cfg,
+                                     const TemporalGraph& graph,
+                                     const Matrix* static_memory)
+    : cfg_(cfg),
+      graph_(&graph),
+      static_memory_(static_memory),
+      split_(chronological_split(graph, cfg.train_frac, cfg.val_frac)),
+      rng_(cfg.seed) {
+  const auto& par = cfg_.parallel;
+  const std::size_t global_batch = cfg_.local_batch * par.i;
+  batches_ = make_batches(split_.train_begin, split_.train_end, global_batch);
+  schedule_ = build_schedule(par, batches_.size(), cfg_.epochs, cfg_.neg_groups);
+
+  sampler_ = std::make_unique<NeighborSampler>(graph, cfg_.model.num_neighbors);
+  negatives_ = std::make_unique<NegativeSampler>(graph, cfg_.neg_groups,
+                                                 cfg_.seed ^ 0x5eedULL);
+  const bool link = !graph.has_edge_labels();
+  builder_ = std::make_unique<MiniBatchBuilder>(graph, *sampler_, *negatives_,
+                                                link ? cfg_.num_neg : 0);
+  Rng model_rng = rng_.split();
+  model_ = std::make_unique<TGNModel>(cfg_.model, graph, static_memory, model_rng);
+  optimizer_ = std::make_unique<nn::Adam>(
+      model_->parameters(), nn::AdamOptions{.lr = cfg_.lr()});
+
+  const std::size_t mail_dim = model_->mail_raw_dim();
+  states_.reserve(par.k);
+  for (std::size_t m = 0; m < par.k; ++m)
+    states_.emplace_back(graph.num_nodes(), cfg_.model.mem_dim, mail_dim);
+  slots_.resize(par.total_trainers());
+}
+
+std::vector<std::size_t> SequentialTrainer::chunk_events(
+    std::size_t global_batch, std::size_t chunk) const {
+  const BatchRange& range = batches_[global_batch];
+  const std::size_t per =
+      (range.size() + cfg_.parallel.i - 1) / cfg_.parallel.i;
+  const std::size_t begin = std::min(range.begin + chunk * per, range.end);
+  const std::size_t end = std::min(begin + per, range.end);
+  return {begin, end};
+}
+
+void SequentialTrainer::run_iteration(std::size_t t) {
+  const auto& par = cfg_.parallel;
+  const std::size_t n = par.total_trainers();
+
+  // Epoch resets for groups whose round t requires one.
+  if (t < schedule_.rounds_per_group) {
+    for (std::size_t m = 0; m < par.k; ++m) {
+      if (schedule_.groups[m].reset_before_round[t] != 0) states_[m].reset();
+    }
+  }
+
+  // Collect this iteration's work item per trainer (ranks are cheap to
+  // scan: one item per iteration at most, in ascending order).
+  std::vector<const WorkItem*> items(n, nullptr);
+  for (std::size_t r = 0; r < n; ++r) {
+    TrainerSlot& slot = slots_[r];
+    const auto& list = schedule_.trainers[r].items;
+    if (slot.cursor < list.size() && list[slot.cursor].iteration == t)
+      items[r] = &list[slot.cursor];
+  }
+
+  // ---- phase A: version-0 reads (daemon (R…R) bracket, rank order) ----
+  for (std::size_t r = 0; r < n; ++r) {
+    if (items[r] == nullptr || !items[r]->memory_ops) continue;
+    const TrainerSchedule& ts = schedule_.trainers[r];
+    const WorkItem& item = *items[r];
+    const auto ev = chunk_events(item.global_batch, ts.chunk);
+    if (ev[0] >= ev[1]) {  // empty trailing chunk
+      slots_[r].batch.reset();
+      slots_[r].slice.reset();
+      continue;
+    }
+    std::vector<std::size_t> groups;
+    if (model_->task() == TGNModel::Task::kLinkPrediction) {
+      groups.reserve(par.j);
+      for (std::size_t v = 0; v < par.j; ++v)
+        groups.push_back((item.cycle * par.j * par.k + ts.mem_copy * par.j + v) %
+                         cfg_.neg_groups);
+    }
+    slots_[r].batch = builder_->build(item.global_batch * par.i + ts.chunk,
+                                      ev[0], ev[1], groups);
+    slots_[r].slice = states_[ts.mem_copy].read(slots_[r].batch->unique_nodes);
+  }
+
+  // ---- phase B: compute (all active trainers, current weights) ----
+  const std::size_t flat = nn::flat_size(model_->parameters());
+  grad_accum_.assign(flat, 0.0);
+  std::vector<float> flat_grads;
+  std::vector<MemoryWrite> writes(n);
+  std::vector<std::uint8_t> has_write(n, 0);
+  auto params = model_->parameters();
+  for (std::size_t r = 0; r < n; ++r) {
+    if (items[r] == nullptr) continue;
+    TrainerSlot& slot = slots_[r];
+    if (!slot.batch.has_value()) {  // empty chunk
+      ++slot.cursor;
+      continue;
+    }
+    const WorkItem& item = *items[r];
+    model_->zero_grad();
+    TGNModel::StepResult res = model_->train_step(
+        *slot.batch, *slot.slice, item.version,
+        item.memory_ops ? &writes[r] : nullptr);
+    has_write[r] = item.memory_ops ? 1 : 0;
+    nn::flatten_grads(params, flat_grads);
+    for (std::size_t x = 0; x < flat; ++x)
+      grad_accum_[x] += static_cast<double>(flat_grads[x]);
+
+    diag_.mails_generated += res.diag.mails_generated;
+    diag_.mails_kept += res.diag.mails_kept;
+    diag_.staleness_sum += res.diag.staleness_sum;
+    diag_.staleness_count += res.diag.staleness_count;
+    epoch_loss_sum_ += res.loss;
+    ++epoch_loss_count_;
+    ++slot.cursor;
+  }
+
+  // ---- phase C: version-0 writes (daemon (W…W) bracket, rank order) ----
+  for (std::size_t r = 0; r < n; ++r) {
+    if (has_write[r] != 0)
+      states_[schedule_.trainers[r].mem_copy].write(writes[r]);
+  }
+
+  // ---- optimizer step: mean over all n trainers ----
+  const double inv = 1.0 / static_cast<double>(n);
+  std::vector<float> mean_grads(flat);
+  for (std::size_t x = 0; x < flat; ++x)
+    mean_grads[x] = static_cast<float>(grad_accum_[x] * inv);
+
+  if (cfg_.collect_grad_stats) {
+    double norm_sq = 0.0, dot = 0.0, prev_sq = 0.0;
+    for (std::size_t x = 0; x < flat; ++x) {
+      norm_sq += static_cast<double>(mean_grads[x]) * mean_grads[x];
+      if (!prev_mean_grads_.empty()) {
+        dot += static_cast<double>(mean_grads[x]) * prev_mean_grads_[x];
+        prev_sq += static_cast<double>(prev_mean_grads_[x]) * prev_mean_grads_[x];
+      }
+    }
+    grad_norms_.push_back(static_cast<float>(std::sqrt(norm_sq)));
+    if (!prev_mean_grads_.empty() && norm_sq > 0 && prev_sq > 0) {
+      grad_cos_prev_.push_back(
+          static_cast<float>(dot / std::sqrt(norm_sq * prev_sq)));
+    }
+    prev_mean_grads_ = mean_grads;
+  }
+
+  nn::unflatten_grads(mean_grads, params);
+  nn::clip_grad_norm(params, cfg_.grad_clip);
+  optimizer_->step();
+}
+
+double SequentialTrainer::evaluate_validation() {
+  MemoryState clone = states_[0];
+  EvalConfig ec;
+  ec.batch_size = cfg_.local_batch;
+  ec.num_negs = cfg_.eval_negs;
+  ec.seed = cfg_.seed ^ 0xe7a1ULL;
+  return evaluate_range(*model_, clone, *graph_, *sampler_, split_.train_end,
+                        split_.val_end, ec)
+      .metric;
+}
+
+TrainResult SequentialTrainer::train() {
+  TrainResult result;
+  const std::size_t eval_every = schedule_.iterations_per_epoch();
+  for (std::size_t t = 0; t < schedule_.total_iterations; ++t) {
+    run_iteration(t);
+    if ((t + 1) % eval_every == 0 || t + 1 == schedule_.total_iterations) {
+      result.log.add(t + 1, evaluate_validation());
+      result.train_loss_last =
+          epoch_loss_count_ ? epoch_loss_sum_ / epoch_loss_count_ : 0.0;
+      epoch_loss_sum_ = 0.0;
+      epoch_loss_count_ = 0;
+    }
+  }
+  result.iterations = schedule_.total_iterations;
+  result.final_val = result.log.empty() ? 0.0 : result.log.points().back().val_metric;
+
+  // Test: continue the chronological stream (val then test) on a clone.
+  MemoryState clone = states_[0];
+  EvalConfig ec;
+  ec.batch_size = cfg_.local_batch;
+  ec.num_negs = cfg_.eval_negs;
+  ec.seed = cfg_.seed ^ 0xe7a1ULL;
+  evaluate_range(*model_, clone, *graph_, *sampler_, split_.train_end,
+                 split_.val_end, ec);
+  result.final_test = evaluate_range(*model_, clone, *graph_, *sampler_,
+                                     split_.val_end, split_.test_end, ec)
+                          .metric;
+  result.diag = diag_;
+  result.grad_norms = grad_norms_;
+  result.grad_cos_prev = grad_cos_prev_;
+  return result;
+}
+
+std::vector<float> SequentialTrainer::weights() const {
+  std::vector<float> out;
+  auto params = const_cast<TGNModel&>(*model_).parameters();
+  nn::flatten_values(params, out);
+  return out;
+}
+
+}  // namespace disttgl

@@ -1,0 +1,107 @@
+// Sequential orchestrator: deterministic reference execution of an
+// i×j×k DistTGL schedule.
+//
+// Executes the exact computation the threaded system performs — same
+// batches, same memory read/write serialization, same gradient averaging
+// — but on one thread, making every convergence experiment reproducible
+// from a seed. Per iteration:
+//
+//   phase A  all version-0 trainers of this round build their super-batch
+//            (one positive set + j negative variants, §3.2.2) and read
+//            memory — reads before any write, the daemon's (R…R) bracket;
+//   phase B  every active trainer runs forward/backward with the current
+//            weights; per-trainer gradients are flattened and summed in
+//            rank order (bitwise-identical to ThreadComm's staged
+//            reduction);
+//   phase C  version-0 writes apply in rank order — the (W…W) bracket;
+//   step     gradients are averaged over all n trainers, clipped, and
+//            applied by Adam (lr scaled linearly with world size).
+//
+// Validation runs every iterations_per_epoch() on a clone of memory copy
+// 0 (§4.0.1), test once at the end continuing from the validation state.
+#pragma once
+
+#include <optional>
+
+#include "core/metrics_log.hpp"
+#include "core/schedule.hpp"
+#include "core/tgn_model.hpp"
+#include "eval/evaluator.hpp"
+
+namespace disttgl {
+
+struct TrainResult {
+  ConvergenceLog log;
+  double final_val = 0.0;
+  double final_test = 0.0;
+  std::size_t iterations = 0;
+  BatchDiagnostics diag;        // accumulated over training
+  double train_loss_last = 0.0; // mean loss over the final epoch
+  // Per-iteration averaged-gradient statistics (filled when
+  // TrainingConfig::collect_grad_stats): the Table 1 gradient-variance
+  // measurement. grad_cos_prev is the cosine similarity between the mean
+  // gradients of consecutive iterations — epoch parallelism trains the
+  // same positives consecutively, which shows up as higher correlation
+  // (i.e. the effective samples are fewer; variance of SGD increases).
+  std::vector<float> grad_norms;
+  std::vector<float> grad_cos_prev;
+};
+
+class SequentialTrainer {
+ public:
+  // `static_memory` may be null; it must outlive the trainer.
+  SequentialTrainer(const TrainingConfig& cfg, const TemporalGraph& graph,
+                    const Matrix* static_memory);
+
+  const Schedule& schedule() const { return schedule_; }
+  const EventSplit& split() const { return split_; }
+  TGNModel& model() { return *model_; }
+  // Memory copy m (valid after construction; reset during training).
+  const MemoryState& state(std::size_t m) const { return states_[m]; }
+
+  TrainResult train();
+
+  // Runs a single iteration (exposed for the equivalence tests).
+  void run_iteration(std::size_t t);
+  // Weight snapshot for cross-orchestrator comparison.
+  std::vector<float> weights() const;
+
+ private:
+  struct TrainerSlot {
+    std::size_t cursor = 0;  // next item index
+    std::optional<MiniBatch> batch;
+    std::optional<MemorySlice> slice;
+  };
+
+  std::vector<std::size_t> chunk_events(std::size_t global_batch,
+                                        std::size_t chunk) const;
+  double evaluate_validation();
+
+  TrainingConfig cfg_;
+  const TemporalGraph* graph_;
+  const Matrix* static_memory_;
+  EventSplit split_;
+  std::vector<BatchRange> batches_;  // global batches over the train range
+  Schedule schedule_;
+
+  Rng rng_;
+  std::unique_ptr<NeighborSampler> sampler_;
+  std::unique_ptr<NegativeSampler> negatives_;
+  std::unique_ptr<MiniBatchBuilder> builder_;
+  std::unique_ptr<TGNModel> model_;
+  std::unique_ptr<nn::Adam> optimizer_;
+  std::vector<MemoryState> states_;
+  std::vector<TrainerSlot> slots_;
+
+  // Double accumulation in rank order — bitwise identical to
+  // ThreadComm's staged reduction, which the equivalence tests rely on.
+  std::vector<double> grad_accum_;
+  std::vector<float> prev_mean_grads_;
+  std::vector<float> grad_norms_;
+  std::vector<float> grad_cos_prev_;
+  BatchDiagnostics diag_;
+  double epoch_loss_sum_ = 0.0;
+  std::size_t epoch_loss_count_ = 0;
+};
+
+}  // namespace disttgl

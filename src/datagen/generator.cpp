@@ -1,0 +1,190 @@
+#include "datagen/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <numeric>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace disttgl::datagen {
+
+namespace {
+
+// Unit-norm latent embedding table.
+Matrix make_embeddings(std::size_t n, std::size_t dim, Rng& rng) {
+  Matrix e(n, dim);
+  for (std::size_t r = 0; r < n; ++r) {
+    double sq = 0.0;
+    for (std::size_t c = 0; c < dim; ++c) {
+      e(r, c) = static_cast<float>(rng.normal());
+      sq += static_cast<double>(e(r, c)) * e(r, c);
+    }
+    const float inv = sq > 0 ? static_cast<float>(1.0 / std::sqrt(sq)) : 0.0f;
+    for (std::size_t c = 0; c < dim; ++c) e(r, c) *= inv;
+  }
+  return e;
+}
+
+float dot(std::span<const float> a, std::span<const float> b) {
+  DT_CHECK_EQ(a.size(), b.size());
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace
+
+TemporalGraph generate(const SynthSpec& spec) {
+  DT_CHECK_GT(spec.num_src, 0u);
+  DT_CHECK_GT(spec.num_events, 0u);
+  DT_CHECK_GT(spec.latent_dim, 0u);
+
+  Rng rng(spec.seed);
+  const bool bipartite = spec.num_dst > 0;
+  const std::size_t num_nodes =
+      bipartite ? spec.num_src + spec.num_dst : spec.num_src;
+  const std::size_t dst_begin = bipartite ? spec.num_src : 0;
+  const std::size_t dst_count = bipartite ? spec.num_dst : spec.num_src;
+  const std::size_t L = spec.latent_dim;
+
+  // Latent story state.
+  Matrix node_emb = make_embeddings(num_nodes, L, rng);   // z_v
+  Matrix preference = make_embeddings(num_nodes, L, rng); // p_u (static)
+  Matrix state(num_nodes, L);                             // h_u (dynamic)
+  for (std::size_t r = 0; r < num_nodes; ++r)
+    state.copy_row_from(r, preference.row(r));
+
+  // Class prototypes for multi-label tasks.
+  Matrix class_proto;
+  if (spec.num_classes > 0)
+    class_proto = make_embeddings(spec.num_classes, L, rng);
+
+  // Fixed random projections for feature emission.
+  Matrix feat_proj;
+  if (spec.edge_feat_dim > 0)
+    feat_proj = make_embeddings(spec.edge_feat_dim, 2 * L, rng);
+  Matrix node_feat_proj;
+  if (spec.node_feat_dim > 0)
+    node_feat_proj = make_embeddings(spec.node_feat_dim, L, rng);
+
+  std::vector<std::deque<NodeId>> recent(num_nodes);
+
+  std::vector<TemporalEdge> events;
+  events.reserve(spec.num_events);
+  Matrix edge_feat(spec.edge_feat_dim > 0 ? spec.num_events : 0,
+                   spec.edge_feat_dim);
+  Matrix edge_labels(spec.num_classes > 0 ? spec.num_events : 0,
+                     spec.num_classes);
+
+  const double rate = static_cast<double>(spec.num_events) / spec.max_time;
+  double t = 0.0;
+  std::vector<float> scores(spec.candidate_pool);
+  std::vector<NodeId> candidates(spec.candidate_pool);
+  std::vector<float> mixed(L);
+
+  for (std::size_t i = 0; i < spec.num_events; ++i) {
+    t += rng.exponential(rate);
+    const NodeId u = static_cast<NodeId>(rng.powerlaw_int(spec.num_src, spec.activity_alpha));
+
+    // Interest mixture for u: dynamic state vs static preference.
+    const float w = static_cast<float>(spec.dynamic_weight);
+    for (std::size_t c = 0; c < L; ++c)
+      mixed[c] = w * state(u, c) + (1.0f - w) * preference(u, c);
+
+    NodeId v;
+    if (!recent[u].empty() && rng.bernoulli(spec.recurrence)) {
+      v = recent[u][rng.uniform_int(recent[u].size())];
+    } else {
+      // Score a uniform candidate pool against the interest mixture.
+      for (std::size_t c = 0; c < spec.candidate_pool; ++c) {
+        NodeId cand;
+        do {
+          cand = static_cast<NodeId>(dst_begin + rng.uniform_int(dst_count));
+        } while (!bipartite && cand == u);
+        candidates[c] = cand;
+        scores[c] = static_cast<float>(spec.preference_sharpness) *
+                    dot(mixed, node_emb.row(cand));
+      }
+      // Softmax sample.
+      float mx = *std::max_element(scores.begin(), scores.end());
+      std::vector<float> probs(scores.size());
+      for (std::size_t c = 0; c < scores.size(); ++c)
+        probs[c] = std::exp(scores[c] - mx);
+      v = candidates[rng.categorical(probs)];
+    }
+
+    // Record the event.
+    TemporalEdge e;
+    e.src = u;
+    e.dst = v;
+    e.ts = static_cast<float>(t);
+    events.push_back(e);
+
+    // Emit edge features from the (dst embedding, src state) pair.
+    if (spec.edge_feat_dim > 0) {
+      for (std::size_t f = 0; f < spec.edge_feat_dim; ++f) {
+        float acc = 0.0f;
+        const float* proj = feat_proj.row_ptr(f);
+        for (std::size_t c = 0; c < L; ++c)
+          acc += proj[c] * node_emb(v, c) + proj[L + c] * state(u, c);
+        edge_feat(i, f) =
+            acc + static_cast<float>(rng.normal(0.0, spec.feature_noise));
+      }
+    }
+
+    // Emit multi-label targets: top-k classes of the (z_v, h_u) mixture.
+    if (spec.num_classes > 0) {
+      const float lw = static_cast<float>(spec.label_dynamic_weight);
+      std::vector<std::pair<float, std::size_t>> cls(spec.num_classes);
+      for (std::size_t j = 0; j < spec.num_classes; ++j) {
+        float acc = 0.0f;
+        for (std::size_t c = 0; c < L; ++c)
+          acc += class_proto(j, c) *
+                 ((1.0f - lw) * node_emb(v, c) + lw * state(u, c));
+        cls[j] = {acc, j};
+      }
+      const std::size_t k = std::min(spec.labels_per_edge, spec.num_classes);
+      std::partial_sort(cls.begin(), cls.begin() + k, cls.end(),
+                        [](auto& a, auto& b) { return a.first > b.first; });
+      for (std::size_t j = 0; j < k; ++j) edge_labels(i, cls[j].second) = 1.0f;
+    }
+
+    // Drift: the source's dynamic state moves toward the destination
+    // embedding (and, in unipartite graphs, vice versa).
+    const float d = static_cast<float>(spec.drift);
+    for (std::size_t c = 0; c < L; ++c)
+      state(u, c) = (1.0f - d) * state(u, c) + d * node_emb(v, c);
+    if (!bipartite) {
+      for (std::size_t c = 0; c < L; ++c)
+        state(v, c) = (1.0f - d) * state(v, c) + d * node_emb(u, c);
+    }
+
+    recent[u].push_back(v);
+    if (recent[u].size() > spec.recency_window) recent[u].pop_front();
+  }
+
+  // Rescale time so the final timestamp hits max_time exactly — keeps
+  // presets comparable to Table 2's max(t).
+  const float scale = static_cast<float>(spec.max_time / t);
+  for (TemporalEdge& e : events) e.ts *= scale;
+
+  TemporalGraph g = TemporalGraph::from_events(spec.name, num_nodes,
+                                               std::move(events), dst_begin);
+  if (spec.edge_feat_dim > 0) g.set_edge_features(std::move(edge_feat));
+  if (spec.num_classes > 0) g.set_edge_labels(std::move(edge_labels));
+  if (spec.node_feat_dim > 0) {
+    Matrix nf(num_nodes, spec.node_feat_dim);
+    for (std::size_t v = 0; v < num_nodes; ++v) {
+      for (std::size_t f = 0; f < spec.node_feat_dim; ++f) {
+        nf(v, f) = dot(node_feat_proj.row(f), node_emb.row(v)) +
+                   static_cast<float>(rng.normal(0.0, spec.feature_noise));
+      }
+    }
+    g.set_node_features(std::move(nf));
+  }
+  return g;
+}
+
+}  // namespace disttgl::datagen

@@ -1,0 +1,13 @@
+// Synthetic temporal-graph generation (see spec.hpp for the model).
+#pragma once
+
+#include "datagen/spec.hpp"
+#include "graph/temporal_graph.hpp"
+
+namespace disttgl::datagen {
+
+// Generates a TemporalGraph (events, features, labels) from the spec.
+// Deterministic in spec.seed.
+TemporalGraph generate(const SynthSpec& spec);
+
+}  // namespace disttgl::datagen

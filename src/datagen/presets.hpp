@@ -1,0 +1,40 @@
+// Dataset presets mirroring Table 2 of the paper, scaled to single-core
+// bench budgets (~20–100× smaller; exact factors in EXPERIMENTS.md).
+//
+// `scale` multiplies node and event counts (1.0 = the default bench
+// size); use smaller values in unit tests, larger for longer studies.
+#pragma once
+
+#include <vector>
+
+#include "datagen/spec.hpp"
+
+namespace disttgl::datagen {
+
+// Bipartite user→page graph. Strong recurrence (users re-edit pages),
+// balanced static/dynamic signal. Paper: |V|=9.2k, |E|=157k, |de|=172.
+SynthSpec wikipedia_like(double scale = 1.0);
+
+// Bipartite user→subreddit graph. Very high recurrence, heavier events
+// per node. Paper: |V|=11.0k, |E|=672k, |de|=172.
+SynthSpec reddit_like(double scale = 1.0);
+
+// Bipartite user→course-item graph; sequential course progression makes
+// the signal strongly dynamic. No edge features. Paper: |V|=7.1k, |E|=412k.
+SynthSpec mooc_like(double scale = 1.0);
+
+// Unipartite airport graph; many unique edges (the paper notes Flights
+// has the most unique edges, which is what limits epoch parallelism).
+// Paper: |V|=13.2k, |E|=1.93M.
+SynthSpec flights_like(double scale = 1.0);
+
+// Unipartite actor knowledge graph with multi-label edge classification
+// (paper: 56-class 6-label, |de|=130; here 28-class 3-label, |de|=24,
+// plus raw node features standing in for the 413-dim GDELT features).
+// Paper: |V|=16.7k, |E|=191M (scaled far down).
+SynthSpec gdelt_like(double scale = 1.0);
+
+// All five presets at the given scale, in paper order.
+std::vector<SynthSpec> all_presets(double scale = 1.0);
+
+}  // namespace disttgl::datagen

@@ -1,0 +1,52 @@
+#include "distributed/comm.hpp"
+
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace disttgl::dist {
+
+ThreadComm::ThreadComm(std::size_t ranks) : ranks_(ranks), barrier_(ranks) {
+  DT_CHECK_GT(ranks, 0u);
+  tokens_.reserve(ranks);
+  for (std::size_t r = 0; r < ranks; ++r) tokens_.emplace_back(barrier_);
+}
+
+void ThreadComm::allreduce_mean(std::size_t rank, std::span<float> data) {
+  DT_CHECK_LT(rank, ranks_);
+  if (ranks_ == 1) return;
+  BarrierToken& token = tokens_[rank];
+
+  // Phase 1: rank 0 sizes the staging area (one row per rank, so the
+  // reduction below can run in a fixed rank order — bitwise deterministic
+  // regardless of thread arrival order).
+  if (rank == 0) {
+    staged_.assign(ranks_ * data.size(), 0.0f);
+    stride_ = data.size();
+    num_calls_.fetch_add(1, std::memory_order_relaxed);
+    // Ring allreduce volume: each rank sends 2(r−1)/r of the payload.
+    logical_bytes_.fetch_add(
+        static_cast<std::uint64_t>(2.0 * (ranks_ - 1) / ranks_ *
+                                   data.size() * sizeof(float) * ranks_),
+        std::memory_order_relaxed);
+  }
+  token.wait();
+
+  // Phase 2: everyone deposits its contribution in its own row.
+  DT_CHECK_EQ(stride_, data.size());
+  std::memcpy(staged_.data() + rank * stride_, data.data(),
+              data.size() * sizeof(float));
+  token.wait();
+
+  // Phase 3: everyone reduces in rank order and takes the mean.
+  const double inv = 1.0 / static_cast<double>(ranks_);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    double acc = 0.0;
+    for (std::size_t r = 0; r < ranks_; ++r)
+      acc += static_cast<double>(staged_[r * stride_ + i]);
+    data[i] = static_cast<float>(acc * inv);
+  }
+  token.wait();
+}
+
+}  // namespace disttgl::dist

@@ -1,0 +1,46 @@
+// Functional in-process collective for trainer threads.
+//
+// Plays the role NCCL plays in the paper: synchronous gradient averaging
+// across trainers. The implementation is a shared accumulation buffer
+// bracketed by sense-reversing barriers — semantically identical to an
+// allreduce (every rank leaves with the mean), with logical traffic
+// accounted per the ring algorithm so Table 1's "synchronization across
+// trainers" row can be measured rather than asserted.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "util/barrier.hpp"
+
+namespace disttgl::dist {
+
+class ThreadComm {
+ public:
+  explicit ThreadComm(std::size_t ranks);
+
+  std::size_t ranks() const { return ranks_; }
+
+  // Replace `data` on every rank with the elementwise mean across ranks.
+  // All ranks must call with equally-sized spans. Blocking.
+  void allreduce_mean(std::size_t rank, std::span<float> data);
+
+  // Logical bytes a ring allreduce would have moved so far (all calls).
+  std::uint64_t logical_bytes() const { return logical_bytes_.load(); }
+  std::uint64_t num_allreduces() const { return num_calls_.load(); }
+
+ private:
+  std::size_t ranks_;
+  SpinBarrier barrier_;
+  std::vector<BarrierToken> tokens_;
+  // Per-rank staging rows; reduced in fixed rank order for determinism.
+  std::vector<float> staged_;
+  std::size_t stride_ = 0;
+  std::atomic<std::uint64_t> logical_bytes_{0};
+  std::atomic<std::uint64_t> num_calls_{0};
+};
+
+}  // namespace disttgl::dist

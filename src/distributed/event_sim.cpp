@@ -1,0 +1,24 @@
+#include "distributed/event_sim.hpp"
+
+#include "util/check.hpp"
+
+namespace disttgl::dist {
+
+void EventSim::schedule(SimTime t, std::function<void()> fn) {
+  DT_CHECK_GE(t, now_);
+  queue_.push(Ev{t, seq_++, std::move(fn)});
+}
+
+SimTime EventSim::run() {
+  while (!queue_.empty()) {
+    // Copy out before pop: the callback may schedule more events.
+    Ev ev = std::move(const_cast<Ev&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.t;
+    ++processed_;
+    ev.fn();
+  }
+  return now_;
+}
+
+}  // namespace disttgl::dist

@@ -1,0 +1,76 @@
+// Discrete-event simulation engine.
+//
+// The throughput experiments (Fig 2b, Fig 12) replay the training
+// pipeline's stage graph on simulated hardware. Two pieces:
+//
+//  * EventSim — a classic future-event-list engine (time-ordered queue of
+//    callbacks, FIFO tie-break) for tests and irregular processes.
+//  * Timeline — a serially-reusable resource (GPU stream, host memory
+//    bus, NIC, disk). `reserve(ready, duration)` books the earliest slot
+//    at or after `ready` and returns the completion time. Pipelines are
+//    then expressed as chains of reservations: a stage's `ready` is the
+//    max of its dependencies' completions. This resource-reservation
+//    formulation is equivalent to event simulation for FIFO resources
+//    and keeps the pipeline models short and auditable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace disttgl::dist {
+
+using SimTime = double;
+
+class EventSim {
+ public:
+  // Schedule `fn` at absolute time `t` (must be ≥ now() when running).
+  void schedule(SimTime t, std::function<void()> fn);
+  // Run until the event list drains. Returns the final clock.
+  SimTime run();
+  SimTime now() const { return now_; }
+  std::size_t events_processed() const { return processed_; }
+
+ private:
+  struct Ev {
+    SimTime t;
+    std::uint64_t seq;  // FIFO tie-break
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Ev& a, const Ev& b) const {
+      return a.t > b.t || (a.t == b.t && a.seq > b.seq);
+    }
+  };
+  std::priority_queue<Ev, std::vector<Ev>, Later> queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::size_t processed_ = 0;
+};
+
+class Timeline {
+ public:
+  // Books [start, start+duration) where start = max(ready, free_at).
+  // Returns completion time.
+  SimTime reserve(SimTime ready, double duration) {
+    const SimTime start = ready > free_at_ ? ready : free_at_;
+    free_at_ = start + duration;
+    busy_ += duration;
+    return free_at_;
+  }
+
+  SimTime free_at() const { return free_at_; }
+  // Total booked time — utilization numerator.
+  double busy_time() const { return busy_; }
+  void reset() {
+    free_at_ = 0.0;
+    busy_ = 0.0;
+  }
+
+ private:
+  SimTime free_at_ = 0.0;
+  double busy_ = 0.0;
+};
+
+}  // namespace disttgl::dist

@@ -1,0 +1,45 @@
+#include "distributed/fabric.hpp"
+
+#include "util/check.hpp"
+
+namespace disttgl::dist {
+
+double allreduce_seconds(const FabricSpec& f, std::size_t bytes,
+                         std::size_t ranks, std::size_t machines) {
+  DT_CHECK_GT(ranks, 0u);
+  DT_CHECK_GT(machines, 0u);
+  if (ranks == 1) return 0.0;
+  // Ring allreduce: 2(r−1) steps, each moving bytes/r over the slowest
+  // link on the ring plus its latency.
+  const bool cross = machines > 1;
+  const double bw = (cross ? f.eth_gbps : f.pcie_gbps) * 1e9;
+  const double lat = (cross ? f.eth_latency_us : f.pcie_latency_us) * 1e-6;
+  const double steps = 2.0 * static_cast<double>(ranks - 1);
+  const double chunk = static_cast<double>(bytes) / static_cast<double>(ranks);
+  return steps * (lat + chunk / bw);
+}
+
+double p2p_seconds(const FabricSpec& f, std::size_t bytes, bool cross_machine) {
+  const double bw = (cross_machine ? f.eth_gbps : f.pcie_gbps) * 1e9;
+  const double lat =
+      (cross_machine ? f.eth_latency_us : f.pcie_latency_us) * 1e-6;
+  return lat + static_cast<double>(bytes) / bw;
+}
+
+double host_mem_seconds(const FabricSpec& f, std::size_t bytes,
+                        std::size_t concurrent) {
+  DT_CHECK_GT(concurrent, 0u);
+  const double bw = f.host_mem_gbps * 1e9 / static_cast<double>(concurrent);
+  return static_cast<double>(bytes) / bw;
+}
+
+double disk_seconds(const FabricSpec& f, std::size_t bytes) {
+  return f.disk_latency_us * 1e-6 +
+         static_cast<double>(bytes) / (f.disk_gbps * 1e9);
+}
+
+double gpu_seconds(const FabricSpec& f, double flops) {
+  return flops / (f.gpu_tflops * 1e12 * f.gpu_efficiency);
+}
+
+}  // namespace disttgl::dist

@@ -1,0 +1,61 @@
+// Hardware fabric cost model.
+//
+// Constants mirror the paper's testbed (§4.0.2): AWS g4dn.metal — 8×
+// NVIDIA T4 per machine (PCIe 3.0, no NVLink), dual Xeon 8259CL with
+// shared DDR4 bandwidth, 2× NVMe RAID0, 100 Gbps Ethernet between
+// machines. The throughput benches (Fig 2b, Fig 12) are *simulations* on
+// this model: we claim shape fidelity (scaling curves, who wins), not
+// absolute seconds. Every constant is a plain struct field so ablation
+// benches can sweep them.
+#pragma once
+
+#include <cstddef>
+
+namespace disttgl::dist {
+
+struct FabricSpec {
+  // GPU compute: T4 FP32 peak is ~8.1 TFLOPS; TGN-attn's small irregular
+  // kernels (gather-heavy attention over ≤10 neighbors, GRU on a few
+  // thousand rows) reach only single-digit percent of peak — calibrated
+  // against the paper's 23.77 kE/s single-T4 Wikipedia rate.
+  double gpu_tflops = 8.1;
+  double gpu_efficiency = 0.075;
+  // Host DRAM bandwidth available to memory daemons (per machine, GB/s).
+  // Dual Xeon 8259CL: ~2×6 DDR4-2666 channels ≈ 120 GB/s peak; half is
+  // realistically reachable by the daemon processes.
+  double host_mem_gbps = 60.0;
+  // Host↔GPU PCIe 3.0 x8 effective bandwidth (GB/s) and latency.
+  double pcie_gbps = 6.0;
+  double pcie_latency_us = 10.0;
+  // Cross-machine Ethernet: 100 Gbps ≈ 12.5 GB/s.
+  double eth_gbps = 12.5;
+  double eth_latency_us = 30.0;
+  // NVMe RAID0 streaming reads.
+  double disk_gbps = 4.0;
+  double disk_latency_us = 100.0;
+  // Fixed per-iteration framework overhead (kernel launches, Python/C++
+  // dispatch). TGN's reference implementation pays far more than TGL's.
+  double framework_overhead_us = 300.0;
+};
+
+// Ring-allreduce wall time for `bytes` over `ranks` participants spread
+// across `machines` machines. The slowest link (Ethernet when machines >
+// 1, PCIe otherwise) dominates each of the 2(r−1) ring steps.
+double allreduce_seconds(const FabricSpec& f, std::size_t bytes,
+                         std::size_t ranks, std::size_t machines);
+
+// Point-to-point transfer time.
+double p2p_seconds(const FabricSpec& f, std::size_t bytes, bool cross_machine);
+
+// Host-memory streaming time for `bytes`, with `concurrent` daemons
+// sharing the bus on one machine.
+double host_mem_seconds(const FabricSpec& f, std::size_t bytes,
+                        std::size_t concurrent);
+
+// Disk fetch time for one mini-batch blob.
+double disk_seconds(const FabricSpec& f, std::size_t bytes);
+
+// GPU compute time for `flops` floating point operations.
+double gpu_seconds(const FabricSpec& f, double flops);
+
+}  // namespace disttgl::dist

@@ -1,0 +1,50 @@
+#include "distributed/partition.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace disttgl::dist {
+
+PartitionCost partitioned_memory_epoch_cost(const FabricSpec& fabric,
+                                            const PartitionWorkload& w,
+                                            std::size_t machines) {
+  DT_CHECK_GT(machines, 0u);
+  DT_CHECK_GT(w.batch_size, 0u);
+  const double iterations =
+      std::ceil(static_cast<double>(w.events_per_epoch) / w.batch_size);
+  const double row_bytes = static_cast<double>(w.mem_dim + w.mail_dim) * 4.0;
+
+  // Rows touched per iteration: src+dst roots and their support sets for
+  // reads; roots only for writes.
+  const double read_rows = 2.0 * w.batch_size * w.support_factor;
+  const double write_rows = 2.0 * w.batch_size;
+
+  const double remote_frac =
+      machines == 1 ? 0.0
+                    : static_cast<double>(machines - 1) / machines;
+
+  auto op_seconds = [&](double rows) {
+    const double local_rows = rows * (1.0 - remote_frac);
+    const double remote_rows = rows * remote_frac;
+    // Local rows stream from host DRAM.
+    double t = local_rows * row_bytes / (fabric.host_mem_gbps * 1e9);
+    if (remote_rows > 0.0) {
+      // Remote rows: one gather message per remote machine (latency), and
+      // the payload serializes on this machine's NIC. The strict temporal
+      // ordering of memory ops (§2.1.1) prevents overlapping them with
+      // compute, so the epoch pays the full cost.
+      const double msgs = static_cast<double>(machines - 1);
+      t += msgs * fabric.eth_latency_us * 1e-6;
+      t += remote_rows * row_bytes / (fabric.eth_gbps * 1e9);
+    }
+    return t;
+  };
+
+  PartitionCost cost;
+  cost.read_seconds = iterations * op_seconds(read_rows);
+  cost.write_seconds = iterations * op_seconds(write_rows);
+  return cost;
+}
+
+}  // namespace disttgl::dist

@@ -1,0 +1,41 @@
+// Distributed node-memory traffic model (Figure 2b).
+//
+// The paper motivates DistTGL by showing that the natural alternative —
+// partitioning the node memory across machines, each owning |V|/p rows —
+// collapses under remote memory operations: every mini-batch touches
+// mostly *remote* rows ((p−1)/p of them under a uniform partition, and
+// METIS-style partitioning is unusable on dynamic graphs), and the
+// operations have strict temporal ordering, so they serialize on the
+// network instead of overlapping with compute. This model reproduces the
+// per-epoch read/write time of Figure 2b from first principles: row
+// volumes from the batch shape, link costs from FabricSpec.
+#pragma once
+
+#include "distributed/fabric.hpp"
+
+namespace disttgl::dist {
+
+struct PartitionWorkload {
+  std::size_t num_nodes = 0;
+  std::size_t mem_dim = 100;        // node memory width (floats)
+  std::size_t mail_dim = 372;       // cached mail width (floats)
+  std::size_t events_per_epoch = 0;
+  std::size_t batch_size = 600;
+  // Unique supporting nodes touched per root event (root + neighbors
+  // after dedup); ~(1 + K)·uniqueness. Measured ≈ 6–8 for K = 10.
+  double support_factor = 7.0;
+};
+
+struct PartitionCost {
+  double read_seconds = 0.0;
+  double write_seconds = 0.0;
+  double total_seconds() const { return read_seconds + write_seconds; }
+};
+
+// Per-epoch time spent in node-memory reads/writes when the memory is
+// sharded over `machines` machines (1 = all local).
+PartitionCost partitioned_memory_epoch_cost(const FabricSpec& fabric,
+                                            const PartitionWorkload& w,
+                                            std::size_t machines);
+
+}  // namespace disttgl::dist

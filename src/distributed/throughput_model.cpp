@@ -1,0 +1,122 @@
+#include "distributed/throughput_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace disttgl::dist {
+
+namespace {
+
+// Host-DRAM time for a row-gather of `bytes`, with `concurrent` streams
+// sharing the bus and the random-access derate applied.
+double gather_seconds(const FabricSpec& f, const SystemConstants& c,
+                      double bytes, std::size_t concurrent) {
+  const double bw =
+      f.host_mem_gbps * 1e9 * c.random_access_efficiency / concurrent;
+  return bytes / bw;
+}
+
+double pcie_roundtrip_seconds(const FabricSpec& f, double bytes) {
+  return 2.0 * f.pcie_latency_us * 1e-6 + bytes / (f.pcie_gbps * 1e9);
+}
+
+}  // namespace
+
+ThroughputEstimate estimate_throughput(SystemKind system, const FabricSpec& fabric,
+                                       const IterationProfile& p,
+                                       const ParallelPlan& plan,
+                                       const SystemConstants& c) {
+  DT_CHECK_GT(p.local_batch, 0u);
+  DT_CHECK_GE(plan.k, plan.machines);  // memory copies never span machines
+  const std::size_t n = plan.total_gpus();
+  DT_CHECK_GT(n, 0u);
+
+  ThroughputEstimate est;
+
+  // Shared stage costs.
+  const double t_gpu =
+      gpu_seconds(fabric, p.gpu_flops) +
+      pcie_roundtrip_seconds(fabric,
+                             p.mem_read_bytes + p.feature_bytes + p.fetch_bytes);
+  const double t_fetch = disk_seconds(fabric, static_cast<std::size_t>(p.fetch_bytes));
+  const double t_slice = gather_seconds(fabric, c, p.feature_bytes, 1);
+  const double mem_bytes = p.mem_read_bytes + p.mem_write_bytes;
+  const double t_sync = allreduce_seconds(
+      fabric, static_cast<std::size_t>(p.weight_bytes), n, plan.machines);
+
+  switch (system) {
+    case SystemKind::kTGN: {
+      // Strictly serial reference implementation, single GPU only.
+      DT_CHECK_EQ(n, 1u);
+      const double t_mem = gather_seconds(fabric, c, mem_bytes, 1);
+      est.gpu_seconds = t_gpu * c.tgn_serial_multiplier;
+      est.memory_seconds = t_mem * c.tgn_serial_multiplier;
+      est.fetch_seconds = (t_fetch + t_slice) * c.tgn_serial_multiplier;
+      est.sync_seconds = 0.0;
+      est.overhead_seconds = c.tgn_overhead_s;
+      est.iteration_seconds = est.gpu_seconds + est.memory_seconds +
+                              est.fetch_seconds + est.overhead_seconds;
+      break;
+    }
+    case SystemKind::kTGL: {
+      // Single machine only; one shared memory copy. All n trainers'
+      // memory operations serialize through it (lock + IPC per trainer).
+      DT_CHECK_EQ(plan.machines, 1u);
+      DT_CHECK_EQ(plan.k, 1u);
+      const double t_mem_serialized =
+          static_cast<double>(n) *
+          (gather_seconds(fabric, c, mem_bytes, 1) + c.tgl_memop_overhead_s);
+      // Sampling overlaps with compute (TGL's parallel samplers); feature
+      // slicing does not.
+      est.gpu_seconds = std::max(t_gpu, t_fetch);
+      est.memory_seconds = t_mem_serialized;
+      est.fetch_seconds = t_slice;
+      est.sync_seconds = t_sync;
+      est.overhead_seconds = c.tgl_overhead_s;
+      est.iteration_seconds = est.gpu_seconds + est.memory_seconds +
+                              est.fetch_seconds + est.sync_seconds +
+                              est.overhead_seconds;
+      break;
+    }
+    case SystemKind::kDistTGL: {
+      // Per-round group traffic: the i trainers starting a global batch
+      // read and write through their group's daemon; the k/machines
+      // daemons co-located on one machine share the DRAM bus, and their
+      // interleaved random gathers additionally thrash each other's
+      // cached rows (penalty ∝ payload × other daemons).
+      const std::size_t daemons_per_machine =
+          std::max<std::size_t>(1, plan.k / plan.machines);
+      const double per_daemon_bytes = static_cast<double>(plan.i) * mem_bytes;
+      const double contention =
+          1.0 + per_daemon_bytes / c.daemon_cache_scale_bytes *
+                    static_cast<double>(daemons_per_machine - 1);
+      const double t_daemon_round =
+          c.daemon_passes * per_daemon_bytes *
+          static_cast<double>(daemons_per_machine) * contention /
+          (fabric.host_mem_gbps * 1e9 * c.random_access_efficiency);
+      // Prefetcher hides disk + slicing j iterations ahead; the daemon
+      // overlaps memory ops with compute, so the iteration critical path
+      // is the max of the three streams, plus the weight allreduce.
+      const double overlapped =
+          std::max({t_gpu, t_daemon_round, t_fetch + t_slice});
+      est.gpu_seconds = t_gpu;
+      est.memory_seconds = t_daemon_round;
+      est.fetch_seconds = t_fetch + t_slice;
+      est.sync_seconds = t_sync;
+      est.overhead_seconds = c.disttgl_overhead_s;
+      est.iteration_seconds =
+          overlapped + est.sync_seconds + est.overhead_seconds;
+      break;
+    }
+  }
+
+  const double global_events =
+      static_cast<double>(n) * static_cast<double>(p.local_batch);
+  est.events_per_second = global_events / est.iteration_seconds;
+  est.per_gpu_events_per_second = est.events_per_second / static_cast<double>(n);
+  return est;
+}
+
+}  // namespace disttgl::dist

@@ -1,0 +1,48 @@
+// Chronological evaluation loop.
+//
+// Replays validation/test events in order against a (cloned) memory
+// state, exactly like inference in production: embeddings are computed
+// before the batch's own mails update the memory (the reversed order of
+// §2.1 that avoids information leaks), then the write advances the
+// stream. Link prediction ranks the true destination against `num_negs`
+// sampled negatives (49 in the paper); classification reports F1-micro.
+#pragma once
+
+#include "core/tgn_model.hpp"
+#include "memory/memory_state.hpp"
+#include "sampling/batching.hpp"
+
+namespace disttgl {
+
+struct EvalConfig {
+  std::size_t batch_size = 200;
+  std::size_t num_negs = 49;
+  std::uint64_t seed = 9999;
+};
+
+struct EvalResult {
+  double metric = 0.0;  // MRR (link prediction) or F1-micro
+  double loss = 0.0;
+  std::size_t events = 0;
+};
+
+// Evaluates events [begin, end); mutates `state` (callers pass a clone
+// when the training stream must not be disturbed).
+EvalResult evaluate_range(TGNModel& model, MemoryState& state,
+                          const TemporalGraph& graph,
+                          const NeighborSampler& sampler, std::size_t begin,
+                          std::size_t end, const EvalConfig& cfg);
+
+// Per-source-node reciprocal-rank sums — the Fig 5 breakdown (accuracy
+// per node, later sorted by degree). rr_sum[v] / count[v] is node v's MRR
+// as a source.
+struct PerNodeEval {
+  std::vector<double> rr_sum;
+  std::vector<std::size_t> count;
+};
+PerNodeEval evaluate_per_node(TGNModel& model, MemoryState& state,
+                              const TemporalGraph& graph,
+                              const NeighborSampler& sampler, std::size_t begin,
+                              std::size_t end, const EvalConfig& cfg);
+
+}  // namespace disttgl

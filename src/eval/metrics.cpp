@@ -1,0 +1,65 @@
+#include "eval/metrics.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace disttgl {
+
+double mean_reciprocal_rank(const Matrix& pos_scores, const Matrix& neg_scores) {
+  DT_CHECK_EQ(pos_scores.cols(), 1u);
+  DT_CHECK_EQ(pos_scores.rows(), neg_scores.rows());
+  DT_CHECK_GT(pos_scores.rows(), 0u);
+  double acc = 0.0;
+  for (std::size_t r = 0; r < pos_scores.rows(); ++r) {
+    const float p = pos_scores(r, 0);
+    double rank = 1.0;
+    for (std::size_t q = 0; q < neg_scores.cols(); ++q) {
+      const float s = neg_scores(r, q);
+      if (s > p) rank += 1.0;
+      else if (s == p) rank += 0.5;
+    }
+    acc += 1.0 / rank;
+  }
+  return acc / static_cast<double>(pos_scores.rows());
+}
+
+double average_precision(const Matrix& pos_scores, const Matrix& neg_scores) {
+  DT_CHECK_EQ(pos_scores.cols(), 1u);
+  DT_CHECK_EQ(pos_scores.rows(), neg_scores.rows());
+  DT_CHECK_GT(pos_scores.rows(), 0u);
+  // With a single positive per row, AP reduces to 1/rank — identical to
+  // reciprocal rank per row but kept separate for API clarity.
+  return mean_reciprocal_rank(pos_scores, neg_scores);
+}
+
+double f1_micro_topl(const Matrix& logits, const Matrix& targets) {
+  DT_CHECK(logits.same_shape(targets));
+  DT_CHECK_GT(logits.rows(), 0u);
+  std::size_t tp = 0, fp = 0, fn = 0;
+  std::vector<std::pair<float, std::size_t>> scored(logits.cols());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    std::size_t l = 0;
+    for (std::size_t c = 0; c < targets.cols(); ++c)
+      if (targets(r, c) > 0.5f) ++l;
+    if (l == 0) continue;
+    for (std::size_t c = 0; c < logits.cols(); ++c)
+      scored[c] = {logits(r, c), c};
+    std::partial_sort(scored.begin(), scored.begin() + l, scored.end(),
+                      [](auto& a, auto& b) { return a.first > b.first; });
+    for (std::size_t p = 0; p < l; ++p) {
+      if (targets(r, scored[p].second) > 0.5f) ++tp;
+      else ++fp;
+    }
+  }
+  // FN = total positives − TP.
+  std::size_t total_pos = 0;
+  for (std::size_t i = 0; i < targets.size(); ++i)
+    if (targets.data()[i] > 0.5f) ++total_pos;
+  fn = total_pos - tp;
+  const double denom = 2.0 * tp + fp + fn;
+  return denom == 0.0 ? 0.0 : 2.0 * tp / denom;
+}
+
+}  // namespace disttgl

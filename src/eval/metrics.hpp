@@ -1,0 +1,22 @@
+// Evaluation metrics (§4: MRR over 49 sampled negatives; F1-micro for
+// the multi-label dynamic edge classification task).
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+namespace disttgl {
+
+// Mean reciprocal rank: for each row, the positive's rank among
+// {positive} ∪ {negatives of that row}; ties count as half a place.
+double mean_reciprocal_rank(const Matrix& pos_scores, const Matrix& neg_scores);
+
+// Average precision (area under precision-recall, single positive per
+// row) — a secondary link-prediction metric.
+double average_precision(const Matrix& pos_scores, const Matrix& neg_scores);
+
+// Micro-averaged F1 for multi-label prediction: per row, the top-L_r
+// logits are predicted where L_r = number of true labels in that row
+// (the paper's fixed-cardinality protocol: "56-class 6-label").
+double f1_micro_topl(const Matrix& logits, const Matrix& targets);
+
+}  // namespace disttgl

@@ -1,0 +1,129 @@
+#include "graph/csv_loader.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace disttgl {
+
+namespace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> out;
+  std::string field;
+  std::istringstream ss(line);
+  while (std::getline(ss, field, ',')) out.push_back(field);
+  return out;
+}
+
+double parse_number(const std::string& s, std::size_t line_no) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    DT_CHECK_MSG(pos == s.size(), "trailing characters in field");
+    return v;
+  } catch (const std::exception&) {
+    throw std::logic_error("csv line " + std::to_string(line_no) +
+                           ": malformed numeric field '" + s + "'");
+  }
+}
+
+}  // namespace
+
+TemporalGraph load_temporal_csv(std::istream& in, std::string name,
+                                const CsvLoadOptions& opts) {
+  std::string line;
+  std::size_t line_no = 0;
+  if (opts.has_header && std::getline(in, line)) ++line_no;
+
+  struct RawEvent {
+    std::uint64_t src, dst;
+    float ts;
+  };
+  std::vector<RawEvent> raw;
+  std::vector<std::vector<float>> features;
+  std::size_t feat_dims = static_cast<std::size_t>(-1);
+  float prev_ts = -std::numeric_limits<float>::infinity();
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto fields = split_csv_line(line);
+    DT_CHECK_MSG(fields.size() >= 3 + opts.skip_columns,
+                 "csv line " << line_no << ": expected at least "
+                             << 3 + opts.skip_columns << " columns, got "
+                             << fields.size());
+    RawEvent e;
+    e.src = static_cast<std::uint64_t>(parse_number(fields[0], line_no));
+    e.dst = static_cast<std::uint64_t>(parse_number(fields[1], line_no));
+    e.ts = static_cast<float>(parse_number(fields[2], line_no));
+    DT_CHECK_MSG(e.ts >= prev_ts,
+                 "csv line " << line_no << ": timestamps must be sorted");
+    prev_ts = e.ts;
+
+    const std::size_t feat_begin = 3 + opts.skip_columns;
+    std::size_t avail = fields.size() - feat_begin;
+    avail = std::min(avail, opts.edge_feature_dims);
+    if (feat_dims == static_cast<std::size_t>(-1)) feat_dims = avail;
+    DT_CHECK_MSG(avail == feat_dims, "csv line " << line_no
+                                                 << ": inconsistent feature "
+                                                    "column count");
+    if (feat_dims > 0) {
+      std::vector<float> f(feat_dims);
+      for (std::size_t c = 0; c < feat_dims; ++c)
+        f[c] = static_cast<float>(parse_number(fields[feat_begin + c], line_no));
+      features.push_back(std::move(f));
+    }
+    raw.push_back(e);
+  }
+  DT_CHECK_MSG(!raw.empty(), "csv contained no events");
+
+  // Establish the id space.
+  std::uint64_t max_src = 0, max_dst = 0;
+  for (const RawEvent& e : raw) {
+    max_src = std::max(max_src, e.src);
+    max_dst = std::max(max_dst, e.dst);
+  }
+  std::size_t num_nodes;
+  std::size_t src_partition = 0;
+  std::uint64_t dst_offset = 0;
+  if (opts.bipartite_reindex) {
+    dst_offset = max_src + 1;
+    src_partition = static_cast<std::size_t>(dst_offset);
+    num_nodes = static_cast<std::size_t>(dst_offset + max_dst + 1);
+  } else {
+    num_nodes = static_cast<std::size_t>(std::max(max_src, max_dst) + 1);
+  }
+
+  std::vector<TemporalEdge> events;
+  events.reserve(raw.size());
+  for (const RawEvent& e : raw) {
+    TemporalEdge te;
+    te.src = static_cast<NodeId>(e.src);
+    te.dst = static_cast<NodeId>(e.dst + dst_offset);
+    te.ts = e.ts;
+    events.push_back(te);
+  }
+  TemporalGraph g = TemporalGraph::from_events(std::move(name), num_nodes,
+                                               std::move(events), src_partition);
+  if (feat_dims > 0 && feat_dims != static_cast<std::size_t>(-1)) {
+    Matrix ef(raw.size(), feat_dims);
+    for (std::size_t r = 0; r < features.size(); ++r)
+      ef.copy_row_from(r, features[r]);
+    g.set_edge_features(std::move(ef));
+  }
+  return g;
+}
+
+TemporalGraph load_temporal_csv_file(const std::string& path, std::string name,
+                                     const CsvLoadOptions& opts) {
+  std::ifstream in(path);
+  DT_CHECK_MSG(in.good(), "cannot open csv file: " << path);
+  return load_temporal_csv(in, std::move(name), opts);
+}
+
+}  // namespace disttgl

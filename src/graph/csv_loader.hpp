@@ -1,0 +1,42 @@
+// CSV event-stream loading — the Jodie/TGN dataset format.
+//
+// The paper's datasets (Wikipedia, Reddit, MOOC…) ship as CSVs of
+//   src,dst,timestamp[,label][,f0,f1,…]
+// rows sorted by timestamp. This loader turns such a file into a
+// TemporalGraph so the library runs on real data when it is available
+// (the bench suite uses the synthetic presets only because this
+// environment has no network access).
+#pragma once
+
+#include <istream>
+#include <string>
+
+#include "graph/temporal_graph.hpp"
+
+namespace disttgl {
+
+struct CsvLoadOptions {
+  bool has_header = true;
+  // Number of leading columns after src,dst,ts to skip (e.g. Jodie's
+  // state-change label column).
+  std::size_t skip_columns = 0;
+  // Remaining columns become edge features (0 = ignore extra columns;
+  // SIZE_MAX = use all remaining).
+  std::size_t edge_feature_dims = static_cast<std::size_t>(-1);
+  // Jodie bipartite CSVs index users and items independently from 0;
+  // when true, destination ids are offset by (max src id + 1) and the
+  // result is marked bipartite.
+  bool bipartite_reindex = false;
+};
+
+// Parses the stream; throws std::logic_error with a line number on
+// malformed input (non-numeric fields, decreasing timestamps,
+// inconsistent column counts).
+TemporalGraph load_temporal_csv(std::istream& in, std::string name,
+                                const CsvLoadOptions& opts = CsvLoadOptions());
+
+// Convenience file wrapper.
+TemporalGraph load_temporal_csv_file(const std::string& path, std::string name,
+                                     const CsvLoadOptions& opts = CsvLoadOptions());
+
+}  // namespace disttgl

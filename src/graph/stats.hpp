@@ -1,0 +1,36 @@
+// Dataset statistics — reproduces the columns of Table 2 plus the
+// degree/recurrence measures the generator presets are tuned against.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/temporal_graph.hpp"
+
+namespace disttgl {
+
+struct DatasetStats {
+  std::string name;
+  std::size_t num_nodes = 0;
+  std::size_t num_events = 0;
+  float max_timestamp = 0.0f;
+  std::size_t node_feat_dim = 0;
+  std::size_t edge_feat_dim = 0;
+  bool bipartite = false;
+  double mean_degree = 0.0;
+  std::size_t max_degree = 0;
+  // Fraction of events whose (src, dst) pair already appeared earlier —
+  // the "recurrence" knob that drives memory-staleness effects.
+  double repeat_edge_fraction = 0.0;
+  // Gini coefficient of the degree distribution (0 = uniform, →1 = skewed).
+  double degree_gini = 0.0;
+};
+
+DatasetStats compute_stats(const TemporalGraph& g);
+
+// Formats one row of the Table 2-style report.
+std::string format_stats_row(const DatasetStats& s);
+// Header matching format_stats_row.
+std::string stats_header();
+
+}  // namespace disttgl

@@ -1,0 +1,73 @@
+#include "graph/temporal_graph.hpp"
+
+#include <algorithm>
+
+namespace disttgl {
+
+TemporalGraph TemporalGraph::from_events(std::string name, std::size_t num_nodes,
+                                         std::vector<TemporalEdge> events,
+                                         std::size_t num_src_partition) {
+  TemporalGraph g;
+  g.name_ = std::move(name);
+  g.num_nodes_ = num_nodes;
+  g.num_src_ = num_src_partition;
+  DT_CHECK_LE(num_src_partition, num_nodes);
+
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    events[i].id = static_cast<EdgeId>(i);
+    DT_CHECK_LT(events[i].src, num_nodes);
+    DT_CHECK_LT(events[i].dst, num_nodes);
+    if (i > 0) DT_CHECK_GE(events[i].ts, events[i - 1].ts);
+  }
+  g.events_ = std::move(events);
+
+  // Build the per-node CSR by counting then filling. Events are already
+  // time-sorted, so a stable fill keeps each node's list time-sorted.
+  std::vector<std::size_t> count(num_nodes, 0);
+  for (const TemporalEdge& e : g.events_) {
+    ++count[e.src];
+    if (e.dst != e.src) ++count[e.dst];
+  }
+  g.adj_off_.assign(num_nodes + 1, 0);
+  for (std::size_t v = 0; v < num_nodes; ++v)
+    g.adj_off_[v + 1] = g.adj_off_[v] + count[v];
+  g.adj_.resize(g.adj_off_.back());
+  std::vector<std::size_t> cursor(g.adj_off_.begin(), g.adj_off_.end() - 1);
+  for (const TemporalEdge& e : g.events_) {
+    g.adj_[cursor[e.src]++] = e.id;
+    if (e.dst != e.src) g.adj_[cursor[e.dst]++] = e.id;
+  }
+  return g;
+}
+
+std::span<const EdgeId> TemporalGraph::incident(NodeId v) const {
+  DT_CHECK_LT(v, num_nodes_);
+  return {adj_.data() + adj_off_[v], adj_off_[v + 1] - adj_off_[v]};
+}
+
+std::size_t TemporalGraph::events_before(NodeId v, float t) const {
+  auto inc = incident(v);
+  // Event ids are assigned in time order, so the incident list is sorted
+  // by (ts, id); binary search on ts via the event table.
+  auto it = std::partition_point(inc.begin(), inc.end(), [&](EdgeId id) {
+    return events_[id].ts < t;
+  });
+  return static_cast<std::size_t>(it - inc.begin());
+}
+
+void TemporalGraph::set_edge_features(Matrix f) {
+  DT_CHECK_EQ(f.rows(), events_.size());
+  edge_feat_ = std::move(f);
+}
+
+void TemporalGraph::set_node_features(Matrix f) {
+  DT_CHECK_EQ(f.rows(), num_nodes_);
+  node_feat_ = std::move(f);
+}
+
+void TemporalGraph::set_edge_labels(Matrix labels) {
+  DT_CHECK_EQ(labels.rows(), events_.size());
+  edge_labels_ = std::move(labels);
+}
+
+}  // namespace disttgl

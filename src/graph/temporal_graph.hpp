@@ -1,0 +1,94 @@
+// Continuous-time dynamic graph (CTDG) storage.
+//
+// A dynamic graph is a time-ordered stream of edge events
+// {(u, v, e_uv, t)} (§2.1). TemporalGraph stores the stream plus a
+// per-node, time-sorted incidence index (CSR over event ids) so the
+// most-recent-K neighbor sampler can binary-search "events touching v
+// strictly before t" in O(log deg). Node/edge features are dense
+// matrices; graphs without features carry empty matrices.
+//
+// Bipartite interaction graphs (Wikipedia/Reddit/MOOC-style user→item)
+// mark a partition point: nodes [0, num_src) are sources, the rest
+// destinations. Negative sampling uses this to draw only from the
+// destination partition, as the paper does.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "tensor/matrix.hpp"
+
+namespace disttgl {
+
+struct TemporalEdge {
+  NodeId src = 0;
+  NodeId dst = 0;
+  float ts = 0.0f;
+  EdgeId id = 0;
+};
+
+class TemporalGraph {
+ public:
+  TemporalGraph() = default;
+
+  // Events must be supplied in non-decreasing timestamp order; ids are
+  // assigned by position.
+  static TemporalGraph from_events(std::string name, std::size_t num_nodes,
+                                   std::vector<TemporalEdge> events,
+                                   std::size_t num_src_partition = 0);
+
+  const std::string& name() const { return name_; }
+  std::size_t num_nodes() const { return num_nodes_; }
+  std::size_t num_events() const { return events_.size(); }
+  bool bipartite() const { return num_src_ > 0; }
+  // First destination-partition node id (== num_src for bipartite graphs).
+  NodeId dst_partition_begin() const { return static_cast<NodeId>(num_src_); }
+
+  const TemporalEdge& event(EdgeId id) const {
+    DT_CHECK_LT(id, events_.size());
+    return events_[id];
+  }
+  std::span<const TemporalEdge> events() const { return events_; }
+  float max_timestamp() const {
+    return events_.empty() ? 0.0f : events_.back().ts;
+  }
+
+  // Event ids incident to `v` (as src or dst), sorted by timestamp.
+  std::span<const EdgeId> incident(NodeId v) const;
+  // Number of incident events of `v` strictly before time `t`.
+  std::size_t events_before(NodeId v, float t) const;
+  // Degree (total incident events) of `v`.
+  std::size_t degree(NodeId v) const { return incident(v).size(); }
+
+  // ---- features ----
+  bool has_edge_features() const { return edge_feat_.rows() > 0; }
+  bool has_node_features() const { return node_feat_.rows() > 0; }
+  std::size_t edge_feat_dim() const { return edge_feat_.cols(); }
+  std::size_t node_feat_dim() const { return node_feat_.cols(); }
+  const Matrix& edge_features() const { return edge_feat_; }
+  const Matrix& node_features() const { return node_feat_; }
+  void set_edge_features(Matrix f);
+  void set_node_features(Matrix f);
+
+  // ---- edge labels (multi-label classification tasks) ----
+  bool has_edge_labels() const { return edge_labels_.rows() > 0; }
+  const Matrix& edge_labels() const { return edge_labels_; }
+  std::size_t num_classes() const { return edge_labels_.cols(); }
+  void set_edge_labels(Matrix labels);
+
+ private:
+  std::string name_;
+  std::size_t num_nodes_ = 0;
+  std::size_t num_src_ = 0;  // 0 = unipartite
+  std::vector<TemporalEdge> events_;
+  // CSR: incident event ids per node, time-sorted.
+  std::vector<EdgeId> adj_;
+  std::vector<std::size_t> adj_off_;
+  Matrix edge_feat_;
+  Matrix node_feat_;
+  Matrix edge_labels_;
+};
+
+}  // namespace disttgl

@@ -1,0 +1,14 @@
+// Shared identifier types for the temporal graph stack.
+#pragma once
+
+#include <cstdint>
+
+namespace disttgl {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+
+}  // namespace disttgl

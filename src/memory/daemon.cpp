@@ -1,0 +1,90 @@
+#include "memory/daemon.hpp"
+
+#include "util/check.hpp"
+
+namespace disttgl {
+
+namespace {
+void spin_until(const std::atomic<int>& status, int value) {
+  while (status.load(std::memory_order_acquire) != value) {
+    std::this_thread::yield();
+  }
+}
+}  // namespace
+
+MemoryDaemon::MemoryDaemon(MemoryState& state, DaemonConfig config)
+    : state_(state), config_(std::move(config)) {
+  DT_CHECK_GT(config_.i, 0u);
+  DT_CHECK_GT(config_.j, 0u);
+  const std::size_t n = config_.i * config_.j;
+  slots_.reserve(n);
+  for (std::size_t r = 0; r < n; ++r) slots_.push_back(std::make_unique<Slot>());
+}
+
+MemoryDaemon::~MemoryDaemon() {
+  if (started_ && thread_.joinable()) thread_.join();
+}
+
+void MemoryDaemon::start() {
+  DT_CHECK(!started_);
+  started_ = true;
+  thread_ = std::thread([this] { run(); });
+}
+
+void MemoryDaemon::join() {
+  DT_CHECK(started_);
+  if (thread_.joinable()) thread_.join();
+}
+
+MemorySlice MemoryDaemon::read(std::size_t rank, std::span<const NodeId> nodes) {
+  DT_CHECK_LT(rank, slots_.size());
+  Slot& slot = *slots_[rank];
+  // The slot must be free (previous request fully served).
+  spin_until(slot.read_status, 0);
+  slot.read_idx.assign(nodes.begin(), nodes.end());
+  slot.read_status.store(1, std::memory_order_release);
+  spin_until(slot.read_status, 0);  // daemon filled read_result
+  return std::move(slot.read_result);
+}
+
+void MemoryDaemon::write(std::size_t rank, MemoryWrite w) {
+  DT_CHECK_LT(rank, slots_.size());
+  Slot& slot = *slots_[rank];
+  spin_until(slot.write_status, 0);
+  slot.write_req = std::move(w);
+  slot.write_status.store(1, std::memory_order_release);
+  spin_until(slot.write_status, 0);  // applied
+}
+
+std::vector<std::string> MemoryDaemon::trace() const {
+  DT_CHECK(!thread_.joinable());  // only valid after join()
+  return trace_;
+}
+
+void MemoryDaemon::run() {
+  const std::size_t rounds = config_.reset_before_round.size();
+  for (std::size_t round = 0; round < rounds; ++round) {
+    if (config_.reset_before_round[round] != 0) state_.reset();
+    const std::size_t sub = round % config_.j;
+    const std::size_t base = sub * config_.i;
+    // Serve all reads of this subgroup, then all writes — the
+    // (R..R)(W..W) bracket of §3.3. Requests within a bracket have no
+    // ordering requirement; we serve them by rank.
+    for (std::size_t r = base; r < base + config_.i; ++r) {
+      Slot& slot = *slots_[r];
+      spin_until(slot.read_status, 1);
+      slot.read_result = state_.read(slot.read_idx);
+      if (trace_enabled_) trace_.push_back("R" + std::to_string(r));
+      slot.read_status.store(0, std::memory_order_release);
+    }
+    for (std::size_t r = base; r < base + config_.i; ++r) {
+      Slot& slot = *slots_[r];
+      spin_until(slot.write_status, 1);
+      state_.write(slot.write_req);
+      if (trace_enabled_) trace_.push_back("W" + std::to_string(r));
+      slot.write_status.store(0, std::memory_order_release);
+    }
+  }
+}
+
+}  // namespace disttgl

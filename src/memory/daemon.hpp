@@ -1,0 +1,96 @@
+// Memory daemon process (§3.3, Algorithm 1).
+//
+// Within one memory-copy group of i×j trainers, reads and writes to the
+// shared node memory must follow the serialized order
+//
+//   (R_{s0}) (W_{s0}) (R_{s1}) (W_{s1}) … ,
+//
+// where s_r is the r-th mini-batch-parallel subgroup of i trainers and
+// subgroups rotate round-robin (one global batch per round). Instead of a
+// cross-process lock, DistTGL dedicates a daemon thread per group that
+// owns the MemoryState outright and serves requests from per-trainer
+// shared slots, each guarded by an atomic status word — the C++ analogue
+// of the paper's `read_status`/`write_status` shared buffers:
+//
+//   trainer:  fill slot → status.store(1, release) → spin until 0
+//   daemon :  spin until 1 (acquire) → serve → status.store(0, release)
+//
+// The daemon enforces the serialization: all i reads of a subgroup are
+// served before any of its writes (preventing the Write-After-Read hazard
+// of §3.2.1), and a subgroup's writes are served before the next
+// subgroup's reads (so iteration t+1 observes iteration t's updates).
+// Epoch resets (zeroing memory and mailbox) happen between rounds at the
+// positions listed in DaemonConfig::reset_before_round, which the
+// schedule builder derives from where each memory copy's batch stream
+// wraps to batch 0.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "memory/memory_state.hpp"
+
+namespace disttgl {
+
+struct DaemonConfig {
+  std::size_t i = 1;  // trainers per mini-batch subgroup
+  std::size_t j = 1;  // subgroups (epoch parallelism degree)
+  // Per-round epoch-reset flags; size() is the total number of rounds
+  // this daemon will serve before exiting.
+  std::vector<std::uint8_t> reset_before_round;
+};
+
+class MemoryDaemon {
+ public:
+  // The daemon borrows `state`; the caller keeps it alive and must not
+  // touch it between start() and join().
+  MemoryDaemon(MemoryState& state, DaemonConfig config);
+  ~MemoryDaemon();
+
+  MemoryDaemon(const MemoryDaemon&) = delete;
+  MemoryDaemon& operator=(const MemoryDaemon&) = delete;
+
+  std::size_t group_size() const { return slots_.size(); }
+
+  void start();
+  // Waits for the daemon to finish serving all configured rounds.
+  void join();
+
+  // ---- trainer-side API (rank ∈ [0, i*j)) ----
+  // Posts a read request for `nodes` and blocks until the daemon serves
+  // it in serialized order. Returns the slice by value (the slot is
+  // immediately reusable).
+  MemorySlice read(std::size_t rank, std::span<const NodeId> nodes);
+  // Posts a write request; blocks until the daemon has applied it.
+  void write(std::size_t rank, MemoryWrite w);
+
+  // Diagnostics: serialized operation trace "(R|W)<rank>" in service
+  // order, captured when trace_enabled (used by tests and Fig 7 dump).
+  void enable_trace() { trace_enabled_ = true; }
+  std::vector<std::string> trace() const;
+
+ private:
+  struct Slot {
+    std::atomic<int> read_status{0};
+    std::atomic<int> write_status{0};
+    // Read request/response.
+    std::vector<NodeId> read_idx;
+    MemorySlice read_result;
+    // Write request.
+    MemoryWrite write_req;
+  };
+
+  void run();
+
+  MemoryState& state_;
+  DaemonConfig config_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::thread thread_;
+  bool started_ = false;
+  bool trace_enabled_ = false;
+  std::vector<std::string> trace_;  // daemon-thread only until join()
+};
+
+}  // namespace disttgl

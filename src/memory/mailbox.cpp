@@ -1,0 +1,44 @@
+#include "memory/mailbox.hpp"
+
+#include <cstring>
+
+namespace disttgl {
+
+Matrix Mailbox::gather(std::span<const NodeId> nodes) const {
+  Matrix out(nodes.size(), mail_dim());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    DT_CHECK_LT(nodes[i], num_nodes());
+    std::memcpy(out.row_ptr(i), mail_.row_ptr(nodes[i]),
+                mail_dim() * sizeof(float));
+  }
+  return out;
+}
+
+std::vector<float> Mailbox::gather_ts(std::span<const NodeId> nodes) const {
+  std::vector<float> out(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) out[i] = mail_ts_[nodes[i]];
+  return out;
+}
+
+std::vector<std::uint8_t> Mailbox::gather_flags(
+    std::span<const NodeId> nodes) const {
+  std::vector<std::uint8_t> out(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) out[i] = has_mail_[nodes[i]];
+  return out;
+}
+
+void Mailbox::scatter(std::span<const NodeId> nodes, const Matrix& mails,
+                      std::span<const float> ts) {
+  DT_CHECK_EQ(mails.rows(), nodes.size());
+  DT_CHECK_EQ(ts.size(), nodes.size());
+  DT_CHECK_EQ(mails.cols(), mail_dim());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    DT_CHECK_LT(nodes[i], num_nodes());
+    std::memcpy(mail_.row_ptr(nodes[i]), mails.row_ptr(i),
+                mail_dim() * sizeof(float));
+    mail_ts_[nodes[i]] = ts[i];
+    has_mail_[nodes[i]] = 1;
+  }
+}
+
+}  // namespace disttgl

@@ -1,0 +1,22 @@
+#include "memory/memory_state.hpp"
+
+namespace disttgl {
+
+MemorySlice MemoryState::read(std::span<const NodeId> nodes) const {
+  MemorySlice s;
+  s.mem = memory_.gather(nodes);
+  s.mem_ts = memory_.gather_ts(nodes);
+  s.mail = mailbox_.gather(nodes);
+  s.mail_ts = mailbox_.gather_ts(nodes);
+  s.has_mail = mailbox_.gather_flags(nodes);
+  return s;
+}
+
+void MemoryState::write(const MemoryWrite& w) {
+  DT_CHECK_EQ(w.mem.rows(), w.nodes.size());
+  DT_CHECK_EQ(w.mail.rows(), w.nodes.size());
+  memory_.scatter(w.nodes, w.mem, w.mem_ts);
+  mailbox_.scatter(w.nodes, w.mail, w.mail_ts);
+}
+
+}  // namespace disttgl

@@ -1,0 +1,69 @@
+// One complete copy of the M-TGNN auxiliary state: node memory + mailbox.
+//
+// Memory parallelism (§3.2.3) maintains k independent MemoryState copies;
+// each is swept chronologically by its own trainer group and reset at
+// every epoch wrap. MemorySlice/MemoryWrite are the request/response
+// payloads exchanged with the memory daemon — their field layout matches
+// the shared-buffer inventory of §3.3.
+#pragma once
+
+#include "memory/mailbox.hpp"
+#include "memory/node_memory.hpp"
+
+namespace disttgl {
+
+// Read response: everything the model needs about a set of unique nodes.
+struct MemorySlice {
+  Matrix mem;                          // [n x mem_dim]
+  std::vector<float> mem_ts;           // [n] last-update times
+  Matrix mail;                         // [n x mail_dim]
+  std::vector<float> mail_ts;          // [n]
+  std::vector<std::uint8_t> has_mail;  // [n]
+};
+
+// Write request: per-node updated memory and fresh mails.
+struct MemoryWrite {
+  std::vector<NodeId> nodes;
+  Matrix mem;
+  std::vector<float> mem_ts;
+  Matrix mail;
+  std::vector<float> mail_ts;
+
+  std::size_t size() const { return nodes.size(); }
+  // Payload bytes — used by the communication accounting in Table 1.
+  std::size_t bytes() const {
+    return nodes.size() * sizeof(NodeId) +
+           (mem.size() + mail.size()) * sizeof(float) +
+           (mem_ts.size() + mail_ts.size()) * sizeof(float);
+  }
+};
+
+class MemoryState {
+ public:
+  MemoryState() = default;
+  MemoryState(std::size_t num_nodes, std::size_t mem_dim, std::size_t mail_dim)
+      : memory_(num_nodes, mem_dim), mailbox_(num_nodes, mail_dim) {}
+
+  std::size_t num_nodes() const { return memory_.num_nodes(); }
+  std::size_t mem_dim() const { return memory_.dim(); }
+  std::size_t mail_dim() const { return mailbox_.mail_dim(); }
+
+  void reset() {
+    memory_.reset();
+    mailbox_.reset();
+  }
+
+  MemorySlice read(std::span<const NodeId> nodes) const;
+  void write(const MemoryWrite& w);
+
+  NodeMemory& memory() { return memory_; }
+  const NodeMemory& memory() const { return memory_; }
+  Mailbox& mailbox() { return mailbox_; }
+  const Mailbox& mailbox() const { return mailbox_; }
+
+ private:
+  NodeMemory memory_;
+  Mailbox mailbox_;
+};
+
+}  // namespace disttgl

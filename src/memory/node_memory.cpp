@@ -1,0 +1,34 @@
+#include "memory/node_memory.hpp"
+
+#include <cstring>
+
+namespace disttgl {
+
+Matrix NodeMemory::gather(std::span<const NodeId> nodes) const {
+  Matrix out(nodes.size(), dim());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    DT_CHECK_LT(nodes[i], num_nodes());
+    std::memcpy(out.row_ptr(i), mem_.row_ptr(nodes[i]), dim() * sizeof(float));
+  }
+  return out;
+}
+
+std::vector<float> NodeMemory::gather_ts(std::span<const NodeId> nodes) const {
+  std::vector<float> out(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) out[i] = last_update_[nodes[i]];
+  return out;
+}
+
+void NodeMemory::scatter(std::span<const NodeId> nodes, const Matrix& rows,
+                         std::span<const float> ts) {
+  DT_CHECK_EQ(rows.rows(), nodes.size());
+  DT_CHECK_EQ(ts.size(), nodes.size());
+  DT_CHECK_EQ(rows.cols(), dim());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    DT_CHECK_LT(nodes[i], num_nodes());
+    std::memcpy(mem_.row_ptr(nodes[i]), rows.row_ptr(i), dim() * sizeof(float));
+    last_update_[nodes[i]] = ts[i];
+  }
+}
+
+}  // namespace disttgl

@@ -1,0 +1,45 @@
+// Dynamic node memory s_v (§2.1).
+//
+// One row per node plus the timestamp of the last UPDT application
+// (t_v^-), needed both for the mail time encoding Φ(t − t_v^-) and for
+// the staleness diagnostics of Figure 3/8.
+#pragma once
+
+#include <vector>
+
+#include "graph/types.hpp"
+#include "tensor/matrix.hpp"
+
+namespace disttgl {
+
+class NodeMemory {
+ public:
+  NodeMemory() = default;
+  NodeMemory(std::size_t num_nodes, std::size_t dim)
+      : mem_(num_nodes, dim), last_update_(num_nodes, 0.0f) {}
+
+  std::size_t num_nodes() const { return mem_.rows(); }
+  std::size_t dim() const { return mem_.cols(); }
+
+  void reset() {
+    mem_.zero();
+    std::fill(last_update_.begin(), last_update_.end(), 0.0f);
+  }
+
+  std::span<const float> row(NodeId v) const { return mem_.row(v); }
+  float last_update(NodeId v) const { return last_update_[v]; }
+
+  // Batched access by node list.
+  Matrix gather(std::span<const NodeId> nodes) const;
+  std::vector<float> gather_ts(std::span<const NodeId> nodes) const;
+  void scatter(std::span<const NodeId> nodes, const Matrix& rows,
+               std::span<const float> ts);
+
+  const Matrix& raw() const { return mem_; }
+
+ private:
+  Matrix mem_;
+  std::vector<float> last_update_;
+};
+
+}  // namespace disttgl

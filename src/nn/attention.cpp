@@ -1,0 +1,184 @@
+#include "nn/attention.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace disttgl::nn {
+
+namespace {
+// Per-root attention scale 1/sqrt(|N_v|) from Eq. 7.
+float root_scale(std::size_t valid) {
+  return valid == 0 ? 0.0f : 1.0f / std::sqrt(static_cast<float>(valid));
+}
+}  // namespace
+
+TemporalAttention::TemporalAttention(std::string name, const AttentionDims& dims,
+                                     Rng& rng)
+    : dims_(dims),
+      wq_(name + ".wq", dims.node_dim + dims.time_dim, dims.attn_dim, rng),
+      wk_(name + ".wk", dims.node_dim + dims.edge_dim + dims.time_dim,
+          dims.attn_dim, rng),
+      wv_(name + ".wv", dims.node_dim + dims.edge_dim + dims.time_dim,
+          dims.attn_dim, rng),
+      wo_(name + ".wo", dims.attn_dim + dims.node_dim, dims.out_dim, rng),
+      time_enc_(name + ".time_enc", dims.time_dim) {
+  DT_CHECK_GT(dims.num_heads, 0u);
+  DT_CHECK_EQ(dims.attn_dim % dims.num_heads, 0u);
+  DT_CHECK_GT(dims.max_neighbors, 0u);
+}
+
+Matrix TemporalAttention::forward(const Matrix& node_repr, const Matrix& neigh_repr,
+                                  const Matrix& edge_feat,
+                                  std::span<const float> dt,
+                                  std::span<const std::size_t> valid,
+                                  Ctx* ctx) const {
+  DT_CHECK(ctx != nullptr);
+  const std::size_t n = node_repr.rows();
+  const std::size_t K = dims_.max_neighbors;
+  const std::size_t H = dims_.num_heads;
+  const std::size_t dh = dims_.attn_dim / H;
+  DT_CHECK_EQ(neigh_repr.rows(), n * K);
+  DT_CHECK_EQ(dt.size(), n * K);
+  DT_CHECK_EQ(valid.size(), n);
+
+  ctx->n = n;
+  ctx->valid.assign(valid.begin(), valid.end());
+
+  // Query: {s_v || Φ(0)}.
+  std::vector<float> zeros(n, 0.0f);
+  Matrix phi0 = time_enc_.forward(zeros, &ctx->t0_ctx);
+  Matrix q_in = Matrix::concat_cols(node_repr, phi0);
+  ctx->q = wq_.forward(q_in, &ctx->q_ctx);
+
+  // Keys/values: {S_w || E_vw || Φ(Δt)}.
+  Matrix phidt = time_enc_.forward(dt, &ctx->tdt_ctx);
+  Matrix kv_in = dims_.edge_dim > 0
+                     ? Matrix::concat_cols(neigh_repr, edge_feat, phidt)
+                     : Matrix::concat_cols(neigh_repr, phidt);
+  ctx->k = wk_.forward(kv_in, &ctx->k_ctx);
+  ctx->v = wv_.forward(kv_in, &ctx->v_ctx);
+
+  // Per-head scaled dot-product with masked softmax over valid slots.
+  ctx->alpha.clear();
+  ctx->alpha.reserve(H);
+  Matrix h_att(n, dims_.attn_dim);
+  for (std::size_t h = 0; h < H; ++h) {
+    const std::size_t off = h * dh;
+    Matrix scores(n, K);
+    for (std::size_t r = 0; r < n; ++r) {
+      const float scale = root_scale(valid[r]);
+      const float* qrow = ctx->q.row_ptr(r) + off;
+      float* srow = scores.row_ptr(r);
+      for (std::size_t k = 0; k < valid[r]; ++k) {
+        const float* krow = ctx->k.row_ptr(r * K + k) + off;
+        float acc = 0.0f;
+        for (std::size_t c = 0; c < dh; ++c) acc += qrow[c] * krow[c];
+        srow[k] = acc * scale;
+      }
+    }
+    Matrix alpha = masked_row_softmax(scores, valid);
+    for (std::size_t r = 0; r < n; ++r) {
+      float* hrow = h_att.row_ptr(r) + off;
+      const float* arow = alpha.row_ptr(r);
+      for (std::size_t k = 0; k < valid[r]; ++k) {
+        const float* vrow = ctx->v.row_ptr(r * K + k) + off;
+        const float a = arow[k];
+        for (std::size_t c = 0; c < dh; ++c) hrow[c] += a * vrow[c];
+      }
+    }
+    ctx->alpha.push_back(std::move(alpha));
+  }
+  ctx->h_att = h_att;
+
+  // Output head: ReLU(W_o {h_v || s_v}).
+  Matrix o_in = Matrix::concat_cols(h_att, node_repr);
+  Matrix out = relu(wo_.forward(o_in, &ctx->o_ctx));
+  ctx->out = out;
+  return out;
+}
+
+TemporalAttention::InputGrads TemporalAttention::backward(const Ctx& ctx,
+                                                          const Matrix& dout) {
+  const std::size_t n = ctx.n;
+  const std::size_t K = dims_.max_neighbors;
+  const std::size_t H = dims_.num_heads;
+  const std::size_t dh = dims_.attn_dim / H;
+  const std::size_t dn = dims_.node_dim;
+
+  InputGrads grads;
+  grads.dnode_repr.resize(n, dn);
+  grads.dneigh_repr.resize(n * K, dn);
+
+  // Output head.
+  Matrix dpre = relu_backward(ctx.out, dout);
+  Matrix do_in = wo_.backward(ctx.o_ctx, dpre);
+  Matrix dh_att = do_in.slice_cols(0, dims_.attn_dim);
+  grads.dnode_repr += do_in.slice_cols(dims_.attn_dim, dims_.attn_dim + dn);
+
+  // Attention core, per head.
+  Matrix dq(n, dims_.attn_dim);
+  Matrix dk(n * K, dims_.attn_dim);
+  Matrix dv(n * K, dims_.attn_dim);
+  for (std::size_t h = 0; h < H; ++h) {
+    const std::size_t off = h * dh;
+    const Matrix& alpha = ctx.alpha[h];
+    Matrix dalpha(n, K);
+    for (std::size_t r = 0; r < n; ++r) {
+      const float* grow = dh_att.row_ptr(r) + off;
+      const float* arow = alpha.row_ptr(r);
+      float* darow = dalpha.row_ptr(r);
+      for (std::size_t k = 0; k < ctx.valid[r]; ++k) {
+        const float* vrow = ctx.v.row_ptr(r * K + k) + off;
+        float* dvrow = dv.row_ptr(r * K + k) + off;
+        float acc = 0.0f;
+        for (std::size_t c = 0; c < dh; ++c) {
+          acc += grow[c] * vrow[c];
+          dvrow[c] += arow[k] * grow[c];
+        }
+        darow[k] = acc;
+      }
+    }
+    Matrix dscores = masked_row_softmax_backward(alpha, dalpha, ctx.valid);
+    for (std::size_t r = 0; r < n; ++r) {
+      const float scale = root_scale(ctx.valid[r]);
+      const float* qrow = ctx.q.row_ptr(r) + off;
+      float* dqrow = dq.row_ptr(r) + off;
+      const float* dsrow = dscores.row_ptr(r);
+      for (std::size_t k = 0; k < ctx.valid[r]; ++k) {
+        const float ds = dsrow[k] * scale;
+        const float* krow = ctx.k.row_ptr(r * K + k) + off;
+        float* dkrow = dk.row_ptr(r * K + k) + off;
+        for (std::size_t c = 0; c < dh; ++c) {
+          dqrow[c] += ds * krow[c];
+          dkrow[c] += ds * qrow[c];
+        }
+      }
+    }
+  }
+
+  // Query projection path: q_in = {s_v || Φ(0)}.
+  Matrix dq_in = wq_.backward(ctx.q_ctx, dq);
+  grads.dnode_repr += dq_in.slice_cols(0, dn);
+  time_enc_.backward(ctx.t0_ctx, dq_in.slice_cols(dn, dn + dims_.time_dim));
+
+  // Key/value projection path: kv_in = {S_w || E_vw || Φ(Δt)}.
+  Matrix dkv_in = wk_.backward(ctx.k_ctx, dk);
+  dkv_in += wv_.backward(ctx.v_ctx, dv);
+  grads.dneigh_repr += dkv_in.slice_cols(0, dn);
+  const std::size_t t_off = dn + dims_.edge_dim;
+  time_enc_.backward(ctx.tdt_ctx, dkv_in.slice_cols(t_off, t_off + dims_.time_dim));
+  // Edge-feature gradients are dropped: features are dataset constants.
+
+  return grads;
+}
+
+void TemporalAttention::collect_parameters(std::vector<Parameter*>& out) {
+  wq_.collect_parameters(out);
+  wk_.collect_parameters(out);
+  wv_.collect_parameters(out);
+  wo_.collect_parameters(out);
+  time_enc_.collect_parameters(out);
+}
+
+}  // namespace disttgl::nn

@@ -1,0 +1,128 @@
+#include "nn/gru_cell.hpp"
+
+#include "nn/init.hpp"
+#include "tensor/ops.hpp"
+
+namespace disttgl::nn {
+
+GRUCell::GRUCell(std::string name, std::size_t input_dim, std::size_t hidden_dim,
+                 Rng& rng)
+    : wi_(name + ".w_ih", input_dim, 3 * hidden_dim),
+      wh_(name + ".w_hh", hidden_dim, 3 * hidden_dim),
+      bi_(name + ".b_ih", 1, 3 * hidden_dim),
+      bh_(name + ".b_hh", 1, 3 * hidden_dim) {
+  kaiming_uniform_fanin(wi_.value, rng, hidden_dim);
+  kaiming_uniform_fanin(wh_.value, rng, hidden_dim);
+  kaiming_uniform_fanin(bi_.value, rng, hidden_dim);
+  kaiming_uniform_fanin(bh_.value, rng, hidden_dim);
+}
+
+Matrix GRUCell::forward(const Matrix& x, const Matrix& h, Ctx* ctx) const {
+  const std::size_t d = hidden_dim();
+  DT_CHECK_EQ(x.cols(), input_dim());
+  DT_CHECK_EQ(h.cols(), d);
+  DT_CHECK_EQ(x.rows(), h.rows());
+
+  Matrix gi = add_bias(matmul(x, wi_.value), bi_.value);   // [n x 3d]
+  Matrix gh = add_bias(matmul(h, wh_.value), bh_.value);   // [n x 3d]
+
+  Matrix r_in = gi.slice_cols(0, d);
+  r_in += gh.slice_cols(0, d);
+  Matrix z_in = gi.slice_cols(d, 2 * d);
+  z_in += gh.slice_cols(d, 2 * d);
+  Matrix hn_lin = gh.slice_cols(2 * d, 3 * d);
+
+  Matrix r = sigmoid(r_in);
+  Matrix z = sigmoid(z_in);
+  Matrix n_in = gi.slice_cols(2 * d, 3 * d);
+  {
+    Matrix gated = hn_lin;
+    gated.hadamard(r);
+    n_in += gated;
+  }
+  Matrix n = tanh_m(n_in);
+
+  Matrix h_new(h.rows(), d);
+  for (std::size_t i = 0; i < h_new.size(); ++i) {
+    h_new.data()[i] =
+        (1.0f - z.data()[i]) * n.data()[i] + z.data()[i] * h.data()[i];
+  }
+
+  if (ctx != nullptr) {
+    ctx->x = x;
+    ctx->h = h;
+    ctx->r = std::move(r);
+    ctx->z = std::move(z);
+    ctx->n = std::move(n);
+    ctx->hn_lin = std::move(hn_lin);
+  }
+  return h_new;
+}
+
+GRUCell::InputGrads GRUCell::backward(const Ctx& ctx, const Matrix& dh_next) {
+  const std::size_t d = hidden_dim();
+  const std::size_t nrows = ctx.h.rows();
+  DT_CHECK_EQ(dh_next.rows(), nrows);
+  DT_CHECK_EQ(dh_next.cols(), d);
+
+  // h' = (1-z)n + zh
+  Matrix dn(nrows, d), dz(nrows, d), dh_direct(nrows, d);
+  for (std::size_t i = 0; i < dh_next.size(); ++i) {
+    const float g = dh_next.data()[i];
+    dn.data()[i] = g * (1.0f - ctx.z.data()[i]);
+    dz.data()[i] = g * (ctx.h.data()[i] - ctx.n.data()[i]);
+    dh_direct.data()[i] = g * ctx.z.data()[i];
+  }
+
+  // Through the tanh: dn_in = dn ⊙ (1 - n²).
+  Matrix dn_in = tanh_backward(ctx.n, dn);
+  // n_in = (x·W_in + b_in) + r ⊙ hn_lin
+  Matrix dr(nrows, d);
+  Matrix dhn_lin(nrows, d);
+  for (std::size_t i = 0; i < dn_in.size(); ++i) {
+    dr.data()[i] = dn_in.data()[i] * ctx.hn_lin.data()[i];
+    dhn_lin.data()[i] = dn_in.data()[i] * ctx.r.data()[i];
+  }
+  // Through the gate sigmoids.
+  Matrix dr_in = sigmoid_backward(ctx.r, dr);
+  Matrix dz_in = sigmoid_backward(ctx.z, dz);
+
+  // Reassemble fused [r|z|n] gradients for the input and hidden paths.
+  Matrix dgi(nrows, 3 * d), dgh(nrows, 3 * d);
+  for (std::size_t row = 0; row < nrows; ++row) {
+    float* gi = dgi.row_ptr(row);
+    float* gh = dgh.row_ptr(row);
+    const float* pr = dr_in.row_ptr(row);
+    const float* pz = dz_in.row_ptr(row);
+    const float* pn = dn_in.row_ptr(row);
+    const float* ph = dhn_lin.row_ptr(row);
+    for (std::size_t c = 0; c < d; ++c) {
+      gi[c] = pr[c];
+      gi[d + c] = pz[c];
+      gi[2 * d + c] = pn[c];
+      gh[c] = pr[c];
+      gh[d + c] = pz[c];
+      gh[2 * d + c] = ph[c];
+    }
+  }
+
+  wi_.grad += matmul_tn(ctx.x, dgi);
+  wh_.grad += matmul_tn(ctx.h, dgh);
+  bi_.grad += column_sums(dgi);
+  bh_.grad += column_sums(dgh);
+
+  InputGrads grads;
+  grads.dx = matmul_nt(dgi, wi_.value);
+  grads.dh = matmul_nt(dgh, wh_.value);
+  grads.dh += dh_direct;
+  return grads;
+}
+
+void GRUCell::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&wi_);
+  out.push_back(&wh_);
+  out.push_back(&bi_);
+  out.push_back(&bh_);
+}
+
+}  // namespace disttgl::nn

@@ -1,0 +1,51 @@
+// GRU cell — the UPDT(·) memory updater of TGN (Eq. 3 / Eq. 8).
+//
+//   r  = σ(x·W_ir + b_ir + h·W_hr + b_hr)
+//   z  = σ(x·W_iz + b_iz + h·W_hz + b_hz)
+//   n  = tanh(x·W_in + b_in + r ⊙ (h·W_hn + b_hn))
+//   h' = (1 − z) ⊙ n + z ⊙ h
+//
+// Following the paper (§2.1), gradients are trained *within* each cell
+// application: backward produces parameter gradients plus dx and dh, and
+// the trainer stops the chain at the previous memory state (no BPTT).
+#pragma once
+
+#include "nn/module.hpp"
+#include "util/rng.hpp"
+
+namespace disttgl::nn {
+
+class GRUCell : public Module {
+ public:
+  struct Ctx {
+    Matrix x, h;        // inputs
+    Matrix r, z, n;     // gate activations
+    Matrix hn_lin;      // h·W_hn + b_hn, needed for dr
+  };
+
+  GRUCell(std::string name, std::size_t input_dim, std::size_t hidden_dim, Rng& rng);
+
+  std::size_t input_dim() const { return wi_.value.rows(); }
+  std::size_t hidden_dim() const { return wh_.value.rows(); }
+
+  // x: [batch x input_dim], h: [batch x hidden_dim] -> h': same as h.
+  Matrix forward(const Matrix& x, const Matrix& h, Ctx* ctx = nullptr) const;
+
+  struct InputGrads {
+    Matrix dx;
+    Matrix dh;
+  };
+  // Accumulates parameter gradients; returns input gradients.
+  InputGrads backward(const Ctx& ctx, const Matrix& dh_next);
+
+  void collect_parameters(std::vector<Parameter*>& out) override;
+
+ private:
+  // Fused gate layout along columns: [r | z | n], each hidden_dim wide.
+  Parameter wi_;  // [input_dim x 3*hidden]
+  Parameter wh_;  // [hidden x 3*hidden]
+  Parameter bi_;  // [1 x 3*hidden]
+  Parameter bh_;  // [1 x 3*hidden]
+};
+
+}  // namespace disttgl::nn

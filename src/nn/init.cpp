@@ -1,0 +1,24 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+namespace disttgl::nn {
+
+void xavier_uniform(Matrix& w, Rng& rng, std::size_t fan_in, std::size_t fan_out) {
+  const float a = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  for (std::size_t i = 0; i < w.size(); ++i)
+    w.data()[i] = static_cast<float>(rng.uniform(-a, a));
+}
+
+void kaiming_uniform_fanin(Matrix& w, Rng& rng, std::size_t fan_in) {
+  const float a = fan_in > 0 ? 1.0f / std::sqrt(static_cast<float>(fan_in)) : 0.0f;
+  for (std::size_t i = 0; i < w.size(); ++i)
+    w.data()[i] = static_cast<float>(rng.uniform(-a, a));
+}
+
+void normal_init(Matrix& w, Rng& rng, float stddev) {
+  for (std::size_t i = 0; i < w.size(); ++i)
+    w.data()[i] = static_cast<float>(rng.normal(0.0, stddev));
+}
+
+}  // namespace disttgl::nn

@@ -1,0 +1,17 @@
+// Weight initialization schemes.
+#pragma once
+
+#include "nn/module.hpp"
+#include "util/rng.hpp"
+
+namespace disttgl::nn {
+
+// Glorot/Xavier uniform over [-a, a], a = sqrt(6 / (fan_in + fan_out)).
+void xavier_uniform(Matrix& w, Rng& rng, std::size_t fan_in, std::size_t fan_out);
+// Uniform over [-1/sqrt(fan_in), 1/sqrt(fan_in)] — PyTorch's default for
+// GRU/Linear biases and hidden-to-hidden matrices.
+void kaiming_uniform_fanin(Matrix& w, Rng& rng, std::size_t fan_in);
+// i.i.d. normal(0, stddev).
+void normal_init(Matrix& w, Rng& rng, float stddev);
+
+}  // namespace disttgl::nn

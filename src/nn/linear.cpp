@@ -1,0 +1,38 @@
+#include "nn/linear.hpp"
+
+#include "nn/init.hpp"
+#include "tensor/ops.hpp"
+
+namespace disttgl::nn {
+
+Linear::Linear(std::string name, std::size_t in_dim, std::size_t out_dim,
+               Rng& rng, bool bias)
+    : w_(name + ".weight", in_dim, out_dim),
+      b_(name + ".bias", 1, out_dim),
+      has_bias_(bias) {
+  xavier_uniform(w_.value, rng, in_dim, out_dim);
+  if (has_bias_) kaiming_uniform_fanin(b_.value, rng, in_dim);
+}
+
+Matrix Linear::forward(const Matrix& x, Ctx* ctx) const {
+  DT_CHECK_EQ(x.cols(), w_.value.rows());
+  Matrix y = matmul(x, w_.value);
+  if (has_bias_) y = add_bias(y, b_.value);
+  if (ctx != nullptr) ctx->input = x;
+  return y;
+}
+
+Matrix Linear::backward(const Ctx& ctx, const Matrix& dy) {
+  DT_CHECK_EQ(dy.cols(), w_.value.cols());
+  DT_CHECK_EQ(dy.rows(), ctx.input.rows());
+  w_.grad += matmul_tn(ctx.input, dy);
+  if (has_bias_) b_.grad += column_sums(dy);
+  return matmul_nt(dy, w_.value);  // dx = dy W^T
+}
+
+void Linear::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&w_);
+  if (has_bias_) out.push_back(&b_);
+}
+
+}  // namespace disttgl::nn

@@ -1,0 +1,38 @@
+// Fully-connected layer y = xW + b.
+#pragma once
+
+#include "nn/module.hpp"
+#include "util/rng.hpp"
+
+namespace disttgl::nn {
+
+class Linear : public Module {
+ public:
+  struct Ctx {
+    Matrix input;  // x, cached for the weight gradient.
+  };
+
+  Linear(std::string name, std::size_t in_dim, std::size_t out_dim, Rng& rng,
+         bool bias = true);
+
+  // y = xW + b. If `ctx` is non-null the input is cached for backward.
+  Matrix forward(const Matrix& x, Ctx* ctx = nullptr) const;
+  // Accumulates dW, db; returns dx.
+  Matrix backward(const Ctx& ctx, const Matrix& dy);
+
+  std::size_t in_dim() const { return w_.value.rows(); }
+  std::size_t out_dim() const { return w_.value.cols(); }
+
+  void collect_parameters(std::vector<Parameter*>& out) override;
+
+  Parameter& weight() { return w_; }
+  Parameter& bias() { return b_; }
+  bool has_bias() const { return has_bias_; }
+
+ private:
+  Parameter w_;  // [in x out]
+  Parameter b_;  // [1 x out]
+  bool has_bias_;
+};
+
+}  // namespace disttgl::nn

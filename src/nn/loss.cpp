@@ -1,0 +1,59 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace disttgl::nn {
+
+namespace {
+float stable_sigmoid(float x) {
+  return x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
+                   : std::exp(x) / (1.0f + std::exp(x));
+}
+}  // namespace
+
+float link_prediction_loss(const Matrix& pos, const Matrix& neg, Matrix& dpos,
+                           Matrix& dneg) {
+  DT_CHECK_EQ(pos.cols(), 1u);
+  DT_CHECK_GT(pos.rows(), 0u);
+  dpos.resize(pos.rows(), pos.cols());
+  dneg.resize(neg.rows(), neg.cols());
+
+  double loss = 0.0;
+  const float inv_pos = 1.0f / static_cast<float>(pos.rows());
+  for (std::size_t r = 0; r < pos.rows(); ++r) {
+    const float x = pos(r, 0);
+    loss -= log_sigmoid(x) * inv_pos;
+    dpos(r, 0) = (stable_sigmoid(x) - 1.0f) * inv_pos;  // d(-logσ(x))/dx
+  }
+  if (neg.size() > 0) {
+    const float inv_neg = 1.0f / static_cast<float>(neg.size());
+    for (std::size_t i = 0; i < neg.size(); ++i) {
+      const float x = neg.data()[i];
+      loss -= log_sigmoid(-x) * inv_neg;
+      dneg.data()[i] = stable_sigmoid(x) * inv_neg;  // d(-logσ(-x))/dx
+    }
+  }
+  return static_cast<float>(loss);
+}
+
+float multilabel_bce_loss(const Matrix& logits, const Matrix& targets,
+                          Matrix& dlogits) {
+  DT_CHECK(logits.same_shape(targets));
+  DT_CHECK_GT(logits.size(), 0u);
+  dlogits.resize(logits.rows(), logits.cols());
+  double loss = 0.0;
+  const float inv = 1.0f / static_cast<float>(logits.size());
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const float x = logits.data()[i];
+    const float t = targets.data()[i];
+    // BCE with logits: -t logσ(x) - (1-t) logσ(-x).
+    loss -= (t * log_sigmoid(x) + (1.0f - t) * log_sigmoid(-x)) * inv;
+    dlogits.data()[i] = (stable_sigmoid(x) - t) * inv;
+  }
+  return static_cast<float>(loss);
+}
+
+}  // namespace disttgl::nn

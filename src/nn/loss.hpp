@@ -1,0 +1,22 @@
+// Loss functions. Each returns the scalar loss and fills gradient
+// matrices w.r.t. its logits, already averaged so the trainer can feed
+// them straight into backward passes.
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+namespace disttgl::nn {
+
+// Self-supervised link-prediction BCE (TGN's objective):
+//   L = mean(-log σ(pos)) + mean(-log σ(-neg))
+// pos: [n x 1], neg: [n x Q] (Q negatives per positive).
+// dpos/dneg receive dL/dlogit.
+float link_prediction_loss(const Matrix& pos, const Matrix& neg, Matrix& dpos,
+                           Matrix& dneg);
+
+// Multi-label sigmoid BCE over C classes; targets are {0,1}.
+// logits, targets: [n x C]. dlogits receives dL/dlogit (mean over n*C).
+float multilabel_bce_loss(const Matrix& logits, const Matrix& targets,
+                          Matrix& dlogits);
+
+}  // namespace disttgl::nn

@@ -1,0 +1,68 @@
+#include "nn/module.hpp"
+
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace disttgl::nn {
+
+std::vector<Parameter*> Module::parameters() {
+  std::vector<Parameter*> out;
+  collect_parameters(out);
+  return out;
+}
+
+void Module::zero_grad() {
+  for (Parameter* p : parameters()) p->zero_grad();
+}
+
+std::size_t Module::num_parameters() {
+  std::size_t n = 0;
+  for (Parameter* p : parameters()) n += p->size();
+  return n;
+}
+
+std::size_t flat_size(const std::vector<Parameter*>& params) {
+  std::size_t n = 0;
+  for (const Parameter* p : params) n += p->size();
+  return n;
+}
+
+namespace {
+template <bool kValues>
+void flatten_impl(const std::vector<Parameter*>& params, std::vector<float>& out) {
+  out.resize(flat_size(params));
+  std::size_t off = 0;
+  for (const Parameter* p : params) {
+    const Matrix& m = kValues ? p->value : p->grad;
+    std::memcpy(out.data() + off, m.data(), m.size() * sizeof(float));
+    off += m.size();
+  }
+}
+
+template <bool kValues>
+void unflatten_impl(const std::vector<float>& in, std::vector<Parameter*>& params) {
+  DT_CHECK_EQ(in.size(), flat_size(params));
+  std::size_t off = 0;
+  for (Parameter* p : params) {
+    Matrix& m = kValues ? p->value : p->grad;
+    std::memcpy(m.data(), in.data() + off, m.size() * sizeof(float));
+    off += m.size();
+  }
+}
+}  // namespace
+
+void flatten_values(const std::vector<Parameter*>& params, std::vector<float>& out) {
+  flatten_impl<true>(params, out);
+}
+void flatten_grads(const std::vector<Parameter*>& params, std::vector<float>& out) {
+  flatten_impl<false>(params, out);
+}
+void unflatten_values(const std::vector<float>& in, std::vector<Parameter*>& params) {
+  unflatten_impl<true>(in, params);
+}
+void unflatten_grads(const std::vector<float>& in, std::vector<Parameter*>& params) {
+  unflatten_impl<false>(in, params);
+}
+
+}  // namespace disttgl::nn

@@ -1,0 +1,64 @@
+// Parameter and Module: the tiny autograd-less NN core.
+//
+// DistTGL's model is small and fixed-shape, so instead of a tape-based
+// autograd we hand-write each layer's backward pass. Layers follow a
+// functional convention:
+//
+//   Matrix forward(inputs..., Ctx* ctx) const   — pure w.r.t. the layer;
+//       activations needed by backward are stored in the caller-owned Ctx
+//       so a layer can be applied several times per iteration (positive +
+//       negative branches) without cache aliasing.
+//   Matrix backward(const Ctx&, const Matrix& dy) — accumulates parameter
+//       gradients (+=) and returns input gradients.
+//
+// Parameters expose flat (de)serialization so the distributed substrate
+// can allreduce gradients / broadcast weights as contiguous buffers,
+// mirroring what NCCL does with fused tensors.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace disttgl::nn {
+
+struct Parameter {
+  std::string name;
+  Matrix value;
+  Matrix grad;
+
+  Parameter() = default;
+  Parameter(std::string n, std::size_t rows, std::size_t cols)
+      : name(std::move(n)), value(rows, cols), grad(rows, cols) {}
+
+  void zero_grad() { grad.zero(); }
+  std::size_t size() const { return value.size(); }
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  // Append pointers to every learnable parameter owned by this module.
+  virtual void collect_parameters(std::vector<Parameter*>& out) = 0;
+
+  std::vector<Parameter*> parameters();
+  void zero_grad();
+  std::size_t num_parameters();
+};
+
+// ---- flat-buffer helpers over a parameter set (for comm / checkpoints) ----
+
+// Total element count across parameters.
+std::size_t flat_size(const std::vector<Parameter*>& params);
+// Copy all parameter values into `out` (resized as needed).
+void flatten_values(const std::vector<Parameter*>& params, std::vector<float>& out);
+// Copy all parameter gradients into `out`.
+void flatten_grads(const std::vector<Parameter*>& params, std::vector<float>& out);
+// Overwrite parameter values from a flat buffer.
+void unflatten_values(const std::vector<float>& in, std::vector<Parameter*>& params);
+// Overwrite parameter gradients from a flat buffer.
+void unflatten_grads(const std::vector<float>& in, std::vector<Parameter*>& params);
+
+}  // namespace disttgl::nn

@@ -1,0 +1,82 @@
+#include "nn/optim.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace disttgl::nn {
+
+float clip_grad_norm(const std::vector<Parameter*>& params, float max_norm) {
+  double sq = 0.0;
+  for (const Parameter* p : params) sq += p->grad.squared_norm();
+  const float norm = static_cast<float>(std::sqrt(sq));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (Parameter* p : params) p->grad *= scale;
+  }
+  return norm;
+}
+
+Adam::Adam(std::vector<Parameter*> params, Options opts)
+    : params_(std::move(params)), opts_(opts) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Parameter* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(opts_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(opts_.beta2, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    Matrix& m = m_[i];
+    Matrix& v = v_[i];
+    for (std::size_t j = 0; j < p.value.size(); ++j) {
+      float g = p.grad.data()[j];
+      if (opts_.weight_decay > 0.0f)
+        g += opts_.weight_decay * p.value.data()[j];
+      m.data()[j] = opts_.beta1 * m.data()[j] + (1.0f - opts_.beta1) * g;
+      v.data()[j] = opts_.beta2 * v.data()[j] + (1.0f - opts_.beta2) * g * g;
+      const float mhat = m.data()[j] / bc1;
+      const float vhat = v.data()[j] / bc2;
+      p.value.data()[j] -= opts_.lr * mhat / (std::sqrt(vhat) + opts_.eps);
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (Parameter* p : params_) p->zero_grad();
+}
+
+Sgd::Sgd(std::vector<Parameter*> params, float lr, float momentum)
+    : params_(std::move(params)), lr_(lr), momentum_(momentum) {
+  if (momentum_ > 0.0f) {
+    velocity_.reserve(params_.size());
+    for (const Parameter* p : params_)
+      velocity_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    if (momentum_ > 0.0f) {
+      Matrix& vel = velocity_[i];
+      vel *= momentum_;
+      vel.add_scaled(p.grad, 1.0f);
+      p.value.add_scaled(vel, -lr_);
+    } else {
+      p.value.add_scaled(p.grad, -lr_);
+    }
+  }
+}
+
+void Sgd::zero_grad() {
+  for (Parameter* p : params_) p->zero_grad();
+}
+
+}  // namespace disttgl::nn

@@ -1,0 +1,71 @@
+#include "nn/predictor.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace disttgl::nn {
+
+EdgePredictor::EdgePredictor(std::string name, std::size_t emb_dim,
+                             std::size_t hidden_dim, Rng& rng)
+    : l1_(name + ".l1", 2 * emb_dim, hidden_dim, rng),
+      l2_(name + ".l2", hidden_dim, 1, rng),
+      emb_dim_(emb_dim) {}
+
+Matrix EdgePredictor::forward(const Matrix& src, const Matrix& dst, Ctx* ctx) const {
+  DT_CHECK(ctx != nullptr);
+  DT_CHECK_EQ(src.cols(), emb_dim_);
+  DT_CHECK(src.same_shape(dst));
+  Matrix x = Matrix::concat_cols(src, dst);
+  ctx->hidden = relu(l1_.forward(x, &ctx->l1_ctx));
+  return l2_.forward(ctx->hidden, &ctx->l2_ctx);
+}
+
+EdgePredictor::InputGrads EdgePredictor::backward(const Ctx& ctx,
+                                                  const Matrix& dscores) {
+  Matrix dhid = l2_.backward(ctx.l2_ctx, dscores);
+  dhid = relu_backward(ctx.hidden, dhid);
+  Matrix dx = l1_.backward(ctx.l1_ctx, dhid);
+  InputGrads g;
+  g.dsrc = dx.slice_cols(0, emb_dim_);
+  g.ddst = dx.slice_cols(emb_dim_, 2 * emb_dim_);
+  return g;
+}
+
+void EdgePredictor::collect_parameters(std::vector<Parameter*>& out) {
+  l1_.collect_parameters(out);
+  l2_.collect_parameters(out);
+}
+
+EdgeClassifier::EdgeClassifier(std::string name, std::size_t emb_dim,
+                               std::size_t hidden_dim, std::size_t num_classes,
+                               Rng& rng)
+    : l1_(name + ".l1", 2 * emb_dim, hidden_dim, rng),
+      l2_(name + ".l2", hidden_dim, num_classes, rng),
+      emb_dim_(emb_dim) {}
+
+Matrix EdgeClassifier::forward(const Matrix& src, const Matrix& dst,
+                               Ctx* ctx) const {
+  DT_CHECK(ctx != nullptr);
+  DT_CHECK_EQ(src.cols(), emb_dim_);
+  DT_CHECK(src.same_shape(dst));
+  Matrix x = Matrix::concat_cols(src, dst);
+  ctx->hidden = relu(l1_.forward(x, &ctx->l1_ctx));
+  return l2_.forward(ctx->hidden, &ctx->l2_ctx);
+}
+
+EdgeClassifier::InputGrads EdgeClassifier::backward(const Ctx& ctx,
+                                                    const Matrix& dlogits) {
+  Matrix dhid = l2_.backward(ctx.l2_ctx, dlogits);
+  dhid = relu_backward(ctx.hidden, dhid);
+  Matrix dx = l1_.backward(ctx.l1_ctx, dhid);
+  InputGrads g;
+  g.dsrc = dx.slice_cols(0, emb_dim_);
+  g.ddst = dx.slice_cols(emb_dim_, 2 * emb_dim_);
+  return g;
+}
+
+void EdgeClassifier::collect_parameters(std::vector<Parameter*>& out) {
+  l1_.collect_parameters(out);
+  l2_.collect_parameters(out);
+}
+
+}  // namespace disttgl::nn

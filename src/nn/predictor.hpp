@@ -1,0 +1,65 @@
+// Task heads: temporal link prediction and dynamic edge classification.
+#pragma once
+
+#include "nn/linear.hpp"
+
+namespace disttgl::nn {
+
+// Two-layer MLP scoring (src, dst) embedding pairs. Used self-supervised:
+// positive score for the true destination, negative scores for sampled
+// destinations (49 at evaluation time per the paper).
+class EdgePredictor : public Module {
+ public:
+  struct Ctx {
+    Linear::Ctx l1_ctx, l2_ctx;
+    Matrix hidden;  // post-ReLU, for relu backward
+  };
+
+  EdgePredictor(std::string name, std::size_t emb_dim, std::size_t hidden_dim,
+                Rng& rng);
+
+  // src, dst: [n x emb_dim] -> scores [n x 1].
+  Matrix forward(const Matrix& src, const Matrix& dst, Ctx* ctx) const;
+
+  struct InputGrads {
+    Matrix dsrc, ddst;
+  };
+  InputGrads backward(const Ctx& ctx, const Matrix& dscores);
+
+  void collect_parameters(std::vector<Parameter*>& out) override;
+
+ private:
+  Linear l1_, l2_;
+  std::size_t emb_dim_;
+};
+
+// Two-layer MLP emitting C logits per edge for the multi-label dynamic
+// edge classification task (GDELT: 56 classes, 6 active labels).
+class EdgeClassifier : public Module {
+ public:
+  struct Ctx {
+    Linear::Ctx l1_ctx, l2_ctx;
+    Matrix hidden;
+  };
+
+  EdgeClassifier(std::string name, std::size_t emb_dim, std::size_t hidden_dim,
+                 std::size_t num_classes, Rng& rng);
+
+  std::size_t num_classes() const { return l2_.out_dim(); }
+
+  // src, dst: [n x emb_dim] -> logits [n x num_classes].
+  Matrix forward(const Matrix& src, const Matrix& dst, Ctx* ctx) const;
+
+  struct InputGrads {
+    Matrix dsrc, ddst;
+  };
+  InputGrads backward(const Ctx& ctx, const Matrix& dlogits);
+
+  void collect_parameters(std::vector<Parameter*>& out) override;
+
+ private:
+  Linear l1_, l2_;
+  std::size_t emb_dim_;
+};
+
+}  // namespace disttgl::nn

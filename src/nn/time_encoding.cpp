@@ -1,0 +1,59 @@
+#include "nn/time_encoding.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace disttgl::nn {
+
+TimeEncoding::TimeEncoding(std::string name, std::size_t dim)
+    : omega_(name + ".omega", 1, dim), phi_(name + ".phi", 1, dim) {
+  // Geometric ladder from TGAT: ω_i = 1 / 10^(4i/d). Covers time scales
+  // from O(1) up to O(10^4) units.
+  for (std::size_t i = 0; i < dim; ++i) {
+    omega_.value(0, i) =
+        1.0f / std::pow(10.0f, 4.0f * static_cast<float>(i) / static_cast<float>(dim));
+    phi_.value(0, i) = 0.0f;
+  }
+}
+
+Matrix TimeEncoding::forward(std::span<const float> dt, Ctx* ctx) const {
+  const std::size_t n = dt.size(), d = dim();
+  Matrix phase(n, d);
+  for (std::size_t r = 0; r < n; ++r) {
+    float* row = phase.row_ptr(r);
+    for (std::size_t c = 0; c < d; ++c)
+      row[c] = dt[r] * omega_.value(0, c) + phi_.value(0, c);
+  }
+  Matrix out(n, d);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out.data()[i] = std::cos(phase.data()[i]);
+  if (ctx != nullptr) {
+    ctx->dt.assign(dt.begin(), dt.end());
+    ctx->phase = std::move(phase);
+  }
+  return out;
+}
+
+void TimeEncoding::backward(const Ctx& ctx, const Matrix& dy) {
+  const std::size_t n = ctx.dt.size(), d = dim();
+  DT_CHECK_EQ(dy.rows(), n);
+  DT_CHECK_EQ(dy.cols(), d);
+  // d/dx cos(x) = -sin(x); x = Δt·ω + φ.
+  for (std::size_t r = 0; r < n; ++r) {
+    const float* ph = ctx.phase.row_ptr(r);
+    const float* g = dy.row_ptr(r);
+    for (std::size_t c = 0; c < d; ++c) {
+      const float dphase = -std::sin(ph[c]) * g[c];
+      omega_.grad(0, c) += dphase * ctx.dt[r];
+      phi_.grad(0, c) += dphase;
+    }
+  }
+}
+
+void TimeEncoding::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&omega_);
+  out.push_back(&phi_);
+}
+
+}  // namespace disttgl::nn

@@ -1,0 +1,38 @@
+// Learnable time encoding Φ(Δt) = cos(Δt·ω + φ)  [23, TGAT].
+//
+// Maps a column of time deltas to a d-dimensional feature. ω is
+// initialized to a geometric frequency ladder (as in TGAT) so short and
+// long horizons are distinguishable from the first iteration; both ω and
+// φ are trained.
+#pragma once
+
+#include <span>
+
+#include "nn/module.hpp"
+
+namespace disttgl::nn {
+
+class TimeEncoding : public Module {
+ public:
+  struct Ctx {
+    std::vector<float> dt;  // input deltas
+    Matrix phase;           // Δt·ω + φ, cached for backward
+  };
+
+  TimeEncoding(std::string name, std::size_t dim);
+
+  std::size_t dim() const { return omega_.value.cols(); }
+
+  // [n] deltas -> [n x dim].
+  Matrix forward(std::span<const float> dt, Ctx* ctx = nullptr) const;
+  // Accumulates dω, dφ. (Time deltas are data, so no input gradient.)
+  void backward(const Ctx& ctx, const Matrix& dy);
+
+  void collect_parameters(std::vector<Parameter*>& out) override;
+
+ private:
+  Parameter omega_;  // [1 x dim] frequencies
+  Parameter phi_;    // [1 x dim] phases
+};
+
+}  // namespace disttgl::nn

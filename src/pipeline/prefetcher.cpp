@@ -1,0 +1,49 @@
+#include "pipeline/prefetcher.hpp"
+
+#include "util/check.hpp"
+
+namespace disttgl {
+
+Prefetcher::Prefetcher(const MiniBatchBuilder& builder,
+                       std::vector<Request> requests, std::size_t ahead)
+    : builder_(builder), requests_(std::move(requests)), ahead_(ahead) {
+  DT_CHECK_GT(ahead, 0u);
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+Prefetcher::~Prefetcher() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_producer_.notify_all();
+  cv_consumer_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+std::optional<MiniBatch> Prefetcher::next() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (consumed_ == requests_.size()) return std::nullopt;
+  cv_consumer_.wait(lock, [this] { return !ready_.empty() || stop_; });
+  if (ready_.empty()) return std::nullopt;  // stopped
+  MiniBatch mb = std::move(ready_.front());
+  ready_.pop_front();
+  ++consumed_;
+  cv_producer_.notify_one();
+  return mb;
+}
+
+void Prefetcher::worker_loop() {
+  for (const Request& req : requests_) {
+    // Build outside the lock — this is the expensive part being hidden.
+    MiniBatch mb = builder_.build(req.batch_idx, req.begin, req.end, req.neg_groups);
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_producer_.wait(lock, [this] { return ready_.size() < ahead_ || stop_; });
+    if (stop_) return;
+    ready_.push_back(std::move(mb));
+    ++produced_;
+    cv_consumer_.notify_one();
+  }
+}
+
+}  // namespace disttgl

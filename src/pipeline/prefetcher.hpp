@@ -1,0 +1,61 @@
+// Mini-batch prefetching (§3.3, §4.0.2).
+//
+// DistTGL hides mini-batch generation behind GPU compute by preparing
+// batches ahead of time on a separate thread (the paper prefetches the
+// pre-sampled static information j iterations in advance on a dedicated
+// CUDA stream). Here a worker thread runs the pure MiniBatchBuilder over
+// a fixed request list and feeds a bounded queue; trainers pop in order.
+// Bounding the queue to `ahead` keeps memory proportional to the
+// pipeline depth, matching the paper's j-ahead scheme.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "sampling/minibatch.hpp"
+
+namespace disttgl {
+
+class Prefetcher {
+ public:
+  struct Request {
+    std::size_t batch_idx = 0;
+    std::size_t begin = 0, end = 0;
+    std::vector<std::size_t> neg_groups;  // one per epoch-parallel variant
+  };
+
+  // Starts prefetching immediately. `ahead` is the queue bound (≥ 1).
+  Prefetcher(const MiniBatchBuilder& builder, std::vector<Request> requests,
+             std::size_t ahead);
+  ~Prefetcher();
+
+  Prefetcher(const Prefetcher&) = delete;
+  Prefetcher& operator=(const Prefetcher&) = delete;
+
+  // Pops the next mini-batch in request order; blocks until available.
+  // Returns nullopt when the request list is exhausted.
+  std::optional<MiniBatch> next();
+
+  std::size_t total_requests() const { return requests_.size(); }
+
+ private:
+  void worker_loop();
+
+  const MiniBatchBuilder& builder_;
+  std::vector<Request> requests_;
+  std::size_t ahead_;
+
+  std::mutex mu_;
+  std::condition_variable cv_producer_, cv_consumer_;
+  std::deque<MiniBatch> ready_;
+  std::size_t produced_ = 0;
+  std::size_t consumed_ = 0;
+  bool stop_ = false;
+  std::thread worker_;
+};
+
+}  // namespace disttgl

@@ -1,0 +1,32 @@
+#include "sampling/batching.hpp"
+
+namespace disttgl {
+
+EventSplit chronological_split(const TemporalGraph& g, double train_frac,
+                               double val_frac) {
+  DT_CHECK_GT(train_frac, 0.0);
+  DT_CHECK_GE(val_frac, 0.0);
+  DT_CHECK_LE(train_frac + val_frac, 1.0);
+  const std::size_t n = g.num_events();
+  EventSplit s;
+  s.train_begin = 0;
+  s.train_end = static_cast<std::size_t>(n * train_frac);
+  s.val_end = static_cast<std::size_t>(n * (train_frac + val_frac));
+  s.test_end = n;
+  DT_CHECK_GT(s.num_train(), 0u);
+  return s;
+}
+
+std::vector<BatchRange> make_batches(std::size_t begin, std::size_t end,
+                                     std::size_t batch_size) {
+  DT_CHECK_GT(batch_size, 0u);
+  DT_CHECK_LE(begin, end);
+  std::vector<BatchRange> out;
+  out.reserve((end - begin + batch_size - 1) / batch_size);
+  for (std::size_t b = begin; b < end; b += batch_size) {
+    out.push_back({b, std::min(b + batch_size, end)});
+  }
+  return out;
+}
+
+}  // namespace disttgl

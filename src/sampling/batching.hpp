@@ -1,0 +1,38 @@
+// Chronological event splitting and batching.
+//
+// M-TGNN training requires mini-batches scheduled in chronological order
+// (§2.1.1); train/val/test splits are chronological prefixes, as in TGN.
+#pragma once
+
+#include <vector>
+
+#include "graph/temporal_graph.hpp"
+
+namespace disttgl {
+
+struct EventSplit {
+  std::size_t train_begin = 0, train_end = 0;
+  std::size_t val_end = 0;   // validation = [train_end, val_end)
+  std::size_t test_end = 0;  // test = [val_end, test_end)
+
+  std::size_t num_train() const { return train_end - train_begin; }
+  std::size_t num_val() const { return val_end - train_end; }
+  std::size_t num_test() const { return test_end - val_end; }
+};
+
+// Standard TGN split: first `train_frac` of events for training, next
+// `val_frac` for validation, remainder for test.
+EventSplit chronological_split(const TemporalGraph& g, double train_frac = 0.70,
+                               double val_frac = 0.15);
+
+struct BatchRange {
+  std::size_t begin = 0, end = 0;
+  std::size_t size() const { return end - begin; }
+};
+
+// Fixed-size chronological batches over [begin, end); the final partial
+// batch is kept (dropping events would skew the node-memory stream).
+std::vector<BatchRange> make_batches(std::size_t begin, std::size_t end,
+                                     std::size_t batch_size);
+
+}  // namespace disttgl

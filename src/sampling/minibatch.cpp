@@ -1,0 +1,104 @@
+#include "sampling/minibatch.hpp"
+
+#include <unordered_map>
+
+namespace disttgl {
+
+MiniBatchBuilder::MiniBatchBuilder(const TemporalGraph& graph,
+                                   const NeighborSampler& sampler,
+                                   const NegativeSampler& negatives,
+                                   std::size_t num_neg)
+    : graph_(&graph),
+      sampler_(&sampler),
+      negatives_(&negatives),
+      num_neg_(num_neg) {}
+
+MiniBatch MiniBatchBuilder::build(std::size_t batch_idx, std::size_t begin,
+                                  std::size_t end,
+                                  std::span<const std::size_t> neg_groups) const {
+  DT_CHECK_LT(begin, end);
+  DT_CHECK_LE(end, graph_->num_events());
+
+  MiniBatch mb;
+  mb.batch_idx = batch_idx;
+  mb.num_neg = num_neg_;
+  mb.neg_variants = neg_groups.size();
+  const std::size_t n = end - begin;
+  mb.events.reserve(n);
+  mb.src.reserve(n);
+  mb.dst.reserve(n);
+  mb.ts.reserve(n);
+  for (std::size_t i = begin; i < end; ++i) {
+    const TemporalEdge& e = graph_->event(static_cast<EdgeId>(i));
+    mb.events.push_back(e.id);
+    mb.src.push_back(e.src);
+    mb.dst.push_back(e.dst);
+    mb.ts.push_back(e.ts);
+  }
+  const std::size_t negs_per_variant = n * num_neg_;
+  mb.neg_dst.reserve(negs_per_variant * mb.neg_variants);
+  for (std::size_t v = 0; v < mb.neg_variants; ++v) {
+    auto negs = negatives_->sample(neg_groups[v], batch_idx, negs_per_variant);
+    mb.neg_dst.insert(mb.neg_dst.end(), negs.begin(), negs.end());
+  }
+
+  // Assemble roots: [src | dst | variant negs…], each at its positive
+  // event's timestamp.
+  const std::size_t R = n * 2 + mb.neg_dst.size();
+  const std::size_t K = sampler_->k();
+  SampledRoots& roots = mb.roots;
+  roots.k = K;
+  roots.nodes.reserve(R);
+  roots.ts.reserve(R);
+  for (std::size_t i = 0; i < n; ++i) {
+    roots.nodes.push_back(mb.src[i]);
+    roots.ts.push_back(mb.ts[i]);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    roots.nodes.push_back(mb.dst[i]);
+    roots.ts.push_back(mb.ts[i]);
+  }
+  for (std::size_t v = 0; v < mb.neg_variants; ++v) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t q = 0; q < num_neg_; ++q) {
+        roots.nodes.push_back(mb.neg_dst[v * negs_per_variant + i * num_neg_ + q]);
+        roots.ts.push_back(mb.ts[i]);
+      }
+    }
+  }
+  DT_CHECK_EQ(roots.nodes.size(), R);
+
+  roots.neigh_node.assign(R * K, kInvalidNode);
+  roots.neigh_edge.assign(R * K, kInvalidEdge);
+  roots.neigh_dt.assign(R * K, 0.0f);
+  roots.valid.assign(R, 0);
+  std::vector<NeighborSample> buf(K);
+  for (std::size_t r = 0; r < R; ++r) {
+    const std::size_t cnt = sampler_->sample(roots.nodes[r], roots.ts[r], buf);
+    roots.valid[r] = cnt;
+    for (std::size_t k = 0; k < cnt; ++k) {
+      roots.neigh_node[r * K + k] = buf[k].neighbor;
+      roots.neigh_edge[r * K + k] = buf[k].edge;
+      roots.neigh_dt[r * K + k] = roots.ts[r] - buf[k].ts;
+    }
+  }
+
+  // Deduplicate roots ∪ neighbors into the unique node set.
+  std::unordered_map<NodeId, std::size_t> index;
+  index.reserve(R * 2);
+  auto intern = [&](NodeId v) {
+    auto [it, inserted] = index.emplace(v, mb.unique_nodes.size());
+    if (inserted) mb.unique_nodes.push_back(v);
+    return it->second;
+  };
+  mb.root_to_unique.resize(R);
+  mb.neigh_to_unique.assign(R * K, 0);
+  for (std::size_t r = 0; r < R; ++r) {
+    mb.root_to_unique[r] = intern(roots.nodes[r]);
+    for (std::size_t k = 0; k < roots.valid[r]; ++k)
+      mb.neigh_to_unique[r * K + k] = intern(roots.neigh_node[r * K + k]);
+  }
+  return mb;
+}
+
+}  // namespace disttgl

@@ -1,0 +1,99 @@
+// Mini-batch layout and construction.
+//
+// A mini-batch bundles everything a trainer needs for one iteration: the
+// positive edge events (a chronological slice), sampled negative
+// destinations, and — for every *root* (src, dst and negative nodes, each
+// evaluated at its event time) — the most-recent-K neighbor window.
+//
+// Epoch parallelism (§3.2.2) trains the same positive batch j times with
+// j different negative sets, but performs the node-memory read only once;
+// the read must therefore cover every variant's nodes. A MiniBatch hence
+// carries `neg_variants` independent negative sets, and the root list is
+//
+//   [src₀..srcₙ | dst₀..dstₙ | variant-0 negs | variant-1 negs | …]
+//
+// so version v of the batch uses roots {src, dst, variant-v negs}.
+//
+// `unique_nodes` deduplicates roots and neighbors: memory reads/writes
+// and GRU updates operate per unique node, exactly once, which is what
+// the daemon's indexed buffers carry (§3.3).
+#pragma once
+
+#include <vector>
+
+#include "sampling/negative_sampler.hpp"
+#include "sampling/neighbor_sampler.hpp"
+
+namespace disttgl {
+
+struct SampledRoots {
+  std::size_t k = 0;                    // neighbor window capacity
+  std::vector<NodeId> nodes;            // [R]
+  std::vector<float> ts;                // [R] query times
+  std::vector<NodeId> neigh_node;       // [R*K]
+  std::vector<EdgeId> neigh_edge;       // [R*K]
+  std::vector<float> neigh_dt;          // [R*K] query_ts − event_ts
+  std::vector<std::size_t> valid;       // [R]
+
+  std::size_t size() const { return nodes.size(); }
+};
+
+struct MiniBatch {
+  std::size_t batch_idx = 0;
+  // Positive events.
+  std::vector<EdgeId> events;
+  std::vector<NodeId> src, dst;
+  std::vector<float> ts;
+  // Negatives: `neg_variants` sets of num_neg-per-positive, flattened as
+  // [variant][positive][q].
+  std::size_t num_neg = 1;
+  std::size_t neg_variants = 1;
+  std::vector<NodeId> neg_dst;
+
+  SampledRoots roots;  // [src | dst | negs×variants] with neighbor windows
+
+  // Unique node set = roots ∪ neighbors; indices below map into it.
+  std::vector<NodeId> unique_nodes;
+  std::vector<std::size_t> root_to_unique;   // [R]
+  std::vector<std::size_t> neigh_to_unique;  // [R*K] (undefined past valid)
+
+  std::size_t num_pos() const { return events.size(); }
+  std::size_t num_roots() const { return roots.size(); }
+  // Row ranges of each root section.
+  std::size_t src_begin() const { return 0; }
+  std::size_t dst_begin() const { return num_pos(); }
+  // First negative root row of variant v.
+  std::size_t neg_begin(std::size_t v) const {
+    return num_pos() * 2 + v * num_pos() * num_neg;
+  }
+};
+
+class MiniBatchBuilder {
+ public:
+  MiniBatchBuilder(const TemporalGraph& graph, const NeighborSampler& sampler,
+                   const NegativeSampler& negatives, std::size_t num_neg);
+
+  // Builds the batch for events [begin, end); one negative set per entry
+  // of `neg_groups` (empty → no negatives, e.g. edge classification).
+  // Pure function of its arguments — safe from any thread.
+  MiniBatch build(std::size_t batch_idx, std::size_t begin, std::size_t end,
+                  std::span<const std::size_t> neg_groups) const;
+
+  // Single-variant convenience.
+  MiniBatch build(std::size_t batch_idx, std::size_t begin, std::size_t end,
+                  std::size_t neg_group) const {
+    const std::size_t groups[1] = {neg_group};
+    return build(batch_idx, begin, end, groups);
+  }
+
+  std::size_t num_neg() const { return num_neg_; }
+  const TemporalGraph& graph() const { return *graph_; }
+
+ private:
+  const TemporalGraph* graph_;
+  const NeighborSampler* sampler_;
+  const NegativeSampler* negatives_;
+  std::size_t num_neg_;
+};
+
+}  // namespace disttgl

@@ -1,0 +1,31 @@
+#include "sampling/negative_sampler.hpp"
+
+#include "util/rng.hpp"
+
+namespace disttgl {
+
+NegativeSampler::NegativeSampler(const TemporalGraph& graph,
+                                 std::size_t num_groups, std::uint64_t seed)
+    : dst_begin_(graph.bipartite() ? graph.dst_partition_begin() : 0),
+      dst_count_(graph.num_nodes() - dst_begin_),
+      num_groups_(num_groups),
+      seed_(seed) {
+  DT_CHECK_GT(num_groups, 0u);
+  DT_CHECK_GT(dst_count_, 0u);
+}
+
+std::vector<NodeId> NegativeSampler::sample(std::size_t group,
+                                            std::size_t batch_idx,
+                                            std::size_t count) const {
+  DT_CHECK_LT(group, num_groups_);
+  // Mix (seed, group, batch) into one stream seed; constants are just
+  // large odd multipliers to decorrelate the three coordinates.
+  Rng rng(seed_ ^ (0x9e3779b97f4a7c15ULL * (group + 1)) ^
+          (0xc2b2ae3d27d4eb4fULL * (batch_idx + 1)));
+  std::vector<NodeId> out(count);
+  for (std::size_t i = 0; i < count; ++i)
+    out[i] = dst_begin_ + static_cast<NodeId>(rng.uniform_int(dst_count_));
+  return out;
+}
+
+}  // namespace disttgl

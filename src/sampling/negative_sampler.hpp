@@ -1,0 +1,38 @@
+// Grouped negative destination sampling.
+//
+// The paper prepares a small number of negative-edge groups (10) and
+// reuses them across epochs (§4.0.2); epoch parallelism depends on being
+// able to draw *different* negative groups for the same positive batch.
+// Sampling is a pure function of (seed, group, batch index), so any
+// trainer — or the prefetch daemon — regenerates identical negatives
+// without communication.
+#pragma once
+
+#include <vector>
+
+#include "graph/temporal_graph.hpp"
+
+namespace disttgl {
+
+class NegativeSampler {
+ public:
+  // For bipartite graphs, negatives are drawn from the destination
+  // partition only (matching the paper's protocol).
+  NegativeSampler(const TemporalGraph& graph, std::size_t num_groups,
+                  std::uint64_t seed);
+
+  std::size_t num_groups() const { return num_groups_; }
+
+  // `count` negative destination nodes for (group, batch_idx).
+  // Deterministic; different groups give decorrelated draws.
+  std::vector<NodeId> sample(std::size_t group, std::size_t batch_idx,
+                             std::size_t count) const;
+
+ private:
+  NodeId dst_begin_;
+  std::size_t dst_count_;
+  std::size_t num_groups_;
+  std::uint64_t seed_;
+};
+
+}  // namespace disttgl

@@ -1,0 +1,21 @@
+#include "sampling/neighbor_sampler.hpp"
+
+namespace disttgl {
+
+std::size_t NeighborSampler::sample(NodeId node, float t,
+                                    std::span<NeighborSample> out) const {
+  DT_CHECK_GE(out.size(), k_);
+  const auto incident = graph_->incident(node);
+  const std::size_t end = graph_->events_before(node, t);
+  const std::size_t n = std::min(k_, end);
+  for (std::size_t i = 0; i < n; ++i) {
+    const EdgeId id = incident[end - 1 - i];  // newest first
+    const TemporalEdge& e = graph_->event(id);
+    out[i].neighbor = e.src == node ? e.dst : e.src;
+    out[i].edge = id;
+    out[i].ts = e.ts;
+  }
+  return n;
+}
+
+}  // namespace disttgl

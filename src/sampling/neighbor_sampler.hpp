@@ -1,0 +1,38 @@
+// Most-recent-K temporal neighbor sampling.
+//
+// TGN-attn's aggregator attends over the K most recent events incident
+// to a node before the query time (the paper uses K = 10). Thanks to the
+// node memory, one layer with recent neighbors is sufficient (§1), so
+// this sampler is single-hop. Thread-safe: reads only immutable graph
+// state, so the prefetcher can run it from worker threads.
+#pragma once
+
+#include "graph/temporal_graph.hpp"
+
+namespace disttgl {
+
+struct NeighborSample {
+  NodeId neighbor = kInvalidNode;
+  EdgeId edge = kInvalidEdge;
+  float ts = 0.0f;
+};
+
+class NeighborSampler {
+ public:
+  NeighborSampler(const TemporalGraph& graph, std::size_t k)
+      : graph_(&graph), k_(k) {
+    DT_CHECK_GT(k, 0u);
+  }
+
+  std::size_t k() const { return k_; }
+
+  // Most recent `k` events incident to `node` strictly before `t`,
+  // newest first. Returns the number written to `out` (≤ k).
+  std::size_t sample(NodeId node, float t, std::span<NeighborSample> out) const;
+
+ private:
+  const TemporalGraph* graph_;
+  std::size_t k_;
+};
+
+}  // namespace disttgl

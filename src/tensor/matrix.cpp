@@ -1,0 +1,133 @@
+#include "tensor/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace disttgl {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols,
+               std::initializer_list<float> values)
+    : rows_(rows), cols_(cols), data_(values) {
+  DT_CHECK_EQ(data_.size(), rows * cols);
+}
+
+void Matrix::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+void Matrix::reshape(std::size_t rows, std::size_t cols) {
+  DT_CHECK_EQ(rows * cols, data_.size());
+  rows_ = rows;
+  cols_ = cols;
+}
+
+void Matrix::resize(std::size_t rows, std::size_t cols, float fill) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, fill);
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  DT_CHECK(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  DT_CHECK(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(float s) {
+  for (float& v : data_) v *= s;
+  return *this;
+}
+
+Matrix& Matrix::hadamard(const Matrix& other) {
+  DT_CHECK(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::add_scaled(const Matrix& other, float s) {
+  DT_CHECK(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += s * other.data_[i];
+  return *this;
+}
+
+void Matrix::copy_row_from(std::size_t r, std::span<const float> src) {
+  DT_CHECK_LT(r, rows_);
+  DT_CHECK_EQ(src.size(), cols_);
+  std::memcpy(row_ptr(r), src.data(), cols_ * sizeof(float));
+}
+
+void Matrix::add_row_from(std::size_t r, std::span<const float> src) {
+  DT_CHECK_LT(r, rows_);
+  DT_CHECK_EQ(src.size(), cols_);
+  float* dst = row_ptr(r);
+  for (std::size_t c = 0; c < cols_; ++c) dst[c] += src[c];
+}
+
+Matrix Matrix::gather_rows(std::span<const std::size_t> index) const {
+  Matrix out(index.size(), cols_);
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    DT_CHECK_LT(index[i], rows_);
+    std::memcpy(out.row_ptr(i), row_ptr(index[i]), cols_ * sizeof(float));
+  }
+  return out;
+}
+
+void Matrix::scatter_rows(std::span<const std::size_t> index, const Matrix& src) {
+  DT_CHECK_EQ(index.size(), src.rows());
+  DT_CHECK_EQ(src.cols(), cols_);
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    DT_CHECK_LT(index[i], rows_);
+    std::memcpy(row_ptr(index[i]), src.row_ptr(i), cols_ * sizeof(float));
+  }
+}
+
+Matrix Matrix::concat_cols(const Matrix& a, const Matrix& b) {
+  DT_CHECK_EQ(a.rows(), b.rows());
+  Matrix out(a.rows(), a.cols() + b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    std::memcpy(out.row_ptr(r), a.row_ptr(r), a.cols() * sizeof(float));
+    std::memcpy(out.row_ptr(r) + a.cols(), b.row_ptr(r), b.cols() * sizeof(float));
+  }
+  return out;
+}
+
+Matrix Matrix::concat_cols(const Matrix& a, const Matrix& b, const Matrix& c) {
+  return concat_cols(concat_cols(a, b), c);
+}
+
+Matrix Matrix::slice_cols(std::size_t lo, std::size_t hi) const {
+  DT_CHECK_LE(lo, hi);
+  DT_CHECK_LE(hi, cols_);
+  Matrix out(rows_, hi - lo);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    std::memcpy(out.row_ptr(r), row_ptr(r) + lo, (hi - lo) * sizeof(float));
+  }
+  return out;
+}
+
+Matrix Matrix::slice_rows(std::size_t lo, std::size_t hi) const {
+  DT_CHECK_LE(lo, hi);
+  DT_CHECK_LE(hi, rows_);
+  Matrix out(hi - lo, cols_);
+  std::memcpy(out.data(), data_.data() + lo * cols_, (hi - lo) * cols_ * sizeof(float));
+  return out;
+}
+
+float Matrix::squared_norm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(acc);
+}
+
+float Matrix::abs_max() const {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+}  // namespace disttgl

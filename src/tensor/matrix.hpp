@@ -1,0 +1,97 @@
+// Dense row-major float matrix — the single tensor type of DistTGL.
+//
+// Everything in the training stack (node memory, mails, activations,
+// weights) is 2-D; batching is always along rows. Keeping a single
+// concrete type with contiguous storage makes the daemon's shared-buffer
+// slicing (memcpy of row ranges) and the GEMM kernels trivial, and keeps
+// compile times low compared to an expression-template tensor.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace disttgl {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+  // Row-major literal constructor, used heavily in tests.
+  Matrix(std::size_t rows, std::size_t cols, std::initializer_list<float> values);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& operator()(std::size_t r, std::size_t c) {
+    DT_CHECK_LT(r, rows_);
+    DT_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+  float operator()(std::size_t r, std::size_t c) const {
+    DT_CHECK_LT(r, rows_);
+    DT_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float* row_ptr(std::size_t r) { return data_.data() + r * cols_; }
+  const float* row_ptr(std::size_t r) const { return data_.data() + r * cols_; }
+  std::span<float> row(std::size_t r) { return {row_ptr(r), cols_}; }
+  std::span<const float> row(std::size_t r) const { return {row_ptr(r), cols_}; }
+
+  void fill(float value);
+  void zero() { fill(0.0f); }
+  // Reshape preserving element count.
+  void reshape(std::size_t rows, std::size_t cols);
+  // Resize discarding contents (fills with `fill`).
+  void resize(std::size_t rows, std::size_t cols, float fill = 0.0f);
+
+  // ---- in-place elementwise ----
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(float s);
+  // Hadamard product.
+  Matrix& hadamard(const Matrix& other);
+  // this += s * other (axpy).
+  Matrix& add_scaled(const Matrix& other, float s);
+
+  // ---- row-level ops ----
+  void copy_row_from(std::size_t r, std::span<const float> src);
+  void add_row_from(std::size_t r, std::span<const float> src);
+
+  // Extract rows listed in `index` into a new [index.size() x cols] matrix.
+  Matrix gather_rows(std::span<const std::size_t> index) const;
+  // Scatter rows of `src` into the rows listed in `index` (overwrite).
+  void scatter_rows(std::span<const std::size_t> index, const Matrix& src);
+
+  // Column-wise concatenation {A || B}: both must share row counts.
+  static Matrix concat_cols(const Matrix& a, const Matrix& b);
+  static Matrix concat_cols(const Matrix& a, const Matrix& b, const Matrix& c);
+  // Slice columns [lo, hi) into a new matrix.
+  Matrix slice_cols(std::size_t lo, std::size_t hi) const;
+  // Slice rows [lo, hi) into a new matrix.
+  Matrix slice_rows(std::size_t lo, std::size_t hi) const;
+
+  // Frobenius norms / reductions, used by grad-clipping and tests.
+  float squared_norm() const;
+  float abs_max() const;
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace disttgl

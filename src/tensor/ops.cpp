@@ -1,0 +1,195 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace disttgl {
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  DT_CHECK_EQ(a.cols(), b.rows());
+  Matrix c(a.rows(), b.cols());
+  matmul_acc(a, b, c);
+  return c;
+}
+
+void matmul_acc(const Matrix& a, const Matrix& b, Matrix& c) {
+  DT_CHECK_EQ(a.cols(), b.rows());
+  DT_CHECK_EQ(c.rows(), a.rows());
+  DT_CHECK_EQ(c.cols(), b.cols());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    float* crow = c.row_ptr(i);
+    const float* arow = a.row_ptr(i);
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.row_ptr(p);
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+Matrix matmul_nt(const Matrix& a, const Matrix& b) {
+  DT_CHECK_EQ(a.cols(), b.cols());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  Matrix c(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.row_ptr(i);
+    float* crow = c.row_ptr(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b.row_ptr(j);
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+Matrix matmul_tn(const Matrix& a, const Matrix& b) {
+  DT_CHECK_EQ(a.rows(), b.rows());
+  const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
+  Matrix c(m, n);
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* arow = a.row_ptr(p);
+    const float* brow = b.row_ptr(p);
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c.row_ptr(i);
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix add_bias(const Matrix& m, const Matrix& bias) {
+  DT_CHECK_EQ(bias.rows(), 1u);
+  DT_CHECK_EQ(bias.cols(), m.cols());
+  Matrix out = m;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    float* row = out.row_ptr(r);
+    const float* b = bias.row_ptr(0);
+    for (std::size_t c = 0; c < m.cols(); ++c) row[c] += b[c];
+  }
+  return out;
+}
+
+Matrix column_sums(const Matrix& dy) {
+  Matrix out(1, dy.cols());
+  for (std::size_t r = 0; r < dy.rows(); ++r) {
+    const float* row = dy.row_ptr(r);
+    float* o = out.row_ptr(0);
+    for (std::size_t c = 0; c < dy.cols(); ++c) o[c] += row[c];
+  }
+  return out;
+}
+
+Matrix masked_row_softmax(const Matrix& scores, std::span<const std::size_t> valid) {
+  DT_CHECK_EQ(valid.size(), scores.rows());
+  Matrix out(scores.rows(), scores.cols());
+  for (std::size_t r = 0; r < scores.rows(); ++r) {
+    const std::size_t n = valid[r];
+    DT_CHECK_LE(n, scores.cols());
+    if (n == 0) continue;  // Row stays all-zero: no neighbors, no attention.
+    const float* srow = scores.row_ptr(r);
+    float* orow = out.row_ptr(r);
+    float mx = srow[0];
+    for (std::size_t c = 1; c < n; ++c) mx = std::max(mx, srow[c]);
+    float denom = 0.0f;
+    for (std::size_t c = 0; c < n; ++c) {
+      orow[c] = std::exp(srow[c] - mx);
+      denom += orow[c];
+    }
+    const float inv = 1.0f / denom;
+    for (std::size_t c = 0; c < n; ++c) orow[c] *= inv;
+  }
+  return out;
+}
+
+Matrix masked_row_softmax_backward(const Matrix& y, const Matrix& dy,
+                                   std::span<const std::size_t> valid) {
+  DT_CHECK(y.same_shape(dy));
+  DT_CHECK_EQ(valid.size(), y.rows());
+  Matrix dx(y.rows(), y.cols());
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    const std::size_t n = valid[r];
+    if (n == 0) continue;
+    const float* yrow = y.row_ptr(r);
+    const float* grow = dy.row_ptr(r);
+    float* drow = dx.row_ptr(r);
+    float dot = 0.0f;
+    for (std::size_t c = 0; c < n; ++c) dot += yrow[c] * grow[c];
+    for (std::size_t c = 0; c < n; ++c) drow[c] = yrow[c] * (grow[c] - dot);
+  }
+  return dx;
+}
+
+Matrix sigmoid(const Matrix& x) {
+  Matrix out(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float v = x.data()[i];
+    out.data()[i] = v >= 0.0f ? 1.0f / (1.0f + std::exp(-v))
+                              : std::exp(v) / (1.0f + std::exp(v));
+  }
+  return out;
+}
+
+Matrix tanh_m(const Matrix& x) {
+  Matrix out(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.size(); ++i) out.data()[i] = std::tanh(x.data()[i]);
+  return out;
+}
+
+Matrix relu(const Matrix& x) {
+  Matrix out(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    out.data()[i] = std::max(0.0f, x.data()[i]);
+  return out;
+}
+
+Matrix sigmoid_backward(const Matrix& y, const Matrix& dy) {
+  DT_CHECK(y.same_shape(dy));
+  Matrix dx(y.rows(), y.cols());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const float yi = y.data()[i];
+    dx.data()[i] = dy.data()[i] * yi * (1.0f - yi);
+  }
+  return dx;
+}
+
+Matrix tanh_backward(const Matrix& y, const Matrix& dy) {
+  DT_CHECK(y.same_shape(dy));
+  Matrix dx(y.rows(), y.cols());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const float yi = y.data()[i];
+    dx.data()[i] = dy.data()[i] * (1.0f - yi * yi);
+  }
+  return dx;
+}
+
+Matrix relu_backward(const Matrix& y, const Matrix& dy) {
+  DT_CHECK(y.same_shape(dy));
+  Matrix dx(y.rows(), y.cols());
+  for (std::size_t i = 0; i < y.size(); ++i)
+    dx.data()[i] = y.data()[i] > 0.0f ? dy.data()[i] : 0.0f;
+  return dx;
+}
+
+float log_sigmoid(float x) {
+  // log(1/(1+e^-x)) = -log1p(e^-x) for x>=0; x - log1p(e^x) otherwise.
+  return x >= 0.0f ? -std::log1p(std::exp(-x)) : x - std::log1p(std::exp(x));
+}
+
+float max_rel_diff(const Matrix& a, const Matrix& b, float eps) {
+  DT_CHECK(a.same_shape(b));
+  float worst = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float x = a.data()[i], y = b.data()[i];
+    const float denom = std::max({std::abs(x), std::abs(y), eps});
+    worst = std::max(worst, std::abs(x - y) / denom);
+  }
+  return worst;
+}
+
+}  // namespace disttgl

@@ -1,0 +1,55 @@
+// Kernel-level linear algebra on Matrix.
+//
+// These free functions are the compute hot path (the "GPU kernels" of
+// this CPU reproduction). They are written as straightforward
+// cache-friendly loops: the i-k-j GEMM ordering streams the B matrix
+// row-wise, which is the single most important optimization at the sizes
+// DistTGL uses (batch x 100-dim memory).
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+namespace disttgl {
+
+// C = A * B ([m x k] * [k x n]).
+Matrix matmul(const Matrix& a, const Matrix& b);
+// C = A * B^T ([m x k] * [n x k]^T) — attention scores.
+Matrix matmul_nt(const Matrix& a, const Matrix& b);
+// C = A^T * B ([k x m]^T * [k x n]) — weight gradients.
+Matrix matmul_tn(const Matrix& a, const Matrix& b);
+// C += A * B.
+void matmul_acc(const Matrix& a, const Matrix& b, Matrix& c);
+
+// out[r] = m[r] + bias (bias is [1 x cols]).
+Matrix add_bias(const Matrix& m, const Matrix& bias);
+// bias_grad[0][c] = sum_r dy(r, c).
+Matrix column_sums(const Matrix& dy);
+
+// Row-wise softmax over the leading `valid[r]` entries of each row;
+// entries at and beyond valid[r] receive probability 0. Used to mask
+// variable neighbor counts in temporal attention.
+Matrix masked_row_softmax(const Matrix& scores, std::span<const std::size_t> valid);
+// Backward of masked_row_softmax: given y = softmax(x) and dL/dy,
+// returns dL/dx with the same masking.
+Matrix masked_row_softmax_backward(const Matrix& y, const Matrix& dy,
+                                   std::span<const std::size_t> valid);
+
+// ---- elementwise activations (returning new matrices) and backwards
+//      expressed in terms of the *outputs* (cheap for sigmoid/tanh). ----
+Matrix sigmoid(const Matrix& x);
+Matrix tanh_m(const Matrix& x);
+Matrix relu(const Matrix& x);
+// dx = dy ⊙ y(1-y), where y = sigmoid(x).
+Matrix sigmoid_backward(const Matrix& y, const Matrix& dy);
+// dx = dy ⊙ (1-y²), where y = tanh(x).
+Matrix tanh_backward(const Matrix& y, const Matrix& dy);
+// dx = dy ⊙ 1[y > 0].
+Matrix relu_backward(const Matrix& y, const Matrix& dy);
+
+// Numerically-stable log-sigmoid, elementwise.
+float log_sigmoid(float x);
+
+// Max relative elementwise difference; utility for gradient checks.
+float max_rel_diff(const Matrix& a, const Matrix& b, float eps = 1e-6f);
+
+}  // namespace disttgl

@@ -1,0 +1,55 @@
+// Sense-reversing spin barrier for trainer-thread synchronization.
+//
+// The threaded orchestrator synchronizes a handful of trainer threads per
+// iteration (gradient allreduce, schedule phase boundaries). A
+// sense-reversing barrier avoids the two-phase latch dance of
+// std::barrier while staying trivially correct: each arrival flips a
+// thread-local sense and the last arrival releases the epoch.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+
+namespace disttgl {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t parties)
+      : parties_(parties), remaining_(parties), sense_(false) {}
+
+  // Blocks until all `parties` threads have arrived. Safe for repeated
+  // use; threads must each pass their own `local_sense` initialized to
+  // false (see BarrierToken).
+  void arrive_and_wait(bool& local_sense) {
+    local_sense = !local_sense;
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      remaining_.store(parties_, std::memory_order_relaxed);
+      sense_.store(local_sense, std::memory_order_release);
+    } else {
+      while (sense_.load(std::memory_order_acquire) != local_sense) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  std::size_t parties() const { return parties_; }
+
+ private:
+  const std::size_t parties_;
+  std::atomic<std::size_t> remaining_;
+  std::atomic<bool> sense_;
+};
+
+// Per-thread barrier handle bundling the thread-local sense bit.
+class BarrierToken {
+ public:
+  explicit BarrierToken(SpinBarrier& barrier) : barrier_(barrier) {}
+  void wait() { barrier_.arrive_and_wait(sense_); }
+
+ private:
+  SpinBarrier& barrier_;
+  bool sense_ = false;
+};
+
+}  // namespace disttgl

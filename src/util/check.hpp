@@ -1,0 +1,45 @@
+// Checked-assertion macros used across DistTGL.
+//
+// DT_CHECK is always on (release included): invariants in this codebase
+// guard shared-memory protocols and schedule correctness, where silent
+// corruption is far more expensive than a branch.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace disttgl {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "DT_CHECK failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace disttgl
+
+#define DT_CHECK(cond)                                              \
+  do {                                                              \
+    if (!(cond)) ::disttgl::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define DT_CHECK_MSG(cond, msg)                                   \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      std::ostringstream dt_os_;                                  \
+      dt_os_ << msg;                                              \
+      ::disttgl::check_failed(#cond, __FILE__, __LINE__, dt_os_.str()); \
+    }                                                             \
+  } while (0)
+
+#define DT_CHECK_EQ(a, b) DT_CHECK_MSG((a) == (b), "lhs=" << (a) << " rhs=" << (b))
+#define DT_CHECK_NE(a, b) DT_CHECK_MSG((a) != (b), "both=" << (a))
+#define DT_CHECK_LT(a, b) DT_CHECK_MSG((a) < (b), "lhs=" << (a) << " rhs=" << (b))
+#define DT_CHECK_LE(a, b) DT_CHECK_MSG((a) <= (b), "lhs=" << (a) << " rhs=" << (b))
+#define DT_CHECK_GT(a, b) DT_CHECK_MSG((a) > (b), "lhs=" << (a) << " rhs=" << (b))
+#define DT_CHECK_GE(a, b) DT_CHECK_MSG((a) >= (b), "lhs=" << (a) << " rhs=" << (b))

@@ -1,0 +1,42 @@
+// Minimal leveled logger.
+//
+// DistTGL components log through this sink so benches can silence
+// per-iteration chatter while tests keep warnings visible. Thread-safe:
+// each message is formatted into a local buffer and written with a single
+// fwrite.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace disttgl {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+struct LogLine {
+  LogLevel level;
+  std::ostringstream os;
+  explicit LogLine(LogLevel l) : level(l) {}
+  ~LogLine() { log_message(level, os.str()); }
+};
+}  // namespace detail
+
+}  // namespace disttgl
+
+#define DT_LOG(level_enum)                                      \
+  if (static_cast<int>(level_enum) <                            \
+      static_cast<int>(::disttgl::log_level())) {               \
+  } else                                                        \
+    ::disttgl::detail::LogLine(level_enum).os
+
+#define DT_DEBUG DT_LOG(::disttgl::LogLevel::kDebug)
+#define DT_INFO DT_LOG(::disttgl::LogLevel::kInfo)
+#define DT_WARN DT_LOG(::disttgl::LogLevel::kWarn)
+#define DT_ERROR DT_LOG(::disttgl::LogLevel::kError)

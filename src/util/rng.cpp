@@ -1,0 +1,88 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace disttgl {
+
+std::uint64_t Rng::next_u64() {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) {
+  DT_CHECK_GT(n, 0u);
+  // Rejection-free multiply-shift; bias is negligible for n << 2^64.
+  return static_cast<std::uint64_t>(uniform() * static_cast<double>(n)) % n;
+}
+
+double Rng::normal() {
+  double u1 = uniform();
+  double u2 = uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+double Rng::exponential(double rate) {
+  DT_CHECK_GT(rate, 0.0);
+  double u = uniform();
+  if (u < 1e-300) u = 1e-300;
+  return -std::log(u) / rate;
+}
+
+std::uint64_t Rng::powerlaw_int(std::uint64_t n, double alpha) {
+  DT_CHECK_GT(n, 0u);
+  if (alpha <= 0.0) return uniform_int(n);
+  // Inverse-CDF of the continuous Pareto restricted to [1, n+1), shifted
+  // to a 0-based index. Close enough to Zipf for workload skew purposes.
+  double u = uniform();
+  double exponent = 1.0 - alpha;
+  double x;
+  if (std::abs(exponent) < 1e-9) {
+    x = std::pow(static_cast<double>(n) + 1.0, u);
+  } else {
+    double hi = std::pow(static_cast<double>(n) + 1.0, exponent);
+    x = std::pow(1.0 + u * (hi - 1.0), 1.0 / exponent);
+  }
+  auto idx = static_cast<std::uint64_t>(x - 1.0);
+  return idx >= n ? n - 1 : idx;
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+std::size_t Rng::categorical(const std::vector<float>& weights) {
+  DT_CHECK(!weights.empty());
+  double total = 0.0;
+  for (float w : weights) {
+    DT_CHECK_GE(w, 0.0f);
+    total += w;
+  }
+  if (total <= 0.0) return uniform_int(weights.size());
+  double r = uniform() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::split() {
+  // Mix the parent stream into a fresh seed; the golden-ratio increment
+  // guarantees distinct child streams for consecutive splits.
+  return Rng(next_u64() ^ 0xd1b54a32d192ed03ULL);
+}
+
+}  // namespace disttgl

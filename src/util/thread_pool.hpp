@@ -1,0 +1,48 @@
+// Fixed-size worker pool used by the prefetcher and the threaded
+// orchestrator's auxiliary tasks.
+//
+// Deliberately simple: a mutex-guarded deque of std::function jobs and a
+// condition variable. The pool is not in any hot loop (per-iteration work
+// is batched), so contention on the queue lock is irrelevant; clarity and
+// correct shutdown semantics win.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace disttgl {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueue a job; returns a future for completion/exception propagation.
+  std::future<void> submit(std::function<void()> job);
+
+  // Blocks until every job submitted so far has finished.
+  void wait_idle();
+
+  std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace disttgl

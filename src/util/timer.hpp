@@ -1,0 +1,38 @@
+// Wall-clock timing helpers used by the throughput harness and the
+// pipeline profiler.
+#pragma once
+
+#include <chrono>
+
+namespace disttgl {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  // Seconds elapsed since construction / last reset.
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+// Accumulates elapsed seconds into a target on destruction; used to
+// attribute time to pipeline stages without littering call sites.
+class ScopedAccumulator {
+ public:
+  explicit ScopedAccumulator(double& target) : target_(target) {}
+  ~ScopedAccumulator() { target_ += timer_.seconds(); }
+  ScopedAccumulator(const ScopedAccumulator&) = delete;
+  ScopedAccumulator& operator=(const ScopedAccumulator&) = delete;
+
+ private:
+  double& target_;
+  WallTimer timer_;
+};
+
+}  // namespace disttgl

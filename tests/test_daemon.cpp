@@ -1,0 +1,175 @@
+// Memory daemon (Algorithm 1): serialized order, WAR-hazard avoidance,
+// epoch resets, and concurrency stress.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "memory/daemon.hpp"
+
+namespace disttgl {
+namespace {
+
+// Runs `fn(rank)` on group_size threads and joins.
+template <typename Fn>
+void run_trainers(std::size_t group_size, Fn&& fn) {
+  std::vector<std::thread> threads;
+  for (std::size_t r = 0; r < group_size; ++r)
+    threads.emplace_back([&fn, r] { fn(r); });
+  for (auto& t : threads) t.join();
+}
+
+MemoryWrite make_write(NodeId node, float value, std::size_t mem_dim,
+                       std::size_t mail_dim, float ts) {
+  MemoryWrite w;
+  w.nodes = {node};
+  w.mem = Matrix(1, mem_dim, value);
+  w.mem_ts = {ts};
+  w.mail = Matrix(1, mail_dim, value);
+  w.mail_ts = {ts};
+  return w;
+}
+
+TEST(Daemon, SerializesRoundRobinBrackets) {
+  // i=2, j=2 → expected trace (R0R1)(W0W1)(R2R3)(W2W3)(R0R1)(W0W1)…
+  MemoryState state(8, 2, 3);
+  DaemonConfig cfg;
+  cfg.i = 2;
+  cfg.j = 2;
+  cfg.reset_before_round = {1, 0, 0, 0};  // 4 rounds
+  MemoryDaemon daemon(state, cfg);
+  daemon.enable_trace();
+  daemon.start();
+
+  run_trainers(4, [&](std::size_t rank) {
+    const std::size_t sub = rank / 2;  // subgroup
+    for (std::size_t round = sub; round < 4; round += 2) {
+      std::vector<NodeId> nodes = {static_cast<NodeId>(rank)};
+      daemon.read(rank, nodes);
+      daemon.write(rank, make_write(static_cast<NodeId>(rank), 1.0f, 2, 3,
+                                    static_cast<float>(round)));
+    }
+  });
+  daemon.join();
+
+  const auto trace = daemon.trace();
+  ASSERT_EQ(trace.size(), 16u);  // 4 rounds × (2 reads + 2 writes)
+  const std::vector<std::string> expected = {
+      "R0", "R1", "W0", "W1", "R2", "R3", "W2", "W3",
+      "R0", "R1", "W0", "W1", "R2", "R3", "W2", "W3"};
+  EXPECT_EQ(trace, expected);
+}
+
+TEST(Daemon, ReadsSeePreviousRoundsWrites) {
+  // j=2, i=1: rank 0 writes value v at round 2t; rank 1 reads at round
+  // 2t+1 and must observe exactly rank 0's latest write.
+  MemoryState state(4, 2, 2);
+  DaemonConfig cfg;
+  cfg.i = 1;
+  cfg.j = 2;
+  const std::size_t rounds = 6;
+  cfg.reset_before_round.assign(rounds, 0);
+  cfg.reset_before_round[0] = 1;
+  MemoryDaemon daemon(state, cfg);
+  daemon.start();
+
+  std::vector<float> observed;
+  run_trainers(2, [&](std::size_t rank) {
+    for (std::size_t round = rank; round < rounds; round += 2) {
+      if (rank == 0) {
+        daemon.read(0, std::vector<NodeId>{0});
+        daemon.write(0, make_write(0, static_cast<float>(round + 1), 2, 2, 1.0f));
+      } else {
+        MemorySlice s = daemon.read(1, std::vector<NodeId>{0});
+        observed.push_back(s.mem(0, 0));
+        daemon.write(1, MemoryWrite{{}, Matrix(0, 2), {}, Matrix(0, 2), {}});
+      }
+    }
+  });
+  daemon.join();
+  // Rank 1 reads at rounds 1,3,5 observe writes from rounds 0,2,4.
+  ASSERT_EQ(observed.size(), 3u);
+  EXPECT_FLOAT_EQ(observed[0], 1.0f);
+  EXPECT_FLOAT_EQ(observed[1], 3.0f);
+  EXPECT_FLOAT_EQ(observed[2], 5.0f);
+}
+
+TEST(Daemon, WarHazardAvoided) {
+  // Within one round, both trainers of a subgroup must read the state
+  // BEFORE either's write applies (the WAR guarantee of §3.2.1).
+  MemoryState state(2, 1, 1);
+  DaemonConfig cfg;
+  cfg.i = 2;
+  cfg.j = 1;
+  cfg.reset_before_round = {1, 0};
+  MemoryDaemon daemon(state, cfg);
+  daemon.start();
+
+  // Round 0: both write 7 to node 0; round 1: both read. If reads of
+  // round 0 had seen writes of round 0 the observed round-0 values would
+  // be 7 already.
+  std::vector<float> round0(2), round1(2);
+  run_trainers(2, [&](std::size_t rank) {
+    MemorySlice s = daemon.read(rank, std::vector<NodeId>{0});
+    round0[rank] = s.mem(0, 0);
+    daemon.write(rank, make_write(0, 7.0f, 1, 1, 1.0f));
+    s = daemon.read(rank, std::vector<NodeId>{0});
+    round1[rank] = s.mem(0, 0);
+    daemon.write(rank, make_write(0, 9.0f, 1, 1, 2.0f));
+  });
+  daemon.join();
+  EXPECT_FLOAT_EQ(round0[0], 0.0f);
+  EXPECT_FLOAT_EQ(round0[1], 0.0f);
+  EXPECT_FLOAT_EQ(round1[0], 7.0f);
+  EXPECT_FLOAT_EQ(round1[1], 7.0f);
+}
+
+TEST(Daemon, EpochResetZeroesState) {
+  MemoryState state(2, 1, 1);
+  DaemonConfig cfg;
+  cfg.i = 1;
+  cfg.j = 1;
+  cfg.reset_before_round = {1, 0, 1};  // reset before rounds 0 and 2
+  MemoryDaemon daemon(state, cfg);
+  daemon.start();
+
+  std::vector<float> seen(3);
+  run_trainers(1, [&](std::size_t) {
+    for (int round = 0; round < 3; ++round) {
+      MemorySlice s = daemon.read(0, std::vector<NodeId>{0});
+      seen[round] = s.mem(0, 0);
+      daemon.write(0, make_write(0, 5.0f, 1, 1, 1.0f));
+    }
+  });
+  daemon.join();
+  EXPECT_FLOAT_EQ(seen[0], 0.0f);
+  EXPECT_FLOAT_EQ(seen[1], 5.0f);  // no reset before round 1
+  EXPECT_FLOAT_EQ(seen[2], 0.0f);  // reset before round 2
+}
+
+TEST(Daemon, StressManyRoundsStaysConsistent) {
+  // Single subgroup of 4, many rounds: the final value must equal the
+  // highest-rank trainer's last write (rank-ordered writes).
+  MemoryState state(1, 1, 1);
+  DaemonConfig cfg;
+  cfg.i = 4;
+  cfg.j = 1;
+  const std::size_t rounds = 200;
+  cfg.reset_before_round.assign(rounds, 0);
+  cfg.reset_before_round[0] = 1;
+  MemoryDaemon daemon(state, cfg);
+  daemon.start();
+
+  run_trainers(4, [&](std::size_t rank) {
+    for (std::size_t round = 0; round < rounds; ++round) {
+      daemon.read(rank, std::vector<NodeId>{0});
+      daemon.write(rank, make_write(0, static_cast<float>(rank * 1000 + round),
+                                    1, 1, 1.0f));
+    }
+  });
+  daemon.join();
+  EXPECT_FLOAT_EQ(state.read(std::vector<NodeId>{0}).mem(0, 0),
+                  3000.0f + (rounds - 1));
+}
+
+}  // namespace
+}  // namespace disttgl

@@ -1,0 +1,158 @@
+// Synthetic data generator: determinism, statistical knobs, presets
+// matching their Table 2-style roles.
+#include <gtest/gtest.h>
+
+#include "datagen/generator.hpp"
+#include "datagen/presets.hpp"
+#include "graph/stats.hpp"
+
+namespace disttgl {
+namespace {
+
+using datagen::SynthSpec;
+
+SynthSpec small_spec() {
+  SynthSpec s;
+  s.name = "t";
+  s.num_src = 50;
+  s.num_dst = 20;
+  s.num_events = 2000;
+  s.max_time = 1e4;
+  s.seed = 7;
+  return s;
+}
+
+TEST(Generator, DeterministicFromSeed) {
+  TemporalGraph a = datagen::generate(small_spec());
+  TemporalGraph b = datagen::generate(small_spec());
+  ASSERT_EQ(a.num_events(), b.num_events());
+  for (EdgeId i = 0; i < a.num_events(); ++i) {
+    EXPECT_EQ(a.event(i).src, b.event(i).src);
+    EXPECT_EQ(a.event(i).dst, b.event(i).dst);
+    EXPECT_FLOAT_EQ(a.event(i).ts, b.event(i).ts);
+  }
+}
+
+TEST(Generator, SeedChangesOutput) {
+  SynthSpec s2 = small_spec();
+  s2.seed = 8;
+  TemporalGraph a = datagen::generate(small_spec());
+  TemporalGraph b = datagen::generate(s2);
+  std::size_t same = 0;
+  for (EdgeId i = 0; i < a.num_events(); ++i)
+    if (a.event(i).dst == b.event(i).dst) ++same;
+  EXPECT_LT(same, a.num_events());
+}
+
+TEST(Generator, TimestampsSortedAndScaled) {
+  TemporalGraph g = datagen::generate(small_spec());
+  float prev = 0.0f;
+  for (const TemporalEdge& e : g.events()) {
+    EXPECT_GE(e.ts, prev);
+    prev = e.ts;
+  }
+  EXPECT_NEAR(g.max_timestamp(), 1e4, 1.0);
+}
+
+TEST(Generator, BipartiteRespectsPartition) {
+  TemporalGraph g = datagen::generate(small_spec());
+  EXPECT_TRUE(g.bipartite());
+  for (const TemporalEdge& e : g.events()) {
+    EXPECT_LT(e.src, 50u);
+    EXPECT_GE(e.dst, 50u);
+  }
+}
+
+TEST(Generator, UnipartiteNoSelfLoops) {
+  SynthSpec s = small_spec();
+  s.num_dst = 0;
+  TemporalGraph g = datagen::generate(s);
+  EXPECT_FALSE(g.bipartite());
+  for (const TemporalEdge& e : g.events()) EXPECT_NE(e.src, e.dst);
+}
+
+TEST(Generator, RecurrenceKnobControlsRepeats) {
+  SynthSpec lo = small_spec();
+  lo.recurrence = 0.05;
+  SynthSpec hi = small_spec();
+  hi.recurrence = 0.9;
+  const double lo_rep = compute_stats(datagen::generate(lo)).repeat_edge_fraction;
+  const double hi_rep = compute_stats(datagen::generate(hi)).repeat_edge_fraction;
+  EXPECT_GT(hi_rep, lo_rep + 0.15);
+}
+
+TEST(Generator, ActivitySkewControlsGini) {
+  SynthSpec flat = small_spec();
+  flat.activity_alpha = 0.0;
+  SynthSpec skew = small_spec();
+  skew.activity_alpha = 1.5;
+  const double flat_gini = compute_stats(datagen::generate(flat)).degree_gini;
+  const double skew_gini = compute_stats(datagen::generate(skew)).degree_gini;
+  EXPECT_GT(skew_gini, flat_gini);
+}
+
+TEST(Generator, EmitsFeaturesAndLabels) {
+  SynthSpec s = small_spec();
+  s.edge_feat_dim = 6;
+  s.node_feat_dim = 5;
+  s.num_classes = 9;
+  s.labels_per_edge = 3;
+  TemporalGraph g = datagen::generate(s);
+  EXPECT_EQ(g.edge_feat_dim(), 6u);
+  EXPECT_EQ(g.node_feat_dim(), 5u);
+  EXPECT_EQ(g.num_classes(), 9u);
+  // Every event carries exactly labels_per_edge labels.
+  for (EdgeId i = 0; i < g.num_events(); ++i) {
+    int count = 0;
+    for (std::size_t c = 0; c < 9; ++c)
+      if (g.edge_labels()(i, c) > 0.5f) ++count;
+    EXPECT_EQ(count, 3);
+  }
+}
+
+TEST(Presets, AllFiveGenerateAndMatchRoles) {
+  // Tiny scale for test speed; shape properties must still hold.
+  const double scale = 0.2;
+  auto specs = datagen::all_presets(scale);
+  ASSERT_EQ(specs.size(), 5u);
+
+  TemporalGraph wiki = datagen::generate(specs[0]);
+  TemporalGraph reddit = datagen::generate(specs[1]);
+  TemporalGraph mooc = datagen::generate(specs[2]);
+  TemporalGraph flights = datagen::generate(specs[3]);
+  TemporalGraph gdelt = datagen::generate(specs[4]);
+
+  // Bipartite interaction graphs vs unipartite graphs (Table 2 roles).
+  EXPECT_TRUE(wiki.bipartite());
+  EXPECT_TRUE(reddit.bipartite());
+  EXPECT_TRUE(mooc.bipartite());
+  EXPECT_FALSE(flights.bipartite());
+  EXPECT_FALSE(gdelt.bipartite());
+
+  // MOOC and Flights carry no edge features (Table 2: |de| empty).
+  EXPECT_FALSE(mooc.has_edge_features());
+  EXPECT_FALSE(flights.has_edge_features());
+  EXPECT_TRUE(wiki.has_edge_features());
+
+  // Only GDELT has labels (edge classification task) and node features.
+  EXPECT_TRUE(gdelt.has_edge_labels());
+  EXPECT_TRUE(gdelt.has_node_features());
+  EXPECT_FALSE(wiki.has_edge_labels());
+
+  // Flights has the weakest recurrence (most unique edges, §4.1).
+  const double rep_flights = compute_stats(flights).repeat_edge_fraction;
+  const double rep_reddit = compute_stats(reddit).repeat_edge_fraction;
+  EXPECT_LT(rep_flights, rep_reddit);
+}
+
+TEST(Presets, ScaleParameterScalesCounts) {
+  auto s1 = datagen::wikipedia_like(1.0);
+  auto s2 = datagen::wikipedia_like(0.5);
+  EXPECT_NEAR(static_cast<double>(s2.num_events),
+              0.5 * static_cast<double>(s1.num_events), 2.0);
+  EXPECT_NEAR(static_cast<double>(s2.num_src),
+              0.5 * static_cast<double>(s1.num_src), 2.0);
+}
+
+}  // namespace
+}  // namespace disttgl

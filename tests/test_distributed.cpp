@@ -1,0 +1,231 @@
+// Distributed substrate: deterministic allreduce, fabric cost model,
+// partitioned-memory traffic (Fig 2b shape), event sim, throughput model
+// (Fig 12 shape).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "distributed/comm.hpp"
+#include "distributed/event_sim.hpp"
+#include "distributed/fabric.hpp"
+#include "distributed/partition.hpp"
+#include "distributed/throughput_model.hpp"
+
+namespace disttgl::dist {
+namespace {
+
+TEST(ThreadComm, AllreduceMeanCorrect) {
+  const std::size_t n = 4;
+  ThreadComm comm(n);
+  std::vector<std::vector<float>> data(n, std::vector<float>(8));
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t i = 0; i < 8; ++i)
+      data[r][i] = static_cast<float>(r * 10 + i);
+
+  std::vector<std::thread> threads;
+  for (std::size_t r = 0; r < n; ++r)
+    threads.emplace_back([&, r] { comm.allreduce_mean(r, data[r]); });
+  for (auto& t : threads) t.join();
+
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t i = 0; i < 8; ++i)
+      EXPECT_FLOAT_EQ(data[r][i], 15.0f + static_cast<float>(i));
+  EXPECT_EQ(comm.num_allreduces(), 1u);
+  EXPECT_GT(comm.logical_bytes(), 0u);
+}
+
+TEST(ThreadComm, RepeatedRoundsDeterministic) {
+  const std::size_t n = 3;
+  ThreadComm comm(n);
+  std::vector<float> results;
+  for (int round = 0; round < 10; ++round) {
+    std::vector<std::vector<float>> data(n, std::vector<float>(4, 0.0f));
+    for (std::size_t r = 0; r < n; ++r) data[r][0] = 0.1f * (r + round);
+    std::vector<std::thread> threads;
+    for (std::size_t r = 0; r < n; ++r)
+      threads.emplace_back([&, r] { comm.allreduce_mean(r, data[r]); });
+    for (auto& t : threads) t.join();
+    results.push_back(data[0][0]);
+    EXPECT_FLOAT_EQ(data[0][0], data[1][0]);
+    EXPECT_FLOAT_EQ(data[0][0], data[2][0]);
+  }
+  // Re-run and compare bitwise.
+  ThreadComm comm2(n);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<std::vector<float>> data(n, std::vector<float>(4, 0.0f));
+    for (std::size_t r = 0; r < n; ++r) data[r][0] = 0.1f * (r + round);
+    std::vector<std::thread> threads;
+    for (std::size_t r = 0; r < n; ++r)
+      threads.emplace_back([&, r] { comm2.allreduce_mean(r, data[r]); });
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(data[0][0], results[round]);
+  }
+}
+
+TEST(ThreadComm, SingleRankIsIdentity) {
+  ThreadComm comm(1);
+  std::vector<float> data = {1.0f, 2.0f};
+  comm.allreduce_mean(0, data);
+  EXPECT_FLOAT_EQ(data[0], 1.0f);
+}
+
+TEST(Fabric, AllreduceScalesWithRanksAndLink) {
+  FabricSpec f;
+  const std::size_t mb = 4 << 20;
+  const double t2 = allreduce_seconds(f, mb, 2, 1);
+  const double t8 = allreduce_seconds(f, mb, 8, 1);
+  EXPECT_GT(t8, t2);
+  // Cross-machine uses the slower Ethernet path.
+  const double t8x = allreduce_seconds(f, mb, 8, 2);
+  EXPECT_GT(t8x, 0.0);
+  EXPECT_EQ(allreduce_seconds(f, mb, 1, 1), 0.0);
+}
+
+TEST(Fabric, HostMemSharing) {
+  FabricSpec f;
+  EXPECT_NEAR(host_mem_seconds(f, 1 << 20, 4),
+              4.0 * host_mem_seconds(f, 1 << 20, 1), 1e-9);
+}
+
+TEST(Partition, SingleMachineHasNoRemoteTraffic) {
+  FabricSpec f;
+  PartitionWorkload w;
+  w.num_nodes = 10000;
+  w.events_per_epoch = 100000;
+  w.batch_size = 600;
+  const auto c1 = partitioned_memory_epoch_cost(f, w, 1);
+  const auto c2 = partitioned_memory_epoch_cost(f, w, 2);
+  const auto c4 = partitioned_memory_epoch_cost(f, w, 4);
+  // Fig 2b shape: time grows sharply with machine count.
+  EXPECT_GT(c2.total_seconds(), 2.0 * c1.total_seconds());
+  EXPECT_GT(c4.total_seconds(), c2.total_seconds());
+  EXPECT_GT(c1.read_seconds, c1.write_seconds);  // reads touch support sets
+}
+
+TEST(EventSim, OrdersByTimeWithFifoTieBreak) {
+  EventSim sim;
+  std::vector<int> order;
+  sim.schedule(2.0, [&] { order.push_back(2); });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(2.0, [&] { order.push_back(3); });  // same t, later seq
+  const double end = sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(end, 2.0);
+}
+
+TEST(EventSim, CallbacksCanSchedule) {
+  EventSim sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] {
+    ++fired;
+    sim.schedule(sim.now() + 1.0, [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+TEST(Timeline, FifoReservation) {
+  Timeline tl;
+  EXPECT_DOUBLE_EQ(tl.reserve(0.0, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(tl.reserve(1.0, 1.0), 3.0);  // queued behind first
+  EXPECT_DOUBLE_EQ(tl.reserve(10.0, 1.0), 11.0);  // idle gap
+  EXPECT_DOUBLE_EQ(tl.busy_time(), 4.0);
+}
+
+IterationProfile wiki_like_profile() {
+  // Paper-scale Wikipedia volumes (see bench/paper_profiles.hpp).
+  IterationProfile p;
+  p.local_batch = 600;
+  p.mem_read_bytes = 8.4e6;
+  p.mem_write_bytes = 2.3e6;
+  p.fetch_bytes = 4.0e5;
+  p.feature_bytes = 9.9e6;
+  p.gpu_flops = 15.0e9;
+  p.weight_bytes = 1.1e6;
+  return p;
+}
+
+TEST(Throughput, TGNSlowerThanTGLSlowerThanDistTGLOn1Gpu) {
+  FabricSpec f;
+  const auto profile = wiki_like_profile();
+  ParallelPlan one;
+  const auto tgn = estimate_throughput(SystemKind::kTGN, f, profile, one);
+  const auto tgl = estimate_throughput(SystemKind::kTGL, f, profile, one);
+  const auto dist = estimate_throughput(SystemKind::kDistTGL, f, profile, one);
+  EXPECT_LT(tgn.events_per_second, tgl.events_per_second);
+  EXPECT_LT(tgl.events_per_second, dist.events_per_second);
+  // The paper's ~3x TGN→TGL gap at 1 GPU (Fig 12b), loosely.
+  EXPECT_GT(tgl.events_per_second / tgn.events_per_second, 1.5);
+}
+
+TEST(Throughput, TGLScalesPoorlyDistTGLNearLinear) {
+  FabricSpec f;
+  const auto profile = wiki_like_profile();
+  auto speedup = [&](SystemKind kind, ParallelPlan p8) {
+    ParallelPlan one;
+    const double t1 =
+        estimate_throughput(kind, f, profile, one).events_per_second;
+    const double t8 =
+        estimate_throughput(kind, f, profile, p8).events_per_second;
+    return t8 / t1;
+  };
+  ParallelPlan tgl8;
+  tgl8.i = 8;  // TGL = mini-batch parallelism, one memory copy
+  ParallelPlan dist8;
+  dist8.k = 8;
+  const double s_tgl = speedup(SystemKind::kTGL, tgl8);
+  const double s_dist = speedup(SystemKind::kDistTGL, dist8);
+  EXPECT_LT(s_tgl, 4.0);  // paper: 2–3× on 8 GPUs
+  EXPECT_GT(s_dist, 6.0); // paper: ~7.3× on 8 GPUs
+}
+
+TEST(Throughput, MultiMachineMemoryParallelismKeepsScaling) {
+  FabricSpec f;
+  const auto profile = wiki_like_profile();
+  ParallelPlan p32;
+  p32.k = 32;
+  p32.machines = 4;
+  const auto est = estimate_throughput(SystemKind::kDistTGL, f, profile, p32);
+  ParallelPlan one;
+  const auto base = estimate_throughput(SystemKind::kDistTGL, f, profile, one);
+  EXPECT_GT(est.events_per_second / base.events_per_second, 16.0);
+}
+
+TEST(Throughput, MemoryCopiesShareHostBandwidth) {
+  // Large-batch profile (GDELT-like): k=8 daemons on one machine contend
+  // on DRAM; spreading the same k across 4 machines relieves it.
+  FabricSpec f;
+  IterationProfile p = wiki_like_profile();
+  p.local_batch = 3200;
+  p.mem_read_bytes = 6.0e7;
+  p.mem_write_bytes = 2.0e7;
+  p.gpu_flops = 1.0e10;
+  ParallelPlan k8_1m;
+  k8_1m.k = 8;
+  ParallelPlan k8_4m;
+  k8_4m.k = 8;
+  k8_4m.machines = 4;
+  const auto single = estimate_throughput(SystemKind::kDistTGL, f, p, k8_1m);
+  const auto spread = estimate_throughput(SystemKind::kDistTGL, f, p, k8_4m);
+  EXPECT_GT(spread.events_per_second, single.events_per_second);
+}
+
+TEST(Throughput, InvalidPlansRejected) {
+  FabricSpec f;
+  const auto profile = wiki_like_profile();
+  ParallelPlan bad;
+  bad.machines = 2;
+  bad.k = 1;  // memory copies cannot span machines
+  EXPECT_THROW(estimate_throughput(SystemKind::kDistTGL, f, profile, bad),
+               std::logic_error);
+  ParallelPlan tgl_multi;
+  tgl_multi.i = 8;
+  tgl_multi.machines = 2;
+  tgl_multi.k = 2;
+  EXPECT_THROW(estimate_throughput(SystemKind::kTGL, f, profile, tgl_multi),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace disttgl::dist

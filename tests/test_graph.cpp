@@ -1,0 +1,121 @@
+// TemporalGraph storage, incidence index, and dataset statistics.
+#include <gtest/gtest.h>
+
+#include "graph/stats.hpp"
+#include "graph/temporal_graph.hpp"
+
+namespace disttgl {
+namespace {
+
+TemporalGraph tiny_graph() {
+  // 4 nodes (2 src + 2 dst), 5 events.
+  std::vector<TemporalEdge> events = {
+      {0, 2, 1.0f, 0}, {1, 3, 2.0f, 0}, {0, 3, 3.0f, 0},
+      {0, 2, 4.0f, 0}, {1, 2, 5.0f, 0},
+  };
+  return TemporalGraph::from_events("tiny", 4, std::move(events), 2);
+}
+
+TEST(TemporalGraph, BasicProperties) {
+  TemporalGraph g = tiny_graph();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_events(), 5u);
+  EXPECT_TRUE(g.bipartite());
+  EXPECT_EQ(g.dst_partition_begin(), 2u);
+  EXPECT_FLOAT_EQ(g.max_timestamp(), 5.0f);
+}
+
+TEST(TemporalGraph, EventIdsAssignedInOrder) {
+  TemporalGraph g = tiny_graph();
+  for (EdgeId i = 0; i < g.num_events(); ++i) EXPECT_EQ(g.event(i).id, i);
+}
+
+TEST(TemporalGraph, RejectsOutOfOrderTimestamps) {
+  std::vector<TemporalEdge> events = {{0, 1, 2.0f, 0}, {0, 1, 1.0f, 0}};
+  EXPECT_THROW(TemporalGraph::from_events("bad", 2, std::move(events)),
+               std::logic_error);
+}
+
+TEST(TemporalGraph, RejectsNodeIdOutOfRange) {
+  std::vector<TemporalEdge> events = {{0, 5, 1.0f, 0}};
+  EXPECT_THROW(TemporalGraph::from_events("bad", 2, std::move(events)),
+               std::logic_error);
+}
+
+TEST(TemporalGraph, IncidenceListsAreTimeSorted) {
+  TemporalGraph g = tiny_graph();
+  auto inc0 = g.incident(0);  // events 0, 2, 3
+  ASSERT_EQ(inc0.size(), 3u);
+  EXPECT_EQ(inc0[0], 0u);
+  EXPECT_EQ(inc0[1], 2u);
+  EXPECT_EQ(inc0[2], 3u);
+  auto inc2 = g.incident(2);  // node 2 is dst of events 0, 3, 4
+  ASSERT_EQ(inc2.size(), 3u);
+  EXPECT_EQ(inc2[2], 4u);
+}
+
+TEST(TemporalGraph, EventsBeforeBinarySearch) {
+  TemporalGraph g = tiny_graph();
+  EXPECT_EQ(g.events_before(0, 0.5f), 0u);
+  EXPECT_EQ(g.events_before(0, 1.0f), 0u);  // strictly before
+  EXPECT_EQ(g.events_before(0, 3.5f), 2u);
+  EXPECT_EQ(g.events_before(0, 100.0f), 3u);
+}
+
+TEST(TemporalGraph, SelfLoopCountedOnce) {
+  std::vector<TemporalEdge> events = {{1, 1, 1.0f, 0}};
+  TemporalGraph g = TemporalGraph::from_events("loop", 2, std::move(events));
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.degree(0), 0u);
+}
+
+TEST(TemporalGraph, FeatureAttachment) {
+  TemporalGraph g = tiny_graph();
+  EXPECT_FALSE(g.has_edge_features());
+  Matrix ef(5, 3, 1.0f);
+  g.set_edge_features(std::move(ef));
+  EXPECT_TRUE(g.has_edge_features());
+  EXPECT_EQ(g.edge_feat_dim(), 3u);
+  Matrix wrong(4, 3);
+  EXPECT_THROW(g.set_edge_features(std::move(wrong)), std::logic_error);
+}
+
+TEST(TemporalGraph, LabelAttachment) {
+  TemporalGraph g = tiny_graph();
+  EXPECT_FALSE(g.has_edge_labels());
+  Matrix labels(5, 7, 0.0f);
+  g.set_edge_labels(std::move(labels));
+  EXPECT_TRUE(g.has_edge_labels());
+  EXPECT_EQ(g.num_classes(), 7u);
+}
+
+TEST(Stats, ComputesBasicCounts) {
+  TemporalGraph g = tiny_graph();
+  DatasetStats s = compute_stats(g);
+  EXPECT_EQ(s.num_nodes, 4u);
+  EXPECT_EQ(s.num_events, 5u);
+  EXPECT_TRUE(s.bipartite);
+  EXPECT_FLOAT_EQ(s.max_timestamp, 5.0f);
+  // Degrees: node0=3, node1=2, node2=3, node3=2 → mean 2.5, max 3.
+  EXPECT_DOUBLE_EQ(s.mean_degree, 2.5);
+  EXPECT_EQ(s.max_degree, 3u);
+  // (0,2) appears twice → 1 repeat out of 5.
+  EXPECT_DOUBLE_EQ(s.repeat_edge_fraction, 0.2);
+}
+
+TEST(Stats, GiniZeroForUniformDegrees) {
+  std::vector<TemporalEdge> events = {
+      {0, 1, 1.0f, 0}, {2, 3, 2.0f, 0}, {4, 5, 3.0f, 0}};
+  TemporalGraph g = TemporalGraph::from_events("uniform", 6, std::move(events));
+  DatasetStats s = compute_stats(g);
+  EXPECT_NEAR(s.degree_gini, 0.0, 1e-9);
+}
+
+TEST(Stats, FormattingContainsName) {
+  DatasetStats s = compute_stats(tiny_graph());
+  EXPECT_NE(format_stats_row(s).find("tiny"), std::string::npos);
+  EXPECT_NE(stats_header().find("dataset"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace disttgl

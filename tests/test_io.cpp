@@ -1,0 +1,212 @@
+// CSV event-stream loading and checkpoint save/load round trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/checkpoint.hpp"
+#include "core/tgn_model.hpp"
+#include "datagen/generator.hpp"
+#include "eval/evaluator.hpp"
+#include "graph/csv_loader.hpp"
+
+namespace disttgl {
+namespace {
+
+TEST(CsvLoader, ParsesBasicStream) {
+  std::istringstream in(
+      "src,dst,ts\n"
+      "0,3,1.0\n"
+      "1,4,2.5\n"
+      "0,4,3.0\n");
+  TemporalGraph g = load_temporal_csv(in, "csv");
+  EXPECT_EQ(g.num_events(), 3u);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_FALSE(g.bipartite());
+  EXPECT_FLOAT_EQ(g.event(1).ts, 2.5f);
+  EXPECT_EQ(g.event(2).src, 0u);
+  EXPECT_FALSE(g.has_edge_features());
+}
+
+TEST(CsvLoader, LoadsEdgeFeatures) {
+  std::istringstream in(
+      "src,dst,ts,f0,f1\n"
+      "0,1,1.0,0.5,-0.5\n"
+      "1,0,2.0,1.5,2.5\n");
+  TemporalGraph g = load_temporal_csv(in, "csv");
+  ASSERT_TRUE(g.has_edge_features());
+  EXPECT_EQ(g.edge_feat_dim(), 2u);
+  EXPECT_FLOAT_EQ(g.edge_features()(1, 1), 2.5f);
+}
+
+TEST(CsvLoader, SkipColumnsAndLimitFeatures) {
+  std::istringstream in(
+      "src,dst,ts,label,f0,f1\n"
+      "0,1,1.0,0,0.5,9.0\n");
+  CsvLoadOptions opts;
+  opts.skip_columns = 1;       // drop the Jodie state-change label
+  opts.edge_feature_dims = 1;  // keep only f0
+  TemporalGraph g = load_temporal_csv(in, "csv", opts);
+  ASSERT_TRUE(g.has_edge_features());
+  EXPECT_EQ(g.edge_feat_dim(), 1u);
+  EXPECT_FLOAT_EQ(g.edge_features()(0, 0), 0.5f);
+}
+
+TEST(CsvLoader, BipartiteReindexOffsetsDestinations) {
+  std::istringstream in(
+      "src,dst,ts\n"
+      "0,0,1.0\n"
+      "2,1,2.0\n");
+  CsvLoadOptions opts;
+  opts.bipartite_reindex = true;
+  TemporalGraph g = load_temporal_csv(in, "csv", opts);
+  EXPECT_TRUE(g.bipartite());
+  EXPECT_EQ(g.dst_partition_begin(), 3u);  // max src id + 1
+  EXPECT_EQ(g.num_nodes(), 5u);            // 3 users + 2 items
+  EXPECT_EQ(g.event(0).dst, 3u);
+  EXPECT_EQ(g.event(1).dst, 4u);
+}
+
+TEST(CsvLoader, RejectsMalformedInput) {
+  {
+    std::istringstream in("src,dst,ts\n0,1\n");
+    EXPECT_THROW(load_temporal_csv(in, "bad"), std::logic_error);
+  }
+  {
+    std::istringstream in("src,dst,ts\n0,1,abc\n");
+    EXPECT_THROW(load_temporal_csv(in, "bad"), std::logic_error);
+  }
+  {
+    std::istringstream in("src,dst,ts\n0,1,5.0\n0,1,4.0\n");
+    EXPECT_THROW(load_temporal_csv(in, "bad"), std::logic_error)
+        << "decreasing timestamps must be rejected";
+  }
+  {
+    std::istringstream in("src,dst,ts,f0\n0,1,1.0,0.5\n0,1,2.0\n");
+    EXPECT_THROW(load_temporal_csv(in, "bad"), std::logic_error)
+        << "inconsistent feature columns must be rejected";
+  }
+  {
+    std::istringstream in("src,dst,ts\n");
+    EXPECT_THROW(load_temporal_csv(in, "bad"), std::logic_error) << "no events";
+  }
+}
+
+TEST(CsvLoader, MissingFileThrows) {
+  EXPECT_THROW(load_temporal_csv_file("/nonexistent/x.csv", "x"),
+               std::logic_error);
+}
+
+struct CheckpointFixture {
+  TemporalGraph graph;
+  ModelConfig cfg;
+  Rng rng;
+  TGNModel model;
+  MemoryState state;
+
+  CheckpointFixture()
+      : graph([] {
+          datagen::SynthSpec spec;
+          spec.num_src = 30;
+          spec.num_dst = 15;
+          spec.num_events = 600;
+          spec.seed = 5;
+          return datagen::generate(spec);
+        }()),
+        cfg([] {
+          ModelConfig c;
+          c.mem_dim = 8;
+          c.time_dim = 4;
+          c.attn_dim = 8;
+          c.emb_dim = 8;
+          c.num_neighbors = 3;
+          c.head_hidden = 8;
+          return c;
+        }()),
+        rng(1),
+        model(cfg, graph, nullptr, rng),
+        state(graph.num_nodes(), cfg.mem_dim, 2 * cfg.mem_dim) {}
+};
+
+TEST(Checkpoint, RoundTripsWeightsAndMemory) {
+  CheckpointFixture a;
+  // Advance the stream a little so memory/mailbox are non-trivial.
+  NeighborSampler sampler(a.graph, a.cfg.num_neighbors);
+  NegativeSampler negs(a.graph, 1, 2);
+  MiniBatchBuilder builder(a.graph, sampler, negs, 1);
+  for (std::size_t b = 0; b < 4; ++b) {
+    MiniBatch mb = builder.build(b, b * 50, (b + 1) * 50, std::size_t{0});
+    MemorySlice slice = a.state.read(mb.unique_nodes);
+    MemoryWrite w;
+    a.model.infer(mb, slice, &w);
+    a.state.write(w);
+  }
+
+  const std::string path = "/tmp/disttgl_ckpt_test.bin";
+  auto params_a = a.model.parameters();
+  save_checkpoint(path, params_a, {&a.state});
+
+  // A differently-seeded instance must converge to identical state.
+  CheckpointFixture b;
+  Rng rng2(99);
+  TGNModel model_b(b.cfg, b.graph, nullptr, rng2);
+  MemoryState state_b(b.graph.num_nodes(), b.cfg.mem_dim, 2 * b.cfg.mem_dim);
+  auto params_b = model_b.parameters();
+  std::vector<MemoryState*> states_b = {&state_b};
+  load_checkpoint(path, params_b, states_b);
+
+  std::vector<float> wa, wb;
+  nn::flatten_values(params_a, wa);
+  nn::flatten_values(params_b, wb);
+  EXPECT_EQ(wa, wb);
+
+  std::vector<NodeId> all(a.graph.num_nodes());
+  for (NodeId v = 0; v < all.size(); ++v) all[v] = v;
+  MemorySlice sa = a.state.read(all);
+  MemorySlice sb = state_b.read(all);
+  for (std::size_t i = 0; i < sa.mem.size(); ++i)
+    ASSERT_EQ(sa.mem.data()[i], sb.mem.data()[i]);
+  EXPECT_EQ(sa.mem_ts, sb.mem_ts);
+  EXPECT_EQ(sa.mail_ts, sb.mail_ts);
+  EXPECT_EQ(sa.has_mail, sb.has_mail);
+
+  // And identical downstream behaviour: same scores on the next batch.
+  MiniBatch mb = builder.build(9, 200, 250, std::size_t{0});
+  MemorySlice slice_a = a.state.read(mb.unique_nodes);
+  MemorySlice slice_b = state_b.read(mb.unique_nodes);
+  auto res_a = a.model.infer(mb, slice_a, nullptr);
+  auto res_b = model_b.infer(mb, slice_b, nullptr);
+  for (std::size_t e = 0; e < mb.num_pos(); ++e)
+    ASSERT_EQ(res_a.pos_scores(e, 0), res_b.pos_scores(e, 0));
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsShapeMismatch) {
+  CheckpointFixture a;
+  const std::string path = "/tmp/disttgl_ckpt_mismatch.bin";
+  auto params = a.model.parameters();
+  save_checkpoint(path, params, {&a.state});
+
+  // Wrong memory dimensions.
+  MemoryState small(a.graph.num_nodes(), a.cfg.mem_dim / 2, a.cfg.mem_dim);
+  std::vector<MemoryState*> states = {&small};
+  EXPECT_THROW(load_checkpoint(path, params, states), std::logic_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsGarbageFile) {
+  const std::string path = "/tmp/disttgl_ckpt_garbage.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a checkpoint";
+  }
+  CheckpointFixture a;
+  auto params = a.model.parameters();
+  std::vector<MemoryState*> states = {&a.state};
+  EXPECT_THROW(load_checkpoint(path, params, states), std::logic_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace disttgl

@@ -1,0 +1,108 @@
+// Node memory, mailbox, and MemoryState read/write round trips.
+#include <gtest/gtest.h>
+
+#include "memory/memory_state.hpp"
+
+namespace disttgl {
+namespace {
+
+TEST(NodeMemory, GatherScatterRoundTrip) {
+  NodeMemory mem(5, 3);
+  std::vector<NodeId> nodes = {1, 4};
+  Matrix rows(2, 3, {1, 2, 3, 4, 5, 6});
+  std::vector<float> ts = {10.0f, 20.0f};
+  mem.scatter(nodes, rows, ts);
+  Matrix back = mem.gather(nodes);
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    EXPECT_FLOAT_EQ(back.data()[i], rows.data()[i]);
+  EXPECT_FLOAT_EQ(mem.last_update(4), 20.0f);
+  EXPECT_FLOAT_EQ(mem.last_update(0), 0.0f);
+}
+
+TEST(NodeMemory, ResetZeroes) {
+  NodeMemory mem(3, 2);
+  std::vector<NodeId> nodes = {2};
+  Matrix rows(1, 2, {7, 8});
+  std::vector<float> ts = {1.0f};
+  mem.scatter(nodes, rows, ts);
+  mem.reset();
+  EXPECT_FLOAT_EQ(mem.row(2)[0], 0.0f);
+  EXPECT_FLOAT_EQ(mem.last_update(2), 0.0f);
+}
+
+TEST(Mailbox, FlagsTrackMailPresence) {
+  Mailbox box(4, 2);
+  EXPECT_FALSE(box.has_mail(1));
+  std::vector<NodeId> nodes = {1};
+  Matrix mails(1, 2, {0.5f, -0.5f});
+  std::vector<float> ts = {3.0f};
+  box.scatter(nodes, mails, ts);
+  EXPECT_TRUE(box.has_mail(1));
+  EXPECT_FLOAT_EQ(box.mail_ts(1), 3.0f);
+  EXPECT_FLOAT_EQ(box.mail(1)[1], -0.5f);
+  box.reset();
+  EXPECT_FALSE(box.has_mail(1));
+}
+
+TEST(MemoryState, ReadReturnsAllFields) {
+  MemoryState state(6, 3, 5);
+  MemoryWrite w;
+  w.nodes = {2, 5};
+  w.mem = Matrix(2, 3, {1, 1, 1, 2, 2, 2});
+  w.mem_ts = {10.0f, 11.0f};
+  w.mail = Matrix(2, 5, 0.5f);
+  w.mail_ts = {10.5f, 11.5f};
+  state.write(w);
+
+  std::vector<NodeId> nodes = {5, 0, 2};
+  MemorySlice s = state.read(nodes);
+  EXPECT_EQ(s.mem.rows(), 3u);
+  EXPECT_FLOAT_EQ(s.mem(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(s.mem(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(s.mem(2, 2), 1.0f);
+  EXPECT_EQ(s.has_mail[0], 1);
+  EXPECT_EQ(s.has_mail[1], 0);
+  EXPECT_FLOAT_EQ(s.mail_ts[2], 10.5f);
+  EXPECT_FLOAT_EQ(s.mem_ts[0], 11.0f);
+}
+
+TEST(MemoryState, EmptyReadAndWriteAreNoOps) {
+  MemoryState state(3, 2, 4);
+  MemorySlice s = state.read({});
+  EXPECT_EQ(s.mem.rows(), 0u);
+  MemoryWrite w;
+  w.mem = Matrix(0, 2);
+  w.mail = Matrix(0, 4);
+  state.write(w);  // must not throw
+}
+
+TEST(MemoryState, CopyIsIndependent) {
+  MemoryState a(3, 2, 4);
+  MemoryWrite w;
+  w.nodes = {1};
+  w.mem = Matrix(1, 2, {5, 6});
+  w.mem_ts = {1.0f};
+  w.mail = Matrix(1, 4, 1.0f);
+  w.mail_ts = {1.0f};
+  a.write(w);
+
+  MemoryState b = a;  // memory-parallel copy semantics
+  w.mem = Matrix(1, 2, {9, 9});
+  b.write(w);
+  EXPECT_FLOAT_EQ(a.read(std::vector<NodeId>{1}).mem(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(b.read(std::vector<NodeId>{1}).mem(0, 0), 9.0f);
+}
+
+TEST(MemoryWrite, ByteAccounting) {
+  MemoryWrite w;
+  w.nodes = {1, 2};
+  w.mem = Matrix(2, 3);
+  w.mem_ts = {0, 0};
+  w.mail = Matrix(2, 5);
+  w.mail_ts = {0, 0};
+  // 2 ids ×4 + (6+10) floats ×4 + 4 ts ×4.
+  EXPECT_EQ(w.bytes(), 2 * 4 + 16 * 4 + 4 * 4);
+}
+
+}  // namespace
+}  // namespace disttgl

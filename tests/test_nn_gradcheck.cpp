@@ -1,0 +1,260 @@
+// Finite-difference gradient checks for every layer's hand-written
+// backward pass — parameters and inputs. These pin the numerics of the
+// whole training stack.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "nn/attention.hpp"
+#include "nn/gru_cell.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/predictor.hpp"
+#include "nn/time_encoding.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace disttgl {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng, float scale = 1.0f) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i)
+    m.data()[i] = static_cast<float>(rng.normal()) * scale;
+  return m;
+}
+
+// Weighted-sum scalar head so dL/dy is a fixed random matrix.
+float weighted_sum(const Matrix& y, const Matrix& w) {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < y.size(); ++i) acc += y.data()[i] * w.data()[i];
+  return acc;
+}
+
+// Checks every entry of `param.grad` against central differences of
+// `loss_fn` (which must re-run the forward pass from scratch).
+void check_param_grads(nn::Parameter& param, const std::function<float()>& loss_fn,
+                       float eps = 1e-2f, float tol = 2e-2f) {
+  for (std::size_t i = 0; i < param.value.size(); ++i) {
+    const float orig = param.value.data()[i];
+    param.value.data()[i] = orig + eps;
+    const float lp = loss_fn();
+    param.value.data()[i] = orig - eps;
+    const float lm = loss_fn();
+    param.value.data()[i] = orig;
+    const float fd = (lp - lm) / (2 * eps);
+    const float an = param.grad.data()[i];
+    const float denom = std::max({std::abs(fd), std::abs(an), 1.0f});
+    ASSERT_NEAR(an / denom, fd / denom, tol)
+        << param.name << " entry " << i << " analytic=" << an << " fd=" << fd;
+  }
+}
+
+void check_input_grads(Matrix& input, const Matrix& analytic,
+                       const std::function<float()>& loss_fn, float eps = 1e-2f,
+                       float tol = 2e-2f) {
+  ASSERT_TRUE(input.same_shape(analytic));
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const float orig = input.data()[i];
+    input.data()[i] = orig + eps;
+    const float lp = loss_fn();
+    input.data()[i] = orig - eps;
+    const float lm = loss_fn();
+    input.data()[i] = orig;
+    const float fd = (lp - lm) / (2 * eps);
+    const float an = analytic.data()[i];
+    const float denom = std::max({std::abs(fd), std::abs(an), 1.0f});
+    ASSERT_NEAR(an / denom, fd / denom, tol)
+        << "input entry " << i << " analytic=" << an << " fd=" << fd;
+  }
+}
+
+TEST(GradCheck, Linear) {
+  Rng rng(1);
+  nn::Linear layer("lin", 4, 3, rng);
+  Matrix x = random_matrix(5, 4, rng);
+  Matrix dy = random_matrix(5, 3, rng);
+
+  auto loss_fn = [&] { return weighted_sum(layer.forward(x), dy); };
+
+  nn::Linear::Ctx ctx;
+  Matrix y = layer.forward(x, &ctx);
+  layer.zero_grad();
+  Matrix dx = layer.backward(ctx, dy);
+
+  check_param_grads(layer.weight(), loss_fn);
+  check_param_grads(layer.bias(), loss_fn);
+  check_input_grads(x, dx, loss_fn);
+}
+
+TEST(GradCheck, TimeEncoding) {
+  Rng rng(2);
+  nn::TimeEncoding enc("te", 6);
+  std::vector<float> dt = {0.0f, 0.5f, 2.0f, 7.5f};
+  Matrix dy = random_matrix(4, 6, rng);
+
+  auto loss_fn = [&] { return weighted_sum(enc.forward(dt), dy); };
+
+  nn::TimeEncoding::Ctx ctx;
+  enc.forward(dt, &ctx);
+  enc.zero_grad();
+  enc.backward(ctx, dy);
+
+  auto params = enc.parameters();
+  for (nn::Parameter* p : params) check_param_grads(*p, loss_fn);
+}
+
+TEST(GradCheck, GRUCell) {
+  Rng rng(3);
+  nn::GRUCell cell("gru", 5, 4, rng);
+  Matrix x = random_matrix(6, 5, rng);
+  Matrix h = random_matrix(6, 4, rng);
+  Matrix dy = random_matrix(6, 4, rng);
+
+  auto loss_fn = [&] { return weighted_sum(cell.forward(x, h), dy); };
+
+  nn::GRUCell::Ctx ctx;
+  cell.forward(x, h, &ctx);
+  cell.zero_grad();
+  auto grads = cell.backward(ctx, dy);
+
+  for (nn::Parameter* p : cell.parameters()) check_param_grads(*p, loss_fn);
+  check_input_grads(x, grads.dx, loss_fn);
+  check_input_grads(h, grads.dh, loss_fn);
+}
+
+TEST(GradCheck, TemporalAttention) {
+  Rng rng(4);
+  nn::AttentionDims dims;
+  dims.node_dim = 5;
+  dims.edge_dim = 3;
+  dims.time_dim = 4;
+  dims.attn_dim = 6;
+  dims.out_dim = 4;
+  dims.num_heads = 2;
+  dims.max_neighbors = 3;
+  nn::TemporalAttention attn("attn", dims, rng);
+
+  const std::size_t n = 4, K = 3;
+  Matrix node = random_matrix(n, dims.node_dim, rng);
+  Matrix neigh = random_matrix(n * K, dims.node_dim, rng);
+  Matrix edge = random_matrix(n * K, dims.edge_dim, rng);
+  std::vector<float> dt = {0.1f, 0.2f, 0.3f, 1.0f, 2.0f, 0.0f,
+                           0.5f, 0.6f, 0.7f, 3.0f, 0.0f, 0.0f};
+  std::vector<std::size_t> valid = {3, 2, 3, 0};  // includes isolated root
+  Matrix dy = random_matrix(n, dims.out_dim, rng);
+
+  auto loss_fn = [&] {
+    nn::TemporalAttention::Ctx c;
+    return weighted_sum(attn.forward(node, neigh, edge, dt, valid, &c), dy);
+  };
+
+  nn::TemporalAttention::Ctx ctx;
+  attn.forward(node, neigh, edge, dt, valid, &ctx);
+  attn.zero_grad();
+  auto grads = attn.backward(ctx, dy);
+
+  for (nn::Parameter* p : attn.parameters())
+    check_param_grads(*p, loss_fn, 1e-2f, 3e-2f);
+  check_input_grads(node, grads.dnode_repr, loss_fn, 1e-2f, 3e-2f);
+  // Only valid neighbor slots receive gradients; invalid slots must be 0.
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t k = valid[r]; k < K; ++k)
+      for (std::size_t c = 0; c < dims.node_dim; ++c)
+        ASSERT_FLOAT_EQ(grads.dneigh_repr(r * K + k, c), 0.0f);
+  check_input_grads(neigh, grads.dneigh_repr, loss_fn, 1e-2f, 3e-2f);
+}
+
+TEST(GradCheck, EdgePredictor) {
+  Rng rng(5);
+  nn::EdgePredictor pred("pred", 4, 6, rng);
+  Matrix src = random_matrix(5, 4, rng);
+  Matrix dst = random_matrix(5, 4, rng);
+  Matrix dy = random_matrix(5, 1, rng);
+
+  auto loss_fn = [&] {
+    nn::EdgePredictor::Ctx c;
+    return weighted_sum(pred.forward(src, dst, &c), dy);
+  };
+
+  nn::EdgePredictor::Ctx ctx;
+  pred.forward(src, dst, &ctx);
+  pred.zero_grad();
+  auto grads = pred.backward(ctx, dy);
+  for (nn::Parameter* p : pred.parameters()) check_param_grads(*p, loss_fn);
+  check_input_grads(src, grads.dsrc, loss_fn);
+  check_input_grads(dst, grads.ddst, loss_fn);
+}
+
+TEST(GradCheck, EdgeClassifier) {
+  Rng rng(6);
+  nn::EdgeClassifier cls("cls", 4, 5, 7, rng);
+  Matrix src = random_matrix(3, 4, rng);
+  Matrix dst = random_matrix(3, 4, rng);
+  Matrix dy = random_matrix(3, 7, rng);
+
+  auto loss_fn = [&] {
+    nn::EdgeClassifier::Ctx c;
+    return weighted_sum(cls.forward(src, dst, &c), dy);
+  };
+
+  nn::EdgeClassifier::Ctx ctx;
+  cls.forward(src, dst, &ctx);
+  cls.zero_grad();
+  auto grads = cls.backward(ctx, dy);
+  for (nn::Parameter* p : cls.parameters()) check_param_grads(*p, loss_fn);
+  check_input_grads(src, grads.dsrc, loss_fn);
+  check_input_grads(dst, grads.ddst, loss_fn);
+}
+
+TEST(GradCheck, LinkPredictionLossGradients) {
+  Rng rng(7);
+  Matrix pos = random_matrix(4, 1, rng);
+  Matrix neg = random_matrix(4, 3, rng);
+  Matrix dpos, dneg;
+  nn::link_prediction_loss(pos, neg, dpos, dneg);
+
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    Matrix dp, dn;
+    pos.data()[i] += eps;
+    const float lp = nn::link_prediction_loss(pos, neg, dp, dn);
+    pos.data()[i] -= 2 * eps;
+    const float lm = nn::link_prediction_loss(pos, neg, dp, dn);
+    pos.data()[i] += eps;
+    EXPECT_NEAR(dpos.data()[i], (lp - lm) / (2 * eps), 1e-3f);
+  }
+  for (std::size_t i = 0; i < neg.size(); ++i) {
+    Matrix dp, dn;
+    neg.data()[i] += eps;
+    const float lp = nn::link_prediction_loss(pos, neg, dp, dn);
+    neg.data()[i] -= 2 * eps;
+    const float lm = nn::link_prediction_loss(pos, neg, dp, dn);
+    neg.data()[i] += eps;
+    EXPECT_NEAR(dneg.data()[i], (lp - lm) / (2 * eps), 1e-3f);
+  }
+}
+
+TEST(GradCheck, MultilabelBceGradients) {
+  Rng rng(8);
+  Matrix logits = random_matrix(3, 5, rng);
+  Matrix targets(3, 5);
+  for (std::size_t i = 0; i < targets.size(); ++i)
+    targets.data()[i] = rng.bernoulli(0.4) ? 1.0f : 0.0f;
+  Matrix dlogits;
+  nn::multilabel_bce_loss(logits, targets, dlogits);
+
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    Matrix d;
+    logits.data()[i] += eps;
+    const float lp = nn::multilabel_bce_loss(logits, targets, d);
+    logits.data()[i] -= 2 * eps;
+    const float lm = nn::multilabel_bce_loss(logits, targets, d);
+    logits.data()[i] += eps;
+    EXPECT_NEAR(dlogits.data()[i], (lp - lm) / (2 * eps), 1e-3f);
+  }
+}
+
+}  // namespace
+}  // namespace disttgl

@@ -1,0 +1,101 @@
+// Planner heuristics (§3.2.4) and the captured-dependency metric (Fig 8).
+#include <gtest/gtest.h>
+
+#include "core/planner.hpp"
+#include "datagen/presets.hpp"
+#include "datagen/generator.hpp"
+
+namespace disttgl {
+namespace {
+
+TemporalGraph test_graph() {
+  datagen::SynthSpec spec = datagen::wikipedia_like(0.3);
+  return datagen::generate(spec);
+}
+
+TEST(CapturedFraction, DecreasesWithBatchSize) {
+  TemporalGraph g = test_graph();
+  const std::size_t n = g.num_events();
+  double prev = 1.1;
+  for (std::size_t bs : {10u, 40u, 160u, 640u}) {
+    const double f = captured_fraction(g, 0, n, bs);
+    EXPECT_LE(f, prev + 1e-9) << "capture must not increase with batch size";
+    EXPECT_GT(f, 0.0);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+}
+
+TEST(CapturedFraction, BatchOfOneCapturesEverything) {
+  TemporalGraph g = test_graph();
+  EXPECT_DOUBLE_EQ(captured_fraction(g, 0, 100, 1), 1.0);
+}
+
+TEST(Planner, ProducesValidGrid) {
+  TemporalGraph g = test_graph();
+  EventSplit split = chronological_split(g);
+  PlannerInputs in;
+  in.machines = 2;
+  in.gpus_per_machine = 8;
+  in.gpu_saturation_batch = 300;
+  Plan plan = plan_training(g, split, in);
+  EXPECT_EQ(plan.parallel.total_trainers(), 16u);
+  EXPECT_GE(plan.parallel.k, in.machines);
+  EXPECT_GT(plan.local_batch, 0u);
+  EXPECT_EQ(plan.global_batch, plan.local_batch * plan.parallel.i);
+}
+
+TEST(Planner, PrefersMemoryOverEpochParallelism) {
+  TemporalGraph g = test_graph();
+  EventSplit split = chronological_split(g);
+  PlannerInputs in;
+  in.machines = 1;
+  in.gpus_per_machine = 8;
+  in.mem_copies_per_machine = 8;  // plenty of host memory
+  Plan plan = plan_training(g, split, in);
+  // With memory to spare, all residual parallelism should be memory
+  // parallelism (the paper's 1×1×8 recommendation): no epoch parallelism.
+  EXPECT_EQ(plan.parallel.j, 1u);
+  EXPECT_EQ(plan.parallel.k * plan.parallel.i, 8u);
+}
+
+TEST(Planner, LimitedHostMemoryForcesEpochParallelism) {
+  TemporalGraph g = test_graph();
+  EventSplit split = chronological_split(g);
+  PlannerInputs in;
+  in.machines = 1;
+  in.gpus_per_machine = 8;
+  in.mem_copies_per_machine = 2;  // only two copies fit
+  Plan plan = plan_training(g, split, in);
+  EXPECT_LE(plan.parallel.k, 2u);
+  EXPECT_EQ(plan.parallel.total_trainers(), 8u);
+  EXPECT_GT(plan.parallel.j, 1u);
+}
+
+TEST(Planner, CaptureThresholdLimitsBatch) {
+  TemporalGraph g = test_graph();
+  EventSplit split = chronological_split(g);
+  PlannerInputs strict;
+  strict.capture_threshold = 0.98;
+  PlannerInputs loose;
+  loose.capture_threshold = 0.3;
+  const Plan p_strict = plan_training(g, split, strict);
+  const Plan p_loose = plan_training(g, split, loose);
+  EXPECT_LE(p_strict.global_batch, p_loose.global_batch);
+  // Stricter thresholds never pick a worse-capturing batch size.
+  EXPECT_GE(p_strict.capture_fraction, p_loose.capture_fraction);
+}
+
+TEST(Planner, MoreMachinesMeansMoreCopies) {
+  TemporalGraph g = test_graph();
+  EventSplit split = chronological_split(g);
+  PlannerInputs in;
+  in.machines = 4;
+  in.gpus_per_machine = 8;
+  Plan plan = plan_training(g, split, in);
+  EXPECT_GE(plan.parallel.k, 4u);
+  EXPECT_EQ(plan.parallel.total_trainers(), 32u);
+}
+
+}  // namespace
+}  // namespace disttgl

@@ -1,0 +1,187 @@
+// Neighbor sampler, negative sampler, chronological batching and
+// mini-batch construction (including the multi-variant negative layout
+// that epoch parallelism depends on).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/generator.hpp"
+#include "sampling/batching.hpp"
+#include "sampling/minibatch.hpp"
+
+namespace disttgl {
+namespace {
+
+TemporalGraph chain_graph() {
+  // Node 0 interacts with 2,3,4,2 at times 1..4 (bipartite 2+3).
+  std::vector<TemporalEdge> events = {
+      {0, 2, 1.0f, 0}, {0, 3, 2.0f, 0}, {0, 4, 3.0f, 0}, {0, 2, 4.0f, 0},
+      {1, 3, 5.0f, 0},
+  };
+  return TemporalGraph::from_events("chain", 5, std::move(events), 2);
+}
+
+TEST(NeighborSampler, MostRecentFirstStrictlyBefore) {
+  TemporalGraph g = chain_graph();
+  NeighborSampler sampler(g, 3);
+  std::vector<NeighborSample> out(3);
+  // Query node 0 at t=3.5: events at 3.0, 2.0, 1.0 in that order.
+  std::size_t n = sampler.sample(0, 3.5f, out);
+  ASSERT_EQ(n, 3u);
+  EXPECT_EQ(out[0].neighbor, 4u);
+  EXPECT_FLOAT_EQ(out[0].ts, 3.0f);
+  EXPECT_EQ(out[1].neighbor, 3u);
+  EXPECT_EQ(out[2].neighbor, 2u);
+  // At exactly t=3.0 the event at 3.0 is excluded (strictly before).
+  n = sampler.sample(0, 3.0f, out);
+  ASSERT_EQ(n, 2u);
+  EXPECT_EQ(out[0].neighbor, 3u);
+}
+
+TEST(NeighborSampler, CapsAtK) {
+  TemporalGraph g = chain_graph();
+  NeighborSampler sampler(g, 2);
+  std::vector<NeighborSample> out(2);
+  const std::size_t n = sampler.sample(0, 100.0f, out);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(out[0].neighbor, 2u);  // most recent (t=4)
+  EXPECT_EQ(out[1].neighbor, 4u);
+}
+
+TEST(NeighborSampler, NoHistoryReturnsZero) {
+  TemporalGraph g = chain_graph();
+  NeighborSampler sampler(g, 2);
+  std::vector<NeighborSample> out(2);
+  EXPECT_EQ(sampler.sample(1, 1.0f, out), 0u);
+  EXPECT_EQ(sampler.sample(0, 0.5f, out), 0u);
+}
+
+TEST(NegativeSampler, DrawsFromDstPartition) {
+  TemporalGraph g = chain_graph();
+  NegativeSampler negs(g, 4, 11);
+  auto sample = negs.sample(0, 0, 500);
+  for (NodeId v : sample) {
+    EXPECT_GE(v, 2u);
+    EXPECT_LT(v, 5u);
+  }
+}
+
+TEST(NegativeSampler, DeterministicPerGroupAndBatch) {
+  TemporalGraph g = chain_graph();
+  NegativeSampler negs(g, 4, 11);
+  EXPECT_EQ(negs.sample(1, 5, 20), negs.sample(1, 5, 20));
+  EXPECT_NE(negs.sample(1, 5, 20), negs.sample(2, 5, 20));
+  EXPECT_NE(negs.sample(1, 5, 20), negs.sample(1, 6, 20));
+}
+
+TEST(Batching, ChronologicalSplitFractions) {
+  TemporalGraph g = chain_graph();
+  EventSplit s = chronological_split(g, 0.6, 0.2);
+  EXPECT_EQ(s.num_train(), 3u);
+  EXPECT_EQ(s.num_val(), 1u);
+  EXPECT_EQ(s.num_test(), 1u);
+}
+
+TEST(Batching, MakeBatchesKeepsTail) {
+  auto batches = make_batches(0, 10, 4);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[2].begin, 8u);
+  EXPECT_EQ(batches[2].end, 10u);
+}
+
+TEST(MiniBatch, RootLayoutAndRanges) {
+  TemporalGraph g = chain_graph();
+  NeighborSampler sampler(g, 2);
+  NegativeSampler negs(g, 4, 11);
+  MiniBatchBuilder builder(g, sampler, negs, /*num_neg=*/2);
+  std::vector<std::size_t> groups = {0, 1, 2};  // three variants
+  MiniBatch mb = builder.build(0, 0, 3, groups);
+
+  EXPECT_EQ(mb.num_pos(), 3u);
+  EXPECT_EQ(mb.neg_variants, 3u);
+  EXPECT_EQ(mb.num_neg, 2u);
+  // Roots: 3 src + 3 dst + 3 variants × 3 pos × 2 neg = 24.
+  EXPECT_EQ(mb.num_roots(), 24u);
+  EXPECT_EQ(mb.neg_begin(0), 6u);
+  EXPECT_EQ(mb.neg_begin(2), 18u);
+  // Src roots are the event sources at the event timestamps.
+  EXPECT_EQ(mb.roots.nodes[0], 0u);
+  EXPECT_FLOAT_EQ(mb.roots.ts[0], 1.0f);
+  EXPECT_EQ(mb.roots.nodes[mb.dst_begin() + 1], 3u);
+}
+
+TEST(MiniBatch, VariantsUseDifferentNegatives) {
+  TemporalGraph g = chain_graph();
+  NeighborSampler sampler(g, 2);
+  NegativeSampler negs(g, 4, 11);
+  MiniBatchBuilder builder(g, sampler, negs, 2);
+  std::vector<std::size_t> groups = {0, 1};
+  MiniBatch mb = builder.build(0, 0, 3, groups);
+  // Variant blocks in neg_dst differ somewhere.
+  const std::size_t per = 3 * 2;
+  bool differ = false;
+  for (std::size_t i = 0; i < per; ++i)
+    if (mb.neg_dst[i] != mb.neg_dst[per + i]) differ = true;
+  EXPECT_TRUE(differ);
+}
+
+TEST(MiniBatch, UniqueNodesCoverRootsAndNeighbors) {
+  TemporalGraph g = chain_graph();
+  NeighborSampler sampler(g, 2);
+  NegativeSampler negs(g, 4, 11);
+  MiniBatchBuilder builder(g, sampler, negs, 1);
+  MiniBatch mb = builder.build(1, 3, 5, std::size_t{0});
+
+  std::set<NodeId> uniq(mb.unique_nodes.begin(), mb.unique_nodes.end());
+  EXPECT_EQ(uniq.size(), mb.unique_nodes.size()) << "no duplicates";
+  for (std::size_t r = 0; r < mb.num_roots(); ++r) {
+    EXPECT_EQ(mb.unique_nodes[mb.root_to_unique[r]], mb.roots.nodes[r]);
+    for (std::size_t k = 0; k < mb.roots.valid[r]; ++k) {
+      EXPECT_EQ(mb.unique_nodes[mb.neigh_to_unique[r * mb.roots.k + k]],
+                mb.roots.neigh_node[r * mb.roots.k + k]);
+    }
+  }
+}
+
+TEST(MiniBatch, NeighborWindowsRespectEventTime) {
+  TemporalGraph g = chain_graph();
+  NeighborSampler sampler(g, 3);
+  NegativeSampler negs(g, 4, 11);
+  MiniBatchBuilder builder(g, sampler, negs, 1);
+  // Batch of the last two events (t=4, t=5).
+  MiniBatch mb = builder.build(0, 3, 5, std::size_t{0});
+  // First src root = node 0 at t=4: neighbors strictly before 4 → 3.
+  EXPECT_EQ(mb.roots.valid[0], 3u);
+  for (std::size_t k = 0; k < 3; ++k)
+    EXPECT_GT(mb.roots.neigh_dt[k], 0.0f);
+}
+
+TEST(MiniBatch, ClassificationModeNoNegatives) {
+  TemporalGraph g = chain_graph();
+  NeighborSampler sampler(g, 2);
+  NegativeSampler negs(g, 1, 11);
+  MiniBatchBuilder builder(g, sampler, negs, 0);
+  MiniBatch mb = builder.build(0, 0, 3, std::span<const std::size_t>{});
+  EXPECT_EQ(mb.neg_variants, 0u);
+  EXPECT_EQ(mb.num_roots(), 6u);  // src + dst only
+}
+
+TEST(MiniBatch, DeterministicConstruction) {
+  datagen::SynthSpec spec;
+  spec.num_src = 40;
+  spec.num_dst = 20;
+  spec.num_events = 1000;
+  spec.seed = 5;
+  TemporalGraph g = datagen::generate(spec);
+  NeighborSampler sampler(g, 5);
+  NegativeSampler negs(g, 4, 11);
+  MiniBatchBuilder builder(g, sampler, negs, 1);
+  MiniBatch a = builder.build(3, 100, 200, std::size_t{2});
+  MiniBatch b = builder.build(3, 100, 200, std::size_t{2});
+  EXPECT_EQ(a.unique_nodes, b.unique_nodes);
+  EXPECT_EQ(a.neg_dst, b.neg_dst);
+  EXPECT_EQ(a.roots.valid, b.roots.valid);
+}
+
+}  // namespace
+}  // namespace disttgl

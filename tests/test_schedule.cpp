@@ -1,0 +1,173 @@
+// Property tests for the i×j×k schedule builder — these pin the paper's
+// algorithmic claims: same captured dependencies as single-GPU for epoch/
+// memory parallelism, chronological sweeps per memory copy, 1/n iteration
+// reduction, serialized memory-op rounds.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/schedule.hpp"
+
+namespace disttgl {
+namespace {
+
+struct Config {
+  std::size_t i, j, k, B, E;
+};
+
+class ScheduleProperties : public ::testing::TestWithParam<Config> {
+ protected:
+  Schedule build() {
+    const auto [i, j, k, B, E] = GetParam();
+    ParallelConfig par;
+    par.i = i;
+    par.j = j;
+    par.k = k;
+    return build_schedule(par, B, E, /*neg_groups=*/10);
+  }
+};
+
+TEST_P(ScheduleProperties, SizesAndIterationCounts) {
+  const auto [i, j, k, B, E] = GetParam();
+  Schedule s = build();
+  EXPECT_EQ(s.trainers.size(), i * j * k);
+  EXPECT_EQ(s.groups.size(), k);
+  EXPECT_EQ(s.rounds_per_group, E * B / (j * k));
+  EXPECT_EQ(s.total_iterations, s.rounds_per_group + j - 1);
+}
+
+TEST_P(ScheduleProperties, ItemsSortedOnePerIteration) {
+  Schedule s = build();
+  for (const auto& ts : s.trainers) {
+    for (std::size_t x = 1; x < ts.items.size(); ++x)
+      EXPECT_EQ(ts.items[x].iteration, ts.items[x - 1].iteration + 1)
+          << "trainer busy every iteration between first and last item";
+  }
+}
+
+TEST_P(ScheduleProperties, VersionZeroAlignsWithSubgroupRounds) {
+  const auto [i, j, k, B, E] = GetParam();
+  (void)i; (void)k; (void)B; (void)E;
+  Schedule s = build();
+  for (const auto& ts : s.trainers) {
+    for (const auto& item : ts.items) {
+      if (item.version == 0) {
+        EXPECT_TRUE(item.memory_ops);
+        EXPECT_EQ(item.iteration % j, ts.subgroup);
+      } else {
+        EXPECT_FALSE(item.memory_ops);
+      }
+    }
+  }
+}
+
+TEST_P(ScheduleProperties, EveryBatchChunkTrainedExactlyETimes) {
+  const auto [i, j, k, B, E] = GetParam();
+  Schedule s = build();
+  // counts[chunk][batch] = number of versions trained.
+  std::vector<std::vector<std::size_t>> counts(i, std::vector<std::size_t>(B, 0));
+  for (const auto& ts : s.trainers)
+    for (const auto& item : ts.items) ++counts[ts.chunk][item.global_batch];
+  for (std::size_t c = 0; c < i; ++c)
+    for (std::size_t b = 0; b < B; ++b)
+      EXPECT_EQ(counts[c][b], E) << "chunk " << c << " batch " << b;
+}
+
+TEST_P(ScheduleProperties, GroupsSweepChronologicallyWithResetAtWrap) {
+  const auto [i, j, k, B, E] = GetParam();
+  (void)i; (void)j; (void)E;
+  Schedule s = build();
+  for (std::size_t m = 0; m < k; ++m) {
+    const GroupSchedule& g = s.groups[m];
+    EXPECT_EQ(g.reset_before_round[0], 1);
+    for (std::size_t r = 1; r < g.round_to_batch.size(); ++r) {
+      EXPECT_EQ(g.round_to_batch[r], (g.round_to_batch[r - 1] + 1) % B)
+          << "memory copies process batches in chronological cyclic order";
+      EXPECT_EQ(g.reset_before_round[r], g.round_to_batch[r] == 0 ? 1 : 0);
+    }
+  }
+}
+
+TEST_P(ScheduleProperties, MemoryOpsSerializePerRound) {
+  const auto [i, j, k, B, E] = GetParam();
+  (void)B; (void)E;
+  Schedule s = build();
+  // ops[group][round] = set of group_ranks doing memory ops.
+  std::map<std::pair<std::size_t, std::size_t>, std::set<std::size_t>> ops;
+  for (const auto& ts : s.trainers)
+    for (const auto& item : ts.items)
+      if (item.memory_ops)
+        ops[{ts.mem_copy, item.iteration}].insert(ts.group_rank);
+  for (const auto& [key, ranks] : ops) {
+    const std::size_t round = key.second;
+    EXPECT_EQ(ranks.size(), i) << "exactly the i chunks of one subgroup";
+    const std::size_t sub = round % j;
+    for (std::size_t rank : ranks) EXPECT_EQ(rank / i, sub);
+  }
+  // Every round of every group has its ops.
+  for (std::size_t m = 0; m < k; ++m)
+    for (std::size_t r = 0; r < s.rounds_per_group; ++r)
+      EXPECT_TRUE(ops.count({m, r})) << "group " << m << " round " << r;
+}
+
+TEST_P(ScheduleProperties, VersionsOfOneBatchUseDistinctNegGroups) {
+  const auto [i, j, k, B, E] = GetParam();
+  (void)i; (void)k; (void)B; (void)E;
+  if (j > 10) GTEST_SKIP();  // fewer groups than versions
+  Schedule s = build();
+  for (const auto& ts : s.trainers) {
+    for (std::size_t x = 0; x + 1 < ts.items.size(); ++x) {
+      if (ts.items[x].global_batch == ts.items[x + 1].global_batch &&
+          ts.items[x].cycle == ts.items[x + 1].cycle) {
+        EXPECT_NE(ts.items[x].neg_group, ts.items[x + 1].neg_group);
+      }
+    }
+  }
+}
+
+TEST_P(ScheduleProperties, MemoryParallelGroupsAreStaggered) {
+  const auto [i, j, k, B, E] = GetParam();
+  (void)i; (void)j; (void)E;
+  if (k == 1) GTEST_SKIP();
+  Schedule s = build();
+  std::set<std::size_t> starts;
+  for (std::size_t m = 0; m < k; ++m)
+    starts.insert(s.groups[m].round_to_batch[0]);
+  // Different groups start at different time segments (Fig 7c).
+  EXPECT_EQ(starts.size(), std::min(k, B));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ScheduleProperties,
+    ::testing::Values(Config{1, 1, 1, 12, 4}, Config{1, 2, 1, 12, 4},
+                      Config{1, 4, 1, 12, 4}, Config{1, 1, 4, 12, 4},
+                      Config{1, 2, 2, 12, 4}, Config{2, 1, 1, 12, 4},
+                      Config{2, 2, 2, 16, 8}, Config{4, 1, 2, 8, 4},
+                      Config{1, 8, 1, 16, 8}, Config{1, 1, 8, 16, 8}));
+
+TEST(Schedule, SingleGpuMatchesVanillaTraining) {
+  ParallelConfig par;  // 1×1×1
+  Schedule s = build_schedule(par, 10, 3, 10);
+  EXPECT_EQ(s.total_iterations, 30u);
+  const auto& items = s.trainers[0].items;
+  ASSERT_EQ(items.size(), 30u);
+  for (std::size_t t = 0; t < 30; ++t) {
+    EXPECT_EQ(items[t].iteration, t);
+    EXPECT_EQ(items[t].global_batch, t % 10);
+    EXPECT_TRUE(items[t].memory_ops);
+  }
+}
+
+TEST(Schedule, RejectsDegenerateInputs) {
+  ParallelConfig par;
+  EXPECT_THROW(build_schedule(par, 0, 1, 10), std::logic_error);
+  EXPECT_THROW(build_schedule(par, 10, 0, 10), std::logic_error);
+  par.j = 64;
+  par.k = 64;
+  // E*B too small to give each group a round.
+  EXPECT_THROW(build_schedule(par, 4, 1, 10), std::logic_error);
+}
+
+}  // namespace
+}  // namespace disttgl

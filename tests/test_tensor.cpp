@@ -1,0 +1,261 @@
+// Unit + property tests for the tensor substrate. GEMM kernels are
+// cross-checked against a naive triple loop over randomized shapes
+// (TEST_P sweeps), masked softmax against invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/matrix.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace disttgl {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i)
+    m.data()[i] = static_cast<float>(rng.normal());
+  return m;
+}
+
+Matrix naive_matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < a.cols(); ++p) acc += a(i, p) * b(p, j);
+      c(i, j) = acc;
+    }
+  return c;
+}
+
+TEST(Matrix, BasicAccessors) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FLOAT_EQ(m(1, 2), 6.0f);
+  m(0, 0) = 9.0f;
+  EXPECT_FLOAT_EQ(m(0, 0), 9.0f);
+}
+
+TEST(Matrix, OutOfBoundsThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m(2, 0), std::logic_error);
+  EXPECT_THROW(m(0, 2), std::logic_error);
+}
+
+TEST(Matrix, ElementwiseOps) {
+  Matrix a(1, 3, {1, 2, 3});
+  Matrix b(1, 3, {4, 5, 6});
+  a += b;
+  EXPECT_FLOAT_EQ(a(0, 1), 7.0f);
+  a -= b;
+  EXPECT_FLOAT_EQ(a(0, 1), 2.0f);
+  a *= 2.0f;
+  EXPECT_FLOAT_EQ(a(0, 2), 6.0f);
+  a.hadamard(b);
+  EXPECT_FLOAT_EQ(a(0, 0), 8.0f);
+  a.add_scaled(b, 0.5f);
+  EXPECT_FLOAT_EQ(a(0, 0), 10.0f);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 2), b(2, 3);
+  EXPECT_THROW(a += b, std::logic_error);
+  EXPECT_THROW(a.hadamard(b), std::logic_error);
+}
+
+TEST(Matrix, GatherScatterRows) {
+  Matrix m(4, 2, {0, 1, 10, 11, 20, 21, 30, 31});
+  std::vector<std::size_t> idx = {3, 0};
+  Matrix g = m.gather_rows(idx);
+  EXPECT_FLOAT_EQ(g(0, 0), 30.0f);
+  EXPECT_FLOAT_EQ(g(1, 1), 1.0f);
+  Matrix s(2, 2, {-1, -2, -3, -4});
+  m.scatter_rows(idx, s);
+  EXPECT_FLOAT_EQ(m(3, 0), -1.0f);
+  EXPECT_FLOAT_EQ(m(0, 1), -4.0f);
+}
+
+TEST(Matrix, ConcatAndSlice) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  Matrix b(2, 1, {9, 8});
+  Matrix c = Matrix::concat_cols(a, b);
+  EXPECT_EQ(c.cols(), 3u);
+  EXPECT_FLOAT_EQ(c(0, 2), 9.0f);
+  Matrix s = c.slice_cols(1, 3);
+  EXPECT_FLOAT_EQ(s(1, 0), 4.0f);
+  EXPECT_FLOAT_EQ(s(1, 1), 8.0f);
+  Matrix r = c.slice_rows(1, 2);
+  EXPECT_EQ(r.rows(), 1u);
+  EXPECT_FLOAT_EQ(r(0, 0), 3.0f);
+}
+
+TEST(Matrix, Reshape) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  m.reshape(3, 2);
+  EXPECT_FLOAT_EQ(m(2, 1), 6.0f);
+  EXPECT_THROW(m.reshape(4, 2), std::logic_error);
+}
+
+TEST(Matrix, Norms) {
+  Matrix m(1, 3, {3, 4, 0});
+  EXPECT_FLOAT_EQ(m.squared_norm(), 25.0f);
+  EXPECT_FLOAT_EQ(m.abs_max(), 4.0f);
+}
+
+struct GemmShape {
+  std::size_t m, k, n;
+};
+
+class GemmTest : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(GemmTest, MatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 1000 + k * 100 + n);
+  Matrix a = random_matrix(m, k, rng);
+  Matrix b = random_matrix(k, n, rng);
+  EXPECT_LT(max_rel_diff(matmul(a, b), naive_matmul(a, b)), 1e-4f);
+}
+
+TEST_P(GemmTest, TransposedVariantsMatchNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 999 + k * 77 + n);
+  Matrix a = random_matrix(m, k, rng);
+  Matrix bt = random_matrix(n, k, rng);  // for A·Bᵀ
+  // Build B = btᵀ naively for reference.
+  Matrix b(k, n);
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = 0; j < n; ++j) b(i, j) = bt(j, i);
+  EXPECT_LT(max_rel_diff(matmul_nt(a, bt), naive_matmul(a, b)), 1e-4f);
+
+  Matrix at = random_matrix(k, m, rng);  // for Aᵀ·B
+  Matrix a2(m, k);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < k; ++j) a2(i, j) = at(j, i);
+  Matrix b2 = random_matrix(k, n, rng);
+  EXPECT_LT(max_rel_diff(matmul_tn(at, b2), naive_matmul(a2, b2)), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmTest,
+    ::testing::Values(GemmShape{1, 1, 1}, GemmShape{3, 5, 2}, GemmShape{8, 8, 8},
+                      GemmShape{17, 3, 9}, GemmShape{2, 31, 7},
+                      GemmShape{40, 16, 24}));
+
+TEST(Ops, MatmulAccAddsInPlace) {
+  Rng rng(5);
+  Matrix a = random_matrix(4, 3, rng);
+  Matrix b = random_matrix(3, 5, rng);
+  Matrix c(4, 5, 1.0f);
+  matmul_acc(a, b, c);
+  Matrix expected = naive_matmul(a, b);
+  for (std::size_t i = 0; i < c.size(); ++i)
+    EXPECT_NEAR(c.data()[i], expected.data()[i] + 1.0f, 1e-4f);
+}
+
+TEST(Ops, AddBiasAndColumnSums) {
+  Matrix m(2, 2, {1, 2, 3, 4});
+  Matrix bias(1, 2, {10, 20});
+  Matrix y = add_bias(m, bias);
+  EXPECT_FLOAT_EQ(y(1, 1), 24.0f);
+  Matrix cs = column_sums(m);
+  EXPECT_FLOAT_EQ(cs(0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(cs(0, 1), 6.0f);
+}
+
+class SoftmaxTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SoftmaxTest, RowsSumToOneOverValidPrefix) {
+  const std::size_t cols = 8;
+  Rng rng(GetParam());
+  Matrix scores = random_matrix(6, cols, rng);
+  std::vector<std::size_t> valid = {0, 1, 3, 8, 5, 2};
+  Matrix y = masked_row_softmax(scores, valid);
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c >= valid[r]) {
+        EXPECT_FLOAT_EQ(y(r, c), 0.0f) << "masked entries must be zero";
+      } else {
+        EXPECT_GT(y(r, c), 0.0f);
+      }
+      sum += y(r, c);
+    }
+    if (valid[r] > 0) EXPECT_NEAR(sum, 1.0f, 1e-5f);
+    else EXPECT_FLOAT_EQ(sum, 0.0f);
+  }
+}
+
+TEST_P(SoftmaxTest, InvariantToConstantShift) {
+  Rng rng(GetParam() + 100);
+  Matrix scores = random_matrix(3, 5, rng);
+  std::vector<std::size_t> valid = {5, 3, 4};
+  Matrix y1 = masked_row_softmax(scores, valid);
+  Matrix shifted = scores;
+  for (std::size_t i = 0; i < shifted.size(); ++i) shifted.data()[i] += 100.0f;
+  Matrix y2 = masked_row_softmax(shifted, valid);
+  EXPECT_LT(max_rel_diff(y1, y2), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoftmaxTest, ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(Ops, SoftmaxBackwardMatchesFiniteDifference) {
+  Rng rng(77);
+  Matrix scores = random_matrix(2, 4, rng);
+  std::vector<std::size_t> valid = {4, 3};
+  Matrix dy = random_matrix(2, 4, rng);
+  // Zero out dy on masked entries (their outputs are fixed at 0).
+  dy(1, 3) = 0.0f;
+  Matrix y = masked_row_softmax(scores, valid);
+  Matrix dx = masked_row_softmax_backward(y, dy, valid);
+
+  const float eps = 1e-3f;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < valid[r]; ++c) {
+      Matrix sp = scores, sm = scores;
+      sp(r, c) += eps;
+      sm(r, c) -= eps;
+      const Matrix yp = masked_row_softmax(sp, valid);
+      const Matrix ym = masked_row_softmax(sm, valid);
+      float fd = 0.0f;
+      for (std::size_t cc = 0; cc < 4; ++cc)
+        fd += dy(r, cc) * (yp(r, cc) - ym(r, cc)) / (2 * eps);
+      EXPECT_NEAR(dx(r, c), fd, 5e-3f);
+    }
+  }
+}
+
+TEST(Ops, ActivationsAndBackwards) {
+  Matrix x(1, 4, {-2.0f, -0.5f, 0.5f, 2.0f});
+  Matrix s = sigmoid(x);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_NEAR(s.data()[i], 1.0f / (1.0f + std::exp(-x.data()[i])), 1e-6f);
+  Matrix t = tanh_m(x);
+  EXPECT_NEAR(t(0, 3), std::tanh(2.0f), 1e-6f);
+  Matrix r = relu(x);
+  EXPECT_FLOAT_EQ(r(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(r(0, 3), 2.0f);
+
+  Matrix dy(1, 4, 1.0f);
+  Matrix ds = sigmoid_backward(s, dy);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_NEAR(ds.data()[i], s.data()[i] * (1 - s.data()[i]), 1e-6f);
+  Matrix dt = tanh_backward(t, dy);
+  EXPECT_NEAR(dt(0, 3), 1 - t(0, 3) * t(0, 3), 1e-6f);
+  Matrix dr = relu_backward(r, dy);
+  EXPECT_FLOAT_EQ(dr(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(dr(0, 3), 1.0f);
+}
+
+TEST(Ops, LogSigmoidStable) {
+  EXPECT_NEAR(log_sigmoid(0.0f), std::log(0.5f), 1e-6f);
+  EXPECT_LT(log_sigmoid(-100.0f), -99.0f);   // ≈ x
+  EXPECT_GT(log_sigmoid(100.0f), -1e-6f);    // ≈ 0
+  EXPECT_FALSE(std::isnan(log_sigmoid(-1000.0f)));
+  EXPECT_FALSE(std::isnan(log_sigmoid(1000.0f)));
+}
+
+}  // namespace
+}  // namespace disttgl

@@ -1,0 +1,200 @@
+// Unit tests for src/util: RNG determinism/distributions, spin barrier,
+// thread pool, timers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "util/barrier.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace disttgl {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanCloseToHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) ASSERT_LT(rng.uniform_int(17), 17u);
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(5);
+  std::vector<int> hits(8, 0);
+  for (int i = 0; i < 8000; ++i) ++hits[rng.uniform_int(8)];
+  for (int h : hits) EXPECT_GT(h, 700);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, PowerlawSkewsTowardSmallIndices) {
+  Rng rng(19);
+  int low = 0, high = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = rng.powerlaw_int(1000, 1.2);
+    ASSERT_LT(v, 1000u);
+    if (v < 100) ++low;
+    if (v >= 900) ++high;
+  }
+  EXPECT_GT(low, high * 3);
+}
+
+TEST(Rng, PowerlawZeroAlphaIsUniform) {
+  Rng rng(23);
+  int low = 0;
+  for (int i = 0; i < 20000; ++i)
+    if (rng.powerlaw_int(100, 0.0) < 50) ++low;
+  EXPECT_NEAR(low, 10000, 600);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(29);
+  std::vector<float> w = {1.0f, 0.0f, 3.0f};
+  int c0 = 0, c1 = 0, c2 = 0;
+  for (int i = 0; i < 20000; ++i) {
+    switch (rng.categorical(w)) {
+      case 0: ++c0; break;
+      case 1: ++c1; break;
+      default: ++c2; break;
+    }
+  }
+  EXPECT_EQ(c1, 0);
+  EXPECT_NEAR(static_cast<double>(c2) / c0, 3.0, 0.3);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(31);
+  Rng c1 = parent.split();
+  Rng c2 = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (c1.next_u64() == c2.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Check, ThrowsWithMessage) {
+  EXPECT_THROW(
+      { DT_CHECK_MSG(false, "custom " << 42); }, std::logic_error);
+  try {
+    DT_CHECK_EQ(1, 2);
+    FAIL() << "should have thrown";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("lhs=1"), std::string::npos);
+  }
+}
+
+TEST(SpinBarrier, SynchronizesThreads) {
+  const std::size_t n = 4;
+  SpinBarrier barrier(n);
+  std::atomic<int> phase_counter{0};
+  std::vector<std::thread> threads;
+  std::atomic<bool> mismatch{false};
+  for (std::size_t t = 0; t < n; ++t) {
+    threads.emplace_back([&] {
+      BarrierToken token(barrier);
+      for (int round = 0; round < 50; ++round) {
+        phase_counter.fetch_add(1);
+        token.wait();
+        // Between the two waits every thread must observe the full count.
+        if (phase_counter.load() != static_cast<int>(n) * (round + 1))
+          mismatch.store(true);
+        token.wait();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(mismatch.load());
+}
+
+TEST(ThreadPool, RunsAllJobs) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i)
+    futures.push_back(pool.submit([&] { count.fetch_add(1); }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleDrains) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 20; ++i) pool.submit([&] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(1);
+  auto fut = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(WallTimer, MeasuresElapsed) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(t.millis(), 15.0);
+}
+
+TEST(ScopedAccumulator, AddsOnDestruction) {
+  double acc = 0.0;
+  {
+    ScopedAccumulator s(acc);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GT(acc, 0.005);
+}
+
+}  // namespace
+}  // namespace disttgl
