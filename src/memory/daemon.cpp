@@ -61,6 +61,17 @@ std::vector<std::string> MemoryDaemon::trace() const {
   return trace_;
 }
 
+namespace {
+// "R3"/"W3"-style trace entry, built without `"R" + std::to_string(r)`:
+// that operator+(const char*, string&&) form trips GCC 12's -Wrestrict
+// false positive (GCC bug 105651) under -Werror.
+std::string trace_op(char tag, std::size_t rank) {
+  std::string op = std::to_string(rank);
+  op.insert(op.begin(), tag);
+  return op;
+}
+}  // namespace
+
 void MemoryDaemon::run() {
   const std::size_t rounds = config_.reset_before_round.size();
   for (std::size_t round = 0; round < rounds; ++round) {
@@ -74,14 +85,14 @@ void MemoryDaemon::run() {
       Slot& slot = *slots_[r];
       spin_until(slot.read_status, 1);
       slot.read_result = state_.read(slot.read_idx);
-      if (trace_enabled_) trace_.push_back("R" + std::to_string(r));
+      if (trace_enabled_) trace_.push_back(trace_op('R', r));
       slot.read_status.store(0, std::memory_order_release);
     }
     for (std::size_t r = base; r < base + config_.i; ++r) {
       Slot& slot = *slots_[r];
       spin_until(slot.write_status, 1);
       state_.write(slot.write_req);
-      if (trace_enabled_) trace_.push_back("W" + std::to_string(r));
+      if (trace_enabled_) trace_.push_back(trace_op('W', r));
       slot.write_status.store(0, std::memory_order_release);
     }
   }

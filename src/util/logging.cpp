@@ -29,7 +29,15 @@ void log_message(LogLevel level, const std::string& msg) {
   using clock = std::chrono::steady_clock;
   static const clock::time_point start = clock::now();
   double t = std::chrono::duration<double>(clock::now() - start).count();
-  std::string line = "[" + std::to_string(t) + "s " + level_tag(level) + "] " + msg + "\n";
+  std::string line;
+  line.reserve(msg.size() + 32);
+  line += '[';
+  line += std::to_string(t);
+  line += "s ";
+  line += level_tag(level);
+  line += "] ";
+  line += msg;
+  line += '\n';
   std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
