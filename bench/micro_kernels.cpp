@@ -1,7 +1,16 @@
-// google-benchmark microbenchmarks for the kernel-level hot paths: GEMM,
-// masked softmax, GRU cell, temporal attention, neighbor sampling, memory
+// google-benchmark microbenchmarks for the kernel-level hot paths: GEMM
+// (all three layout-tag products, allocating and `_into` forms), masked
+// softmax, GRU cell, temporal attention, neighbor sampling, memory
 // gather/scatter. These are the quantities the throughput model's
 // gpu_flops/bytes inputs abstract over.
+//
+// The `_into` / reused-Ctx variants measure the steady-state training
+// iteration: scratch reaches its high-water mark during warm-up and the
+// timed loop performs zero heap allocations (see
+// test_kernels.AllocationFree for the enforced version of that claim).
+//
+// bench/run_kernels.sh runs this target and appends a labelled entry to
+// BENCH_kernels.json, the kernel-layer perf trajectory.
 #include <benchmark/benchmark.h>
 
 #include "datagen/generator.hpp"
@@ -23,6 +32,13 @@ Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
   return m;
 }
 
+void set_gemm_counters(benchmark::State& state, std::size_t m, std::size_t n,
+                       std::size_t k) {
+  state.SetItemsProcessed(state.iterations() * 2 * m * n * k);  // FLOPs
+  state.SetBytesProcessed(state.iterations() * (m * k + k * n + m * n) *
+                          sizeof(float));
+}
+
 void BM_Gemm(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   Rng rng(1);
@@ -32,9 +48,54 @@ void BM_Gemm(benchmark::State& state) {
     Matrix c = matmul(a, b);
     benchmark::DoNotOptimize(c.data());
   }
-  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  set_gemm_counters(state, n, n, n);
 }
-BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_GemmInto(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  Matrix a = random_matrix(n, n, rng);
+  Matrix b = random_matrix(n, n, rng);
+  Matrix c;
+  matmul_into(a, b, c);  // warm-up: c reaches steady-state capacity
+  for (auto _ : state) {
+    matmul_into(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  set_gemm_counters(state, n, n, n);
+}
+BENCHMARK(BM_GemmInto)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_GemmNtInto(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  Matrix a = random_matrix(n, n, rng);
+  Matrix b = random_matrix(n, n, rng);
+  Matrix c;
+  matmul_nt_into(a, b, c);
+  for (auto _ : state) {
+    matmul_nt_into(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  set_gemm_counters(state, n, n, n);
+}
+BENCHMARK(BM_GemmNtInto)->Arg(128)->Arg(256);
+
+void BM_GemmTnInto(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  Matrix a = random_matrix(n, n, rng);
+  Matrix b = random_matrix(n, n, rng);
+  Matrix c;
+  matmul_tn_into(a, b, c);
+  for (auto _ : state) {
+    matmul_tn_into(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  set_gemm_counters(state, n, n, n);
+}
+BENCHMARK(BM_GemmTnInto)->Arg(128)->Arg(256);
 
 void BM_MaskedSoftmax(benchmark::State& state) {
   const auto rows = static_cast<std::size_t>(state.range(0));
@@ -42,10 +103,12 @@ void BM_MaskedSoftmax(benchmark::State& state) {
   Matrix scores = random_matrix(rows, 10, rng);
   std::vector<std::size_t> valid(rows);
   for (std::size_t r = 0; r < rows; ++r) valid[r] = r % 11;
+  Matrix y;
   for (auto _ : state) {
-    Matrix y = masked_row_softmax(scores, valid);
+    masked_row_softmax_into(scores, valid, y);
     benchmark::DoNotOptimize(y.data());
   }
+  state.SetBytesProcessed(state.iterations() * 2 * scores.size() * sizeof(float));
 }
 BENCHMARK(BM_MaskedSoftmax)->Arg(600)->Arg(2400);
 
@@ -63,6 +126,27 @@ void BM_GruCell(benchmark::State& state) {
 }
 BENCHMARK(BM_GruCell)->Arg(600)->Arg(2400);
 
+// Steady-state form: Ctx and output reused, so iterations after the first
+// are allocation-free.
+void BM_GruCellInto(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  nn::GRUCell cell("g", 72, 32, rng);
+  Matrix x = random_matrix(rows, 72, rng);
+  Matrix h = random_matrix(rows, 32, rng);
+  nn::GRUCell::Ctx ctx;
+  Matrix y;
+  cell.forward_into(x, h, ctx, y);  // warm-up
+  for (auto _ : state) {
+    cell.forward_into(x, h, ctx, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_GruCellInto)->Arg(600)->Arg(2400);
+
+// Ctx hoisted out of the loop: after the first (warm-up) call every
+// iteration reuses the Ctx-held scratch — the steady-state training shape.
 void BM_TemporalAttention(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const std::size_t K = 10;
@@ -81,9 +165,10 @@ void BM_TemporalAttention(benchmark::State& state) {
   Matrix edge = random_matrix(n * K, 16, rng);
   std::vector<float> dt(n * K, 1.0f);
   std::vector<std::size_t> valid(n, K);
+  nn::TemporalAttention::Ctx ctx;
+  attn.forward(node, neigh, edge, dt, valid, &ctx);  // warm-up
   for (auto _ : state) {
-    nn::TemporalAttention::Ctx ctx;
-    Matrix out = attn.forward(node, neigh, edge, dt, valid, &ctx);
+    const Matrix& out = attn.forward(node, neigh, edge, dt, valid, &ctx);
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(state.iterations() * n);

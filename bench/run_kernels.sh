@@ -1,0 +1,56 @@
+#!/usr/bin/env sh
+# Run bench_micro_kernels and append a labelled entry to BENCH_kernels.json,
+# the kernel-layer performance trajectory (docs/BENCHMARKS.md).
+#
+#   bench/run_kernels.sh [label] [path/to/bench_micro_kernels] [min_time]
+#
+# Defaults: label = current git revision, binary = build/bench/bench_micro_kernels,
+# min_time = 0.2 (seconds per benchmark; pass 0.01 for a smoke run).
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+label=${1:-$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unlabelled)}
+bin=${2:-"$repo_root/build/bench/bench_micro_kernels"}
+min_time=${3:-0.2}
+out="$repo_root/BENCH_kernels.json"
+
+if [ ! -x "$bin" ]; then
+  echo "error: $bin not found or not executable." >&2
+  echo "Configure with -DDISTTGL_BUILD_BENCH=ON and build bench_micro_kernels" >&2
+  echo "(requires Google Benchmark)." >&2
+  exit 1
+fi
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+"$bin" --benchmark_format=json --benchmark_min_time="$min_time" > "$raw"
+
+LABEL="$label" RAW="$raw" OUT="$out" python3 - <<'EOF'
+import datetime
+import json
+import os
+
+raw = json.load(open(os.environ["RAW"]))
+entry = {
+    "label": os.environ["LABEL"],
+    "date": datetime.date.today().isoformat(),
+    "benchmarks": {
+        b["name"]: {
+            "real_time_ns": round(b["real_time"], 1),
+            **({"items_per_second": round(b["items_per_second"], 1)}
+               if "items_per_second" in b else {}),
+            **({"bytes_per_second": round(b["bytes_per_second"], 1)}
+               if "bytes_per_second" in b else {}),
+        }
+        for b in raw["benchmarks"]
+    },
+}
+
+out = os.environ["OUT"]
+trajectory = json.load(open(out)) if os.path.exists(out) else []
+trajectory.append(entry)
+with open(out, "w") as f:
+    json.dump(trajectory, f, indent=2)
+    f.write("\n")
+print(f"appended entry '{entry['label']}' ({len(entry['benchmarks'])} benchmarks) to {out}")
+EOF

@@ -8,13 +8,6 @@
 
 namespace disttgl {
 
-namespace {
-float stable_sigmoid(float x) {
-  return x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
-                   : std::exp(x) / (1.0f + std::exp(x));
-}
-}  // namespace
-
 Matrix pretrain_static_memory(const TemporalGraph& graph, const EventSplit& split,
                               const StaticPretrainConfig& cfg) {
   Rng rng(cfg.seed);

@@ -43,8 +43,9 @@ TGNModel::TGNModel(const ModelConfig& cfg, const TemporalGraph& graph,
   }
 }
 
-Matrix TGNModel::embed(const MiniBatch& mb, const MemorySlice& slice,
-                       std::size_t version, EmbedCtx& ctx) const {
+const Matrix& TGNModel::embed(const MiniBatch& mb, const MemorySlice& slice,
+                              std::size_t version, EmbedCtx& ctx) {
+  Workspace& ws = scratch_.ws;
   const std::size_t U = mb.unique_nodes.size();
   const std::size_t n = mb.num_pos();
   const std::size_t K = cfg_.num_neighbors;
@@ -61,32 +62,43 @@ Matrix TGNModel::embed(const MiniBatch& mb, const MemorySlice& slice,
   }
   ctx.s_new = slice.mem;  // nodes without mail keep their memory
   if (!ctx.gru_rows.empty()) {
-    Matrix mail_rows = slice.mail.gather_rows(ctx.gru_rows);
-    Matrix mem_rows = slice.mem.gather_rows(ctx.gru_rows);
-    std::vector<float> dts(ctx.gru_rows.size());
+    Matrix& mail_rows = ws.mat(0, 0);
+    slice.mail.gather_rows_into(ctx.gru_rows, mail_rows);
+    Matrix& mem_rows = ws.mat(0, 0);
+    slice.mem.gather_rows_into(ctx.gru_rows, mem_rows);
+    std::vector<float>& dts = ws.floats(ctx.gru_rows.size());
     for (std::size_t r = 0; r < ctx.gru_rows.size(); ++r) {
       const std::size_t u = ctx.gru_rows[r];
       dts[r] = slice.mail_ts[u] - slice.mem_ts[u];
     }
-    Matrix phi = mail_time_enc_.forward(dts, &ctx.mail_time_ctx);
-    Matrix gru_in = Matrix::concat_cols(mail_rows, phi);
-    Matrix updated = updater_.forward(gru_in, mem_rows, &ctx.gru_ctx);
+    Matrix& phi = ws.mat(0, 0);
+    mail_time_enc_.forward_into(dts, &ctx.mail_time_ctx, phi);
+    Matrix& gru_in = ws.mat(0, 0);
+    Matrix::concat_cols_into(mail_rows, phi, gru_in);
+    Matrix& updated = ws.mat(0, 0);
+    updater_.forward_into(gru_in, mem_rows, ctx.gru_ctx, updated);
     ctx.s_new.scatter_rows(ctx.gru_rows, updated);
   }
 
   // ---- 2. Node representations {s_new || static || node features}. ----
-  Matrix repr_unique = ctx.s_new;
-  if (static_memory_ != nullptr) {
-    Matrix stat(U, cfg_.static_dim);
-    for (std::size_t u = 0; u < U; ++u)
-      stat.copy_row_from(u, static_memory_->row(mb.unique_nodes[u]));
-    repr_unique = Matrix::concat_cols(repr_unique, stat);
-  }
-  if (node_feat_dim_ > 0) {
-    Matrix feats(U, node_feat_dim_);
-    for (std::size_t u = 0; u < U; ++u)
-      feats.copy_row_from(u, graph_->node_features().row(mb.unique_nodes[u]));
-    repr_unique = Matrix::concat_cols(repr_unique, feats);
+  const Matrix* repr_unique = &ctx.s_new;
+  if (static_memory_ != nullptr || node_feat_dim_ > 0) {
+    Matrix& extended = ws.mat(U, cfg_.mem_dim + cfg_.static_dim + node_feat_dim_);
+    for (std::size_t u = 0; u < U; ++u) {
+      float* dst = extended.row_ptr(u);
+      std::memcpy(dst, ctx.s_new.row_ptr(u), cfg_.mem_dim * sizeof(float));
+      dst += cfg_.mem_dim;
+      if (static_memory_ != nullptr) {
+        std::memcpy(dst, static_memory_->row_ptr(mb.unique_nodes[u]),
+                    cfg_.static_dim * sizeof(float));
+        dst += cfg_.static_dim;
+      }
+      if (node_feat_dim_ > 0) {
+        std::memcpy(dst, graph_->node_features().row_ptr(mb.unique_nodes[u]),
+                    node_feat_dim_ * sizeof(float));
+      }
+    }
+    repr_unique = &extended;
   }
 
   // ---- 3. Gather the version-v root subset and its neighbor windows. ----
@@ -102,19 +114,20 @@ Matrix TGNModel::embed(const MiniBatch& mb, const MemorySlice& slice,
   }
   const std::size_t Rv = ctx.root_rows.size();
 
-  Matrix root_repr(Rv, repr_unique.cols());
-  Matrix neigh_repr(Rv * K, repr_unique.cols());
-  Matrix edge_feat(Rv * K, graph_->edge_feat_dim());
-  std::vector<float> dt(Rv * K, 0.0f);
-  std::vector<std::size_t> valid(Rv);
+  Matrix& root_repr = ws.mat(Rv, repr_unique->cols());
+  Matrix& neigh_repr = ws.zeros(Rv * K, repr_unique->cols());
+  Matrix& edge_feat = ws.zeros(Rv * K, graph_->edge_feat_dim());
+  std::vector<float>& dt = ws.floats(Rv * K);
+  std::vector<std::size_t>& valid = ws.indices();
+  valid.resize(Rv);
   const bool has_ef = graph_->has_edge_features();
   for (std::size_t r = 0; r < Rv; ++r) {
     const std::size_t g = ctx.root_rows[r];  // row in the full root list
-    root_repr.copy_row_from(r, repr_unique.row(mb.root_to_unique[g]));
+    root_repr.copy_row_from(r, repr_unique->row(mb.root_to_unique[g]));
     valid[r] = mb.roots.valid[g];
     for (std::size_t k = 0; k < valid[r]; ++k) {
       const std::size_t uidx = mb.neigh_to_unique[g * K + k];
-      neigh_repr.copy_row_from(r * K + k, repr_unique.row(uidx));
+      neigh_repr.copy_row_from(r * K + k, repr_unique->row(uidx));
       // Δt for Φ in Eq. 5: query time − neighbor edge time (the TGN/TGL
       // convention; it directly encodes how recent the relationship is,
       // which the recency-driven workloads need).
@@ -131,17 +144,19 @@ Matrix TGNModel::embed(const MiniBatch& mb, const MemorySlice& slice,
                             &ctx.attn_ctx);
 }
 
-void TGNModel::embed_backward(const MiniBatch& mb, const EmbedCtx& ctx,
+void TGNModel::embed_backward(const MiniBatch& mb, EmbedCtx& ctx,
                               const Matrix& demb) {
+  Workspace& ws = scratch_.ws;
   const std::size_t U = mb.unique_nodes.size();
   const std::size_t K = cfg_.num_neighbors;
 
-  auto grads = attention_.backward(ctx.attn_ctx, demb);
+  nn::TemporalAttention::InputGrads& grads = scratch_.attn_grads;
+  attention_.backward_into(ctx.attn_ctx, demb, grads);
 
   // Scatter-add root and neighbor representation gradients back to the
   // unique-node axis, then split off the dynamic-memory block (the
   // static block is frozen; raw node features are data).
-  Matrix drepr(U, cfg_.mem_dim + cfg_.static_dim + node_feat_dim_);
+  Matrix& drepr = ws.zeros(U, cfg_.mem_dim + cfg_.static_dim + node_feat_dim_);
   for (std::size_t r = 0; r < ctx.root_rows.size(); ++r) {
     const std::size_t g = ctx.root_rows[r];
     drepr.add_row_from(mb.root_to_unique[g], grads.dnode_repr.row(r));
@@ -150,32 +165,34 @@ void TGNModel::embed_backward(const MiniBatch& mb, const EmbedCtx& ctx,
                          grads.dneigh_repr.row(r * K + k));
     }
   }
-  Matrix ds_new = drepr.cols() > cfg_.mem_dim
-                      ? drepr.slice_cols(0, cfg_.mem_dim)
-                      : std::move(drepr);
+  const Matrix* ds_new = &drepr;
+  if (drepr.cols() > cfg_.mem_dim) {
+    Matrix& sliced = ws.mat(0, 0);
+    drepr.slice_cols_into(0, cfg_.mem_dim, sliced);
+    ds_new = &sliced;
+  }
 
   // Through the GRU for the rows it touched; the chain stops at the
   // previous memory and the mail contents (both inputs from storage).
   if (!ctx.gru_rows.empty()) {
-    Matrix dh = ds_new.gather_rows(ctx.gru_rows);
-    auto gru_grads = updater_.backward(ctx.gru_ctx, dh);
+    Matrix& dh = ws.mat(0, 0);
+    ds_new->gather_rows_into(ctx.gru_rows, dh);
+    updater_.backward_into(ctx.gru_ctx, dh, scratch_.gru_grads);
     // The trailing time_dim columns of dx feed the mail time encoding.
-    mail_time_enc_.backward(
-        ctx.mail_time_ctx,
-        gru_grads.dx.slice_cols(mail_raw_dim_, mail_raw_dim_ + cfg_.time_dim));
+    mail_time_enc_.backward_cols(ctx.mail_time_ctx, scratch_.gru_grads.dx,
+                                 mail_raw_dim_);
   }
 }
 
-MemoryWrite TGNModel::make_write(const MiniBatch& mb, const MemorySlice& slice,
-                                 const EmbedCtx& ctx,
-                                 BatchDiagnostics& diag) const {
+void TGNModel::make_write(const MiniBatch& mb, const MemorySlice& slice,
+                          const EmbedCtx& ctx, BatchDiagnostics& diag,
+                          MemoryWrite& w) const {
   const std::size_t n = mb.num_pos();
 
   // COMB = most recent: iterate events chronologically; the last mail per
   // node survives. Track per-unique-node write slots for positive roots.
   std::vector<std::size_t> slot_of_unique(mb.unique_nodes.size(),
                                           static_cast<std::size_t>(-1));
-  MemoryWrite w;
   const std::size_t edim = graph_->edge_feat_dim();
   std::vector<float> mail_row(mail_raw_dim_);
 
@@ -245,73 +262,79 @@ MemoryWrite TGNModel::make_write(const MiniBatch& mb, const MemorySlice& slice,
     }
   }
   diag.mails_kept += uniq_roots.size();
-  return w;
 }
 
 TGNModel::StepResult TGNModel::run(const MiniBatch& mb, const MemorySlice& slice,
                                    std::size_t version, MemoryWrite* write,
                                    bool train) {
-  EmbedCtx ctx;
-  Matrix emb = embed(mb, slice, version, ctx);
+  Scratch& s = scratch_;
+  s.ws.reset();
+  EmbedCtx& ctx = s.embed;
+  const Matrix& emb = embed(mb, slice, version, ctx);
   const std::size_t n = mb.num_pos();
   const std::size_t Q = mb.num_neg;
 
   StepResult result;
-  Matrix demb(emb.rows(), emb.cols());
+  s.demb.resize(emb.rows(), emb.cols(), 0.0f);
 
   if (task_ == Task::kLinkPrediction) {
     DT_CHECK_GT(mb.neg_variants, 0u);
-    Matrix src_emb = emb.slice_rows(0, n);
-    Matrix dst_emb = emb.slice_rows(n, 2 * n);
+    Matrix& src_emb = s.ws.mat(0, 0);
+    emb.slice_rows_into(0, n, src_emb);
+    Matrix& dst_emb = s.ws.mat(0, 0);
+    emb.slice_rows_into(n, 2 * n, dst_emb);
     // Repeat each src row Q times to pair with its negatives.
-    Matrix neg_emb = emb.slice_rows(2 * n, 2 * n + n * Q);
-    Matrix src_rep(n * Q, emb.cols());
+    Matrix& neg_emb = s.ws.mat(0, 0);
+    emb.slice_rows_into(2 * n, 2 * n + n * Q, neg_emb);
+    Matrix& src_rep = s.ws.mat(n * Q, emb.cols());
     for (std::size_t e = 0; e < n; ++e)
       for (std::size_t q = 0; q < Q; ++q)
         src_rep.copy_row_from(e * Q + q, src_emb.row(e));
 
-    nn::EdgePredictor::Ctx pos_ctx, neg_ctx;
-    result.pos_scores = predictor_->forward(src_emb, dst_emb, &pos_ctx);
-    Matrix neg_flat = predictor_->forward(src_rep, neg_emb, &neg_ctx);
+    predictor_->forward_into(src_emb, dst_emb, &s.pos_ctx, result.pos_scores);
+    Matrix& neg_flat = s.ws.mat(0, 0);
+    predictor_->forward_into(src_rep, neg_emb, &s.neg_ctx, neg_flat);
 
-    Matrix dpos, dneg;
+    Matrix& dpos = s.ws.mat(0, 0);
+    Matrix& dneg = s.ws.mat(0, 0);
     result.loss = nn::link_prediction_loss(result.pos_scores, neg_flat, dpos, dneg);
     result.neg_scores = neg_flat;
     result.neg_scores.reshape(n, Q);
 
     if (train) {
-      auto gpos = predictor_->backward(pos_ctx, dpos);
-      auto gneg = predictor_->backward(neg_ctx, dneg);
+      predictor_->backward_into(s.pos_ctx, dpos, s.gpos);
+      predictor_->backward_into(s.neg_ctx, dneg, s.gneg);
       for (std::size_t e = 0; e < n; ++e) {
-        demb.add_row_from(e, gpos.dsrc.row(e));
-        demb.add_row_from(n + e, gpos.ddst.row(e));
+        s.demb.add_row_from(e, s.gpos.dsrc.row(e));
+        s.demb.add_row_from(n + e, s.gpos.ddst.row(e));
         for (std::size_t q = 0; q < Q; ++q) {
-          demb.add_row_from(e, gneg.dsrc.row(e * Q + q));
-          demb.add_row_from(2 * n + e * Q + q, gneg.ddst.row(e * Q + q));
+          s.demb.add_row_from(e, s.gneg.dsrc.row(e * Q + q));
+          s.demb.add_row_from(2 * n + e * Q + q, s.gneg.ddst.row(e * Q + q));
         }
       }
     }
   } else {
-    Matrix src_emb = emb.slice_rows(0, n);
-    Matrix dst_emb = emb.slice_rows(n, 2 * n);
-    nn::EdgeClassifier::Ctx cls_ctx;
-    result.logits = classifier_->forward(src_emb, dst_emb, &cls_ctx);
-    Matrix targets(n, classifier_->num_classes());
+    Matrix& src_emb = s.ws.mat(0, 0);
+    emb.slice_rows_into(0, n, src_emb);
+    Matrix& dst_emb = s.ws.mat(0, 0);
+    emb.slice_rows_into(n, 2 * n, dst_emb);
+    classifier_->forward_into(src_emb, dst_emb, &s.cls_ctx, result.logits);
+    Matrix& targets = s.ws.mat(n, classifier_->num_classes());
     for (std::size_t e = 0; e < n; ++e)
       targets.copy_row_from(e, graph_->edge_labels().row(mb.events[e]));
-    Matrix dlogits;
+    Matrix& dlogits = s.ws.mat(0, 0);
     result.loss = nn::multilabel_bce_loss(result.logits, targets, dlogits);
     if (train) {
-      auto g = classifier_->backward(cls_ctx, dlogits);
+      classifier_->backward_into(s.cls_ctx, dlogits, s.gcls);
       for (std::size_t e = 0; e < n; ++e) {
-        demb.add_row_from(e, g.dsrc.row(e));
-        demb.add_row_from(n + e, g.ddst.row(e));
+        s.demb.add_row_from(e, s.gcls.dsrc.row(e));
+        s.demb.add_row_from(n + e, s.gcls.ddst.row(e));
       }
     }
   }
 
-  if (train) embed_backward(mb, ctx, demb);
-  if (write != nullptr) *write = make_write(mb, slice, ctx, result.diag);
+  if (train) embed_backward(mb, ctx, s.demb);
+  if (write != nullptr) make_write(mb, slice, ctx, result.diag, *write);
   return result;
 }
 

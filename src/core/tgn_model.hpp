@@ -21,9 +21,12 @@
 //      wins), using the *updated-but-pre-batch* memory — exactly the
 //      staleness/information-loss behaviour of Fig. 3.
 //
-// The model owns learnable weights only; all mutable per-batch state
-// lives in stack contexts, so one instance is reusable across versions
-// and safe to replicate per trainer thread.
+// The model owns learnable weights plus a private Scratch of reusable
+// per-batch buffers (layer Ctx structs and a Workspace arena), so
+// steady-state iterations perform no heap allocations on the embed /
+// backward hot path. The Scratch makes an instance stateful across
+// calls but still safe to replicate per trainer thread (each trainer
+// rank owns its own TGNModel).
 #pragma once
 
 #include <optional>
@@ -36,6 +39,7 @@
 #include "nn/optim.hpp"
 #include "nn/predictor.hpp"
 #include "sampling/minibatch.hpp"
+#include "tensor/workspace.hpp"
 
 namespace disttgl {
 
@@ -94,21 +98,35 @@ class TGNModel : public nn::Module {
     std::size_t n = 0;                   // positives in the batch
   };
 
+  // All reusable per-batch buffers. Reset (shape-wise) every run(); heap
+  // capacity persists across iterations.
+  struct Scratch {
+    EmbedCtx embed;
+    Workspace ws;                               // loose temporaries
+    nn::TemporalAttention::InputGrads attn_grads;
+    nn::GRUCell::InputGrads gru_grads;
+    nn::EdgePredictor::Ctx pos_ctx, neg_ctx;
+    nn::EdgePredictor::InputGrads gpos, gneg;
+    nn::EdgeClassifier::Ctx cls_ctx;
+    nn::EdgeClassifier::InputGrads gcls;
+    Matrix demb;                                // dL/d(embeddings)
+  };
+
   // Shared forward: UPDT + representations + attention for one version.
   // Returns embeddings [n*(2+num_neg) x emb_dim] for roots
-  // {src, dst, neg_v}, in that order.
-  Matrix embed(const MiniBatch& mb, const MemorySlice& slice,
-               std::size_t version, EmbedCtx& ctx) const;
+  // {src, dst, neg_v}, in that order (reference into the attention Ctx).
+  const Matrix& embed(const MiniBatch& mb, const MemorySlice& slice,
+                      std::size_t version, EmbedCtx& ctx);
   // Backward through embed (grads accumulate into parameters).
-  void embed_backward(const MiniBatch& mb, const EmbedCtx& ctx,
-                      const Matrix& demb);
+  void embed_backward(const MiniBatch& mb, EmbedCtx& ctx, const Matrix& demb);
 
   // Loss + head forward (and backward when `train`).
   StepResult run(const MiniBatch& mb, const MemorySlice& slice,
                  std::size_t version, MemoryWrite* write, bool train);
 
-  MemoryWrite make_write(const MiniBatch& mb, const MemorySlice& slice,
-                         const EmbedCtx& ctx, BatchDiagnostics& diag) const;
+  void make_write(const MiniBatch& mb, const MemorySlice& slice,
+                  const EmbedCtx& ctx, BatchDiagnostics& diag,
+                  MemoryWrite& w) const;
 
   ModelConfig cfg_;
   const TemporalGraph* graph_;
@@ -122,6 +140,8 @@ class TGNModel : public nn::Module {
   nn::TemporalAttention attention_;
   std::optional<nn::EdgePredictor> predictor_;
   std::optional<nn::EdgeClassifier> classifier_;
+
+  Scratch scratch_;
 };
 
 }  // namespace disttgl

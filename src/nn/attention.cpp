@@ -28,11 +28,12 @@ TemporalAttention::TemporalAttention(std::string name, const AttentionDims& dims
   DT_CHECK_GT(dims.max_neighbors, 0u);
 }
 
-Matrix TemporalAttention::forward(const Matrix& node_repr, const Matrix& neigh_repr,
-                                  const Matrix& edge_feat,
-                                  std::span<const float> dt,
-                                  std::span<const std::size_t> valid,
-                                  Ctx* ctx) const {
+const Matrix& TemporalAttention::forward(const Matrix& node_repr,
+                                         const Matrix& neigh_repr,
+                                         const Matrix& edge_feat,
+                                         std::span<const float> dt,
+                                         std::span<const std::size_t> valid,
+                                         Ctx* ctx) const {
   DT_CHECK(ctx != nullptr);
   const std::size_t n = node_repr.rows();
   const std::size_t K = dims_.max_neighbors;
@@ -46,30 +47,30 @@ Matrix TemporalAttention::forward(const Matrix& node_repr, const Matrix& neigh_r
   ctx->valid.assign(valid.begin(), valid.end());
 
   // Query: {s_v || Φ(0)}.
-  std::vector<float> zeros(n, 0.0f);
-  Matrix phi0 = time_enc_.forward(zeros, &ctx->t0_ctx);
-  Matrix q_in = Matrix::concat_cols(node_repr, phi0);
-  ctx->q = wq_.forward(q_in, &ctx->q_ctx);
+  ctx->dt0.assign(n, 0.0f);
+  time_enc_.forward_into(ctx->dt0, &ctx->t0_ctx, ctx->phi0);
+  Matrix::concat_cols_into(node_repr, ctx->phi0, ctx->q_in);
+  wq_.forward_into(ctx->q_in, &ctx->q_ctx, ctx->q);
 
   // Keys/values: {S_w || E_vw || Φ(Δt)}.
-  Matrix phidt = time_enc_.forward(dt, &ctx->tdt_ctx);
-  Matrix kv_in = dims_.edge_dim > 0
-                     ? Matrix::concat_cols(neigh_repr, edge_feat, phidt)
-                     : Matrix::concat_cols(neigh_repr, phidt);
-  ctx->k = wk_.forward(kv_in, &ctx->k_ctx);
-  ctx->v = wv_.forward(kv_in, &ctx->v_ctx);
+  time_enc_.forward_into(dt, &ctx->tdt_ctx, ctx->phidt);
+  if (dims_.edge_dim > 0)
+    Matrix::concat_cols_into(neigh_repr, edge_feat, ctx->phidt, ctx->kv_in);
+  else
+    Matrix::concat_cols_into(neigh_repr, ctx->phidt, ctx->kv_in);
+  wk_.forward_into(ctx->kv_in, &ctx->k_ctx, ctx->k);
+  wv_.forward_into(ctx->kv_in, &ctx->v_ctx, ctx->v);
 
   // Per-head scaled dot-product with masked softmax over valid slots.
-  ctx->alpha.clear();
-  ctx->alpha.reserve(H);
-  Matrix h_att(n, dims_.attn_dim);
+  ctx->alpha.resize(H);
+  ctx->h_att.resize(n, dims_.attn_dim, 0.0f);
   for (std::size_t h = 0; h < H; ++h) {
     const std::size_t off = h * dh;
-    Matrix scores(n, K);
+    ctx->scores.reset_shape(n, K);
     for (std::size_t r = 0; r < n; ++r) {
       const float scale = root_scale(valid[r]);
       const float* qrow = ctx->q.row_ptr(r) + off;
-      float* srow = scores.row_ptr(r);
+      float* srow = ctx->scores.row_ptr(r);
       for (std::size_t k = 0; k < valid[r]; ++k) {
         const float* krow = ctx->k.row_ptr(r * K + k) + off;
         float acc = 0.0f;
@@ -77,9 +78,10 @@ Matrix TemporalAttention::forward(const Matrix& node_repr, const Matrix& neigh_r
         srow[k] = acc * scale;
       }
     }
-    Matrix alpha = masked_row_softmax(scores, valid);
+    Matrix& alpha = ctx->alpha[h];
+    masked_row_softmax_into(ctx->scores, valid, alpha);
     for (std::size_t r = 0; r < n; ++r) {
-      float* hrow = h_att.row_ptr(r) + off;
+      float* hrow = ctx->h_att.row_ptr(r) + off;
       const float* arow = alpha.row_ptr(r);
       for (std::size_t k = 0; k < valid[r]; ++k) {
         const float* vrow = ctx->v.row_ptr(r * K + k) + off;
@@ -87,50 +89,56 @@ Matrix TemporalAttention::forward(const Matrix& node_repr, const Matrix& neigh_r
         for (std::size_t c = 0; c < dh; ++c) hrow[c] += a * vrow[c];
       }
     }
-    ctx->alpha.push_back(std::move(alpha));
   }
-  ctx->h_att = h_att;
 
   // Output head: ReLU(W_o {h_v || s_v}).
-  Matrix o_in = Matrix::concat_cols(h_att, node_repr);
-  Matrix out = relu(wo_.forward(o_in, &ctx->o_ctx));
-  ctx->out = out;
-  return out;
+  Matrix::concat_cols_into(ctx->h_att, node_repr, ctx->o_in);
+  wo_.forward_into(ctx->o_in, &ctx->o_ctx, ctx->out);
+  relu_inplace(ctx->out);
+  return ctx->out;
 }
 
-TemporalAttention::InputGrads TemporalAttention::backward(const Ctx& ctx,
+TemporalAttention::InputGrads TemporalAttention::backward(Ctx& ctx,
                                                           const Matrix& dout) {
+  InputGrads grads;
+  backward_into(ctx, dout, grads);
+  return grads;
+}
+
+void TemporalAttention::backward_into(Ctx& ctx, const Matrix& dout,
+                                      InputGrads& grads) {
   const std::size_t n = ctx.n;
   const std::size_t K = dims_.max_neighbors;
   const std::size_t H = dims_.num_heads;
   const std::size_t dh = dims_.attn_dim / H;
   const std::size_t dn = dims_.node_dim;
+  const std::size_t da = dims_.attn_dim;
 
-  InputGrads grads;
-  grads.dnode_repr.resize(n, dn);
-  grads.dneigh_repr.resize(n * K, dn);
-
-  // Output head.
-  Matrix dpre = relu_backward(ctx.out, dout);
-  Matrix do_in = wo_.backward(ctx.o_ctx, dpre);
-  Matrix dh_att = do_in.slice_cols(0, dims_.attn_dim);
-  grads.dnode_repr += do_in.slice_cols(dims_.attn_dim, dims_.attn_dim + dn);
+  // Output head. dh_att is columns [0, da) of do_in, read in place.
+  relu_backward_into(ctx.out, dout, ctx.dpre);
+  wo_.backward_into(ctx.o_ctx, ctx.dpre, ctx.do_in);
+  grads.dnode_repr.resize(n, dn, 0.0f);
+  for (std::size_t r = 0; r < n; ++r) {
+    float* dst = grads.dnode_repr.row_ptr(r);
+    const float* src = ctx.do_in.row_ptr(r) + da;
+    for (std::size_t c = 0; c < dn; ++c) dst[c] += src[c];
+  }
 
   // Attention core, per head.
-  Matrix dq(n, dims_.attn_dim);
-  Matrix dk(n * K, dims_.attn_dim);
-  Matrix dv(n * K, dims_.attn_dim);
+  ctx.dq.resize(n, da, 0.0f);
+  ctx.dk.resize(n * K, da, 0.0f);
+  ctx.dv.resize(n * K, da, 0.0f);
   for (std::size_t h = 0; h < H; ++h) {
     const std::size_t off = h * dh;
     const Matrix& alpha = ctx.alpha[h];
-    Matrix dalpha(n, K);
+    ctx.dalpha.reset_shape(n, K);
     for (std::size_t r = 0; r < n; ++r) {
-      const float* grow = dh_att.row_ptr(r) + off;
+      const float* grow = ctx.do_in.row_ptr(r) + off;
       const float* arow = alpha.row_ptr(r);
-      float* darow = dalpha.row_ptr(r);
+      float* darow = ctx.dalpha.row_ptr(r);
       for (std::size_t k = 0; k < ctx.valid[r]; ++k) {
         const float* vrow = ctx.v.row_ptr(r * K + k) + off;
-        float* dvrow = dv.row_ptr(r * K + k) + off;
+        float* dvrow = ctx.dv.row_ptr(r * K + k) + off;
         float acc = 0.0f;
         for (std::size_t c = 0; c < dh; ++c) {
           acc += grow[c] * vrow[c];
@@ -139,16 +147,16 @@ TemporalAttention::InputGrads TemporalAttention::backward(const Ctx& ctx,
         darow[k] = acc;
       }
     }
-    Matrix dscores = masked_row_softmax_backward(alpha, dalpha, ctx.valid);
+    masked_row_softmax_backward_into(alpha, ctx.dalpha, ctx.valid, ctx.dscores);
     for (std::size_t r = 0; r < n; ++r) {
       const float scale = root_scale(ctx.valid[r]);
       const float* qrow = ctx.q.row_ptr(r) + off;
-      float* dqrow = dq.row_ptr(r) + off;
-      const float* dsrow = dscores.row_ptr(r);
+      float* dqrow = ctx.dq.row_ptr(r) + off;
+      const float* dsrow = ctx.dscores.row_ptr(r);
       for (std::size_t k = 0; k < ctx.valid[r]; ++k) {
         const float ds = dsrow[k] * scale;
         const float* krow = ctx.k.row_ptr(r * K + k) + off;
-        float* dkrow = dk.row_ptr(r * K + k) + off;
+        float* dkrow = ctx.dk.row_ptr(r * K + k) + off;
         for (std::size_t c = 0; c < dh; ++c) {
           dqrow[c] += ds * krow[c];
           dkrow[c] += ds * qrow[c];
@@ -158,19 +166,21 @@ TemporalAttention::InputGrads TemporalAttention::backward(const Ctx& ctx,
   }
 
   // Query projection path: q_in = {s_v || Φ(0)}.
-  Matrix dq_in = wq_.backward(ctx.q_ctx, dq);
-  grads.dnode_repr += dq_in.slice_cols(0, dn);
-  time_enc_.backward(ctx.t0_ctx, dq_in.slice_cols(dn, dn + dims_.time_dim));
+  wq_.backward_into(ctx.q_ctx, ctx.dq, ctx.dq_in);
+  for (std::size_t r = 0; r < n; ++r) {
+    float* dst = grads.dnode_repr.row_ptr(r);
+    const float* src = ctx.dq_in.row_ptr(r);
+    for (std::size_t c = 0; c < dn; ++c) dst[c] += src[c];
+  }
+  time_enc_.backward_cols(ctx.t0_ctx, ctx.dq_in, dn);
 
   // Key/value projection path: kv_in = {S_w || E_vw || Φ(Δt)}.
-  Matrix dkv_in = wk_.backward(ctx.k_ctx, dk);
-  dkv_in += wv_.backward(ctx.v_ctx, dv);
-  grads.dneigh_repr += dkv_in.slice_cols(0, dn);
+  wk_.backward_into(ctx.k_ctx, ctx.dk, ctx.dkv_in);
+  wv_.backward_into(ctx.v_ctx, ctx.dv, ctx.dkv_in, /*accumulate_dx=*/true);
+  ctx.dkv_in.slice_cols_into(0, dn, grads.dneigh_repr);
   const std::size_t t_off = dn + dims_.edge_dim;
-  time_enc_.backward(ctx.tdt_ctx, dkv_in.slice_cols(t_off, t_off + dims_.time_dim));
+  time_enc_.backward_cols(ctx.tdt_ctx, ctx.dkv_in, t_off);
   // Edge-feature gradients are dropped: features are dataset constants.
-
-  return grads;
 }
 
 void TemporalAttention::collect_parameters(std::vector<Parameter*>& out) {

@@ -11,6 +11,11 @@
 // Neighbor tensors are flattened so slot k of root r lives at row
 // r*max_neighbors + k. The per-root 1/sqrt(|N_v|) scaling follows the
 // paper (not the more common 1/sqrt(d_head)).
+//
+// The Ctx owns every intermediate tensor the layer touches, so reusing
+// one Ctx across iterations makes forward and backward allocation-free
+// in steady state (same batch shape → same buffer shapes → capacity
+// reuse). forward returns a reference into the Ctx.
 #pragma once
 
 #include <memory>
@@ -41,6 +46,15 @@ class TemporalAttention : public Module {
     Matrix out;                       // post-ReLU output (for relu backward)
     std::vector<std::size_t> valid;   // neighbor counts
     std::size_t n = 0;
+    // Scratch (not read across the forward/backward boundary):
+    std::vector<float> dt0;           // all-zero deltas for Φ(0)
+    Matrix phi0, phidt;               // time encodings
+    Matrix q_in, kv_in, o_in;         // concatenated projection inputs
+    Matrix scores;                    // per-head raw attention scores
+    Matrix dpre, do_in;               // backward: pre-ReLU grad, W_o input grad
+    Matrix dq, dk, dv;                // backward: projection grads
+    Matrix dalpha, dscores;           // backward: per-head softmax grads
+    Matrix dq_in, dkv_in;             // backward: concat input grads
   };
 
   TemporalAttention(std::string name, const AttentionDims& dims, Rng& rng);
@@ -52,15 +66,19 @@ class TemporalAttention : public Module {
   // edge_feat:  [n*K x edge_dim] (ignored when edge_dim == 0)
   // dt:         [n*K] time deltas (event time − neighbor memory time)
   // valid:      [n] populated neighbor counts (≤ K)
-  Matrix forward(const Matrix& node_repr, const Matrix& neigh_repr,
-                 const Matrix& edge_feat, std::span<const float> dt,
-                 std::span<const std::size_t> valid, Ctx* ctx) const;
+  // Returns a reference to ctx->out, valid until the next forward call
+  // on the same Ctx.
+  const Matrix& forward(const Matrix& node_repr, const Matrix& neigh_repr,
+                        const Matrix& edge_feat, std::span<const float> dt,
+                        std::span<const std::size_t> valid, Ctx* ctx) const;
 
   struct InputGrads {
     Matrix dnode_repr;   // [n x node_dim]
     Matrix dneigh_repr;  // [n*K x node_dim]
   };
-  InputGrads backward(const Ctx& ctx, const Matrix& dout);
+  InputGrads backward(Ctx& ctx, const Matrix& dout);
+  // Allocation-free form writing into caller-owned grads.
+  void backward_into(Ctx& ctx, const Matrix& dout, InputGrads& grads);
 
   void collect_parameters(std::vector<Parameter*>& out) override;
 

@@ -1,5 +1,7 @@
 #include "nn/gru_cell.hpp"
 
+#include <cmath>
+
 #include "nn/init.hpp"
 #include "tensor/ops.hpp"
 
@@ -18,104 +20,104 @@ GRUCell::GRUCell(std::string name, std::size_t input_dim, std::size_t hidden_dim
 }
 
 Matrix GRUCell::forward(const Matrix& x, const Matrix& h, Ctx* ctx) const {
-  const std::size_t d = hidden_dim();
-  DT_CHECK_EQ(x.cols(), input_dim());
-  DT_CHECK_EQ(h.cols(), d);
-  DT_CHECK_EQ(x.rows(), h.rows());
-
-  Matrix gi = add_bias(matmul(x, wi_.value), bi_.value);   // [n x 3d]
-  Matrix gh = add_bias(matmul(h, wh_.value), bh_.value);   // [n x 3d]
-
-  Matrix r_in = gi.slice_cols(0, d);
-  r_in += gh.slice_cols(0, d);
-  Matrix z_in = gi.slice_cols(d, 2 * d);
-  z_in += gh.slice_cols(d, 2 * d);
-  Matrix hn_lin = gh.slice_cols(2 * d, 3 * d);
-
-  Matrix r = sigmoid(r_in);
-  Matrix z = sigmoid(z_in);
-  Matrix n_in = gi.slice_cols(2 * d, 3 * d);
-  {
-    Matrix gated = hn_lin;
-    gated.hadamard(r);
-    n_in += gated;
-  }
-  Matrix n = tanh_m(n_in);
-
-  Matrix h_new(h.rows(), d);
-  for (std::size_t i = 0; i < h_new.size(); ++i) {
-    h_new.data()[i] =
-        (1.0f - z.data()[i]) * n.data()[i] + z.data()[i] * h.data()[i];
-  }
-
-  if (ctx != nullptr) {
-    ctx->x = x;
-    ctx->h = h;
-    ctx->r = std::move(r);
-    ctx->z = std::move(z);
-    ctx->n = std::move(n);
-    ctx->hn_lin = std::move(hn_lin);
-  }
+  Ctx local;
+  Matrix h_new;
+  forward_into(x, h, ctx != nullptr ? *ctx : local, h_new);
   return h_new;
 }
 
-GRUCell::InputGrads GRUCell::backward(const Ctx& ctx, const Matrix& dh_next) {
+void GRUCell::forward_into(const Matrix& x, const Matrix& h, Ctx& ctx,
+                           Matrix& h_new) const {
+  const std::size_t d = hidden_dim();
+  const std::size_t nrows = x.rows();
+  DT_CHECK_EQ(x.cols(), input_dim());
+  DT_CHECK_EQ(h.cols(), d);
+  DT_CHECK_EQ(h.rows(), nrows);
+
+  matmul_into(x, wi_.value, ctx.gi);  // [n x 3d]
+  add_bias_inplace(ctx.gi, bi_.value);
+  matmul_into(h, wh_.value, ctx.gh);  // [n x 3d]
+  add_bias_inplace(ctx.gh, bh_.value);
+
+  ctx.r.reset_shape(nrows, d);
+  ctx.z.reset_shape(nrows, d);
+  ctx.n.reset_shape(nrows, d);
+  ctx.hn_lin.reset_shape(nrows, d);
+  h_new.reset_shape(nrows, d);
+  for (std::size_t row = 0; row < nrows; ++row) {
+    const float* gi = ctx.gi.row_ptr(row);
+    const float* gh = ctx.gh.row_ptr(row);
+    const float* hrow = h.row_ptr(row);
+    float* r = ctx.r.row_ptr(row);
+    float* z = ctx.z.row_ptr(row);
+    float* n = ctx.n.row_ptr(row);
+    float* hn = ctx.hn_lin.row_ptr(row);
+    float* out = h_new.row_ptr(row);
+    for (std::size_t c = 0; c < d; ++c) {
+      r[c] = stable_sigmoid(gi[c] + gh[c]);
+      z[c] = stable_sigmoid(gi[d + c] + gh[d + c]);
+      hn[c] = gh[2 * d + c];
+      n[c] = std::tanh(gi[2 * d + c] + r[c] * hn[c]);
+      out[c] = (1.0f - z[c]) * n[c] + z[c] * hrow[c];
+    }
+  }
+
+  ctx.x = x;  // capacity-reusing copies for the weight gradients
+  ctx.h = h;
+}
+
+GRUCell::InputGrads GRUCell::backward(Ctx& ctx, const Matrix& dh_next) {
+  InputGrads grads;
+  backward_into(ctx, dh_next, grads);
+  return grads;
+}
+
+void GRUCell::backward_into(Ctx& ctx, const Matrix& dh_next, InputGrads& grads) {
   const std::size_t d = hidden_dim();
   const std::size_t nrows = ctx.h.rows();
   DT_CHECK_EQ(dh_next.rows(), nrows);
   DT_CHECK_EQ(dh_next.cols(), d);
 
-  // h' = (1-z)n + zh
-  Matrix dn(nrows, d), dz(nrows, d), dh_direct(nrows, d);
-  for (std::size_t i = 0; i < dh_next.size(); ++i) {
-    const float g = dh_next.data()[i];
-    dn.data()[i] = g * (1.0f - ctx.z.data()[i]);
-    dz.data()[i] = g * (ctx.h.data()[i] - ctx.n.data()[i]);
-    dh_direct.data()[i] = g * ctx.z.data()[i];
-  }
-
-  // Through the tanh: dn_in = dn ⊙ (1 - n²).
-  Matrix dn_in = tanh_backward(ctx.n, dn);
-  // n_in = (x·W_in + b_in) + r ⊙ hn_lin
-  Matrix dr(nrows, d);
-  Matrix dhn_lin(nrows, d);
-  for (std::size_t i = 0; i < dn_in.size(); ++i) {
-    dr.data()[i] = dn_in.data()[i] * ctx.hn_lin.data()[i];
-    dhn_lin.data()[i] = dn_in.data()[i] * ctx.r.data()[i];
-  }
-  // Through the gate sigmoids.
-  Matrix dr_in = sigmoid_backward(ctx.r, dr);
-  Matrix dz_in = sigmoid_backward(ctx.z, dz);
-
-  // Reassemble fused [r|z|n] gradients for the input and hidden paths.
-  Matrix dgi(nrows, 3 * d), dgh(nrows, 3 * d);
+  // One fused pass: h' = (1-z)n + zh, through tanh / the gate sigmoids,
+  // into the packed [r|z|n] gradient layout the weight GEMMs consume.
+  ctx.dgi.reset_shape(nrows, 3 * d);
+  ctx.dgh.reset_shape(nrows, 3 * d);
   for (std::size_t row = 0; row < nrows; ++row) {
-    float* gi = dgi.row_ptr(row);
-    float* gh = dgh.row_ptr(row);
-    const float* pr = dr_in.row_ptr(row);
-    const float* pz = dz_in.row_ptr(row);
-    const float* pn = dn_in.row_ptr(row);
-    const float* ph = dhn_lin.row_ptr(row);
+    const float* g = dh_next.row_ptr(row);
+    const float* r = ctx.r.row_ptr(row);
+    const float* z = ctx.z.row_ptr(row);
+    const float* n = ctx.n.row_ptr(row);
+    const float* hn = ctx.hn_lin.row_ptr(row);
+    const float* hrow = ctx.h.row_ptr(row);
+    float* dgi = ctx.dgi.row_ptr(row);
+    float* dgh = ctx.dgh.row_ptr(row);
     for (std::size_t c = 0; c < d; ++c) {
-      gi[c] = pr[c];
-      gi[d + c] = pz[c];
-      gi[2 * d + c] = pn[c];
-      gh[c] = pr[c];
-      gh[d + c] = pz[c];
-      gh[2 * d + c] = ph[c];
+      const float dn = g[c] * (1.0f - z[c]);
+      const float dz = g[c] * (hrow[c] - n[c]);
+      const float dn_in = dn * (1.0f - n[c] * n[c]);     // tanh'
+      const float dr = dn_in * hn[c];
+      const float dhn = dn_in * r[c];
+      const float dr_in = dr * r[c] * (1.0f - r[c]);     // σ'
+      const float dz_in = dz * z[c] * (1.0f - z[c]);
+      dgi[c] = dr_in;
+      dgi[d + c] = dz_in;
+      dgi[2 * d + c] = dn_in;
+      dgh[c] = dr_in;
+      dgh[d + c] = dz_in;
+      dgh[2 * d + c] = dhn;
     }
   }
 
-  wi_.grad += matmul_tn(ctx.x, dgi);
-  wh_.grad += matmul_tn(ctx.h, dgh);
-  bi_.grad += column_sums(dgi);
-  bh_.grad += column_sums(dgh);
+  matmul_tn_acc(ctx.x, ctx.dgi, wi_.grad);
+  matmul_tn_acc(ctx.h, ctx.dgh, wh_.grad);
+  column_sums_acc(ctx.dgi, bi_.grad);
+  column_sums_acc(ctx.dgh, bh_.grad);
 
-  InputGrads grads;
-  grads.dx = matmul_nt(dgi, wi_.value);
-  grads.dh = matmul_nt(dgh, wh_.value);
-  grads.dh += dh_direct;
-  return grads;
+  matmul_nt_into(ctx.dgi, wi_.value, grads.dx);
+  matmul_nt_into(ctx.dgh, wh_.value, grads.dh);
+  // Direct path h' = ... + z ⊙ h.
+  for (std::size_t i = 0; i < grads.dh.size(); ++i)
+    grads.dh.data()[i] += dh_next.data()[i] * ctx.z.data()[i];
 }
 
 void GRUCell::collect_parameters(std::vector<Parameter*>& out) {

@@ -8,6 +8,9 @@
 // Following the paper (§2.1), gradients are trained *within* each cell
 // application: backward produces parameter gradients plus dx and dh, and
 // the trainer stops the chain at the previous memory state (no BPTT).
+//
+// The Ctx also carries the cell's scratch (fused gate buffers), so a
+// caller that reuses one Ctx across iterations runs allocation-free.
 #pragma once
 
 #include "nn/module.hpp"
@@ -21,6 +24,9 @@ class GRUCell : public Module {
     Matrix x, h;        // inputs
     Matrix r, z, n;     // gate activations
     Matrix hn_lin;      // h·W_hn + b_hn, needed for dr
+    // Scratch (reused across iterations, not read by backward's math):
+    Matrix gi, gh;      // fused [r|z|n] pre-activations, [n x 3d]
+    Matrix dgi, dgh;    // fused gradients, backward scratch
   };
 
   GRUCell(std::string name, std::size_t input_dim, std::size_t hidden_dim, Rng& rng);
@@ -30,13 +36,18 @@ class GRUCell : public Module {
 
   // x: [batch x input_dim], h: [batch x hidden_dim] -> h': same as h.
   Matrix forward(const Matrix& x, const Matrix& h, Ctx* ctx = nullptr) const;
+  // Allocation-free form; `ctx` is required (it holds the scratch).
+  void forward_into(const Matrix& x, const Matrix& h, Ctx& ctx,
+                    Matrix& h_new) const;
 
   struct InputGrads {
     Matrix dx;
     Matrix dh;
   };
   // Accumulates parameter gradients; returns input gradients.
-  InputGrads backward(const Ctx& ctx, const Matrix& dh_next);
+  InputGrads backward(Ctx& ctx, const Matrix& dh_next);
+  // Allocation-free form writing into caller-owned grads.
+  void backward_into(Ctx& ctx, const Matrix& dh_next, InputGrads& grads);
 
   void collect_parameters(std::vector<Parameter*>& out) override;
 

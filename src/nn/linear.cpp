@@ -15,19 +15,32 @@ Linear::Linear(std::string name, std::size_t in_dim, std::size_t out_dim,
 }
 
 Matrix Linear::forward(const Matrix& x, Ctx* ctx) const {
-  DT_CHECK_EQ(x.cols(), w_.value.rows());
-  Matrix y = matmul(x, w_.value);
-  if (has_bias_) y = add_bias(y, b_.value);
-  if (ctx != nullptr) ctx->input = x;
+  Matrix y;
+  forward_into(x, ctx, y);
   return y;
 }
 
+void Linear::forward_into(const Matrix& x, Ctx* ctx, Matrix& y) const {
+  DT_CHECK_EQ(x.cols(), w_.value.rows());
+  matmul_into(x, w_.value, y);
+  if (has_bias_) add_bias_inplace(y, b_.value);
+  if (ctx != nullptr) ctx->input = x;  // capacity-reusing copy
+}
+
 Matrix Linear::backward(const Ctx& ctx, const Matrix& dy) {
+  Matrix dx;
+  backward_into(ctx, dy, dx);
+  return dx;
+}
+
+void Linear::backward_into(const Ctx& ctx, const Matrix& dy, Matrix& dx,
+                           bool accumulate_dx) {
   DT_CHECK_EQ(dy.cols(), w_.value.cols());
   DT_CHECK_EQ(dy.rows(), ctx.input.rows());
-  w_.grad += matmul_tn(ctx.input, dy);
-  if (has_bias_) b_.grad += column_sums(dy);
-  return matmul_nt(dy, w_.value);  // dx = dy W^T
+  matmul_tn_acc(ctx.input, dy, w_.grad);
+  if (has_bias_) column_sums_acc(dy, b_.grad);
+  if (accumulate_dx) matmul_nt_acc(dy, w_.value, dx);  // dx += dy Wᵀ
+  else matmul_nt_into(dy, w_.value, dx);               // dx = dy Wᵀ
 }
 
 void Linear::collect_parameters(std::vector<Parameter*>& out) {

@@ -17,8 +17,15 @@ class Linear : public Module {
 
   // y = xW + b. If `ctx` is non-null the input is cached for backward.
   Matrix forward(const Matrix& x, Ctx* ctx = nullptr) const;
+  // Allocation-free form: y is reshaped in place (capacity-reusing).
+  void forward_into(const Matrix& x, Ctx* ctx, Matrix& y) const;
+
   // Accumulates dW, db; returns dx.
   Matrix backward(const Ctx& ctx, const Matrix& dy);
+  // Allocation-free form: dx = dy Wᵀ written (or, with `accumulate_dx`,
+  // added — used when several projections share one input) into dx.
+  void backward_into(const Ctx& ctx, const Matrix& dy, Matrix& dx,
+                     bool accumulate_dx = false);
 
   std::size_t in_dim() const { return w_.value.rows(); }
   std::size_t out_dim() const { return w_.value.cols(); }

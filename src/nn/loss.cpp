@@ -7,13 +7,6 @@
 
 namespace disttgl::nn {
 
-namespace {
-float stable_sigmoid(float x) {
-  return x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
-                   : std::exp(x) / (1.0f + std::exp(x));
-}
-}  // namespace
-
 float link_prediction_loss(const Matrix& pos, const Matrix& neg, Matrix& dpos,
                            Matrix& dneg) {
   DT_CHECK_EQ(pos.cols(), 1u);

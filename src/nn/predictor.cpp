@@ -10,24 +10,38 @@ EdgePredictor::EdgePredictor(std::string name, std::size_t emb_dim,
       l2_(name + ".l2", hidden_dim, 1, rng),
       emb_dim_(emb_dim) {}
 
-Matrix EdgePredictor::forward(const Matrix& src, const Matrix& dst, Ctx* ctx) const {
+Matrix EdgePredictor::forward(const Matrix& src, const Matrix& dst,
+                              Ctx* ctx) const {
+  Matrix out;
+  forward_into(src, dst, ctx, out);
+  return out;
+}
+
+void EdgePredictor::forward_into(const Matrix& src, const Matrix& dst, Ctx* ctx,
+                                 Matrix& out) const {
   DT_CHECK(ctx != nullptr);
   DT_CHECK_EQ(src.cols(), emb_dim_);
   DT_CHECK(src.same_shape(dst));
-  Matrix x = Matrix::concat_cols(src, dst);
-  ctx->hidden = relu(l1_.forward(x, &ctx->l1_ctx));
-  return l2_.forward(ctx->hidden, &ctx->l2_ctx);
+  Matrix::concat_cols_into(src, dst, ctx->x);
+  l1_.forward_into(ctx->x, &ctx->l1_ctx, ctx->hidden);
+  relu_inplace(ctx->hidden);
+  l2_.forward_into(ctx->hidden, &ctx->l2_ctx, out);
 }
 
-EdgePredictor::InputGrads EdgePredictor::backward(const Ctx& ctx,
+EdgePredictor::InputGrads EdgePredictor::backward(Ctx& ctx,
                                                   const Matrix& dscores) {
-  Matrix dhid = l2_.backward(ctx.l2_ctx, dscores);
-  dhid = relu_backward(ctx.hidden, dhid);
-  Matrix dx = l1_.backward(ctx.l1_ctx, dhid);
-  InputGrads g;
-  g.dsrc = dx.slice_cols(0, emb_dim_);
-  g.ddst = dx.slice_cols(emb_dim_, 2 * emb_dim_);
-  return g;
+  InputGrads grads;
+  backward_into(ctx, dscores, grads);
+  return grads;
+}
+
+void EdgePredictor::backward_into(Ctx& ctx, const Matrix& dscores,
+                                  InputGrads& grads) {
+  l2_.backward_into(ctx.l2_ctx, dscores, ctx.dhid);
+  relu_backward_into(ctx.hidden, ctx.dhid, ctx.dhid);  // aliasing-safe
+  l1_.backward_into(ctx.l1_ctx, ctx.dhid, ctx.dx);
+  ctx.dx.slice_cols_into(0, emb_dim_, grads.dsrc);
+  ctx.dx.slice_cols_into(emb_dim_, 2 * emb_dim_, grads.ddst);
 }
 
 void EdgePredictor::collect_parameters(std::vector<Parameter*>& out) {
@@ -44,23 +58,36 @@ EdgeClassifier::EdgeClassifier(std::string name, std::size_t emb_dim,
 
 Matrix EdgeClassifier::forward(const Matrix& src, const Matrix& dst,
                                Ctx* ctx) const {
+  Matrix out;
+  forward_into(src, dst, ctx, out);
+  return out;
+}
+
+void EdgeClassifier::forward_into(const Matrix& src, const Matrix& dst, Ctx* ctx,
+                                  Matrix& out) const {
   DT_CHECK(ctx != nullptr);
   DT_CHECK_EQ(src.cols(), emb_dim_);
   DT_CHECK(src.same_shape(dst));
-  Matrix x = Matrix::concat_cols(src, dst);
-  ctx->hidden = relu(l1_.forward(x, &ctx->l1_ctx));
-  return l2_.forward(ctx->hidden, &ctx->l2_ctx);
+  Matrix::concat_cols_into(src, dst, ctx->x);
+  l1_.forward_into(ctx->x, &ctx->l1_ctx, ctx->hidden);
+  relu_inplace(ctx->hidden);
+  l2_.forward_into(ctx->hidden, &ctx->l2_ctx, out);
 }
 
-EdgeClassifier::InputGrads EdgeClassifier::backward(const Ctx& ctx,
+EdgeClassifier::InputGrads EdgeClassifier::backward(Ctx& ctx,
                                                     const Matrix& dlogits) {
-  Matrix dhid = l2_.backward(ctx.l2_ctx, dlogits);
-  dhid = relu_backward(ctx.hidden, dhid);
-  Matrix dx = l1_.backward(ctx.l1_ctx, dhid);
-  InputGrads g;
-  g.dsrc = dx.slice_cols(0, emb_dim_);
-  g.ddst = dx.slice_cols(emb_dim_, 2 * emb_dim_);
-  return g;
+  InputGrads grads;
+  backward_into(ctx, dlogits, grads);
+  return grads;
+}
+
+void EdgeClassifier::backward_into(Ctx& ctx, const Matrix& dlogits,
+                                   InputGrads& grads) {
+  l2_.backward_into(ctx.l2_ctx, dlogits, ctx.dhid);
+  relu_backward_into(ctx.hidden, ctx.dhid, ctx.dhid);  // aliasing-safe
+  l1_.backward_into(ctx.l1_ctx, ctx.dhid, ctx.dx);
+  ctx.dx.slice_cols_into(0, emb_dim_, grads.dsrc);
+  ctx.dx.slice_cols_into(emb_dim_, 2 * emb_dim_, grads.ddst);
 }
 
 void EdgeClassifier::collect_parameters(std::vector<Parameter*>& out) {

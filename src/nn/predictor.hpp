@@ -1,4 +1,8 @@
 // Task heads: temporal link prediction and dynamic edge classification.
+//
+// Both are two-layer MLPs over {src || dst}; the Ctx carries the concat
+// and hidden-layer scratch so reusing one Ctx across iterations makes
+// the head allocation-free in steady state.
 #pragma once
 
 #include "nn/linear.hpp"
@@ -12,7 +16,9 @@ class EdgePredictor : public Module {
  public:
   struct Ctx {
     Linear::Ctx l1_ctx, l2_ctx;
-    Matrix hidden;  // post-ReLU, for relu backward
+    Matrix hidden;    // post-ReLU, for relu backward
+    Matrix x;         // {src || dst} concat scratch
+    Matrix dhid, dx;  // backward scratch
   };
 
   EdgePredictor(std::string name, std::size_t emb_dim, std::size_t hidden_dim,
@@ -20,11 +26,14 @@ class EdgePredictor : public Module {
 
   // src, dst: [n x emb_dim] -> scores [n x 1].
   Matrix forward(const Matrix& src, const Matrix& dst, Ctx* ctx) const;
+  void forward_into(const Matrix& src, const Matrix& dst, Ctx* ctx,
+                    Matrix& out) const;
 
   struct InputGrads {
     Matrix dsrc, ddst;
   };
-  InputGrads backward(const Ctx& ctx, const Matrix& dscores);
+  InputGrads backward(Ctx& ctx, const Matrix& dscores);
+  void backward_into(Ctx& ctx, const Matrix& dscores, InputGrads& grads);
 
   void collect_parameters(std::vector<Parameter*>& out) override;
 
@@ -40,6 +49,8 @@ class EdgeClassifier : public Module {
   struct Ctx {
     Linear::Ctx l1_ctx, l2_ctx;
     Matrix hidden;
+    Matrix x;
+    Matrix dhid, dx;
   };
 
   EdgeClassifier(std::string name, std::size_t emb_dim, std::size_t hidden_dim,
@@ -49,11 +60,14 @@ class EdgeClassifier : public Module {
 
   // src, dst: [n x emb_dim] -> logits [n x num_classes].
   Matrix forward(const Matrix& src, const Matrix& dst, Ctx* ctx) const;
+  void forward_into(const Matrix& src, const Matrix& dst, Ctx* ctx,
+                    Matrix& out) const;
 
   struct InputGrads {
     Matrix dsrc, ddst;
   };
-  InputGrads backward(const Ctx& ctx, const Matrix& dlogits);
+  InputGrads backward(Ctx& ctx, const Matrix& dlogits);
+  void backward_into(Ctx& ctx, const Matrix& dlogits, InputGrads& grads);
 
   void collect_parameters(std::vector<Parameter*>& out) override;
 

@@ -18,31 +18,46 @@ TimeEncoding::TimeEncoding(std::string name, std::size_t dim)
 }
 
 Matrix TimeEncoding::forward(std::span<const float> dt, Ctx* ctx) const {
-  const std::size_t n = dt.size(), d = dim();
-  Matrix phase(n, d);
-  for (std::size_t r = 0; r < n; ++r) {
-    float* row = phase.row_ptr(r);
-    for (std::size_t c = 0; c < d; ++c)
-      row[c] = dt[r] * omega_.value(0, c) + phi_.value(0, c);
-  }
-  Matrix out(n, d);
-  for (std::size_t i = 0; i < out.size(); ++i)
-    out.data()[i] = std::cos(phase.data()[i]);
-  if (ctx != nullptr) {
-    ctx->dt.assign(dt.begin(), dt.end());
-    ctx->phase = std::move(phase);
-  }
+  Matrix out;
+  forward_into(dt, ctx, out);
   return out;
 }
 
+void TimeEncoding::forward_into(std::span<const float> dt, Ctx* ctx,
+                                Matrix& out) const {
+  const std::size_t n = dt.size(), d = dim();
+  out.reset_shape(n, d);
+  const float* om = omega_.value.row_ptr(0);
+  const float* ph = phi_.value.row_ptr(0);
+  if (ctx != nullptr) {
+    ctx->dt.assign(dt.begin(), dt.end());
+    ctx->phase.reset_shape(n, d);
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    float* orow = out.row_ptr(r);
+    float* prow = ctx != nullptr ? ctx->phase.row_ptr(r) : nullptr;
+    for (std::size_t c = 0; c < d; ++c) {
+      const float phase = dt[r] * om[c] + ph[c];
+      if (prow != nullptr) prow[c] = phase;
+      orow[c] = std::cos(phase);
+    }
+  }
+}
+
 void TimeEncoding::backward(const Ctx& ctx, const Matrix& dy) {
+  DT_CHECK_EQ(dy.cols(), dim());
+  backward_cols(ctx, dy, 0);
+}
+
+void TimeEncoding::backward_cols(const Ctx& ctx, const Matrix& dy,
+                                 std::size_t col0) {
   const std::size_t n = ctx.dt.size(), d = dim();
   DT_CHECK_EQ(dy.rows(), n);
-  DT_CHECK_EQ(dy.cols(), d);
+  DT_CHECK_LE(col0 + d, dy.cols());
   // d/dx cos(x) = -sin(x); x = Δt·ω + φ.
   for (std::size_t r = 0; r < n; ++r) {
     const float* ph = ctx.phase.row_ptr(r);
-    const float* g = dy.row_ptr(r);
+    const float* g = dy.row_ptr(r) + col0;
     for (std::size_t c = 0; c < d; ++c) {
       const float dphase = -std::sin(ph[c]) * g[c];
       omega_.grad(0, c) += dphase * ctx.dt[r];

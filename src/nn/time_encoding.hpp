@@ -25,8 +25,14 @@ class TimeEncoding : public Module {
 
   // [n] deltas -> [n x dim].
   Matrix forward(std::span<const float> dt, Ctx* ctx = nullptr) const;
+  // Allocation-free form: out is reshaped in place.
+  void forward_into(std::span<const float> dt, Ctx* ctx, Matrix& out) const;
+
   // Accumulates dω, dφ. (Time deltas are data, so no input gradient.)
   void backward(const Ctx& ctx, const Matrix& dy);
+  // As backward, but reading dy from columns [col0, col0 + dim) of a
+  // wider gradient matrix — avoids slicing a temporary on the hot path.
+  void backward_cols(const Ctx& ctx, const Matrix& dy, std::size_t col0);
 
   void collect_parameters(std::vector<Parameter*>& out) override;
 

@@ -1,0 +1,343 @@
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace disttgl::kernel {
+namespace {
+
+// ---- tile geometry -------------------------------------------------------
+//
+// MR x NR register tile: MR rows of C, NR = NV * 8 columns held in NV
+// 8-float accumulator vectors per row. 6 x 32 keeps 24 accumulator
+// vectors live — sized for the 32 architectural registers of AVX-512;
+// on AVX2 the tail spills to L1, which costs little next to the FMA
+// chain. KC bounds the packed panels so an A panel (MR*KC floats) and
+// the B panel stripe stay cache-resident across the j sweep.
+constexpr std::size_t MR = 6;
+constexpr std::size_t NV = 4;
+constexpr std::size_t NR = NV * 8;
+constexpr std::size_t KC = 256;
+
+#if defined(__GNUC__) || defined(__clang__)
+#define DT_HAVE_VECTOR_EXT 1
+typedef float v8sf __attribute__((vector_size(32), aligned(4)));
+#else
+#define DT_HAVE_VECTOR_EXT 0
+#endif
+
+// Function multiversioning: GCC on x86-64/glibc resolves the best clone
+// at load time via ifunc, so the portable baseline binary still runs
+// AVX2/AVX-512 code where available. (x86-64-v3 = AVX2+FMA, v4 = AVX-512.)
+// Only in optimized builds: GCC 12 miscompiles target_clones bodies at
+// -O0 (observed: 0·inf evaluating to 0 and run-to-run nondeterminism),
+// and -O0 has no use for SIMD dispatch anyway.
+#if defined(__x86_64__) && defined(__gnu_linux__) && defined(__GNUC__) && \
+    !defined(__clang__) && defined(__OPTIMIZE__)
+#define DT_KERNEL_CLONES \
+  __attribute__((target_clones("default", "arch=x86-64-v3", "arch=x86-64-v4")))
+#else
+#define DT_KERNEL_CLONES
+#endif
+
+#if DT_HAVE_VECTOR_EXT
+
+inline v8sf load8(const float* p) {
+  v8sf v;
+  __builtin_memcpy(&v, p, sizeof(v));
+  return v;
+}
+inline void store8(float* p, v8sf v) { __builtin_memcpy(p, &v, sizeof(v)); }
+
+// One MR x NR tile: C_tile (+)= Apanel · Bpanel over kc reduction steps.
+// Apanel is MR-interleaved (MR consecutive row values per k), Bpanel is
+// NR-interleaved. `first` selects overwrite (first k-block of a
+// non-accumulating product) vs add. mr/nr trim the store for edge tiles.
+DT_KERNEL_CLONES
+void micro_kernel(std::size_t kc, const float* ap, const float* bp, float* c,
+                  std::size_t ldc, std::size_t mr, std::size_t nr, bool first) {
+  v8sf acc[MR][NV];
+  for (std::size_t i = 0; i < MR; ++i)
+    for (std::size_t v = 0; v < NV; ++v) acc[i][v] = v8sf{};
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* a = ap + p * MR;
+    v8sf b[NV];
+    for (std::size_t v = 0; v < NV; ++v) b[v] = load8(bp + p * NR + 8 * v);
+    for (std::size_t i = 0; i < MR; ++i) {
+      const v8sf av = v8sf{} + a[i];  // broadcast
+      for (std::size_t v = 0; v < NV; ++v) acc[i][v] += av * b[v];
+    }
+  }
+  if (mr == MR && nr == NR) {
+    if (first) {
+      for (std::size_t i = 0; i < MR; ++i)
+        for (std::size_t v = 0; v < NV; ++v) store8(c + i * ldc + 8 * v, acc[i][v]);
+    } else {
+      for (std::size_t i = 0; i < MR; ++i) {
+        float* crow = c + i * ldc;
+        for (std::size_t v = 0; v < NV; ++v)
+          store8(crow + 8 * v, load8(crow + 8 * v) + acc[i][v]);
+      }
+    }
+  } else {
+    float tmp[MR][NR];
+    for (std::size_t i = 0; i < MR; ++i)
+      for (std::size_t v = 0; v < NV; ++v) store8(&tmp[i][v * 8], acc[i][v]);
+    for (std::size_t i = 0; i < mr; ++i)
+      for (std::size_t j = 0; j < nr; ++j) {
+        if (first) c[i * ldc + j] = tmp[i][j];
+        else c[i * ldc + j] += tmp[i][j];
+      }
+  }
+}
+
+#else  // !DT_HAVE_VECTOR_EXT — plain-array kernel, same tiling and order.
+
+void micro_kernel(std::size_t kc, const float* ap, const float* bp, float* c,
+                  std::size_t ldc, std::size_t mr, std::size_t nr, bool first) {
+  float acc[MR][NR] = {};
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* a = ap + p * MR;
+    const float* b = bp + p * NR;
+    for (std::size_t i = 0; i < MR; ++i)
+      for (std::size_t j = 0; j < NR; ++j) acc[i][j] += a[i] * b[j];
+  }
+  for (std::size_t i = 0; i < mr; ++i)
+    for (std::size_t j = 0; j < nr; ++j) {
+      if (first) c[i * ldc + j] = acc[i][j];
+      else c[i * ldc + j] += acc[i][j];
+    }
+}
+
+#endif  // DT_HAVE_VECTOR_EXT
+
+// ---- packing -------------------------------------------------------------
+
+inline const float* op_ptr(Layout lay, const float* data, std::size_t ld,
+                           std::size_t i, std::size_t j) {
+  return lay == Layout::kNormal ? data + i * ld + j : data + j * ld + i;
+}
+
+// Pack logical B[p0:p0+kc, 0:n] into NR-wide column panels, zero-padding
+// the last panel to NR. Output occupies ceil(n/NR)*NR * kc floats.
+void pack_b(Layout lay, const float* b, std::size_t ldb, std::size_t p0,
+            std::size_t kc, std::size_t n, float* out) {
+  for (std::size_t j0 = 0; j0 < n; j0 += NR) {
+    const std::size_t nr = std::min(NR, n - j0);
+    float* panel = out + j0 * kc;
+    if (lay == Layout::kNormal && nr == NR) {
+      for (std::size_t p = 0; p < kc; ++p)
+        std::memcpy(panel + p * NR, b + (p0 + p) * ldb + j0, NR * sizeof(float));
+    } else {
+      for (std::size_t p = 0; p < kc; ++p) {
+        float* dst = panel + p * NR;
+        std::size_t j = 0;
+        for (; j < nr; ++j) dst[j] = *op_ptr(lay, b, ldb, p0 + p, j0 + j);
+        for (; j < NR; ++j) dst[j] = 0.0f;
+      }
+    }
+  }
+}
+
+// Pack logical A[r0:r0+mc, p0:p0+kc] into MR-high row panels, zero-padding
+// the last panel to MR. Output occupies ceil(mc/MR)*MR * kc floats.
+void pack_a(Layout lay, const float* a, std::size_t lda, std::size_t r0,
+            std::size_t mc, std::size_t p0, std::size_t kc, float* out) {
+  for (std::size_t i0 = 0; i0 < mc; i0 += MR) {
+    const std::size_t mr = std::min(MR, mc - i0);
+    float* panel = out + i0 * kc;
+    for (std::size_t p = 0; p < kc; ++p) {
+      float* dst = panel + p * MR;
+      std::size_t i = 0;
+      for (; i < mr; ++i) dst[i] = *op_ptr(lay, a, lda, r0 + i0 + i, p0 + p);
+      for (; i < MR; ++i) dst[i] = 0.0f;
+    }
+  }
+}
+
+// ---- drivers -------------------------------------------------------------
+
+// Rows [r0, r1) of C, all k-blocks in ascending order. `bpack` holds every
+// k-block of B, pre-packed, the block for offset p0 starting at npad*p0.
+void run_rows(Layout la, std::size_t n, std::size_t k, const float* a,
+              std::size_t lda, const float* bpack, std::size_t npad, float* c,
+              std::size_t ldc, bool accumulate, std::size_t r0,
+              std::size_t r1) {
+  static thread_local std::vector<float> apack;
+  const std::size_t mc = r1 - r0;
+  const std::size_t mpad = (mc + MR - 1) / MR * MR;
+  for (std::size_t p0 = 0; p0 < k; p0 += KC) {
+    const std::size_t kc = std::min(KC, k - p0);
+    apack.resize(mpad * kc);
+    pack_a(la, a, lda, r0, mc, p0, kc, apack.data());
+    const bool first = p0 == 0 && !accumulate;
+    const float* bblk = bpack + npad * p0;
+    for (std::size_t i0 = 0; i0 < mc; i0 += MR) {
+      const std::size_t mr = std::min(MR, mc - i0);
+      for (std::size_t j0 = 0; j0 < n; j0 += NR) {
+        const std::size_t nr = std::min(NR, n - j0);
+        micro_kernel(kc, apack.data() + i0 * kc, bblk + j0 * kc,
+                     c + (r0 + i0) * ldc + j0, ldc, mr, nr, first);
+      }
+    }
+  }
+}
+
+// Unblocked loops for products too small to amortize packing. The branch
+// is on shape only, so any given product is deterministic across thread
+// counts (and there are no data-dependent skips: zeros flow through the
+// arithmetic so 0 * NaN correctly yields NaN).
+void gemm_small(Layout la, Layout lb, std::size_t m, std::size_t n,
+                std::size_t k, const float* a, std::size_t lda, const float* b,
+                std::size_t ldb, float* c, std::size_t ldc, bool accumulate) {
+  if (!accumulate)
+    for (std::size_t i = 0; i < m; ++i)
+      std::memset(c + i * ldc, 0, n * sizeof(float));
+  if (la == Layout::kNormal && lb == Layout::kNormal) {
+    for (std::size_t i = 0; i < m; ++i) {
+      float* crow = c + i * ldc;
+      const float* arow = a + i * lda;
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av = arow[p];
+        const float* brow = b + p * ldb;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else if (la == Layout::kNormal && lb == Layout::kTransposed) {
+    for (std::size_t i = 0; i < m; ++i) {
+      const float* arow = a + i * lda;
+      float* crow = c + i * ldc;
+      for (std::size_t j = 0; j < n; ++j) {
+        const float* brow = b + j * ldb;
+        float acc = 0.0f;
+        for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        crow[j] += acc;
+      }
+    }
+  } else if (la == Layout::kTransposed && lb == Layout::kNormal) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const float* arow = a + p * lda;
+      const float* brow = b + p * ldb;
+      for (std::size_t i = 0; i < m; ++i) {
+        const float av = arow[i];
+        float* crow = c + i * ldc;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < n; ++j) {
+        float acc = 0.0f;
+        for (std::size_t p = 0; p < k; ++p)
+          acc += *op_ptr(la, a, lda, i, p) * *op_ptr(lb, b, ldb, p, j);
+        c[i * ldc + j] += acc;
+      }
+  }
+}
+
+// ---- thread configuration ------------------------------------------------
+
+std::atomic<std::size_t> g_threads{0};  // 0 = not yet initialized
+
+std::size_t resolve_threads() {
+  std::size_t t = g_threads.load(std::memory_order_relaxed);
+  if (t == 0) {
+    t = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    g_threads.store(t, std::memory_order_relaxed);
+  }
+  return t;
+}
+
+// Pool shared by every parallel gemm; sized gemm_threads() - 1 because
+// the calling thread works on the first row chunk itself. Sized by the
+// configured thread count only — a GEMM with fewer row blocks than
+// threads simply submits fewer chunks — so the pool is rebuilt (old one
+// drained and destroyed) only when set_gemm_threads changes the count,
+// never on the per-shape hot path.
+std::mutex g_pool_mu;
+std::shared_ptr<ThreadPool> g_pool;
+
+std::shared_ptr<ThreadPool> shared_pool(std::size_t workers) {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (!g_pool || g_pool->size() != workers)
+    g_pool = std::make_shared<ThreadPool>(workers);
+  return g_pool;
+}
+
+// Work below this many multiply-adds is not worth fanning out.
+constexpr std::size_t kParallelFlops = 512 * 1024;
+
+}  // namespace
+
+std::size_t gemm_threads() { return resolve_threads(); }
+
+void set_gemm_threads(std::size_t n) {
+  g_threads.store(std::max<std::size_t>(1, n), std::memory_order_relaxed);
+}
+
+void gemm(Layout la, Layout lb, std::size_t m, std::size_t n, std::size_t k,
+          const float* a, std::size_t lda, const float* b, std::size_t ldb,
+          float* c, std::size_t ldc, bool accumulate) {
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    if (!accumulate)
+      for (std::size_t i = 0; i < m; ++i)
+        std::memset(c + i * ldc, 0, n * sizeof(float));
+    return;
+  }
+  const std::size_t flops = m * n * k;
+  if (flops < kGemmSmallFlops) {
+    gemm_small(la, lb, m, n, k, a, lda, b, ldb, c, ldc, accumulate);
+    return;
+  }
+
+  // Pack all of B once; every row task reads the same panels.
+  static thread_local std::vector<float> bpack;
+  const std::size_t npad = (n + NR - 1) / NR * NR;
+  bpack.resize(npad * k);
+  for (std::size_t p0 = 0; p0 < k; p0 += KC)
+    pack_b(lb, b, ldb, p0, std::min(KC, k - p0), n, bpack.data() + npad * p0);
+
+  const std::size_t mblocks = (m + MR - 1) / MR;
+  const std::size_t configured = resolve_threads();
+  std::size_t nthreads = configured;
+  if (flops < kParallelFlops) nthreads = 1;
+  nthreads = std::min(nthreads, mblocks);
+
+  if (nthreads <= 1) {
+    run_rows(la, n, k, a, lda, bpack.data(), npad, c, ldc, accumulate, 0, m);
+    return;
+  }
+
+  // Contiguous MR-aligned row chunks, one per thread; the caller takes
+  // chunk 0 and the pool the rest. Chunking depends only on (m, nthreads).
+  // The packed-B pointer is captured by value: `bpack` is thread_local,
+  // and naming it inside the task body would resolve to the *worker's*
+  // (empty) instance instead of the caller's packed panels.
+  const float* bp = bpack.data();
+  const std::size_t chunk = (mblocks + nthreads - 1) / nthreads * MR;
+  auto run_chunk = [=](std::size_t t) {
+    const std::size_t r0 = t * chunk;
+    const std::size_t r1 = std::min(m, r0 + chunk);
+    if (r0 < r1)
+      run_rows(la, n, k, a, lda, bp, npad, c, ldc, accumulate, r0, r1);
+  };
+  auto pool = shared_pool(configured - 1);
+  std::vector<std::future<void>> futures;
+  futures.reserve(nthreads - 1);
+  for (std::size_t t = 1; t < nthreads; ++t)
+    futures.push_back(pool->submit([&run_chunk, t] { run_chunk(t); }));
+  run_chunk(0);
+  for (auto& f : futures) f.get();
+}
+
+}  // namespace disttgl::kernel

@@ -1,0 +1,49 @@
+// Blocked single-precision GEMM engine — the one micro-kernel behind
+// matmul / matmul_nt / matmul_tn (tensor/ops.hpp).
+//
+// Layout tags describe how each operand is *read*, so the three public
+// products are one implementation: C = op(A) · op(B) with
+// op ∈ {identity, transpose}. Operands are packed into cache-resident
+// panels (B into NR-wide column panels, A into MR-high row panels) and
+// multiplied by a register-blocked MR x NR micro-kernel written with GCC
+// vector extensions; on x86-64 the kernel is function-multiversioned
+// (`target_clones`) so one portable binary dispatches to AVX2/AVX-512 at
+// load time.
+//
+// Determinism: the k (reduction) dimension is never split across
+// threads. Parallelism partitions C's rows; every (i, j) element is
+// accumulated by exactly one thread in the same k-ascending block order
+// the serial path uses, so results are bit-identical for any thread
+// count. Tiny products (below kGemmSmallFlops multiply-adds) skip the
+// packing machinery and run simple dense loops — a shape-based choice,
+// also independent of thread count.
+#pragma once
+
+#include <cstddef>
+
+namespace disttgl::kernel {
+
+// How an operand matrix is read by the gemm driver.
+enum class Layout {
+  kNormal,      // logical (i, j) at data[i * ld + j]
+  kTransposed,  // logical (i, j) at data[j * ld + i]
+};
+
+// Products with fewer multiply-adds than this run the unblocked
+// fallback loops (packing would cost more than it saves).
+inline constexpr std::size_t kGemmSmallFlops = 16 * 1024;
+
+// C[m x n] (row-major, leading dimension ldc) = op(A) · op(B), or
+// += when `accumulate`. Logical shapes after op: A is [m x k],
+// B is [k x n]. lda/ldb are the *storage* leading dimensions.
+void gemm(Layout layout_a, Layout layout_b, std::size_t m, std::size_t n,
+          std::size_t k, const float* a, std::size_t lda, const float* b,
+          std::size_t ldb, float* c, std::size_t ldc, bool accumulate);
+
+// Worker threads large GEMMs may fan out over (row-block parallelism).
+// Defaults to std::thread::hardware_concurrency(). 1 disables the pool.
+// Not safe to call concurrently with in-flight gemm() calls.
+std::size_t gemm_threads();
+void set_gemm_threads(std::size_t n);
+
+}  // namespace disttgl::kernel

@@ -26,6 +26,12 @@ void Matrix::resize(std::size_t rows, std::size_t cols, float fill) {
   data_.assign(rows * cols, fill);
 }
 
+void Matrix::reset_shape(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+}
+
 Matrix& Matrix::operator+=(const Matrix& other) {
   DT_CHECK(same_shape(other));
   for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
@@ -69,12 +75,19 @@ void Matrix::add_row_from(std::size_t r, std::span<const float> src) {
 }
 
 Matrix Matrix::gather_rows(std::span<const std::size_t> index) const {
-  Matrix out(index.size(), cols_);
+  Matrix out;
+  gather_rows_into(index, out);
+  return out;
+}
+
+void Matrix::gather_rows_into(std::span<const std::size_t> index,
+                              Matrix& out) const {
+  DT_CHECK(&out != this);
+  out.reset_shape(index.size(), cols_);
   for (std::size_t i = 0; i < index.size(); ++i) {
     DT_CHECK_LT(index[i], rows_);
     std::memcpy(out.row_ptr(i), row_ptr(index[i]), cols_ * sizeof(float));
   }
-  return out;
 }
 
 void Matrix::scatter_rows(std::span<const std::size_t> index, const Matrix& src) {
@@ -87,35 +100,73 @@ void Matrix::scatter_rows(std::span<const std::size_t> index, const Matrix& src)
 }
 
 Matrix Matrix::concat_cols(const Matrix& a, const Matrix& b) {
-  DT_CHECK_EQ(a.rows(), b.rows());
-  Matrix out(a.rows(), a.cols() + b.cols());
-  for (std::size_t r = 0; r < a.rows(); ++r) {
-    std::memcpy(out.row_ptr(r), a.row_ptr(r), a.cols() * sizeof(float));
-    std::memcpy(out.row_ptr(r) + a.cols(), b.row_ptr(r), b.cols() * sizeof(float));
-  }
+  Matrix out;
+  concat_cols_into(a, b, out);
   return out;
 }
 
 Matrix Matrix::concat_cols(const Matrix& a, const Matrix& b, const Matrix& c) {
-  return concat_cols(concat_cols(a, b), c);
+  Matrix out;
+  concat_cols_into(a, b, c, out);
+  return out;
+}
+
+void Matrix::concat_cols_into(const Matrix& a, const Matrix& b, Matrix& out) {
+  DT_CHECK_EQ(a.rows(), b.rows());
+  DT_CHECK(&out != &a);
+  DT_CHECK(&out != &b);
+  out.reset_shape(a.rows(), a.cols() + b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    std::memcpy(out.row_ptr(r), a.row_ptr(r), a.cols() * sizeof(float));
+    std::memcpy(out.row_ptr(r) + a.cols(), b.row_ptr(r), b.cols() * sizeof(float));
+  }
+}
+
+void Matrix::concat_cols_into(const Matrix& a, const Matrix& b, const Matrix& c,
+                              Matrix& out) {
+  DT_CHECK_EQ(a.rows(), b.rows());
+  DT_CHECK_EQ(a.rows(), c.rows());
+  DT_CHECK(&out != &a);
+  DT_CHECK(&out != &b);
+  DT_CHECK(&out != &c);
+  out.reset_shape(a.rows(), a.cols() + b.cols() + c.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    float* dst = out.row_ptr(r);
+    std::memcpy(dst, a.row_ptr(r), a.cols() * sizeof(float));
+    std::memcpy(dst + a.cols(), b.row_ptr(r), b.cols() * sizeof(float));
+    std::memcpy(dst + a.cols() + b.cols(), c.row_ptr(r), c.cols() * sizeof(float));
+  }
 }
 
 Matrix Matrix::slice_cols(std::size_t lo, std::size_t hi) const {
-  DT_CHECK_LE(lo, hi);
-  DT_CHECK_LE(hi, cols_);
-  Matrix out(rows_, hi - lo);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    std::memcpy(out.row_ptr(r), row_ptr(r) + lo, (hi - lo) * sizeof(float));
-  }
+  Matrix out;
+  slice_cols_into(lo, hi, out);
   return out;
 }
 
+void Matrix::slice_cols_into(std::size_t lo, std::size_t hi, Matrix& out) const {
+  DT_CHECK_LE(lo, hi);
+  DT_CHECK_LE(hi, cols_);
+  DT_CHECK(&out != this);
+  out.reset_shape(rows_, hi - lo);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    std::memcpy(out.row_ptr(r), row_ptr(r) + lo, (hi - lo) * sizeof(float));
+  }
+}
+
 Matrix Matrix::slice_rows(std::size_t lo, std::size_t hi) const {
+  Matrix out;
+  slice_rows_into(lo, hi, out);
+  return out;
+}
+
+void Matrix::slice_rows_into(std::size_t lo, std::size_t hi, Matrix& out) const {
   DT_CHECK_LE(lo, hi);
   DT_CHECK_LE(hi, rows_);
-  Matrix out(hi - lo, cols_);
-  std::memcpy(out.data(), data_.data() + lo * cols_, (hi - lo) * cols_ * sizeof(float));
-  return out;
+  DT_CHECK(&out != this);
+  out.reset_shape(hi - lo, cols_);
+  std::memcpy(out.data(), data_.data() + lo * cols_,
+              (hi - lo) * cols_ * sizeof(float));
 }
 
 float Matrix::squared_norm() const {

@@ -53,6 +53,10 @@ class Matrix {
   void reshape(std::size_t rows, std::size_t cols);
   // Resize discarding contents (fills with `fill`).
   void resize(std::size_t rows, std::size_t cols, float fill = 0.0f);
+  // Resize without the fill pass: contents are unspecified. Reuses heap
+  // capacity, so repeated same-shape calls never allocate — the shape
+  // primitive behind Workspace and the `_into` kernels.
+  void reset_shape(std::size_t rows, std::size_t cols);
 
   // ---- in-place elementwise ----
   Matrix& operator+=(const Matrix& other);
@@ -69,16 +73,26 @@ class Matrix {
 
   // Extract rows listed in `index` into a new [index.size() x cols] matrix.
   Matrix gather_rows(std::span<const std::size_t> index) const;
+  // As gather_rows, but into a caller-owned output (reshaped in place).
+  void gather_rows_into(std::span<const std::size_t> index, Matrix& out) const;
   // Scatter rows of `src` into the rows listed in `index` (overwrite).
   void scatter_rows(std::span<const std::size_t> index, const Matrix& src);
 
   // Column-wise concatenation {A || B}: both must share row counts.
   static Matrix concat_cols(const Matrix& a, const Matrix& b);
   static Matrix concat_cols(const Matrix& a, const Matrix& b, const Matrix& c);
+  // Allocation-free concatenation into a caller-owned output.
+  static void concat_cols_into(const Matrix& a, const Matrix& b, Matrix& out);
+  static void concat_cols_into(const Matrix& a, const Matrix& b, const Matrix& c,
+                               Matrix& out);
   // Slice columns [lo, hi) into a new matrix.
   Matrix slice_cols(std::size_t lo, std::size_t hi) const;
+  // As slice_cols, but into a caller-owned output.
+  void slice_cols_into(std::size_t lo, std::size_t hi, Matrix& out) const;
   // Slice rows [lo, hi) into a new matrix.
   Matrix slice_rows(std::size_t lo, std::size_t hi) const;
+  // As slice_rows, but into a caller-owned output.
+  void slice_rows_into(std::size_t lo, std::size_t hi, Matrix& out) const;
 
   // Frobenius norms / reductions, used by grad-clipping and tests.
   float squared_norm() const;

@@ -3,97 +3,141 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/gemm.hpp"
+
 namespace disttgl {
 
+namespace {
+using kernel::Layout;
+
+void gemm_checked(Layout la, Layout lb, const Matrix& a, const Matrix& b,
+                  Matrix& c, bool accumulate) {
+  const bool ta = la == Layout::kTransposed;
+  const bool tb = lb == Layout::kTransposed;
+  const std::size_t m = ta ? a.cols() : a.rows();
+  const std::size_t ka = ta ? a.rows() : a.cols();
+  const std::size_t kb = tb ? b.cols() : b.rows();
+  const std::size_t n = tb ? b.rows() : b.cols();
+  DT_CHECK_EQ(ka, kb);
+  DT_CHECK(&c != &a);
+  DT_CHECK(&c != &b);
+  if (accumulate) {
+    DT_CHECK_EQ(c.rows(), m);
+    DT_CHECK_EQ(c.cols(), n);
+  } else {
+    c.reset_shape(m, n);
+  }
+  kernel::gemm(la, lb, m, n, ka, a.data(), a.cols(), b.data(), b.cols(),
+               c.data(), c.cols(), accumulate);
+}
+}  // namespace
+
 Matrix matmul(const Matrix& a, const Matrix& b) {
-  DT_CHECK_EQ(a.cols(), b.rows());
-  Matrix c(a.rows(), b.cols());
-  matmul_acc(a, b, c);
+  Matrix c;
+  matmul_into(a, b, c);
   return c;
+}
+
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& c) {
+  gemm_checked(Layout::kNormal, Layout::kNormal, a, b, c, /*accumulate=*/false);
 }
 
 void matmul_acc(const Matrix& a, const Matrix& b, Matrix& c) {
-  DT_CHECK_EQ(a.cols(), b.rows());
-  DT_CHECK_EQ(c.rows(), a.rows());
-  DT_CHECK_EQ(c.cols(), b.cols());
-  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  for (std::size_t i = 0; i < m; ++i) {
-    float* crow = c.row_ptr(i);
-    const float* arow = a.row_ptr(i);
-    for (std::size_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b.row_ptr(p);
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  gemm_checked(Layout::kNormal, Layout::kNormal, a, b, c, /*accumulate=*/true);
 }
 
 Matrix matmul_nt(const Matrix& a, const Matrix& b) {
-  DT_CHECK_EQ(a.cols(), b.cols());
-  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
-  Matrix c(m, n);
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = a.row_ptr(i);
-    float* crow = c.row_ptr(i);
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = b.row_ptr(j);
-      float acc = 0.0f;
-      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] = acc;
-    }
-  }
+  Matrix c;
+  matmul_nt_into(a, b, c);
   return c;
+}
+
+void matmul_nt_into(const Matrix& a, const Matrix& b, Matrix& c) {
+  gemm_checked(Layout::kNormal, Layout::kTransposed, a, b, c, /*accumulate=*/false);
+}
+
+void matmul_nt_acc(const Matrix& a, const Matrix& b, Matrix& c) {
+  gemm_checked(Layout::kNormal, Layout::kTransposed, a, b, c, /*accumulate=*/true);
 }
 
 Matrix matmul_tn(const Matrix& a, const Matrix& b) {
-  DT_CHECK_EQ(a.rows(), b.rows());
-  const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
-  Matrix c(m, n);
-  for (std::size_t p = 0; p < k; ++p) {
-    const float* arow = a.row_ptr(p);
-    const float* brow = b.row_ptr(p);
-    for (std::size_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c.row_ptr(i);
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  Matrix c;
+  matmul_tn_into(a, b, c);
   return c;
 }
 
+void matmul_tn_into(const Matrix& a, const Matrix& b, Matrix& c) {
+  gemm_checked(Layout::kTransposed, Layout::kNormal, a, b, c, /*accumulate=*/false);
+}
+
+void matmul_tn_acc(const Matrix& a, const Matrix& b, Matrix& c) {
+  gemm_checked(Layout::kTransposed, Layout::kNormal, a, b, c, /*accumulate=*/true);
+}
+
 Matrix add_bias(const Matrix& m, const Matrix& bias) {
+  Matrix out;
+  add_bias_into(m, bias, out);
+  return out;
+}
+
+void add_bias_into(const Matrix& m, const Matrix& bias, Matrix& out) {
   DT_CHECK_EQ(bias.rows(), 1u);
   DT_CHECK_EQ(bias.cols(), m.cols());
-  Matrix out = m;
+  out.reset_shape(m.rows(), m.cols());
+  const float* b = bias.row_ptr(0);
   for (std::size_t r = 0; r < m.rows(); ++r) {
-    float* row = out.row_ptr(r);
-    const float* b = bias.row_ptr(0);
+    const float* src = m.row_ptr(r);
+    float* dst = out.row_ptr(r);
+    for (std::size_t c = 0; c < m.cols(); ++c) dst[c] = src[c] + b[c];
+  }
+}
+
+void add_bias_inplace(Matrix& m, const Matrix& bias) {
+  DT_CHECK_EQ(bias.rows(), 1u);
+  DT_CHECK_EQ(bias.cols(), m.cols());
+  const float* b = bias.row_ptr(0);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    float* row = m.row_ptr(r);
     for (std::size_t c = 0; c < m.cols(); ++c) row[c] += b[c];
   }
-  return out;
 }
 
 Matrix column_sums(const Matrix& dy) {
   Matrix out(1, dy.cols());
-  for (std::size_t r = 0; r < dy.rows(); ++r) {
-    const float* row = dy.row_ptr(r);
-    float* o = out.row_ptr(0);
-    for (std::size_t c = 0; c < dy.cols(); ++c) o[c] += row[c];
-  }
+  column_sums_acc(dy, out);
   return out;
 }
 
+void column_sums_acc(const Matrix& dy, Matrix& acc) {
+  DT_CHECK_EQ(acc.rows(), 1u);
+  DT_CHECK_EQ(acc.cols(), dy.cols());
+  float* o = acc.row_ptr(0);
+  for (std::size_t r = 0; r < dy.rows(); ++r) {
+    const float* row = dy.row_ptr(r);
+    for (std::size_t c = 0; c < dy.cols(); ++c) o[c] += row[c];
+  }
+}
+
 Matrix masked_row_softmax(const Matrix& scores, std::span<const std::size_t> valid) {
+  Matrix out;
+  masked_row_softmax_into(scores, valid, out);
+  return out;
+}
+
+void masked_row_softmax_into(const Matrix& scores,
+                             std::span<const std::size_t> valid, Matrix& out) {
   DT_CHECK_EQ(valid.size(), scores.rows());
-  Matrix out(scores.rows(), scores.cols());
+  DT_CHECK(&out != &scores);
+  out.reset_shape(scores.rows(), scores.cols());
   for (std::size_t r = 0; r < scores.rows(); ++r) {
     const std::size_t n = valid[r];
     DT_CHECK_LE(n, scores.cols());
-    if (n == 0) continue;  // Row stays all-zero: no neighbors, no attention.
-    const float* srow = scores.row_ptr(r);
     float* orow = out.row_ptr(r);
+    // Masked entries carry probability 0 (and the whole row when n == 0:
+    // no neighbors, no attention). Explicit so reused buffers stay clean.
+    for (std::size_t c = n; c < scores.cols(); ++c) orow[c] = 0.0f;
+    if (n == 0) continue;
+    const float* srow = scores.row_ptr(r);
     float mx = srow[0];
     for (std::size_t c = 1; c < n; ++c) mx = std::max(mx, srow[c]);
     float denom = 0.0f;
@@ -104,76 +148,116 @@ Matrix masked_row_softmax(const Matrix& scores, std::span<const std::size_t> val
     const float inv = 1.0f / denom;
     for (std::size_t c = 0; c < n; ++c) orow[c] *= inv;
   }
-  return out;
 }
 
 Matrix masked_row_softmax_backward(const Matrix& y, const Matrix& dy,
                                    std::span<const std::size_t> valid) {
+  Matrix dx;
+  masked_row_softmax_backward_into(y, dy, valid, dx);
+  return dx;
+}
+
+void masked_row_softmax_backward_into(const Matrix& y, const Matrix& dy,
+                                      std::span<const std::size_t> valid,
+                                      Matrix& dx) {
   DT_CHECK(y.same_shape(dy));
   DT_CHECK_EQ(valid.size(), y.rows());
-  Matrix dx(y.rows(), y.cols());
+  DT_CHECK(&dx != &y);
+  dx.reset_shape(y.rows(), y.cols());
   for (std::size_t r = 0; r < y.rows(); ++r) {
     const std::size_t n = valid[r];
+    float* drow = dx.row_ptr(r);
+    for (std::size_t c = n; c < y.cols(); ++c) drow[c] = 0.0f;
     if (n == 0) continue;
     const float* yrow = y.row_ptr(r);
     const float* grow = dy.row_ptr(r);
-    float* drow = dx.row_ptr(r);
     float dot = 0.0f;
     for (std::size_t c = 0; c < n; ++c) dot += yrow[c] * grow[c];
     for (std::size_t c = 0; c < n; ++c) drow[c] = yrow[c] * (grow[c] - dot);
   }
-  return dx;
 }
 
 Matrix sigmoid(const Matrix& x) {
-  Matrix out(x.rows(), x.cols());
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    const float v = x.data()[i];
-    out.data()[i] = v >= 0.0f ? 1.0f / (1.0f + std::exp(-v))
-                              : std::exp(v) / (1.0f + std::exp(v));
-  }
+  Matrix out;
+  sigmoid_into(x, out);
   return out;
+}
+
+void sigmoid_into(const Matrix& x, Matrix& out) {
+  out.reset_shape(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    out.data()[i] = stable_sigmoid(x.data()[i]);
 }
 
 Matrix tanh_m(const Matrix& x) {
-  Matrix out(x.rows(), x.cols());
-  for (std::size_t i = 0; i < x.size(); ++i) out.data()[i] = std::tanh(x.data()[i]);
+  Matrix out;
+  tanh_into(x, out);
   return out;
+}
+
+void tanh_into(const Matrix& x, Matrix& out) {
+  out.reset_shape(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.size(); ++i) out.data()[i] = std::tanh(x.data()[i]);
 }
 
 Matrix relu(const Matrix& x) {
-  Matrix out(x.rows(), x.cols());
-  for (std::size_t i = 0; i < x.size(); ++i)
-    out.data()[i] = std::max(0.0f, x.data()[i]);
+  Matrix out;
+  relu_into(x, out);
   return out;
 }
 
+void relu_into(const Matrix& x, Matrix& out) {
+  out.reset_shape(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    out.data()[i] = std::max(0.0f, x.data()[i]);
+}
+
+void relu_inplace(Matrix& x) {
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x.data()[i] = std::max(0.0f, x.data()[i]);
+}
+
 Matrix sigmoid_backward(const Matrix& y, const Matrix& dy) {
+  Matrix dx;
+  sigmoid_backward_into(y, dy, dx);
+  return dx;
+}
+
+void sigmoid_backward_into(const Matrix& y, const Matrix& dy, Matrix& dx) {
   DT_CHECK(y.same_shape(dy));
-  Matrix dx(y.rows(), y.cols());
+  dx.reset_shape(y.rows(), y.cols());
   for (std::size_t i = 0; i < y.size(); ++i) {
     const float yi = y.data()[i];
     dx.data()[i] = dy.data()[i] * yi * (1.0f - yi);
   }
-  return dx;
 }
 
 Matrix tanh_backward(const Matrix& y, const Matrix& dy) {
+  Matrix dx;
+  tanh_backward_into(y, dy, dx);
+  return dx;
+}
+
+void tanh_backward_into(const Matrix& y, const Matrix& dy, Matrix& dx) {
   DT_CHECK(y.same_shape(dy));
-  Matrix dx(y.rows(), y.cols());
+  dx.reset_shape(y.rows(), y.cols());
   for (std::size_t i = 0; i < y.size(); ++i) {
     const float yi = y.data()[i];
     dx.data()[i] = dy.data()[i] * (1.0f - yi * yi);
   }
-  return dx;
 }
 
 Matrix relu_backward(const Matrix& y, const Matrix& dy) {
+  Matrix dx;
+  relu_backward_into(y, dy, dx);
+  return dx;
+}
+
+void relu_backward_into(const Matrix& y, const Matrix& dy, Matrix& dx) {
   DT_CHECK(y.same_shape(dy));
-  Matrix dx(y.rows(), y.cols());
+  dx.reset_shape(y.rows(), y.cols());
   for (std::size_t i = 0; i < y.size(); ++i)
     dx.data()[i] = y.data()[i] > 0.0f ? dy.data()[i] : 0.0f;
-  return dx;
 }
 
 float log_sigmoid(float x) {

@@ -1,0 +1,35 @@
+#include "tensor/workspace.hpp"
+
+namespace disttgl {
+
+void Workspace::reset() {
+  mats_.next = 0;
+  floats_.next = 0;
+  indices_.next = 0;
+}
+
+Matrix& Workspace::mat(std::size_t rows, std::size_t cols) {
+  Matrix& m = mats_.take();
+  m.reset_shape(rows, cols);
+  return m;
+}
+
+Matrix& Workspace::zeros(std::size_t rows, std::size_t cols) {
+  Matrix& m = mats_.take();
+  m.resize(rows, cols, 0.0f);
+  return m;
+}
+
+std::vector<float>& Workspace::floats(std::size_t n, float fill) {
+  std::vector<float>& v = floats_.take();
+  v.assign(n, fill);
+  return v;
+}
+
+std::vector<std::size_t>& Workspace::indices() {
+  std::vector<std::size_t>& v = indices_.take();
+  v.clear();
+  return v;
+}
+
+}  // namespace disttgl

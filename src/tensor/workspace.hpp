@@ -1,0 +1,59 @@
+// Workspace — a slot-based scratch arena for per-iteration tensors.
+//
+// The training loop runs the same sequence of kernel calls every
+// iteration, so its temporaries have the same shapes every iteration.
+// A Workspace exploits that: reset() rewinds to the first slot, and each
+// mat()/zeros()/floats()/indices() call hands back the next slot resized
+// to the requested shape. Slots keep their heap capacity across resets,
+// so after the first (warm-up) iteration a steady-state iteration
+// performs zero heap allocations.
+//
+// Slots are heap-boxed, so references returned earlier in the same
+// iteration stay valid as more slots are acquired. A Workspace is not
+// thread-safe; give each trainer thread (each model replica) its own.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace disttgl {
+
+class Workspace {
+ public:
+  // Rewind to the first slot of every pool. Call once per iteration.
+  void reset();
+
+  // Next matrix slot shaped [rows x cols]; contents unspecified.
+  Matrix& mat(std::size_t rows, std::size_t cols);
+  // Next matrix slot shaped [rows x cols], zero-filled.
+  Matrix& zeros(std::size_t rows, std::size_t cols);
+  // Next float-vector slot, size n, filled with `fill`.
+  std::vector<float>& floats(std::size_t n, float fill = 0.0f);
+  // Next index-vector slot, cleared (size 0, capacity retained).
+  std::vector<std::size_t>& indices();
+
+  // Slots currently held (monitoring / tests).
+  std::size_t num_slots() const {
+    return mats_.slots.size() + floats_.slots.size() + indices_.slots.size();
+  }
+
+ private:
+  template <typename T>
+  struct Pool {
+    std::vector<std::unique_ptr<T>> slots;
+    std::size_t next = 0;
+
+    T& take() {
+      if (next == slots.size()) slots.push_back(std::make_unique<T>());
+      return *slots[next++];
+    }
+  };
+
+  Pool<Matrix> mats_;
+  Pool<std::vector<float>> floats_;
+  Pool<std::vector<std::size_t>> indices_;
+};
+
+}  // namespace disttgl

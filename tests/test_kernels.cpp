@@ -1,0 +1,414 @@
+// Kernel-layer tests for the blocked GEMM engine, the `_into` op
+// variants, Workspace, and the three hot-path guarantees:
+//
+//   1. the blocked/packed GEMM matches a retained naive reference over
+//      random and adversarial shapes (empty dims, K=1, single columns,
+//      shapes far from any tile multiple);
+//   2. results are bit-identical for every thread count (DistTGL's
+//      determinism contract — test_equivalence depends on it);
+//   3. steady-state forward/backward passes with reused Ctx scratch
+//      perform zero heap allocations (counting global allocator).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "nn/attention.hpp"
+#include "nn/gru_cell.hpp"
+#include "nn/linear.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/workspace.hpp"
+#include "util/rng.hpp"
+
+// ---- counting global allocator ------------------------------------------
+// Replaces ::operator new for this test binary only. The counter is what
+// AllocationFree.* asserts on; everything else just passes through.
+
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t al) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(al),
+                                   (size + static_cast<std::size_t>(al) - 1) /
+                                       static_cast<std::size_t>(al) *
+                                       static_cast<std::size_t>(al)))
+    return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t al) {
+  return ::operator new(size, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace disttgl {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i)
+    m.data()[i] = static_cast<float>(rng.normal());
+  return m;
+}
+
+// Retained naive reference: plain i-j-p triple loop, double-accumulated
+// so it is strictly more accurate than any float summation order. The
+// blocked kernel sums in a different order (k-block partials, FMA where
+// the ISA has it), so comparisons use a tolerance sized for float
+// accumulation over the largest K in the gauntlet, not bit equality.
+Matrix naive_matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < a.cols(); ++p)
+        acc += static_cast<double>(a(i, p)) * b(p, j);
+      c(i, j) = static_cast<float>(acc);
+    }
+  return c;
+}
+
+// Tolerance and the eps floor for max_rel_diff: elements of magnitude
+// ≥ 1 are compared relatively, near-zero elements (catastrophic
+// cancellation makes their *relative* error meaningless) absolutely.
+constexpr float kGemmTol = 1e-3f;
+constexpr float kGemmEps = 1.0f;
+
+Matrix transpose(const Matrix& m) {
+  Matrix t(m.cols(), m.rows());
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j) t(j, i) = m(i, j);
+  return t;
+}
+
+// ---- 1. blocked GEMM vs naive reference over a shape gauntlet ----------
+
+struct GemmShape {
+  std::size_t m, k, n;
+};
+
+class BlockedGemmTest : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(BlockedGemmTest, AllLayoutsMatchNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 7919 + k * 104729 + n);
+  Matrix a = random_matrix(m, k, rng);
+  Matrix b = random_matrix(k, n, rng);
+  Matrix expected = naive_matmul(a, b);
+
+  EXPECT_LT(max_rel_diff(matmul(a, b), expected, kGemmEps), kGemmTol);
+  EXPECT_LT(max_rel_diff(matmul_nt(a, transpose(b)), expected, kGemmEps), kGemmTol);
+  EXPECT_LT(max_rel_diff(matmul_tn(transpose(a), b), expected, kGemmEps), kGemmTol);
+
+  // Accumulating forms: C pre-seeded with ones.
+  Matrix c_acc(m, n, 1.0f);
+  matmul_acc(a, b, c_acc);
+  Matrix c_nt(m, n, 1.0f);
+  matmul_nt_acc(a, transpose(b), c_nt);
+  Matrix c_tn(m, n, 1.0f);
+  matmul_tn_acc(transpose(a), b, c_tn);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const float want = expected.data()[i] + 1.0f;
+    EXPECT_NEAR(c_acc.data()[i], want, 4e-3f);
+    EXPECT_NEAR(c_nt.data()[i], want, 4e-3f);
+    EXPECT_NEAR(c_tn.data()[i], want, 4e-3f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BlockedGemmTest,
+    ::testing::Values(
+        // Adversarial: empty dims, scalars, K=1, single rows/columns.
+        GemmShape{0, 3, 4}, GemmShape{3, 0, 4}, GemmShape{3, 4, 0},
+        GemmShape{1, 1, 1}, GemmShape{5, 1, 7}, GemmShape{1, 64, 1},
+        GemmShape{37, 1, 41},
+        // Around and across the small-product fallback threshold.
+        GemmShape{8, 8, 8}, GemmShape{17, 3, 9}, GemmShape{40, 16, 24},
+        GemmShape{64, 64, 64},
+        // Blocked path: exact tile multiples (MR=6, NR=32) and shapes
+        // that are a multiple of neither, plus a K > KC=256 case.
+        GemmShape{6, 64, 32}, GemmShape{12, 128, 64}, GemmShape{65, 33, 47},
+        GemmShape{7, 45, 300}, GemmShape{128, 128, 128},
+        GemmShape{130, 70, 90}, GemmShape{31, 513, 65}));
+
+TEST(BlockedGemm, ZeroTimesNanPropagates) {
+  // The old kernels skipped a == 0 entries, silently converting
+  // 0 * NaN (= NaN) into 0. Both the fallback and the blocked path must
+  // propagate non-finite values.
+  {
+    Matrix a(2, 2, {0.0f, 0.0f, 1.0f, 1.0f});
+    Matrix b(2, 2, {std::nanf(""), 1.0f, 2.0f, 3.0f});
+    Matrix c = matmul(a, b);  // small-product fallback path
+    EXPECT_TRUE(std::isnan(c(0, 0)));
+    EXPECT_TRUE(std::isnan(c(1, 0)));
+  }
+  {
+    Rng rng(11);
+    Matrix a = random_matrix(64, 64, rng);  // blocked path (64^3 madds)
+    Matrix b = random_matrix(64, 64, rng);
+    for (std::size_t p = 0; p < 64; ++p) a(0, p) = 0.0f;
+    b(0, 5) = std::numeric_limits<float>::infinity();
+    Matrix c = matmul(a, b);
+    EXPECT_TRUE(std::isnan(c(0, 5)));  // 0 * inf = NaN
+  }
+}
+
+// ---- 2. determinism across thread counts --------------------------------
+
+TEST(BlockedGemm, BitIdenticalAcrossThreadCounts) {
+  const std::size_t saved = kernel::gemm_threads();
+  Rng rng(42);
+  // Big enough to clear the parallel threshold (517*301*203 ≈ 31.6M madds).
+  Matrix a = random_matrix(517, 301, rng);
+  Matrix b = random_matrix(301, 203, rng);
+  Matrix at = transpose(a);
+  Matrix bt = transpose(b);
+
+  kernel::set_gemm_threads(1);
+  Matrix c1 = matmul(a, b);
+  Matrix c1_nt = matmul_nt(a, bt);
+  Matrix c1_tn = matmul_tn(at, b);
+  for (std::size_t threads : {2u, 3u, 4u}) {
+    kernel::set_gemm_threads(threads);
+    Matrix ct = matmul(a, b);
+    Matrix ct_nt = matmul_nt(a, bt);
+    Matrix ct_tn = matmul_tn(at, b);
+    EXPECT_EQ(std::memcmp(c1.data(), ct.data(), c1.size() * sizeof(float)), 0)
+        << "matmul diverged at " << threads << " threads";
+    EXPECT_EQ(std::memcmp(c1_nt.data(), ct_nt.data(), c1_nt.size() * sizeof(float)), 0)
+        << "matmul_nt diverged at " << threads << " threads";
+    EXPECT_EQ(std::memcmp(c1_tn.data(), ct_tn.data(), c1_tn.size() * sizeof(float)), 0)
+        << "matmul_tn diverged at " << threads << " threads";
+  }
+  kernel::set_gemm_threads(saved);
+}
+
+// ---- 3. `_into` variants and Workspace ----------------------------------
+
+TEST(IntoOps, MatmulIntoReusesAcrossShapeChanges) {
+  Rng rng(7);
+  Matrix c;
+  for (std::size_t s : {8u, 3u, 12u, 12u}) {
+    Matrix a = random_matrix(s, s + 1, rng);
+    Matrix b = random_matrix(s + 1, s + 2, rng);
+    matmul_into(a, b, c);
+    EXPECT_EQ(c.rows(), s);
+    EXPECT_EQ(c.cols(), s + 2);
+    EXPECT_LT(max_rel_diff(c, naive_matmul(a, b), kGemmEps), kGemmTol);
+  }
+}
+
+TEST(IntoOps, BiasAndReductions) {
+  Matrix m(2, 2, {1, 2, 3, 4});
+  Matrix bias(1, 2, {10, 20});
+  Matrix out;
+  add_bias_into(m, bias, out);
+  EXPECT_FLOAT_EQ(out(1, 1), 24.0f);
+  Matrix inplace = m;
+  add_bias_inplace(inplace, bias);
+  EXPECT_FLOAT_EQ(inplace(0, 0), 11.0f);
+
+  Matrix acc(1, 2, {100, 200});
+  column_sums_acc(m, acc);
+  EXPECT_FLOAT_EQ(acc(0, 0), 104.0f);
+  EXPECT_FLOAT_EQ(acc(0, 1), 206.0f);
+}
+
+TEST(IntoOps, ActivationAliasingIsSafe) {
+  Matrix x(1, 4, {-2.0f, -0.5f, 0.5f, 2.0f});
+  Matrix y = relu(x);
+  Matrix dy(1, 4, {1, 2, 3, 4});
+  Matrix expected = relu_backward(y, dy);
+  relu_backward_into(y, dy, dy);  // dx aliases dy
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_FLOAT_EQ(dy.data()[i], expected.data()[i]);
+
+  Matrix s = sigmoid(x);
+  Matrix dy2(1, 4, 1.0f);
+  Matrix exp2 = sigmoid_backward(s, dy2);
+  sigmoid_backward_into(s, dy2, dy2);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_FLOAT_EQ(dy2.data()[i], exp2.data()[i]);
+}
+
+TEST(IntoOps, ConcatGatherSlice) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  Matrix b(2, 1, {9, 8});
+  Matrix c(2, 2, {5, 6, 7, 8});
+  Matrix out;
+  Matrix::concat_cols_into(a, b, out);
+  EXPECT_EQ(out.cols(), 3u);
+  EXPECT_FLOAT_EQ(out(1, 2), 8.0f);
+  Matrix out3;
+  Matrix::concat_cols_into(a, b, c, out3);
+  EXPECT_EQ(out3.cols(), 5u);
+  EXPECT_FLOAT_EQ(out3(0, 3), 5.0f);
+
+  std::vector<std::size_t> idx = {1, 0, 1};
+  Matrix g;
+  a.gather_rows_into(idx, g);
+  EXPECT_EQ(g.rows(), 3u);
+  EXPECT_FLOAT_EQ(g(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(g(2, 1), 4.0f);
+
+  Matrix sc;
+  out3.slice_cols_into(1, 4, sc);
+  EXPECT_EQ(sc.cols(), 3u);
+  EXPECT_FLOAT_EQ(sc(0, 0), 2.0f);
+  Matrix sr;
+  out3.slice_rows_into(1, 2, sr);
+  EXPECT_EQ(sr.rows(), 1u);
+  EXPECT_FLOAT_EQ(sr(0, 0), 3.0f);
+}
+
+TEST(WorkspaceTest, SlotsAreStableAndReused) {
+  Workspace ws;
+  Matrix& m1 = ws.mat(4, 4);
+  Matrix& z1 = ws.zeros(2, 8);
+  std::vector<float>& f1 = ws.floats(16, 1.5f);
+  EXPECT_EQ(z1.abs_max(), 0.0f);
+  EXPECT_FLOAT_EQ(f1[7], 1.5f);
+
+  ws.reset();
+  Matrix& m2 = ws.mat(4, 4);
+  Matrix& z2 = ws.zeros(2, 8);
+  std::vector<float>& f2 = ws.floats(16);
+  EXPECT_EQ(&m1, &m2);  // same slots after reset, in order
+  EXPECT_EQ(&z1, &z2);
+  EXPECT_EQ(&f1, &f2);
+  EXPECT_FLOAT_EQ(f2[7], 0.0f);  // refilled
+  EXPECT_EQ(ws.num_slots(), 3u);
+}
+
+// ---- 4. zero heap allocations in steady state ---------------------------
+
+// Warm-up runs grow every scratch buffer (Ctx fields, Workspace slots,
+// the GEMM engine's thread-local packing buffers) to its high-water
+// mark; after that, iterations must not touch the allocator. The pool
+// submission path does allocate, so these pin the single-thread engine.
+class AllocationFree : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_threads_ = kernel::gemm_threads();
+    kernel::set_gemm_threads(1);
+  }
+  void TearDown() override { kernel::set_gemm_threads(saved_threads_); }
+  std::size_t saved_threads_ = 1;
+};
+
+TEST_F(AllocationFree, LinearForwardBackwardSteadyState) {
+  Rng rng(1);
+  nn::Linear layer("l", 48, 32, rng);
+  Matrix x = random_matrix(200, 48, rng);
+  Matrix dy = random_matrix(200, 32, rng);
+  nn::Linear::Ctx ctx;
+  Matrix y, dx;
+  for (int i = 0; i < 2; ++i) {  // warm-up
+    layer.forward_into(x, &ctx, y);
+    layer.backward_into(ctx, dy, dx);
+  }
+  const std::size_t before = g_alloc_count.load();
+  for (int i = 0; i < 3; ++i) {
+    layer.forward_into(x, &ctx, y);
+    layer.backward_into(ctx, dy, dx);
+  }
+  EXPECT_EQ(g_alloc_count.load(), before);
+}
+
+TEST_F(AllocationFree, GruCellForwardBackwardSteadyState) {
+  Rng rng(2);
+  nn::GRUCell cell("g", 72, 32, rng);
+  Matrix x = random_matrix(300, 72, rng);
+  Matrix h = random_matrix(300, 32, rng);
+  Matrix dh_next = random_matrix(300, 32, rng);
+  nn::GRUCell::Ctx ctx;
+  nn::GRUCell::InputGrads grads;
+  Matrix h_new;
+  for (int i = 0; i < 2; ++i) {
+    cell.forward_into(x, h, ctx, h_new);
+    cell.backward_into(ctx, dh_next, grads);
+  }
+  const std::size_t before = g_alloc_count.load();
+  for (int i = 0; i < 3; ++i) {
+    cell.forward_into(x, h, ctx, h_new);
+    cell.backward_into(ctx, dh_next, grads);
+  }
+  EXPECT_EQ(g_alloc_count.load(), before);
+}
+
+TEST_F(AllocationFree, TemporalAttentionForwardBackwardSteadyState) {
+  // The BM_TemporalAttention configuration: steady-state iterations of
+  // the attention forward path must not allocate (PR acceptance bar).
+  const std::size_t n = 200, K = 10;
+  Rng rng(4);
+  nn::AttentionDims dims;
+  dims.node_dim = 32;
+  dims.edge_dim = 16;
+  dims.time_dim = 8;
+  dims.attn_dim = 32;
+  dims.out_dim = 32;
+  dims.num_heads = 2;
+  dims.max_neighbors = K;
+  nn::TemporalAttention attn("a", dims, rng);
+  Matrix node = random_matrix(n, 32, rng);
+  Matrix neigh = random_matrix(n * K, 32, rng);
+  Matrix edge = random_matrix(n * K, 16, rng);
+  Matrix dout = random_matrix(n, 32, rng);
+  std::vector<float> dt(n * K, 1.0f);
+  std::vector<std::size_t> valid(n, K);
+  nn::TemporalAttention::Ctx ctx;
+  nn::TemporalAttention::InputGrads grads;
+  for (int i = 0; i < 2; ++i) {
+    attn.forward(node, neigh, edge, dt, valid, &ctx);
+    attn.backward_into(ctx, dout, grads);
+  }
+  const std::size_t before = g_alloc_count.load();
+  for (int i = 0; i < 3; ++i) {
+    const Matrix& out = attn.forward(node, neigh, edge, dt, valid, &ctx);
+    EXPECT_EQ(out.rows(), n);
+  }
+  EXPECT_EQ(g_alloc_count.load(), before) << "attention forward allocated";
+  const std::size_t before_bwd = g_alloc_count.load();
+  for (int i = 0; i < 3; ++i) attn.backward_into(ctx, dout, grads);
+  EXPECT_EQ(g_alloc_count.load(), before_bwd) << "attention backward allocated";
+}
+
+TEST_F(AllocationFree, WorkspaceSteadyState) {
+  Workspace ws;
+  auto iteration = [&] {
+    ws.reset();
+    Matrix& a = ws.mat(32, 16);
+    Matrix& b = ws.zeros(8, 8);
+    std::vector<float>& f = ws.floats(64);
+    a(0, 0) = b(0, 0) + f[0];
+  };
+  for (int i = 0; i < 2; ++i) iteration();
+  const std::size_t before = g_alloc_count.load();
+  for (int i = 0; i < 5; ++i) iteration();
+  EXPECT_EQ(g_alloc_count.load(), before);
+}
+
+}  // namespace
+}  // namespace disttgl
