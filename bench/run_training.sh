@@ -1,0 +1,82 @@
+#!/usr/bin/env sh
+# Run bench_training_throughput and append a labelled entry to
+# BENCH_training.json, the end-to-end training-throughput trajectory
+# (docs/BENCHMARKS.md).
+#
+#   bench/run_training.sh [label] [mode] [path/to/bench_training_throughput] [extra args...]
+#
+# Defaults: label = current git revision, mode = pooled,
+# binary = build/bench/bench_training_throughput. Extra args are passed
+# through (e.g. --epochs=10 --scale=0.25 --workers=2).
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+label=${1:-$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unlabelled)}
+mode=${2:-pooled}
+bin=${3:-"$repo_root/build/bench/bench_training_throughput"}
+[ $# -ge 1 ] && shift
+[ $# -ge 1 ] && shift
+[ $# -ge 1 ] && shift
+out="$repo_root/BENCH_training.json"
+
+if [ ! -x "$bin" ]; then
+  echo "error: $bin not found or not executable." >&2
+  echo "Configure with -DDISTTGL_BUILD_BENCH=ON and build bench_training_throughput." >&2
+  exit 1
+fi
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+"$bin" "--mode=$mode" "$@" | tee "$raw"
+
+LABEL="$label" MODE="$mode" RAW="$raw" OUT="$out" python3 - <<'EOF'
+import datetime
+import json
+import os
+import re
+
+results = {}
+builds = {}
+with open(os.environ["RAW"]) as f:
+    for line in f:
+        m = re.match(
+            r"(\w+) dataset=(\S+) events=(\d+) traversals=(\d+) wall=([\d.]+) "
+            r"events_per_sec=(\d+) traversals_per_sec=(\d+) batch_gen=([\d.]+) "
+            r"wait=([\d.]+) compute=([\d.]+)", line)
+        if m:
+            results[f"{m.group(2)}/{m.group(1)}"] = {
+                "raw_events": int(m.group(3)),
+                "traversals": int(m.group(4)),
+                "wall_seconds": float(m.group(5)),
+                "events_per_second": int(m.group(6)),
+                "traversals_per_second": int(m.group(7)),
+                "batch_gen_seconds": float(m.group(8)),
+                "prefetch_wait_seconds": float(m.group(9)),
+                "compute_seconds": float(m.group(10)),
+            }
+            continue
+        b = re.match(
+            r"batch_build dataset=(\S+) alloc_us=([\d.]+) recycled_us=([\d.]+)",
+            line)
+        if b:
+            builds[b.group(1)] = {
+                "alloc_build_us": float(b.group(2)),
+                "recycled_build_us": float(b.group(3)),
+            }
+
+entry = {
+    "label": os.environ["LABEL"],
+    "date": datetime.date.today().isoformat(),
+    "mode": os.environ["MODE"],
+    "batch_build": builds,
+    "results": results,
+}
+
+out = os.environ["OUT"]
+trajectory = json.load(open(out)) if os.path.exists(out) else []
+trajectory.append(entry)
+with open(out, "w") as f:
+    json.dump(trajectory, f, indent=2)
+    f.write("\n")
+print(f"appended entry '{entry['label']}' ({len(results)} configs) to {out}")
+EOF

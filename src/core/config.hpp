@@ -38,6 +38,15 @@ struct ParallelConfig {
   std::size_t total_trainers() const { return i * j * k; }
 };
 
+// Mini-batch generation pipeline (docs/ARCHITECTURE.md "The batch
+// pipeline"). kPooled is the system path: prefetchers dispatch
+// construction jobs to a shared worker pool and recycle buffers through
+// per-trainer MiniBatchPools (steady-state allocation-free). kLegacy is
+// the pre-pipeline behaviour — one dedicated worker thread per
+// prefetcher, a fresh heap MiniBatch per build — kept as the
+// before/after baseline for bench/training_throughput.
+enum class PipelineMode : std::uint8_t { kLegacy, kPooled };
+
 struct TrainingConfig {
   ModelConfig model;
   ParallelConfig parallel;
@@ -55,6 +64,13 @@ struct TrainingConfig {
   double train_frac = 0.70;
   double val_frac = 0.15;
   bool collect_grad_stats = false;  // record TrainResult::grad_* series
+
+  // Batch-generation pipeline (ThreadedTrainer; SequentialTrainer always
+  // recycles buffers but never threads).
+  PipelineMode pipeline = PipelineMode::kPooled;
+  std::size_t prefetch_ahead = 0;    // in-flight bound; 0 = auto (j + 1)
+  std::size_t prefetch_workers = 0;  // shared pool size; 0 = auto (one/trainer)
+  std::size_t batch_pool_slots = 0;  // initial buffers per trainer pool
 
   float lr() const {
     return scale_lr_with_world

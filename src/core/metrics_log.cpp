@@ -26,4 +26,16 @@ void ConvergenceLog::print_series(const std::string& label) const {
   }
 }
 
+double TimingLog::total_batch_gen() const {
+  double s = 0.0;
+  for (const auto& e : entries_) s += e.batch_gen_seconds;
+  return s;
+}
+
+double TimingLog::total_compute() const {
+  double s = 0.0;
+  for (const auto& e : entries_) s += e.compute_seconds;
+  return s;
+}
+
 }  // namespace disttgl

@@ -34,4 +34,31 @@ class ConvergenceLog {
   std::vector<ConvergencePoint> points_;
 };
 
+// Per-iteration pipeline phase attribution: seconds spent generating
+// (or, in the threaded system, blocked waiting on) the iteration's
+// mini-batches vs seconds computing on them. This is what lets
+// bench/training_throughput attribute an end-to-end win to batch
+// generation rather than to the kernels.
+struct IterationTiming {
+  double batch_gen_seconds = 0.0;
+  double compute_seconds = 0.0;
+};
+
+class TimingLog {
+ public:
+  void add(double batch_gen_seconds, double compute_seconds) {
+    entries_.push_back({batch_gen_seconds, compute_seconds});
+  }
+
+  const std::vector<IterationTiming>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  double total_batch_gen() const;
+  double total_compute() const;
+
+ private:
+  std::vector<IterationTiming> entries_;
+};
+
 }  // namespace disttgl

@@ -22,13 +22,39 @@ ThreadedTrainer::ThreadedTrainer(const TrainingConfig& cfg,
   sampler_ = std::make_unique<NeighborSampler>(graph, cfg_.model.num_neighbors);
   negatives_ = std::make_unique<NegativeSampler>(graph, cfg_.neg_groups,
                                                  cfg_.seed ^ 0x5eedULL);
+
+  const std::size_t n = par.total_trainers();
+  prefetch_ahead_ = cfg_.prefetch_ahead != 0 ? cfg_.prefetch_ahead : par.j + 1;
+  if (cfg_.pipeline == PipelineMode::kPooled) {
+    const std::size_t workers =
+        cfg_.prefetch_workers != 0 ? cfg_.prefetch_workers : n;
+    prefetch_workers_ = std::make_unique<ThreadPool>(workers);
+    // +1: the trainer holds one batch while `ahead` more are in flight.
+    const std::size_t slots = cfg_.batch_pool_slots != 0
+                                  ? cfg_.batch_pool_slots
+                                  : prefetch_ahead_ + 1;
+    batch_pools_.reserve(n);
+    for (std::size_t r = 0; r < n; ++r)
+      batch_pools_.push_back(std::make_unique<MiniBatchPool>(slots));
+  }
+
+  // In pooled mode on a multi-core host the prefetch workers double as
+  // the sample_many fan-out pool: a construction job's root ranges
+  // spread over idle workers (parallel_for's caller participation makes
+  // calling it from a job on the same pool safe), and output is
+  // thread-count independent so the equivalence contract is unaffected.
+  // On a single hardware thread the fan-out is pure handoff overhead
+  // (measured +2x batch_gen in BENCH_training.json), so it stays serial.
+  ThreadPool* sampler_fanout = std::thread::hardware_concurrency() > 1
+                                   ? prefetch_workers_.get()
+                                   : nullptr;
   const bool link = !graph.has_edge_labels();
   builder_ = std::make_unique<MiniBatchBuilder>(graph, *sampler_, *negatives_,
-                                                link ? cfg_.num_neg : 0);
+                                                link ? cfg_.num_neg : 0,
+                                                sampler_fanout);
 
   // Every replica must be initialized with an identical RNG stream —
   // reproduce SequentialTrainer's derivation exactly.
-  const std::size_t n = par.total_trainers();
   models_.reserve(n);
   optimizers_.reserve(n);
   for (std::size_t r = 0; r < n; ++r) {
@@ -84,13 +110,20 @@ void ThreadedTrainer::trainer_thread(std::size_t rank) {
     }
     requests.push_back(std::move(req));
   }
-  Prefetcher prefetcher(*builder_, std::move(requests), /*ahead=*/par.j + 1);
+  const bool pooled = cfg_.pipeline == PipelineMode::kPooled;
+  Prefetcher prefetcher(*builder_, std::move(requests), prefetch_ahead_,
+                        pooled ? prefetch_workers_.get() : nullptr,
+                        pooled ? batch_pools_[rank].get() : nullptr);
 
-  std::optional<MiniBatch> batch;
+  PooledBatch batch;
   std::optional<MemorySlice> slice;
   std::vector<float> grads(nn::flat_size(params));
   double local_loss = 0.0;
   std::size_t local_count = 0;
+  std::size_t local_events = 0;
+  double wait_seconds = 0.0;
+  double compute_seconds = 0.0;
+  TimingLog iteration_log;  // filled for rank 0 only
 
   std::size_t cursor = 0;
   for (std::size_t t = 0; t < schedule_.total_iterations; ++t) {
@@ -102,30 +135,39 @@ void ThreadedTrainer::trainer_thread(std::size_t rank) {
     bool computed = false;
     MemoryWrite write;
     bool post_write = false;
+    double iter_wait = 0.0;
+    double iter_compute = 0.0;
 
     if (item != nullptr) {
       if (item->memory_ops) {
         const auto [begin, end] = chunk_events(item->global_batch, ts.chunk);
         if (begin >= end) {
           // Empty chunk: keep the daemon protocol in lockstep.
-          batch.reset();
+          batch.release();
           slice.reset();
           daemon.read(ts.group_rank, {});
           post_write = true;  // empty write below
         } else {
-          batch = prefetcher.next();
+          {
+            // Popping releases the previous batch back to the pool and
+            // blocks only when generation hasn't kept ahead of compute.
+            ScopedAccumulator acc(iter_wait);
+            batch = prefetcher.next();
+          }
           DT_CHECK(batch.has_value());
           slice = daemon.read(ts.group_rank, batch->unique_nodes);
           post_write = true;
         }
       }
       if (batch.has_value()) {
+        ScopedAccumulator acc(iter_compute);
         model.zero_grad();
         TGNModel::StepResult res =
             model.train_step(*batch, *slice, item->version,
                              item->memory_ops ? &write : nullptr);
         local_loss += res.loss;
         ++local_count;
+        local_events += batch->num_pos();
         computed = true;
       }
       ++cursor;
@@ -140,12 +182,24 @@ void ThreadedTrainer::trainer_thread(std::size_t rank) {
     nn::unflatten_grads(grads, params);
     nn::clip_grad_norm(params, cfg_.grad_clip);
     opt.step();
+
+    wait_seconds += iter_wait;
+    compute_seconds += iter_compute;
+    if (rank == 0) iteration_log.add(iter_wait, iter_compute);
   }
+
+  batch.release();  // hand the buffer back before the prefetcher drains
+  const double build_seconds = prefetcher.build_seconds();
 
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     loss_sum_ += local_loss;
     loss_count_ += local_count;
+    raw_events_ += local_events;
+    batch_build_seconds_ += build_seconds;
+    prefetch_wait_seconds_ += wait_seconds;
+    compute_seconds_ += compute_seconds;
+    if (rank == 0) rank0_timings_ = std::move(iteration_log);
   }
 }
 
@@ -174,9 +228,16 @@ ThreadedTrainResult ThreadedTrainer::train() {
   ThreadedTrainResult result;
   result.wall_seconds = timer.seconds();
   result.iterations = schedule_.total_iterations;
-  const double traversals = static_cast<double>(cfg_.epochs) *
-                            static_cast<double>(split_.num_train());
-  result.events_per_second = traversals / result.wall_seconds;
+  result.raw_events = raw_events_;
+  result.events_per_second =
+      static_cast<double>(raw_events_) / result.wall_seconds;
+  result.traversals = cfg_.epochs * split_.num_train();
+  result.traversals_per_second =
+      static_cast<double>(result.traversals) / result.wall_seconds;
+  result.batch_build_seconds = batch_build_seconds_;
+  result.prefetch_wait_seconds = prefetch_wait_seconds_;
+  result.compute_seconds = compute_seconds_;
+  result.rank0_timings = rank0_timings_;
 
   // Final evaluation on memory copy 0 (validation then test, one clone).
   MemoryState clone = states_[0];

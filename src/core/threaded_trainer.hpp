@@ -1,11 +1,20 @@
 // Threaded orchestrator: the real DistTGL system (§3.3).
 //
 // One OS thread per trainer, one memory-daemon thread per memory copy
-// (Algorithm 1), a per-trainer prefetcher preparing super-batches ahead
+// (Algorithm 1), per-trainer prefetchers preparing super-batches ahead
 // of schedule, and a deterministic in-process allreduce for gradient
 // averaging. Each trainer owns a full model replica and optimizer (the
 // data-parallel pattern); replicas start identical and stay identical
 // because the allreduce is bitwise deterministic.
+//
+// Batch generation runs through the pooled pipeline by default
+// (PipelineMode::kPooled): every prefetcher dispatches its construction
+// jobs to one shared worker pool, building into per-trainer
+// MiniBatchPool buffers that trainers hold while training and release
+// back on the next pop — steady-state batch construction allocates
+// nothing. kLegacy keeps the pre-pipeline behaviour (a dedicated worker
+// thread per prefetcher, a fresh heap batch per build) as the
+// before/after baseline for bench/training_throughput.
 //
 // The protocol per iteration, per trainer:
 //   version-0 item : pop prefetched batch → daemon read (blocks until the
@@ -18,7 +27,7 @@
 // reads/writes to keep the daemon's round protocol in lockstep.
 //
 // Produces results identical to SequentialTrainer for the same config
-// (asserted by tests/test_orchestrator_equivalence).
+// (asserted by tests/test_equivalence).
 #pragma once
 
 #include "core/metrics_log.hpp"
@@ -28,6 +37,7 @@
 #include "eval/evaluator.hpp"
 #include "memory/daemon.hpp"
 #include "pipeline/prefetcher.hpp"
+#include "util/thread_pool.hpp"
 
 namespace disttgl {
 
@@ -36,7 +46,26 @@ struct ThreadedTrainResult {
   double final_test = 0.0;
   std::size_t iterations = 0;
   double wall_seconds = 0.0;
-  double events_per_second = 0.0;
+
+  // Raw positive events processed: every executed work item counts its
+  // chunk, so epoch-parallel recomputes (version > 0) count each time.
+  std::size_t raw_events = 0;
+  double events_per_second = 0.0;  // raw_events / wall_seconds
+  // Chronological traversals of the training range: epochs × train
+  // events — what one epoch-equivalent of progress costs. This was the
+  // quantity the old `events_per_second` actually measured.
+  std::size_t traversals = 0;
+  double traversals_per_second = 0.0;
+
+  // Pipeline attribution, summed across trainers/prefetch jobs:
+  double batch_build_seconds = 0.0;    // inside build_into on workers
+  double prefetch_wait_seconds = 0.0;  // trainers blocked popping a batch
+  double compute_seconds = 0.0;        // inside train_step
+  // Rank 0's per-iteration (wait, compute) pair — the threaded analogue
+  // of TrainResult::timings (batch gen happens off-thread, so the wait
+  // is what generation failed to hide).
+  TimingLog rank0_timings;
+
   std::vector<float> weights;  // final replica-0 weights
 };
 
@@ -69,14 +98,29 @@ class ThreadedTrainer {
   std::vector<std::unique_ptr<MemoryDaemon>> daemons_;
   std::unique_ptr<dist::ThreadComm> comm_;
 
+  // Pooled pipeline (PipelineMode::kPooled): one worker pool shared by
+  // every prefetcher (and by the builder's sample_many fan-out), one
+  // buffer pool per trainer. Both outlive the trainer threads, which
+  // join inside train(). prefetch_ahead_ is the resolved in-flight
+  // bound — computed once so the pool pre-sizing and the prefetcher
+  // ring can never desync.
+  std::unique_ptr<ThreadPool> prefetch_workers_;
+  std::vector<std::unique_ptr<MiniBatchPool>> batch_pools_;
+  std::size_t prefetch_ahead_ = 1;
+
   // Per-trainer replicas (created identically from the shared seed).
   std::vector<std::unique_ptr<TGNModel>> models_;
   std::vector<std::unique_ptr<nn::Adam>> optimizers_;
 
-  // Aggregated training loss (for smoke checks).
+  // Aggregated stats (guarded by stats_mu_; written once per trainer).
   std::mutex stats_mu_;
   double loss_sum_ = 0.0;
   std::size_t loss_count_ = 0;
+  std::size_t raw_events_ = 0;
+  double batch_build_seconds_ = 0.0;
+  double prefetch_wait_seconds_ = 0.0;
+  double compute_seconds_ = 0.0;
+  TimingLog rank0_timings_;
 };
 
 }  // namespace disttgl

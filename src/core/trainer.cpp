@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/timer.hpp"
+
 namespace disttgl {
 
 SequentialTrainer::SequentialTrainer(const TrainingConfig& cfg,
@@ -68,13 +70,14 @@ void SequentialTrainer::run_iteration(std::size_t t) {
   }
 
   // ---- phase A: version-0 reads (daemon (R…R) bracket, rank order) ----
+  double gen_seconds = 0.0;
   for (std::size_t r = 0; r < n; ++r) {
     if (items[r] == nullptr || !items[r]->memory_ops) continue;
     const TrainerSchedule& ts = schedule_.trainers[r];
     const WorkItem& item = *items[r];
     const auto ev = chunk_events(item.global_batch, ts.chunk);
     if (ev[0] >= ev[1]) {  // empty trailing chunk
-      slots_[r].batch.reset();
+      slots_[r].batch.release();
       slots_[r].slice.reset();
       continue;
     }
@@ -85,8 +88,12 @@ void SequentialTrainer::run_iteration(std::size_t t) {
         groups.push_back((item.cycle * par.j * par.k + ts.mem_copy * par.j + v) %
                          cfg_.neg_groups);
     }
-    slots_[r].batch = builder_->build(item.global_batch * par.i + ts.chunk,
-                                      ev[0], ev[1], groups);
+    {
+      ScopedAccumulator acc(gen_seconds);
+      slots_[r].batch = batch_pool_.acquire();
+      builder_->build_into(item.global_batch * par.i + ts.chunk, ev[0], ev[1],
+                           groups, *slots_[r].batch);
+    }
     slots_[r].slice = states_[ts.mem_copy].read(slots_[r].batch->unique_nodes);
   }
 
@@ -97,6 +104,7 @@ void SequentialTrainer::run_iteration(std::size_t t) {
   std::vector<MemoryWrite> writes(n);
   std::vector<std::uint8_t> has_write(n, 0);
   auto params = model_->parameters();
+  double compute_seconds = 0.0;
   for (std::size_t r = 0; r < n; ++r) {
     if (items[r] == nullptr) continue;
     TrainerSlot& slot = slots_[r];
@@ -105,6 +113,7 @@ void SequentialTrainer::run_iteration(std::size_t t) {
       continue;
     }
     const WorkItem& item = *items[r];
+    ScopedAccumulator acc(compute_seconds);
     model_->zero_grad();
     TGNModel::StepResult res = model_->train_step(
         *slot.batch, *slot.slice, item.version,
@@ -155,6 +164,7 @@ void SequentialTrainer::run_iteration(std::size_t t) {
   nn::unflatten_grads(mean_grads, params);
   nn::clip_grad_norm(params, cfg_.grad_clip);
   optimizer_->step();
+  timings_.add(gen_seconds, compute_seconds);
 }
 
 double SequentialTrainer::evaluate_validation() {
@@ -198,6 +208,7 @@ TrainResult SequentialTrainer::train() {
   result.diag = diag_;
   result.grad_norms = grad_norms_;
   result.grad_cos_prev = grad_cos_prev_;
+  result.timings = timings_;
   return result;
 }
 

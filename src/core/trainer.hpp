@@ -27,6 +27,7 @@
 #include "core/schedule.hpp"
 #include "core/tgn_model.hpp"
 #include "eval/evaluator.hpp"
+#include "sampling/minibatch_pool.hpp"
 
 namespace disttgl {
 
@@ -37,6 +38,9 @@ struct TrainResult {
   std::size_t iterations = 0;
   BatchDiagnostics diag;        // accumulated over training
   double train_loss_last = 0.0; // mean loss over the final epoch
+  // Per-iteration batch-generation vs compute seconds (summed over the
+  // trainers active in that iteration).
+  TimingLog timings;
   // Per-iteration averaged-gradient statistics (filled when
   // TrainingConfig::collect_grad_stats): the Table 1 gradient-variance
   // measurement. grad_cos_prev is the cosine similarity between the mean
@@ -69,7 +73,7 @@ class SequentialTrainer {
  private:
   struct TrainerSlot {
     std::size_t cursor = 0;  // next item index
-    std::optional<MiniBatch> batch;
+    PooledBatch batch;       // recycled through batch_pool_
     std::optional<MemorySlice> slice;
   };
 
@@ -91,6 +95,9 @@ class SequentialTrainer {
   std::unique_ptr<TGNModel> model_;
   std::unique_ptr<nn::Adam> optimizer_;
   std::vector<MemoryState> states_;
+  // Declared before slots_: the slots' PooledBatch handles must release
+  // into a still-live pool.
+  MiniBatchPool batch_pool_;
   std::vector<TrainerSlot> slots_;
 
   // Double accumulation in rank order — bitwise identical to
@@ -100,6 +107,7 @@ class SequentialTrainer {
   std::vector<float> grad_norms_;
   std::vector<float> grad_cos_prev_;
   BatchDiagnostics diag_;
+  TimingLog timings_;
   double epoch_loss_sum_ = 0.0;
   std::size_t epoch_loss_count_ = 0;
 };

@@ -1,49 +1,113 @@
 #include "pipeline/prefetcher.hpp"
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace disttgl {
 
 Prefetcher::Prefetcher(const MiniBatchBuilder& builder,
-                       std::vector<Request> requests, std::size_t ahead)
-    : builder_(builder), requests_(std::move(requests)), ahead_(ahead) {
+                       std::vector<Request> requests, std::size_t ahead,
+                       ThreadPool* workers, MiniBatchPool* batch_pool)
+    : builder_(builder),
+      requests_(std::move(requests)),
+      ahead_(ahead),
+      workers_(workers),
+      batch_pool_(batch_pool) {
   DT_CHECK_GT(ahead, 0u);
-  worker_ = std::thread([this] { worker_loop(); });
+  if (workers_ == nullptr) {
+    owned_workers_ = std::make_unique<ThreadPool>(1);
+    workers_ = owned_workers_.get();
+  }
+  ring_.resize(ahead_);
+  ring_full_.assign(ahead_, 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  schedule_locked();
 }
 
 Prefetcher::~Prefetcher() {
+  std::unique_lock<std::mutex> lock(mu_);
+  stop_ = true;
+  // Scheduled jobs hold `this`; wait for every one to drain before the
+  // members (ring handles, owned pools) go away. Jobs observe stop_ and
+  // finish quickly; an owned worker pool joins in its own destructor.
+  cv_ready_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void Prefetcher::schedule_locked() {
+  while (scheduled_ < requests_.size() && scheduled_ < consumed_ + ahead_ &&
+         !stop_) {
+    const std::size_t r = scheduled_++;
+    ++in_flight_;
+    workers_->submit([this, r] { build_one(r); });
+  }
+}
+
+void Prefetcher::build_one(std::size_t r) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
+    if (stop_) {
+      --in_flight_;
+      cv_ready_.notify_all();
+      return;
+    }
   }
-  cv_producer_.notify_all();
-  cv_consumer_.notify_all();
-  if (worker_.joinable()) worker_.join();
+  PooledBatch b = batch_pool_ != nullptr
+                      ? batch_pool_->acquire()
+                      : PooledBatch::adopt(std::make_unique<MiniBatch>());
+  const Request& req = requests_[r];
+  std::exception_ptr err;
+  WallTimer timer;
+  try {
+    builder_.build_into(req.batch_idx, req.begin, req.end, req.neg_groups, *b);
+  } catch (...) {
+    err = std::current_exception();
+  }
+  const double elapsed = timer.seconds();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    build_seconds_ += elapsed;
+    if (err != nullptr && error_ == nullptr) error_ = err;
+    if (!stop_ && err == nullptr) {
+      ring_[r % ahead_] = std::move(b);
+      ring_full_[r % ahead_] = 1;
+    } else {
+      // Failed or cancelled: the buffer must be back in its pool before
+      // in_flight_ says this job is done — the destructor (and with it
+      // the whole trainer teardown) takes that as "no job still holds a
+      // checkout".
+      b.release();
+    }
+    --in_flight_;
+    // Notify under the lock: the destructor destroys these members the
+    // moment it observes in_flight_ == 0, so an unlocked notify could
+    // signal a dead condition variable.
+    cv_ready_.notify_all();
+  }
 }
 
-std::optional<MiniBatch> Prefetcher::next() {
+PooledBatch Prefetcher::next() {
   std::unique_lock<std::mutex> lock(mu_);
-  if (consumed_ == requests_.size()) return std::nullopt;
-  cv_consumer_.wait(lock, [this] { return !ready_.empty() || stop_; });
-  if (ready_.empty()) return std::nullopt;  // stopped
-  MiniBatch mb = std::move(ready_.front());
-  ready_.pop_front();
+  if (consumed_ == requests_.size()) return {};
+  const std::size_t slot = consumed_ % ahead_;
+  cv_ready_.wait(lock, [&] {
+    return ring_full_[slot] != 0 || error_ != nullptr || stop_;
+  });
+  // The error stays latched: the failed request's ring slot will never
+  // fill, so a consumer that catches and calls next() again must keep
+  // getting the error rather than deadlock waiting on the slot.
+  if (error_ != nullptr) std::rethrow_exception(error_);
+  if (ring_full_[slot] == 0) return {};  // stopped
+  PooledBatch out = std::move(ring_[slot]);
+  ring_full_[slot] = 0;
   ++consumed_;
-  cv_producer_.notify_one();
-  return mb;
+  schedule_locked();
+  return out;
 }
 
-void Prefetcher::worker_loop() {
-  for (const Request& req : requests_) {
-    // Build outside the lock — this is the expensive part being hidden.
-    MiniBatch mb = builder_.build(req.batch_idx, req.begin, req.end, req.neg_groups);
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_producer_.wait(lock, [this] { return ready_.size() < ahead_ || stop_; });
-    if (stop_) return;
-    ready_.push_back(std::move(mb));
-    ++produced_;
-    cv_consumer_.notify_one();
-  }
+double Prefetcher::build_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return build_seconds_;
 }
 
 }  // namespace disttgl

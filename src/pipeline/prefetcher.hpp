@@ -1,22 +1,30 @@
 // Mini-batch prefetching (§3.3, §4.0.2).
 //
 // DistTGL hides mini-batch generation behind GPU compute by preparing
-// batches ahead of time on a separate thread (the paper prefetches the
-// pre-sampled static information j iterations in advance on a dedicated
-// CUDA stream). Here a worker thread runs the pure MiniBatchBuilder over
-// a fixed request list and feeds a bounded queue; trainers pop in order.
-// Bounding the queue to `ahead` keeps memory proportional to the
-// pipeline depth, matching the paper's j-ahead scheme.
+// batches ahead of time (the paper prefetches the pre-sampled static
+// information j iterations in advance on a dedicated CUDA stream). Here
+// each request becomes a construction job on a worker pool; jobs build
+// into recycled MiniBatchPool buffers and finish in any order, while
+// next() delivers strictly in request order from an `ahead`-sized ring.
+// At most `ahead` requests are in flight past the consumer, keeping
+// memory proportional to the pipeline depth, matching the paper's
+// j-ahead scheme.
+//
+// Two modes, chosen by the constructor arguments:
+//  - pooled (the default system path): pass a shared ThreadPool — many
+//    prefetchers can feed from the same workers — and a MiniBatchPool
+//    whose buffers cycle trainer → pool → next build.
+//  - legacy (pre-pipeline behaviour, kept for the before/after bench):
+//    pass neither; the prefetcher owns a single worker thread and every
+//    batch is a fresh heap allocation.
 #pragma once
 
 #include <condition_variable>
-#include <deque>
+#include <memory>
 #include <mutex>
-#include <optional>
-#include <thread>
 #include <vector>
 
-#include "sampling/minibatch.hpp"
+#include "sampling/minibatch_pool.hpp"
 
 namespace disttgl {
 
@@ -28,34 +36,52 @@ class Prefetcher {
     std::vector<std::size_t> neg_groups;  // one per epoch-parallel variant
   };
 
-  // Starts prefetching immediately. `ahead` is the queue bound (≥ 1).
+  // Starts prefetching immediately. `ahead` bounds the requests in
+  // flight past the consumer (≥ 1). Null `workers` → an owned
+  // single-thread pool; null `batch_pool` → a fresh allocation per
+  // batch. Externally supplied pools must outlive the prefetcher and
+  // (for `batch_pool`) every handle returned by next().
   Prefetcher(const MiniBatchBuilder& builder, std::vector<Request> requests,
-             std::size_t ahead);
+             std::size_t ahead, ThreadPool* workers = nullptr,
+             MiniBatchPool* batch_pool = nullptr);
   ~Prefetcher();
 
   Prefetcher(const Prefetcher&) = delete;
   Prefetcher& operator=(const Prefetcher&) = delete;
 
   // Pops the next mini-batch in request order; blocks until available.
-  // Returns nullopt when the request list is exhausted.
-  std::optional<MiniBatch> next();
+  // Returns an empty handle when the request list is exhausted.
+  // Rethrows the first exception any construction job hit — and keeps
+  // rethrowing it on every later call (the stream is poisoned).
+  PooledBatch next();
 
   std::size_t total_requests() const { return requests_.size(); }
 
+  // Cumulative wall time spent inside build_into across all jobs — the
+  // batch-generation cost the pipeline is hiding (bench attribution).
+  double build_seconds() const;
+
  private:
-  void worker_loop();
+  void schedule_locked();           // keep `ahead` requests in flight
+  void build_one(std::size_t r);    // runs on a worker
 
   const MiniBatchBuilder& builder_;
   std::vector<Request> requests_;
   std::size_t ahead_;
+  std::unique_ptr<ThreadPool> owned_workers_;  // legacy single worker
+  ThreadPool* workers_;
+  MiniBatchPool* batch_pool_;  // null = allocate per batch (legacy)
 
-  std::mutex mu_;
-  std::condition_variable cv_producer_, cv_consumer_;
-  std::deque<MiniBatch> ready_;
-  std::size_t produced_ = 0;
+  mutable std::mutex mu_;
+  std::condition_variable cv_ready_;  // consumer + destructor wakeups
+  std::vector<PooledBatch> ring_;     // request r parks at r % ahead
+  std::vector<std::uint8_t> ring_full_;
   std::size_t consumed_ = 0;
+  std::size_t scheduled_ = 0;
+  std::size_t in_flight_ = 0;  // scheduled jobs not yet finished
   bool stop_ = false;
-  std::thread worker_;
+  double build_seconds_ = 0.0;
+  std::exception_ptr error_;  // first job failure, rethrown by next()
 };
 
 }  // namespace disttgl

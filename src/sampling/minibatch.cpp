@@ -1,29 +1,64 @@
 #include "sampling/minibatch.hpp"
 
-#include <unordered_map>
+#include <algorithm>
 
 namespace disttgl {
+
+void NodeIndexMap::reset(std::size_t expected_keys) {
+  // Power-of-two table kept at most half full so probe chains stay short.
+  std::size_t cap = keys_.size();
+  if (cap < 16) cap = 16;
+  while (cap < expected_keys * 2) cap *= 2;
+  if (cap != keys_.size()) {
+    keys_.resize(cap);
+    vals_.resize(cap);
+    mask_ = cap - 1;
+  }
+  std::fill(keys_.begin(), keys_.end(), kInvalidNode);
+  size_ = 0;
+}
+
+void NodeIndexMap::grow() {
+  std::vector<NodeId> old_keys(keys_.size() * 2, kInvalidNode);
+  std::vector<std::uint32_t> old_vals(vals_.size() * 2);
+  old_keys.swap(keys_);
+  old_vals.swap(vals_);
+  mask_ = keys_.size() - 1;
+  for (std::size_t i = 0; i < old_keys.size(); ++i) {
+    if (old_keys[i] == kInvalidNode) continue;
+    std::size_t h = hash(old_keys[i]) & mask_;
+    while (keys_[h] != kInvalidNode) h = (h + 1) & mask_;
+    keys_[h] = old_keys[i];
+    vals_[h] = old_vals[i];
+  }
+}
 
 MiniBatchBuilder::MiniBatchBuilder(const TemporalGraph& graph,
                                    const NeighborSampler& sampler,
                                    const NegativeSampler& negatives,
-                                   std::size_t num_neg)
+                                   std::size_t num_neg,
+                                   ThreadPool* sampler_pool)
     : graph_(&graph),
       sampler_(&sampler),
       negatives_(&negatives),
-      num_neg_(num_neg) {}
+      num_neg_(num_neg),
+      sampler_pool_(sampler_pool) {}
 
-MiniBatch MiniBatchBuilder::build(std::size_t batch_idx, std::size_t begin,
+void MiniBatchBuilder::build_into(std::size_t batch_idx, std::size_t begin,
                                   std::size_t end,
-                                  std::span<const std::size_t> neg_groups) const {
+                                  std::span<const std::size_t> neg_groups,
+                                  MiniBatch& mb) const {
   DT_CHECK_LT(begin, end);
   DT_CHECK_LE(end, graph_->num_events());
 
-  MiniBatch mb;
   mb.batch_idx = batch_idx;
   mb.num_neg = num_neg_;
   mb.neg_variants = neg_groups.size();
   const std::size_t n = end - begin;
+  mb.events.clear();
+  mb.src.clear();
+  mb.dst.clear();
+  mb.ts.clear();
   mb.events.reserve(n);
   mb.src.reserve(n);
   mb.dst.reserve(n);
@@ -36,18 +71,17 @@ MiniBatch MiniBatchBuilder::build(std::size_t batch_idx, std::size_t begin,
     mb.ts.push_back(e.ts);
   }
   const std::size_t negs_per_variant = n * num_neg_;
+  mb.neg_dst.clear();
   mb.neg_dst.reserve(negs_per_variant * mb.neg_variants);
-  for (std::size_t v = 0; v < mb.neg_variants; ++v) {
-    auto negs = negatives_->sample(neg_groups[v], batch_idx, negs_per_variant);
-    mb.neg_dst.insert(mb.neg_dst.end(), negs.begin(), negs.end());
-  }
+  for (std::size_t v = 0; v < mb.neg_variants; ++v)
+    negatives_->sample_into(neg_groups[v], batch_idx, negs_per_variant,
+                            mb.neg_dst);
 
-  // Assemble roots: [src | dst | variant negs…], each at its positive
+  // Stage roots: [src | dst | variant negs…], each at its positive
   // event's timestamp.
   const std::size_t R = n * 2 + mb.neg_dst.size();
-  const std::size_t K = sampler_->k();
   SampledRoots& roots = mb.roots;
-  roots.k = K;
+  roots.clear();
   roots.nodes.reserve(R);
   roots.ts.reserve(R);
   for (std::size_t i = 0; i < n; ++i) {
@@ -61,44 +95,32 @@ MiniBatch MiniBatchBuilder::build(std::size_t batch_idx, std::size_t begin,
   for (std::size_t v = 0; v < mb.neg_variants; ++v) {
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t q = 0; q < num_neg_; ++q) {
-        roots.nodes.push_back(mb.neg_dst[v * negs_per_variant + i * num_neg_ + q]);
+        roots.nodes.push_back(
+            mb.neg_dst[v * negs_per_variant + i * num_neg_ + q]);
         roots.ts.push_back(mb.ts[i]);
       }
     }
   }
   DT_CHECK_EQ(roots.nodes.size(), R);
 
-  roots.neigh_node.assign(R * K, kInvalidNode);
-  roots.neigh_edge.assign(R * K, kInvalidEdge);
-  roots.neigh_dt.assign(R * K, 0.0f);
-  roots.valid.assign(R, 0);
-  std::vector<NeighborSample> buf(K);
-  for (std::size_t r = 0; r < R; ++r) {
-    const std::size_t cnt = sampler_->sample(roots.nodes[r], roots.ts[r], buf);
-    roots.valid[r] = cnt;
-    for (std::size_t k = 0; k < cnt; ++k) {
-      roots.neigh_node[r * K + k] = buf[k].neighbor;
-      roots.neigh_edge[r * K + k] = buf[k].edge;
-      roots.neigh_dt[r * K + k] = roots.ts[r] - buf[k].ts;
-    }
-  }
+  // One pass fills every root's neighbor window (fanned out over the
+  // builder's pool when it has one).
+  sampler_->sample_many(roots, sampler_pool_);
+  const std::size_t K = roots.k;
 
-  // Deduplicate roots ∪ neighbors into the unique node set.
-  std::unordered_map<NodeId, std::size_t> index;
-  index.reserve(R * 2);
-  auto intern = [&](NodeId v) {
-    auto [it, inserted] = index.emplace(v, mb.unique_nodes.size());
-    if (inserted) mb.unique_nodes.push_back(v);
-    return it->second;
-  };
+  // Deduplicate roots ∪ neighbors into the unique node set. Serial on
+  // purpose: first-seen order defines the unique-node indexing that the
+  // memory read/write and GRU-update paths rely on.
+  mb.unique_nodes.clear();
+  mb.dedup.reset(R);
   mb.root_to_unique.resize(R);
   mb.neigh_to_unique.assign(R * K, 0);
   for (std::size_t r = 0; r < R; ++r) {
-    mb.root_to_unique[r] = intern(roots.nodes[r]);
+    mb.root_to_unique[r] = mb.dedup.intern(roots.nodes[r], mb.unique_nodes);
     for (std::size_t k = 0; k < roots.valid[r]; ++k)
-      mb.neigh_to_unique[r * K + k] = intern(roots.neigh_node[r * K + k]);
+      mb.neigh_to_unique[r * K + k] =
+          mb.dedup.intern(roots.neigh_node[r * K + k], mb.unique_nodes);
   }
-  return mb;
 }
 
 }  // namespace disttgl

@@ -17,6 +17,13 @@
 // `unique_nodes` deduplicates roots and neighbors: memory reads/writes
 // and GRU updates operate per unique node, exactly once, which is what
 // the daemon's indexed buffers carry (§3.3).
+//
+// Construction has two forms: the allocating `build()` convenience and
+// the recycling `build_into()`, which rebuilds a caller-owned MiniBatch
+// in place. Every buffer — event/root/negative arrays, neighbor
+// windows, the dedup table — reuses its capacity, so once shapes have
+// stabilized a MiniBatch cycled through a MiniBatchPool is refilled with
+// zero heap allocations (tests/test_batch_alloc pins this).
 #pragma once
 
 #include <vector>
@@ -26,16 +33,48 @@
 
 namespace disttgl {
 
-struct SampledRoots {
-  std::size_t k = 0;                    // neighbor window capacity
-  std::vector<NodeId> nodes;            // [R]
-  std::vector<float> ts;                // [R] query times
-  std::vector<NodeId> neigh_node;       // [R*K]
-  std::vector<EdgeId> neigh_edge;       // [R*K]
-  std::vector<float> neigh_dt;          // [R*K] query_ts − event_ts
-  std::vector<std::size_t> valid;       // [R]
+// Open-addressing NodeId → dense-index map recycled across batches. The
+// table only grows (and clears in O(capacity) per reset), so batches of
+// stable shape never touch the allocator. Replaces the per-build
+// std::unordered_map whose node-per-insert allocations dominated the
+// dedup phase.
+class NodeIndexMap {
+ public:
+  // Clears, growing the table first if `expected_keys` inserts would
+  // push the load factor past 1/2. More keys than expected are fine —
+  // intern() rehashes at the load-factor bound (an allocation, but one
+  // that stops recurring once the table has reached the batch shape's
+  // high-water mark).
+  void reset(std::size_t expected_keys);
 
-  std::size_t size() const { return nodes.size(); }
+  // Dense index of `v` in `uniq`, appending on first sight.
+  std::size_t intern(NodeId v, std::vector<NodeId>& uniq) {
+    std::size_t h = hash(v) & mask_;
+    while (keys_[h] != kInvalidNode) {
+      if (keys_[h] == v) return vals_[h];
+      h = (h + 1) & mask_;
+    }
+    keys_[h] = v;
+    vals_[h] = static_cast<std::uint32_t>(uniq.size());
+    const std::size_t idx = vals_[h];
+    uniq.push_back(v);
+    if (++size_ * 2 > keys_.size()) grow();
+    return idx;
+  }
+
+  std::size_t capacity() const { return keys_.size(); }
+
+ private:
+  static std::size_t hash(NodeId v) {
+    std::uint64_t x = static_cast<std::uint64_t>(v) * 0x9e3779b97f4a7c15ULL;
+    return static_cast<std::size_t>(x >> 32);
+  }
+  void grow();  // doubles the table and rehashes every resident key
+
+  std::vector<NodeId> keys_;        // kInvalidNode marks an empty slot
+  std::vector<std::uint32_t> vals_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
 };
 
 struct MiniBatch {
@@ -57,6 +96,10 @@ struct MiniBatch {
   std::vector<std::size_t> root_to_unique;   // [R]
   std::vector<std::size_t> neigh_to_unique;  // [R*K] (undefined past valid)
 
+  // Build scratch, recycled with the batch (a pooled batch keeps its own
+  // dedup table so concurrent builds share nothing).
+  NodeIndexMap dedup;
+
   std::size_t num_pos() const { return events.size(); }
   std::size_t num_roots() const { return roots.size(); }
   // Row ranges of each root section.
@@ -70,14 +113,29 @@ struct MiniBatch {
 
 class MiniBatchBuilder {
  public:
+  // `sampler_pool`, when non-null, parallelizes the neighbor-window pass
+  // of every build over its workers (output independent of thread
+  // count). All referenced objects must outlive the builder.
   MiniBatchBuilder(const TemporalGraph& graph, const NeighborSampler& sampler,
-                   const NegativeSampler& negatives, std::size_t num_neg);
+                   const NegativeSampler& negatives, std::size_t num_neg,
+                   ThreadPool* sampler_pool = nullptr);
 
-  // Builds the batch for events [begin, end); one negative set per entry
-  // of `neg_groups` (empty → no negatives, e.g. edge classification).
-  // Pure function of its arguments — safe from any thread.
+  // Rebuilds `out` in place for events [begin, end); one negative set
+  // per entry of `neg_groups` (empty → no negatives, e.g. edge
+  // classification). Pure function of its arguments plus `out`'s
+  // capacity — safe from any thread as long as each thread targets a
+  // distinct `out`.
+  void build_into(std::size_t batch_idx, std::size_t begin, std::size_t end,
+                  std::span<const std::size_t> neg_groups,
+                  MiniBatch& out) const;
+
+  // Allocating convenience; identical contents to build_into.
   MiniBatch build(std::size_t batch_idx, std::size_t begin, std::size_t end,
-                  std::span<const std::size_t> neg_groups) const;
+                  std::span<const std::size_t> neg_groups) const {
+    MiniBatch mb;
+    build_into(batch_idx, begin, end, neg_groups, mb);
+    return mb;
+  }
 
   // Single-variant convenience.
   MiniBatch build(std::size_t batch_idx, std::size_t begin, std::size_t end,
@@ -88,12 +146,14 @@ class MiniBatchBuilder {
 
   std::size_t num_neg() const { return num_neg_; }
   const TemporalGraph& graph() const { return *graph_; }
+  ThreadPool* sampler_pool() const { return sampler_pool_; }
 
  private:
   const TemporalGraph* graph_;
   const NeighborSampler* sampler_;
   const NegativeSampler* negatives_;
   std::size_t num_neg_;
+  ThreadPool* sampler_pool_;
 };
 
 }  // namespace disttgl

@@ -1,0 +1,62 @@
+#include "sampling/minibatch_pool.hpp"
+
+#include "util/check.hpp"
+
+namespace disttgl {
+
+void PooledBatch::release() {
+  if (batch_ == nullptr) return;
+  if (pool_ != nullptr) pool_->put_back(batch_);
+  batch_ = nullptr;
+  pool_ = nullptr;
+  owned_.reset();  // frees adopted batches
+}
+
+MiniBatchPool::MiniBatchPool(std::size_t initial_slots) {
+  slots_.reserve(initial_slots);
+  free_.reserve(initial_slots);
+  for (std::size_t i = 0; i < initial_slots; ++i) {
+    slots_.push_back(std::make_unique<MiniBatch>());
+    free_.push_back(slots_.back().get());
+  }
+}
+
+MiniBatchPool::~MiniBatchPool() {
+  // A handle outliving its pool would return into freed memory; fail
+  // loudly instead. (Trainers declare the pool before anything holding
+  // handles, so destruction order enforces this.)
+  DT_CHECK_EQ(outstanding_, 0u);
+}
+
+PooledBatch MiniBatchPool::acquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_.empty()) {
+    slots_.push_back(std::make_unique<MiniBatch>());
+    // Keep free_'s capacity ≥ the slot count so put_back never allocates.
+    free_.reserve(slots_.capacity());
+    free_.push_back(slots_.back().get());
+  }
+  MiniBatch* b = free_.back();
+  free_.pop_back();
+  ++outstanding_;
+  return PooledBatch(b, this);
+}
+
+void MiniBatchPool::put_back(MiniBatch* b) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DT_CHECK_GT(outstanding_, 0u);
+  --outstanding_;
+  free_.push_back(b);
+}
+
+std::size_t MiniBatchPool::created() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+std::size_t MiniBatchPool::outstanding() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return outstanding_;
+}
+
+}  // namespace disttgl

@@ -1,0 +1,106 @@
+// Recycled MiniBatch buffers.
+//
+// Batch construction is steady-state allocation-free only if the target
+// MiniBatch keeps its capacity between uses; the pool is where retired
+// batches park that capacity. acquire() pops a free slot — or creates
+// one when none is free, the only allocating path, which stops firing
+// once the population reaches the pipeline's high-water mark
+// (ahead-in-flight + what the trainer holds). Handles are RAII: a
+// PooledBatch returns its buffer on destruction, so "release back to
+// the pool" is just dropping the handle, and `outstanding()` lets tests
+// assert that checkouts balance.
+//
+// Thread-safe: prefetch workers acquire while the trainer releases.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sampling/minibatch.hpp"
+
+namespace disttgl {
+
+class MiniBatchPool;
+
+// Move-only handle to a MiniBatch buffer. Usually pool-owned; a handle
+// may instead own a free-standing heap batch (adopt()), which is how the
+// legacy allocate-per-batch pipeline mode flows through the same APIs.
+class PooledBatch {
+ public:
+  PooledBatch() = default;
+  ~PooledBatch() { release(); }
+  PooledBatch(PooledBatch&& o) noexcept
+      : batch_(o.batch_), pool_(o.pool_), owned_(std::move(o.owned_)) {
+    o.batch_ = nullptr;
+    o.pool_ = nullptr;
+  }
+  PooledBatch& operator=(PooledBatch&& o) noexcept {
+    if (this != &o) {
+      release();
+      batch_ = o.batch_;
+      pool_ = o.pool_;
+      owned_ = std::move(o.owned_);
+      o.batch_ = nullptr;
+      o.pool_ = nullptr;
+    }
+    return *this;
+  }
+  PooledBatch(const PooledBatch&) = delete;
+  PooledBatch& operator=(const PooledBatch&) = delete;
+
+  explicit operator bool() const { return batch_ != nullptr; }
+  bool has_value() const { return batch_ != nullptr; }
+  MiniBatch& operator*() const { return *batch_; }
+  MiniBatch* operator->() const { return batch_; }
+  MiniBatch* get() const { return batch_; }
+
+  // Returns the buffer to its pool (or frees it) and empties the handle.
+  void release();
+
+  // Wraps a free-standing batch; released by deletion, not pooling.
+  static PooledBatch adopt(std::unique_ptr<MiniBatch> b) {
+    PooledBatch h;
+    h.batch_ = b.get();
+    h.owned_ = std::move(b);
+    return h;
+  }
+
+ private:
+  friend class MiniBatchPool;
+  PooledBatch(MiniBatch* b, MiniBatchPool* p) : batch_(b), pool_(p) {}
+
+  MiniBatch* batch_ = nullptr;
+  MiniBatchPool* pool_ = nullptr;           // null for adopted batches
+  std::unique_ptr<MiniBatch> owned_;        // set for adopted batches
+};
+
+class MiniBatchPool {
+ public:
+  // Pre-creates `initial_slots` buffers (0 = grow purely on demand).
+  explicit MiniBatchPool(std::size_t initial_slots = 0);
+  ~MiniBatchPool();  // asserts every handle was returned
+
+  MiniBatchPool(const MiniBatchPool&) = delete;
+  MiniBatchPool& operator=(const MiniBatchPool&) = delete;
+
+  // Never blocks: recycles a free buffer or creates a new slot.
+  PooledBatch acquire();
+
+  // Total slots ever created (= the pipeline's high-water mark once the
+  // steady state is reached).
+  std::size_t created() const;
+  // Handles currently checked out.
+  std::size_t outstanding() const;
+
+ private:
+  friend class PooledBatch;
+  void put_back(MiniBatch* b);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<MiniBatch>> slots_;
+  std::vector<MiniBatch*> free_;
+  std::size_t outstanding_ = 0;
+};
+
+}  // namespace disttgl

@@ -17,15 +17,23 @@ NegativeSampler::NegativeSampler(const TemporalGraph& graph,
 std::vector<NodeId> NegativeSampler::sample(std::size_t group,
                                             std::size_t batch_idx,
                                             std::size_t count) const {
+  std::vector<NodeId> out;
+  out.reserve(count);
+  sample_into(group, batch_idx, count, out);
+  return out;
+}
+
+void NegativeSampler::sample_into(std::size_t group, std::size_t batch_idx,
+                                  std::size_t count,
+                                  std::vector<NodeId>& out) const {
   DT_CHECK_LT(group, num_groups_);
   // Mix (seed, group, batch) into one stream seed; constants are just
   // large odd multipliers to decorrelate the three coordinates.
   Rng rng(seed_ ^ (0x9e3779b97f4a7c15ULL * (group + 1)) ^
           (0xc2b2ae3d27d4eb4fULL * (batch_idx + 1)));
-  std::vector<NodeId> out(count);
   for (std::size_t i = 0; i < count; ++i)
-    out[i] = dst_begin_ + static_cast<NodeId>(rng.uniform_int(dst_count_));
-  return out;
+    out.push_back(dst_begin_ +
+                  static_cast<NodeId>(rng.uniform_int(dst_count_)));
 }
 
 }  // namespace disttgl

@@ -28,6 +28,11 @@ class NegativeSampler {
   std::vector<NodeId> sample(std::size_t group, std::size_t batch_idx,
                              std::size_t count) const;
 
+  // Appends the same draw to `out` — allocation-free once `out` has
+  // capacity, which is what the recycled mini-batch path relies on.
+  void sample_into(std::size_t group, std::size_t batch_idx,
+                   std::size_t count, std::vector<NodeId>& out) const;
+
  private:
   NodeId dst_begin_;
   std::size_t dst_count_;

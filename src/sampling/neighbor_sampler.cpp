@@ -1,5 +1,9 @@
 #include "sampling/neighbor_sampler.hpp"
 
+#include <algorithm>
+
+#include "util/thread_pool.hpp"
+
 namespace disttgl {
 
 std::size_t NeighborSampler::sample(NodeId node, float t,
@@ -16,6 +20,59 @@ std::size_t NeighborSampler::sample(NodeId node, float t,
     out[i].ts = e.ts;
   }
   return n;
+}
+
+void NeighborSampler::sample_range(SampledRoots& out, std::size_t lo,
+                                   std::size_t hi) const {
+  const std::size_t K = k_;
+  for (std::size_t r = lo; r < hi; ++r) {
+    const NodeId node = out.nodes[r];
+    const float t = out.ts[r];
+    const auto incident = graph_->incident(node);
+    const std::size_t end = graph_->events_before(node, t);
+    const std::size_t n = std::min(K, end);
+    out.valid[r] = n;
+    NodeId* nn = out.neigh_node.data() + r * K;
+    EdgeId* ne = out.neigh_edge.data() + r * K;
+    float* nd = out.neigh_dt.data() + r * K;
+    for (std::size_t i = 0; i < n; ++i) {
+      const EdgeId id = incident[end - 1 - i];  // newest first
+      const TemporalEdge& e = graph_->event(id);
+      nn[i] = e.src == node ? e.dst : e.src;
+      ne[i] = id;
+      nd[i] = t - e.ts;
+    }
+  }
+}
+
+void NeighborSampler::sample_many(SampledRoots& out, ThreadPool* pool) const {
+  DT_CHECK_EQ(out.nodes.size(), out.ts.size());
+  const std::size_t R = out.nodes.size();
+  const std::size_t K = k_;
+  out.k = K;
+  // assign() refills in place: values reset every batch, capacity kept.
+  out.neigh_node.assign(R * K, kInvalidNode);
+  out.neigh_edge.assign(R * K, kInvalidEdge);
+  out.neigh_dt.assign(R * K, 0.0f);
+  out.valid.assign(R, 0);
+  if (R == 0) return;
+
+  // Roots are cheap to sample (two binary searches + K copies), so only
+  // fan out when ranges are big enough to cover the handoff cost.
+  constexpr std::size_t kGrain = 256;
+  const std::size_t max_chunks = pool != nullptr ? pool->size() * 4 : 1;
+  const std::size_t chunks =
+      std::min(max_chunks, (R + kGrain - 1) / kGrain);
+  if (pool == nullptr || chunks <= 1) {
+    sample_range(out, 0, R);
+    return;
+  }
+  const std::size_t per = (R + chunks - 1) / chunks;
+  pool->parallel_for(chunks, [&](std::size_t c) {
+    const std::size_t lo = c * per;
+    const std::size_t hi = std::min(lo + per, R);
+    if (lo < hi) sample_range(out, lo, hi);
+  });
 }
 
 }  // namespace disttgl

@@ -4,17 +4,40 @@
 // to a node before the query time (the paper uses K = 10). Thanks to the
 // node memory, one layer with recent neighbors is sufficient (§1), so
 // this sampler is single-hop. Thread-safe: reads only immutable graph
-// state, so the prefetcher can run it from worker threads.
+// state, so prefetch workers can run it concurrently.
 #pragma once
 
 #include "graph/temporal_graph.hpp"
 
 namespace disttgl {
 
+class ThreadPool;
+
 struct NeighborSample {
   NodeId neighbor = kInvalidNode;
   EdgeId edge = kInvalidEdge;
   float ts = 0.0f;
+};
+
+// Arena of batch roots and their neighbor windows, laid out as flat
+// [R] / [R*K] arrays. Caller-owned and recycled across batches: every
+// buffer reuses its capacity, so steady-state refills allocate nothing.
+struct SampledRoots {
+  std::size_t k = 0;                    // neighbor window capacity
+  std::vector<NodeId> nodes;            // [R]
+  std::vector<float> ts;                // [R] query times
+  std::vector<NodeId> neigh_node;       // [R*K]
+  std::vector<EdgeId> neigh_edge;       // [R*K]
+  std::vector<float> neigh_dt;          // [R*K] query_ts − event_ts
+  std::vector<std::size_t> valid;       // [R]
+
+  std::size_t size() const { return nodes.size(); }
+
+  // Empties the root list, keeping capacity.
+  void clear() {
+    nodes.clear();
+    ts.clear();
+  }
 };
 
 class NeighborSampler {
@@ -30,7 +53,17 @@ class NeighborSampler {
   // newest first. Returns the number written to `out` (≤ k).
   std::size_t sample(NodeId node, float t, std::span<NeighborSample> out) const;
 
+  // Batched form: fills the neighbor windows for every root already
+  // staged in `out.nodes` / `out.ts` (one pass over the whole batch).
+  // Window arrays are (re)sized in place — allocation-free once their
+  // capacity covers the batch shape. When `pool` is non-null, root
+  // ranges fan out over it via parallel_for; each range writes disjoint
+  // rows, so the result is identical for every thread count.
+  void sample_many(SampledRoots& out, ThreadPool* pool = nullptr) const;
+
  private:
+  void sample_range(SampledRoots& out, std::size_t lo, std::size_t hi) const;
+
   const TemporalGraph* graph_;
   std::size_t k_;
 };

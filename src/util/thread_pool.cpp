@@ -38,23 +38,81 @@ void ThreadPool::wait_idle() {
   idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::parallel_for(std::size_t num_chunks,
+                              void (*fn)(void*, std::size_t), void* ctx) {
+  if (num_chunks == 0) return;
+  if (num_chunks == 1 || workers_.size() == 1) {
+    for (std::size_t i = 0; i < num_chunks; ++i) fn(ctx, i);
+    return;
+  }
+  std::lock_guard<std::mutex> call_lock(pf_call_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pf_fn_ = fn;
+    pf_ctx_ = ctx;
+    pf_total_ = num_chunks;
+    pf_next_.store(0, std::memory_order_relaxed);
+    pf_done_.store(0, std::memory_order_relaxed);
+  }
+  cv_.notify_all();
+  // The caller claims chunks too: completion never depends on a free
+  // worker, so calling from inside a submitted job cannot deadlock.
+  // (Unlocked claims are safe here — the caller's claims always belong
+  // to its own, current call.)
   for (;;) {
-    std::packaged_task<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (stop_ && queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop_front();
-      ++in_flight_;
+    const std::size_t i = pf_next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= num_chunks) break;
+    fn(ctx, i);
+    pf_done_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  pf_done_cv_.wait(lock, [&] {
+    return pf_done_.load(std::memory_order_acquire) == num_chunks;
+  });
+  pf_fn_ = nullptr;
+  pf_ctx_ = nullptr;
+  pf_total_ = 0;
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] {
+      return stop_ || !queue_.empty() || pf_work_available();
+    });
+    if (stop_ && queue_.empty()) return;
+
+    // Claim parallel_for chunks while HOLDING the lock: calls swap the
+    // broadcast state under the same lock, so a claim can never leak
+    // into a later call (a worker descheduled between an unlocked claim
+    // and the body would otherwise run a dead closure and credit its
+    // completion to the wrong call). The claimed chunk keeps its call
+    // alive — the caller cannot observe pf_done_ == total and return
+    // until this chunk's completion is counted below.
+    while (pf_work_available()) {
+      auto fn = pf_fn_;
+      void* ctx = pf_ctx_;
+      const std::size_t total = pf_total_;
+      const std::size_t i = pf_next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) break;
+      lock.unlock();
+      fn(ctx, i);
+      lock.lock();
+      if (pf_done_.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
+        pf_done_cv_.notify_all();  // under mu_: the caller is waiting on it
+      }
     }
+    if (stop_ && queue_.empty()) return;
+    if (queue_.empty()) continue;  // back to the wait
+
+    std::packaged_task<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++in_flight_;
+    lock.unlock();
     task();  // Exceptions propagate through the packaged_task's future.
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
-    }
+    lock.lock();
+    --in_flight_;
+    if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
   }
 }
 

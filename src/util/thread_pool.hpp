@@ -1,18 +1,30 @@
-// Fixed-size worker pool used by the prefetcher and the threaded
-// orchestrator's auxiliary tasks.
+// Fixed-size worker pool used by the GEMM engine, the prefetcher's
+// batch-construction jobs and the batched neighbor sampler.
 //
-// Deliberately simple: a mutex-guarded deque of std::function jobs and a
-// condition variable. The pool is not in any hot loop (per-iteration work
-// is batched), so contention on the queue lock is irrelevant; clarity and
-// correct shutdown semantics win.
+// Two entry points:
+//
+//  - submit(): a mutex-guarded deque of std::function jobs and a
+//    condition variable. Not in any hot loop (per-iteration work is
+//    batched), so contention on the queue lock is irrelevant; clarity
+//    and correct shutdown semantics win. Submission allocates (the
+//    type-erased job), which is why hot paths use parallel_for instead.
+//
+//  - parallel_for(): an allocation-free data-parallel fan-out. Chunks
+//    are claimed from an atomic counter by the pool workers *and the
+//    calling thread*, so completion never depends on a free worker
+//    (safe to call from inside a submitted job). Concurrent callers are
+//    serialized; chunk-to-thread assignment is nondeterministic, so
+//    bodies must write disjoint output (every caller in this repo does).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace disttgl {
@@ -31,10 +43,29 @@ class ThreadPool {
   // Blocks until every job submitted so far has finished.
   void wait_idle();
 
+  // Runs fn(ctx, chunk) for every chunk in [0, num_chunks) on the pool
+  // workers plus the calling thread; returns when all chunks finished.
+  // Performs no heap allocation. `fn` must not throw.
+  void parallel_for(std::size_t num_chunks, void (*fn)(void*, std::size_t),
+                    void* ctx);
+
+  template <class F>
+  void parallel_for(std::size_t num_chunks, F&& body) {
+    using Body = std::remove_reference_t<F>;
+    parallel_for(
+        num_chunks,
+        [](void* c, std::size_t i) { (*static_cast<Body*>(c))(i); }, &body);
+  }
+
   std::size_t size() const { return workers_.size(); }
 
  private:
   void worker_loop();
+  // True while unclaimed parallel_for chunks exist (mu_ must be held).
+  bool pf_work_available() const {
+    return pf_fn_ != nullptr &&
+           pf_next_.load(std::memory_order_relaxed) < pf_total_;
+  }
 
   std::vector<std::thread> workers_;
   std::deque<std::packaged_task<void()>> queue_;
@@ -43,6 +74,18 @@ class ThreadPool {
   std::condition_variable idle_cv_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
+
+  // parallel_for broadcast state. pf_call_mu_ serializes callers; the
+  // remaining fields are written under mu_ by the active caller and read
+  // by workers after observing pf_work_available() under mu_ (they stay
+  // valid until the caller has seen pf_done_ == pf_total_).
+  std::mutex pf_call_mu_;
+  std::condition_variable pf_done_cv_;
+  void (*pf_fn_)(void*, std::size_t) = nullptr;
+  void* pf_ctx_ = nullptr;
+  std::size_t pf_total_ = 0;
+  std::atomic<std::size_t> pf_next_{0};
+  std::atomic<std::size_t> pf_done_{0};
 };
 
 }  // namespace disttgl

@@ -1,0 +1,160 @@
+// Allocation-freedom of the batch-construction path: after warm-up has
+// grown every recycled buffer (MiniBatch arrays, SampledRoots windows,
+// the NodeIndexMap table) to its high-water mark, build_into must never
+// touch the allocator again — serial and with the sampler fanned out
+// over a thread pool — and MiniBatchPool checkout/return cycles must be
+// free too. Same counting-global-allocator technique as test_kernels;
+// the counter lives in this binary only.
+//
+// The deliberate exceptions, pinned by *absence* here: ThreadPool::
+// submit (type-erased job, one per prefetch dispatch, not per-root) and
+// the MemorySlice/MemoryWrite payloads (owned by the memory layer).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "datagen/generator.hpp"
+#include "sampling/minibatch_pool.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t al) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(al),
+                                   (size + static_cast<std::size_t>(al) - 1) /
+                                       static_cast<std::size_t>(al) *
+                                       static_cast<std::size_t>(al)))
+    return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t al) {
+  return ::operator new(size, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace disttgl {
+namespace {
+
+struct Fixture {
+  TemporalGraph graph;
+  NeighborSampler sampler;
+  NegativeSampler negatives;
+
+  Fixture()
+      : graph([] {
+          datagen::SynthSpec spec;
+          spec.num_src = 60;
+          spec.num_dst = 30;
+          spec.num_events = 3000;
+          spec.seed = 23;
+          return datagen::generate(spec);
+        }()),
+        sampler(graph, 6),
+        negatives(graph, 4, 11) {}
+};
+
+// The iteration pattern of a real trainer: a rotation of batch ranges
+// (including a short tail chunk) and variant groups, repeated forever
+// into the same recycled MiniBatch.
+void build_rotation(const MiniBatchBuilder& builder, MiniBatch& mb,
+                    std::size_t round) {
+  static constexpr std::size_t kRanges[][2] = {
+      {0, 200}, {200, 400}, {400, 430}, {430, 630}};
+  const std::size_t groups[2] = {round % 4, (round + 1) % 4};
+  const auto& range = kRanges[round % 4];
+  builder.build_into(round, range[0], range[1],
+                     std::span<const std::size_t>(groups), mb);
+}
+
+TEST(BatchAllocationFree, SerialBuildIntoSteadyState) {
+  Fixture fx;
+  MiniBatchBuilder builder(fx.graph, fx.sampler, fx.negatives, 2);
+  MiniBatch mb;
+  for (std::size_t r = 0; r < 8; ++r) build_rotation(builder, mb, r);  // warm up
+  const std::size_t before = g_alloc_count.load();
+  for (std::size_t r = 0; r < 12; ++r) build_rotation(builder, mb, r);
+  EXPECT_EQ(g_alloc_count.load(), before)
+      << "steady-state build_into allocated";
+}
+
+TEST(BatchAllocationFree, PooledSamplerBuildIntoSteadyState) {
+  Fixture fx;
+  ThreadPool pool(3);
+  MiniBatchBuilder builder(fx.graph, fx.sampler, fx.negatives, 2, &pool);
+  MiniBatch mb;
+  for (std::size_t r = 0; r < 8; ++r) build_rotation(builder, mb, r);
+  const std::size_t before = g_alloc_count.load();
+  for (std::size_t r = 0; r < 12; ++r) build_rotation(builder, mb, r);
+  EXPECT_EQ(g_alloc_count.load(), before)
+      << "parallel_for batch construction allocated";
+}
+
+TEST(BatchAllocationFree, PoolCheckoutCycleSteadyState) {
+  Fixture fx;
+  MiniBatchBuilder builder(fx.graph, fx.sampler, fx.negatives, 1);
+  MiniBatchPool pool(2);
+  // Warm-up: cycle both slots through the builder so each buffer's
+  // capacity reaches the high-water mark.
+  for (std::size_t r = 0; r < 8; ++r) {
+    PooledBatch a = pool.acquire();
+    PooledBatch b = pool.acquire();
+    build_rotation(builder, *a, r);
+    build_rotation(builder, *b, r + 1);
+  }
+  EXPECT_EQ(pool.created(), 2u);
+  const std::size_t before = g_alloc_count.load();
+  for (std::size_t r = 0; r < 12; ++r) {
+    PooledBatch a = pool.acquire();
+    PooledBatch b = pool.acquire();
+    build_rotation(builder, *a, r);
+    build_rotation(builder, *b, r + 1);
+  }
+  EXPECT_EQ(g_alloc_count.load(), before)
+      << "pool checkout/build/return cycle allocated";
+  EXPECT_EQ(pool.outstanding(), 0u);
+  EXPECT_EQ(pool.created(), 2u) << "steady state must not grow the pool";
+}
+
+TEST(BatchAllocationFree, SampleManySteadyState) {
+  Fixture fx;
+  SampledRoots roots;
+  Rng rng(3);
+  auto refill = [&] {
+    roots.clear();
+    for (int i = 0; i < 500; ++i) {
+      roots.nodes.push_back(static_cast<NodeId>(rng.uniform_int(90)));
+      roots.ts.push_back(static_cast<float>(rng.uniform(0.0, 1e6)));
+    }
+    fx.sampler.sample_many(roots);
+  };
+  for (int i = 0; i < 3; ++i) refill();
+  const std::size_t before = g_alloc_count.load();
+  for (int i = 0; i < 5; ++i) refill();
+  EXPECT_EQ(g_alloc_count.load(), before);
+}
+
+}  // namespace
+}  // namespace disttgl

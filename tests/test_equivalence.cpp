@@ -1,6 +1,10 @@
 // The cross-orchestrator contract: the threaded system (daemon threads,
 // prefetchers, allreduce) must produce results identical to the
-// deterministic sequential reference for the same configuration.
+// deterministic sequential reference for the same configuration — for
+// every parallel strategy, pipeline mode, prefetch depth and buffer-pool
+// size. The pipeline grid is what guarantees buffer recycling can never
+// leak state between iterations: a stale byte in any recycled MiniBatch
+// would diverge the weights bit-for-bit.
 #include <gtest/gtest.h>
 
 #include "core/threaded_trainer.hpp"
@@ -34,20 +38,7 @@ TrainingConfig config_for_equivalence() {
   return cfg;
 }
 
-struct EqCase {
-  std::size_t i, j, k;
-};
-
-class OrchestratorEquivalence : public ::testing::TestWithParam<EqCase> {};
-
-TEST_P(OrchestratorEquivalence, IdenticalWeightsAndMetrics) {
-  const auto [i, j, k] = GetParam();
-  TemporalGraph g = graph_for_equivalence();
-  TrainingConfig cfg = config_for_equivalence();
-  cfg.parallel.i = i;
-  cfg.parallel.j = j;
-  cfg.parallel.k = k;
-
+void expect_equivalent(const TrainingConfig& cfg, const TemporalGraph& g) {
   SequentialTrainer seq(cfg, g, nullptr);
   TrainResult seq_res = seq.train();
 
@@ -64,19 +55,117 @@ TEST_P(OrchestratorEquivalence, IdenticalWeightsAndMetrics) {
   EXPECT_EQ(seq_res.iterations, thr_res.iterations);
 }
 
+struct EqCase {
+  std::size_t i, j, k;
+};
+
+class OrchestratorEquivalence : public ::testing::TestWithParam<EqCase> {};
+
+TEST_P(OrchestratorEquivalence, IdenticalWeightsAndMetrics) {
+  const auto [i, j, k] = GetParam();
+  TemporalGraph g = graph_for_equivalence();
+  TrainingConfig cfg = config_for_equivalence();
+  cfg.parallel.i = i;
+  cfg.parallel.j = j;
+  cfg.parallel.k = k;
+  expect_equivalent(cfg, g);
+}
+
 INSTANTIATE_TEST_SUITE_P(Configs, OrchestratorEquivalence,
                          ::testing::Values(EqCase{1, 1, 1}, EqCase{2, 1, 1},
                                            EqCase{1, 2, 1}, EqCase{1, 1, 2},
                                            EqCase{2, 2, 1}, EqCase{1, 2, 2}));
 
-TEST(ThreadedTrainer, ReportsThroughput) {
+// ---- pipeline grid: {i,j,k} × prefetch ahead × pool sizes ----------------
+
+struct PipelineCase {
+  std::size_t i, j, k;
+  std::size_t ahead;
+  std::size_t pool_slots;
+  PipelineMode mode;
+};
+
+std::string pipeline_case_name(
+    const ::testing::TestParamInfo<PipelineCase>& info) {
+  const PipelineCase& c = info.param;
+  std::string s = std::to_string(c.i) + "x" + std::to_string(c.j) + "x" +
+                  std::to_string(c.k) + "_ahead" + std::to_string(c.ahead) +
+                  "_slots" + std::to_string(c.pool_slots) +
+                  (c.mode == PipelineMode::kPooled ? "_pooled" : "_legacy");
+  return s;
+}
+
+class PipelineEquivalence : public ::testing::TestWithParam<PipelineCase> {};
+
+TEST_P(PipelineEquivalence, IdenticalWeightsAcrossPipelineShapes) {
+  const PipelineCase c = GetParam();
+  TemporalGraph g = graph_for_equivalence();
+  TrainingConfig cfg = config_for_equivalence();
+  cfg.epochs = 2;  // the grid is wide; keep each cell cheap
+  cfg.parallel.i = c.i;
+  cfg.parallel.j = c.j;
+  cfg.parallel.k = c.k;
+  cfg.pipeline = c.mode;
+  cfg.prefetch_ahead = c.ahead;
+  cfg.batch_pool_slots = c.pool_slots;
+  expect_equivalent(cfg, g);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PipelineEquivalence,
+    ::testing::Values(
+        // Pooled mode: every (ahead, pool) shape must recycle cleanly.
+        PipelineCase{2, 2, 1, 1, 1, PipelineMode::kPooled},
+        PipelineCase{2, 2, 1, 2, 1, PipelineMode::kPooled},
+        PipelineCase{2, 2, 1, 4, 1, PipelineMode::kPooled},
+        PipelineCase{2, 2, 1, 1, 4, PipelineMode::kPooled},
+        PipelineCase{2, 2, 1, 2, 4, PipelineMode::kPooled},
+        PipelineCase{2, 2, 1, 4, 4, PipelineMode::kPooled},
+        PipelineCase{1, 2, 2, 1, 1, PipelineMode::kPooled},
+        PipelineCase{1, 2, 2, 2, 2, PipelineMode::kPooled},
+        PipelineCase{1, 2, 2, 4, 4, PipelineMode::kPooled},
+        PipelineCase{2, 1, 2, 2, 1, PipelineMode::kPooled},
+        // Legacy mode: the allocate-per-batch baseline stays equivalent.
+        PipelineCase{2, 2, 1, 2, 0, PipelineMode::kLegacy},
+        PipelineCase{1, 2, 2, 1, 0, PipelineMode::kLegacy}),
+    pipeline_case_name);
+
+// A shared worker pool smaller than the trainer count must still
+// deliver identical results (jobs from all prefetchers interleave).
+TEST(PipelineEquivalence, SharedWorkerPoolSmallerThanTrainerCount) {
   TemporalGraph g = graph_for_equivalence();
   TrainingConfig cfg = config_for_equivalence();
   cfg.epochs = 2;
+  cfg.parallel = {.i = 2, .j = 2, .k = 1};
+  cfg.prefetch_workers = 1;
+  expect_equivalent(cfg, g);
+}
+
+TEST(ThreadedTrainer, ReportsThroughputAndAttribution) {
+  TemporalGraph g = graph_for_equivalence();
+  TrainingConfig cfg = config_for_equivalence();
+  cfg.epochs = 2;
+  cfg.parallel = {.i = 1, .j = 2, .k = 1};
   ThreadedTrainer trainer(cfg, g, nullptr);
   auto res = trainer.train();
   EXPECT_GT(res.wall_seconds, 0.0);
   EXPECT_GT(res.events_per_second, 0.0);
+  EXPECT_GT(res.traversals_per_second, 0.0);
+  // Traversals are chronological passes: epochs × training events,
+  // derived from the config. raw_events is *measured* — the positives
+  // every executed work item actually trained, versions included. In a
+  // correct schedule the two coincide (epoch parallelism spreads the j
+  // variants inside the same epoch budget, it does not multiply work),
+  // so measured == derived is itself a schedule-execution check; a
+  // dropped or duplicated work item would break it.
+  EXPECT_EQ(res.traversals, cfg.epochs * trainer.split().num_train());
+  EXPECT_EQ(res.raw_events, res.traversals);
+  EXPECT_GT(res.batch_build_seconds, 0.0);
+  EXPECT_GT(res.compute_seconds, 0.0);
+  // Rank 0 logs one (wait, compute) pair per iteration.
+  EXPECT_EQ(res.rank0_timings.size(), res.iterations);
+  EXPECT_GE(res.rank0_timings.total_batch_gen(), 0.0);
+  EXPECT_GT(res.rank0_timings.total_compute(), 0.0);
 }
 
 }  // namespace

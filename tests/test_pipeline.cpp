@@ -1,10 +1,14 @@
-// Prefetcher: ordering, bounded queue, exhaustion, teardown mid-stream.
+// Prefetcher: ordering, bounded in-flight window, exhaustion, teardown
+// mid-stream, pooled-mode buffer recycling, shared-worker fan-out,
+// randomized consumer stress, and error propagation.
 #include <gtest/gtest.h>
 
 #include <thread>
 
 #include "datagen/generator.hpp"
 #include "pipeline/prefetcher.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace disttgl {
 namespace {
@@ -93,6 +97,126 @@ TEST(Prefetcher, EmptyRequestListExhaustsImmediately) {
   Fixture fx;
   Prefetcher pf(fx.builder, {}, 2);
   EXPECT_FALSE(pf.next().has_value());
+}
+
+TEST(Prefetcher, ReportsBuildSeconds) {
+  Fixture fx;
+  Prefetcher pf(fx.builder, fx.requests(5), 2);
+  while (pf.next().has_value()) {
+  }
+  EXPECT_GT(pf.build_seconds(), 0.0);
+}
+
+// ---- pooled mode ---------------------------------------------------------
+
+TEST(PrefetcherPooled, SharedWorkersAndPoolDeliverInOrder) {
+  Fixture fx;
+  ThreadPool workers(3);
+  MiniBatchPool pool(2);
+  {
+    Prefetcher pf(fx.builder, fx.requests(10), 4, &workers, &pool);
+    for (std::size_t b = 0; b < 10; ++b) {
+      PooledBatch mb = pf.next();
+      ASSERT_TRUE(mb.has_value());
+      EXPECT_EQ(mb->batch_idx, b);
+      MiniBatch direct = fx.builder.build(b, b * 50, (b + 1) * 50,
+                                          std::size_t{b % 4});
+      EXPECT_EQ(mb->unique_nodes, direct.unique_nodes);
+      EXPECT_EQ(mb->neg_dst, direct.neg_dst);
+    }
+    EXPECT_FALSE(pf.next().has_value());
+  }
+  EXPECT_EQ(pool.outstanding(), 0u) << "every checkout must be returned";
+  // ahead=4 in flight + 1 held by the consumer bounds the population.
+  EXPECT_LE(pool.created(), 5u);
+}
+
+TEST(PrefetcherPooled, ManyPrefetchersShareOneWorkerPool) {
+  Fixture fx;
+  ThreadPool workers(2);
+  MiniBatchPool pool_a(1), pool_b(1);
+  Prefetcher pa(fx.builder, fx.requests(6), 2, &workers, &pool_a);
+  Prefetcher pb(fx.builder, fx.requests(6), 2, &workers, &pool_b);
+  for (std::size_t b = 0; b < 6; ++b) {
+    PooledBatch x = pa.next();
+    PooledBatch y = pb.next();
+    ASSERT_TRUE(x.has_value());
+    ASSERT_TRUE(y.has_value());
+    EXPECT_EQ(x->batch_idx, b);
+    EXPECT_EQ(y->batch_idx, b);
+    EXPECT_EQ(x->unique_nodes, y->unique_nodes);
+  }
+}
+
+TEST(PrefetcherPooled, StressRandomizedConsumerBalancesPool) {
+  Fixture fx;
+  ThreadPool workers(4);
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    for (std::size_t ahead : {1u, 2u, 5u}) {
+      MiniBatchPool pool(1);
+      Rng rng(seed);
+      {
+        Prefetcher pf(fx.builder, fx.requests(12), ahead, &workers, &pool);
+        PooledBatch held;  // trainer-style: hold one batch across pops
+        for (std::size_t b = 0; b < 12; ++b) {
+          if (rng.bernoulli(0.4)) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(rng.uniform_int(800)));
+          }
+          held = pf.next();
+          ASSERT_TRUE(held.has_value());
+          ASSERT_EQ(held->batch_idx, b) << "in-order delivery";
+        }
+        EXPECT_FALSE(pf.next().has_value());
+      }
+      EXPECT_EQ(pool.outstanding(), 0u)
+          << "seed=" << seed << " ahead=" << ahead;
+    }
+  }
+}
+
+TEST(PrefetcherPooled, EarlyDestructionMidStreamReturnsEverything) {
+  Fixture fx;
+  ThreadPool workers(3);
+  MiniBatchPool pool(2);
+  for (std::size_t pops : {0u, 1u, 3u}) {
+    {
+      Prefetcher pf(fx.builder, fx.requests(10), 3, &workers, &pool);
+      PooledBatch held;
+      for (std::size_t b = 0; b < pops; ++b) {
+        held = pf.next();
+        ASSERT_TRUE(held.has_value());
+      }
+      // Prefetcher destroyed with requests outstanding and (for pops>0)
+      // a batch still checked out by the consumer.
+    }
+    EXPECT_EQ(pool.outstanding(), 0u) << "pops=" << pops;
+  }
+}
+
+TEST(PrefetcherPooled, BuildErrorPropagatesToConsumer) {
+  Fixture fx;
+  ThreadPool workers(2);
+  MiniBatchPool pool(1);
+  // Request 1 is out of range: its construction job throws and next()
+  // must rethrow instead of hanging.
+  auto reqs = fx.requests(2);
+  reqs[1].begin = 10'000;
+  reqs[1].end = 10'050;
+  {
+    Prefetcher pf(fx.builder, std::move(reqs), 2, &workers, &pool);
+    EXPECT_THROW(
+        {
+          while (pf.next().has_value()) {
+          }
+        },
+        std::logic_error);
+    // The stream is poisoned: later pops keep rethrowing instead of
+    // deadlocking on the never-filled ring slot.
+    EXPECT_THROW(pf.next(), std::logic_error);
+    EXPECT_THROW(pf.next(), std::logic_error);
+  }
+  EXPECT_EQ(pool.outstanding(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,264 @@
+// Property tests pinning the sampling layer to brute-force references
+// on randomized graphs: NeighborSampler (newest-first order, strictly
+// before t, ≤ K), sample_many ≡ one-at-a-time (serial and pooled), and
+// the MiniBatch invariants every consumer relies on (root layout
+// [src|dst|variant negs], unique_nodes dedup, neg_variants coverage).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "datagen/generator.hpp"
+#include "sampling/minibatch.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace disttgl {
+namespace {
+
+// Random multigraph with duplicate timestamps (integer draws) and
+// self-referencing repeat edges — harsher than the datagen presets,
+// which never emit equal-timestamp bursts this dense.
+TemporalGraph random_graph(std::uint64_t seed, std::size_t num_nodes,
+                           std::size_t num_events, std::size_t num_src = 0) {
+  Rng rng(seed);
+  std::vector<float> stamps(num_events);
+  for (auto& t : stamps)
+    t = static_cast<float>(rng.uniform_int(num_events / 2 + 1));
+  std::sort(stamps.begin(), stamps.end());
+  std::vector<TemporalEdge> events(num_events);
+  const std::size_t src_lim = num_src != 0 ? num_src : num_nodes;
+  for (std::size_t i = 0; i < num_events; ++i) {
+    events[i].src = static_cast<NodeId>(rng.uniform_int(src_lim));
+    events[i].dst = num_src != 0
+                        ? static_cast<NodeId>(
+                              num_src + rng.uniform_int(num_nodes - num_src))
+                        : static_cast<NodeId>(rng.uniform_int(num_nodes));
+    events[i].ts = stamps[i];
+  }
+  return TemporalGraph::from_events("random", num_nodes, std::move(events),
+                                    num_src);
+}
+
+// Brute-force most-recent-K: scan the full event table in id order
+// (ids ascend with time, so this matches the CSR's (ts, id) order),
+// keep incident events strictly before t, take the last K, newest first.
+std::vector<NeighborSample> brute_force(const TemporalGraph& g, NodeId v,
+                                        float t, std::size_t k) {
+  std::vector<NeighborSample> hits;
+  for (const TemporalEdge& e : g.events()) {
+    if (e.ts >= t) break;  // events are time-sorted
+    if (e.src != v && e.dst != v) continue;
+    hits.push_back({e.src == v ? e.dst : e.src, e.id, e.ts});
+  }
+  std::vector<NeighborSample> out;
+  const std::size_t n = std::min(k, hits.size());
+  for (std::size_t i = 0; i < n; ++i) out.push_back(hits[hits.size() - 1 - i]);
+  return out;
+}
+
+TEST(NeighborSamplerProperty, MatchesBruteForceOnRandomGraphs) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    TemporalGraph g = random_graph(seed, 40, 500);
+    for (std::size_t k : {1u, 3u, 7u}) {
+      NeighborSampler sampler(g, k);
+      std::vector<NeighborSample> out(k);
+      Rng rng(seed ^ 0xabcdULL);
+      for (int q = 0; q < 200; ++q) {
+        const NodeId v = static_cast<NodeId>(rng.uniform_int(40));
+        const float t = static_cast<float>(rng.uniform(0.0, 260.0));
+        const std::size_t n = sampler.sample(v, t, out);
+        const auto want = brute_force(g, v, t, k);
+        ASSERT_EQ(n, want.size()) << "seed=" << seed << " v=" << v << " t=" << t;
+        for (std::size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(out[i].edge, want[i].edge);
+          EXPECT_EQ(out[i].neighbor, want[i].neighbor);
+          EXPECT_FLOAT_EQ(out[i].ts, want[i].ts);
+          EXPECT_LT(out[i].ts, t) << "strictly before t";
+          if (i > 0) EXPECT_GE(want[i - 1].ts, want[i].ts) << "newest first";
+        }
+      }
+    }
+  }
+}
+
+TEST(NeighborSamplerProperty, SampleManyMatchesOneAtATime) {
+  TemporalGraph g = random_graph(11, 60, 900);
+  NeighborSampler sampler(g, 5);
+  Rng rng(77);
+  SampledRoots roots;
+  for (int q = 0; q < 700; ++q) {
+    roots.nodes.push_back(static_cast<NodeId>(rng.uniform_int(60)));
+    roots.ts.push_back(static_cast<float>(rng.uniform(0.0, 460.0)));
+  }
+  sampler.sample_many(roots);
+
+  std::vector<NeighborSample> one(5);
+  for (std::size_t r = 0; r < roots.size(); ++r) {
+    const std::size_t n = sampler.sample(roots.nodes[r], roots.ts[r], one);
+    ASSERT_EQ(roots.valid[r], n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(roots.neigh_node[r * 5 + i], one[i].neighbor);
+      EXPECT_EQ(roots.neigh_edge[r * 5 + i], one[i].edge);
+      EXPECT_FLOAT_EQ(roots.neigh_dt[r * 5 + i], roots.ts[r] - one[i].ts);
+    }
+    for (std::size_t i = n; i < 5; ++i) {
+      EXPECT_EQ(roots.neigh_node[r * 5 + i], kInvalidNode);
+      EXPECT_EQ(roots.neigh_edge[r * 5 + i], kInvalidEdge);
+    }
+  }
+}
+
+TEST(NeighborSamplerProperty, SampleManyIdenticalAcrossThreadCounts) {
+  TemporalGraph g = random_graph(21, 80, 1200);
+  NeighborSampler sampler(g, 4);
+  Rng rng(5);
+  SampledRoots serial;
+  for (int q = 0; q < 2000; ++q) {  // enough roots to clear the fan-out grain
+    serial.nodes.push_back(static_cast<NodeId>(rng.uniform_int(80)));
+    serial.ts.push_back(static_cast<float>(rng.uniform(0.0, 620.0)));
+  }
+  SampledRoots pooled;
+  pooled.nodes = serial.nodes;
+  pooled.ts = serial.ts;
+
+  sampler.sample_many(serial);
+  for (std::size_t threads : {2u, 3u, 5u}) {
+    ThreadPool pool(threads);
+    sampler.sample_many(pooled, &pool);
+    EXPECT_EQ(pooled.valid, serial.valid) << threads << " threads";
+    EXPECT_EQ(pooled.neigh_node, serial.neigh_node);
+    EXPECT_EQ(pooled.neigh_edge, serial.neigh_edge);
+    EXPECT_EQ(pooled.neigh_dt, serial.neigh_dt);
+  }
+}
+
+TEST(NeighborSamplerProperty, SampleManyEmptyAndRecycled) {
+  TemporalGraph g = random_graph(31, 20, 100);
+  NeighborSampler sampler(g, 3);
+  SampledRoots roots;
+  sampler.sample_many(roots);  // empty batch is legal
+  EXPECT_EQ(roots.size(), 0u);
+  // Refill after a larger use: stale state must not leak through.
+  roots.nodes = {1, 2, 3, 4, 5};
+  roots.ts = {50.f, 50.f, 50.f, 50.f, 50.f};
+  sampler.sample_many(roots);
+  roots.clear();
+  roots.nodes = {1};
+  roots.ts = {50.f};
+  sampler.sample_many(roots);
+  EXPECT_EQ(roots.valid.size(), 1u);
+  EXPECT_EQ(roots.neigh_node.size(), 3u);
+}
+
+// ---- MiniBatch invariants on randomized builds ---------------------------
+
+TEST(MiniBatchProperty, InvariantsHoldOnRandomBatches) {
+  for (std::uint64_t seed : {3u, 9u}) {
+    TemporalGraph g = random_graph(seed, 50, 800, /*num_src=*/30);
+    NeighborSampler sampler(g, 4);
+    NegativeSampler negs(g, 6, 17);
+    for (std::size_t num_neg : {1u, 2u}) {
+      MiniBatchBuilder builder(g, sampler, negs, num_neg);
+      Rng rng(seed);
+      for (int trial = 0; trial < 12; ++trial) {
+        const std::size_t begin = rng.uniform_int(700);
+        const std::size_t end = begin + 1 + rng.uniform_int(90);
+        std::vector<std::size_t> groups;
+        for (std::size_t v = 0, J = 1 + rng.uniform_int(3); v < J; ++v)
+          groups.push_back(rng.uniform_int(6));
+        MiniBatch mb = builder.build(trial, begin, end, groups);
+
+        const std::size_t n = end - begin;
+        const std::size_t K = mb.roots.k;
+        ASSERT_EQ(mb.num_pos(), n);
+        ASSERT_EQ(mb.neg_variants, groups.size());
+        ASSERT_EQ(mb.num_roots(), n * 2 + n * num_neg * groups.size());
+
+        // Root layout: [src | dst | variant negs], all at event times.
+        for (std::size_t i = 0; i < n; ++i) {
+          const TemporalEdge& e = g.event(static_cast<EdgeId>(begin + i));
+          EXPECT_EQ(mb.roots.nodes[mb.src_begin() + i], e.src);
+          EXPECT_EQ(mb.roots.nodes[mb.dst_begin() + i], e.dst);
+          EXPECT_FLOAT_EQ(mb.roots.ts[i], e.ts);
+          EXPECT_FLOAT_EQ(mb.roots.ts[mb.dst_begin() + i], e.ts);
+        }
+        // neg_variants coverage: block v holds exactly group v's draw.
+        for (std::size_t v = 0; v < groups.size(); ++v) {
+          const auto want = negs.sample(groups[v], trial, n * num_neg);
+          for (std::size_t x = 0; x < n * num_neg; ++x) {
+            EXPECT_EQ(mb.neg_dst[v * n * num_neg + x], want[x]);
+            EXPECT_EQ(mb.roots.nodes[mb.neg_begin(v) + x], want[x]);
+            EXPECT_FLOAT_EQ(mb.roots.ts[mb.neg_begin(v) + x],
+                            mb.ts[x / num_neg]);
+          }
+        }
+
+        // unique_nodes: no duplicates, covers roots ∪ valid neighbors,
+        // and the index maps agree.
+        std::set<NodeId> uniq(mb.unique_nodes.begin(), mb.unique_nodes.end());
+        ASSERT_EQ(uniq.size(), mb.unique_nodes.size());
+        for (std::size_t r = 0; r < mb.num_roots(); ++r) {
+          ASSERT_LE(mb.roots.valid[r], sampler.k());
+          EXPECT_EQ(mb.unique_nodes[mb.root_to_unique[r]], mb.roots.nodes[r]);
+          for (std::size_t k = 0; k < mb.roots.valid[r]; ++k) {
+            EXPECT_EQ(mb.unique_nodes[mb.neigh_to_unique[r * K + k]],
+                      mb.roots.neigh_node[r * K + k]);
+            EXPECT_GT(mb.roots.neigh_dt[r * K + k], 0.0f)
+                << "neighbors are strictly before the query time";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(MiniBatchProperty, BuildIntoRecycledBatchMatchesFreshBuild) {
+  TemporalGraph g = random_graph(13, 40, 600, /*num_src=*/25);
+  NeighborSampler sampler(g, 3);
+  NegativeSampler negs(g, 4, 9);
+  MiniBatchBuilder builder(g, sampler, negs, 2);
+
+  MiniBatch recycled;
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Shrinking and growing ranges stress stale-capacity leaks.
+    const std::size_t begin = rng.uniform_int(500);
+    const std::size_t end = begin + 1 + rng.uniform_int(80);
+    std::vector<std::size_t> groups;
+    for (std::size_t v = 0, J = 1 + rng.uniform_int(2); v < J; ++v)
+      groups.push_back(rng.uniform_int(4));
+    builder.build_into(trial, begin, end, groups, recycled);
+    const MiniBatch fresh = builder.build(trial, begin, end, groups);
+
+    EXPECT_EQ(recycled.events, fresh.events);
+    EXPECT_EQ(recycled.src, fresh.src);
+    EXPECT_EQ(recycled.dst, fresh.dst);
+    EXPECT_EQ(recycled.neg_dst, fresh.neg_dst);
+    EXPECT_EQ(recycled.roots.nodes, fresh.roots.nodes);
+    EXPECT_EQ(recycled.roots.valid, fresh.roots.valid);
+    EXPECT_EQ(recycled.roots.neigh_node, fresh.roots.neigh_node);
+    EXPECT_EQ(recycled.roots.neigh_edge, fresh.roots.neigh_edge);
+    EXPECT_EQ(recycled.unique_nodes, fresh.unique_nodes);
+    EXPECT_EQ(recycled.root_to_unique, fresh.root_to_unique);
+  }
+}
+
+TEST(MiniBatchProperty, PooledSamplerBuilderMatchesSerial) {
+  TemporalGraph g = random_graph(17, 45, 700, /*num_src=*/30);
+  NeighborSampler sampler(g, 4);
+  NegativeSampler negs(g, 4, 9);
+  MiniBatchBuilder serial_builder(g, sampler, negs, 1);
+  ThreadPool pool(3);
+  MiniBatchBuilder pooled_builder(g, sampler, negs, 1, &pool);
+  const std::vector<std::size_t> groups = {1, 3};
+  const MiniBatch a = serial_builder.build(0, 0, 400, groups);
+  const MiniBatch b = pooled_builder.build(0, 0, 400, groups);
+  EXPECT_EQ(a.unique_nodes, b.unique_nodes);
+  EXPECT_EQ(a.roots.neigh_node, b.roots.neigh_node);
+  EXPECT_EQ(a.roots.valid, b.roots.valid);
+  EXPECT_EQ(a.neigh_to_unique, b.neigh_to_unique);
+}
+
+}  // namespace
+}  // namespace disttgl
