@@ -1,0 +1,442 @@
+// Isolated memory-layer I/O cost per super-batch — the trajectory
+// behind BENCH_memory.json (bench/run_memory.sh appends one labelled
+// entry per invocation; docs/BENCHMARKS.md).
+//
+// DistTGL's premise is that memory reads/writes, not compute, bound
+// M-TGNN training (§3.2–3.3, Fig 2b). This bench measures exactly that
+// path, detached from the model: gather a MemorySlice for a
+// super-batch's unique nodes, scatter a MemoryWrite for its positive
+// roots, at the thr_2x2x1 super-batch shape of bench_training_throughput
+// (600-event chunk, j = 2 negative variants, K = 10) and paper-scale
+// memory dims (mem 100).
+//
+// Each metric is reported for two implementations from the same binary:
+//
+//   legacy_*: the seed path, replicated inline — a fresh heap
+//             MemorySlice per read filled by five separate gather
+//             passes (each output zero-initialized, then overwritten),
+//             and a fresh MemoryWrite buffer set per write (the
+//             per-iteration lifecycle the pre-zero-copy daemon forced)
+//             applied by two separate scatter passes.
+//   current : the rewritten path — read_into into a recycled slice
+//             (fused single-pass gather, no fill, no allocation) and an
+//             in-place fused write from a persistent request.
+//
+// daemon_rt_us additionally times the full zero-copy daemon round trip
+// (read + write through the slot protocol, one trainer), putting a
+// number on the serialization overhead itself.
+//
+//   bench_memory_ops [--scale=S] [--iters=N]
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "datagen/generator.hpp"
+#include "datagen/presets.hpp"
+#include "memory/daemon.hpp"
+#include "memory/mailbox.hpp"
+#include "memory/node_memory.hpp"
+#include "sampling/minibatch.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace disttgl {
+namespace {
+
+constexpr std::size_t kMemDim = 100;  // paper §4.0.1 memory width
+
+// ---- seed-path replication (the measured "before") ----
+
+// The seed MemoryState: separate NodeMemory and Mailbox tables (five
+// arrays touched per gathered node) instead of the blocked row layout.
+struct LegacyMemoryState {
+  NodeMemory memory;
+  Mailbox mailbox;
+  LegacyMemoryState(std::size_t n, std::size_t md, std::size_t ld)
+      : memory(n, md), mailbox(n, ld) {}
+};
+
+MemorySlice legacy_read(const LegacyMemoryState& state,
+                        std::span<const NodeId> nodes) {
+  MemorySlice s;
+  s.mem = state.memory.gather(nodes);
+  s.mem_ts = state.memory.gather_ts(nodes);
+  s.mail = state.mailbox.gather(nodes);
+  s.mail_ts = state.mailbox.gather_ts(nodes);
+  s.has_mail = state.mailbox.gather_flags(nodes);
+  return s;
+}
+
+void legacy_write(LegacyMemoryState& state, const MemoryWrite& tmpl) {
+  // The pre-zero-copy protocol consumed the trainer's MemoryWrite every
+  // iteration (moved into the daemon slot), so the next make_write
+  // rebuilt all five buffers from scratch: fresh allocations + fills.
+  MemoryWrite w = tmpl;
+  state.memory.scatter(w.nodes, w.mem, w.mem_ts);
+  state.mailbox.scatter(w.nodes, w.mail, w.mail_ts);
+}
+
+// Exact replica of the seed daemon protocol (the pre-zero-copy
+// MemoryDaemon): slots carry the payloads by value — the daemon
+// allocates a fresh MemorySlice per read and moves it out, the write
+// request is moved in — and every wait is a pure yield spin. Measured
+// as the "before" of the group round-trip metric.
+class LegacySpinDaemon {
+ public:
+  LegacySpinDaemon(LegacyMemoryState& state, std::size_t trainers,
+                   std::size_t rounds)
+      : state_(state), rounds_(rounds), slots_(trainers) {
+    for (auto& s : slots_) s = std::make_unique<Slot>();
+  }
+  void start() {
+    thread_ = std::thread([this] { run(); });
+  }
+  void join() { thread_.join(); }
+
+  MemorySlice read(std::size_t rank, std::span<const NodeId> nodes) {
+    Slot& slot = *slots_[rank];
+    spin_until(slot.read_status, 0);
+    slot.read_idx.assign(nodes.begin(), nodes.end());
+    slot.read_status.store(1, std::memory_order_release);
+    spin_until(slot.read_status, 0);
+    return std::move(slot.read_result);
+  }
+  void write(std::size_t rank, MemoryWrite w) {
+    Slot& slot = *slots_[rank];
+    spin_until(slot.write_status, 0);
+    slot.write_req = std::move(w);
+    slot.write_status.store(1, std::memory_order_release);
+    spin_until(slot.write_status, 0);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<int> read_status{0};
+    std::atomic<int> write_status{0};
+    std::vector<NodeId> read_idx;
+    MemorySlice read_result;
+    MemoryWrite write_req;
+  };
+  static void spin_until(const std::atomic<int>& status, int value) {
+    while (status.load(std::memory_order_acquire) != value)
+      std::this_thread::yield();
+  }
+  void run() {
+    for (std::size_t round = 0; round < rounds_; ++round) {
+      for (auto& sp : slots_) {
+        Slot& slot = *sp;
+        spin_until(slot.read_status, 1);
+        slot.read_result = legacy_read(state_, slot.read_idx);
+        slot.read_status.store(0, std::memory_order_release);
+      }
+      for (auto& sp : slots_) {
+        Slot& slot = *sp;
+        spin_until(slot.write_status, 1);
+        state_.memory.scatter(slot.write_req.nodes, slot.write_req.mem,
+                              slot.write_req.mem_ts);
+        state_.mailbox.scatter(slot.write_req.nodes, slot.write_req.mail,
+                               slot.write_req.mail_ts);
+        slot.write_status.store(0, std::memory_order_release);
+      }
+    }
+  }
+
+  LegacyMemoryState& state_;
+  std::size_t rounds_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::thread thread_;
+};
+
+// Fill both layouts with identical per-node values and mails so gathers
+// touch real data (flags set on two thirds of the nodes).
+void populate(MemoryState& state, LegacyMemoryState& legacy,
+              std::uint64_t seed) {
+  Rng rng(seed);
+  MemoryWrite w;
+  const std::size_t n = state.num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    if (v % 3 == 2) continue;
+    w.nodes.assign(1, v);
+    w.mem.resize(1, state.mem_dim(),
+                 static_cast<float>(rng.uniform(-1.0, 1.0)));
+    w.mem_ts.assign(1, static_cast<float>(v));
+    w.mail.resize(1, state.mail_dim(),
+                  static_cast<float>(rng.uniform(-1.0, 1.0)));
+    w.mail_ts.assign(1, static_cast<float>(v) + 0.5f);
+    state.write(w);
+    legacy.memory.scatter(w.nodes, w.mem, w.mem_ts);
+    legacy.mailbox.scatter(w.nodes, w.mail, w.mail_ts);
+  }
+}
+
+struct SuperBatch {
+  MiniBatch mb;
+  std::vector<NodeId> write_nodes;  // distinct positive roots
+};
+
+// The thr_2x2x1 super-batch of bench_training_throughput: one 600-event
+// chunk with j = 2 negative variants and K = 10 neighbor windows.
+SuperBatch make_super_batch(const TemporalGraph& g) {
+  NeighborSampler sampler(g, 10);
+  NegativeSampler negatives(g, 10, 7 ^ 0x5eedULL);
+  MiniBatchBuilder builder(g, sampler, negatives, 4);
+  const std::vector<std::size_t> groups = {0, 1};
+  SuperBatch sb;
+  const std::size_t end = std::min<std::size_t>(600, g.num_events());
+  sb.mb = builder.build(0, 0, end, groups);
+  // Distinct positive roots, in first-appearance order (the make_write
+  // write set).
+  std::vector<std::uint8_t> seen(sb.mb.unique_nodes.size(), 0);
+  for (std::size_t r = 0; r < 2 * sb.mb.num_pos(); ++r) {
+    const std::size_t u = sb.mb.root_to_unique[r];
+    if (!seen[u]) {
+      seen[u] = 1;
+      sb.write_nodes.push_back(sb.mb.unique_nodes[u]);
+    }
+  }
+  return sb;
+}
+
+MemoryWrite make_write_payload(const SuperBatch& sb, std::size_t mem_dim,
+                               std::size_t mail_dim, std::uint64_t seed) {
+  Rng rng(seed);
+  MemoryWrite w;
+  w.nodes = sb.write_nodes;
+  const std::size_t n = w.nodes.size();
+  w.mem.reset_shape(n, mem_dim);
+  w.mail.reset_shape(n, mail_dim);
+  for (std::size_t i = 0; i < n * mem_dim; ++i)
+    w.mem.data()[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (std::size_t i = 0; i < n * mail_dim; ++i)
+    w.mail.data()[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  w.mem_ts.assign(n, 1.0f);
+  w.mail_ts.assign(n, 1.5f);
+  return w;
+}
+
+double checksum(const MemorySlice& s) {
+  double c = 0.0;
+  for (std::size_t i = 0; i < s.mem.size(); ++i) c += s.mem.data()[i];
+  for (std::size_t i = 0; i < s.mail.size(); ++i) c += s.mail.data()[i];
+  for (const auto f : s.has_mail) c += f;
+  return c;
+}
+
+void run_dataset(const datagen::SynthSpec& spec, std::size_t iters) {
+  const TemporalGraph g = datagen::generate(spec);
+  bench::section(spec.name + " (" + std::to_string(g.num_nodes()) +
+                 " nodes, " + std::to_string(g.num_events()) + " events)");
+
+  const std::size_t mail_dim = 2 * kMemDim + g.edge_feat_dim();
+  MemoryState state(g.num_nodes(), kMemDim, mail_dim);
+  LegacyMemoryState legacy(g.num_nodes(), kMemDim, mail_dim);
+  populate(state, legacy, spec.seed);
+
+  const SuperBatch sb = make_super_batch(g);
+  const std::vector<NodeId>& nodes = sb.mb.unique_nodes;
+  const MemoryWrite w = make_write_payload(sb, kMemDim, mail_dim, 11);
+
+  // Best-of-rounds timing: the container shares one core with the rest
+  // of the system, so a single long measurement absorbs scheduler
+  // preemptions as signal. The minimum round is the cleanest estimate
+  // of the actual per-iteration cost; per-iteration work (allocation,
+  // fills, copies) is identical in every round and stays in the number.
+  constexpr std::size_t kRounds = 5;
+  const auto us_per_iter = [&](auto&& body) {
+    // Warm-up reaches every buffer's high-water mark and faults pages.
+    for (std::size_t r = 0; r < iters / 10 + 2; ++r) body();
+    double best = 1e30;
+    for (std::size_t round = 0; round < kRounds; ++round) {
+      WallTimer timer;
+      for (std::size_t r = 0; r < iters; ++r) body();
+      best = std::min(best, timer.seconds());
+    }
+    return best * 1e6 / static_cast<double>(iters);
+  };
+
+  double sink = 0.0;  // defeats dead-code elimination across variants
+
+  // -- reads --
+  const double legacy_read_us = us_per_iter([&] {
+    MemorySlice s = legacy_read(legacy, nodes);
+    sink += s.mem.data()[0] + s.has_mail[0];
+  });
+  MemorySlice recycled;
+  const double read_us = us_per_iter([&] {
+    state.read_into(nodes, recycled);
+    sink += recycled.mem.data()[0] + recycled.has_mail[0];
+  });
+  // Sanity: both layouts hold identical contents.
+  {
+    const MemorySlice fresh = legacy_read(legacy, nodes);
+    DT_CHECK_EQ(checksum(fresh), checksum(recycled));
+  }
+
+  // -- writes --
+  const double legacy_write_us = us_per_iter([&] { legacy_write(legacy, w); });
+  const double write_us = us_per_iter([&] { state.write(w); });
+
+  // -- combined read+write round (what one memory-op iteration costs) --
+  const double legacy_rw_us = us_per_iter([&] {
+    MemorySlice s = legacy_read(legacy, nodes);
+    sink += s.mem.data()[0];
+    legacy_write(legacy, w);
+  });
+  const double rw_us = us_per_iter([&] {
+    state.read_into(nodes, recycled);
+    sink += recycled.mem.data()[0];
+    state.write(w);
+  });
+
+  // -- zero-copy daemon round trip (protocol overhead included) --
+  const std::size_t rounds = iters / 10 + 2 + kRounds * iters;
+  {
+    DaemonConfig dc;
+    dc.i = 1;
+    dc.j = 1;
+    dc.reset_before_round.assign(rounds, 0);
+    MemoryDaemon daemon(state, dc);
+    daemon.start();
+    MemorySlice dslice;
+    const double daemon_rt_us = us_per_iter([&] {
+      daemon.read(0, nodes, dslice);
+      sink += dslice.mem.data()[0];
+      daemon.write(0, w);
+    });
+    daemon.join();
+
+    std::printf(
+        "memory_ops dataset=%s rows=%zu write_rows=%zu mem_dim=%zu "
+        "mail_dim=%zu legacy_read_us=%.1f read_us=%.1f legacy_write_us=%.1f "
+        "write_us=%.1f legacy_rw_us=%.1f rw_us=%.1f rw_speedup=%.2f "
+        "daemon_rt_us=%.1f\n",
+        spec.name.c_str(), nodes.size(), w.nodes.size(), kMemDim, mail_dim,
+        legacy_read_us, read_us, legacy_write_us, write_us, legacy_rw_us,
+        rw_us, legacy_rw_us / rw_us, daemon_rt_us);
+  }
+
+  // -- per-super-batch protocol round trip, i=2 trainer group --
+  // What one memory-op iteration of a 2×j×k run actually costs end to
+  // end: both trainers post their chunk's read, block for the bracket,
+  // then post their writes. This is where the seed protocol pays twice:
+  // payload churn through the slots AND pure yield-spinning trainers
+  // competing with the serving daemon for the core. The rewritten
+  // protocol gathers into lent buffers and parks waiters instead.
+  const std::size_t half = nodes.size() / 2;
+  const std::array<std::span<const NodeId>, 2> rank_nodes = {
+      std::span<const NodeId>(nodes.data(), half),
+      std::span<const NodeId>(nodes.data() + half, nodes.size() - half)};
+  std::array<MemoryWrite, 2> rank_writes;
+  {
+    const std::size_t wh = w.nodes.size() / 2;
+    for (std::size_t r = 0; r < 2; ++r) {
+      const std::size_t lo = r * wh;
+      const std::size_t hi = r == 0 ? wh : w.nodes.size();
+      rank_writes[r].nodes.assign(w.nodes.begin() + lo, w.nodes.begin() + hi);
+      w.mem.slice_rows_into(lo, hi, rank_writes[r].mem);
+      rank_writes[r].mem_ts.assign(hi - lo, 1.0f);
+      w.mail.slice_rows_into(lo, hi, rank_writes[r].mail);
+      rank_writes[r].mail_ts.assign(hi - lo, 1.5f);
+    }
+  }
+  const std::size_t group_rounds = iters;
+  constexpr std::size_t kGroupReps = 3;
+  double legacy_group = 1e30;
+  double group = 1e30;
+  for (std::size_t rep = 0; rep < kGroupReps; ++rep) {
+    {
+      LegacySpinDaemon daemon(legacy, 2, group_rounds);
+      daemon.start();
+      WallTimer timer;
+      std::array<std::thread, 2> trainers;
+      for (std::size_t r = 0; r < 2; ++r) {
+        trainers[r] = std::thread([&, r] {
+          for (std::size_t round = 0; round < group_rounds; ++round) {
+            const MemorySlice s = daemon.read(r, rank_nodes[r]);
+            if (s.mem.rows() != rank_nodes[r].size()) std::abort();
+            // Fresh request per round: the seed protocol consumed it.
+            daemon.write(r, rank_writes[r]);
+          }
+        });
+      }
+      for (auto& t : trainers) t.join();
+      daemon.join();
+      legacy_group = std::min(
+          legacy_group, timer.seconds() * 1e6 / static_cast<double>(group_rounds));
+    }
+    {
+      DaemonConfig dc;
+      dc.i = 2;
+      dc.j = 1;
+      dc.reset_before_round.assign(group_rounds, 0);
+      MemoryDaemon daemon(state, dc);
+      daemon.start();
+      WallTimer timer;
+      std::array<std::thread, 2> trainers;
+      for (std::size_t r = 0; r < 2; ++r) {
+        trainers[r] = std::thread([&, r] {
+          MemorySlice slice;  // recycled; daemon gathers straight in
+          for (std::size_t round = 0; round < group_rounds; ++round) {
+            daemon.read(r, rank_nodes[r], slice);
+            daemon.write(r, rank_writes[r]);
+          }
+        });
+      }
+      for (auto& t : trainers) t.join();
+      daemon.join();
+      group = std::min(group,
+                       timer.seconds() * 1e6 / static_cast<double>(group_rounds));
+    }
+  }
+  std::printf(
+      "memory_protocol dataset=%s trainers=2 legacy_group_rt_us=%.1f "
+      "group_rt_us=%.1f group_speedup=%.2f\n",
+      spec.name.c_str(), legacy_group, group, legacy_group / group);
+  if (sink == 42.0) std::printf("# sink %f\n", sink);
+  std::fflush(stdout);
+}
+
+}  // namespace
+}  // namespace disttgl
+
+int main(int argc, char** argv) {
+  using namespace disttgl;
+  double scale = 0.25;
+  std::size_t iters = 200;
+  std::string dataset = "all";
+  for (int a = 1; a < argc; ++a) {
+    if (std::strncmp(argv[a], "--scale=", 8) == 0) {
+      scale = std::stod(argv[a] + 8);
+    } else if (std::strncmp(argv[a], "--iters=", 8) == 0) {
+      iters = static_cast<std::size_t>(std::stoul(argv[a] + 8));
+    } else if (std::strncmp(argv[a], "--dataset=", 10) == 0) {
+      dataset = argv[a] + 10;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--scale=S] [--iters=N] "
+                   "[--dataset=wikipedia|mooc|all]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  bench::header(
+      "memory_ops — isolated memory read+write cost per super-batch",
+      "memory I/O, not compute, bounds M-TGNN training (§3.2–3.3); bulk "
+      "fused array ops with recycled buffers beat per-iteration "
+      "allocate-and-fill gathers");
+  std::printf("scale=%.3g iters=%zu\n", scale, iters);
+  // run_memory.sh measures one dataset per process so heap state from an
+  // earlier dataset can never color a later one's allocating baseline.
+  if (dataset == "all" || dataset == "wikipedia")
+    run_dataset(datagen::wikipedia_like(scale), iters);
+  if (dataset == "all" || dataset == "mooc")
+    run_dataset(datagen::mooc_like(scale), iters);
+  return 0;
+}

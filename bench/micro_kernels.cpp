@@ -195,12 +195,24 @@ void BM_MiniBatchBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_MiniBatchBuild);
 
+// Distinct random node ids (a shuffled-prefix draw): MemoryState::write
+// requires distinct nodes, the contract that makes its parallel fan-out
+// race-free.
+std::vector<NodeId> distinct_nodes(std::size_t rows, std::size_t num_nodes,
+                                   Rng& rng) {
+  std::vector<NodeId> all(num_nodes);
+  for (std::size_t v = 0; v < num_nodes; ++v) all[v] = static_cast<NodeId>(v);
+  for (std::size_t i = 0; i < rows; ++i)
+    std::swap(all[i], all[i + rng.uniform_int(num_nodes - i)]);
+  all.resize(rows);
+  return all;
+}
+
 void BM_MemoryReadWrite(benchmark::State& state) {
   const auto rows = static_cast<std::size_t>(state.range(0));
   MemoryState mem(20000, 32, 80);
   Rng rng(6);
-  std::vector<NodeId> nodes(rows);
-  for (auto& v : nodes) v = static_cast<NodeId>(rng.uniform_int(20000));
+  const std::vector<NodeId> nodes = distinct_nodes(rows, 20000, rng);
   MemoryWrite w;
   w.nodes = nodes;
   w.mem = Matrix(rows, 32, 1.0f);
@@ -215,5 +227,28 @@ void BM_MemoryReadWrite(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * rows * (32 + 80) * 4 * 2);
 }
 BENCHMARK(BM_MemoryReadWrite)->Arg(1024)->Arg(4096);
+
+// The allocation-free steady state: fused blocked-row gather into a
+// recycled slice + in-place write (the trainers' actual memory path).
+void BM_MemoryReadWriteInto(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  MemoryState mem(20000, 32, 80);
+  Rng rng(6);
+  const std::vector<NodeId> nodes = distinct_nodes(rows, 20000, rng);
+  MemoryWrite w;
+  w.nodes = nodes;
+  w.mem = Matrix(rows, 32, 1.0f);
+  w.mem_ts.assign(rows, 1.0f);
+  w.mail = Matrix(rows, 80, 1.0f);
+  w.mail_ts.assign(rows, 1.0f);
+  MemorySlice slice;
+  for (auto _ : state) {
+    mem.read_into(nodes, slice);
+    benchmark::DoNotOptimize(slice.mem.data());
+    mem.write(w);
+  }
+  state.SetBytesProcessed(state.iterations() * rows * (32 + 80) * 4 * 2);
+}
+BENCHMARK(BM_MemoryReadWriteInto)->Arg(1024)->Arg(4096);
 
 }  // namespace

@@ -1,0 +1,92 @@
+#!/usr/bin/env sh
+# Run bench_memory_ops and append a labelled entry to BENCH_memory.json,
+# the memory-layer I/O trajectory (docs/BENCHMARKS.md).
+#
+#   bench/run_memory.sh [label] [path/to/bench_memory_ops] [extra args...]
+#
+# Defaults: label = current git revision,
+# binary = build/bench/bench_memory_ops. Extra args are passed through
+# (e.g. --scale=0.25 --iters=200).
+#
+# Each preset runs in its OWN process: the allocating legacy baseline's
+# cost depends on allocator state, so measuring datasets back to back in
+# one process lets the first dataset's heap shape color the second's
+# numbers (a real training run starts with a fresh heap).
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+label=${1:-$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unlabelled)}
+bin=${2:-"$repo_root/build/bench/bench_memory_ops"}
+[ $# -ge 1 ] && shift
+[ $# -ge 1 ] && shift
+out="$repo_root/BENCH_memory.json"
+
+if [ ! -x "$bin" ]; then
+  echo "error: $bin not found or not executable." >&2
+  echo "Configure with -DDISTTGL_BUILD_BENCH=ON and build bench_memory_ops." >&2
+  exit 1
+fi
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+for dataset in wikipedia mooc; do
+  "$bin" "--dataset=$dataset" "$@" | tee -a "$raw"
+done
+
+LABEL="$label" RAW="$raw" OUT="$out" python3 - <<'EOF'
+import datetime
+import json
+import os
+import re
+
+results = {}
+with open(os.environ["RAW"]) as f:
+    for line in f:
+        m = re.match(
+            r"memory_ops dataset=(\S+) rows=(\d+) write_rows=(\d+) "
+            r"mem_dim=(\d+) mail_dim=(\d+) legacy_read_us=([\d.]+) "
+            r"read_us=([\d.]+) legacy_write_us=([\d.]+) write_us=([\d.]+) "
+            r"legacy_rw_us=([\d.]+) rw_us=([\d.]+) rw_speedup=([\d.]+) "
+            r"daemon_rt_us=([\d.]+)", line)
+        if m:
+            results.setdefault(m.group(1), {}).update({
+                "rows": int(m.group(2)),
+                "write_rows": int(m.group(3)),
+                "mem_dim": int(m.group(4)),
+                "mail_dim": int(m.group(5)),
+                "legacy_read_us": float(m.group(6)),
+                "read_us": float(m.group(7)),
+                "legacy_write_us": float(m.group(8)),
+                "write_us": float(m.group(9)),
+                "legacy_rw_us": float(m.group(10)),
+                "rw_us": float(m.group(11)),
+                "rw_speedup": float(m.group(12)),
+                "daemon_rt_us": float(m.group(13)),
+            })
+            continue
+        p = re.match(
+            r"memory_protocol dataset=(\S+) trainers=(\d+) "
+            r"legacy_group_rt_us=([\d.]+) group_rt_us=([\d.]+) "
+            r"group_speedup=([\d.]+)", line)
+        if p:
+            results.setdefault(p.group(1), {}).update({
+                "protocol_trainers": int(p.group(2)),
+                "legacy_group_rt_us": float(p.group(3)),
+                "group_rt_us": float(p.group(4)),
+                "group_speedup": float(p.group(5)),
+            })
+
+entry = {
+    "label": os.environ["LABEL"],
+    "date": datetime.date.today().isoformat(),
+    "results": results,
+}
+
+out = os.environ["OUT"]
+trajectory = json.load(open(out)) if os.path.exists(out) else []
+trajectory.append(entry)
+with open(out, "w") as f:
+    json.dump(trajectory, f, indent=2)
+    f.write("\n")
+print(f"appended entry '{entry['label']}' ({len(results)} datasets) to {out}")
+EOF

@@ -42,7 +42,8 @@ with open(os.environ["RAW"]) as f:
         m = re.match(
             r"(\w+) dataset=(\S+) events=(\d+) traversals=(\d+) wall=([\d.]+) "
             r"events_per_sec=(\d+) traversals_per_sec=(\d+) batch_gen=([\d.]+) "
-            r"wait=([\d.]+) compute=([\d.]+)", line)
+            r"wait=([\d.]+) compute=([\d.]+)"
+            r"(?: mem_read_wait=([\d.]+) mem_write_wait=([\d.]+))?", line)
         if m:
             results[f"{m.group(2)}/{m.group(1)}"] = {
                 "raw_events": int(m.group(3)),
@@ -54,6 +55,11 @@ with open(os.environ["RAW"]) as f:
                 "prefetch_wait_seconds": float(m.group(9)),
                 "compute_seconds": float(m.group(10)),
             }
+            if m.group(11) is not None:
+                results[f"{m.group(2)}/{m.group(1)}"].update({
+                    "mem_read_wait_seconds": float(m.group(11)),
+                    "mem_write_wait_seconds": float(m.group(12)),
+                })
             continue
         b = re.match(
             r"batch_build dataset=(\S+) alloc_us=([\d.]+) recycled_us=([\d.]+)",

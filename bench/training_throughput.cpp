@@ -124,11 +124,13 @@ void run_dataset(const datagen::SynthSpec& spec, PipelineMode mode,
       std::printf(
           "%s dataset=%s events=%zu traversals=%zu wall=%.3f "
           "events_per_sec=%.0f traversals_per_sec=%.0f batch_gen=%.3f "
-          "wait=%.3f compute=%.3f val=%.4f\n",
+          "wait=%.3f compute=%.3f mem_read_wait=%.3f mem_write_wait=%.3f "
+          "val=%.4f\n",
           c.label, spec.name.c_str(), res.raw_events, res.traversals,
           res.wall_seconds, res.events_per_second, res.traversals_per_second,
           res.batch_build_seconds, res.prefetch_wait_seconds,
-          res.compute_seconds, res.final_val);
+          res.compute_seconds, res.mem_read_wait_seconds,
+          res.mem_write_wait_seconds, res.final_val);
     } else {
       WallTimer timer;
       std::unique_ptr<SequentialTrainer> trainer;
@@ -145,11 +147,13 @@ void run_dataset(const datagen::SynthSpec& spec, PipelineMode mode,
       std::printf(
           "%s dataset=%s events=%zu traversals=%zu wall=%.3f "
           "events_per_sec=%.0f traversals_per_sec=%.0f batch_gen=%.3f "
-          "wait=0.000 compute=%.3f val=%.4f\n",
+          "wait=0.000 compute=%.3f mem_read_wait=%.3f mem_write_wait=%.3f "
+          "val=%.4f\n",
           c.label, spec.name.c_str(), traversals, traversals, wall,
           traversals / wall, traversals / wall,
           res.timings.total_batch_gen(), res.timings.total_compute(),
-          res.final_val);
+          res.timings.total_mem_read_wait(),
+          res.timings.total_mem_write_wait(), res.final_val);
     }
     std::fflush(stdout);
   }

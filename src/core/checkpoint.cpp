@@ -58,7 +58,8 @@ void save_checkpoint(const std::string& path,
     // Gather all rows in node order (also serializes timestamps/flags).
     std::vector<NodeId> all(s->num_nodes());
     for (NodeId v = 0; v < s->num_nodes(); ++v) all[v] = v;
-    MemorySlice slice = s->read(all);
+    MemorySlice slice;
+    s->read_into(all, slice);
     write_floats(out, slice.mem.data(), slice.mem.size());
     write_floats(out, slice.mem_ts.data(), slice.mem_ts.size());
     write_floats(out, slice.mail.data(), slice.mail.size());
@@ -113,24 +114,15 @@ void load_checkpoint(const std::string& path,
     std::vector<float> flags(nodes);
     read_floats(in, flags.data(), flags.size());
 
-    // Memory rows restore unconditionally; mailbox rows only where the
-    // has_mail flag was set (scatter marks flags, so restore precisely).
+    // Full-row restore, flags included — restore() is the one writer
+    // that can clear a has_mail flag, so the loaded state reproduces the
+    // saved one exactly (unflagged rows carry the zero mail the save-side
+    // slice serialized for them).
+    std::vector<std::uint8_t> flag_bytes(nodes);
+    for (NodeId v = 0; v < nodes; ++v)
+      flag_bytes[v] = flags[v] != 0.0f ? 1 : 0;
     s->reset();
-    s->memory().scatter(w.nodes, w.mem, w.mem_ts);
-    std::vector<NodeId> with_mail;
-    std::vector<std::size_t> rows;
-    for (NodeId v = 0; v < nodes; ++v) {
-      if (flags[v] != 0.0f) {
-        with_mail.push_back(v);
-        rows.push_back(v);
-      }
-    }
-    if (!with_mail.empty()) {
-      Matrix mails = w.mail.gather_rows(rows);
-      std::vector<float> ts(with_mail.size());
-      for (std::size_t x = 0; x < rows.size(); ++x) ts[x] = w.mail_ts[rows[x]];
-      s->mailbox().scatter(with_mail, mails, ts);
-    }
+    s->restore(w.nodes, w.mem, w.mem_ts, w.mail, w.mail_ts, flag_bytes);
   }
 }
 

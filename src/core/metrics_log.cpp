@@ -38,4 +38,16 @@ double TimingLog::total_compute() const {
   return s;
 }
 
+double TimingLog::total_mem_read_wait() const {
+  double s = 0.0;
+  for (const auto& e : entries_) s += e.mem_read_wait_seconds;
+  return s;
+}
+
+double TimingLog::total_mem_write_wait() const {
+  double s = 0.0;
+  for (const auto& e : entries_) s += e.mem_write_wait_seconds;
+  return s;
+}
+
 }  // namespace disttgl

@@ -36,18 +36,25 @@ class ConvergenceLog {
 
 // Per-iteration pipeline phase attribution: seconds spent generating
 // (or, in the threaded system, blocked waiting on) the iteration's
-// mini-batches vs seconds computing on them. This is what lets
+// mini-batches, seconds computing on them, and seconds inside the
+// memory protocol — blocked in a daemon read/write (threaded) or
+// gathering/scattering directly (sequential). This is what lets
 // bench/training_throughput attribute an end-to-end win to batch
-// generation rather than to the kernels.
+// generation or memory I/O rather than to the kernels.
 struct IterationTiming {
   double batch_gen_seconds = 0.0;
   double compute_seconds = 0.0;
+  double mem_read_wait_seconds = 0.0;
+  double mem_write_wait_seconds = 0.0;
 };
 
 class TimingLog {
  public:
-  void add(double batch_gen_seconds, double compute_seconds) {
-    entries_.push_back({batch_gen_seconds, compute_seconds});
+  void add(double batch_gen_seconds, double compute_seconds,
+           double mem_read_wait_seconds = 0.0,
+           double mem_write_wait_seconds = 0.0) {
+    entries_.push_back({batch_gen_seconds, compute_seconds,
+                        mem_read_wait_seconds, mem_write_wait_seconds});
   }
 
   const std::vector<IterationTiming>& entries() const { return entries_; }
@@ -56,6 +63,8 @@ class TimingLog {
 
   double total_batch_gen() const;
   double total_compute() const;
+  double total_mem_read_wait() const;
+  double total_mem_write_wait() const;
 
  private:
   std::vector<IterationTiming> entries_;

@@ -186,18 +186,21 @@ void TGNModel::embed_backward(const MiniBatch& mb, EmbedCtx& ctx,
 
 void TGNModel::make_write(const MiniBatch& mb, const MemorySlice& slice,
                           const EmbedCtx& ctx, BatchDiagnostics& diag,
-                          MemoryWrite& w) const {
+                          MemoryWrite& w) {
   const std::size_t n = mb.num_pos();
 
   // COMB = most recent: iterate events chronologically; the last mail per
   // node survives. Track per-unique-node write slots for positive roots.
-  std::vector<std::size_t> slot_of_unique(mb.unique_nodes.size(),
-                                          static_cast<std::size_t>(-1));
+  // All working buffers persist in scratch_ (capacity-preserving).
+  std::vector<std::size_t>& slot_of_unique = scratch_.slot_of_unique;
+  slot_of_unique.assign(mb.unique_nodes.size(), static_cast<std::size_t>(-1));
   const std::size_t edim = graph_->edge_feat_dim();
-  std::vector<float> mail_row(mail_raw_dim_);
+  std::vector<float>& mail_row = scratch_.mail_row;
+  mail_row.resize(mail_raw_dim_);
 
   // First pass: count distinct positive roots to size the buffers.
-  std::vector<std::size_t> uniq_roots;
+  std::vector<std::size_t>& uniq_roots = scratch_.uniq_roots;
+  uniq_roots.clear();
   for (std::size_t r = 0; r < 2 * n; ++r) {
     const std::size_t u = mb.root_to_unique[r];
     if (slot_of_unique[u] == static_cast<std::size_t>(-1)) {
@@ -205,13 +208,20 @@ void TGNModel::make_write(const MiniBatch& mb, const MemorySlice& slice,
       uniq_roots.push_back(u);
     }
   }
-  w.nodes.resize(uniq_roots.size());
-  w.mem.resize(uniq_roots.size(), cfg_.mem_dim);
-  w.mem_ts.resize(uniq_roots.size());
-  w.mail.resize(uniq_roots.size(), mail_raw_dim_);
-  w.mail_ts.resize(uniq_roots.size());
   const bool comb_mean = cfg_.comb == CombPolicy::kMean;
-  std::vector<float> mail_counts(comb_mean ? uniq_roots.size() : 0, 0.0f);
+  w.nodes.resize(uniq_roots.size());
+  w.mem.reset_shape(uniq_roots.size(), cfg_.mem_dim);
+  w.mem_ts.resize(uniq_roots.size());
+  // Every distinct positive root receives at least one mail below, so
+  // most-recent rows need no clearing; mean rows accumulate from zero.
+  if (comb_mean) {
+    w.mail.resize(uniq_roots.size(), mail_raw_dim_, 0.0f);
+  } else {
+    w.mail.reset_shape(uniq_roots.size(), mail_raw_dim_);
+  }
+  w.mail_ts.resize(uniq_roots.size());
+  std::vector<float>& mail_counts = scratch_.mail_counts;
+  mail_counts.assign(comb_mean ? uniq_roots.size() : 0, 0.0f);
 
   // Memory rows: post-UPDT values; last-update time = consumed mail's
   // timestamp for GRU-touched rows, previous value otherwise.
@@ -264,9 +274,9 @@ void TGNModel::make_write(const MiniBatch& mb, const MemorySlice& slice,
   diag.mails_kept += uniq_roots.size();
 }
 
-TGNModel::StepResult TGNModel::run(const MiniBatch& mb, const MemorySlice& slice,
-                                   std::size_t version, MemoryWrite* write,
-                                   bool train) {
+void TGNModel::run(const MiniBatch& mb, const MemorySlice& slice,
+                   std::size_t version, MemoryWrite* write, bool train,
+                   StepResult& result) {
   Scratch& s = scratch_;
   s.ws.reset();
   EmbedCtx& ctx = s.embed;
@@ -274,7 +284,8 @@ TGNModel::StepResult TGNModel::run(const MiniBatch& mb, const MemorySlice& slice
   const std::size_t n = mb.num_pos();
   const std::size_t Q = mb.num_neg;
 
-  StepResult result;
+  result.loss = 0.0f;
+  result.diag = BatchDiagnostics{};
   s.demb.resize(emb.rows(), emb.cols(), 0.0f);
 
   if (task_ == Task::kLinkPrediction) {
@@ -335,20 +346,34 @@ TGNModel::StepResult TGNModel::run(const MiniBatch& mb, const MemorySlice& slice
 
   if (train) embed_backward(mb, ctx, s.demb);
   if (write != nullptr) make_write(mb, slice, ctx, result.diag, *write);
-  return result;
+}
+
+void TGNModel::train_step_into(const MiniBatch& mb, const MemorySlice& slice,
+                               std::size_t version, MemoryWrite* write,
+                               StepResult& out) {
+  run(mb, slice, version, write, /*train=*/true, out);
 }
 
 TGNModel::StepResult TGNModel::train_step(const MiniBatch& mb,
                                           const MemorySlice& slice,
                                           std::size_t version,
                                           MemoryWrite* write) {
-  return run(mb, slice, version, write, /*train=*/true);
+  StepResult result;
+  run(mb, slice, version, write, /*train=*/true, result);
+  return result;
+}
+
+void TGNModel::infer_into(const MiniBatch& mb, const MemorySlice& slice,
+                          MemoryWrite* write, StepResult& out) {
+  run(mb, slice, /*version=*/0, write, /*train=*/false, out);
 }
 
 TGNModel::StepResult TGNModel::infer(const MiniBatch& mb,
                                      const MemorySlice& slice,
                                      MemoryWrite* write) {
-  return run(mb, slice, /*version=*/0, write, /*train=*/false);
+  StepResult result;
+  run(mb, slice, /*version=*/0, write, /*train=*/false, result);
+  return result;
 }
 
 void TGNModel::collect_parameters(std::vector<nn::Parameter*>& out) {

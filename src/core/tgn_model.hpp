@@ -76,12 +76,20 @@ class TGNModel : public nn::Module {
 
   // Forward + backward for version `version` of the batch; accumulates
   // parameter gradients. If `write` is non-null (version 0 only), fills
-  // the memory write-back for the positive roots.
+  // the memory write-back for the positive roots. The `_into` form
+  // reuses a caller-owned StepResult (capacity-preserving score/logit
+  // buffers), closing the last per-iteration allocation of the training
+  // loop; the value-returning forms are allocating conveniences.
+  void train_step_into(const MiniBatch& mb, const MemorySlice& slice,
+                       std::size_t version, MemoryWrite* write,
+                       StepResult& out);
   StepResult train_step(const MiniBatch& mb, const MemorySlice& slice,
                         std::size_t version, MemoryWrite* write);
 
   // Forward only (no gradients); used by the evaluator. Fills `write`
   // when non-null so evaluation advances the memory stream.
+  void infer_into(const MiniBatch& mb, const MemorySlice& slice,
+                  MemoryWrite* write, StepResult& out);
   StepResult infer(const MiniBatch& mb, const MemorySlice& slice,
                    MemoryWrite* write);
 
@@ -110,6 +118,12 @@ class TGNModel : public nn::Module {
     nn::EdgeClassifier::Ctx cls_ctx;
     nn::EdgeClassifier::InputGrads gcls;
     Matrix demb;                                // dL/d(embeddings)
+    // make_write working set (persists so assembling the MemoryWrite
+    // allocates nothing at steady state).
+    std::vector<std::size_t> slot_of_unique;    // unique idx → write slot
+    std::vector<std::size_t> uniq_roots;        // distinct positive roots
+    std::vector<float> mail_row;                // one staged mail payload
+    std::vector<float> mail_counts;             // COMB=mean normalizers
   };
 
   // Shared forward: UPDT + representations + attention for one version.
@@ -120,13 +134,15 @@ class TGNModel : public nn::Module {
   // Backward through embed (grads accumulate into parameters).
   void embed_backward(const MiniBatch& mb, EmbedCtx& ctx, const Matrix& demb);
 
-  // Loss + head forward (and backward when `train`).
-  StepResult run(const MiniBatch& mb, const MemorySlice& slice,
-                 std::size_t version, MemoryWrite* write, bool train);
+  // Loss + head forward (and backward when `train`), into a reusable
+  // caller-owned result.
+  void run(const MiniBatch& mb, const MemorySlice& slice, std::size_t version,
+           MemoryWrite* write, bool train, StepResult& result);
 
+  // Assembles the write-back into `w` in place (capacity-preserving;
+  // the working buffers live in scratch_, hence non-const).
   void make_write(const MiniBatch& mb, const MemorySlice& slice,
-                  const EmbedCtx& ctx, BatchDiagnostics& diag,
-                  MemoryWrite& w) const;
+                  const EmbedCtx& ctx, BatchDiagnostics& diag, MemoryWrite& w);
 
   ModelConfig cfg_;
   const TemporalGraph* graph_;

@@ -88,7 +88,7 @@ void ThreadedTrainer::trainer_thread(std::size_t rank) {
   const TrainerSchedule& ts = schedule_.trainers[rank];
   TGNModel& model = *models_[rank];
   nn::Adam& opt = *optimizers_[rank];
-  auto params = model.parameters();
+  const std::vector<nn::Parameter*>& params = model.cached_parameters();
   MemoryDaemon& daemon = *daemons_[ts.mem_copy];
 
   // Prefetch requests: one per version-0 (memory-op) item. Empty chunks
@@ -116,13 +116,21 @@ void ThreadedTrainer::trainer_thread(std::size_t rank) {
                         pooled ? batch_pools_[rank].get() : nullptr);
 
   PooledBatch batch;
-  std::optional<MemorySlice> slice;
+  // The trainer's persistent memory-protocol buffers: the daemon gathers
+  // straight into `slice` and applies writes straight from `write`
+  // (zero-copy slots), so both keep their heap capacity for the whole
+  // run — the memory path allocates nothing at steady state.
+  MemorySlice slice;
+  MemoryWrite write;
+  TGNModel::StepResult step;  // reused result buffers (train_step_into)
   std::vector<float> grads(nn::flat_size(params));
   double local_loss = 0.0;
   std::size_t local_count = 0;
   std::size_t local_events = 0;
   double wait_seconds = 0.0;
   double compute_seconds = 0.0;
+  double read_wait_seconds = 0.0;
+  double write_wait_seconds = 0.0;
   TimingLog iteration_log;  // filled for rank 0 only
 
   std::size_t cursor = 0;
@@ -133,19 +141,21 @@ void ThreadedTrainer::trainer_thread(std::size_t rank) {
 
     std::fill(grads.begin(), grads.end(), 0.0f);
     bool computed = false;
-    MemoryWrite write;
     bool post_write = false;
     double iter_wait = 0.0;
     double iter_compute = 0.0;
+    double iter_read_wait = 0.0;
+    double iter_write_wait = 0.0;
 
     if (item != nullptr) {
       if (item->memory_ops) {
+        write.clear();  // train_step refills it for non-empty chunks
         const auto [begin, end] = chunk_events(item->global_batch, ts.chunk);
         if (begin >= end) {
           // Empty chunk: keep the daemon protocol in lockstep.
           batch.release();
-          slice.reset();
-          daemon.read(ts.group_rank, {});
+          ScopedAccumulator acc(iter_read_wait);
+          daemon.read(ts.group_rank, {}, slice);
           post_write = true;  // empty write below
         } else {
           {
@@ -155,17 +165,19 @@ void ThreadedTrainer::trainer_thread(std::size_t rank) {
             batch = prefetcher.next();
           }
           DT_CHECK(batch.has_value());
-          slice = daemon.read(ts.group_rank, batch->unique_nodes);
+          {
+            ScopedAccumulator acc(iter_read_wait);
+            daemon.read(ts.group_rank, batch->unique_nodes, slice);
+          }
           post_write = true;
         }
       }
       if (batch.has_value()) {
         ScopedAccumulator acc(iter_compute);
         model.zero_grad();
-        TGNModel::StepResult res =
-            model.train_step(*batch, *slice, item->version,
-                             item->memory_ops ? &write : nullptr);
-        local_loss += res.loss;
+        model.train_step_into(*batch, slice, item->version,
+                              item->memory_ops ? &write : nullptr, step);
+        local_loss += step.loss;
         ++local_count;
         local_events += batch->num_pos();
         computed = true;
@@ -173,7 +185,10 @@ void ThreadedTrainer::trainer_thread(std::size_t rank) {
       ++cursor;
     }
 
-    if (post_write) daemon.write(ts.group_rank, std::move(write));
+    if (post_write) {
+      ScopedAccumulator acc(iter_write_wait);
+      daemon.write(ts.group_rank, write);
+    }
 
     if (computed) {
       nn::flatten_grads(params, grads);
@@ -185,7 +200,11 @@ void ThreadedTrainer::trainer_thread(std::size_t rank) {
 
     wait_seconds += iter_wait;
     compute_seconds += iter_compute;
-    if (rank == 0) iteration_log.add(iter_wait, iter_compute);
+    read_wait_seconds += iter_read_wait;
+    write_wait_seconds += iter_write_wait;
+    if (rank == 0)
+      iteration_log.add(iter_wait, iter_compute, iter_read_wait,
+                        iter_write_wait);
   }
 
   batch.release();  // hand the buffer back before the prefetcher drains
@@ -199,6 +218,8 @@ void ThreadedTrainer::trainer_thread(std::size_t rank) {
     batch_build_seconds_ += build_seconds;
     prefetch_wait_seconds_ += wait_seconds;
     compute_seconds_ += compute_seconds;
+    mem_read_wait_seconds_ += read_wait_seconds;
+    mem_write_wait_seconds_ += write_wait_seconds;
     if (rank == 0) rank0_timings_ = std::move(iteration_log);
   }
 }
@@ -213,6 +234,13 @@ ThreadedTrainResult ThreadedTrainer::train() {
     dc.i = par.i;
     dc.j = par.j;
     dc.reset_before_round = schedule_.groups[m].reset_before_round;
+    // Fan large gathers/scatters over the shared prefetch workers on
+    // multi-core hosts (parallel_for's caller participation means a busy
+    // pool can never stall the daemon; output is thread-count
+    // independent). On one hardware thread the handoff is pure overhead.
+    dc.gather_pool = std::thread::hardware_concurrency() > 1
+                         ? prefetch_workers_.get()
+                         : nullptr;
     daemons_.push_back(std::make_unique<MemoryDaemon>(states_[m], dc));
     daemons_.back()->start();
   }
@@ -237,6 +265,8 @@ ThreadedTrainResult ThreadedTrainer::train() {
   result.batch_build_seconds = batch_build_seconds_;
   result.prefetch_wait_seconds = prefetch_wait_seconds_;
   result.compute_seconds = compute_seconds_;
+  result.mem_read_wait_seconds = mem_read_wait_seconds_;
+  result.mem_write_wait_seconds = mem_write_wait_seconds_;
   result.rank0_timings = rank0_timings_;
 
   // Final evaluation on memory copy 0 (validation then test, one clone).

@@ -61,9 +61,16 @@ struct ThreadedTrainResult {
   double batch_build_seconds = 0.0;    // inside build_into on workers
   double prefetch_wait_seconds = 0.0;  // trainers blocked popping a batch
   double compute_seconds = 0.0;        // inside train_step
-  // Rank 0's per-iteration (wait, compute) pair — the threaded analogue
-  // of TrainResult::timings (batch gen happens off-thread, so the wait
-  // is what generation failed to hide).
+  // Memory-protocol attribution: seconds trainers spent blocked in
+  // daemon.read / daemon.write (serialization wait + the gather/scatter
+  // itself). Previously this time was folded into the iteration's
+  // compute share; splitting it out is what lets BENCH_training show
+  // where memory-protocol time goes.
+  double mem_read_wait_seconds = 0.0;
+  double mem_write_wait_seconds = 0.0;
+  // Rank 0's per-iteration (wait, compute, mem-read, mem-write) tuple —
+  // the threaded analogue of TrainResult::timings (batch gen happens
+  // off-thread, so the wait is what generation failed to hide).
   TimingLog rank0_timings;
 
   std::vector<float> weights;  // final replica-0 weights
@@ -120,6 +127,8 @@ class ThreadedTrainer {
   double batch_build_seconds_ = 0.0;
   double prefetch_wait_seconds_ = 0.0;
   double compute_seconds_ = 0.0;
+  double mem_read_wait_seconds_ = 0.0;
+  double mem_write_wait_seconds_ = 0.0;
   TimingLog rank0_timings_;
 };
 

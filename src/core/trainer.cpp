@@ -71,6 +71,7 @@ void SequentialTrainer::run_iteration(std::size_t t) {
 
   // ---- phase A: version-0 reads (daemon (R…R) bracket, rank order) ----
   double gen_seconds = 0.0;
+  double read_seconds = 0.0;
   for (std::size_t r = 0; r < n; ++r) {
     if (items[r] == nullptr || !items[r]->memory_ops) continue;
     const TrainerSchedule& ts = schedule_.trainers[r];
@@ -78,7 +79,6 @@ void SequentialTrainer::run_iteration(std::size_t t) {
     const auto ev = chunk_events(item.global_batch, ts.chunk);
     if (ev[0] >= ev[1]) {  // empty trailing chunk
       slots_[r].batch.release();
-      slots_[r].slice.reset();
       continue;
     }
     std::vector<std::size_t> groups;
@@ -94,16 +94,18 @@ void SequentialTrainer::run_iteration(std::size_t t) {
       builder_->build_into(item.global_batch * par.i + ts.chunk, ev[0], ev[1],
                            groups, *slots_[r].batch);
     }
-    slots_[r].slice = states_[ts.mem_copy].read(slots_[r].batch->unique_nodes);
+    {
+      ScopedAccumulator acc(read_seconds);
+      states_[ts.mem_copy].read_into(slots_[r].batch->unique_nodes,
+                                     slots_[r].slice);
+    }
   }
 
   // ---- phase B: compute (all active trainers, current weights) ----
-  const std::size_t flat = nn::flat_size(model_->parameters());
+  const std::vector<nn::Parameter*>& params = model_->cached_parameters();
+  const std::size_t flat = nn::flat_size(params);
   grad_accum_.assign(flat, 0.0);
   std::vector<float> flat_grads;
-  std::vector<MemoryWrite> writes(n);
-  std::vector<std::uint8_t> has_write(n, 0);
-  auto params = model_->parameters();
   double compute_seconds = 0.0;
   for (std::size_t r = 0; r < n; ++r) {
     if (items[r] == nullptr) continue;
@@ -115,10 +117,10 @@ void SequentialTrainer::run_iteration(std::size_t t) {
     const WorkItem& item = *items[r];
     ScopedAccumulator acc(compute_seconds);
     model_->zero_grad();
-    TGNModel::StepResult res = model_->train_step(
-        *slot.batch, *slot.slice, item.version,
-        item.memory_ops ? &writes[r] : nullptr);
-    has_write[r] = item.memory_ops ? 1 : 0;
+    TGNModel::StepResult& res = step_result_;
+    model_->train_step_into(*slot.batch, slot.slice, item.version,
+                            item.memory_ops ? &slot.write : nullptr, res);
+    slot.has_write = item.memory_ops;
     nn::flatten_grads(params, flat_grads);
     for (std::size_t x = 0; x < flat; ++x)
       grad_accum_[x] += static_cast<double>(flat_grads[x]);
@@ -133,9 +135,12 @@ void SequentialTrainer::run_iteration(std::size_t t) {
   }
 
   // ---- phase C: version-0 writes (daemon (W…W) bracket, rank order) ----
+  double write_seconds = 0.0;
   for (std::size_t r = 0; r < n; ++r) {
-    if (has_write[r] != 0)
-      states_[schedule_.trainers[r].mem_copy].write(writes[r]);
+    if (!slots_[r].has_write) continue;
+    slots_[r].has_write = false;
+    ScopedAccumulator acc(write_seconds);
+    states_[schedule_.trainers[r].mem_copy].write(slots_[r].write);
   }
 
   // ---- optimizer step: mean over all n trainers ----
@@ -164,7 +169,7 @@ void SequentialTrainer::run_iteration(std::size_t t) {
   nn::unflatten_grads(mean_grads, params);
   nn::clip_grad_norm(params, cfg_.grad_clip);
   optimizer_->step();
-  timings_.add(gen_seconds, compute_seconds);
+  timings_.add(gen_seconds, compute_seconds, read_seconds, write_seconds);
 }
 
 double SequentialTrainer::evaluate_validation() {

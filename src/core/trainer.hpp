@@ -74,7 +74,14 @@ class SequentialTrainer {
   struct TrainerSlot {
     std::size_t cursor = 0;  // next item index
     PooledBatch batch;       // recycled through batch_pool_
-    std::optional<MemorySlice> slice;
+    // Persistent memory-protocol buffers: read_into gathers into
+    // `slice`, train_step assembles `write` in place, phase C applies
+    // it — all capacity-preserving, so the memory path allocates
+    // nothing at steady state. `batch.has_value()` gates their use;
+    // `has_write` marks a pending phase-C application.
+    MemorySlice slice;
+    MemoryWrite write;
+    bool has_write = false;
   };
 
   std::vector<std::size_t> chunk_events(std::size_t global_batch,
@@ -100,6 +107,8 @@ class SequentialTrainer {
   MiniBatchPool batch_pool_;
   std::vector<TrainerSlot> slots_;
 
+  // Reused step-result buffers (train_step_into).
+  TGNModel::StepResult step_result_;
   // Double accumulation in rank order — bitwise identical to
   // ThreadComm's staged reduction, which the equivalence tests rely on.
   std::vector<double> grad_accum_;

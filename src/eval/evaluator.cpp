@@ -17,13 +17,19 @@ void replay(TGNModel& model, MemoryState& state, const TemporalGraph& graph,
   MiniBatchBuilder builder(graph, sampler, negatives,
                            link ? cfg.num_negs : 0);
   const auto batches = make_batches(begin, end, cfg.batch_size);
+  // All replay buffers recycle across batches (build_into / read_into /
+  // in-place write), matching the trainers' allocation-free memory path.
+  std::vector<std::size_t> groups;
+  if (link) groups.push_back(0);
+  MiniBatch mb;
+  MemorySlice slice;
+  MemoryWrite write;
+  TGNModel::StepResult res;
   for (std::size_t b = 0; b < batches.size(); ++b) {
-    std::vector<std::size_t> groups;
-    if (link) groups.push_back(0);
-    MiniBatch mb = builder.build(b, batches[b].begin, batches[b].end, groups);
-    MemorySlice slice = state.read(mb.unique_nodes);
-    MemoryWrite write;
-    TGNModel::StepResult res = model.infer(mb, slice, &write);
+    builder.build_into(b, batches[b].begin, batches[b].end, groups, mb);
+    state.read_into(mb.unique_nodes, slice);
+    write.clear();
+    model.infer_into(mb, slice, &write, res);
     state.write(write);
     on_batch(mb, res);
   }

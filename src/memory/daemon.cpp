@@ -5,11 +5,33 @@
 namespace disttgl {
 
 namespace {
-void spin_until(const std::atomic<int>& status, int value) {
-  while (status.load(std::memory_order_acquire) != value) {
-    std::this_thread::yield();
+
+// Bounded spin before parking. The common case — the daemon is one slot
+// away, or the trainer's compute just finished — resolves within a few
+// thousand polls; only a genuinely descheduled peer (oversubscribed
+// container, long bracket) reaches the futex. Spinning first also keeps
+// the fast path free of syscalls.
+constexpr int kSpinPolls = 1 << 12;
+
+void await_status(std::atomic<int>& status, int value) {
+  for (int p = 0; p < kSpinPolls; ++p) {
+    if (status.load(std::memory_order_acquire) == value) return;
+    if ((p & 0x3f) == 0x3f) std::this_thread::yield();
+  }
+  for (;;) {
+    const int cur = status.load(std::memory_order_acquire);
+    if (cur == value) return;
+    status.wait(cur, std::memory_order_acquire);
   }
 }
+
+void post_status(std::atomic<int>& status, int value) {
+  status.store(value, std::memory_order_release);
+  // At most one peer ever waits on a given status word (the trainer
+  // waits for 0, the daemon for 1, never simultaneously).
+  status.notify_one();
+}
+
 }  // namespace
 
 MemoryDaemon::MemoryDaemon(MemoryState& state, DaemonConfig config)
@@ -36,24 +58,26 @@ void MemoryDaemon::join() {
   if (thread_.joinable()) thread_.join();
 }
 
-MemorySlice MemoryDaemon::read(std::size_t rank, std::span<const NodeId> nodes) {
+void MemoryDaemon::read(std::size_t rank, std::span<const NodeId> nodes,
+                        MemorySlice& out) {
   DT_CHECK_LT(rank, slots_.size());
   Slot& slot = *slots_[rank];
   // The slot must be free (previous request fully served).
-  spin_until(slot.read_status, 0);
-  slot.read_idx.assign(nodes.begin(), nodes.end());
-  slot.read_status.store(1, std::memory_order_release);
-  spin_until(slot.read_status, 0);  // daemon filled read_result
-  return std::move(slot.read_result);
+  await_status(slot.read_status, 0);
+  slot.read_nodes = nodes.data();
+  slot.read_count = nodes.size();
+  slot.read_out = &out;
+  post_status(slot.read_status, 1);
+  await_status(slot.read_status, 0);  // daemon gathered into `out`
 }
 
-void MemoryDaemon::write(std::size_t rank, MemoryWrite w) {
+void MemoryDaemon::write(std::size_t rank, const MemoryWrite& w) {
   DT_CHECK_LT(rank, slots_.size());
   Slot& slot = *slots_[rank];
-  spin_until(slot.write_status, 0);
-  slot.write_req = std::move(w);
-  slot.write_status.store(1, std::memory_order_release);
-  spin_until(slot.write_status, 0);  // applied
+  await_status(slot.write_status, 0);
+  slot.write_req = &w;
+  post_status(slot.write_status, 1);
+  await_status(slot.write_status, 0);  // applied
 }
 
 std::vector<std::string> MemoryDaemon::trace() const {
@@ -83,17 +107,22 @@ void MemoryDaemon::run() {
     // ordering requirement; we serve them by rank.
     for (std::size_t r = base; r < base + config_.i; ++r) {
       Slot& slot = *slots_[r];
-      spin_until(slot.read_status, 1);
-      slot.read_result = state_.read(slot.read_idx);
+      await_status(slot.read_status, 1);
+      state_.read_into({slot.read_nodes, slot.read_count}, *slot.read_out,
+                       config_.gather_pool);
+      slot.read_nodes = nullptr;
+      slot.read_count = 0;
+      slot.read_out = nullptr;
       if (trace_enabled_) trace_.push_back(trace_op('R', r));
-      slot.read_status.store(0, std::memory_order_release);
+      post_status(slot.read_status, 0);
     }
     for (std::size_t r = base; r < base + config_.i; ++r) {
       Slot& slot = *slots_[r];
-      spin_until(slot.write_status, 1);
-      state_.write(slot.write_req);
+      await_status(slot.write_status, 1);
+      state_.write(*slot.write_req, config_.gather_pool);
+      slot.write_req = nullptr;
       if (trace_enabled_) trace_.push_back(trace_op('W', r));
-      slot.write_status.store(0, std::memory_order_release);
+      post_status(slot.write_status, 0);
     }
   }
 }

@@ -12,8 +12,23 @@
 // shared slots, each guarded by an atomic status word — the C++ analogue
 // of the paper's `read_status`/`write_status` shared buffers:
 //
-//   trainer:  fill slot → status.store(1, release) → spin until 0
-//   daemon :  spin until 1 (acquire) → serve → status.store(0, release)
+//   trainer:  fill slot → status.store(1, release) → await 0
+//   daemon :  await 1 (acquire) → serve → status.store(0, release)
+//
+// The protocol is zero-copy: a slot carries only pointers into the
+// requesting trainer's buffers — the node list and the MemorySlice the
+// daemon gathers straight into on read, the MemoryWrite it applies
+// straight from on write. No payload crosses the slot by value, so the
+// per-iteration slice allocation + move and the write-request handoff
+// copy of the pre-zero-copy protocol are gone; steady-state protocol
+// traffic is two atomic transitions per operation. The trainer blocks
+// until served, which is what makes lending its buffers safe.
+//
+// Waiting is bounded spin → std::atomic::wait parking. A trainer whose
+// turn is imminent stays in the cheap spin; one that is scheduled out
+// for a while (oversubscribed container, long round) parks on a futex
+// instead of burning a core on yield loops. Each status word has at most
+// one waiter at a time, so notify_one after every transition suffices.
 //
 // The daemon enforces the serialization: all i reads of a subgroup are
 // served before any of its writes (preventing the Write-After-Read hazard
@@ -40,6 +55,10 @@ struct DaemonConfig {
   // Per-round epoch-reset flags; size() is the total number of rounds
   // this daemon will serve before exiting.
   std::vector<std::uint8_t> reset_before_round;
+  // Optional pool for fanning large gathers/scatters over
+  // ThreadPool::parallel_for (results stay bit-identical; see
+  // MemoryState::read_into). Borrowed; must outlive the daemon.
+  ThreadPool* gather_pool = nullptr;
 };
 
 class MemoryDaemon {
@@ -59,12 +78,20 @@ class MemoryDaemon {
   void join();
 
   // ---- trainer-side API (rank ∈ [0, i*j)) ----
-  // Posts a read request for `nodes` and blocks until the daemon serves
-  // it in serialized order. Returns the slice by value (the slot is
-  // immediately reusable).
-  MemorySlice read(std::size_t rank, std::span<const NodeId> nodes);
-  // Posts a write request; blocks until the daemon has applied it.
-  void write(std::size_t rank, MemoryWrite w);
+  // Posts a read request for `nodes` and blocks until the daemon has
+  // gathered the slice directly into `out` (capacity-preserving, zero
+  // copies through the slot). `nodes` and `out` are lent to the daemon
+  // for the duration of the call only.
+  void read(std::size_t rank, std::span<const NodeId> nodes, MemorySlice& out);
+  // Allocating convenience wrapper around the zero-copy read.
+  MemorySlice read(std::size_t rank, std::span<const NodeId> nodes) {
+    MemorySlice s;
+    read(rank, nodes, s);
+    return s;
+  }
+  // Posts a write request and blocks until the daemon has applied it
+  // straight from `w` (lent for the duration of the call only).
+  void write(std::size_t rank, const MemoryWrite& w);
 
   // Diagnostics: serialized operation trace "(R|W)<rank>" in service
   // order, captured when trace_enabled (used by tests and Fig 7 dump).
@@ -75,11 +102,12 @@ class MemoryDaemon {
   struct Slot {
     std::atomic<int> read_status{0};
     std::atomic<int> write_status{0};
-    // Read request/response.
-    std::vector<NodeId> read_idx;
-    MemorySlice read_result;
-    // Write request.
-    MemoryWrite write_req;
+    // Zero-copy request descriptors: pointers into trainer-owned
+    // buffers, valid exactly while the matching status word is 1.
+    const NodeId* read_nodes = nullptr;
+    std::size_t read_count = 0;
+    MemorySlice* read_out = nullptr;
+    const MemoryWrite* write_req = nullptr;
   };
 
   void run();

@@ -5,10 +5,41 @@
 // every epoch wrap. MemorySlice/MemoryWrite are the request/response
 // payloads exchanged with the memory daemon — their field layout matches
 // the shared-buffer inventory of §3.3.
+//
+// Storage is a **blocked row layout**: everything the protocol touches
+// for a node — memory row, mail row, both timestamps, the has-mail flag
+// — lives in ONE contiguous, padded table row:
+//
+//   [ mem (mem_dim) | mail (mail_dim) | mem_ts | mail_ts | flag | pad ]
+//
+// A gather/scatter therefore costs one random access per node instead
+// of five (two row tables + three scalar arrays in the seed layout),
+// which is what makes the bulk, cache-friendly array-op treatment of
+// TGL/DistTGL pay off on the random node sets of a super-batch.
+// (`NodeMemory`/`Mailbox` remain as the standalone split-layout
+// components; the state no longer aggregates them.)
+//
+// Both payloads are capacity-preserving reusable buffers, mirroring the
+// batch pipeline's `build_into` convention: `read_into` reshapes a
+// caller-owned MemorySlice in place with a fused single pass per node,
+// and `write` applies a MemoryWrite with one fused scatter pass. Once a
+// slice/write has reached its high-water shape, the whole read →
+// train_step → make_write → write loop touches the allocator zero times
+// (tests/test_memory_alloc pins this).
+//
+// Large gathers/scatters optionally fan out over ThreadPool::
+// parallel_for in fixed row chunks; chunk boundaries depend only on the
+// row count, and chunks write disjoint rows, so results are
+// bit-identical for every thread count (the same contract as the GEMM
+// row-block parallelism).
 #pragma once
 
-#include "memory/mailbox.hpp"
-#include "memory/node_memory.hpp"
+#include <algorithm>
+#include <new>
+
+#include "graph/types.hpp"
+#include "tensor/matrix.hpp"
+#include "util/thread_pool.hpp"
 
 namespace disttgl {
 
@@ -19,6 +50,22 @@ struct MemorySlice {
   Matrix mail;                         // [n x mail_dim]
   std::vector<float> mail_ts;          // [n]
   std::vector<std::uint8_t> has_mail;  // [n]
+
+  std::size_t size() const { return mem.rows(); }
+  // Payload bytes of one serialized slice (the §3.3 shared read buffer).
+  std::size_t bytes() const {
+    return (mem.size() + mail.size()) * sizeof(float) +
+           (mem_ts.size() + mail_ts.size()) * sizeof(float) +
+           has_mail.size() * sizeof(std::uint8_t);
+  }
+  // Empty the slice, keeping heap capacity for reuse.
+  void clear() {
+    mem.reset_shape(0, mem.cols());
+    mem_ts.clear();
+    mail.reset_shape(0, mail.cols());
+    mail_ts.clear();
+    has_mail.clear();
+  }
 };
 
 // Write request: per-node updated memory and fresh mails.
@@ -31,10 +78,47 @@ struct MemoryWrite {
 
   std::size_t size() const { return nodes.size(); }
   // Payload bytes — used by the communication accounting in Table 1.
+  // Applying a write also sets one has_mail flag per node, so the flag
+  // byte is part of the transferred payload (tests/test_memory asserts
+  // this against an actual field-by-field serialization).
   std::size_t bytes() const {
     return nodes.size() * sizeof(NodeId) +
            (mem.size() + mail.size()) * sizeof(float) +
-           (mem_ts.size() + mail_ts.size()) * sizeof(float);
+           (mem_ts.size() + mail_ts.size()) * sizeof(float) +
+           nodes.size() * sizeof(std::uint8_t);  // has_mail flags set
+  }
+  // Empty the request, keeping heap capacity for reuse.
+  void clear() {
+    nodes.clear();
+    mem.reset_shape(0, mem.cols());
+    mem_ts.clear();
+    mail.reset_shape(0, mail.cols());
+    mail_ts.clear();
+  }
+};
+
+// Minimal allocator giving the blocked table a 64-byte-aligned base, so
+// the cache-line padding of the row stride actually lands rows on line
+// boundaries (a plain vector's base is only malloc-aligned).
+template <typename T, std::size_t Align>
+struct AlignedAllocator {
+  using value_type = T;
+  AlignedAllocator() = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) {}
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Align});
+  }
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
   }
 };
 
@@ -42,28 +126,71 @@ class MemoryState {
  public:
   MemoryState() = default;
   MemoryState(std::size_t num_nodes, std::size_t mem_dim, std::size_t mail_dim)
-      : memory_(num_nodes, mem_dim), mailbox_(num_nodes, mail_dim) {}
+      : num_nodes_(num_nodes),
+        mem_dim_(mem_dim),
+        mail_dim_(mail_dim),
+        // Pad the blocked row to a 64-byte multiple so rows start on
+        // cache-line boundaries (the table base is 64-byte aligned).
+        stride_((mem_dim + mail_dim + 3 + 15) / 16 * 16),
+        table_(num_nodes * stride_, 0.0f) {}
 
-  std::size_t num_nodes() const { return memory_.num_nodes(); }
-  std::size_t mem_dim() const { return memory_.dim(); }
-  std::size_t mail_dim() const { return mailbox_.mail_dim(); }
+  std::size_t num_nodes() const { return num_nodes_; }
+  std::size_t mem_dim() const { return mem_dim_; }
+  std::size_t mail_dim() const { return mail_dim_; }
 
-  void reset() {
-    memory_.reset();
-    mailbox_.reset();
+  void reset() { std::fill(table_.begin(), table_.end(), 0.0f); }
+
+  // ---- per-node accessors (diagnostics / tests / Fig 3, 5, 8) ----
+  std::span<const float> mem_row(NodeId v) const {
+    return {row(v), mem_dim_};
+  }
+  std::span<const float> mail_row(NodeId v) const {
+    return {row(v) + mem_dim_, mail_dim_};
+  }
+  float last_update(NodeId v) const { return row(v)[meta_off()]; }
+  float mail_ts(NodeId v) const { return row(v)[meta_off() + 1]; }
+  bool has_mail(NodeId v) const { return row(v)[meta_off() + 2] != 0.0f; }
+
+  // Fused gather of all five slice fields into a caller-owned buffer
+  // (capacity-preserving; zero steady-state allocations). When `pool` is
+  // given and the gather is large, row chunks fan out over parallel_for;
+  // output is bit-identical for every thread count.
+  void read_into(std::span<const NodeId> nodes, MemorySlice& out,
+                 ThreadPool* pool = nullptr) const;
+  // Allocating convenience wrapper; identical contents to read_into.
+  MemorySlice read(std::span<const NodeId> nodes) const {
+    MemorySlice s;
+    read_into(nodes, s);
+    return s;
   }
 
-  MemorySlice read(std::span<const NodeId> nodes) const;
-  void write(const MemoryWrite& w);
+  // Fused scatter of a write request: memory rows + timestamps, mail
+  // rows + timestamps + flags, one pass per node. `w.nodes` must be
+  // distinct (the make_write contract: unique positive roots), which is
+  // what makes the optional parallel fan-out race-free.
+  void write(const MemoryWrite& w, ThreadPool* pool = nullptr);
 
-  NodeMemory& memory() { return memory_; }
-  const NodeMemory& memory() const { return memory_; }
-  Mailbox& mailbox() { return mailbox_; }
-  const Mailbox& mailbox() const { return mailbox_; }
+  // Full-state restore (checkpoint load): overwrites every listed row,
+  // including flags — the only writer that can CLEAR a has_mail flag.
+  void restore(std::span<const NodeId> nodes, const Matrix& mem,
+               std::span<const float> mem_ts, const Matrix& mail,
+               std::span<const float> mail_ts,
+               std::span<const std::uint8_t> flags);
 
  private:
-  NodeMemory memory_;
-  Mailbox mailbox_;
+  std::size_t meta_off() const { return mem_dim_ + mail_dim_; }
+  const float* row(NodeId v) const { return table_.data() + v * stride_; }
+  float* row(NodeId v) { return table_.data() + v * stride_; }
+
+  void gather_rows(std::span<const NodeId> nodes, MemorySlice& out,
+                   std::size_t lo, std::size_t hi) const;
+  void scatter_rows(const MemoryWrite& w, std::size_t lo, std::size_t hi);
+
+  std::size_t num_nodes_ = 0;
+  std::size_t mem_dim_ = 0;
+  std::size_t mail_dim_ = 0;
+  std::size_t stride_ = 0;
+  std::vector<float, AlignedAllocator<float, 64>> table_;
 };
 
 }  // namespace disttgl

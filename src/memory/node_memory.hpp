@@ -29,6 +29,11 @@ class NodeMemory {
   std::span<const float> row(NodeId v) const { return mem_.row(v); }
   float last_update(NodeId v) const { return last_update_[v]; }
 
+  // Raw row access for the fused MemoryState gather/scatter paths.
+  const float* row_ptr(NodeId v) const { return mem_.row_ptr(v); }
+  float* row_ptr(NodeId v) { return mem_.row_ptr(v); }
+  void set_last_update(NodeId v, float ts) { last_update_[v] = ts; }
+
   // Batched access by node list.
   Matrix gather(std::span<const NodeId> nodes) const;
   std::vector<float> gather_ts(std::span<const NodeId> nodes) const;

@@ -12,13 +12,18 @@ std::vector<Parameter*> Module::parameters() {
   return out;
 }
 
+const std::vector<Parameter*>& Module::cached_parameters() {
+  if (param_cache_.empty()) collect_parameters(param_cache_);
+  return param_cache_;
+}
+
 void Module::zero_grad() {
-  for (Parameter* p : parameters()) p->zero_grad();
+  for (Parameter* p : cached_parameters()) p->zero_grad();
 }
 
 std::size_t Module::num_parameters() {
   std::size_t n = 0;
-  for (Parameter* p : parameters()) n += p->size();
+  for (Parameter* p : cached_parameters()) n += p->size();
   return n;
 }
 
@@ -41,7 +46,7 @@ void flatten_impl(const std::vector<Parameter*>& params, std::vector<float>& out
 }
 
 template <bool kValues>
-void unflatten_impl(const std::vector<float>& in, std::vector<Parameter*>& params) {
+void unflatten_impl(const std::vector<float>& in, const std::vector<Parameter*>& params) {
   DT_CHECK_EQ(in.size(), flat_size(params));
   std::size_t off = 0;
   for (Parameter* p : params) {
@@ -58,10 +63,10 @@ void flatten_values(const std::vector<Parameter*>& params, std::vector<float>& o
 void flatten_grads(const std::vector<Parameter*>& params, std::vector<float>& out) {
   flatten_impl<false>(params, out);
 }
-void unflatten_values(const std::vector<float>& in, std::vector<Parameter*>& params) {
+void unflatten_values(const std::vector<float>& in, const std::vector<Parameter*>& params) {
   unflatten_impl<true>(in, params);
 }
-void unflatten_grads(const std::vector<float>& in, std::vector<Parameter*>& params) {
+void unflatten_grads(const std::vector<float>& in, const std::vector<Parameter*>& params) {
   unflatten_impl<false>(in, params);
 }
 

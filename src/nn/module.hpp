@@ -44,8 +44,18 @@ class Module {
   virtual void collect_parameters(std::vector<Parameter*>& out) = 0;
 
   std::vector<Parameter*> parameters();
+  // The parameter set is fixed once a module is built (no layer in this
+  // codebase adds parameters after construction), so per-iteration
+  // callers — zero_grad, the trainers' flatten/unflatten loops — walk
+  // this lazily-built cached list instead of re-collecting, which would
+  // heap-allocate every call. The reference stays valid for the
+  // module's lifetime.
+  const std::vector<Parameter*>& cached_parameters();
   void zero_grad();
   std::size_t num_parameters();
+
+ private:
+  std::vector<Parameter*> param_cache_;
 };
 
 // ---- flat-buffer helpers over a parameter set (for comm / checkpoints) ----
@@ -57,8 +67,8 @@ void flatten_values(const std::vector<Parameter*>& params, std::vector<float>& o
 // Copy all parameter gradients into `out`.
 void flatten_grads(const std::vector<Parameter*>& params, std::vector<float>& out);
 // Overwrite parameter values from a flat buffer.
-void unflatten_values(const std::vector<float>& in, std::vector<Parameter*>& params);
+void unflatten_values(const std::vector<float>& in, const std::vector<Parameter*>& params);
 // Overwrite parameter gradients from a flat buffer.
-void unflatten_grads(const std::vector<float>& in, std::vector<Parameter*>& params);
+void unflatten_grads(const std::vector<float>& in, const std::vector<Parameter*>& params);
 
 }  // namespace disttgl::nn

@@ -46,6 +46,25 @@ void ThreadPool::parallel_for(std::size_t num_chunks,
     return;
   }
   std::lock_guard<std::mutex> call_lock(pf_call_mu_);
+  run_parallel_for_locked(num_chunks, fn, ctx);
+}
+
+bool ThreadPool::try_parallel_for(std::size_t num_chunks,
+                                  void (*fn)(void*, std::size_t), void* ctx) {
+  if (num_chunks == 0) return true;
+  if (num_chunks == 1 || workers_.size() == 1) {
+    for (std::size_t i = 0; i < num_chunks; ++i) fn(ctx, i);
+    return true;
+  }
+  if (!pf_call_mu_.try_lock()) return false;
+  std::lock_guard<std::mutex> call_lock(pf_call_mu_, std::adopt_lock);
+  run_parallel_for_locked(num_chunks, fn, ctx);
+  return true;
+}
+
+void ThreadPool::run_parallel_for_locked(std::size_t num_chunks,
+                                         void (*fn)(void*, std::size_t),
+                                         void* ctx) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     pf_fn_ = fn;

@@ -49,6 +49,14 @@ class ThreadPool {
   void parallel_for(std::size_t num_chunks, void (*fn)(void*, std::size_t),
                     void* ctx);
 
+  // As parallel_for, but never queues behind another in-flight
+  // parallel_for: if one is running (callers are serialized), returns
+  // false immediately without touching the chunks. Lets latency-critical
+  // callers (the memory daemon's gathers) fall back to their serial path
+  // instead of stalling behind background fan-outs on the same pool.
+  bool try_parallel_for(std::size_t num_chunks,
+                        void (*fn)(void*, std::size_t), void* ctx);
+
   template <class F>
   void parallel_for(std::size_t num_chunks, F&& body) {
     using Body = std::remove_reference_t<F>;
@@ -57,10 +65,22 @@ class ThreadPool {
         [](void* c, std::size_t i) { (*static_cast<Body*>(c))(i); }, &body);
   }
 
+  template <class F>
+  bool try_parallel_for(std::size_t num_chunks, F&& body) {
+    using Body = std::remove_reference_t<F>;
+    return try_parallel_for(
+        num_chunks,
+        [](void* c, std::size_t i) { (*static_cast<Body*>(c))(i); }, &body);
+  }
+
   std::size_t size() const { return workers_.size(); }
 
  private:
   void worker_loop();
+  // Broadcast + chunk-claim loop shared by parallel_for and
+  // try_parallel_for; pf_call_mu_ must be held by the caller.
+  void run_parallel_for_locked(std::size_t num_chunks,
+                               void (*fn)(void*, std::size_t), void* ctx);
   // True while unclaimed parallel_for chunks exist (mu_ must be held).
   bool pf_work_available() const {
     return pf_fn_ != nullptr &&

@@ -108,7 +108,7 @@ TEST(Evaluator, AdvancesMemoryStream) {
   // Nodes involved in the evaluated range now have mails.
   std::size_t with_mail = 0;
   for (NodeId v = 0; v < fx.graph.num_nodes(); ++v)
-    if (fx.state.mailbox().has_mail(v)) ++with_mail;
+    if (fx.state.has_mail(v)) ++with_mail;
   EXPECT_GT(with_mail, 0u);
 }
 

@@ -1,0 +1,197 @@
+// Allocation-freedom of the memory I/O path: once warm-up has grown the
+// recycled buffers (MemorySlice, MemoryWrite, the model's make_write
+// scratch, the reused StepResult) to their high-water marks, the full
+//
+//   read → train_step → make_write → write
+//
+// loop must never touch the allocator again — directly against a
+// MemoryState (serial and with the gather fanned over a thread pool)
+// and through the MemoryDaemon's zero-copy protocol. Same
+// counting-global-allocator technique as test_kernels/test_batch_alloc;
+// the counter lives in this binary only.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "core/tgn_model.hpp"
+#include "datagen/generator.hpp"
+#include "memory/daemon.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t al) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(al),
+                                   (size + static_cast<std::size_t>(al) - 1) /
+                                       static_cast<std::size_t>(al) *
+                                       static_cast<std::size_t>(al)))
+    return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t al) {
+  return ::operator new(size, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace disttgl {
+namespace {
+
+struct Fixture {
+  TemporalGraph graph;
+  ModelConfig cfg;
+  NeighborSampler sampler;
+  NegativeSampler negatives;
+  MiniBatchBuilder builder;
+  MemoryState state;
+  Rng rng;
+  TGNModel model;
+  // Rotation of three differently-shaped batches so the recycled
+  // buffers shrink and grow across iterations, as in real training.
+  std::vector<MiniBatch> batches;
+
+  Fixture()
+      : graph([] {
+          datagen::SynthSpec spec;
+          spec.num_src = 50;
+          spec.num_dst = 25;
+          spec.num_events = 2400;
+          spec.edge_feat_dim = 4;
+          spec.seed = 29;
+          return datagen::generate(spec);
+        }()),
+        cfg([] {
+          ModelConfig c;
+          c.mem_dim = 8;
+          c.time_dim = 4;
+          c.attn_dim = 8;
+          c.num_heads = 2;
+          c.emb_dim = 8;
+          c.num_neighbors = 4;
+          c.head_hidden = 8;
+          return c;
+        }()),
+        sampler(graph, cfg.num_neighbors),
+        negatives(graph, 4, 13),
+        builder(graph, sampler, negatives, 1),
+        state(graph.num_nodes(), cfg.mem_dim, 2 * cfg.mem_dim + 4),
+        rng(41),
+        model(cfg, graph, nullptr, rng) {
+    batches.push_back(builder.build(0, 0, 200, std::size_t{0}));
+    batches.push_back(builder.build(1, 200, 260, std::size_t{1}));
+    batches.push_back(builder.build(2, 260, 460, std::size_t{2}));
+  }
+};
+
+TEST(MemoryAllocationFree, SerialReadTrainWriteSteadyState) {
+  Fixture fx;
+  MemorySlice slice;
+  MemoryWrite write;
+  TGNModel::StepResult step;
+  auto iteration = [&](std::size_t r) {
+    const MiniBatch& mb = fx.batches[r % fx.batches.size()];
+    fx.state.read_into(mb.unique_nodes, slice);
+    fx.model.zero_grad();
+    write.clear();
+    fx.model.train_step_into(mb, slice, 0, &write, step);
+    fx.state.write(write);
+  };
+  for (std::size_t r = 0; r < 9; ++r) iteration(r);  // warm up
+  const std::size_t before = g_alloc_count.load();
+  for (std::size_t r = 0; r < 12; ++r) iteration(r);
+  EXPECT_EQ(g_alloc_count.load(), before)
+      << "steady-state serial memory loop allocated";
+}
+
+TEST(MemoryAllocationFree, PooledGatherScatterSteadyState) {
+  // Large gathers fanned over parallel_for: the fan-out itself must be
+  // allocation-free (chunk claiming runs on an atomic counter).
+  MemoryState state(20000, 16, 24);
+  ThreadPool pool(3);
+  Rng rng(5);
+  std::vector<NodeId> nodes(4096);
+  for (auto& v : nodes) v = static_cast<NodeId>(rng.uniform_int(20000));
+  MemoryWrite w;
+  w.nodes = nodes;  // duplicates are fine serially; dedupe for parallel
+  std::sort(w.nodes.begin(), w.nodes.end());
+  w.nodes.erase(std::unique(w.nodes.begin(), w.nodes.end()), w.nodes.end());
+  const std::size_t n = w.nodes.size();
+  w.mem.resize(n, 16, 0.5f);
+  w.mem_ts.assign(n, 1.0f);
+  w.mail.resize(n, 24, -0.5f);
+  w.mail_ts.assign(n, 1.5f);
+
+  MemorySlice slice;
+  auto cycle = [&] {
+    state.read_into(nodes, slice, &pool);
+    state.write(w, &pool);
+  };
+  for (int r = 0; r < 4; ++r) cycle();
+  const std::size_t before = g_alloc_count.load();
+  for (int r = 0; r < 8; ++r) cycle();
+  EXPECT_EQ(g_alloc_count.load(), before)
+      << "pooled gather/scatter allocated";
+}
+
+TEST(MemoryAllocationFree, DaemonZeroCopyLoopSteadyState) {
+  // The full protocol through the daemon: the trainer lends its slice /
+  // write buffers via the zero-copy slots, so after warm-up neither
+  // side of the protocol touches the allocator. i=1, j=1 makes the
+  // round trip synchronous: when write() returns, the daemon has
+  // finished the round and is parked awaiting the next read — no
+  // daemon-thread allocation can leak past the measurement boundary.
+  Fixture fx;
+  constexpr std::size_t kWarm = 9;
+  constexpr std::size_t kMeasured = 12;
+  DaemonConfig dc;
+  dc.i = 1;
+  dc.j = 1;
+  dc.reset_before_round.assign(kWarm + kMeasured, 0);
+  dc.reset_before_round[0] = 1;
+  MemoryDaemon daemon(fx.state, dc);
+  daemon.start();
+
+  MemorySlice slice;
+  MemoryWrite write;
+  TGNModel::StepResult step;
+  auto iteration = [&](std::size_t r) {
+    const MiniBatch& mb = fx.batches[r % fx.batches.size()];
+    daemon.read(0, mb.unique_nodes, slice);
+    fx.model.zero_grad();
+    write.clear();
+    fx.model.train_step_into(mb, slice, 0, &write, step);
+    daemon.write(0, write);
+  };
+  for (std::size_t r = 0; r < kWarm; ++r) iteration(r);
+  const std::size_t before = g_alloc_count.load();
+  for (std::size_t r = 0; r < kMeasured; ++r) iteration(r);
+  EXPECT_EQ(g_alloc_count.load(), before)
+      << "steady-state zero-copy daemon loop allocated";
+  daemon.join();
+}
+
+}  // namespace
+}  // namespace disttgl
