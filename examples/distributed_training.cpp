@@ -1,7 +1,10 @@
 // Distributed training end-to-end: plan an i×j×k configuration for a
 // simulated cluster with the §3.2.4 heuristics, run it on the real
-// threaded system (trainer threads + memory daemons + prefetchers +
-// allreduce), and compare convergence/iterations against single-GPU.
+// threaded system (trainer threads, zero-copy memory daemons, pooled
+// prefetch pipeline, chunked reduce-scatter gradient sync), and compare
+// convergence/iterations against single-GPU. Set
+// cfg.comm_fused_step = true to fuse grad-clip + Adam into the
+// collective (docs/TUNING.md).
 #include <cstdio>
 
 #include "core/planner.hpp"

@@ -2,8 +2,10 @@
 // and evaluate temporal link prediction — the 60-second tour of the API.
 //
 //   1. generate (or load) a temporal graph,
-//   2. pick a training configuration,
-//   3. train with SequentialTrainer,
+//   2. pick a training configuration (validate() checks it),
+//   3. train with SequentialTrainer — the deterministic single-thread
+//      reference; ThreadedTrainer runs the same config on the real
+//      multi-threaded system with identical results,
 //   4. read the metrics.
 #include <cstdio>
 

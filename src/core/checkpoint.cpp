@@ -37,16 +37,24 @@ void read_floats(std::istream& in, float* data, std::size_t n) {
 
 }  // namespace
 
-void save_checkpoint(const std::string& path,
-                     const std::vector<nn::Parameter*>& params,
+bool params_are_flat(const std::vector<nn::Parameter*>& params) {
+  if (params.empty()) return false;
+  const float* base = params[0]->value.data();
+  std::size_t off = 0;
+  for (const nn::Parameter* p : params) {
+    if (p->value.data() != base + off) return false;
+    off += p->size();
+  }
+  return true;
+}
+
+void save_checkpoint(const std::string& path, std::span<const float> weights,
                      const std::vector<const MemoryState*>& states) {
   std::ofstream out(path, std::ios::binary);
   DT_CHECK_MSG(out.good(), "cannot open checkpoint for writing: " << path);
   std::uint32_t head[2] = {kMagic, kVersion};
   out.write(reinterpret_cast<const char*>(head), sizeof(head));
 
-  std::vector<float> weights;
-  nn::flatten_values(params, weights);
   write_u64(out, weights.size());
   write_floats(out, weights.data(), weights.size());
 
@@ -70,8 +78,23 @@ void save_checkpoint(const std::string& path,
   DT_CHECK_MSG(out.good(), "checkpoint write failed: " << path);
 }
 
-void load_checkpoint(const std::string& path,
-                     std::vector<nn::Parameter*>& params,
+void save_checkpoint(const std::string& path,
+                     const std::vector<nn::Parameter*>& params,
+                     const std::vector<const MemoryState*>& states) {
+  if (params_are_flat(params)) {
+    // Flat storage: the concatenated-value buffer already exists.
+    save_checkpoint(
+        path, std::span<const float>(params[0]->value.data(),
+                                     nn::flat_size(params)),
+        states);
+    return;
+  }
+  std::vector<float> weights;
+  nn::flatten_values(params, weights);
+  save_checkpoint(path, weights, states);
+}
+
+void load_checkpoint(const std::string& path, std::span<float> weights,
                      std::vector<MemoryState*>& states) {
   std::ifstream in(path, std::ios::binary);
   DT_CHECK_MSG(in.good(), "cannot open checkpoint: " << path);
@@ -82,13 +105,11 @@ void load_checkpoint(const std::string& path,
                                         << head[1]);
 
   const std::uint64_t weight_count = read_u64(in);
-  DT_CHECK_MSG(weight_count == nn::flat_size(params),
+  DT_CHECK_MSG(weight_count == weights.size(),
                "checkpoint weight count " << weight_count
                                           << " != model parameter count "
-                                          << nn::flat_size(params));
-  std::vector<float> weights(weight_count);
+                                          << weights.size());
   read_floats(in, weights.data(), weights.size());
-  nn::unflatten_values(weights, params);
 
   const std::uint64_t num_states = read_u64(in);
   DT_CHECK_EQ(num_states, states.size());
@@ -124,6 +145,22 @@ void load_checkpoint(const std::string& path,
     s->reset();
     s->restore(w.nodes, w.mem, w.mem_ts, w.mail, w.mail_ts, flag_bytes);
   }
+}
+
+void load_checkpoint(const std::string& path,
+                     std::vector<nn::Parameter*>& params,
+                     std::vector<MemoryState*>& states) {
+  if (params_are_flat(params)) {
+    // Flat storage: read straight into the parameters' backing buffer.
+    load_checkpoint(path,
+                    std::span<float>(params[0]->value.data(),
+                                     nn::flat_size(params)),
+                    states);
+    return;
+  }
+  std::vector<float> weights(nn::flat_size(params));
+  load_checkpoint(path, std::span<float>(weights), states);
+  nn::unflatten_values(weights, params);
 }
 
 }  // namespace disttgl

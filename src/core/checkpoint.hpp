@@ -8,6 +8,7 @@
 // the host (single-machine reload is the use case).
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -16,15 +17,32 @@
 
 namespace disttgl {
 
+// Writes the flat weight buffer and the given memory states. For a
+// flat-frozen module, pass Module::flat_values() — a pure span handoff.
+void save_checkpoint(const std::string& path, std::span<const float> weights,
+                     const std::vector<const MemoryState*>& states);
+
 // Writes weights (flattened from `params`) and the given memory states.
+// Flat-frozen parameter sets are saved without the intermediate copy.
 void save_checkpoint(const std::string& path,
                      const std::vector<nn::Parameter*>& params,
                      const std::vector<const MemoryState*>& states);
+
+// Restores straight into the flat weight buffer (Module::flat_values())
+// and pre-constructed states. Sizes must match the checkpoint exactly
+// (throws std::logic_error otherwise).
+void load_checkpoint(const std::string& path, std::span<float> weights,
+                     std::vector<MemoryState*>& states);
 
 // Restores into pre-constructed params/states. Shapes must match the
 // checkpoint exactly (throws std::logic_error otherwise).
 void load_checkpoint(const std::string& path,
                      std::vector<nn::Parameter*>& params,
                      std::vector<MemoryState*>& states);
+
+// True when `params` already form one contiguous flat buffer (the
+// Module::freeze_flat_storage layout), i.e. flatten/unflatten would be
+// identity copies.
+bool params_are_flat(const std::vector<nn::Parameter*>& params);
 
 }  // namespace disttgl

@@ -1,6 +1,8 @@
 #include "core/threaded_trainer.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <span>
 #include <thread>
 
 #include "util/timer.hpp"
@@ -62,6 +64,9 @@ ThreadedTrainer::ThreadedTrainer(const TrainingConfig& cfg,
     Rng model_rng = root.split();
     models_.push_back(
         std::make_unique<TGNModel>(cfg_.model, graph, static_memory, model_rng));
+    // Flat storage feeds the gradient-sync layer zero-copy: the comm
+    // operates directly on the replica's contiguous grad/value buffers.
+    models_.back()->freeze_flat_storage();
     optimizers_.push_back(std::make_unique<nn::Adam>(
         models_.back()->parameters(), nn::AdamOptions{.lr = cfg_.lr()}));
   }
@@ -71,8 +76,31 @@ ThreadedTrainer::ThreadedTrainer(const TrainingConfig& cfg,
   for (std::size_t m = 0; m < par.k; ++m)
     states_.emplace_back(graph.num_nodes(), cfg_.model.mem_dim, mail_dim);
 
-  comm_ = std::make_unique<dist::ThreadComm>(n);
+  comm_ = std::make_unique<dist::ThreadComm>(
+      n, dist::ThreadComm::Options{.chunk_elems = cfg_.comm_chunk_elems});
+  comm_->reserve(models_[0]->num_parameters());
 }
+
+// Fused allreduce→step chunk hook: global grad-clip scale from the
+// collective's deterministic norm, then Adam over the owned flat range.
+namespace {
+struct FusedStepCtx {
+  nn::Adam* opt;
+  std::span<float> grads;
+  float max_norm;
+};
+
+void fused_chunk_step(void* ctx, std::size_t lo, std::size_t hi,
+                      double mean_grad_sq_norm) {
+  auto* s = static_cast<FusedStepCtx*>(ctx);
+  const float norm = static_cast<float>(std::sqrt(mean_grad_sq_norm));
+  if (norm > s->max_norm && norm > 0.0f) {
+    const float scale = s->max_norm / norm;
+    for (std::size_t i = lo; i < hi; ++i) s->grads[i] *= scale;
+  }
+  s->opt->step_range(lo, hi);
+}
+}  // namespace
 
 std::pair<std::size_t, std::size_t> ThreadedTrainer::chunk_events(
     std::size_t global_batch, std::size_t chunk) const {
@@ -123,7 +151,13 @@ void ThreadedTrainer::trainer_thread(std::size_t rank) {
   MemorySlice slice;
   MemoryWrite write;
   TGNModel::StepResult step;  // reused result buffers (train_step_into)
-  std::vector<float> grads(nn::flat_size(params));
+  // Flat storage makes the gradient hand-off zero-copy: `grads` IS the
+  // replica's parameter-gradient buffer, so the allreduce reduces it in
+  // place and there is nothing to flatten or unflatten per iteration.
+  const std::span<float> grads = model.flat_grads();
+  const std::span<float> values = model.flat_values();
+  const bool fused = cfg_.comm_fused_step;
+  FusedStepCtx fused_ctx{&opt, grads, cfg_.grad_clip};
   double local_loss = 0.0;
   std::size_t local_count = 0;
   std::size_t local_events = 0;
@@ -139,8 +173,9 @@ void ThreadedTrainer::trainer_thread(std::size_t rank) {
     if (cursor < ts.items.size() && ts.items[cursor].iteration == t)
       item = &ts.items[cursor];
 
-    std::fill(grads.begin(), grads.end(), 0.0f);
-    bool computed = false;
+    // Inactive iterations contribute zero gradients to the collective;
+    // active ones overwrite this with train_step's accumulation.
+    model.zero_grad();
     bool post_write = false;
     double iter_wait = 0.0;
     double iter_compute = 0.0;
@@ -174,13 +209,11 @@ void ThreadedTrainer::trainer_thread(std::size_t rank) {
       }
       if (batch.has_value()) {
         ScopedAccumulator acc(iter_compute);
-        model.zero_grad();
         model.train_step_into(*batch, slice, item->version,
                               item->memory_ops ? &write : nullptr, step);
         local_loss += step.loss;
         ++local_count;
         local_events += batch->num_pos();
-        computed = true;
       }
       ++cursor;
     }
@@ -190,13 +223,17 @@ void ThreadedTrainer::trainer_thread(std::size_t rank) {
       daemon.write(ts.group_rank, write);
     }
 
-    if (computed) {
-      nn::flatten_grads(params, grads);
+    if (fused) {
+      // One collective: reduce-scatter mean grads, clip + Adam on the
+      // owned chunks only, allgather updated weights.
+      opt.begin_step();
+      comm_->allreduce_step(rank, grads, values, &fused_chunk_step,
+                            &fused_ctx);
+    } else {
+      comm_->allreduce_mean(rank, grads);
+      nn::clip_grad_norm(params, cfg_.grad_clip);
+      opt.step();
     }
-    comm_->allreduce_mean(rank, grads);
-    nn::unflatten_grads(grads, params);
-    nn::clip_grad_norm(params, cfg_.grad_clip);
-    opt.step();
 
     wait_seconds += iter_wait;
     compute_seconds += iter_compute;
@@ -281,7 +318,8 @@ ThreadedTrainResult ThreadedTrainer::train() {
   result.final_test = evaluate_range(*models_[0], clone, *graph_, *sampler_,
                                      split_.val_end, split_.test_end, ec)
                           .metric;
-  nn::flatten_values(models_[0]->parameters(), result.weights);
+  const std::span<const float> weights = models_[0]->flat_values();
+  result.weights.assign(weights.begin(), weights.end());
   return result;
 }
 

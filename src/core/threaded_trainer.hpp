@@ -2,8 +2,11 @@
 //
 // One OS thread per trainer, one memory-daemon thread per memory copy
 // (Algorithm 1), per-trainer prefetchers preparing super-batches ahead
-// of schedule, and a deterministic in-process allreduce for gradient
-// averaging. Each trainer owns a full model replica and optimizer (the
+// of schedule, and a deterministic in-process chunked reduce-scatter
+// allreduce for gradient averaging, fed zero-copy from each replica's
+// flat parameter storage (cfg.comm_fused_step additionally folds
+// grad-clip + the Adam update into the collective's owned-chunk
+// window). Each trainer owns a full model replica and optimizer (the
 // data-parallel pattern); replicas start identical and stay identical
 // because the allreduce is bitwise deterministic.
 //

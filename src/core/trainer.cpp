@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "util/timer.hpp"
 
@@ -28,6 +29,9 @@ SequentialTrainer::SequentialTrainer(const TrainingConfig& cfg,
                                                 link ? cfg_.num_neg : 0);
   Rng model_rng = rng_.split();
   model_ = std::make_unique<TGNModel>(cfg_.model, graph, static_memory, model_rng);
+  // Same flat parameter storage as the threaded replicas: gradient
+  // accumulation and weight export read the contiguous buffers directly.
+  model_->freeze_flat_storage();
   optimizer_ = std::make_unique<nn::Adam>(
       model_->parameters(), nn::AdamOptions{.lr = cfg_.lr()});
 
@@ -103,9 +107,9 @@ void SequentialTrainer::run_iteration(std::size_t t) {
 
   // ---- phase B: compute (all active trainers, current weights) ----
   const std::vector<nn::Parameter*>& params = model_->cached_parameters();
-  const std::size_t flat = nn::flat_size(params);
+  const std::span<float> flat_grads = model_->flat_grads();
+  const std::size_t flat = flat_grads.size();
   grad_accum_.assign(flat, 0.0);
-  std::vector<float> flat_grads;
   double compute_seconds = 0.0;
   for (std::size_t r = 0; r < n; ++r) {
     if (items[r] == nullptr) continue;
@@ -121,7 +125,8 @@ void SequentialTrainer::run_iteration(std::size_t t) {
     model_->train_step_into(*slot.batch, slot.slice, item.version,
                             item.memory_ops ? &slot.write : nullptr, res);
     slot.has_write = item.memory_ops;
-    nn::flatten_grads(params, flat_grads);
+    // Flat storage: the model's gradient buffer is already the
+    // contiguous vector the old flatten_grads produced.
     for (std::size_t x = 0; x < flat; ++x)
       grad_accum_[x] += static_cast<double>(flat_grads[x]);
 
@@ -143,18 +148,18 @@ void SequentialTrainer::run_iteration(std::size_t t) {
     states_[schedule_.trainers[r].mem_copy].write(slots_[r].write);
   }
 
-  // ---- optimizer step: mean over all n trainers ----
+  // ---- optimizer step: mean over all n trainers, written straight
+  // back into the model's flat gradient buffer (no unflatten pass) ----
   const double inv = 1.0 / static_cast<double>(n);
-  std::vector<float> mean_grads(flat);
   for (std::size_t x = 0; x < flat; ++x)
-    mean_grads[x] = static_cast<float>(grad_accum_[x] * inv);
+    flat_grads[x] = static_cast<float>(grad_accum_[x] * inv);
 
   if (cfg_.collect_grad_stats) {
     double norm_sq = 0.0, dot = 0.0, prev_sq = 0.0;
     for (std::size_t x = 0; x < flat; ++x) {
-      norm_sq += static_cast<double>(mean_grads[x]) * mean_grads[x];
+      norm_sq += static_cast<double>(flat_grads[x]) * flat_grads[x];
       if (!prev_mean_grads_.empty()) {
-        dot += static_cast<double>(mean_grads[x]) * prev_mean_grads_[x];
+        dot += static_cast<double>(flat_grads[x]) * prev_mean_grads_[x];
         prev_sq += static_cast<double>(prev_mean_grads_[x]) * prev_mean_grads_[x];
       }
     }
@@ -163,10 +168,9 @@ void SequentialTrainer::run_iteration(std::size_t t) {
       grad_cos_prev_.push_back(
           static_cast<float>(dot / std::sqrt(norm_sq * prev_sq)));
     }
-    prev_mean_grads_ = mean_grads;
+    prev_mean_grads_.assign(flat_grads.begin(), flat_grads.end());
   }
 
-  nn::unflatten_grads(mean_grads, params);
   nn::clip_grad_norm(params, cfg_.grad_clip);
   optimizer_->step();
   timings_.add(gen_seconds, compute_seconds, read_seconds, write_seconds);
@@ -218,10 +222,8 @@ TrainResult SequentialTrainer::train() {
 }
 
 std::vector<float> SequentialTrainer::weights() const {
-  std::vector<float> out;
-  auto params = const_cast<TGNModel&>(*model_).parameters();
-  nn::flatten_values(params, out);
-  return out;
+  const std::span<const float> w = model_->flat_values();
+  return {w.begin(), w.end()};
 }
 
 }  // namespace disttgl

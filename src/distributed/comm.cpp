@@ -1,52 +1,206 @@
 #include "distributed/comm.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
 
 #include "util/check.hpp"
 
 namespace disttgl::dist {
 
-ThreadComm::ThreadComm(std::size_t ranks) : ranks_(ranks), barrier_(ranks) {
+ThreadComm::ThreadComm(std::size_t ranks) : ThreadComm(ranks, Options{}) {}
+
+ThreadComm::ThreadComm(std::size_t ranks, Options opts)
+    : ranks_(ranks), opts_(opts), barrier_(ranks) {
   DT_CHECK_GT(ranks, 0u);
   tokens_.reserve(ranks);
   for (std::size_t r = 0; r < ranks; ++r) tokens_.emplace_back(barrier_);
+  sizes_.assign(ranks, 0);
+}
+
+std::size_t ThreadComm::chunk_elems_for(std::size_t size) const {
+  if (size == 0) return 1;
+  if (opts_.chunk_elems != 0) return opts_.chunk_elems;
+  return (size + ranks_ - 1) / ranks_;
+}
+
+std::size_t ThreadComm::num_chunks_for(std::size_t size) const {
+  const std::size_t c = chunk_elems_for(size);
+  return (size + c - 1) / c;
+}
+
+void ThreadComm::reserve(std::size_t max_elems) {
+  if (max_elems <= max_elems_) return;
+  staged_.assign(ranks_ * max_elems, 0.0f);
+  result_.assign(max_elems, 0.0f);
+  norms_.assign(num_chunks_for(max_elems), 0.0);
+  max_elems_ = max_elems;
+}
+
+// Payload sizes are identical across ranks by contract, so every rank
+// evaluates the same predicate here and either all enter the grow phase
+// or none do (max_elems_ only changes inside it, between barriers).
+void ThreadComm::grow_if_needed(std::size_t rank, std::size_t size,
+                                BarrierToken& token) {
+  if (size <= max_elems_) return;
+  token.wait();
+  if (rank == 0) reserve(size);
+  token.wait();
+}
+
+void ThreadComm::check_uniform_size(std::size_t rank, std::size_t size) {
+  for (std::size_t r = 0; r < ranks_; ++r)
+    DT_CHECK_MSG(sizes_[r] == size, "allreduce size mismatch: rank "
+                                        << rank << " has " << size << ", rank "
+                                        << r << " has " << sizes_[r]);
+}
+
+void ThreadComm::account(std::size_t rank, std::size_t size) {
+  if (rank != 0) return;
+  num_calls_.fetch_add(1, std::memory_order_relaxed);
+  // Ring allreduce volume: each rank sends 2(r−1)/r of the payload.
+  logical_bytes_.fetch_add(
+      static_cast<std::uint64_t>(2.0 * (ranks_ - 1) / ranks_ * size *
+                                 sizeof(float) * ranks_),
+      std::memory_order_relaxed);
 }
 
 void ThreadComm::allreduce_mean(std::size_t rank, std::span<float> data) {
   DT_CHECK_LT(rank, ranks_);
   if (ranks_ == 1) return;
   BarrierToken& token = tokens_[rank];
+  const std::size_t size = data.size();
+  grow_if_needed(rank, size, token);
 
-  // Phase 1: rank 0 sizes the staging area (one row per rank, so the
-  // reduction below can run in a fixed rank order — bitwise deterministic
-  // regardless of thread arrival order).
-  if (rank == 0) {
-    staged_.assign(ranks_ * data.size(), 0.0f);
-    stride_ = data.size();
-    num_calls_.fetch_add(1, std::memory_order_relaxed);
-    // Ring allreduce volume: each rank sends 2(r−1)/r of the payload.
-    logical_bytes_.fetch_add(
-        static_cast<std::uint64_t>(2.0 * (ranks_ - 1) / ranks_ *
-                                   data.size() * sizeof(float) * ranks_),
-        std::memory_order_relaxed);
-  }
+  // Phase 1: deposit the contribution in this rank's fixed staging row.
+  sizes_[rank] = size;
+  if (size > 0)
+    std::memcpy(staged_.data() + rank * max_elems_, data.data(),
+                size * sizeof(float));
+  account(rank, size);
   token.wait();
 
-  // Phase 2: everyone deposits its contribution in its own row.
-  DT_CHECK_EQ(stride_, data.size());
-  std::memcpy(staged_.data() + rank * stride_, data.data(),
-              data.size() * sizeof(float));
-  token.wait();
-
-  // Phase 3: everyone reduces in rank order and takes the mean.
+  // Phase 2: reduce-scatter — this rank reduces only its owned chunks,
+  // each in fixed rank order (deterministic), into the shared result row
+  // and its own span.
+  check_uniform_size(rank, size);
+  const std::size_t chunk = chunk_elems_for(size);
+  const std::size_t num_chunks = num_chunks_for(size);
   const double inv = 1.0 / static_cast<double>(ranks_);
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    double acc = 0.0;
-    for (std::size_t r = 0; r < ranks_; ++r)
-      acc += static_cast<double>(staged_[r * stride_ + i]);
-    data[i] = static_cast<float>(acc * inv);
+  for (std::size_t c = rank; c < num_chunks; c += ranks_) {
+    const std::size_t lo = c * chunk;
+    const std::size_t hi = std::min(lo + chunk, size);
+    for (std::size_t i = lo; i < hi; ++i) {
+      double acc = 0.0;
+      for (std::size_t r = 0; r < ranks_; ++r)
+        acc += static_cast<double>(staged_[r * max_elems_ + i]);
+      const float mean = static_cast<float>(acc * inv);
+      result_[i] = mean;
+      data[i] = mean;
+    }
   }
   token.wait();
+
+  // Phase 3: allgather — copy the chunks other ranks reduced. No closing
+  // barrier: a rank re-entering can only write its own staging row (not
+  // read here), and nobody can reach the next phase 2 (which overwrites
+  // result_) until every rank has deposited — i.e. finished this copy.
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    if (c % ranks_ == rank) continue;
+    const std::size_t lo = c * chunk;
+    const std::size_t hi = std::min(lo + chunk, size);
+    std::memcpy(data.data() + lo, result_.data() + lo,
+                (hi - lo) * sizeof(float));
+  }
+}
+
+void ThreadComm::allreduce_step(std::size_t rank, std::span<float> grads,
+                                std::span<float> params, ChunkStepFn fn,
+                                void* ctx) {
+  DT_CHECK_LT(rank, ranks_);
+  DT_CHECK_EQ(grads.size(), params.size());
+  const std::size_t size = grads.size();
+  const std::size_t chunk = chunk_elems_for(size);
+  const std::size_t num_chunks = num_chunks_for(size);
+
+  if (ranks_ == 1) {
+    // Degenerate collective: grads are already the mean. Keep the same
+    // chunk-ordered norm summation as the multi-rank path so the norm
+    // (and any clipping decision) is rank-count independent.
+    double sq = 0.0;
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      const std::size_t lo = c * chunk;
+      const std::size_t hi = std::min(lo + chunk, size);
+      double partial = 0.0;
+      for (std::size_t i = lo; i < hi; ++i)
+        partial += static_cast<double>(grads[i]) * grads[i];
+      sq += partial;
+    }
+    for (std::size_t c = 0; c < num_chunks; ++c)
+      fn(ctx, c * chunk, std::min(c * chunk + chunk, size), sq);
+    return;
+  }
+
+  BarrierToken& token = tokens_[rank];
+  grow_if_needed(rank, size, token);
+  if (norms_.size() < num_chunks) {
+    // Only reachable with a shrinking chunk_elems option; sized here
+    // under the same all-ranks-agree reasoning as grow_if_needed.
+    token.wait();
+    if (rank == 0) norms_.resize(num_chunks, 0.0);
+    token.wait();
+  }
+
+  // Phase 1: deposit gradients.
+  sizes_[rank] = size;
+  if (size > 0)
+    std::memcpy(staged_.data() + rank * max_elems_, grads.data(),
+                size * sizeof(float));
+  account(rank, size);
+  token.wait();
+
+  // Phase 2: reduce-scatter the mean gradient into this rank's own
+  // grads span (owned chunks only) and record per-chunk partial norms.
+  check_uniform_size(rank, size);
+  const double inv = 1.0 / static_cast<double>(ranks_);
+  for (std::size_t c = rank; c < num_chunks; c += ranks_) {
+    const std::size_t lo = c * chunk;
+    const std::size_t hi = std::min(lo + chunk, size);
+    double partial = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      double acc = 0.0;
+      for (std::size_t r = 0; r < ranks_; ++r)
+        acc += static_cast<double>(staged_[r * max_elems_ + i]);
+      const float mean = static_cast<float>(acc * inv);
+      grads[i] = mean;
+      partial += static_cast<double>(mean) * mean;
+    }
+    norms_[c] = partial;
+  }
+  token.wait();
+
+  // Phase 3: global norm (chunk-order sum — deterministic), then step
+  // the owned chunks and publish the updated parameters.
+  double sq = 0.0;
+  for (std::size_t c = 0; c < num_chunks; ++c) sq += norms_[c];
+  for (std::size_t c = rank; c < num_chunks; c += ranks_) {
+    const std::size_t lo = c * chunk;
+    const std::size_t hi = std::min(lo + chunk, size);
+    fn(ctx, lo, hi, sq);
+    std::memcpy(result_.data() + lo, params.data() + lo,
+                (hi - lo) * sizeof(float));
+  }
+  token.wait();
+
+  // Phase 4: allgather updated parameters (same re-entry argument as
+  // allreduce_mean's phase 3).
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    if (c % ranks_ == rank) continue;
+    const std::size_t lo = c * chunk;
+    const std::size_t hi = std::min(lo + chunk, size);
+    std::memcpy(params.data() + lo, result_.data() + lo,
+                (hi - lo) * sizeof(float));
+  }
 }
 
 }  // namespace disttgl::dist

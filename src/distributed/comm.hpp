@@ -1,16 +1,28 @@
-// Functional in-process collective for trainer threads.
+// Chunked, allocation-free in-process collective for trainer threads.
 //
 // Plays the role NCCL plays in the paper: synchronous gradient averaging
-// across trainers. The implementation is a shared accumulation buffer
-// bracketed by sense-reversing barriers — semantically identical to an
-// allreduce (every rank leaves with the mean), with logical traffic
-// accounted per the ring algorithm so Table 1's "synchronization across
-// trainers" row can be measured rather than asserted.
+// across trainers. The payload is partitioned into fixed-size chunks,
+// each owned by one rank; an allreduce is a reduce-scatter (each rank
+// reduces only the chunks it owns, in fixed rank order, so results are
+// bitwise deterministic regardless of thread count or arrival order)
+// followed by an allgather from a shared result buffer. Per-rank work is
+// O(size) — the seed implementation had every rank redundantly reduce
+// the whole payload, O(ranks·size) each, behind a zero-fill of the whole
+// staging area per call. Staging is persistent and sized once
+// (reserve()), so steady-state calls never touch the allocator, and
+// logical traffic is still accounted per the ring algorithm so Table 1's
+// "synchronization across trainers" row can be measured rather than
+// asserted.
+//
+// allreduce_step() is the optional fused allreduce→optimizer form: after
+// the reduce-scatter each rank steps *its owned chunks* of the model
+// (callback, typically grad-clip + Adam::step_range), and the allgather
+// then distributes updated parameters instead of mean gradients — one
+// collective, no redundant full-model optimizer work per rank.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <vector>
 
@@ -18,27 +30,78 @@
 
 namespace disttgl::dist {
 
+// Per-chunk hook for the fused path: consume the mean gradients in
+// [lo, hi) and update the parameters there. `mean_grad_sq_norm` is the
+// global squared L2 norm of the mean gradient (deterministic chunk-order
+// summation), for global grad-clipping. Plain function pointer + context
+// so the per-iteration hot path never type-erases through a heap
+// allocation.
+using ChunkStepFn = void (*)(void* ctx, std::size_t lo, std::size_t hi,
+                             double mean_grad_sq_norm);
+
 class ThreadComm {
  public:
+  struct Options {
+    // Elements per reduce-scatter chunk; chunk c is owned by rank
+    // c % ranks. 0 = one balanced chunk per rank (ceil(size / ranks)).
+    // Smaller chunks interleave ownership across the payload (useful
+    // when per-element cost is skewed); they do not change results.
+    std::size_t chunk_elems = 0;
+  };
+
   explicit ThreadComm(std::size_t ranks);
+  ThreadComm(std::size_t ranks, Options opts);
 
   std::size_t ranks() const { return ranks_; }
+
+  // Pre-sizes the persistent staging buffers for payloads up to
+  // `max_elems`. Call once before the trainer threads start; a call with
+  // a larger payload grows the buffers inside a barrier-protected phase
+  // (allocating), after which steady state is allocation-free again.
+  void reserve(std::size_t max_elems);
+  std::size_t capacity() const { return max_elems_; }
 
   // Replace `data` on every rank with the elementwise mean across ranks.
   // All ranks must call with equally-sized spans. Blocking.
   void allreduce_mean(std::size_t rank, std::span<float> data);
+
+  // Fused allreduce→optimizer step. All ranks contribute `grads` and
+  // hold identical `params`; the two spans must be the same length on
+  // every rank (one flat element per parameter, as in
+  // Module::flat_grads/flat_values). Sequence: reduce-scatter the mean gradient
+  // into each owner's grads[lo, hi) → share per-chunk partial norms →
+  // fn(ctx, lo, hi, global_sq_norm) for every owned chunk (the callback
+  // steps params[lo, hi) from grads[lo, hi)) → allgather params. Every
+  // rank leaves with identical updated params; grads content outside a
+  // rank's owned chunks is its stale local contribution.
+  void allreduce_step(std::size_t rank, std::span<float> grads,
+                      std::span<float> params, ChunkStepFn fn, void* ctx);
+
+  // Chunk partition of a payload of `size` elements.
+  std::size_t chunk_elems_for(std::size_t size) const;
+  std::size_t num_chunks_for(std::size_t size) const;
 
   // Logical bytes a ring allreduce would have moved so far (all calls).
   std::uint64_t logical_bytes() const { return logical_bytes_.load(); }
   std::uint64_t num_allreduces() const { return num_calls_.load(); }
 
  private:
+  void grow_if_needed(std::size_t rank, std::size_t size, BarrierToken& token);
+  void check_uniform_size(std::size_t rank, std::size_t size);
+  void account(std::size_t rank, std::size_t size);
+
   std::size_t ranks_;
+  Options opts_;
   SpinBarrier barrier_;
   std::vector<BarrierToken> tokens_;
-  // Per-rank staging rows; reduced in fixed rank order for determinism.
+  // Persistent staging: one contribution row per rank at stride
+  // max_elems_, one shared result row (reduced means, or stepped
+  // parameters on the fused path), one partial-norm slot per chunk.
   std::vector<float> staged_;
-  std::size_t stride_ = 0;
+  std::vector<float> result_;
+  std::vector<double> norms_;
+  std::vector<std::size_t> sizes_;  // per-rank payload size (contract check)
+  std::size_t max_elems_ = 0;
   std::atomic<std::uint64_t> logical_bytes_{0};
   std::atomic<std::uint64_t> num_calls_{0};
 };

@@ -18,7 +18,27 @@ const std::vector<Parameter*>& Module::cached_parameters() {
 }
 
 void Module::zero_grad() {
+  if (frozen_) {
+    // One contiguous clear instead of a per-parameter walk.
+    std::memset(flat_grads_.data(), 0, flat_grads_.size() * sizeof(float));
+    return;
+  }
   for (Parameter* p : cached_parameters()) p->zero_grad();
+}
+
+void Module::freeze_flat_storage() {
+  if (frozen_) return;
+  const std::vector<Parameter*>& params = cached_parameters();
+  const std::size_t total = flat_size(params);
+  flat_values_.resize(total);
+  flat_grads_.resize(total);
+  std::size_t off = 0;
+  for (Parameter* p : params) {
+    p->value.bind_external(flat_values_.data() + off);
+    p->grad.bind_external(flat_grads_.data() + off);
+    off += p->size();
+  }
+  frozen_ = true;
 }
 
 std::size_t Module::num_parameters() {
@@ -33,41 +53,22 @@ std::size_t flat_size(const std::vector<Parameter*>& params) {
   return n;
 }
 
-namespace {
-template <bool kValues>
-void flatten_impl(const std::vector<Parameter*>& params, std::vector<float>& out) {
+void flatten_values(const std::vector<Parameter*>& params, std::vector<float>& out) {
   out.resize(flat_size(params));
   std::size_t off = 0;
   for (const Parameter* p : params) {
-    const Matrix& m = kValues ? p->value : p->grad;
-    std::memcpy(out.data() + off, m.data(), m.size() * sizeof(float));
-    off += m.size();
+    std::memcpy(out.data() + off, p->value.data(), p->size() * sizeof(float));
+    off += p->size();
   }
 }
 
-template <bool kValues>
-void unflatten_impl(const std::vector<float>& in, const std::vector<Parameter*>& params) {
+void unflatten_values(std::span<const float> in, const std::vector<Parameter*>& params) {
   DT_CHECK_EQ(in.size(), flat_size(params));
   std::size_t off = 0;
   for (Parameter* p : params) {
-    Matrix& m = kValues ? p->value : p->grad;
-    std::memcpy(m.data(), in.data() + off, m.size() * sizeof(float));
-    off += m.size();
+    std::memcpy(p->value.data(), in.data() + off, p->size() * sizeof(float));
+    off += p->size();
   }
-}
-}  // namespace
-
-void flatten_values(const std::vector<Parameter*>& params, std::vector<float>& out) {
-  flatten_impl<true>(params, out);
-}
-void flatten_grads(const std::vector<Parameter*>& params, std::vector<float>& out) {
-  flatten_impl<false>(params, out);
-}
-void unflatten_values(const std::vector<float>& in, const std::vector<Parameter*>& params) {
-  unflatten_impl<true>(in, params);
-}
-void unflatten_grads(const std::vector<float>& in, const std::vector<Parameter*>& params) {
-  unflatten_impl<false>(in, params);
 }
 
 }  // namespace disttgl::nn

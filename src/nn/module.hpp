@@ -16,6 +16,7 @@
 // mirroring what NCCL does with fused tensors.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -54,21 +55,43 @@ class Module {
   void zero_grad();
   std::size_t num_parameters();
 
+  // ---- flat parameter storage (the gradient-sync layer's feed) ----
+  //
+  // Re-bases every parameter's value and grad matrix to be a view into
+  // one of two contiguous buffers owned by the module (current contents
+  // preserved), so per-iteration consumers of "all parameters as one
+  // buffer" — the gradient allreduce, weight export, checkpointing —
+  // become span handoffs instead of flatten/unflatten copy loops. The
+  // flat layout is exactly the flatten_values/flatten_grads order, so
+  // flat and non-flat modules serialize identically. Every
+  // Parameter-based API keeps working (the matrices only change where
+  // their elements live). Call once after construction; idempotent.
+  void freeze_flat_storage();
+  bool has_flat_storage() const { return frozen_; }
+  // Contiguous all-parameter spans; empty until freeze_flat_storage().
+  std::span<float> flat_values() { return flat_values_; }
+  std::span<float> flat_grads() { return flat_grads_; }
+  std::span<const float> flat_values() const { return flat_values_; }
+  std::span<const float> flat_grads() const { return flat_grads_; }
+
  private:
   std::vector<Parameter*> param_cache_;
+  std::vector<float> flat_values_;
+  std::vector<float> flat_grads_;
+  bool frozen_ = false;
 };
 
 // ---- flat-buffer helpers over a parameter set (for comm / checkpoints) ----
+// These work on any parameter set, flat-frozen or not (views read/write
+// through to the flat buffers).
 
 // Total element count across parameters.
 std::size_t flat_size(const std::vector<Parameter*>& params);
 // Copy all parameter values into `out` (resized as needed).
 void flatten_values(const std::vector<Parameter*>& params, std::vector<float>& out);
-// Copy all parameter gradients into `out`.
-void flatten_grads(const std::vector<Parameter*>& params, std::vector<float>& out);
-// Overwrite parameter values from a flat buffer.
-void unflatten_values(const std::vector<float>& in, const std::vector<Parameter*>& params);
-// Overwrite parameter gradients from a flat buffer.
-void unflatten_grads(const std::vector<float>& in, const std::vector<Parameter*>& params);
+// Overwrite parameter values from a flat buffer. (The gradient
+// counterparts of these helpers are gone: both trainers now hand the
+// collective the module's flat gradient buffer directly.)
+void unflatten_values(std::span<const float> in, const std::vector<Parameter*>& params);
 
 }  // namespace disttgl::nn

@@ -19,33 +19,65 @@ float clip_grad_norm(const std::vector<Parameter*>& params, float max_norm) {
 
 Adam::Adam(std::vector<Parameter*> params, Options opts)
     : params_(std::move(params)), opts_(opts) {
-  m_.reserve(params_.size());
-  v_.reserve(params_.size());
+  offsets_.reserve(params_.size());
   for (const Parameter* p : params_) {
-    m_.emplace_back(p->value.rows(), p->value.cols());
-    v_.emplace_back(p->value.rows(), p->value.cols());
+    offsets_.push_back(total_);
+    total_ += p->size();
+  }
+  m_.assign(total_, 0.0f);
+  v_.assign(total_, 0.0f);
+}
+
+void Adam::begin_step() {
+  ++t_;
+  bc1_ = 1.0f - std::pow(opts_.beta1, static_cast<float>(t_));
+  bc2_ = 1.0f - std::pow(opts_.beta2, static_cast<float>(t_));
+}
+
+// The element update over flat indices [lo, hi); `values`/`grads` point
+// at flat index `lo`. Shared by the per-parameter and contiguous paths
+// so both produce bit-identical results.
+void Adam::update_span(std::size_t lo, std::size_t hi, float* values,
+                       const float* grads) {
+  for (std::size_t j = lo; j < hi; ++j) {
+    float g = grads[j - lo];
+    if (opts_.weight_decay > 0.0f) g += opts_.weight_decay * values[j - lo];
+    m_[j] = opts_.beta1 * m_[j] + (1.0f - opts_.beta1) * g;
+    v_[j] = opts_.beta2 * v_[j] + (1.0f - opts_.beta2) * g * g;
+    const float mhat = m_[j] / bc1_;
+    const float vhat = v_[j] / bc2_;
+    values[j - lo] -= opts_.lr * mhat / (std::sqrt(vhat) + opts_.eps);
   }
 }
 
 void Adam::step() {
-  ++t_;
-  const float bc1 = 1.0f - std::pow(opts_.beta1, static_cast<float>(t_));
-  const float bc2 = 1.0f - std::pow(opts_.beta2, static_cast<float>(t_));
+  begin_step();
   for (std::size_t i = 0; i < params_.size(); ++i) {
     Parameter& p = *params_[i];
-    Matrix& m = m_[i];
-    Matrix& v = v_[i];
-    for (std::size_t j = 0; j < p.value.size(); ++j) {
-      float g = p.grad.data()[j];
-      if (opts_.weight_decay > 0.0f)
-        g += opts_.weight_decay * p.value.data()[j];
-      m.data()[j] = opts_.beta1 * m.data()[j] + (1.0f - opts_.beta1) * g;
-      v.data()[j] = opts_.beta2 * v.data()[j] + (1.0f - opts_.beta2) * g * g;
-      const float mhat = m.data()[j] / bc1;
-      const float vhat = v.data()[j] / bc2;
-      p.value.data()[j] -= opts_.lr * mhat / (std::sqrt(vhat) + opts_.eps);
+    const std::size_t off = offsets_[i];
+    update_span(off, off + p.value.size(), p.value.data(), p.grad.data());
+  }
+}
+
+void Adam::step_range(std::size_t lo, std::size_t hi) {
+  DT_CHECK_LE(lo, hi);
+  DT_CHECK_LE(hi, total_);
+  if (contiguous_ < 0) {
+    contiguous_ = !params_.empty();
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+      if (params_[i]->value.data() != params_[0]->value.data() + offsets_[i] ||
+          params_[i]->grad.data() != params_[0]->grad.data() + offsets_[i])
+        contiguous_ = 0;
+    }
+    if (contiguous_) {
+      value_base_ = params_[0]->value.data();
+      grad_base_ = params_[0]->grad.data();
     }
   }
+  DT_CHECK_MSG(contiguous_ == 1,
+               "Adam::step_range requires contiguous flat parameter storage "
+               "(Module::freeze_flat_storage)");
+  update_span(lo, hi, value_base_ + lo, grad_base_ + lo);
 }
 
 void Adam::zero_grad() {

@@ -18,8 +18,10 @@ struct AdamOptions {
   float weight_decay = 0.0f;
 };
 
-// Adam with optional decoupled weight decay. State is keyed by position
-// in the parameter list, which is stable for a fixed model.
+// Adam with optional decoupled weight decay. Moment state is stored as
+// two flat buffers laid out in parameter order (stable for a fixed
+// model), which is what lets the fused gradient-sync path step an
+// arbitrary flat-index range.
 class Adam {
  public:
   using Options = AdamOptions;
@@ -32,11 +34,33 @@ class Adam {
   float lr() const { return opts_.lr; }
   std::size_t steps_taken() const { return t_; }
 
+  // ---- fused allreduce→step path (ThreadComm::allreduce_step) ----
+  // begin_step() advances the shared step count / bias corrections once
+  // per iteration; step_range(lo, hi) then applies the update to flat
+  // parameter indices [lo, hi) — callable once per owned chunk, in any
+  // order, covering any subset. Element math is identical to step()
+  // (step() == begin_step() + step_range(0, num_elements())).
+  // step_range requires the parameters to live in contiguous flat
+  // storage (nn::Module::freeze_flat_storage).
+  void begin_step();
+  void step_range(std::size_t lo, std::size_t hi);
+  std::size_t num_elements() const { return total_; }
+
  private:
+  void update_span(std::size_t lo, std::size_t hi, float* values,
+                   const float* grads);
+
   std::vector<Parameter*> params_;
   Options opts_;
-  std::vector<Matrix> m_, v_;
+  std::vector<float> m_, v_;           // flat moments, parameter order
+  std::vector<std::size_t> offsets_;   // flat offset per parameter
+  std::size_t total_ = 0;
   std::size_t t_ = 0;
+  float bc1_ = 1.0f, bc2_ = 1.0f;      // bias corrections for step t_
+  // Lazily verified contiguity (value/grad base pointers) for step_range.
+  int contiguous_ = -1;
+  float* value_base_ = nullptr;
+  float* grad_base_ = nullptr;
 };
 
 // Plain SGD, used by the static-memory pre-trainer and as an ablation.

@@ -8,56 +8,133 @@ namespace disttgl {
 
 Matrix::Matrix(std::size_t rows, std::size_t cols,
                std::initializer_list<float> values)
-    : rows_(rows), cols_(cols), data_(values) {
+    : rows_(rows), cols_(cols), data_(values), ptr_(data_.data()) {
   DT_CHECK_EQ(data_.size(), rows * cols);
 }
 
-void Matrix::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+Matrix::Matrix(const Matrix& other) : rows_(other.rows_), cols_(other.cols_) {
+  if (other.size() > 0) data_.assign(other.ptr_, other.ptr_ + other.size());
+  ptr_ = data_.data();
+}
+
+Matrix& Matrix::operator=(const Matrix& other) {
+  if (this == &other) return *this;
+  if (view_) {
+    // A view's element count is fixed by its binding; copy through it.
+    DT_CHECK_EQ(size(), other.size());
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    if (size() > 0) std::memcpy(ptr_, other.ptr_, size() * sizeof(float));
+  } else {
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    if (other.size() > 0) {
+      data_.assign(other.ptr_, other.ptr_ + other.size());
+    } else {
+      data_.clear();
+    }
+    ptr_ = data_.data();
+  }
+  return *this;
+}
+
+Matrix::Matrix(Matrix&& other) noexcept
+    : rows_(other.rows_),
+      cols_(other.cols_),
+      data_(std::move(other.data_)),
+      view_(other.view_) {
+  ptr_ = view_ ? other.ptr_ : data_.data();
+  other.rows_ = other.cols_ = 0;
+  other.data_.clear();
+  other.ptr_ = other.data_.data();
+  other.view_ = false;
+}
+
+Matrix& Matrix::operator=(Matrix&& other) {
+  if (this == &other) return *this;
+  if (view_) return *this = other;  // copy through the binding
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  data_ = std::move(other.data_);
+  view_ = other.view_;
+  ptr_ = view_ ? other.ptr_ : data_.data();
+  other.rows_ = other.cols_ = 0;
+  other.data_.clear();
+  other.ptr_ = other.data_.data();
+  other.view_ = false;
+  return *this;
+}
+
+void Matrix::bind_external(float* storage) {
+  DT_CHECK(!view_);
+  if (size() > 0) std::memcpy(storage, data_.data(), size() * sizeof(float));
+  data_.clear();
+  data_.shrink_to_fit();
+  ptr_ = storage;
+  view_ = true;
+}
+
+void Matrix::fill(float value) { std::fill(ptr_, ptr_ + size(), value); }
 
 void Matrix::reshape(std::size_t rows, std::size_t cols) {
-  DT_CHECK_EQ(rows * cols, data_.size());
+  DT_CHECK_EQ(rows * cols, size());
   rows_ = rows;
   cols_ = cols;
 }
 
 void Matrix::resize(std::size_t rows, std::size_t cols, float fill) {
+  if (view_) {
+    DT_CHECK_EQ(rows * cols, size());
+    rows_ = rows;
+    cols_ = cols;
+    this->fill(fill);
+    return;
+  }
   rows_ = rows;
   cols_ = cols;
   data_.assign(rows * cols, fill);
+  ptr_ = data_.data();
 }
 
 void Matrix::reset_shape(std::size_t rows, std::size_t cols) {
+  if (view_) {
+    DT_CHECK_EQ(rows * cols, size());
+    rows_ = rows;
+    cols_ = cols;
+    return;
+  }
   rows_ = rows;
   cols_ = cols;
   data_.resize(rows * cols);
+  ptr_ = data_.data();
 }
 
 Matrix& Matrix::operator+=(const Matrix& other) {
   DT_CHECK(same_shape(other));
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  for (std::size_t i = 0; i < size(); ++i) ptr_[i] += other.ptr_[i];
   return *this;
 }
 
 Matrix& Matrix::operator-=(const Matrix& other) {
   DT_CHECK(same_shape(other));
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  for (std::size_t i = 0; i < size(); ++i) ptr_[i] -= other.ptr_[i];
   return *this;
 }
 
 Matrix& Matrix::operator*=(float s) {
-  for (float& v : data_) v *= s;
+  for (std::size_t i = 0; i < size(); ++i) ptr_[i] *= s;
   return *this;
 }
 
 Matrix& Matrix::hadamard(const Matrix& other) {
   DT_CHECK(same_shape(other));
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  for (std::size_t i = 0; i < size(); ++i) ptr_[i] *= other.ptr_[i];
   return *this;
 }
 
 Matrix& Matrix::add_scaled(const Matrix& other, float s) {
   DT_CHECK(same_shape(other));
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += s * other.data_[i];
+  for (std::size_t i = 0; i < size(); ++i) ptr_[i] += s * other.ptr_[i];
   return *this;
 }
 
@@ -165,19 +242,19 @@ void Matrix::slice_rows_into(std::size_t lo, std::size_t hi, Matrix& out) const 
   DT_CHECK_LE(hi, rows_);
   DT_CHECK(&out != this);
   out.reset_shape(hi - lo, cols_);
-  std::memcpy(out.data(), data_.data() + lo * cols_,
-              (hi - lo) * cols_ * sizeof(float));
+  std::memcpy(out.data(), ptr_ + lo * cols_, (hi - lo) * cols_ * sizeof(float));
 }
 
 float Matrix::squared_norm() const {
   double acc = 0.0;
-  for (float v : data_) acc += static_cast<double>(v) * v;
+  for (std::size_t i = 0; i < size(); ++i)
+    acc += static_cast<double>(ptr_[i]) * ptr_[i];
   return static_cast<float>(acc);
 }
 
 float Matrix::abs_max() const {
   float m = 0.0f;
-  for (float v : data_) m = std::max(m, std::abs(v));
+  for (std::size_t i = 0; i < size(); ++i) m = std::max(m, std::abs(ptr_[i]));
   return m;
 }
 

@@ -20,30 +20,48 @@ class Matrix {
  public:
   Matrix() = default;
   Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
-      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+      : rows_(rows), cols_(cols), data_(rows * cols, fill), ptr_(data_.data()) {}
   // Row-major literal constructor, used heavily in tests.
   Matrix(std::size_t rows, std::size_t cols, std::initializer_list<float> values);
 
+  // Copying always yields an owning matrix; copy-assigning *into* a view
+  // copies the elements through the view (shapes must carry the same
+  // element count). Moving transfers the view binding.
+  Matrix(const Matrix& other);
+  Matrix& operator=(const Matrix& other);
+  Matrix(Matrix&& other) noexcept;
+  Matrix& operator=(Matrix&& other);
+
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
-  std::size_t size() const { return data_.size(); }
-  bool empty() const { return data_.empty(); }
+  std::size_t size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
+
+  // Re-bases this matrix onto caller-owned storage of size() floats:
+  // current contents are copied in, owned heap memory is released, and
+  // the matrix becomes a *view* — all reads/writes go through `storage`,
+  // which must outlive the matrix. Views keep a fixed element count
+  // (reshape is fine, growth is not). This is the primitive behind
+  // nn::Module::freeze_flat_storage(): parameters stay ordinary Matrices
+  // while their elements live in one contiguous buffer.
+  void bind_external(float* storage);
+  bool is_view() const { return view_; }
 
   float& operator()(std::size_t r, std::size_t c) {
     DT_CHECK_LT(r, rows_);
     DT_CHECK_LT(c, cols_);
-    return data_[r * cols_ + c];
+    return ptr_[r * cols_ + c];
   }
   float operator()(std::size_t r, std::size_t c) const {
     DT_CHECK_LT(r, rows_);
     DT_CHECK_LT(c, cols_);
-    return data_[r * cols_ + c];
+    return ptr_[r * cols_ + c];
   }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
-  float* row_ptr(std::size_t r) { return data_.data() + r * cols_; }
-  const float* row_ptr(std::size_t r) const { return data_.data() + r * cols_; }
+  float* data() { return ptr_; }
+  const float* data() const { return ptr_; }
+  float* row_ptr(std::size_t r) { return ptr_ + r * cols_; }
+  const float* row_ptr(std::size_t r) const { return ptr_ + r * cols_; }
   std::span<float> row(std::size_t r) { return {row_ptr(r), cols_}; }
   std::span<const float> row(std::size_t r) const { return {row_ptr(r), cols_}; }
 
@@ -103,9 +121,13 @@ class Matrix {
   }
 
  private:
+  // Invariant: owning matrices (view_ == false) keep ptr_ == data_.data();
+  // views keep data_ empty and ptr_ pointing at external storage.
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::vector<float> data_;
+  float* ptr_ = nullptr;
+  bool view_ = false;
 };
 
 }  // namespace disttgl

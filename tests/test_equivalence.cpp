@@ -7,6 +7,8 @@
 // would diverge the weights bit-for-bit.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/threaded_trainer.hpp"
 #include "core/trainer.hpp"
 #include "datagen/generator.hpp"
@@ -139,6 +141,70 @@ TEST(PipelineEquivalence, SharedWorkerPoolSmallerThanTrainerCount) {
   cfg.parallel = {.i = 2, .j = 2, .k = 1};
   cfg.prefetch_workers = 1;
   expect_equivalent(cfg, g);
+}
+
+// ---- gradient-sync layer knobs ------------------------------------------
+
+// The reduce-scatter chunk size is an ownership schedule, not a math
+// change: every element is still reduced in fixed rank order, so any
+// chunking must stay bit-identical to the sequential reference.
+TEST(GradientSyncEquivalence, CommChunkSizeDoesNotChangeWeights) {
+  TemporalGraph g = graph_for_equivalence();
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{37},
+                                  std::size_t{1} << 20}) {
+    TrainingConfig cfg = config_for_equivalence();
+    cfg.epochs = 2;
+    cfg.parallel = {.i = 2, .j = 2, .k = 1};
+    cfg.comm_chunk_elems = chunk;
+    expect_equivalent(cfg, g);
+  }
+}
+
+// With clipping inert, the fused allreduce→step path must reproduce the
+// default path bit for bit: the mean gradients are identical, and each
+// chunk owner's Adam state evolved from exactly the same inputs.
+TEST(GradientSyncEquivalence, FusedStepBitExactWhenClipInert) {
+  TemporalGraph g = graph_for_equivalence();
+  TrainingConfig cfg = config_for_equivalence();
+  cfg.epochs = 2;
+  cfg.parallel = {.i = 2, .j = 2, .k = 1};
+  cfg.grad_clip = 1e9f;  // never triggers
+
+  ThreadedTrainer unfused(cfg, g, nullptr);
+  ThreadedTrainResult base = unfused.train();
+
+  cfg.comm_fused_step = true;
+  for (const std::size_t chunk : {std::size_t{0}, std::size_t{64}}) {
+    cfg.comm_chunk_elems = chunk;
+    ThreadedTrainer fused(cfg, g, nullptr);
+    ThreadedTrainResult res = fused.train();
+    ASSERT_EQ(base.weights.size(), res.weights.size());
+    for (std::size_t x = 0; x < base.weights.size(); ++x)
+      ASSERT_EQ(base.weights[x], res.weights[x])
+          << "weight " << x << " diverged (chunk=" << chunk << ")";
+    EXPECT_DOUBLE_EQ(base.final_val, res.final_val);
+  }
+}
+
+// With real clipping the fused path's global norm sums per-chunk
+// partials (chunk order) instead of per-parameter partials, so bits may
+// differ — but training must stay healthy and land close.
+TEST(GradientSyncEquivalence, FusedStepCloseWithDefaultClipping) {
+  TemporalGraph g = graph_for_equivalence();
+  TrainingConfig cfg = config_for_equivalence();
+  cfg.epochs = 2;
+  cfg.parallel = {.i = 2, .j = 2, .k = 1};
+
+  ThreadedTrainer unfused(cfg, g, nullptr);
+  ThreadedTrainResult base = unfused.train();
+
+  cfg.comm_fused_step = true;
+  ThreadedTrainer fused(cfg, g, nullptr);
+  ThreadedTrainResult res = fused.train();
+  ASSERT_EQ(base.weights.size(), res.weights.size());
+  for (std::size_t x = 0; x < res.weights.size(); ++x)
+    ASSERT_TRUE(std::isfinite(res.weights[x])) << "weight " << x;
+  EXPECT_NEAR(base.final_val, res.final_val, 0.05);
 }
 
 TEST(ThreadedTrainer, ReportsThroughputAndAttribution) {

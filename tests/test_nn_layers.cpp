@@ -209,6 +209,82 @@ TEST(Module, FlattenRoundTrip) {
     EXPECT_FLOAT_EQ(flat2[i], flat[i] + 1.0f);
 }
 
+// Minimal Module wrapping two Linears — the flat-storage test subject.
+struct TwoLayer : nn::Module {
+  nn::Linear a, b;
+  TwoLayer(Rng& rng) : a("a", 3, 4, rng), b("b", 4, 2, rng) {}
+  void collect_parameters(std::vector<nn::Parameter*>& out) override {
+    a.collect_parameters(out);
+    b.collect_parameters(out);
+  }
+};
+
+TEST(Module, FreezeFlatStoragePreservesValuesAndAliases) {
+  Rng rng(31);
+  TwoLayer m(rng);
+  std::vector<float> before;
+  nn::flatten_values(m.cached_parameters(), before);
+
+  EXPECT_FALSE(m.has_flat_storage());
+  m.freeze_flat_storage();
+  m.freeze_flat_storage();  // idempotent
+  EXPECT_TRUE(m.has_flat_storage());
+
+  // Contents preserved, layout identical to flatten_values order.
+  const std::span<const float> flat = m.flat_values();
+  ASSERT_EQ(flat.size(), before.size());
+  for (std::size_t i = 0; i < flat.size(); ++i)
+    EXPECT_EQ(flat[i], before[i]) << "element " << i;
+
+  // Parameters are now contiguous views: writing through a parameter is
+  // visible in the flat span and vice versa.
+  std::vector<nn::Parameter*> params = m.parameters();
+  EXPECT_TRUE(params[0]->value.is_view());
+  const float* base = params[0]->value.data();
+  std::size_t off = 0;
+  for (const nn::Parameter* p : params) {
+    EXPECT_EQ(p->value.data(), base + off);
+    off += p->size();
+  }
+  params[1]->value.data()[0] = 42.0f;
+  EXPECT_EQ(m.flat_values()[params[0]->size()], 42.0f);
+  m.flat_grads()[0] = 7.0f;
+  EXPECT_EQ(params[0]->grad.data()[0], 7.0f);
+  m.zero_grad();
+  EXPECT_EQ(params[0]->grad.data()[0], 0.0f);
+}
+
+TEST(Adam, StepRangeMatchesFullStepOnFlatStorage) {
+  Rng rng_a(5);
+  Rng rng_b(5);
+  TwoLayer ma(rng_a), mb(rng_b);
+  ma.freeze_flat_storage();
+  mb.freeze_flat_storage();
+  nn::AdamOptions opts{.lr = 1e-2f, .weight_decay = 1e-3f};
+  nn::Adam oa(ma.parameters(), opts), ob(mb.parameters(), opts);
+  ASSERT_EQ(oa.num_elements(), ma.flat_values().size());
+
+  Rng grng(77);
+  for (int iter = 0; iter < 5; ++iter) {
+    for (std::size_t i = 0; i < ma.flat_grads().size(); ++i) {
+      const float g = static_cast<float>(grng.normal());
+      ma.flat_grads()[i] = g;
+      mb.flat_grads()[i] = g;
+    }
+    oa.step();
+    // Odd-sized chunks, out of order — must not matter.
+    ob.begin_step();
+    const std::size_t total = ob.num_elements();
+    const std::size_t cut1 = total / 3, cut2 = 2 * total / 3 + 1;
+    ob.step_range(cut2, total);
+    ob.step_range(0, cut1);
+    ob.step_range(cut1, cut2);
+    for (std::size_t i = 0; i < total; ++i)
+      ASSERT_EQ(ma.flat_values()[i], mb.flat_values()[i])
+          << "iter " << iter << " element " << i;
+  }
+}
+
 TEST(Loss, LinkPredictionDirection) {
   // High positive score + low negative score ⇒ small loss.
   Matrix good_pos(2, 1, {5.0f, 6.0f}), good_neg(2, 2, {-5.0f, -6.0f, -4.0f, -7.0f});

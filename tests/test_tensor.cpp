@@ -105,6 +105,41 @@ TEST(Matrix, Norms) {
   EXPECT_FLOAT_EQ(m.abs_max(), 4.0f);
 }
 
+TEST(Matrix, ExternalBinding) {
+  // bind_external re-bases a matrix onto caller storage (the
+  // Module::freeze_flat_storage primitive): contents move, reads and
+  // writes alias the buffer, element count is pinned.
+  std::vector<float> storage(6, -1.0f);
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_FALSE(m.is_view());
+  m.bind_external(storage.data());
+  EXPECT_TRUE(m.is_view());
+  EXPECT_EQ(m.data(), storage.data());
+  EXPECT_FLOAT_EQ(storage[4], 5.0f);  // contents copied in
+  storage[0] = 9.0f;
+  EXPECT_FLOAT_EQ(m(0, 0), 9.0f);     // reads alias
+  m(1, 2) = 8.0f;
+  EXPECT_FLOAT_EQ(storage[5], 8.0f);  // writes alias
+
+  m.reshape(3, 2);                    // same element count: fine
+  EXPECT_THROW(m.resize(4, 4), std::logic_error);  // growth: not fine
+
+  // Copying a view yields an owning matrix; copy-assigning into a view
+  // writes through the binding.
+  Matrix copy = m;
+  EXPECT_FALSE(copy.is_view());
+  copy(0, 0) = -5.0f;
+  EXPECT_FLOAT_EQ(m(0, 0), 9.0f);  // original untouched
+  m = Matrix(3, 2, {10, 11, 12, 13, 14, 15});
+  EXPECT_TRUE(m.is_view());
+  EXPECT_FLOAT_EQ(storage[0], 10.0f);
+
+  // Moving transfers the binding.
+  Matrix moved = std::move(m);
+  EXPECT_TRUE(moved.is_view());
+  EXPECT_EQ(moved.data(), storage.data());
+}
+
 struct GemmShape {
   std::size_t m, k, n;
 };

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Docs-consistency check (CI).
+
+1. Every BENCH_*.json at the repo root parses as JSON and is a non-empty
+   list of labelled entries ({label, date, ...}).
+2. Every repo-relative path referenced from README.md and docs/*.md
+   (src/..., tests/..., bench/..., docs/..., examples/..., tools/...,
+   BENCH_*.json, *.sh) exists. Paths under build/ are generated and
+   skipped; tokens containing glob/placeholder characters are skipped.
+
+Run from anywhere: the repo root is located relative to this file.
+"""
+import glob
+import json
+import os
+import re
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Repo-relative path tokens: known top-level dirs or BENCH json files,
+# with an extension or shell suffix. `fig07` style bare names, URLs, and
+# build/ artifacts are not matched.
+PATH_RE = re.compile(
+    r"\b((?:src|tests|bench|docs|examples|tools)/[A-Za-z0-9_./-]+"
+    r"\.(?:cpp|hpp|h|md|sh|py|txt|json)|BENCH_[A-Za-z0-9_]+\.json"
+    r"|(?:README|ROADMAP|CHANGES|PAPERS?|SNIPPETS)\.md|CMakePresets\.json)\b")
+
+SKIP_CHARS = ("*", "<", ">", "{", "}")
+
+def fail(msg: str) -> None:
+    print(f"check_docs: FAIL: {msg}")
+    sys.exit(1)
+
+def check_bench_json() -> int:
+    files = sorted(glob.glob(os.path.join(ROOT, "BENCH_*.json")))
+    if not files:
+        fail("no BENCH_*.json files found at the repo root")
+    for path in files:
+        name = os.path.basename(path)
+        try:
+            with open(path) as f:
+                data = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"{name} does not parse: {e}")
+        if not isinstance(data, list) or not data:
+            fail(f"{name} must be a non-empty list of entries")
+        for i, entry in enumerate(data):
+            for key in ("label", "date"):
+                if key not in entry:
+                    fail(f"{name} entry {i} is missing '{key}'")
+        print(f"check_docs: {name}: {len(data)} entr{'y' if len(data) == 1 else 'ies'} ok")
+    return len(files)
+
+def check_doc_paths() -> int:
+    docs = [os.path.join(ROOT, "README.md")] + sorted(
+        glob.glob(os.path.join(ROOT, "docs", "*.md")))
+    checked = 0
+    missing = []
+    for doc in docs:
+        with open(doc) as f:
+            text = f.read()
+        for token in sorted(set(PATH_RE.findall(text))):
+            if any(c in token for c in SKIP_CHARS):
+                continue
+            checked += 1
+            # `.{hpp,cpp}`-style shorthand is expanded by SKIP_CHARS;
+            # plain tokens must exist verbatim.
+            if not os.path.exists(os.path.join(ROOT, token)):
+                missing.append(f"{os.path.relpath(doc, ROOT)} -> {token}")
+    if missing:
+        fail("referenced files do not exist:\n  " + "\n  ".join(missing))
+    print(f"check_docs: {checked} referenced paths across {len(docs)} docs ok")
+    return checked
+
+def main() -> None:
+    check_bench_json()
+    check_doc_paths()
+    print("check_docs: OK")
+
+if __name__ == "__main__":
+    main()
