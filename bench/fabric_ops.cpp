@@ -1,0 +1,234 @@
+// Process-fabric transport cost — the trajectory behind
+// BENCH_fabric.json (bench/run_fabric.sh appends one labelled entry per
+// invocation; docs/BENCHMARKS.md).
+//
+// Measures the two cross-process primitives the trainers actually sit
+// on, at 2/4/8 ranks, and annotates each measurement with the
+// throughput model's prediction for the same volume so the JSON records
+// measured-vs-model side by side:
+//
+//   allreduce     ProcComm::allreduce_mean over a model-scale payload:
+//                 forked ranks attach to one shm segment and run the
+//                 chunked reduce-scatter + allgather across address
+//                 spaces. Model: allreduce_seconds() — the ring cost the
+//                 scaling benches charge per iteration.
+//   daemon_round  One §3.3 memory round per rank (read i gathers, write
+//                 i scatters through ShmDaemonServer's bracket). Model:
+//                 host_mem_seconds() over daemon_passes × the round's
+//                 payload, plus the calibrated daemon handshake
+//                 overhead.
+//
+// The model prices the paper's g4dn.metal testbed while this bench runs
+// wherever CI runs, so `ratio` is a shape check (does measured scale
+// with ranks like the model says), not a calibration target.
+//
+//   bench_fabric_ops [--iters=N] [--elems=E] [--ranks=R]
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "distributed/fabric.hpp"
+#include "distributed/launch.hpp"
+#include "distributed/proc_comm.hpp"
+#include "distributed/shm.hpp"
+#include "distributed/throughput_model.hpp"
+#include "distributed/wire.hpp"
+#include "memory/shm_channel.hpp"
+#include "util/timer.hpp"
+
+namespace disttgl {
+namespace {
+
+using dist::FabricSpec;
+using dist::ProcComm;
+using dist::WireCursor;
+using dist::WireWriter;
+
+constexpr std::chrono::milliseconds kAttachTimeout{30'000};
+constexpr std::chrono::milliseconds kLaunchTimeout{300'000};
+constexpr std::size_t kWarm = 5;
+
+std::size_t arg_or(int argc, char** argv, const char* name,
+                   std::size_t fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0)
+      return static_cast<std::size_t>(std::stoull(arg.substr(prefix.size())));
+  }
+  return fallback;
+}
+
+// Max per-rank mean: the collective/bracket is lockstep, so the slowest
+// rank's mean is the round latency every rank observed.
+double max_mean_us(const std::vector<std::vector<std::uint8_t>>& payloads) {
+  double worst = 0.0;
+  for (const auto& p : payloads) {
+    WireCursor c(p);
+    worst = std::max(worst, c.get_f64());
+  }
+  return worst;
+}
+
+double bench_allreduce(std::size_t world, std::size_t elems,
+                       std::size_t iters) {
+  const std::string prefix = dist::make_session_prefix();
+  const dist::Comm::Options opts{};
+  ProcComm owner =
+      ProcComm::create(prefix + ".comm", world, elems, opts, kAttachTimeout);
+
+  auto payloads = dist::disttgl_launch(
+      world,
+      [&](std::size_t rank) {
+        ProcComm comm =
+            ProcComm::attach(prefix + ".comm", world, opts, kAttachTimeout);
+        comm.reserve(elems);
+        std::vector<float> data(elems);
+        for (std::size_t x = 0; x < elems; ++x)
+          data[x] = static_cast<float>((rank * 131 + x) % 97) * 0.01f;
+        for (std::size_t t = 0; t < kWarm; ++t)
+          comm.allreduce_mean(rank, data);
+        WallTimer timer;
+        for (std::size_t t = 0; t < iters; ++t)
+          comm.allreduce_mean(rank, data);
+        WireWriter w;
+        w.put_f64(timer.seconds() * 1e6 / static_cast<double>(iters));
+        return w.take();
+      },
+      kLaunchTimeout);
+  return max_mean_us(payloads);
+}
+
+struct DaemonGeometry {
+  std::size_t num_nodes = 4096;
+  std::size_t mem_dim = 100;
+  std::size_t mail_dim = 186;
+  std::size_t read_nodes = 600;
+  std::size_t write_nodes = 200;
+
+  // Bytes one rank's round moves through the daemon (gather + scatter
+  // of memory rows, mails, and timestamps).
+  double round_bytes() const {
+    const double row = static_cast<double>(mem_dim + mail_dim + 2) * 4.0;
+    return static_cast<double>(read_nodes + write_nodes) * row;
+  }
+};
+
+double bench_daemon_round(std::size_t world, std::size_t iters,
+                          const DaemonGeometry& geo) {
+  const std::string prefix = dist::make_session_prefix();
+  ShmDaemonSpec spec;
+  spec.slots = world;
+  spec.mem_dim = geo.mem_dim;
+  spec.mail_dim = geo.mail_dim;
+  spec.max_read_nodes = geo.read_nodes;
+  spec.max_write_nodes = geo.write_nodes;
+  ShmSegment segment =
+      ShmDaemonChannel::create_segment(prefix + ".mem0", spec);
+  const std::size_t rounds = kWarm + iters;
+
+  auto payloads = dist::disttgl_launch(
+      world,
+      [&](std::size_t rank) {
+        ShmDaemonChannel channel = ShmDaemonChannel::attach(
+            prefix + ".mem0", WaitPolicy{}, kAttachTimeout);
+        // Rank 0 hosts the group's server alongside its own client
+        // loop, exactly as the proc trainer's group_rank 0 does.
+        std::unique_ptr<MemoryState> state;
+        std::unique_ptr<ShmDaemonServer> server;
+        if (rank == 0) {
+          state = std::make_unique<MemoryState>(geo.num_nodes, geo.mem_dim,
+                                                geo.mail_dim);
+          DaemonConfig dc;
+          dc.i = world;
+          dc.j = 1;
+          dc.reset_before_round.assign(rounds, 0);
+          dc.reset_before_round[0] = 1;
+          server = std::make_unique<ShmDaemonServer>(*state, dc, channel);
+          server->start();
+        }
+
+        MemorySlice slice;
+        MemoryWrite write;
+        std::vector<NodeId> nodes(geo.read_nodes);
+        write.nodes.resize(geo.write_nodes);
+        write.mem = Matrix(geo.write_nodes, geo.mem_dim, 0.5f);
+        write.mem_ts.assign(geo.write_nodes, 1.0f);
+        write.mail = Matrix(geo.write_nodes, geo.mail_dim, -0.5f);
+        write.mail_ts.assign(geo.write_nodes, 1.5f);
+
+        double measured_s = 0.0;
+        WallTimer timer;
+        for (std::size_t t = 0; t < rounds; ++t) {
+          if (t == kWarm) timer.reset();
+          for (std::size_t x = 0; x < geo.read_nodes; ++x)
+            nodes[x] = static_cast<NodeId>((rank * 131 + t * 17 + x * 7) %
+                                           geo.num_nodes);
+          for (std::size_t x = 0; x < geo.write_nodes; ++x)
+            write.nodes[x] = static_cast<NodeId>((rank * 53 + t * 11 + x) %
+                                                 geo.num_nodes);
+          channel.read(rank, nodes, slice);
+          channel.write(rank, write);
+          if (t + 1 == rounds) measured_s = timer.seconds();
+        }
+        if (server) server->join();
+        WireWriter w;
+        w.put_f64(measured_s * 1e6 / static_cast<double>(iters));
+        return w.take();
+      },
+      kLaunchTimeout);
+  return max_mean_us(payloads);
+}
+
+}  // namespace
+}  // namespace disttgl
+
+int main(int argc, char** argv) {
+  using namespace disttgl;
+  const std::size_t iters = arg_or(argc, argv, "iters", 40);
+  const std::size_t elems = arg_or(argc, argv, "elems", 100'000);
+  const std::size_t only_ranks = arg_or(argc, argv, "ranks", 0);
+
+  bench::header("fabric_ops (BENCH_fabric.json trajectory)",
+                "cross-process allreduce and daemon rounds scale with rank "
+                "count like the throughput model's ring/host-memory terms");
+
+  const dist::FabricSpec fabric;
+  const dist::SystemConstants consts;
+  const DaemonGeometry geo;
+
+  bench::section("allreduce (ProcComm, forked ranks, one shm segment)");
+  for (std::size_t world : {2u, 4u, 8u}) {
+    if (only_ranks != 0 && world != only_ranks) continue;
+    const double measured = bench_allreduce(world, elems, iters);
+    const double model =
+        dist::allreduce_seconds(fabric, elems * sizeof(float), world, 1) * 1e6;
+    std::printf(
+        "fabric_ops op=allreduce ranks=%zu elems=%zu mb=%.3f "
+        "measured_us=%.2f model_us=%.2f ratio=%.2f\n",
+        world, elems, elems * sizeof(float) / 1e6, measured, model,
+        measured / model);
+  }
+
+  bench::section("daemon round (ShmDaemonServer bracket, read+write/rank)");
+  for (std::size_t world : {2u, 4u, 8u}) {
+    if (only_ranks != 0 && world != only_ranks) continue;
+    const double measured = bench_daemon_round(world, iters, geo);
+    const double bytes =
+        consts.daemon_passes * geo.round_bytes() * static_cast<double>(world);
+    const double model =
+        (dist::host_mem_seconds(fabric, static_cast<std::size_t>(bytes), 1) +
+         consts.disttgl_overhead_s) *
+        1e6;
+    std::printf(
+        "fabric_ops op=daemon_round ranks=%zu read_nodes=%zu write_nodes=%zu "
+        "kb_round=%.1f measured_us=%.2f model_us=%.2f ratio=%.2f\n",
+        world, geo.read_nodes, geo.write_nodes, geo.round_bytes() / 1e3,
+        measured, model, measured / model);
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+#!/usr/bin/env sh
+# Run bench_fabric_ops and append a labelled entry to BENCH_fabric.json,
+# the process-fabric transport trajectory (docs/BENCHMARKS.md).
+#
+#   bench/run_fabric.sh [label] [path/to/bench_fabric_ops] [extra args...]
+#
+# Defaults: label = current git revision,
+# binary = build/bench/bench_fabric_ops. Extra args are passed through
+# (e.g. --iters=100 --elems=200000).
+#
+# Each entry records, per rank count {2,4,8}, the measured cross-process
+# allreduce and daemon-round latency next to the throughput model's
+# prediction for the same payload — measured-vs-model in one place.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+label=${1:-$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unlabelled)}
+bin=${2:-"$repo_root/build/bench/bench_fabric_ops"}
+[ $# -ge 1 ] && shift
+[ $# -ge 1 ] && shift
+out="$repo_root/BENCH_fabric.json"
+
+if [ ! -x "$bin" ]; then
+  echo "error: $bin not found or not executable." >&2
+  echo "Configure with -DDISTTGL_BUILD_BENCH=ON and build bench_fabric_ops." >&2
+  exit 1
+fi
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+"$bin" "$@" | tee "$raw"
+
+LABEL="$label" RAW="$raw" OUT="$out" python3 - <<'EOF'
+import datetime
+import json
+import os
+import re
+
+allreduce = {}
+daemon = {}
+with open(os.environ["RAW"]) as f:
+    for line in f:
+        m = re.match(
+            r"fabric_ops op=allreduce ranks=(\d+) elems=(\d+) mb=([\d.]+) "
+            r"measured_us=([\d.]+) model_us=([\d.]+) ratio=([\d.]+)", line)
+        if m:
+            allreduce[f"ranks_{m.group(1)}"] = {
+                "ranks": int(m.group(1)),
+                "elems": int(m.group(2)),
+                "mb": float(m.group(3)),
+                "measured_us": float(m.group(4)),
+                "model_us": float(m.group(5)),
+                "ratio": float(m.group(6)),
+            }
+            continue
+        m = re.match(
+            r"fabric_ops op=daemon_round ranks=(\d+) read_nodes=(\d+) "
+            r"write_nodes=(\d+) kb_round=([\d.]+) measured_us=([\d.]+) "
+            r"model_us=([\d.]+) ratio=([\d.]+)", line)
+        if m:
+            daemon[f"ranks_{m.group(1)}"] = {
+                "ranks": int(m.group(1)),
+                "read_nodes": int(m.group(2)),
+                "write_nodes": int(m.group(3)),
+                "kb_round": float(m.group(4)),
+                "measured_us": float(m.group(5)),
+                "model_us": float(m.group(6)),
+                "ratio": float(m.group(7)),
+            }
+
+entry = {
+    "label": os.environ["LABEL"],
+    "date": datetime.date.today().isoformat(),
+    "allreduce": allreduce,
+    "daemon_round": daemon,
+}
+
+out = os.environ["OUT"]
+trajectory = json.load(open(out)) if os.path.exists(out) else []
+trajectory.append(entry)
+with open(out, "w") as f:
+    json.dump(trajectory, f, indent=2)
+    f.write("\n")
+print(f"appended entry '{entry['label']}' "
+      f"({len(allreduce)} allreduce + {len(daemon)} daemon configs) to {out}")
+EOF

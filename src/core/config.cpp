@@ -20,6 +20,13 @@ void validate(const TrainingConfig& cfg) {
   DT_CHECK_GT(cfg.epochs, 0u);
   DT_CHECK_GT(cfg.neg_groups, 0u);
   DT_CHECK_GT(cfg.base_lr, 0.0f);
+  // The process fabric is single-machine (POSIX shm + UNIX sockets);
+  // cross-machine layouts stay on the simulated fabric model.
+  DT_CHECK_MSG(cfg.fabric.kind == FabricKind::kThread ||
+                   cfg.parallel.machines <= 1,
+               "FabricKind::kProc requires machines == 1");
+  DT_CHECK_GT(cfg.fabric.timeout_ms, 0u);
+  DT_CHECK_GT(cfg.fabric.launch_timeout_ms, 0u);
 }
 
 }  // namespace disttgl

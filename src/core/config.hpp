@@ -47,6 +47,34 @@ struct ParallelConfig {
 // before/after baseline for bench/training_throughput.
 enum class PipelineMode : std::uint8_t { kLegacy, kPooled };
 
+// Transport fabric for collective + daemon traffic (docs/ARCHITECTURE.md
+// "The process fabric"). kThread is the in-process system path: trainer
+// threads over shared vectors. kProc forks one OS process per rank and
+// runs the identical algorithms over POSIX shared memory, with control
+// traffic on UNIX sockets — the single-machine analogue of the paper's
+// per-GPU worker processes.
+enum class FabricKind : std::uint8_t { kThread, kProc };
+
+struct FabricConfig {
+  FabricKind kind = FabricKind::kThread;
+  // Bounded-spin budget before every fabric wait parks on a futex
+  // (collective barrier, daemon slot protocol, shm handshakes); 0 parks
+  // immediately. One knob for all sites — previously hardcoded per call
+  // site (docs/TUNING.md).
+  std::uint32_t spin_polls = 4096;
+  // Per-wait deadline inside collectives / slot protocol. A peer absent
+  // past this is a typed kPeerTimeout, never a hang.
+  std::size_t timeout_ms = 30'000;
+  // Parent-side bound on the whole multi-process run; stragglers past it
+  // are SIGKILLed and reported kChildFailed.
+  std::size_t launch_timeout_ms = 600'000;
+  // Fixed per-rank shm slot capacities for the cross-process daemon
+  // channel, in nodes; 0 = auto from the config (bounded by the graph's
+  // node count). An oversized request is a typed kCapacity error.
+  std::size_t slot_read_nodes = 0;
+  std::size_t slot_write_nodes = 0;
+};
+
 struct TrainingConfig {
   ModelConfig model;
   ParallelConfig parallel;
@@ -84,6 +112,9 @@ struct TrainingConfig {
   // sequential≡threaded equivalence contract holds for the default path.
   std::size_t comm_chunk_elems = 0;
   bool comm_fused_step = false;
+
+  // Transport fabric selection + knobs (docs/TUNING.md "Fabric").
+  FabricConfig fabric;
 
   float lr() const {
     return scale_lr_with_world

@@ -1,0 +1,239 @@
+#include "core/proc_trainer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "distributed/launch.hpp"
+#include "distributed/proc_comm.hpp"
+#include "distributed/rendezvous.hpp"
+#include "distributed/wire.hpp"
+#include "memory/shm_channel.hpp"
+#include "util/timer.hpp"
+
+namespace disttgl {
+
+namespace {
+
+// Capacity of one rank's shm read slot, in nodes. A read request carries
+// a super-batch's unique_nodes: deduplicated positive/negative roots
+// plus their sampled neighbors — at most
+//   local_batch · (2 + num_neg·j) roots · (1 + num_neighbors)
+// and never more than the graph has nodes (they are unique). Generous
+// by construction; an overflow is a typed kCapacity, not a corruption.
+std::size_t auto_read_nodes(const TrainingConfig& cfg,
+                            const TemporalGraph& graph) {
+  if (cfg.fabric.slot_read_nodes != 0) return cfg.fabric.slot_read_nodes;
+  const std::size_t roots =
+      cfg.local_batch * (2 + cfg.num_neg * cfg.parallel.j);
+  return std::min<std::size_t>(graph.num_nodes(),
+                               roots * (1 + cfg.model.num_neighbors) + 64);
+}
+
+// Write slots carry the unique positive roots only: ≤ 2·local_batch.
+std::size_t auto_write_nodes(const TrainingConfig& cfg,
+                             const TemporalGraph& graph) {
+  if (cfg.fabric.slot_write_nodes != 0) return cfg.fabric.slot_write_nodes;
+  return std::min<std::size_t>(graph.num_nodes(), 2 * cfg.local_batch + 64);
+}
+
+// One rank's whole life, run inside a forked child. The returned bytes
+// ride the launcher's result pipe back to the parent.
+std::vector<std::uint8_t> run_child(const TrainingConfig& cfg,
+                                    const TemporalGraph& graph,
+                                    const Matrix* static_memory,
+                                    const std::string& socket_path,
+                                    std::size_t rank) {
+  const std::size_t world = cfg.parallel.total_trainers();
+  const auto timeout = std::chrono::milliseconds(cfg.fabric.timeout_ms);
+  const WaitPolicy wait{.spin_polls = cfg.fabric.spin_polls};
+
+  // Rendezvous FIRST (cheap), heavy construction after: the host's
+  // accept deadline only has to cover process startup, not model build.
+  const dist::RendezvousInfo info =
+      dist::rendezvous_client(socket_path, static_cast<std::uint32_t>(world),
+                              static_cast<std::uint32_t>(rank), timeout);
+
+  // Own trainer, constructed post-fork: the schedule, replicas, and
+  // negative streams are pure functions of cfg + graph, so every process
+  // derives identical state — and no pre-fork threads are inherited.
+  ThreadedTrainer trainer(cfg, graph, static_memory);
+  const TrainerSchedule& ts = trainer.schedule().trainers[rank];
+  const std::size_t m = ts.mem_copy;
+
+  dist::ProcComm comm = dist::ProcComm::attach(
+      info.comm_shm, world,
+      dist::Comm::Options{.chunk_elems = cfg.comm_chunk_elems, .wait = wait},
+      timeout);
+  comm.reserve(trainer.num_parameters());
+
+  // Declared before the server so the server (which borrows it) is
+  // destroyed first on every path, including exceptional unwinds.
+  ShmDaemonChannel channel =
+      ShmDaemonChannel::attach(info.daemon_shms[m], wait, timeout);
+
+  // group_rank 0 (= rank m·i·j) hosts its group's daemon. Rank 0 is
+  // therefore always a host, and always hosts memory copy 0 — which is
+  // what makes the final evaluation below valid in rank 0's process.
+  std::unique_ptr<ShmDaemonServer> server;
+  if (ts.group_rank == 0) {
+    DaemonConfig dc;
+    dc.i = cfg.parallel.i;
+    dc.j = cfg.parallel.j;
+    dc.reset_before_round =
+        trainer.schedule().groups[m].reset_before_round;
+    dc.wait = wait;
+    server = std::make_unique<ShmDaemonServer>(trainer.state(m), dc, channel);
+    server->start();
+  }
+
+  trainer.run_rank(rank, channel, comm);
+  if (server) server->join();  // rethrows a daemon-side FabricError
+
+  dist::WireWriter w;
+  w.put_u64(trainer.rank_events(rank));
+  w.put_f64(trainer.rank_loss(rank));
+  w.put_u64(trainer.rank_loss_count(rank));
+  const bool hosted = ts.group_rank == 0;
+  w.put_u32(hosted ? 1 : 0);
+  if (hosted) {
+    w.put_u32(static_cast<std::uint32_t>(m));
+    w.put_u64(memory_digest(trainer.state(m)));
+  }
+  w.put_u32(rank == 0 ? 1 : 0);
+  if (rank == 0) {
+    ThreadedTrainResult ev;
+    trainer.final_eval_into(ev);
+    w.put_f64(ev.final_val);
+    w.put_f64(ev.final_test);
+    w.put_f32s(ev.weights);
+  }
+  return w.take();
+}
+
+}  // namespace
+
+ThreadedTrainResult train_multiprocess(const TrainingConfig& cfg,
+                                       const TemporalGraph& graph,
+                                       const Matrix* static_memory) {
+  validate(cfg);
+  const auto& par = cfg.parallel;
+  const std::size_t world = par.total_trainers();
+  const auto timeout = std::chrono::milliseconds(cfg.fabric.timeout_ms);
+  const auto launch_timeout =
+      std::chrono::milliseconds(cfg.fabric.launch_timeout_ms);
+  const WaitPolicy wait{.spin_polls = cfg.fabric.spin_polls};
+
+  // Parent-side accounting only (split/schedule are cheap and
+  // thread-free; the children re-derive the identical ones).
+  const EventSplit split =
+      chronological_split(graph, cfg.train_frac, cfg.val_frac);
+  const std::vector<BatchRange> batches = make_batches(
+      split.train_begin, split.train_end, cfg.local_batch * par.i);
+  const Schedule schedule =
+      build_schedule(par, batches.size(), cfg.epochs, cfg.neg_groups);
+
+  // Probe the model once for segment geometry — a bare TGNModel spawns
+  // no threads, so the parent stays fork-safe.
+  std::size_t num_params = 0;
+  std::size_t mail_dim = 0;
+  {
+    Rng root(cfg.seed);
+    Rng model_rng = root.split();
+    TGNModel probe(cfg.model, graph, static_memory, model_rng);
+    num_params = probe.num_parameters();
+    mail_dim = probe.mail_raw_dim();
+  }
+
+  // All session resources live under one prefix: the collective segment,
+  // k daemon segments, and the rendezvous socket. The parent is the only
+  // creator and the only unlinker (see shm.hpp) — every exit path out of
+  // this function reclaims everything via these owning locals.
+  const std::string prefix = dist::make_session_prefix();
+  const std::string socket_path = "/tmp" + prefix + ".sock";
+
+  dist::ProcComm comm_owner = dist::ProcComm::create(
+      prefix + ".comm", world, num_params,
+      dist::Comm::Options{.chunk_elems = cfg.comm_chunk_elems, .wait = wait},
+      timeout);
+
+  ShmDaemonSpec spec;
+  spec.slots = par.i * par.j;
+  spec.mem_dim = cfg.model.mem_dim;
+  spec.mail_dim = mail_dim;
+  spec.max_read_nodes = auto_read_nodes(cfg, graph);
+  spec.max_write_nodes = auto_write_nodes(cfg, graph);
+
+  dist::RendezvousInfo info;
+  info.world = static_cast<std::uint32_t>(world);
+  info.session_prefix = prefix;
+  info.comm_shm = comm_owner.shm_name();
+  std::vector<ShmSegment> daemon_segments;
+  daemon_segments.reserve(par.k);
+  for (std::size_t m = 0; m < par.k; ++m) {
+    const std::string name = prefix + ".mem" + std::to_string(m);
+    daemon_segments.push_back(ShmDaemonChannel::create_segment(name, spec));
+    info.daemon_shms.push_back(name);
+  }
+
+  WallTimer timer;
+  // Fork while single-threaded; only then serve rendezvous (which is
+  // also the startup barrier: a child past rendezvous knows every peer
+  // exists and every segment above is created).
+  dist::ProcGroup group = dist::ProcGroup::spawn(
+      world, [&](std::size_t rank) {
+        return run_child(cfg, graph, static_memory, socket_path, rank);
+      });
+  dist::rendezvous_host(socket_path, info, launch_timeout);
+
+  std::vector<dist::ChildResult> results = group.wait(launch_timeout);
+  for (const dist::ChildResult& r : results) {
+    if (!r.ok)
+      throw dist::FabricError(
+          r.errc, "rank " + std::to_string(r.rank) + ": " + r.message);
+  }
+
+  ThreadedTrainResult result;
+  result.wall_seconds = timer.seconds();
+  result.iterations = schedule.total_iterations;
+  result.memory_digests.assign(par.k, 0);
+  // Rank-ordered reductions over the shipped per-rank subtotals — the
+  // exact summation order ThreadedTrainer::train() uses, so totals are
+  // bit-identical across fabrics.
+  for (std::size_t rank = 0; rank < world; ++rank) {
+    const dist::ChildResult& r = results[rank];
+    DT_CHECK_EQ(r.rank, rank);
+    dist::WireCursor c(r.payload);
+    result.raw_events += c.get_u64();
+    result.loss_sum += c.get_f64();
+    result.loss_count += c.get_u64();
+    if (c.get_u32() != 0) {  // hosted a memory group
+      const std::uint32_t g = c.get_u32();
+      DT_CHECK_LT(g, par.k);
+      result.memory_digests[g] = c.get_u64();
+    }
+    if (c.get_u32() != 0) {  // rank 0: final evaluation + weights
+      result.final_val = c.get_f64();
+      result.final_test = c.get_f64();
+      result.weights = c.get_f32s();
+    }
+  }
+  result.events_per_second =
+      static_cast<double>(result.raw_events) / result.wall_seconds;
+  result.traversals = cfg.epochs * split.num_train();
+  result.traversals_per_second =
+      static_cast<double>(result.traversals) / result.wall_seconds;
+  return result;
+}
+
+ThreadedTrainResult train_distributed(const TrainingConfig& cfg,
+                                      const TemporalGraph& graph,
+                                      const Matrix* static_memory) {
+  if (cfg.fabric.kind == FabricKind::kProc)
+    return train_multiprocess(cfg, graph, static_memory);
+  ThreadedTrainer trainer(cfg, graph, static_memory);
+  return trainer.train();
+}
+
+}  // namespace disttgl

@@ -1,0 +1,49 @@
+// Multi-process orchestrator: ThreadedTrainer's training loop, one OS
+// process per rank, over the process fabric (docs/ARCHITECTURE.md "The
+// process fabric").
+//
+// The launcher parent owns every cross-process resource — the ProcComm
+// collective segment, one ShmDaemonChannel segment per memory group,
+// and the rendezvous socket — creates them all before forking, forks
+// `world` children while still single-threaded, then serves rendezvous.
+// Each child connects, constructs its OWN ThreadedTrainer from the
+// shared config (deterministic from cfg.seed, so every process derives
+// the identical schedule, model initialization, and negative streams —
+// nothing model-sized ever crosses the fork), attaches the segments,
+// and drives ThreadedTrainer::run_rank over ProcComm +
+// ShmDaemonChannel. The rank hosting a memory group (group_rank 0, i.e.
+// rank m·i·j) additionally runs the group's ShmDaemonServer thread.
+//
+// Results travel back on the launcher's framed result pipes: every rank
+// ships its per-rank loss/count/event subtotals (summed parent-side in
+// rank order — bit-identical to the threaded fabric's totals), hosts
+// ship their group's memory_digest, and rank 0 ships the final
+// evaluation + replica weights. The cross-fabric equivalence grid
+// (tests/test_equivalence.cpp) compares all of these bit-exactly
+// against ThreadComm runs of the same config.
+//
+// Caveats vs the threaded fabric: wall_seconds includes fork + per-child
+// model construction (so throughput numbers are not comparable across
+// fabrics), and the pipeline attribution fields (batch_build_seconds
+// etc.) stay zero — per-child timing attribution is not shipped back.
+#pragma once
+
+#include "core/threaded_trainer.hpp"
+
+namespace disttgl {
+
+// Forks cfg.parallel.total_trainers() processes and trains over the
+// process fabric. Requires cfg.fabric.kind semantics (machines == 1).
+// Throws FabricError (typed, naming the rank) on any child failure.
+ThreadedTrainResult train_multiprocess(const TrainingConfig& cfg,
+                                       const TemporalGraph& graph,
+                                       const Matrix* static_memory);
+
+// Fabric dispatch: routes to ThreadedTrainer::train() (kThread) or
+// train_multiprocess (kProc). Trainers and tests select the transport
+// with cfg.fabric.kind alone; everything downstream is transport-blind.
+ThreadedTrainResult train_distributed(const TrainingConfig& cfg,
+                                      const TemporalGraph& graph,
+                                      const Matrix* static_memory);
+
+}  // namespace disttgl

@@ -77,8 +77,14 @@ ThreadedTrainer::ThreadedTrainer(const TrainingConfig& cfg,
     states_.emplace_back(graph.num_nodes(), cfg_.model.mem_dim, mail_dim);
 
   comm_ = std::make_unique<dist::ThreadComm>(
-      n, dist::ThreadComm::Options{.chunk_elems = cfg_.comm_chunk_elems});
+      n, dist::Comm::Options{
+             .chunk_elems = cfg_.comm_chunk_elems,
+             .wait = WaitPolicy{.spin_polls = cfg_.fabric.spin_polls}});
   comm_->reserve(models_[0]->num_parameters());
+
+  rank_loss_.assign(n, 0.0);
+  rank_loss_count_.assign(n, 0);
+  rank_events_.assign(n, 0);
 }
 
 // Fused allreduce→step chunk hook: global grad-clip scale from the
@@ -112,12 +118,16 @@ std::pair<std::size_t, std::size_t> ThreadedTrainer::chunk_events(
 }
 
 void ThreadedTrainer::trainer_thread(std::size_t rank) {
+  run_rank(rank, *daemons_[schedule_.trainers[rank].mem_copy], *comm_);
+}
+
+void ThreadedTrainer::run_rank(std::size_t rank, DaemonChannel& daemon,
+                               dist::Comm& comm) {
   const auto& par = cfg_.parallel;
   const TrainerSchedule& ts = schedule_.trainers[rank];
   TGNModel& model = *models_[rank];
   nn::Adam& opt = *optimizers_[rank];
   const std::vector<nn::Parameter*>& params = model.cached_parameters();
-  MemoryDaemon& daemon = *daemons_[ts.mem_copy];
 
   // Prefetch requests: one per version-0 (memory-op) item. Empty chunks
   // yield no request but still take part in the daemon protocol.
@@ -227,10 +237,9 @@ void ThreadedTrainer::trainer_thread(std::size_t rank) {
       // One collective: reduce-scatter mean grads, clip + Adam on the
       // owned chunks only, allgather updated weights.
       opt.begin_step();
-      comm_->allreduce_step(rank, grads, values, &fused_chunk_step,
-                            &fused_ctx);
+      comm.allreduce_step(rank, grads, values, &fused_chunk_step, &fused_ctx);
     } else {
-      comm_->allreduce_mean(rank, grads);
+      comm.allreduce_mean(rank, grads);
       nn::clip_grad_norm(params, cfg_.grad_clip);
       opt.step();
     }
@@ -249,9 +258,9 @@ void ThreadedTrainer::trainer_thread(std::size_t rank) {
 
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
-    loss_sum_ += local_loss;
-    loss_count_ += local_count;
-    raw_events_ += local_events;
+    rank_loss_[rank] = local_loss;
+    rank_loss_count_[rank] = local_count;
+    rank_events_[rank] = local_events;
     batch_build_seconds_ += build_seconds;
     prefetch_wait_seconds_ += wait_seconds;
     compute_seconds_ += compute_seconds;
@@ -278,6 +287,7 @@ ThreadedTrainResult ThreadedTrainer::train() {
     dc.gather_pool = std::thread::hardware_concurrency() > 1
                          ? prefetch_workers_.get()
                          : nullptr;
+    dc.wait = WaitPolicy{.spin_polls = cfg_.fabric.spin_polls};
     daemons_.push_back(std::make_unique<MemoryDaemon>(states_[m], dc));
     daemons_.back()->start();
   }
@@ -293,9 +303,14 @@ ThreadedTrainResult ThreadedTrainer::train() {
   ThreadedTrainResult result;
   result.wall_seconds = timer.seconds();
   result.iterations = schedule_.total_iterations;
-  result.raw_events = raw_events_;
+  // Rank-ordered reductions: independent of thread completion order.
+  for (std::size_t r = 0; r < n; ++r) {
+    result.raw_events += rank_events_[r];
+    result.loss_sum += rank_loss_[r];
+    result.loss_count += rank_loss_count_[r];
+  }
   result.events_per_second =
-      static_cast<double>(raw_events_) / result.wall_seconds;
+      static_cast<double>(result.raw_events) / result.wall_seconds;
   result.traversals = cfg_.epochs * split_.num_train();
   result.traversals_per_second =
       static_cast<double>(result.traversals) / result.wall_seconds;
@@ -306,6 +321,15 @@ ThreadedTrainResult ThreadedTrainer::train() {
   result.mem_write_wait_seconds = mem_write_wait_seconds_;
   result.rank0_timings = rank0_timings_;
 
+  result.memory_digests.reserve(par.k);
+  for (std::size_t m = 0; m < par.k; ++m)
+    result.memory_digests.push_back(memory_digest(states_[m]));
+
+  final_eval_into(result);
+  return result;
+}
+
+void ThreadedTrainer::final_eval_into(ThreadedTrainResult& result) {
   // Final evaluation on memory copy 0 (validation then test, one clone).
   MemoryState clone = states_[0];
   EvalConfig ec;
@@ -320,7 +344,6 @@ ThreadedTrainResult ThreadedTrainer::train() {
                           .metric;
   const std::span<const float> weights = models_[0]->flat_values();
   result.weights.assign(weights.begin(), weights.end());
-  return result;
 }
 
 }  // namespace disttgl

@@ -77,6 +77,16 @@ struct ThreadedTrainResult {
   TimingLog rank0_timings;
 
   std::vector<float> weights;  // final replica-0 weights
+
+  // Training-loss totals, summed over per-rank subtotals in rank order
+  // (deterministic regardless of thread/process completion order — the
+  // cross-fabric equivalence grid compares these bit-exactly).
+  double loss_sum = 0.0;
+  std::size_t loss_count = 0;
+  // memory_digest() of each memory copy at end of training, indexed by
+  // copy. Lets equivalence tests compare final memory state across
+  // address spaces without shipping whole states.
+  std::vector<std::uint64_t> memory_digests;
 };
 
 class ThreadedTrainer {
@@ -88,6 +98,26 @@ class ThreadedTrainer {
 
   const Schedule& schedule() const { return schedule_; }
   const EventSplit& split() const { return split_; }
+
+  // ---- process-fabric hooks (core/proc_trainer.cpp) ----
+  // Runs exactly one rank's training loop over externally provided
+  // transports. train() routes every rank here with the in-process
+  // MemoryDaemon + ThreadComm; a forked rank of the process fabric calls
+  // it directly with its ShmDaemonChannel + ProcComm attachments — the
+  // loop itself is transport-blind.
+  void run_rank(std::size_t rank, DaemonChannel& daemon, dist::Comm& comm);
+  // Final evaluation + weight harvest from replica 0 against memory
+  // copy 0 (valid on the process that hosts copy 0 after training).
+  void final_eval_into(ThreadedTrainResult& result);
+
+  MemoryState& state(std::size_t m) { return states_[m]; }
+  std::size_t num_parameters() const { return models_[0]->num_parameters(); }
+  std::size_t mail_raw_dim() const { return models_[0]->mail_raw_dim(); }
+  double rank_loss(std::size_t r) const { return rank_loss_[r]; }
+  std::size_t rank_loss_count(std::size_t r) const {
+    return rank_loss_count_[r];
+  }
+  std::size_t rank_events(std::size_t r) const { return rank_events_[r]; }
 
  private:
   void trainer_thread(std::size_t rank);
@@ -106,7 +136,7 @@ class ThreadedTrainer {
   std::unique_ptr<MiniBatchBuilder> builder_;
   std::vector<MemoryState> states_;
   std::vector<std::unique_ptr<MemoryDaemon>> daemons_;
-  std::unique_ptr<dist::ThreadComm> comm_;
+  std::unique_ptr<dist::Comm> comm_;
 
   // Pooled pipeline (PipelineMode::kPooled): one worker pool shared by
   // every prefetcher (and by the builder's sample_many fan-out), one
@@ -123,10 +153,13 @@ class ThreadedTrainer {
   std::vector<std::unique_ptr<nn::Adam>> optimizers_;
 
   // Aggregated stats (guarded by stats_mu_; written once per trainer).
+  // Loss/event totals are kept per rank and summed in rank order so the
+  // totals are independent of thread completion order (and comparable
+  // bit-for-bit across fabrics).
   std::mutex stats_mu_;
-  double loss_sum_ = 0.0;
-  std::size_t loss_count_ = 0;
-  std::size_t raw_events_ = 0;
+  std::vector<double> rank_loss_;
+  std::vector<std::size_t> rank_loss_count_;
+  std::vector<std::size_t> rank_events_;
   double batch_build_seconds_ = 0.0;
   double prefetch_wait_seconds_ = 0.0;
   double compute_seconds_ = 0.0;

@@ -8,25 +8,51 @@
 
 namespace disttgl::dist {
 
-ThreadComm::ThreadComm(std::size_t ranks) : ThreadComm(ranks, Options{}) {}
-
-ThreadComm::ThreadComm(std::size_t ranks, Options opts)
-    : ranks_(ranks), opts_(opts), barrier_(ranks) {
+Comm::Comm(std::size_t ranks, Options opts) : ranks_(ranks), opts_(opts) {
   DT_CHECK_GT(ranks, 0u);
-  tokens_.reserve(ranks);
-  for (std::size_t r = 0; r < ranks; ++r) tokens_.emplace_back(barrier_);
-  sizes_.assign(ranks, 0);
 }
 
-std::size_t ThreadComm::chunk_elems_for(std::size_t size) const {
+std::size_t Comm::chunk_elems_for(std::size_t size) const {
   if (size == 0) return 1;
   if (opts_.chunk_elems != 0) return opts_.chunk_elems;
   return (size + ranks_ - 1) / ranks_;
 }
 
-std::size_t ThreadComm::num_chunks_for(std::size_t size) const {
+std::size_t Comm::num_chunks_for(std::size_t size) const {
   const std::size_t c = chunk_elems_for(size);
   return (size + c - 1) / c;
+}
+
+std::uint64_t Comm::ring_bytes(std::size_t size) const {
+  return static_cast<std::uint64_t>(2.0 * (ranks_ - 1) / ranks_ * size *
+                                    sizeof(float) * ranks_);
+}
+
+void Comm::step_single_rank(std::span<float> grads, ChunkStepFn fn,
+                            void* ctx) const {
+  const std::size_t size = grads.size();
+  const std::size_t chunk = chunk_elems_for(size);
+  const std::size_t num_chunks = num_chunks_for(size);
+  double sq = 0.0;
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    const std::size_t lo = c * chunk;
+    const std::size_t hi = std::min(lo + chunk, size);
+    double partial = 0.0;
+    for (std::size_t i = lo; i < hi; ++i)
+      partial += static_cast<double>(grads[i]) * grads[i];
+    sq += partial;
+  }
+  for (std::size_t c = 0; c < num_chunks; ++c)
+    fn(ctx, c * chunk, std::min(c * chunk + chunk, size), sq);
+}
+
+ThreadComm::ThreadComm(std::size_t ranks) : ThreadComm(ranks, Options{}) {}
+
+ThreadComm::ThreadComm(std::size_t ranks, Options opts)
+    : Comm(ranks, opts), barrier_(ranks, opts.wait) {
+  tokens_.reserve(ranks);
+  for (std::size_t r = 0; r < ranks; ++r) tokens_.emplace_back(barrier_);
+  sizes_.assign(ranks, 0);
 }
 
 void ThreadComm::reserve(std::size_t max_elems) {
@@ -58,11 +84,7 @@ void ThreadComm::check_uniform_size(std::size_t rank, std::size_t size) {
 void ThreadComm::account(std::size_t rank, std::size_t size) {
   if (rank != 0) return;
   num_calls_.fetch_add(1, std::memory_order_relaxed);
-  // Ring allreduce volume: each rank sends 2(r−1)/r of the payload.
-  logical_bytes_.fetch_add(
-      static_cast<std::uint64_t>(2.0 * (ranks_ - 1) / ranks_ * size *
-                                 sizeof(float) * ranks_),
-      std::memory_order_relaxed);
+  logical_bytes_.fetch_add(ring_bytes(size), std::memory_order_relaxed);
 }
 
 void ThreadComm::allreduce_mean(std::size_t rank, std::span<float> data) {
@@ -124,20 +146,7 @@ void ThreadComm::allreduce_step(std::size_t rank, std::span<float> grads,
   const std::size_t num_chunks = num_chunks_for(size);
 
   if (ranks_ == 1) {
-    // Degenerate collective: grads are already the mean. Keep the same
-    // chunk-ordered norm summation as the multi-rank path so the norm
-    // (and any clipping decision) is rank-count independent.
-    double sq = 0.0;
-    for (std::size_t c = 0; c < num_chunks; ++c) {
-      const std::size_t lo = c * chunk;
-      const std::size_t hi = std::min(lo + chunk, size);
-      double partial = 0.0;
-      for (std::size_t i = lo; i < hi; ++i)
-        partial += static_cast<double>(grads[i]) * grads[i];
-      sq += partial;
-    }
-    for (std::size_t c = 0; c < num_chunks; ++c)
-      fn(ctx, c * chunk, std::min(c * chunk + chunk, size), sq);
+    step_single_rank(grads, fn, ctx);
     return;
   }
 

@@ -1,24 +1,30 @@
-// Chunked, allocation-free in-process collective for trainer threads.
+// Chunked, allocation-free collective for trainers — the seam between
+// the in-process (thread) and multi-process (shm) transport fabrics.
 //
 // Plays the role NCCL plays in the paper: synchronous gradient averaging
 // across trainers. The payload is partitioned into fixed-size chunks,
 // each owned by one rank; an allreduce is a reduce-scatter (each rank
 // reduces only the chunks it owns, in fixed rank order, so results are
-// bitwise deterministic regardless of thread count or arrival order)
-// followed by an allgather from a shared result buffer. Per-rank work is
-// O(size) — the seed implementation had every rank redundantly reduce
-// the whole payload, O(ranks·size) each, behind a zero-fill of the whole
-// staging area per call. Staging is persistent and sized once
-// (reserve()), so steady-state calls never touch the allocator, and
-// logical traffic is still accounted per the ring algorithm so Table 1's
-// "synchronization across trainers" row can be measured rather than
-// asserted.
+// bitwise deterministic regardless of thread/process count or arrival
+// order) followed by an allgather from a shared result buffer. Per-rank
+// work is O(size), staging is persistent and sized once (reserve()), so
+// steady-state calls never touch the allocator, and logical traffic is
+// accounted per the ring algorithm so Table 1's "synchronization across
+// trainers" row can be measured rather than asserted.
 //
 // allreduce_step() is the optional fused allreduce→optimizer form: after
 // the reduce-scatter each rank steps *its owned chunks* of the model
 // (callback, typically grad-clip + Adam::step_range), and the allgather
 // then distributes updated parameters instead of mean gradients — one
 // collective, no redundant full-model optimizer work per rank.
+//
+// The abstract Comm carries everything transport-independent (chunk
+// partition, ring accounting, the single-rank degenerate step) so
+// ThreadComm (threads + SpinBarrier over process-local vectors) and
+// ProcComm (processes + futex barrier over a POSIX shm segment) are the
+// *same algorithm* over different memory — which is what makes the
+// cross-fabric equivalence grid in tests/test_equivalence.cpp a
+// bit-identical comparison rather than a tolerance test.
 #pragma once
 
 #include <atomic>
@@ -27,6 +33,7 @@
 #include <vector>
 
 #include "util/barrier.hpp"
+#include "util/wait.hpp"
 
 namespace disttgl::dist {
 
@@ -39,7 +46,7 @@ namespace disttgl::dist {
 using ChunkStepFn = void (*)(void* ctx, std::size_t lo, std::size_t hi,
                              double mean_grad_sq_norm);
 
-class ThreadComm {
+class Comm {
  public:
   struct Options {
     // Elements per reduce-scatter chunk; chunk c is owned by rank
@@ -47,51 +54,90 @@ class ThreadComm {
     // Smaller chunks interleave ownership across the payload (useful
     // when per-element cost is skewed); they do not change results.
     std::size_t chunk_elems = 0;
+    // Bounded-spin → park budget for every wait inside the collective.
+    WaitPolicy wait;
   };
 
-  explicit ThreadComm(std::size_t ranks);
-  ThreadComm(std::size_t ranks, Options opts);
+  virtual ~Comm() = default;
 
   std::size_t ranks() const { return ranks_; }
 
   // Pre-sizes the persistent staging buffers for payloads up to
-  // `max_elems`. Call once before the trainer threads start; a call with
-  // a larger payload grows the buffers inside a barrier-protected phase
-  // (allocating), after which steady state is allocation-free again.
-  void reserve(std::size_t max_elems);
-  std::size_t capacity() const { return max_elems_; }
+  // `max_elems`. Call once before the trainers start. ThreadComm can
+  // grow later (barrier-protected, allocating); ProcComm cannot — its
+  // segment is fixed at creation, and an oversize payload is a typed
+  // kCapacity error.
+  virtual void reserve(std::size_t max_elems) = 0;
+  virtual std::size_t capacity() const = 0;
 
   // Replace `data` on every rank with the elementwise mean across ranks.
   // All ranks must call with equally-sized spans. Blocking.
-  void allreduce_mean(std::size_t rank, std::span<float> data);
+  virtual void allreduce_mean(std::size_t rank, std::span<float> data) = 0;
 
   // Fused allreduce→optimizer step. All ranks contribute `grads` and
   // hold identical `params`; the two spans must be the same length on
   // every rank (one flat element per parameter, as in
-  // Module::flat_grads/flat_values). Sequence: reduce-scatter the mean gradient
-  // into each owner's grads[lo, hi) → share per-chunk partial norms →
-  // fn(ctx, lo, hi, global_sq_norm) for every owned chunk (the callback
-  // steps params[lo, hi) from grads[lo, hi)) → allgather params. Every
-  // rank leaves with identical updated params; grads content outside a
-  // rank's owned chunks is its stale local contribution.
-  void allreduce_step(std::size_t rank, std::span<float> grads,
-                      std::span<float> params, ChunkStepFn fn, void* ctx);
+  // Module::flat_grads/flat_values). Sequence: reduce-scatter the mean
+  // gradient into each owner's grads[lo, hi) → share per-chunk partial
+  // norms → fn(ctx, lo, hi, global_sq_norm) for every owned chunk (the
+  // callback steps params[lo, hi) from grads[lo, hi)) → allgather
+  // params. Every rank leaves with identical updated params; grads
+  // content outside a rank's owned chunks is its stale local
+  // contribution.
+  virtual void allreduce_step(std::size_t rank, std::span<float> grads,
+                              std::span<float> params, ChunkStepFn fn,
+                              void* ctx) = 0;
+
+  // Logical bytes a ring allreduce would have moved so far (all calls).
+  virtual std::uint64_t logical_bytes() const = 0;
+  virtual std::uint64_t num_allreduces() const = 0;
 
   // Chunk partition of a payload of `size` elements.
   std::size_t chunk_elems_for(std::size_t size) const;
   std::size_t num_chunks_for(std::size_t size) const;
 
-  // Logical bytes a ring allreduce would have moved so far (all calls).
-  std::uint64_t logical_bytes() const { return logical_bytes_.load(); }
-  std::uint64_t num_allreduces() const { return num_calls_.load(); }
+ protected:
+  Comm(std::size_t ranks, Options opts);
+
+  // Ring allreduce volume for one call: each rank sends 2(r−1)/r of the
+  // payload.
+  std::uint64_t ring_bytes(std::size_t size) const;
+
+  // The ranks == 1 degenerate fused step: grads are already the mean;
+  // keep the same chunk-ordered norm summation as the multi-rank path so
+  // the norm (and any clipping decision) is rank-count independent.
+  void step_single_rank(std::span<float> grads, ChunkStepFn fn,
+                        void* ctx) const;
+
+  std::size_t ranks_;
+  Options opts_;
+};
+
+// In-process transport: trainer threads over process-local staging
+// vectors, synchronized by a SpinBarrier.
+class ThreadComm final : public Comm {
+ public:
+  explicit ThreadComm(std::size_t ranks);
+  ThreadComm(std::size_t ranks, Options opts);
+
+  void reserve(std::size_t max_elems) override;
+  std::size_t capacity() const override { return max_elems_; }
+
+  void allreduce_mean(std::size_t rank, std::span<float> data) override;
+  void allreduce_step(std::size_t rank, std::span<float> grads,
+                      std::span<float> params, ChunkStepFn fn,
+                      void* ctx) override;
+
+  std::uint64_t logical_bytes() const override {
+    return logical_bytes_.load();
+  }
+  std::uint64_t num_allreduces() const override { return num_calls_.load(); }
 
  private:
   void grow_if_needed(std::size_t rank, std::size_t size, BarrierToken& token);
   void check_uniform_size(std::size_t rank, std::size_t size);
   void account(std::size_t rank, std::size_t size);
 
-  std::size_t ranks_;
-  Options opts_;
   SpinBarrier barrier_;
   std::vector<BarrierToken> tokens_;
   // Persistent staging: one contribution row per rank at stride

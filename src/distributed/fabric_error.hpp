@@ -1,0 +1,71 @@
+// Typed errors for the process fabric.
+//
+// Every failure mode a peer process can inflict — dying mid-collective,
+// closing a socket mid-frame, sending garbage, leaving a stale
+// rendezvous socket behind — must surface as a FabricError with a
+// machine-checkable code, never as a hang or a silent partial result.
+// tests/test_fabric_faults.cpp injects each of these and asserts the
+// code; the launcher turns a child's FabricError into an error frame on
+// the result pipe so the parent can report which rank failed and why.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace disttgl::dist {
+
+enum class FabricErrc {
+  kPeerTimeout = 1,  // peer did not arrive/respond within the deadline
+  kPeerClosed,       // EOF mid-protocol (peer died or closed the socket)
+  kAborted,          // a peer flagged the shared session as failed
+  kBadMagic,         // frame does not start with the protocol magic
+  kBadVersion,       // protocol version mismatch
+  kBadChecksum,      // frame payload corrupted in flight
+  kTruncated,        // frame or payload field shorter than declared
+  kOversize,         // declared length exceeds the protocol maximum
+  kRankConflict,     // two peers claimed the same rank at rendezvous
+  kAddrInUse,        // rendezvous socket is owned by a live listener
+  kCapacity,         // payload exceeds the preallocated shm slot
+  kChildFailed,      // a launched rank exited nonzero / was signaled
+  kShmFailure,       // shm_open/ftruncate/mmap failed
+  kSocketFailure,    // socket syscall failed (errno-level)
+};
+
+inline const char* fabric_errc_name(FabricErrc c) {
+  switch (c) {
+    case FabricErrc::kPeerTimeout: return "peer_timeout";
+    case FabricErrc::kPeerClosed: return "peer_closed";
+    case FabricErrc::kAborted: return "aborted";
+    case FabricErrc::kBadMagic: return "bad_magic";
+    case FabricErrc::kBadVersion: return "bad_version";
+    case FabricErrc::kBadChecksum: return "bad_checksum";
+    case FabricErrc::kTruncated: return "truncated";
+    case FabricErrc::kOversize: return "oversize";
+    case FabricErrc::kRankConflict: return "rank_conflict";
+    case FabricErrc::kAddrInUse: return "addr_in_use";
+    case FabricErrc::kCapacity: return "capacity";
+    case FabricErrc::kChildFailed: return "child_failed";
+    case FabricErrc::kShmFailure: return "shm_failure";
+    case FabricErrc::kSocketFailure: return "socket_failure";
+  }
+  return "unknown";
+}
+
+class FabricError : public std::runtime_error {
+ public:
+  FabricError(FabricErrc code, const std::string& what)
+      : std::runtime_error(std::string("fabric[") + fabric_errc_name(code) +
+                           "]: " + what),
+        code_(code) {}
+
+  FabricErrc code() const { return code_; }
+
+ private:
+  FabricErrc code_;
+};
+
+[[noreturn]] inline void throw_fabric(FabricErrc code, const std::string& what) {
+  throw FabricError(code, what);
+}
+
+}  // namespace disttgl::dist

@@ -1,0 +1,229 @@
+#include "distributed/launch.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace disttgl::dist {
+namespace {
+
+// Child side: run the rank function, frame the outcome onto `fd`, and
+// _Exit. Never returns. Catches everything — an exception escaping to a
+// forked child would unwind into gtest/main machinery cloned from the
+// parent and produce duplicate output.
+[[noreturn]] void child_main(std::size_t rank, const ProcGroup::RankFn& fn,
+                             int fd) {
+  const Deadline deadline = deadline_after(std::chrono::milliseconds(30'000));
+  int exit_code = 0;
+  try {
+    const std::vector<std::uint8_t> payload = fn(rank);
+    write_frame(fd, MsgType::kResult, payload, deadline);
+  } catch (const FabricError& e) {
+    WireWriter w;
+    w.put_u32(static_cast<std::uint32_t>(e.code()));
+    w.put_string(e.what());
+    try {
+      write_frame(fd, MsgType::kErrorReport, w.bytes(), deadline);
+    } catch (...) {
+    }
+    exit_code = 2;
+  } catch (const std::exception& e) {
+    WireWriter w;
+    w.put_u32(static_cast<std::uint32_t>(FabricErrc::kChildFailed));
+    w.put_string(e.what());
+    try {
+      write_frame(fd, MsgType::kErrorReport, w.bytes(), deadline);
+    } catch (...) {
+    }
+    exit_code = 3;
+  } catch (...) {
+    exit_code = 4;
+  }
+  ::close(fd);
+  ::_Exit(exit_code);
+}
+
+}  // namespace
+
+ProcGroup ProcGroup::spawn(std::size_t world, const RankFn& fn) {
+  ProcGroup group;
+  group.pids_.reserve(world);
+  group.result_pipes_.reserve(world);
+  // Flush stdio before forking so buffered output is not emitted twice.
+  std::fflush(stdout);
+  std::fflush(stderr);
+  for (std::size_t rank = 0; rank < world; ++rank) {
+    // A socketpair, not a pipe: the framed write path speaks send()
+    // with MSG_NOSIGNAL, which only sockets support.
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, fds) != 0)
+      throw_fabric(FabricErrc::kSocketFailure,
+                   std::string("socketpair: ") + std::strerror(errno));
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      // Kill the ranks we already made; partial worlds only hang.
+      for (pid_t p : group.pids_) ::kill(p, SIGKILL);
+      for (pid_t p : group.pids_) ::waitpid(p, nullptr, 0);
+      throw_fabric(FabricErrc::kChildFailed,
+                   std::string("fork: ") + std::strerror(errno));
+    }
+    if (pid == 0) {
+      ::close(fds[0]);
+      // Drop the read ends of earlier siblings' pipes inherited across
+      // fork — O_CLOEXEC doesn't help without an exec.
+      group.result_pipes_.clear();
+      child_main(rank, fn, fds[1]);  // noreturn
+    }
+    ::close(fds[1]);
+    group.pids_.push_back(pid);
+    group.result_pipes_.emplace_back(fds[0]);
+  }
+  return group;
+}
+
+ProcGroup::~ProcGroup() {
+  if (!reaped_ && !pids_.empty()) {
+    try {
+      wait(std::chrono::milliseconds(5'000));
+    } catch (...) {
+    }
+  }
+}
+
+void ProcGroup::kill_rank(std::size_t rank) {
+  ::kill(pids_.at(rank), SIGKILL);
+}
+
+std::vector<ChildResult> ProcGroup::wait(std::chrono::milliseconds timeout) {
+  const std::size_t world = pids_.size();
+  std::vector<ChildResult> results(world);
+  for (std::size_t r = 0; r < world; ++r) results[r].rank = r;
+  if (reaped_) return results;
+
+  const Deadline deadline = deadline_after(timeout);
+  std::vector<FrameReader> readers(world);
+  std::vector<bool> pipe_done(world, false);
+  std::vector<bool> got_frame(world, false);
+
+  // Drain every pipe until EOF (or deadline). A child's frame may be
+  // followed by EOF in the same poll round; EOF without a frame means
+  // the child died before reporting.
+  std::size_t open_pipes = world;
+  std::uint8_t buf[4096];
+  while (open_pipes > 0 && std::chrono::steady_clock::now() < deadline) {
+    std::vector<pollfd> pfds;
+    std::vector<std::size_t> pfd_rank;
+    for (std::size_t r = 0; r < world; ++r) {
+      if (pipe_done[r]) continue;
+      pfds.push_back({result_pipes_[r].get(), POLLIN, 0});
+      pfd_rank.push_back(r);
+    }
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    const int rc = ::poll(pfds.data(), pfds.size(),
+                          static_cast<int>(std::max<long long>(
+                              0, std::min<long long>(left.count(), 1000))));
+    if (rc < 0 && errno != EINTR)
+      throw_fabric(FabricErrc::kSocketFailure,
+                   std::string("poll: ") + std::strerror(errno));
+    if (rc <= 0) continue;
+    for (std::size_t k = 0; k < pfds.size(); ++k) {
+      if ((pfds[k].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const std::size_t r = pfd_rank[k];
+      const ssize_t n = ::read(pfds[k].fd, buf, sizeof(buf));
+      if (n > 0) {
+        try {
+          readers[r].feed({buf, static_cast<std::size_t>(n)});
+          Frame frame;
+          while (readers[r].poll(frame)) {
+            got_frame[r] = true;
+            if (frame.type == MsgType::kResult) {
+              results[r].ok = true;
+              results[r].payload = std::move(frame.payload);
+            } else if (frame.type == MsgType::kErrorReport) {
+              WireCursor c(frame.payload);
+              results[r].ok = false;
+              results[r].errc = static_cast<FabricErrc>(c.get_u32());
+              results[r].message = c.get_string();
+            }
+          }
+        } catch (const FabricError& e) {
+          // Garbage on the pipe — classify, stop reading this child.
+          got_frame[r] = true;
+          results[r].ok = false;
+          results[r].errc = e.code();
+          results[r].message = e.what();
+          pipe_done[r] = true;
+          --open_pipes;
+        }
+      } else if (n == 0 || (n < 0 && errno != EINTR && errno != EAGAIN)) {
+        pipe_done[r] = true;
+        --open_pipes;
+      }
+    }
+  }
+
+  // SIGKILL anything still holding its pipe open past the deadline.
+  for (std::size_t r = 0; r < world; ++r) {
+    if (!pipe_done[r]) {
+      ::kill(pids_[r], SIGKILL);
+      if (!got_frame[r]) {
+        results[r].ok = false;
+        results[r].errc = FabricErrc::kPeerTimeout;
+        results[r].message = "rank did not report before the launch deadline";
+      }
+    }
+  }
+
+  // Reap. Children whose pipes closed are dead or exiting; the rest
+  // just got SIGKILL — a blocking waitpid is bounded.
+  for (std::size_t r = 0; r < world; ++r) {
+    int status = 0;
+    pid_t rc;
+    do {
+      rc = ::waitpid(pids_[r], &status, 0);
+    } while (rc < 0 && errno == EINTR);
+    if (rc == pids_[r] && !got_frame[r] && !results[r].ok) {
+      if (WIFSIGNALED(status)) {
+        results[r].errc = FabricErrc::kChildFailed;
+        results[r].message =
+            "rank killed by signal " + std::to_string(WTERMSIG(status));
+      } else if (WIFEXITED(status)) {
+        results[r].errc = FabricErrc::kChildFailed;
+        results[r].message =
+            "rank exited " + std::to_string(WEXITSTATUS(status)) +
+            " without reporting";
+      }
+    }
+  }
+  result_pipes_.clear();
+  reaped_ = true;
+  return results;
+}
+
+std::vector<std::vector<std::uint8_t>> disttgl_launch(
+    std::size_t world, const ProcGroup::RankFn& fn,
+    std::chrono::milliseconds timeout) {
+  ProcGroup group = ProcGroup::spawn(world, fn);
+  std::vector<ChildResult> results = group.wait(timeout);
+  for (const ChildResult& r : results) {
+    if (!r.ok)
+      throw_fabric(r.errc, "rank " + std::to_string(r.rank) +
+                               " failed: " + r.message);
+  }
+  std::vector<std::vector<std::uint8_t>> payloads;
+  payloads.reserve(world);
+  for (ChildResult& r : results) payloads.push_back(std::move(r.payload));
+  return payloads;
+}
+
+}  // namespace disttgl::dist

@@ -1,0 +1,82 @@
+// Fork-based rank launcher for the process fabric.
+//
+// ProcGroup::spawn forks `world` children while the parent is still
+// single-threaded (fork in a multithreaded process inherits a snapshot
+// of locked mutexes — we never risk it; the parent starts its
+// rendezvous service only *after* every fork). Each child runs the
+// user's rank function and reports back over a private pipe as a framed
+// message: kResult with the function's serialized return value, or
+// kErrorReport{errc, what} for a FabricError / any other exception.
+// Children leave via _Exit — no atexit handlers, no double-flush of
+// stdio buffers inherited from the parent.
+//
+// wait() is the only reaping path and it cannot hang: it polls the
+// result pipes (EOF = child gone) with a deadline, then waitpid()s;
+// stragglers past the deadline are SIGKILLed and reported as
+// kChildFailed. kill_rank() exists for the fault tests, which murder a
+// rank mid-collective and assert the survivors fail typed-and-fast.
+#pragma once
+
+#include <sys/types.h>
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "distributed/socket.hpp"
+
+namespace disttgl::dist {
+
+struct ChildResult {
+  std::size_t rank = 0;
+  bool ok = false;
+  // Valid when !ok.
+  FabricErrc errc = FabricErrc::kChildFailed;
+  std::string message;
+  // Valid when ok: the rank function's serialized return value.
+  std::vector<std::uint8_t> payload;
+};
+
+class ProcGroup {
+ public:
+  // Runs in the child; the returned bytes travel back on the result
+  // pipe (empty is fine — "done, nothing to say").
+  using RankFn = std::function<std::vector<std::uint8_t>(std::size_t rank)>;
+
+  // Forks one child per rank. Must be called from a single-threaded
+  // process (see header comment).
+  static ProcGroup spawn(std::size_t world, const RankFn& fn);
+
+  ProcGroup(ProcGroup&&) = default;
+  ProcGroup& operator=(ProcGroup&&) = default;
+  ~ProcGroup();
+
+  // Collects every child's result, SIGKILLing any still alive past the
+  // deadline. Idempotent; the destructor calls it with a short deadline
+  // if the caller forgot.
+  std::vector<ChildResult> wait(std::chrono::milliseconds timeout);
+
+  // SIGKILL one rank (fault injection).
+  void kill_rank(std::size_t rank);
+  pid_t pid(std::size_t rank) const { return pids_.at(rank); }
+  std::size_t world() const { return pids_.size(); }
+
+ private:
+  ProcGroup() = default;
+
+  std::vector<pid_t> pids_;
+  std::vector<FdHandle> result_pipes_;  // read ends, one per rank
+  bool reaped_ = false;
+};
+
+// Convenience wrapper: spawn + wait + first-failure-throws. On success
+// returns each rank's payload in rank order. On any child failure,
+// throws a FabricError carrying the failing child's code (or
+// kChildFailed for an unclassified death), naming the rank.
+std::vector<std::vector<std::uint8_t>> disttgl_launch(
+    std::size_t world, const ProcGroup::RankFn& fn,
+    std::chrono::milliseconds timeout);
+
+}  // namespace disttgl::dist

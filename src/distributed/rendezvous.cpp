@@ -1,0 +1,114 @@
+#include "distributed/rendezvous.hpp"
+
+#include <unistd.h>
+
+#include <utility>
+
+namespace disttgl::dist {
+namespace {
+
+// Unlink-on-scope-exit for the rendezvous socket path.
+class PathGuard {
+ public:
+  explicit PathGuard(std::string path) : path_(std::move(path)) {}
+  ~PathGuard() { ::unlink(path_.c_str()); }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_rendezvous_info(const RendezvousInfo& info) {
+  WireWriter w;
+  w.put_u32(info.world);
+  w.put_string(info.session_prefix);
+  w.put_string(info.comm_shm);
+  w.put_u64(info.daemon_shms.size());
+  for (const std::string& s : info.daemon_shms) w.put_string(s);
+  return w.take();
+}
+
+RendezvousInfo decode_rendezvous_info(std::span<const std::uint8_t> payload) {
+  WireCursor c(payload);
+  RendezvousInfo info;
+  info.world = c.get_u32();
+  info.session_prefix = c.get_string();
+  info.comm_shm = c.get_string();
+  const std::uint64_t n = c.get_u64();
+  info.daemon_shms.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i)
+    info.daemon_shms.push_back(c.get_string());
+  return info;
+}
+
+void rendezvous_host(const std::string& socket_path,
+                     const RendezvousInfo& info,
+                     std::chrono::milliseconds timeout) {
+  const Deadline deadline = deadline_after(timeout);
+  FdHandle listener = unix_listen(socket_path, static_cast<int>(info.world));
+  PathGuard guard(socket_path);
+
+  const std::vector<std::uint8_t> welcome = encode_rendezvous_info(info);
+  std::vector<bool> seen(info.world, false);
+  std::uint32_t arrived = 0;
+  while (arrived < info.world) {
+    FdHandle conn = accept_conn(listener.get(), deadline);
+    Frame hello;
+    if (!read_frame(conn.get(), hello, deadline))
+      throw_fabric(FabricErrc::kPeerClosed,
+                   "rank closed the connection before HELLO");
+    if (hello.type != MsgType::kHello)
+      throw_fabric(FabricErrc::kBadMagic,
+                   "expected HELLO, got frame type " +
+                       std::to_string(static_cast<int>(hello.type)));
+    WireCursor c(hello.payload);
+    const std::uint32_t peer_world = c.get_u32();
+    const std::uint32_t rank = c.get_u32();
+    if (peer_world != info.world || rank >= info.world || seen[rank]) {
+      // Tell the offender what went wrong before failing the session —
+      // it is parked in read_frame and would otherwise only see EOF.
+      const std::string msg =
+          seen.size() > rank && seen[rank]
+              ? "rank " + std::to_string(rank) + " already registered"
+              : "bad HELLO: world " + std::to_string(peer_world) + " rank " +
+                    std::to_string(rank) + " vs world " +
+                    std::to_string(info.world);
+      WireWriter err;
+      err.put_u32(static_cast<std::uint32_t>(FabricErrc::kRankConflict));
+      err.put_string(msg);
+      write_frame(conn.get(), MsgType::kErrorReport, err.bytes(), deadline);
+      throw_fabric(FabricErrc::kRankConflict, msg);
+    }
+    seen[rank] = true;
+    ++arrived;
+    write_frame(conn.get(), MsgType::kWelcome, welcome, deadline);
+  }
+}
+
+RendezvousInfo rendezvous_client(const std::string& socket_path,
+                                 std::uint32_t world, std::uint32_t rank,
+                                 std::chrono::milliseconds timeout) {
+  const Deadline deadline = deadline_after(timeout);
+  FdHandle conn = unix_connect(socket_path, deadline);
+  WireWriter hello;
+  hello.put_u32(world);
+  hello.put_u32(rank);
+  write_frame(conn.get(), MsgType::kHello, hello.bytes(), deadline);
+
+  Frame reply;
+  if (!read_frame(conn.get(), reply, deadline))
+    throw_fabric(FabricErrc::kPeerClosed, "host closed before WELCOME");
+  if (reply.type == MsgType::kErrorReport) {
+    WireCursor c(reply.payload);
+    const auto code = static_cast<FabricErrc>(c.get_u32());
+    throw_fabric(code, "rendezvous rejected: " + c.get_string());
+  }
+  if (reply.type != MsgType::kWelcome)
+    throw_fabric(FabricErrc::kBadMagic,
+                 "expected WELCOME, got frame type " +
+                     std::to_string(static_cast<int>(reply.type)));
+  return decode_rendezvous_info(reply.payload);
+}
+
+}  // namespace disttgl::dist

@@ -1,0 +1,50 @@
+// Rank rendezvous over a named UNIX socket.
+//
+// The launcher parent serves; each rank connects, sends
+// HELLO{world, rank}, and receives WELCOME carrying the session's shm
+// names. Rendezvous doubles as the startup barrier: the host does not
+// return until every rank of the world has checked in, so a rank that
+// passes rendezvous knows all its peers exist and all segments are
+// created. Misuse is typed: a duplicate rank claim is kRankConflict
+// (reported to both the host and the offending client), a world-size
+// disagreement is kRankConflict too (same class of operator error), and
+// binding over a live listener is kAddrInUse while a *stale* socket
+// file from a crashed run is silently recovered (probe + unlink —
+// socket.hpp).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "distributed/socket.hpp"
+
+namespace disttgl::dist {
+
+// Everything a rank needs to join the session. Serialized into the
+// WELCOME payload.
+struct RendezvousInfo {
+  std::uint32_t world = 0;
+  std::string session_prefix;             // shm name prefix (leak sweeps)
+  std::string comm_shm;                   // ProcComm segment
+  std::vector<std::string> daemon_shms;   // one per memory group
+};
+
+std::vector<std::uint8_t> encode_rendezvous_info(const RendezvousInfo& info);
+RendezvousInfo decode_rendezvous_info(std::span<const std::uint8_t> payload);
+
+// Host side: binds `socket_path` (recovering stale files), accepts until
+// every rank in [0, info.world) has said HELLO, answers each with
+// WELCOME. Unlinks the socket on return and on error.
+void rendezvous_host(const std::string& socket_path,
+                     const RendezvousInfo& info,
+                     std::chrono::milliseconds timeout);
+
+// Rank side: connects (retrying until the host is up), HELLOs, returns
+// the decoded WELCOME.
+RendezvousInfo rendezvous_client(const std::string& socket_path,
+                                 std::uint32_t world, std::uint32_t rank,
+                                 std::chrono::milliseconds timeout);
+
+}  // namespace disttgl::dist

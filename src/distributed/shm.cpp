@@ -1,0 +1,131 @@
+#include "distributed/shm.hpp"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace disttgl::dist {
+namespace {
+
+[[noreturn]] void throw_shm(const std::string& op, const std::string& name) {
+  throw_fabric(FabricErrc::kShmFailure,
+               op + " " + name + ": " + std::strerror(errno));
+}
+
+std::atomic<std::uint32_t> g_session_counter{0};
+
+}  // namespace
+
+std::string make_session_prefix() {
+  return std::string(kShmPrefix) + std::to_string(::getpid()) + "." +
+         std::to_string(g_session_counter.fetch_add(1));
+}
+
+ShmSegment ShmSegment::create(const std::string& name, std::size_t bytes) {
+  const int fd = ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (fd < 0) throw_shm("shm_open(create)", name);
+  if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    ::close(fd);
+    ::shm_unlink(name.c_str());
+    throw_shm("ftruncate", name);
+  }
+  void* addr =
+      ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);  // mapping keeps the segment alive
+  if (addr == MAP_FAILED) {
+    ::shm_unlink(name.c_str());
+    throw_shm("mmap", name);
+  }
+  ShmSegment seg;
+  seg.addr_ = addr;
+  seg.bytes_ = bytes;
+  seg.name_ = name;
+  seg.owner_ = true;
+  return seg;
+}
+
+ShmSegment ShmSegment::attach(const std::string& name, std::size_t bytes) {
+  const int fd = ::shm_open(name.c_str(), O_RDWR, 0600);
+  if (fd < 0) throw_shm("shm_open(attach)", name);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || static_cast<std::size_t>(st.st_size) < bytes) {
+    ::close(fd);
+    throw_fabric(FabricErrc::kShmFailure,
+                 "attach " + name + ": segment is " +
+                     std::to_string(st.st_size) + " bytes, need " +
+                     std::to_string(bytes));
+  }
+  void* addr =
+      ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (addr == MAP_FAILED) throw_shm("mmap", name);
+  ShmSegment seg;
+  seg.addr_ = addr;
+  seg.bytes_ = bytes;
+  seg.name_ = name;
+  seg.owner_ = false;
+  return seg;
+}
+
+ShmSegment::~ShmSegment() { close(); }
+
+ShmSegment::ShmSegment(ShmSegment&& o) noexcept
+    : addr_(std::exchange(o.addr_, nullptr)),
+      bytes_(std::exchange(o.bytes_, 0)),
+      name_(std::move(o.name_)),
+      owner_(std::exchange(o.owner_, false)) {}
+
+ShmSegment& ShmSegment::operator=(ShmSegment&& o) noexcept {
+  if (this != &o) {
+    close();
+    addr_ = std::exchange(o.addr_, nullptr);
+    bytes_ = std::exchange(o.bytes_, 0);
+    name_ = std::move(o.name_);
+    owner_ = std::exchange(o.owner_, false);
+  }
+  return *this;
+}
+
+void ShmSegment::close() {
+  if (addr_ != nullptr) {
+    ::munmap(addr_, bytes_);
+    addr_ = nullptr;
+  }
+  if (owner_ && !name_.empty()) {
+    ::shm_unlink(name_.c_str());
+    owner_ = false;
+  }
+  name_.clear();
+  bytes_ = 0;
+}
+
+std::vector<std::string> list_shm(const std::string& prefix) {
+  std::vector<std::string> out;
+  // shm names map to /dev/shm entries without the leading '/'.
+  const std::string bare =
+      prefix.empty() || prefix[0] != '/' ? prefix : prefix.substr(1);
+  DIR* dir = ::opendir("/dev/shm");
+  if (dir == nullptr) return out;
+  while (dirent* ent = ::readdir(dir)) {
+    const std::string name(ent->d_name);
+    if (name.rfind(bare, 0) == 0) out.push_back("/" + name);
+  }
+  ::closedir(dir);
+  return out;
+}
+
+std::size_t sweep_shm(const std::string& prefix) {
+  std::size_t removed = 0;
+  for (const std::string& name : list_shm(prefix))
+    if (::shm_unlink(name.c_str()) == 0) ++removed;
+  return removed;
+}
+
+}  // namespace disttgl::dist

@@ -1,0 +1,74 @@
+// POSIX shared-memory segments for the process fabric's data plane.
+//
+// Ownership is deliberately lopsided: the launcher parent *creates*
+// every segment (O_CREAT|O_EXCL, ftruncate, mmap) and is the only
+// process that ever unlinks one; ranks *attach* by name read-only of
+// the lifecycle (mmap only — their destructor just munmaps). One
+// creator/one unlinker means a crashed rank can never leak a segment
+// the parent doesn't know about, and the post-test /dev/shm sweep
+// (tools/sweep_shm.py + the fabric_shm_sweep CTest cleanup fixture)
+// only has to check the session prefix.
+//
+// Names follow "/disttgl.<pid>.<counter>.<role>" so concurrent test
+// runs on one host never collide and a sweep can attribute leftovers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "distributed/fabric_error.hpp"
+
+namespace disttgl::dist {
+
+inline constexpr const char* kShmPrefix = "/disttgl.";
+
+// "/disttgl.<pid>.<counter>" — unique per call within a process.
+std::string make_session_prefix();
+
+class ShmSegment {
+ public:
+  // Parent side: shm_open(O_CREAT|O_EXCL) + ftruncate + mmap, zeroed.
+  static ShmSegment create(const std::string& name, std::size_t bytes);
+  // Child side: shm_open existing + mmap; size must match what the
+  // creator declared (validated via fstat).
+  static ShmSegment attach(const std::string& name, std::size_t bytes);
+
+  ShmSegment() = default;
+  ~ShmSegment();
+  ShmSegment(ShmSegment&& o) noexcept;
+  ShmSegment& operator=(ShmSegment&& o) noexcept;
+  ShmSegment(const ShmSegment&) = delete;
+  ShmSegment& operator=(const ShmSegment&) = delete;
+
+  void* data() const { return addr_; }
+  std::size_t size() const { return bytes_; }
+  const std::string& name() const { return name_; }
+  bool valid() const { return addr_ != nullptr; }
+
+  template <typename T>
+  T* as(std::size_t byte_offset = 0) const {
+    return reinterpret_cast<T*>(static_cast<char*>(addr_) + byte_offset);
+  }
+
+  // Unmap + (owner only) shm_unlink. Safe to call twice.
+  void close();
+
+ private:
+  void* addr_ = nullptr;
+  std::size_t bytes_ = 0;
+  std::string name_;
+  bool owner_ = false;
+};
+
+// Names under /dev/shm matching `prefix` (leading '/' stripped for the
+// directory scan). Used by leak checks.
+std::vector<std::string> list_shm(const std::string& prefix);
+
+// shm_unlinks every segment matching `prefix`; returns how many were
+// removed. The fault tests call this in teardown and *assert zero* —
+// cleanup paths, not the sweep, must reclaim segments.
+std::size_t sweep_shm(const std::string& prefix);
+
+}  // namespace disttgl::dist

@@ -1,0 +1,197 @@
+#include "distributed/socket.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace disttgl::dist {
+namespace {
+
+[[noreturn]] void throw_errno(FabricErrc code, const std::string& op) {
+  throw_fabric(code, op + ": " + std::strerror(errno));
+}
+
+// Remaining milliseconds until `deadline`, clamped for poll(2).
+int poll_timeout_ms(Deadline deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - std::chrono::steady_clock::now());
+  if (left.count() <= 0) return 0;
+  if (left.count() > 60'000) return 60'000;
+  return static_cast<int>(left.count());
+}
+
+// Polls `fd` for `events`; returns true when ready, throws kPeerTimeout
+// past the deadline. EINTR retries.
+bool wait_ready(int fd, short events, Deadline deadline, const char* op) {
+  for (;;) {
+    if (std::chrono::steady_clock::now() >= deadline)
+      throw_fabric(FabricErrc::kPeerTimeout, std::string(op) + ": deadline");
+    pollfd pfd{fd, events, 0};
+    const int rc = poll(&pfd, 1, poll_timeout_ms(deadline));
+    if (rc > 0) return true;
+    if (rc == -1 && errno != EINTR) throw_errno(FabricErrc::kSocketFailure, op);
+  }
+}
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw_fabric(FabricErrc::kSocketFailure,
+                 "socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+FdHandle make_socket() {
+  // SOCK_CLOEXEC so forked ranks don't inherit each other's control fds.
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno(FabricErrc::kSocketFailure, "socket");
+  return FdHandle(fd);
+}
+
+}  // namespace
+
+void FdHandle::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool read_exact(int fd, std::span<std::uint8_t> bytes, Deadline deadline) {
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    wait_ready(fd, POLLIN, deadline, "read");
+    const ssize_t n = ::read(fd, bytes.data() + done, bytes.size() - done);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      if (done == 0) return false;  // orderly EOF — caller decides
+      throw_fabric(FabricErrc::kTruncated,
+                   "peer closed after " + std::to_string(done) + "/" +
+                       std::to_string(bytes.size()) + " bytes");
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    if (errno == ECONNRESET)
+      throw_fabric(FabricErrc::kPeerClosed, "read: connection reset");
+    throw_errno(FabricErrc::kSocketFailure, "read");
+  }
+  return true;
+}
+
+void write_exact(int fd, std::span<const std::uint8_t> bytes,
+                 Deadline deadline) {
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    wait_ready(fd, POLLOUT, deadline, "write");
+    // MSG_NOSIGNAL: a dead peer must yield EPIPE, not a process-killing
+    // SIGPIPE.
+    const ssize_t n = ::send(fd, bytes.data() + done, bytes.size() - done,
+                             MSG_NOSIGNAL);
+    if (n >= 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    if (errno == EPIPE || errno == ECONNRESET)
+      throw_fabric(FabricErrc::kPeerClosed, "write: peer gone");
+    throw_errno(FabricErrc::kSocketFailure, "write");
+  }
+}
+
+bool read_frame(int fd, Frame& out, Deadline deadline) {
+  std::uint8_t header[kWireHeaderBytes];
+  if (!read_exact(fd, header, deadline)) return false;
+  FrameReader reader;
+  reader.feed(header);
+  if (reader.poll(out)) return true;  // empty-payload frame
+  // Header validated (poll would have thrown otherwise); the declared
+  // length is trustworthy now, bounded by kWireMaxPayload.
+  const std::uint32_t len =
+      header[8] | (std::uint32_t{header[9]} << 8) |
+      (std::uint32_t{header[10]} << 16) | (std::uint32_t{header[11]} << 24);
+  std::vector<std::uint8_t> payload(len);
+  if (!read_exact(fd, payload, deadline))
+    throw_fabric(FabricErrc::kTruncated, "peer closed before payload");
+  reader.feed(payload);
+  if (!reader.poll(out))
+    throw_fabric(FabricErrc::kTruncated, "frame incomplete after payload");
+  return true;
+}
+
+void write_frame(int fd, MsgType type, std::span<const std::uint8_t> payload,
+                 Deadline deadline) {
+  std::vector<std::uint8_t> buf;
+  encode_frame(type, payload, buf);
+  write_exact(fd, buf, deadline);
+}
+
+FdHandle unix_listen(const std::string& path, int backlog) {
+  const sockaddr_un addr = make_addr(path);
+  FdHandle fd = make_socket();
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) == 0) {
+    if (::listen(fd.get(), backlog) != 0)
+      throw_errno(FabricErrc::kSocketFailure, "listen");
+    return fd;
+  }
+  if (errno != EADDRINUSE) throw_errno(FabricErrc::kSocketFailure, "bind");
+
+  // The path exists. Probe it: a live listener accepts (or at least
+  // doesn't refuse); a stale file from a crashed run refuses.
+  {
+    FdHandle probe = make_socket();
+    if (::connect(probe.get(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0)
+      throw_fabric(FabricErrc::kAddrInUse,
+                   "live listener already on " + path);
+    if (errno != ECONNREFUSED && errno != ENOENT)
+      throw_fabric(FabricErrc::kAddrInUse,
+                   path + " probe: " + std::strerror(errno));
+  }
+  ::unlink(path.c_str());
+  FdHandle fresh = make_socket();
+  if (::bind(fresh.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0)
+    throw_errno(FabricErrc::kSocketFailure, "rebind after stale unlink");
+  if (::listen(fresh.get(), backlog) != 0)
+    throw_errno(FabricErrc::kSocketFailure, "listen");
+  return fresh;
+}
+
+FdHandle unix_connect(const std::string& path, Deadline deadline) {
+  const sockaddr_un addr = make_addr(path);
+  for (;;) {
+    FdHandle fd = make_socket();
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0)
+      return fd;
+    if (errno != ECONNREFUSED && errno != ENOENT && errno != EINTR &&
+        errno != EAGAIN)
+      throw_errno(FabricErrc::kSocketFailure, "connect " + path);
+    if (std::chrono::steady_clock::now() >= deadline)
+      throw_fabric(FabricErrc::kPeerTimeout, "connect " + path + ": deadline");
+    // Listener not up yet (rendezvous race) — back off briefly.
+    timespec ts{0, 2'000'000};  // 2 ms
+    nanosleep(&ts, nullptr);
+  }
+}
+
+FdHandle accept_conn(int listen_fd, Deadline deadline) {
+  for (;;) {
+    wait_ready(listen_fd, POLLIN, deadline, "accept");
+    const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd >= 0) return FdHandle(fd);
+    if (errno != EINTR && errno != EAGAIN && errno != ECONNABORTED)
+      throw_errno(FabricErrc::kSocketFailure, "accept");
+  }
+}
+
+}  // namespace disttgl::dist

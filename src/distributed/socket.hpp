@@ -1,0 +1,82 @@
+// UNIX-domain socket plumbing for the process fabric's control plane.
+//
+// Everything here is deadline-bounded and EINTR-safe: a peer that dies
+// mid-write must surface as kPeerClosed/kTruncated within the caller's
+// timeout, never as an indefinite block (tests/test_fabric_faults.cpp
+// kills peers mid-protocol and storms blocking reads with signals to
+// prove it). Listener creation handles the stale-socket case — a
+// previous run that crashed leaves its socket file behind; we probe it
+// with connect() and only unlink-and-rebind when the probe confirms no
+// live listener (ECONNREFUSED). A live listener is kAddrInUse.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+
+#include "distributed/wire.hpp"
+
+namespace disttgl::dist {
+
+using Deadline = std::chrono::steady_clock::time_point;
+
+inline Deadline deadline_after(std::chrono::milliseconds ms) {
+  return std::chrono::steady_clock::now() + ms;
+}
+
+// Owning file descriptor (close-on-destroy, move-only).
+class FdHandle {
+ public:
+  FdHandle() = default;
+  explicit FdHandle(int fd) : fd_(fd) {}
+  ~FdHandle() { reset(); }
+  FdHandle(FdHandle&& o) noexcept : fd_(std::exchange(o.fd_, -1)) {}
+  FdHandle& operator=(FdHandle&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = std::exchange(o.fd_, -1);
+    }
+    return *this;
+  }
+  FdHandle(const FdHandle&) = delete;
+  FdHandle& operator=(const FdHandle&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() { return std::exchange(fd_, -1); }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+// Reads exactly `bytes.size()` bytes. EOF after >0 bytes → kTruncated;
+// EOF at a frame boundary is the *caller's* call, so EOF at offset 0
+// returns false instead of throwing. Deadline overrun → kPeerTimeout.
+bool read_exact(int fd, std::span<std::uint8_t> bytes, Deadline deadline);
+
+// Writes all of `bytes`; EPIPE/ECONNRESET → kPeerClosed, deadline
+// overrun → kPeerTimeout.
+void write_exact(int fd, std::span<const std::uint8_t> bytes,
+                 Deadline deadline);
+
+// Frame-level convenience over read_exact/write_exact. read_frame
+// returns false on orderly EOF (connection closed at a frame boundary).
+bool read_frame(int fd, Frame& out, Deadline deadline);
+void write_frame(int fd, MsgType type, std::span<const std::uint8_t> payload,
+                 Deadline deadline);
+
+// Binds + listens on `path`, recovering from a stale socket file. Throws
+// kAddrInUse when a live listener owns the path.
+FdHandle unix_listen(const std::string& path, int backlog);
+
+// Connects to `path`, retrying ECONNREFUSED/ENOENT until the deadline
+// (the listener may not be up yet during rendezvous).
+FdHandle unix_connect(const std::string& path, Deadline deadline);
+
+// Accepts one connection, polling until the deadline.
+FdHandle accept_conn(int listen_fd, Deadline deadline);
+
+}  // namespace disttgl::dist

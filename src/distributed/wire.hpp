@@ -1,0 +1,121 @@
+// Control-plane wire protocol: length-prefixed, checksummed frames.
+//
+// Everything that crosses a fabric socket — rendezvous hellos/welcomes,
+// child results, error reports — is one Frame: a fixed 16-byte header
+// (magic, version, type, payload length, FNV-1a payload checksum)
+// followed by the payload. The decoder is written against an
+// adversarial peer: it validates the declared length *before* reserving
+// memory (a hostile 4 GB length field must cost nothing), verifies the
+// checksum before surfacing the payload, and classifies every failure
+// as a typed FabricError. FrameReader is incremental so arbitrarily
+// split reads — one byte at a time, or half a header then the rest —
+// reassemble identically; tests/test_fabric_wire.cpp fuzzes exactly
+// these properties from a deterministic seed corpus.
+//
+// All integers are little-endian (serialized byte-by-byte, so the
+// encoding is identical on any host). Payload contents are built and
+// parsed with WireWriter / WireCursor, whose reads are bounds-checked
+// (overrun → kTruncated, never UB).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "distributed/fabric_error.hpp"
+
+namespace disttgl::dist {
+
+inline constexpr std::uint32_t kWireMagic = 0x4C475444;  // "DTGL" LE
+inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::size_t kWireHeaderBytes = 16;
+// Upper bound on a payload. Result frames carry model weights (a few MB
+// at paper dims); control messages are tiny. 64 MiB bounds a hostile
+// length field's allocation at something survivable.
+inline constexpr std::size_t kWireMaxPayload = std::size_t{1} << 26;
+
+enum class MsgType : std::uint16_t {
+  kHello = 1,    // rank → rendezvous host: {world, rank}
+  kWelcome = 2,  // host → rank: serialized RendezvousInfo
+  kResult = 3,   // rank 0 → launcher parent: serialized train result
+  kErrorReport = 4,  // any child → parent: {errc, message}
+  kShutdown = 5,     // orderly teardown notice
+};
+
+struct Frame {
+  MsgType type = MsgType::kShutdown;
+  std::vector<std::uint8_t> payload;
+};
+
+// FNV-1a 32-bit over the payload (cheap, order-sensitive; this is a
+// corruption check, not cryptography).
+std::uint32_t wire_checksum(std::span<const std::uint8_t> payload);
+
+// Appends header + payload to `out`.
+void encode_frame(MsgType type, std::span<const std::uint8_t> payload,
+                  std::vector<std::uint8_t>& out);
+
+// Incremental decoder. feed() appends raw bytes; poll() yields the next
+// complete frame, throwing a typed FabricError on malformed input
+// (kBadMagic / kBadVersion / kOversize / kBadChecksum). A reader that
+// has thrown is poisoned and keeps throwing.
+class FrameReader {
+ public:
+  void feed(std::span<const std::uint8_t> bytes);
+  // True and fills `out` when a complete frame is buffered.
+  bool poll(Frame& out);
+  // Bytes buffered toward an incomplete frame (0 ⇔ clean boundary; EOF
+  // here is orderly, EOF elsewhere is kTruncated).
+  std::size_t pending() const { return buffer_.size() - consumed_; }
+
+ private:
+  void compact();
+
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;
+  std::optional<FabricError> poisoned_;
+};
+
+// ---- payload encoding helpers -------------------------------------------
+
+class WireWriter {
+ public:
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_f64(double v);
+  void put_bytes(std::span<const std::uint8_t> bytes);  // u64 length prefix
+  void put_string(const std::string& s);                // u64 length prefix
+  void put_f32s(std::span<const float> v);              // u64 count prefix
+
+  std::span<const std::uint8_t> bytes() const { return data_; }
+  std::vector<std::uint8_t> take() { return std::move(data_); }
+
+ private:
+  std::vector<std::uint8_t> data_;
+};
+
+// Bounds-checked sequential reader over a payload; any overrun throws
+// kTruncated.
+class WireCursor {
+ public:
+  explicit WireCursor(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  double get_f64();
+  std::vector<std::uint8_t> get_bytes();
+  std::string get_string();
+  std::vector<float> get_f32s();
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  void need(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace disttgl::dist

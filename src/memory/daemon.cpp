@@ -4,35 +4,9 @@
 
 namespace disttgl {
 
-namespace {
-
-// Bounded spin before parking. The common case — the daemon is one slot
-// away, or the trainer's compute just finished — resolves within a few
-// thousand polls; only a genuinely descheduled peer (oversubscribed
-// container, long bracket) reaches the futex. Spinning first also keeps
-// the fast path free of syscalls.
-constexpr int kSpinPolls = 1 << 12;
-
-void await_status(std::atomic<int>& status, int value) {
-  for (int p = 0; p < kSpinPolls; ++p) {
-    if (status.load(std::memory_order_acquire) == value) return;
-    if ((p & 0x3f) == 0x3f) std::this_thread::yield();
-  }
-  for (;;) {
-    const int cur = status.load(std::memory_order_acquire);
-    if (cur == value) return;
-    status.wait(cur, std::memory_order_acquire);
-  }
-}
-
-void post_status(std::atomic<int>& status, int value) {
-  status.store(value, std::memory_order_release);
-  // At most one peer ever waits on a given status word (the trainer
-  // waits for 0, the daemon for 1, never simultaneously).
-  status.notify_one();
-}
-
-}  // namespace
+// The bounded-spin → park slot waits live in util/wait.hpp now (shared
+// with the collective barrier and the process fabric); the spin budget
+// arrives through DaemonConfig::wait instead of a hardcoded constant.
 
 MemoryDaemon::MemoryDaemon(MemoryState& state, DaemonConfig config)
     : state_(state), config_(std::move(config)) {
@@ -63,21 +37,21 @@ void MemoryDaemon::read(std::size_t rank, std::span<const NodeId> nodes,
   DT_CHECK_LT(rank, slots_.size());
   Slot& slot = *slots_[rank];
   // The slot must be free (previous request fully served).
-  await_status(slot.read_status, 0);
+  await_status(slot.read_status, 0, config_.wait);
   slot.read_nodes = nodes.data();
   slot.read_count = nodes.size();
   slot.read_out = &out;
   post_status(slot.read_status, 1);
-  await_status(slot.read_status, 0);  // daemon gathered into `out`
+  await_status(slot.read_status, 0, config_.wait);  // gathered into `out`
 }
 
 void MemoryDaemon::write(std::size_t rank, const MemoryWrite& w) {
   DT_CHECK_LT(rank, slots_.size());
   Slot& slot = *slots_[rank];
-  await_status(slot.write_status, 0);
+  await_status(slot.write_status, 0, config_.wait);
   slot.write_req = &w;
   post_status(slot.write_status, 1);
-  await_status(slot.write_status, 0);  // applied
+  await_status(slot.write_status, 0, config_.wait);  // applied
 }
 
 std::vector<std::string> MemoryDaemon::trace() const {
@@ -107,7 +81,7 @@ void MemoryDaemon::run() {
     // ordering requirement; we serve them by rank.
     for (std::size_t r = base; r < base + config_.i; ++r) {
       Slot& slot = *slots_[r];
-      await_status(slot.read_status, 1);
+      await_status(slot.read_status, 1, config_.wait);
       state_.read_into({slot.read_nodes, slot.read_count}, *slot.read_out,
                        config_.gather_pool);
       slot.read_nodes = nullptr;
@@ -118,7 +92,7 @@ void MemoryDaemon::run() {
     }
     for (std::size_t r = base; r < base + config_.i; ++r) {
       Slot& slot = *slots_[r];
-      await_status(slot.write_status, 1);
+      await_status(slot.write_status, 1, config_.wait);
       state_.write(*slot.write_req, config_.gather_pool);
       slot.write_req = nullptr;
       if (trace_enabled_) trace_.push_back(trace_op('W', r));

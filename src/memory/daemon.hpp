@@ -45,7 +45,9 @@
 #include <thread>
 #include <vector>
 
+#include "memory/daemon_channel.hpp"
 #include "memory/memory_state.hpp"
+#include "util/wait.hpp"
 
 namespace disttgl {
 
@@ -59,14 +61,17 @@ struct DaemonConfig {
   // ThreadPool::parallel_for (results stay bit-identical; see
   // MemoryState::read_into). Borrowed; must outlive the daemon.
   ThreadPool* gather_pool = nullptr;
+  // Bounded-spin → park budget for the slot-protocol waits
+  // (TrainingConfig::fabric.spin_polls; 0 = park immediately).
+  WaitPolicy wait;
 };
 
-class MemoryDaemon {
+class MemoryDaemon final : public DaemonChannel {
  public:
   // The daemon borrows `state`; the caller keeps it alive and must not
   // touch it between start() and join().
   MemoryDaemon(MemoryState& state, DaemonConfig config);
-  ~MemoryDaemon();
+  ~MemoryDaemon() override;
 
   MemoryDaemon(const MemoryDaemon&) = delete;
   MemoryDaemon& operator=(const MemoryDaemon&) = delete;
@@ -82,7 +87,8 @@ class MemoryDaemon {
   // gathered the slice directly into `out` (capacity-preserving, zero
   // copies through the slot). `nodes` and `out` are lent to the daemon
   // for the duration of the call only.
-  void read(std::size_t rank, std::span<const NodeId> nodes, MemorySlice& out);
+  void read(std::size_t rank, std::span<const NodeId> nodes,
+            MemorySlice& out) override;
   // Allocating convenience wrapper around the zero-copy read.
   MemorySlice read(std::size_t rank, std::span<const NodeId> nodes) {
     MemorySlice s;
@@ -91,7 +97,7 @@ class MemoryDaemon {
   }
   // Posts a write request and blocks until the daemon has applied it
   // straight from `w` (lent for the duration of the call only).
-  void write(std::size_t rank, const MemoryWrite& w);
+  void write(std::size_t rank, const MemoryWrite& w) override;
 
   // Diagnostics: serialized operation trace "(R|W)<rank>" in service
   // order, captured when trace_enabled (used by tests and Fig 7 dump).

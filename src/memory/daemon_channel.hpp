@@ -1,0 +1,31 @@
+// Trainer-side seam over the memory-daemon slot protocol.
+//
+// A trainer's view of the daemon is exactly two blocking calls: lend a
+// node list + output slice and get it gathered (read), lend a write
+// request and get it applied (write). DaemonChannel abstracts that pair
+// so the trainer loop is transport-blind: MemoryDaemon serves it
+// in-process over pointer slots (zero-copy), ShmDaemonChannel serves it
+// cross-process over shm-offset slots (bounded copies into a shared
+// segment). The (R…R)(W…W) bracket serialization of §3.3 is the
+// server's business on either side; a channel only posts and waits.
+#pragma once
+
+#include <span>
+
+#include "memory/memory_state.hpp"
+
+namespace disttgl {
+
+class DaemonChannel {
+ public:
+  virtual ~DaemonChannel() = default;
+
+  // Blocks until the daemon has gathered `nodes` into `out`
+  // (capacity-preserving). Buffers are lent for the call's duration.
+  virtual void read(std::size_t rank, std::span<const NodeId> nodes,
+                    MemorySlice& out) = 0;
+  // Blocks until the daemon has applied `w`.
+  virtual void write(std::size_t rank, const MemoryWrite& w) = 0;
+};
+
+}  // namespace disttgl

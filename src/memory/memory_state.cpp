@@ -140,4 +140,31 @@ void MemoryState::restore(std::span<const NodeId> nodes, const Matrix& mem,
   }
 }
 
+namespace {
+
+void digest_bytes(std::uint64_t& h, const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;  // FNV-1a 64 prime
+  }
+}
+
+}  // namespace
+
+std::uint64_t memory_digest(const MemoryState& state) {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a 64 offset basis
+  for (NodeId v = 0; v < state.num_nodes(); ++v) {
+    const std::span<const float> mem = state.mem_row(v);
+    const std::span<const float> mail = state.mail_row(v);
+    digest_bytes(h, mem.data(), mem.size() * sizeof(float));
+    digest_bytes(h, mail.data(), mail.size() * sizeof(float));
+    const float ts[2] = {state.last_update(v), state.mail_ts(v)};
+    digest_bytes(h, ts, sizeof(ts));
+    const std::uint8_t flag = state.has_mail(v) ? 1 : 0;
+    digest_bytes(h, &flag, 1);
+  }
+  return h;
+}
+
 }  // namespace disttgl

@@ -193,4 +193,12 @@ class MemoryState {
   std::vector<float, AlignedAllocator<float, 64>> table_;
 };
 
+// Order-sensitive FNV-1a fingerprint of the full state — every node's
+// memory row, mail row, timestamps, and flag, in node order, independent
+// of the table's padding/stride. Two states digest equal iff they are
+// bit-identical field-for-field; the cross-fabric equivalence grid
+// compares digests across process boundaries where the states themselves
+// live in different address spaces.
+std::uint64_t memory_digest(const MemoryState& state);
+
 }  // namespace disttgl

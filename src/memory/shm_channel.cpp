@@ -1,0 +1,375 @@
+#include "memory/shm_channel.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <utility>
+
+#include "distributed/fabric_error.hpp"
+#include "util/check.hpp"
+#include "util/futex.hpp"
+
+namespace disttgl {
+namespace {
+
+using dist::FabricErrc;
+using dist::throw_fabric;
+
+constexpr std::uint32_t kShmDaemonMagic = 0x4D444444u;  // "DDDM"
+
+std::size_t align_up(std::size_t n, std::size_t a) {
+  return (n + a - 1) / a * a;
+}
+
+}  // namespace
+
+struct ShmDaemonHeader {
+  std::uint32_t magic;
+  std::uint32_t slots;
+  std::uint64_t mem_dim;
+  std::uint64_t mail_dim;
+  std::uint64_t max_read_nodes;
+  std::uint64_t max_write_nodes;
+  alignas(64) std::atomic<std::uint32_t> aborted;
+};
+
+static_assert(std::atomic<std::uint32_t>::is_always_lock_free);
+
+namespace {
+
+// Byte offsets of one rank's block, all relative to the block base.
+struct SlotLayout {
+  std::size_t read_status, write_status;
+  std::size_t read_count, write_count;
+  std::size_t read_nodes;
+  std::size_t resp_mem, resp_mem_ts, resp_mail, resp_mail_ts, resp_flags;
+  std::size_t wr_nodes, wr_mem, wr_mem_ts, wr_mail, wr_mail_ts;
+  std::size_t stride;  // total block bytes (64B-aligned)
+};
+
+SlotLayout slot_layout(const ShmDaemonSpec& s) {
+  SlotLayout l{};
+  std::size_t off = 0;
+  // Status words on their own cache line (futex-contended).
+  l.read_status = off;
+  l.write_status = off + sizeof(std::uint32_t);
+  l.read_count = off + 2 * sizeof(std::uint32_t);
+  l.write_count = l.read_count + sizeof(std::uint64_t);
+  off = align_up(l.write_count + sizeof(std::uint64_t), 64);
+  l.read_nodes = off;
+  off = align_up(off + s.max_read_nodes * sizeof(NodeId), 64);
+  l.resp_mem = off;
+  off = align_up(off + s.max_read_nodes * s.mem_dim * sizeof(float), 64);
+  l.resp_mem_ts = off;
+  off = align_up(off + s.max_read_nodes * sizeof(float), 64);
+  l.resp_mail = off;
+  off = align_up(off + s.max_read_nodes * s.mail_dim * sizeof(float), 64);
+  l.resp_mail_ts = off;
+  off = align_up(off + s.max_read_nodes * sizeof(float), 64);
+  l.resp_flags = off;
+  off = align_up(off + s.max_read_nodes * sizeof(std::uint8_t), 64);
+  l.wr_nodes = off;
+  off = align_up(off + s.max_write_nodes * sizeof(NodeId), 64);
+  l.wr_mem = off;
+  off = align_up(off + s.max_write_nodes * s.mem_dim * sizeof(float), 64);
+  l.wr_mem_ts = off;
+  off = align_up(off + s.max_write_nodes * sizeof(float), 64);
+  l.wr_mail = off;
+  off = align_up(off + s.max_write_nodes * s.mail_dim * sizeof(float), 64);
+  l.wr_mail_ts = off;
+  off = align_up(off + s.max_write_nodes * sizeof(float), 64);
+  l.stride = off;
+  return l;
+}
+
+// Deadline-bounded shared-futex wait for `word == want`. Checks the
+// abort flag every slice; on deadline expiry poisons the session itself
+// and throws kPeerTimeout so peers collapse fast instead of serially
+// timing out.
+void shm_await(std::atomic<std::uint32_t>& word, std::uint32_t want,
+               const WaitPolicy& policy, std::atomic<std::uint32_t>& aborted,
+               std::chrono::milliseconds timeout, const char* what) {
+  for (std::uint32_t p = 0; p < policy.spin_polls; ++p) {
+    if (word.load(std::memory_order_acquire) == want) return;
+    if ((p & 0x3f) == 0x3f) std::this_thread::yield();
+  }
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    const std::uint32_t cur = word.load(std::memory_order_acquire);
+    if (cur == want) return;
+    if (aborted.load(std::memory_order_acquire) != 0)
+      throw_fabric(FabricErrc::kAborted,
+                   std::string(what) + ": channel poisoned");
+    const auto left = deadline - std::chrono::steady_clock::now();
+    if (left.count() <= 0) {
+      aborted.store(1, std::memory_order_release);
+      futex_wake_all_shared(&word);
+      throw_fabric(FabricErrc::kPeerTimeout,
+                   std::string(what) + ": peer absent after " +
+                       std::to_string(timeout.count()) + " ms");
+    }
+    futex_wait_shared(
+        &word, cur,
+        std::min(std::chrono::duration_cast<std::chrono::nanoseconds>(left),
+                 std::chrono::nanoseconds(100'000'000)));
+  }
+}
+
+void shm_post(std::atomic<std::uint32_t>& word, std::uint32_t value) {
+  word.store(value, std::memory_order_release);
+  futex_wake_all_shared(&word);
+}
+
+}  // namespace
+
+// Typed pointers into one rank's block (recomputed per call — cheap,
+// and keeps the channel trivially copyable across fork boundaries).
+struct ShmDaemonChannel::SlotView {
+  std::atomic<std::uint32_t>* read_status;
+  std::atomic<std::uint32_t>* write_status;
+  std::uint64_t* read_count;
+  std::uint64_t* write_count;
+  NodeId* read_nodes;
+  float* resp_mem;
+  float* resp_mem_ts;
+  float* resp_mail;
+  float* resp_mail_ts;
+  std::uint8_t* resp_flags;
+  NodeId* wr_nodes;
+  float* wr_mem;
+  float* wr_mem_ts;
+  float* wr_mail;
+  float* wr_mail_ts;
+};
+
+std::size_t ShmDaemonChannel::segment_bytes(const ShmDaemonSpec& spec) {
+  return align_up(sizeof(ShmDaemonHeader), 64) +
+         spec.slots * slot_layout(spec).stride;
+}
+
+ShmSegment ShmDaemonChannel::create_segment(const std::string& name,
+                                            const ShmDaemonSpec& spec) {
+  DT_CHECK_GT(spec.slots, 0u);
+  ShmSegment seg = ShmSegment::create(name, segment_bytes(spec));
+  auto* hdr = seg.as<ShmDaemonHeader>();
+  hdr->slots = static_cast<std::uint32_t>(spec.slots);
+  hdr->mem_dim = spec.mem_dim;
+  hdr->mail_dim = spec.mail_dim;
+  hdr->max_read_nodes = spec.max_read_nodes;
+  hdr->max_write_nodes = spec.max_write_nodes;
+  hdr->aborted.store(0, std::memory_order_relaxed);
+  hdr->magic = kShmDaemonMagic;
+  return seg;
+}
+
+ShmDaemonChannel ShmDaemonChannel::attach(const std::string& name,
+                                          WaitPolicy wait,
+                                          std::chrono::milliseconds timeout) {
+  ShmDaemonSpec spec;
+  {
+    ShmSegment peek = ShmSegment::attach(name, sizeof(ShmDaemonHeader));
+    const auto* hdr = peek.as<ShmDaemonHeader>();
+    if (hdr->magic != kShmDaemonMagic)
+      throw_fabric(FabricErrc::kBadMagic,
+                   "shm " + name + " is not a daemon-channel segment");
+    spec.slots = hdr->slots;
+    spec.mem_dim = hdr->mem_dim;
+    spec.mail_dim = hdr->mail_dim;
+    spec.max_read_nodes = hdr->max_read_nodes;
+    spec.max_write_nodes = hdr->max_write_nodes;
+  }
+  ShmSegment seg = ShmSegment::attach(name, segment_bytes(spec));
+  return ShmDaemonChannel(std::move(seg), wait, timeout);
+}
+
+ShmDaemonChannel::ShmDaemonChannel(ShmSegment segment, WaitPolicy wait,
+                                   std::chrono::milliseconds timeout)
+    : segment_(std::move(segment)), wait_(wait), timeout_(timeout) {
+  const auto* hdr = segment_.as<ShmDaemonHeader>();
+  spec_.slots = hdr->slots;
+  spec_.mem_dim = hdr->mem_dim;
+  spec_.mail_dim = hdr->mail_dim;
+  spec_.max_read_nodes = hdr->max_read_nodes;
+  spec_.max_write_nodes = hdr->max_write_nodes;
+}
+
+ShmDaemonChannel::SlotView ShmDaemonChannel::slot(std::size_t rank) const {
+  DT_CHECK_LT(rank, spec_.slots);
+  const SlotLayout l = slot_layout(spec_);
+  const std::size_t base =
+      align_up(sizeof(ShmDaemonHeader), 64) + rank * l.stride;
+  SlotView v{};
+  v.read_status = segment_.as<std::atomic<std::uint32_t>>(base + l.read_status);
+  v.write_status =
+      segment_.as<std::atomic<std::uint32_t>>(base + l.write_status);
+  v.read_count = segment_.as<std::uint64_t>(base + l.read_count);
+  v.write_count = segment_.as<std::uint64_t>(base + l.write_count);
+  v.read_nodes = segment_.as<NodeId>(base + l.read_nodes);
+  v.resp_mem = segment_.as<float>(base + l.resp_mem);
+  v.resp_mem_ts = segment_.as<float>(base + l.resp_mem_ts);
+  v.resp_mail = segment_.as<float>(base + l.resp_mail);
+  v.resp_mail_ts = segment_.as<float>(base + l.resp_mail_ts);
+  v.resp_flags = segment_.as<std::uint8_t>(base + l.resp_flags);
+  v.wr_nodes = segment_.as<NodeId>(base + l.wr_nodes);
+  v.wr_mem = segment_.as<float>(base + l.wr_mem);
+  v.wr_mem_ts = segment_.as<float>(base + l.wr_mem_ts);
+  v.wr_mail = segment_.as<float>(base + l.wr_mail);
+  v.wr_mail_ts = segment_.as<float>(base + l.wr_mail_ts);
+  return v;
+}
+
+void ShmDaemonChannel::abort_session() {
+  segment_.as<ShmDaemonHeader>()->aborted.store(1, std::memory_order_release);
+  // Wake every parked waiter so the poison is seen now, not at the next
+  // 100 ms slice boundary.
+  for (std::size_t r = 0; r < spec_.slots; ++r) {
+    SlotView v = slot(r);
+    futex_wake_all_shared(v.read_status);
+    futex_wake_all_shared(v.write_status);
+  }
+}
+
+bool ShmDaemonChannel::aborted() const {
+  return segment_.as<ShmDaemonHeader>()->aborted.load(
+             std::memory_order_acquire) != 0;
+}
+
+void ShmDaemonChannel::read(std::size_t rank, std::span<const NodeId> nodes,
+                            MemorySlice& out) {
+  const std::size_t n = nodes.size();
+  if (n > spec_.max_read_nodes)
+    throw_fabric(FabricErrc::kCapacity,
+                 "read of " + std::to_string(n) + " nodes exceeds slot cap " +
+                     std::to_string(spec_.max_read_nodes));
+  SlotView v = slot(rank);
+  auto& aborted = segment_.as<ShmDaemonHeader>()->aborted;
+  shm_await(*v.read_status, 0, wait_, aborted, timeout_, "read slot free");
+  *v.read_count = n;
+  if (n > 0) std::memcpy(v.read_nodes, nodes.data(), n * sizeof(NodeId));
+  shm_post(*v.read_status, 1);
+  shm_await(*v.read_status, 0, wait_, aborted, timeout_, "read served");
+
+  // Unpack the response (capacity-preserving, like read_into).
+  out.mem.reset_shape(n, spec_.mem_dim);
+  out.mem_ts.resize(n);
+  out.mail.reset_shape(n, spec_.mail_dim);
+  out.mail_ts.resize(n);
+  out.has_mail.resize(n);
+  if (n > 0) {
+    std::memcpy(out.mem.data(), v.resp_mem, n * spec_.mem_dim * sizeof(float));
+    std::memcpy(out.mem_ts.data(), v.resp_mem_ts, n * sizeof(float));
+    std::memcpy(out.mail.data(), v.resp_mail,
+                n * spec_.mail_dim * sizeof(float));
+    std::memcpy(out.mail_ts.data(), v.resp_mail_ts, n * sizeof(float));
+    std::memcpy(out.has_mail.data(), v.resp_flags, n * sizeof(std::uint8_t));
+  }
+}
+
+void ShmDaemonChannel::write(std::size_t rank, const MemoryWrite& w) {
+  const std::size_t n = w.size();
+  if (n > spec_.max_write_nodes)
+    throw_fabric(FabricErrc::kCapacity,
+                 "write of " + std::to_string(n) + " nodes exceeds slot cap " +
+                     std::to_string(spec_.max_write_nodes));
+  SlotView v = slot(rank);
+  auto& aborted = segment_.as<ShmDaemonHeader>()->aborted;
+  shm_await(*v.write_status, 0, wait_, aborted, timeout_, "write slot free");
+  *v.write_count = n;
+  if (n > 0) {
+    std::memcpy(v.wr_nodes, w.nodes.data(), n * sizeof(NodeId));
+    std::memcpy(v.wr_mem, w.mem.data(), n * spec_.mem_dim * sizeof(float));
+    std::memcpy(v.wr_mem_ts, w.mem_ts.data(), n * sizeof(float));
+    std::memcpy(v.wr_mail, w.mail.data(), n * spec_.mail_dim * sizeof(float));
+    std::memcpy(v.wr_mail_ts, w.mail_ts.data(), n * sizeof(float));
+  }
+  shm_post(*v.write_status, 1);
+  shm_await(*v.write_status, 0, wait_, aborted, timeout_, "write applied");
+}
+
+// ---- ShmDaemonServer -----------------------------------------------------
+
+ShmDaemonServer::ShmDaemonServer(MemoryState& state, DaemonConfig config,
+                                 ShmDaemonChannel& channel)
+    : state_(state), config_(std::move(config)), channel_(channel) {
+  DT_CHECK_GT(config_.i, 0u);
+  DT_CHECK_GT(config_.j, 0u);
+  DT_CHECK_EQ(config_.i * config_.j, channel_.spec().slots);
+}
+
+ShmDaemonServer::~ShmDaemonServer() {
+  if (started_ && thread_.joinable()) thread_.join();
+}
+
+void ShmDaemonServer::start() {
+  DT_CHECK(!started_);
+  started_ = true;
+  thread_ = std::thread([this] {
+    try {
+      run();
+    } catch (...) {
+      failure_ = std::current_exception();
+      // Clients of this group must not wait out their own timeouts.
+      channel_.abort_session();
+    }
+  });
+}
+
+void ShmDaemonServer::join() {
+  DT_CHECK(started_);
+  if (thread_.joinable()) thread_.join();
+  if (failure_) std::rethrow_exception(std::exchange(failure_, nullptr));
+}
+
+void ShmDaemonServer::run() {
+  auto& aborted = channel_.segment_.as<ShmDaemonHeader>()->aborted;
+  const ShmDaemonSpec& spec = channel_.spec();
+  const std::size_t rounds = config_.reset_before_round.size();
+  for (std::size_t round = 0; round < rounds; ++round) {
+    if (config_.reset_before_round[round] != 0) state_.reset();
+    const std::size_t sub = round % config_.j;
+    const std::size_t base = sub * config_.i;
+    // Same (R..R)(W..W) bracket as MemoryDaemon::run, rank order within
+    // the bracket.
+    for (std::size_t r = base; r < base + config_.i; ++r) {
+      ShmDaemonChannel::SlotView v = channel_.slot(r);
+      shm_await(*v.read_status, 1, config_.wait, aborted,
+                channel_.timeout_, "serve read");
+      const std::size_t n = *v.read_count;
+      read_nodes_.assign(v.read_nodes, v.read_nodes + n);
+      state_.read_into(read_nodes_, slice_, config_.gather_pool);
+      if (n > 0) {
+        std::memcpy(v.resp_mem, slice_.mem.data(),
+                    n * spec.mem_dim * sizeof(float));
+        std::memcpy(v.resp_mem_ts, slice_.mem_ts.data(), n * sizeof(float));
+        std::memcpy(v.resp_mail, slice_.mail.data(),
+                    n * spec.mail_dim * sizeof(float));
+        std::memcpy(v.resp_mail_ts, slice_.mail_ts.data(), n * sizeof(float));
+        std::memcpy(v.resp_flags, slice_.has_mail.data(),
+                    n * sizeof(std::uint8_t));
+      }
+      shm_post(*v.read_status, 0);
+    }
+    for (std::size_t r = base; r < base + config_.i; ++r) {
+      ShmDaemonChannel::SlotView v = channel_.slot(r);
+      shm_await(*v.write_status, 1, config_.wait, aborted,
+                channel_.timeout_, "serve write");
+      const std::size_t n = *v.write_count;
+      write_.nodes.assign(v.wr_nodes, v.wr_nodes + n);
+      write_.mem.reset_shape(n, spec.mem_dim);
+      write_.mem_ts.resize(n);
+      write_.mail.reset_shape(n, spec.mail_dim);
+      write_.mail_ts.resize(n);
+      if (n > 0) {
+        std::memcpy(write_.mem.data(), v.wr_mem,
+                    n * spec.mem_dim * sizeof(float));
+        std::memcpy(write_.mem_ts.data(), v.wr_mem_ts, n * sizeof(float));
+        std::memcpy(write_.mail.data(), v.wr_mail,
+                    n * spec.mail_dim * sizeof(float));
+        std::memcpy(write_.mail_ts.data(), v.wr_mail_ts, n * sizeof(float));
+      }
+      state_.write(write_, config_.gather_pool);
+      shm_post(*v.write_status, 0);
+    }
+  }
+}
+
+}  // namespace disttgl

@@ -1,0 +1,126 @@
+// Cross-process memory-daemon transport: the §3.3 slot protocol with
+// shm-offset slots instead of pointer slots.
+//
+// In-process, a slot lends raw pointers into trainer buffers and the
+// daemon gathers straight into them (daemon.hpp). Pointers don't cross
+// address spaces, so the shm channel gives each trainer rank a
+// fixed-capacity request/response block inside one POSIX segment per
+// memory group:
+//
+//   ShmDaemonHeader                  geometry + abort flag
+//   per rank (i×j blocks, 64B-aligned fields):
+//     read_status / write_status     futex words (0 free, 1 posted)
+//     read req   nodes[max_r]        node list, count
+//     read resp  mem[max_r×dim] mem_ts[max_r] mail[max_r×mdim]
+//                mail_ts[max_r] has_mail[max_r]
+//     write req  nodes[max_w] mem mem_ts mail mail_ts
+//
+// The handshake is the same two transitions as in-process — post 1,
+// await 0 — but over the *shared* futex variant, and every wait is
+// deadline-bounded with an abort word for poisoning, so a dead peer
+// process is a typed FabricError, not a hang. Capacities are fixed at
+// segment creation (cross-process buffers can't grow); an oversized
+// request is kCapacity before anything is copied.
+//
+// ShmDaemonServer is the host-rank analogue of MemoryDaemon::run(): the
+// same (R…R)(W…W) bracket loop and reset schedule, serving from the shm
+// slots through persistent scratch buffers (steady-state
+// allocation-free once the scratch reaches its high-water shape —
+// tests/test_fabric_alloc.cpp pins this).
+//
+// Lifecycle follows the fabric convention: the launcher parent creates
+// segments (create_segment) and unlinks them; host/client ranks only
+// attach.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "distributed/shm.hpp"
+#include "memory/daemon.hpp"
+#include "memory/daemon_channel.hpp"
+
+namespace disttgl {
+
+using dist::ShmSegment;
+
+struct ShmDaemonSpec {
+  std::size_t slots = 1;  // i*j trainer ranks in the group
+  std::size_t mem_dim = 0;
+  std::size_t mail_dim = 0;
+  std::size_t max_read_nodes = 0;
+  std::size_t max_write_nodes = 0;
+};
+
+class ShmDaemonChannel final : public DaemonChannel {
+ public:
+  static std::size_t segment_bytes(const ShmDaemonSpec& spec);
+  // Parent side: create + initialize. The returned segment owns the shm
+  // name (unlink on destruction); keep it alive for the session.
+  static ShmSegment create_segment(const std::string& name,
+                                   const ShmDaemonSpec& spec);
+  // Rank side: attach and validate the header.
+  static ShmDaemonChannel attach(const std::string& name, WaitPolicy wait,
+                                 std::chrono::milliseconds timeout);
+
+  void read(std::size_t rank, std::span<const NodeId> nodes,
+            MemorySlice& out) override;
+  void write(std::size_t rank, const MemoryWrite& w) override;
+
+  // Poison the channel: all current and future waits throw kAborted.
+  void abort_session();
+  bool aborted() const;
+
+  const ShmDaemonSpec& spec() const { return spec_; }
+
+ private:
+  friend class ShmDaemonServer;
+  ShmDaemonChannel(ShmSegment segment, WaitPolicy wait,
+                   std::chrono::milliseconds timeout);
+
+  struct SlotView;
+  SlotView slot(std::size_t rank) const;
+
+  ShmSegment segment_;
+  ShmDaemonSpec spec_;
+  WaitPolicy wait_;
+  std::chrono::milliseconds timeout_;
+};
+
+// Host-rank server thread: owns the bracket serialization over the shm
+// slots, applying reads/writes to the borrowed MemoryState exactly as
+// MemoryDaemon does in-process.
+class ShmDaemonServer {
+ public:
+  // `state` is borrowed (caller must not touch it between start() and
+  // join()); `channel` is the host's attached channel for this group's
+  // segment (borrowed; server uses its slot views and abort flag).
+  ShmDaemonServer(MemoryState& state, DaemonConfig config,
+                  ShmDaemonChannel& channel);
+  ~ShmDaemonServer();
+
+  ShmDaemonServer(const ShmDaemonServer&) = delete;
+  ShmDaemonServer& operator=(const ShmDaemonServer&) = delete;
+
+  void start();
+  // Joins the server thread; rethrows any FabricError it died with
+  // (after poisoning the channel so clients failed fast too).
+  void join();
+
+ private:
+  void run();
+
+  MemoryState& state_;
+  DaemonConfig config_;
+  ShmDaemonChannel& channel_;
+  std::thread thread_;
+  bool started_ = false;
+  std::exception_ptr failure_;
+  // Persistent scratch (capacity-preserving across rounds).
+  MemorySlice slice_;
+  MemoryWrite write_;
+  std::vector<NodeId> read_nodes_;
+};
+
+}  // namespace disttgl

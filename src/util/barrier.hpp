@@ -1,22 +1,30 @@
-// Sense-reversing spin barrier for trainer-thread synchronization.
+// Sense-reversing barrier for trainer-thread synchronization.
 //
 // The threaded orchestrator synchronizes a handful of trainer threads per
 // iteration (gradient allreduce, schedule phase boundaries). A
 // sense-reversing barrier avoids the two-phase latch dance of
 // std::barrier while staying trivially correct: each arrival flips a
 // thread-local sense and the last arrival releases the epoch.
+//
+// Waiting follows the shared bounded-spin → park policy (util/wait.hpp):
+// a thread whose peers are one step away resolves in the spin stage; one
+// descheduled for a while parks on the sense word instead of burning a
+// core. The spin budget comes from WaitPolicy so the fabric benches can
+// sweep it and spin_polls = 0 (pure park) is a tested configuration.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <thread>
 
+#include "util/wait.hpp"
+
 namespace disttgl {
 
 class SpinBarrier {
  public:
-  explicit SpinBarrier(std::size_t parties)
-      : parties_(parties), remaining_(parties), sense_(false) {}
+  explicit SpinBarrier(std::size_t parties, WaitPolicy policy = {})
+      : parties_(parties), policy_(policy), remaining_(parties), sense_(false) {}
 
   // Blocks until all `parties` threads have arrived. Safe for repeated
   // use; threads must each pass their own `local_sense` initialized to
@@ -26,10 +34,14 @@ class SpinBarrier {
     if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       remaining_.store(parties_, std::memory_order_relaxed);
       sense_.store(local_sense, std::memory_order_release);
+      sense_.notify_all();
     } else {
-      while (sense_.load(std::memory_order_acquire) != local_sense) {
-        std::this_thread::yield();
+      for (std::uint32_t p = 0; p < policy_.spin_polls; ++p) {
+        if (sense_.load(std::memory_order_acquire) == local_sense) return;
+        if ((p & 0x3f) == 0x3f) std::this_thread::yield();
       }
+      while (sense_.load(std::memory_order_acquire) != local_sense)
+        sense_.wait(!local_sense, std::memory_order_acquire);
     }
   }
 
@@ -37,6 +49,7 @@ class SpinBarrier {
 
  private:
   const std::size_t parties_;
+  const WaitPolicy policy_;
   std::atomic<std::size_t> remaining_;
   std::atomic<bool> sense_;
 };

@@ -1,0 +1,67 @@
+// Cross-process futex wait/wake on 32-bit words in shared memory.
+//
+// std::atomic::wait would be the natural fit, but libstdc++ may route
+// small atomics through a per-process proxy table, which silently
+// degrades to "never woken" when the waiter and the waker live in
+// different processes. The process fabric therefore parks on the raw
+// futex syscall (FUTEX_WAIT/FUTEX_WAKE *without* FUTEX_PRIVATE_FLAG —
+// the shared variant) against words placed directly in the shm
+// segment. Non-Linux builds fall back to a yield loop; the fabric is
+// Linux-first (the paper's testbed and every CI job run Linux).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <ctime>
+#else
+#include <thread>
+#endif
+
+namespace disttgl {
+
+// Parks until *word != expected, a wake arrives, or `timeout` elapses.
+// Spurious returns are fine (callers re-check the predicate); returns
+// false only when the timeout expired with the value still unchanged.
+inline bool futex_wait_shared(const std::atomic<std::uint32_t>* word,
+                              std::uint32_t expected,
+                              std::chrono::nanoseconds timeout) {
+#if defined(__linux__)
+  timespec ts;
+  ts.tv_sec = static_cast<time_t>(timeout.count() / 1000000000);
+  ts.tv_nsec = static_cast<long>(timeout.count() % 1000000000);
+  const long rc =
+      syscall(SYS_futex, reinterpret_cast<const std::uint32_t*>(word),
+              FUTEX_WAIT, expected, &ts, nullptr, 0);
+  if (rc == -1 && errno == ETIMEDOUT &&
+      word->load(std::memory_order_acquire) == expected)
+    return false;
+  return true;  // woken, value changed (EAGAIN), or EINTR — caller re-checks
+#else
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (word->load(std::memory_order_acquire) == expected) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::yield();
+  }
+  return true;
+#endif
+}
+
+// Wakes every process parked on `word`.
+inline void futex_wake_all_shared(const std::atomic<std::uint32_t>* word) {
+#if defined(__linux__)
+  syscall(SYS_futex, reinterpret_cast<const std::uint32_t*>(word), FUTEX_WAKE,
+          INT32_MAX, nullptr, nullptr, 0);
+#else
+  (void)word;
+#endif
+}
+
+}  // namespace disttgl

@@ -1,0 +1,53 @@
+// Shared bounded-spin → park wait policy.
+//
+// Every busy-wait in the system — the daemon slot protocol, the
+// gradient-sync barrier, and the process fabric's shm handshakes — uses
+// the same two-stage discipline: poll for a bounded number of
+// iterations (the peer is usually one step away), then park on a futex
+// so a descheduled peer does not cost a burning core. PRs 4–5 hardcoded
+// the spin budget per call site; it is now one knob
+// (`TrainingConfig::fabric.spin_polls`, 0 = park immediately) threaded
+// through DaemonConfig, ThreadComm::Options and the fabric, so the
+// fabric benches can sweep it and the pure-park regression tests can
+// pin the threshold-free path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace disttgl {
+
+struct WaitPolicy {
+  // Polls before parking. The common case — the peer is one protocol
+  // step away — resolves within a few thousand polls; only a genuinely
+  // descheduled peer (oversubscribed host, long bracket) reaches the
+  // futex. 0 parks immediately (pure-park mode).
+  std::uint32_t spin_polls = 4096;
+};
+
+// Blocks until `status` holds `value`. Spin stage yields every 64 polls;
+// park stage uses std::atomic::wait (in-process futex).
+inline void await_status(std::atomic<int>& status, int value,
+                         const WaitPolicy& policy = {}) {
+  for (std::uint32_t p = 0; p < policy.spin_polls; ++p) {
+    if (status.load(std::memory_order_acquire) == value) return;
+    if ((p & 0x3f) == 0x3f) std::this_thread::yield();
+  }
+  for (;;) {
+    const int cur = status.load(std::memory_order_acquire);
+    if (cur == value) return;
+    status.wait(cur, std::memory_order_acquire);
+  }
+}
+
+// Publishes `value` and wakes the (single) waiter. At most one peer ever
+// waits on a given status word in the slot protocols (the trainer waits
+// for 0, the daemon for 1, never simultaneously), so notify_one
+// suffices.
+inline void post_status(std::atomic<int>& status, int value) {
+  status.store(value, std::memory_order_release);
+  status.notify_one();
+}
+
+}  // namespace disttgl

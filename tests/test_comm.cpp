@@ -158,6 +158,34 @@ TEST(ThreadCommRing, RepeatedRoundsReusePersistentStaging) {
   EXPECT_EQ(comm.num_allreduces(), rounds);
 }
 
+TEST(ThreadCommRing, ZeroSpinBudgetCompletes) {
+  // spin_polls = 0 makes every barrier wait park immediately — the
+  // regression for the hoisted spin→park threshold (a barrier release
+  // that only worked because waiters happened to re-poll would hang).
+  const std::size_t ranks = 4, size = 129, rounds = 8;
+  ThreadComm comm(ranks, ThreadComm::Options{
+                             .wait = WaitPolicy{.spin_polls = 0}});
+  comm.reserve(size);
+  auto base = make_payloads(ranks, size, 13);
+  const std::vector<float> want = reference_mean(base);
+  std::vector<std::thread> threads;
+  std::vector<int> failures(ranks, -1);
+  for (std::size_t r = 0; r < ranks; ++r) {
+    threads.emplace_back([&, r] {
+      std::vector<float> data;
+      for (std::size_t t = 0; t < rounds; ++t) {
+        data = base[r];
+        comm.allreduce_mean(r, data);
+        if (data != want && failures[r] < 0)
+          failures[r] = static_cast<int>(t);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (std::size_t r = 0; r < ranks; ++r)
+    EXPECT_EQ(failures[r], -1) << "rank " << r << " diverged at that round";
+}
+
 TEST(ThreadCommRing, SingleRankIsIdentity) {
   ThreadComm comm(1);
   std::vector<float> data = {1.0f, 2.0f};

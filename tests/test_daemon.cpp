@@ -307,5 +307,33 @@ TEST(Daemon, StressManyRoundsStaysConsistent) {
                   3000.0f + (rounds - 1));
 }
 
+TEST(Daemon, ZeroSpinBudgetCompletes) {
+  // spin_polls = 0 parks every slot wait immediately — the regression
+  // for the hoisted spin→park threshold: every wake path must issue a
+  // real futex wake, not rely on waiters re-polling.
+  MemoryState state(8, 2, 2);
+  DaemonConfig cfg;
+  cfg.i = 2;
+  cfg.j = 2;
+  const std::size_t rounds = 20;
+  cfg.reset_before_round.assign(rounds, 0);
+  cfg.reset_before_round[0] = 1;
+  cfg.wait = WaitPolicy{.spin_polls = 0};
+  MemoryDaemon daemon(state, cfg);
+  daemon.start();
+
+  run_trainers(4, [&](std::size_t rank) {
+    const std::size_t sub = rank / 2;
+    for (std::size_t round = sub; round < rounds; round += 2) {
+      daemon.read(rank, std::vector<NodeId>{static_cast<NodeId>(rank)});
+      daemon.write(rank, make_write(static_cast<NodeId>(rank),
+                                    static_cast<float>(round), 2, 2, 1.0f));
+    }
+  });
+  daemon.join();
+  // Rank 3's last write (round 19) must land; completion is the point.
+  EXPECT_FLOAT_EQ(state.read(std::vector<NodeId>{3}).mem(0, 0), 19.0f);
+}
+
 }  // namespace
 }  // namespace disttgl

@@ -9,6 +9,7 @@
 
 #include <cmath>
 
+#include "core/proc_trainer.hpp"
 #include "core/threaded_trainer.hpp"
 #include "core/trainer.hpp"
 #include "datagen/generator.hpp"
@@ -205,6 +206,88 @@ TEST(GradientSyncEquivalence, FusedStepCloseWithDefaultClipping) {
   for (std::size_t x = 0; x < res.weights.size(); ++x)
     ASSERT_TRUE(std::isfinite(res.weights[x])) << "weight " << x;
   EXPECT_NEAR(base.final_val, res.final_val, 0.05);
+}
+
+// ---- cross-fabric grid: thread fabric vs process fabric ------------------
+
+// The process fabric runs the *same* training loop over POSIX shm +
+// UNIX sockets, so for every {i,j,k} × chunk × fused cell it must land
+// bit-identically where the thread fabric lands: final weights,
+// metrics, rank-order-summed loss totals, and the FNV digest of every
+// memory copy (the only way to compare memory states across address
+// spaces). Fork safety: every trainer joins its threads and pools
+// before train_distributed returns, so the process is single-threaded
+// again whenever the proc fabric forks.
+void expect_cross_fabric_equivalent(TrainingConfig cfg,
+                                    const TemporalGraph& g) {
+  cfg.fabric.kind = FabricKind::kProc;
+  const ThreadedTrainResult proc = train_distributed(cfg, g, nullptr);
+
+  cfg.fabric.kind = FabricKind::kThread;
+  const ThreadedTrainResult thr = train_distributed(cfg, g, nullptr);
+
+  ASSERT_EQ(thr.weights.size(), proc.weights.size());
+  for (std::size_t x = 0; x < thr.weights.size(); ++x)
+    ASSERT_EQ(thr.weights[x], proc.weights[x])
+        << "weight " << x << " diverged across fabrics";
+  EXPECT_DOUBLE_EQ(thr.final_val, proc.final_val);
+  EXPECT_DOUBLE_EQ(thr.final_test, proc.final_test);
+  EXPECT_EQ(thr.iterations, proc.iterations);
+  EXPECT_EQ(thr.raw_events, proc.raw_events);
+  EXPECT_EQ(thr.loss_sum, proc.loss_sum) << "rank-ordered loss sum diverged";
+  EXPECT_EQ(thr.loss_count, proc.loss_count);
+  ASSERT_EQ(thr.memory_digests.size(), proc.memory_digests.size());
+  for (std::size_t m = 0; m < thr.memory_digests.size(); ++m)
+    EXPECT_EQ(thr.memory_digests[m], proc.memory_digests[m])
+        << "memory copy " << m << " diverged across fabrics";
+}
+
+class ProcFabricEquivalence : public ::testing::TestWithParam<EqCase> {};
+
+TEST_P(ProcFabricEquivalence, BitIdenticalAcrossAddressSpaces) {
+  const auto [i, j, k] = GetParam();
+  TemporalGraph g = graph_for_equivalence();
+  TrainingConfig cfg = config_for_equivalence();
+  cfg.epochs = 2;  // each cell pays a fork + per-child model build
+  cfg.parallel.i = i;
+  cfg.parallel.j = j;
+  cfg.parallel.k = k;
+  expect_cross_fabric_equivalent(cfg, g);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, ProcFabricEquivalence,
+                         ::testing::Values(EqCase{1, 1, 1}, EqCase{2, 1, 1},
+                                           EqCase{1, 2, 1}, EqCase{1, 1, 2},
+                                           EqCase{2, 2, 1}, EqCase{1, 2, 2}));
+
+TEST(ProcFabricEquivalence, ChunkedCollectiveStaysBitIdentical) {
+  TemporalGraph g = graph_for_equivalence();
+  TrainingConfig cfg = config_for_equivalence();
+  cfg.epochs = 2;
+  cfg.parallel = {.i = 2, .j = 2, .k = 1};
+  cfg.comm_chunk_elems = 64;
+  expect_cross_fabric_equivalent(cfg, g);
+}
+
+TEST(ProcFabricEquivalence, FusedStepStaysBitIdentical) {
+  TemporalGraph g = graph_for_equivalence();
+  TrainingConfig cfg = config_for_equivalence();
+  cfg.epochs = 2;
+  cfg.parallel = {.i = 2, .j = 2, .k = 1};
+  cfg.comm_fused_step = true;
+  expect_cross_fabric_equivalent(cfg, g);
+}
+
+TEST(ProcFabricEquivalence, ZeroSpinBudgetCompletesAndMatches) {
+  // The hoisted spin→park threshold at its degenerate setting: every
+  // fabric wait (collective barrier, slot protocol, shm handshake)
+  // parks immediately, end to end through a real training run.
+  TemporalGraph g = graph_for_equivalence();
+  TrainingConfig cfg = config_for_equivalence();
+  cfg.epochs = 2;
+  cfg.parallel = {.i = 2, .j = 1, .k = 1};
+  cfg.fabric.spin_polls = 0;
+  expect_cross_fabric_equivalent(cfg, g);
 }
 
 TEST(ThreadedTrainer, ReportsThroughputAndAttribution) {

@@ -1,0 +1,371 @@
+// Process-fabric correctness: the cross-process collective (ProcComm)
+// and daemon channel (ShmDaemonChannel) must be drop-in equivalents of
+// their in-process counterparts — bit-identical collective results,
+// bit-identical served slices, same accounting — plus the rendezvous
+// handshake and the spin→park threshold regression (threshold 0 must
+// complete on every transport). Fault injection lives in
+// tests/test_fabric_faults.cpp, wire fuzzing in tests/test_fabric_wire.cpp,
+// allocation pinning in tests/test_fabric_alloc.cpp.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "distributed/launch.hpp"
+#include "distributed/proc_comm.hpp"
+#include "distributed/rendezvous.hpp"
+#include "distributed/shm.hpp"
+#include "distributed/wire.hpp"
+#include "memory/shm_channel.hpp"
+
+namespace disttgl::dist {
+namespace {
+
+constexpr std::chrono::milliseconds kTimeout{30'000};
+
+std::vector<std::vector<float>> make_payloads(std::size_t ranks,
+                                              std::size_t size,
+                                              std::uint32_t salt) {
+  std::vector<std::vector<float>> data(ranks, std::vector<float>(size));
+  for (std::size_t r = 0; r < ranks; ++r)
+    for (std::size_t i = 0; i < size; ++i)
+      data[r][i] = 0.25f * static_cast<float>((r * 31 + i * 7 + salt) % 23) -
+                   1.5f + 1e-3f * static_cast<float>(i);
+  return data;
+}
+
+// ThreadComm result for the same inputs — the bit-exactness reference.
+std::vector<float> thread_comm_mean(std::vector<std::vector<float>> data,
+                                    Comm::Options opts) {
+  const std::size_t ranks = data.size();
+  ThreadComm comm(ranks, opts);
+  std::vector<std::thread> threads;
+  for (std::size_t r = 0; r < ranks; ++r)
+    threads.emplace_back([&, r] { comm.allreduce_mean(r, data[r]); });
+  for (auto& t : threads) t.join();
+  return data[0];
+}
+
+TEST(ProcCommFabric, AllreduceMeanBitIdenticalToThreadComm) {
+  for (const std::size_t world : {2u, 4u}) {
+    for (const std::size_t chunk : {0u, 37u}) {
+      const std::size_t size = 500;
+      const auto data = make_payloads(world, size, 3);
+      const Comm::Options opts{.chunk_elems = chunk};
+      const std::vector<float> want = thread_comm_mean(data, opts);
+
+      const std::string prefix = make_session_prefix();
+      {
+        ProcComm owner =
+            ProcComm::create(prefix + ".comm", world, size, opts, kTimeout);
+        const auto payloads = disttgl_launch(
+            world,
+            [&](std::size_t rank) {
+              ProcComm comm =
+                  ProcComm::attach(prefix + ".comm", world, opts, kTimeout);
+              std::vector<float> mine = data[rank];
+              comm.allreduce_mean(rank, mine);
+              WireWriter w;
+              w.put_f32s(mine);
+              return w.take();
+            },
+            kTimeout);
+        for (std::size_t r = 0; r < world; ++r) {
+          WireCursor c(payloads[r]);
+          const std::vector<float> got = c.get_f32s();
+          ASSERT_EQ(got, want) << "world=" << world << " chunk=" << chunk
+                               << " rank=" << r;
+        }
+        // Accounting lives in the segment: the parent's owning handle
+        // observes the children's traffic.
+        EXPECT_EQ(owner.num_allreduces(), 1u);
+        EXPECT_EQ(owner.logical_bytes(),
+                  static_cast<std::uint64_t>(2.0 * (world - 1) / world * size *
+                                             sizeof(float) * world));
+      }
+      EXPECT_TRUE(list_shm(prefix).empty()) << "leaked shm segment";
+    }
+  }
+}
+
+// The fused allreduce→step contract across processes: same toy
+// optimizer as tests/test_comm.cpp, replicas must agree bitwise with the
+// in-process fused run after several rounds.
+struct ToyStep {
+  std::span<float> grads;
+  std::span<float> params;
+};
+
+void toy_chunk_step(void* ctx, std::size_t lo, std::size_t hi, double sq) {
+  auto* s = static_cast<ToyStep*>(ctx);
+  const float norm = static_cast<float>(std::sqrt(sq));
+  const float scale = norm > 0.5f ? 0.5f / norm : 1.0f;
+  for (std::size_t i = lo; i < hi; ++i)
+    s->params[i] -= 0.1f * scale * s->grads[i];
+}
+
+TEST(ProcCommFabric, FusedStepBitIdenticalToThreadComm) {
+  const std::size_t world = 3, size = 131, rounds = 5;
+  const Comm::Options opts{.chunk_elems = 16};
+  const std::vector<float> init = make_payloads(1, size, 21)[0];
+
+  // In-process reference.
+  std::vector<float> want;
+  {
+    ThreadComm comm(world, opts);
+    std::vector<std::vector<float>> params(world, init);
+    std::vector<std::vector<float>> grads(world, std::vector<float>(size));
+    std::vector<std::thread> threads;
+    for (std::size_t r = 0; r < world; ++r) {
+      threads.emplace_back([&, r] {
+        for (std::size_t t = 0; t < rounds; ++t) {
+          grads[r] =
+              make_payloads(world, size, static_cast<std::uint32_t>(t))[r];
+          ToyStep ctx{grads[r], params[r]};
+          comm.allreduce_step(r, grads[r], params[r], &toy_chunk_step, &ctx);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    want = params[0];
+  }
+
+  const std::string prefix = make_session_prefix();
+  {
+    ProcComm owner =
+        ProcComm::create(prefix + ".comm", world, size, opts, kTimeout);
+    const auto payloads = disttgl_launch(
+        world,
+        [&](std::size_t rank) {
+          ProcComm comm =
+              ProcComm::attach(prefix + ".comm", world, opts, kTimeout);
+          std::vector<float> params = init;
+          std::vector<float> grads(size);
+          for (std::size_t t = 0; t < rounds; ++t) {
+            grads = make_payloads(world, size, static_cast<std::uint32_t>(t))
+                        [rank];
+            ToyStep ctx{grads, params};
+            comm.allreduce_step(rank, grads, params, &toy_chunk_step, &ctx);
+          }
+          WireWriter w;
+          w.put_f32s(params);
+          return w.take();
+        },
+        kTimeout);
+    for (std::size_t r = 0; r < world; ++r) {
+      WireCursor c(payloads[r]);
+      ASSERT_EQ(c.get_f32s(), want) << "rank " << r << " replica diverged";
+    }
+    EXPECT_EQ(owner.num_allreduces(), rounds);
+  }
+  EXPECT_TRUE(list_shm(prefix).empty());
+}
+
+TEST(ProcCommFabric, ZeroSpinBudgetCompletes) {
+  // spin_polls = 0 parks on the futex immediately at every wait site —
+  // the regression for the hoisted spin→park threshold (a wake that only
+  // worked because a spinning waiter happened to re-poll would hang).
+  const std::size_t world = 2, size = 64;
+  const Comm::Options opts{.wait = WaitPolicy{.spin_polls = 0}};
+  const auto data = make_payloads(world, size, 5);
+  const std::vector<float> want = thread_comm_mean(data, opts);
+
+  const std::string prefix = make_session_prefix();
+  {
+    ProcComm owner =
+        ProcComm::create(prefix + ".comm", world, size, opts, kTimeout);
+    const auto payloads = disttgl_launch(
+        world,
+        [&](std::size_t rank) {
+          ProcComm comm =
+              ProcComm::attach(prefix + ".comm", world, opts, kTimeout);
+          std::vector<float> mine = data[rank];
+          comm.allreduce_mean(rank, mine);
+          WireWriter w;
+          w.put_f32s(mine);
+          return w.take();
+        },
+        kTimeout);
+    for (std::size_t r = 0; r < world; ++r) {
+      WireCursor c(payloads[r]);
+      ASSERT_EQ(c.get_f32s(), want);
+    }
+  }
+  EXPECT_TRUE(list_shm(prefix).empty());
+}
+
+TEST(ProcCommFabric, ReserveBeyondSegmentCapacityIsTyped) {
+  const std::string prefix = make_session_prefix();
+  {
+    ProcComm owner = ProcComm::create(prefix + ".comm", 2, 100,
+                                      Comm::Options{}, kTimeout);
+    EXPECT_EQ(owner.capacity(), 100u);
+    owner.reserve(100);  // at capacity: fine
+    try {
+      owner.reserve(101);
+      FAIL() << "reserve beyond a fixed segment must throw";
+    } catch (const FabricError& e) {
+      EXPECT_EQ(e.code(), FabricErrc::kCapacity);
+    }
+  }
+  EXPECT_TRUE(list_shm(prefix).empty());
+}
+
+// ---- rendezvous ----------------------------------------------------------
+
+TEST(Rendezvous, HandshakeDeliversSessionInfoToEveryRank) {
+  const std::string prefix = make_session_prefix();
+  const std::string sock = "/tmp" + prefix + ".sock";
+  RendezvousInfo info;
+  info.world = 3;
+  info.session_prefix = prefix;
+  info.comm_shm = prefix + ".comm";
+  info.daemon_shms = {prefix + ".mem0", prefix + ".mem1"};
+
+  ProcGroup group = ProcGroup::spawn(3, [&](std::size_t rank) {
+    const RendezvousInfo got = rendezvous_client(
+        sock, 3, static_cast<std::uint32_t>(rank), kTimeout);
+    return encode_rendezvous_info(got);
+  });
+  rendezvous_host(sock, info, kTimeout);
+  const std::vector<ChildResult> results = group.wait(kTimeout);
+
+  const std::vector<std::uint8_t> want = encode_rendezvous_info(info);
+  for (const ChildResult& r : results) {
+    ASSERT_TRUE(r.ok) << "rank " << r.rank << ": " << r.message;
+    EXPECT_EQ(r.payload, want) << "rank " << r.rank;
+  }
+}
+
+// ---- cross-process daemon channel ----------------------------------------
+
+ShmDaemonSpec small_spec() {
+  ShmDaemonSpec spec;
+  spec.slots = 2;  // i=2, j=1
+  spec.mem_dim = 3;
+  spec.mail_dim = 5;
+  spec.max_read_nodes = 16;
+  spec.max_write_nodes = 8;
+  return spec;
+}
+
+DaemonConfig daemon_config(std::size_t rounds) {
+  DaemonConfig dc;
+  dc.i = 2;
+  dc.j = 1;
+  dc.reset_before_round.assign(rounds, 0);
+  dc.reset_before_round[0] = 1;
+  return dc;
+}
+
+// One client rank's scripted protocol run: `rounds` rounds of
+// read-then-write with per-round varying shapes, appending every served
+// slice to a WireWriter so runs can be compared byte-for-byte.
+template <typename Channel>
+std::vector<std::uint8_t> run_daemon_client(Channel& ch, std::size_t rank,
+                                            std::size_t rounds) {
+  WireWriter log;
+  MemorySlice slice;
+  MemoryWrite write;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    std::vector<NodeId> nodes;
+    for (std::size_t x = 0; x <= (round + rank) % 3; ++x)
+      nodes.push_back(static_cast<NodeId>((rank * 7 + round + x) % 10));
+    ch.read(rank, nodes, slice);
+    log.put_u64(slice.size());
+    for (std::size_t n = 0; n < slice.size(); ++n) {
+      log.put_f32s(std::span<const float>(slice.mem.row(n)));
+      log.put_f32s(std::span<const float>(slice.mail.row(n)));
+      log.put_f32s(std::span<const float>(&slice.mem_ts[n], 1));
+      log.put_f32s(std::span<const float>(&slice.mail_ts[n], 1));
+      log.put_u32(slice.has_mail[n]);
+    }
+    write.clear();
+    // Disjoint per-rank node sets keep the round's writes commutative.
+    const auto node = static_cast<NodeId>(rank * 5 + round % 5);
+    write.nodes = {node};
+    write.mem = Matrix(1, 3, static_cast<float>(rank + 1) + 0.1f * round);
+    write.mem_ts = {static_cast<float>(round)};
+    write.mail = Matrix(1, 5, static_cast<float>(rank) - 0.2f * round);
+    write.mail_ts = {static_cast<float>(round) + 0.5f};
+    ch.write(rank, write);
+  }
+  return log.take();
+}
+
+TEST(ShmDaemonFabric, ServedSlicesAndFinalStateMatchInProcessDaemon) {
+  constexpr std::size_t kRounds = 6;
+
+  // In-process reference: MemoryDaemon over the same scripted protocol.
+  MemoryState ref_state(10, 3, 5);
+  std::vector<std::vector<std::uint8_t>> ref_logs(2);
+  {
+    MemoryDaemon daemon(ref_state, daemon_config(kRounds));
+    daemon.start();
+    std::vector<std::thread> clients;
+    for (std::size_t rank = 0; rank < 2; ++rank)
+      clients.emplace_back([&, rank] {
+        ref_logs[rank] = run_daemon_client(daemon, rank, kRounds);
+      });
+    for (auto& t : clients) t.join();
+    daemon.join();
+  }
+
+  // Cross-process: clients in forked ranks, server in the parent.
+  const std::string prefix = make_session_prefix();
+  MemoryState shm_state(10, 3, 5);
+  {
+    ShmSegment segment =
+        ShmDaemonChannel::create_segment(prefix + ".mem0", small_spec());
+    ProcGroup group = ProcGroup::spawn(2, [&](std::size_t rank) {
+      ShmDaemonChannel ch =
+          ShmDaemonChannel::attach(prefix + ".mem0", WaitPolicy{}, kTimeout);
+      return run_daemon_client(ch, rank, kRounds);
+    });
+    ShmDaemonChannel host =
+        ShmDaemonChannel::attach(prefix + ".mem0", WaitPolicy{}, kTimeout);
+    ShmDaemonServer server(shm_state, daemon_config(kRounds), host);
+    server.start();
+    const std::vector<ChildResult> results = group.wait(kTimeout);
+    server.join();
+    for (const ChildResult& r : results) {
+      ASSERT_TRUE(r.ok) << "rank " << r.rank << ": " << r.message;
+      EXPECT_EQ(r.payload, ref_logs[r.rank])
+          << "rank " << r.rank << " saw different slices across fabrics";
+    }
+  }
+  EXPECT_EQ(memory_digest(shm_state), memory_digest(ref_state));
+  EXPECT_TRUE(list_shm(prefix).empty());
+}
+
+TEST(ShmDaemonFabric, InProcessClientsZeroSpinCompletes) {
+  // Same channel + server, single process, spin_polls = 0 everywhere:
+  // the park-immediately regression for the shm slot handshake.
+  constexpr std::size_t kRounds = 4;
+  const std::string prefix = make_session_prefix();
+  MemoryState state(10, 3, 5);
+  {
+    ShmSegment segment =
+        ShmDaemonChannel::create_segment(prefix + ".mem0", small_spec());
+    const WaitPolicy park_now{.spin_polls = 0};
+    ShmDaemonChannel ch =
+        ShmDaemonChannel::attach(prefix + ".mem0", park_now, kTimeout);
+    DaemonConfig dc = daemon_config(kRounds);
+    dc.wait = park_now;
+    ShmDaemonServer server(state, dc, ch);
+    server.start();
+    std::vector<std::thread> clients;
+    for (std::size_t rank = 0; rank < 2; ++rank)
+      clients.emplace_back([&, rank] { run_daemon_client(ch, rank, kRounds); });
+    for (auto& t : clients) t.join();
+    server.join();
+  }
+  EXPECT_TRUE(list_shm(prefix).empty());
+}
+
+}  // namespace
+}  // namespace disttgl::dist

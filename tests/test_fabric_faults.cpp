@@ -1,0 +1,371 @@
+// Fault injection for the process fabric: every failure mode must be a
+// typed FabricError and a clean shutdown — no hangs (every wait is
+// deadline-bounded), no leaked /dev/shm segments (each test asserts its
+// session prefix is swept by destructors, not by the post-suite sweep).
+//   * SIGKILLed peer mid-collective → survivors throw kPeerTimeout or
+//     kAborted; the launcher reports the corpse as kChildFailed.
+//   * truncated / short socket writes → kTruncated / kPeerClosed.
+//   * EINTR storms on blocking reads → invisible (loops retry).
+//   * stale rendezvous socket file → silently recovered; a *live*
+//     listener → kAddrInUse.
+//   * duplicate rank / wrong world at rendezvous → kRankConflict.
+//   * oversized daemon-channel request → kCapacity before any copy.
+#include <gtest/gtest.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "distributed/launch.hpp"
+#include "distributed/proc_comm.hpp"
+#include "distributed/rendezvous.hpp"
+#include "distributed/shm.hpp"
+#include "memory/shm_channel.hpp"
+
+namespace disttgl::dist {
+namespace {
+
+constexpr std::chrono::milliseconds kLong{30'000};
+
+TEST(FabricFaults, KilledPeerMidCollectiveIsTypedNotAHang) {
+  const std::size_t world = 3;
+  const std::string prefix = make_session_prefix();
+  {
+    // Survivors' collective waits time out after 2s — the whole test is
+    // bounded regardless of when the victim dies.
+    const std::chrono::milliseconds collective_timeout{2'000};
+    ProcComm owner = ProcComm::create(prefix + ".comm", world, 64,
+                                      Comm::Options{}, collective_timeout);
+    ProcGroup group = ProcGroup::spawn(world, [&](std::size_t rank) {
+      ProcComm comm = ProcComm::attach(prefix + ".comm", world,
+                                       Comm::Options{}, collective_timeout);
+      std::vector<float> data(64, static_cast<float>(rank));
+      comm.allreduce_mean(rank, data);  // round 1: everyone participates
+      if (rank == 1) {
+        // The victim parks here until SIGKILLed.
+        for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+      }
+      comm.allreduce_mean(rank, data);  // round 2: rank 1 never arrives
+      return std::vector<std::uint8_t>{};
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    group.kill_rank(1);
+    const std::vector<ChildResult> results = group.wait(kLong);
+    ASSERT_EQ(results.size(), world);
+    for (const std::size_t survivor : {0ul, 2ul}) {
+      EXPECT_FALSE(results[survivor].ok);
+      EXPECT_TRUE(results[survivor].errc == FabricErrc::kPeerTimeout ||
+                  results[survivor].errc == FabricErrc::kAborted)
+          << "rank " << survivor << " died with "
+          << fabric_errc_name(results[survivor].errc) << ": "
+          << results[survivor].message;
+    }
+    EXPECT_FALSE(results[1].ok);
+    EXPECT_EQ(results[1].errc, FabricErrc::kChildFailed);
+  }
+  // The owner's destructor — not any child — reclaims the segment.
+  EXPECT_TRUE(list_shm(prefix).empty()) << "killed peer leaked shm";
+}
+
+TEST(FabricFaults, AbortUnparksAWaitingPeerImmediately) {
+  const std::string prefix = make_session_prefix();
+  {
+    ProcComm owner = ProcComm::create(prefix + ".comm", 2, 16,
+                                      Comm::Options{}, kLong);
+    ProcComm peer =
+        ProcComm::attach(prefix + ".comm", 2, Comm::Options{}, kLong);
+    std::atomic<bool> aborted{false};
+    const auto start = std::chrono::steady_clock::now();
+    std::thread waiter([&] {
+      std::vector<float> data(16, 1.0f);
+      try {
+        peer.allreduce_mean(1, data);  // rank 0 never arrives
+      } catch (const FabricError& e) {
+        aborted.store(e.code() == FabricErrc::kAborted);
+      }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    owner.abort_session();
+    waiter.join();
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_TRUE(aborted.load());
+    // Poison must propagate via the futex wake, not the 30s deadline.
+    EXPECT_LT(elapsed, std::chrono::seconds(10));
+  }
+  EXPECT_TRUE(list_shm(prefix).empty());
+}
+
+// ---- socket-level faults -------------------------------------------------
+
+struct SocketPair {
+  FdHandle a, b;
+  SocketPair() {
+    int sv[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    a = FdHandle(sv[0]);
+    b = FdHandle(sv[1]);
+  }
+};
+
+TEST(FabricFaults, PeerClosingBeforeAnyBytesIsCleanEof) {
+  SocketPair sp;
+  sp.b.reset();  // peer gone, zero bytes sent
+  Frame f;
+  EXPECT_FALSE(read_frame(sp.a.get(), f, deadline_after(kLong)));
+}
+
+TEST(FabricFaults, TruncatedHeaderIsTyped) {
+  SocketPair sp;
+  std::vector<std::uint8_t> stream;
+  encode_frame(MsgType::kResult, std::vector<std::uint8_t>(32, 1), stream);
+  write_exact(sp.b.get(), {stream.data(), 10}, deadline_after(kLong));
+  sp.b.reset();  // EOF mid-header
+  Frame f;
+  try {
+    read_frame(sp.a.get(), f, deadline_after(kLong));
+    FAIL() << "expected kTruncated";
+  } catch (const FabricError& e) {
+    EXPECT_EQ(e.code(), FabricErrc::kTruncated);
+  }
+}
+
+TEST(FabricFaults, TruncatedPayloadIsTyped) {
+  SocketPair sp;
+  std::vector<std::uint8_t> stream;
+  encode_frame(MsgType::kResult, std::vector<std::uint8_t>(32, 1), stream);
+  write_exact(sp.b.get(), {stream.data(), stream.size() - 5},
+              deadline_after(kLong));
+  sp.b.reset();  // EOF mid-payload
+  Frame f;
+  try {
+    read_frame(sp.a.get(), f, deadline_after(kLong));
+    FAIL() << "expected kTruncated";
+  } catch (const FabricError& e) {
+    EXPECT_EQ(e.code(), FabricErrc::kTruncated);
+  }
+}
+
+TEST(FabricFaults, WritingToAClosedPeerIsTypedNotASignal) {
+  // MSG_NOSIGNAL turns the SIGPIPE a dead reader would raise into a
+  // typed kPeerClosed (a raw write() would kill the whole process).
+  SocketPair sp;
+  sp.a.reset();  // reader gone
+  const std::vector<std::uint8_t> chunk(1 << 16, 0xab);
+  bool threw = false;
+  for (int i = 0; i < 10 && !threw; ++i) {
+    try {
+      write_exact(sp.b.get(), chunk, deadline_after(kLong));
+    } catch (const FabricError& e) {
+      EXPECT_EQ(e.code(), FabricErrc::kPeerClosed);
+      threw = true;
+    }
+  }
+  EXPECT_TRUE(threw) << "writes into a closed peer never failed";
+}
+
+void sigusr1_noop(int) {}
+
+TEST(FabricFaults, EintrStormOnBlockingReadIsInvisible) {
+  // Install a no-SA_RESTART handler so every signal interrupts the
+  // blocking syscalls with EINTR; the fabric's read loops must retry.
+  struct sigaction sa = {};
+  struct sigaction old = {};
+  sa.sa_handler = &sigusr1_noop;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately NOT SA_RESTART
+  ASSERT_EQ(sigaction(SIGUSR1, &sa, &old), 0);
+
+  SocketPair sp;
+  Frame got;
+  std::atomic<bool> ok{false};
+  std::thread reader([&] {
+    ok.store(read_frame(sp.a.get(), got, deadline_after(kLong)));
+  });
+  const pthread_t victim = reader.native_handle();
+  for (int i = 0; i < 50; ++i) {
+    pthread_kill(victim, SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::vector<std::uint8_t> stream;
+  const std::vector<std::uint8_t> payload(64, 0x5a);
+  encode_frame(MsgType::kResult, payload, stream);
+  write_exact(sp.b.get(), stream, deadline_after(kLong));
+  reader.join();
+  sigaction(SIGUSR1, &old, nullptr);
+
+  EXPECT_TRUE(ok.load());
+  EXPECT_EQ(got.payload, payload);
+}
+
+// ---- rendezvous faults ---------------------------------------------------
+
+std::string temp_sock_path() {
+  return "/tmp" + make_session_prefix() + ".sock";
+}
+
+TEST(FabricFaults, StaleRendezvousSocketIsSilentlyRecovered) {
+  const std::string path = temp_sock_path();
+  {
+    FdHandle crashed = unix_listen(path, 4);
+    // "Crash": the listener fd closes but the socket file stays behind.
+  }
+  // A fresh host must probe, find nobody home, unlink, and rebind.
+  std::thread host([&] {
+    RendezvousInfo info;
+    info.world = 1;
+    info.session_prefix = "/disttgl.test";
+    rendezvous_host(path, info, kLong);
+  });
+  const RendezvousInfo got = rendezvous_client(path, 1, 0, kLong);
+  host.join();
+  EXPECT_EQ(got.session_prefix, "/disttgl.test");
+  ::unlink(path.c_str());
+}
+
+TEST(FabricFaults, LiveListenerIsAddrInUseNotSilentTheft) {
+  const std::string path = temp_sock_path();
+  FdHandle live = unix_listen(path, 4);
+  try {
+    FdHandle thief = unix_listen(path, 4);
+    FAIL() << "binding over a live listener must throw";
+  } catch (const FabricError& e) {
+    EXPECT_EQ(e.code(), FabricErrc::kAddrInUse);
+  }
+  ::unlink(path.c_str());
+}
+
+TEST(FabricFaults, DuplicateRankClaimIsRankConflictForBothSides) {
+  const std::string path = temp_sock_path();
+  std::exception_ptr host_error;
+  std::thread host([&] {
+    try {
+      RendezvousInfo info;
+      info.world = 2;
+      rendezvous_host(path, info, kLong);
+    } catch (...) {
+      host_error = std::current_exception();
+    }
+  });
+  // First claim of rank 0 succeeds…
+  (void)rendezvous_client(path, 2, 0, kLong);
+  // …the duplicate is rejected with a typed report, not an EOF.
+  try {
+    (void)rendezvous_client(path, 2, 0, kLong);
+    FAIL() << "duplicate rank must be rejected";
+  } catch (const FabricError& e) {
+    EXPECT_EQ(e.code(), FabricErrc::kRankConflict);
+  }
+  host.join();
+  ASSERT_TRUE(host_error != nullptr);
+  try {
+    std::rethrow_exception(host_error);
+  } catch (const FabricError& e) {
+    EXPECT_EQ(e.code(), FabricErrc::kRankConflict);
+  }
+}
+
+TEST(FabricFaults, WorldSizeDisagreementIsRankConflict) {
+  const std::string path = temp_sock_path();
+  std::exception_ptr host_error;
+  std::thread host([&] {
+    try {
+      RendezvousInfo info;
+      info.world = 2;
+      rendezvous_host(path, info, kLong);
+    } catch (...) {
+      host_error = std::current_exception();
+    }
+  });
+  try {
+    (void)rendezvous_client(path, /*world=*/3, /*rank=*/0, kLong);
+    FAIL() << "world mismatch must be rejected";
+  } catch (const FabricError& e) {
+    EXPECT_EQ(e.code(), FabricErrc::kRankConflict);
+  }
+  host.join();
+  ASSERT_TRUE(host_error != nullptr);
+}
+
+// ---- daemon-channel faults -----------------------------------------------
+
+TEST(FabricFaults, OversizedDaemonRequestIsCapacityBeforeAnyCopy) {
+  const std::string prefix = make_session_prefix();
+  {
+    ShmDaemonSpec spec;
+    spec.slots = 1;
+    spec.mem_dim = 2;
+    spec.mail_dim = 3;
+    spec.max_read_nodes = 4;
+    spec.max_write_nodes = 2;
+    ShmSegment segment =
+        ShmDaemonChannel::create_segment(prefix + ".mem0", spec);
+    ShmDaemonChannel ch =
+        ShmDaemonChannel::attach(prefix + ".mem0", WaitPolicy{}, kLong);
+
+    // No server is running: a request that passed the capacity gate
+    // would park until the deadline, so the *immediate* throw is itself
+    // proof the check precedes the handshake and the copy.
+    std::vector<NodeId> nodes(10);
+    MemorySlice slice;
+    try {
+      ch.read(0, nodes, slice);
+      FAIL() << "oversized read must throw";
+    } catch (const FabricError& e) {
+      EXPECT_EQ(e.code(), FabricErrc::kCapacity);
+    }
+
+    MemoryWrite w;
+    w.nodes = {0, 1, 2};
+    w.mem = Matrix(3, 2);
+    w.mem_ts = {0, 0, 0};
+    w.mail = Matrix(3, 3);
+    w.mail_ts = {0, 0, 0};
+    try {
+      ch.write(0, w);
+      FAIL() << "oversized write must throw";
+    } catch (const FabricError& e) {
+      EXPECT_EQ(e.code(), FabricErrc::kCapacity);
+    }
+  }
+  EXPECT_TRUE(list_shm(prefix).empty());
+}
+
+TEST(FabricFaults, ChannelAbortPoisonsParkedClient) {
+  const std::string prefix = make_session_prefix();
+  {
+    ShmDaemonSpec spec;
+    spec.slots = 1;
+    spec.mem_dim = 2;
+    spec.mail_dim = 2;
+    spec.max_read_nodes = 8;
+    spec.max_write_nodes = 8;
+    ShmSegment segment =
+        ShmDaemonChannel::create_segment(prefix + ".mem0", spec);
+    ShmDaemonChannel ch =
+        ShmDaemonChannel::attach(prefix + ".mem0", WaitPolicy{}, kLong);
+    std::atomic<bool> aborted{false};
+    std::thread client([&] {
+      std::vector<NodeId> nodes = {1, 2};
+      MemorySlice slice;
+      try {
+        ch.read(0, nodes, slice);  // no server: parks until poisoned
+      } catch (const FabricError& e) {
+        aborted.store(e.code() == FabricErrc::kAborted);
+      }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    ch.abort_session();
+    client.join();
+    EXPECT_TRUE(aborted.load());
+  }
+  EXPECT_TRUE(list_shm(prefix).empty());
+}
+
+}  // namespace
+}  // namespace disttgl::dist

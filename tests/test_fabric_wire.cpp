@@ -1,0 +1,316 @@
+// Wire-protocol property/fuzz suite: random frame streams must decode
+// identically no matter how the bytes are split across feeds, garbage
+// must poison the reader with a typed error (never a crash, never a
+// resync), and the checked-in seed corpus (tests/wire_corpus.txt) must
+// keep producing the same verdicts byte-split or whole. The corpus is
+// deterministic and versioned so a decoder change that alters any
+// verdict shows up as a diff here, not as a silent protocol fork.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "distributed/wire.hpp"
+
+namespace disttgl::dist {
+namespace {
+
+// Feeds `stream` to a FrameReader in the given split sizes and polls to
+// exhaustion. Returns the decoded frames plus the poison code (if any).
+struct DecodeResult {
+  std::vector<Frame> frames;
+  bool poisoned = false;
+  FabricErrc code = FabricErrc::kPeerClosed;  // valid when poisoned
+
+  bool operator==(const DecodeResult& o) const {
+    if (poisoned != o.poisoned || frames.size() != o.frames.size())
+      return false;
+    if (poisoned && code != o.code) return false;
+    for (std::size_t i = 0; i < frames.size(); ++i)
+      if (frames[i].type != o.frames[i].type ||
+          frames[i].payload != o.frames[i].payload)
+        return false;
+    return true;
+  }
+};
+
+DecodeResult decode_with_splits(std::span<const std::uint8_t> stream,
+                                const std::vector<std::size_t>& splits) {
+  DecodeResult out;
+  FrameReader reader;
+  std::size_t pos = 0;
+  std::size_t split_idx = 0;
+  while (pos < stream.size() || split_idx == 0) {
+    std::size_t take = stream.size() - pos;
+    if (split_idx < splits.size())
+      take = std::min(take, splits[split_idx]);
+    ++split_idx;
+    reader.feed(stream.subspan(pos, take));
+    pos += take;
+    try {
+      Frame f;
+      while (reader.poll(f)) out.frames.push_back(std::move(f));
+    } catch (const FabricError& e) {
+      out.poisoned = true;
+      out.code = e.code();
+      return out;
+    }
+    if (pos >= stream.size()) break;
+  }
+  return out;
+}
+
+DecodeResult decode_whole(std::span<const std::uint8_t> stream) {
+  return decode_with_splits(stream, {});
+}
+
+std::vector<std::uint8_t> random_bytes(std::mt19937_64& rng, std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng());
+  return out;
+}
+
+std::vector<std::size_t> random_splits(std::mt19937_64& rng,
+                                       std::size_t total) {
+  std::vector<std::size_t> splits;
+  std::size_t covered = 0;
+  while (covered < total) {
+    const std::size_t take =
+        1 + static_cast<std::size_t>(rng() % std::min<std::size_t>(
+                                               total - covered, 97));
+    splits.push_back(take);
+    covered += take;
+  }
+  return splits;
+}
+
+TEST(WireFuzz, RoundTripSurvivesArbitrarySplitBoundaries) {
+  std::mt19937_64 rng(0xd15c0ULL);  // deterministic seed — this is a test
+  for (int iter = 0; iter < 50; ++iter) {
+    // A stream of 1–6 random frames.
+    std::vector<std::uint8_t> stream;
+    std::vector<Frame> want;
+    const std::size_t n_frames = 1 + rng() % 6;
+    for (std::size_t f = 0; f < n_frames; ++f) {
+      Frame frame;
+      frame.type = static_cast<MsgType>(1 + rng() % 5);
+      frame.payload = random_bytes(rng, rng() % 4096);
+      encode_frame(frame.type, frame.payload, stream);
+      want.push_back(std::move(frame));
+    }
+    // Decode whole and under three random split patterns; all agree.
+    const DecodeResult whole = decode_whole(stream);
+    ASSERT_FALSE(whole.poisoned);
+    ASSERT_EQ(whole.frames.size(), want.size());
+    for (std::size_t f = 0; f < want.size(); ++f) {
+      EXPECT_EQ(whole.frames[f].type, want[f].type);
+      EXPECT_EQ(whole.frames[f].payload, want[f].payload);
+    }
+    for (int s = 0; s < 3; ++s) {
+      const DecodeResult split =
+          decode_with_splits(stream, random_splits(rng, stream.size()));
+      ASSERT_TRUE(split == whole) << "iter " << iter << " split run " << s;
+    }
+  }
+}
+
+TEST(WireFuzz, JunkPrefixPoisonsWithBadMagicAndStaysPoisoned) {
+  std::mt19937_64 rng(7);
+  for (int iter = 0; iter < 20; ++iter) {
+    std::vector<std::uint8_t> stream = random_bytes(rng, 16 + rng() % 64);
+    stream[0] ^= 0xff;  // guarantee the magic cannot match
+    std::vector<std::uint8_t> valid;
+    encode_frame(MsgType::kHello, {}, valid);
+    stream.insert(stream.end(), valid.begin(), valid.end());
+
+    FrameReader reader;
+    reader.feed(stream);
+    Frame f;
+    EXPECT_THROW(reader.poll(f), FabricError);
+    // No resynchronization: the trailing valid frame is unreachable.
+    EXPECT_THROW(reader.poll(f), FabricError);
+    try {
+      reader.poll(f);
+    } catch (const FabricError& e) {
+      EXPECT_EQ(e.code(), FabricErrc::kBadMagic);
+    }
+  }
+}
+
+std::vector<std::uint8_t> valid_header(std::uint16_t version,
+                                       std::uint32_t len,
+                                       std::uint32_t checksum) {
+  std::vector<std::uint8_t> h;
+  auto u32 = [&](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) h.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  auto u16 = [&](std::uint16_t v) {
+    h.push_back(static_cast<std::uint8_t>(v));
+    h.push_back(static_cast<std::uint8_t>(v >> 8));
+  };
+  u32(kWireMagic);
+  u16(version);
+  u16(1);  // type
+  u32(len);
+  u32(checksum);
+  return h;
+}
+
+TEST(WireFuzz, UnknownVersionIsTyped) {
+  FrameReader reader;
+  reader.feed(valid_header(kWireVersion + 1, 0, wire_checksum({})));
+  Frame f;
+  try {
+    reader.poll(f);
+    FAIL() << "expected poison";
+  } catch (const FabricError& e) {
+    EXPECT_EQ(e.code(), FabricErrc::kBadVersion);
+  }
+}
+
+TEST(WireFuzz, OversizeLengthRejectedFromHeaderAlone) {
+  // Only the 16 header bytes are fed — a reader that trusted the length
+  // field would wait for (or allocate) 512 MiB. It must reject from the
+  // header alone.
+  FrameReader reader;
+  reader.feed(valid_header(kWireVersion, 1u << 29, 0));
+  Frame f;
+  try {
+    reader.poll(f);
+    FAIL() << "expected poison";
+  } catch (const FabricError& e) {
+    EXPECT_EQ(e.code(), FabricErrc::kOversize);
+  }
+}
+
+TEST(WireFuzz, CorruptedPayloadIsBadChecksum) {
+  std::mt19937_64 rng(13);
+  for (int iter = 0; iter < 20; ++iter) {
+    std::vector<std::uint8_t> payload = random_bytes(rng, 1 + rng() % 512);
+    std::vector<std::uint8_t> stream;
+    encode_frame(MsgType::kResult, payload, stream);
+    // Flip one payload bit (never a header byte).
+    const std::size_t victim =
+        kWireHeaderBytes + rng() % (stream.size() - kWireHeaderBytes);
+    stream[victim] ^= 1u << (rng() % 8);
+    const DecodeResult got = decode_whole(stream);
+    ASSERT_TRUE(got.poisoned) << "iter " << iter;
+    EXPECT_EQ(got.code, FabricErrc::kBadChecksum);
+    EXPECT_TRUE(got.frames.empty());
+  }
+}
+
+TEST(WireFuzz, PartialFrameIsWaitingNotError) {
+  std::vector<std::uint8_t> stream;
+  encode_frame(MsgType::kResult, std::vector<std::uint8_t>(100, 7), stream);
+  FrameReader reader;
+  Frame f;
+  for (std::size_t cut : {1ul, 8ul, 15ul, 16ul, 17ul, 115ul}) {
+    FrameReader r;
+    r.feed({stream.data(), cut});
+    EXPECT_FALSE(r.poll(f)) << "cut=" << cut;  // waiting, not poisoned
+  }
+  // Completing the bytes later yields the frame.
+  reader.feed({stream.data(), 20});
+  EXPECT_FALSE(reader.poll(f));
+  reader.feed({stream.data() + 20, stream.size() - 20});
+  EXPECT_TRUE(reader.poll(f));
+  EXPECT_EQ(f.payload.size(), 100u);
+}
+
+TEST(WireCursorFuzz, TruncatedFieldsAreTyped) {
+  std::mt19937_64 rng(99);
+  for (int iter = 0; iter < 50; ++iter) {
+    WireWriter w;
+    w.put_u32(7);
+    w.put_string("hello");
+    w.put_f32s(std::vector<float>(17, 1.0f));
+    std::vector<std::uint8_t> full(w.bytes().begin(), w.bytes().end());
+    const std::size_t cut = rng() % full.size();  // strictly short
+    WireCursor c({full.data(), cut});
+    try {
+      (void)c.get_u32();
+      (void)c.get_string();
+      (void)c.get_f32s();
+      FAIL() << "truncated payload decoded cleanly at cut " << cut;
+    } catch (const FabricError& e) {
+      EXPECT_EQ(e.code(), FabricErrc::kTruncated) << "cut=" << cut;
+    }
+  }
+}
+
+TEST(WireCursorFuzz, HugeDeclaredCountsDoNotAllocate) {
+  // A count field of 2^60 must be rejected by the bounds guard before
+  // any sizing arithmetic can overflow or allocate.
+  WireWriter w;
+  w.put_u64(std::uint64_t{1} << 60);
+  std::vector<std::uint8_t> bytes(w.bytes().begin(), w.bytes().end());
+  {
+    WireCursor c(bytes);
+    EXPECT_THROW((void)c.get_f32s(), FabricError);
+  }
+  {
+    WireCursor c(bytes);
+    EXPECT_THROW((void)c.get_bytes(), FabricError);
+  }
+  {
+    WireCursor c(bytes);
+    EXPECT_THROW((void)c.get_string(), FabricError);
+  }
+}
+
+// ---- seed corpus ---------------------------------------------------------
+
+std::vector<std::uint8_t> parse_hex(const std::string& hex) {
+  std::vector<std::uint8_t> out;
+  for (std::size_t i = 0; i + 1 < hex.size(); i += 2)
+    out.push_back(static_cast<std::uint8_t>(
+        std::stoul(hex.substr(i, 2), nullptr, 16)));
+  return out;
+}
+
+TEST(WireCorpus, SeedCorpusVerdictsAreSplitInvariant) {
+  const std::string path = std::string(DISTTGL_TEST_DIR) + "/wire_corpus.txt";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << "missing corpus at " << path;
+  std::mt19937_64 rng(0xc0ffeeULL);
+  std::string line;
+  std::size_t cases = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string name, verdict, hex;
+    fields >> name >> verdict >> hex;
+    ASSERT_FALSE(verdict.empty()) << "malformed corpus line: " << line;
+    const std::vector<std::uint8_t> stream = parse_hex(hex);
+    ++cases;
+
+    const DecodeResult whole = decode_whole(stream);
+    // The checked-in verdict: "ok:<nframes>" or an error-code name.
+    if (verdict.rfind("ok:", 0) == 0) {
+      EXPECT_FALSE(whole.poisoned) << name;
+      EXPECT_EQ(std::to_string(whole.frames.size()), verdict.substr(3))
+          << name;
+    } else {
+      ASSERT_TRUE(whole.poisoned) << name;
+      EXPECT_EQ(fabric_errc_name(whole.code), verdict) << name;
+    }
+    // Split-invariance: byte-at-a-time and random splits agree.
+    const DecodeResult bytewise = decode_with_splits(
+        stream, std::vector<std::size_t>(stream.size(), 1));
+    EXPECT_TRUE(bytewise == whole) << name << " (byte-at-a-time diverged)";
+    for (int s = 0; s < 2; ++s) {
+      const DecodeResult split =
+          decode_with_splits(stream, random_splits(rng, stream.size()));
+      EXPECT_TRUE(split == whole) << name << " (random split diverged)";
+    }
+  }
+  EXPECT_GE(cases, 8u) << "corpus lost cases";
+}
+
+}  // namespace
+}  // namespace disttgl::dist

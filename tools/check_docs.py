@@ -52,6 +52,33 @@ def check_bench_json() -> int:
         print(f"check_docs: {name}: {len(data)} entr{'y' if len(data) == 1 else 'ies'} ok")
     return len(files)
 
+def check_bench_fabric() -> None:
+    """BENCH_fabric.json carries the measured-vs-model contract: every
+    entry must cover ranks {2,4,8} for both fabric ops, each config
+    pairing a positive measured_us with a positive model_us."""
+    path = os.path.join(ROOT, "BENCH_fabric.json")
+    if not os.path.exists(path):
+        fail("BENCH_fabric.json is missing at the repo root")
+    with open(path) as f:
+        data = json.load(f)
+    for i, entry in enumerate(data):
+        for op in ("allreduce", "daemon_round"):
+            configs = entry.get(op)
+            if not isinstance(configs, dict):
+                fail(f"BENCH_fabric.json entry {i} is missing '{op}'")
+            for ranks in (2, 4, 8):
+                cfg = configs.get(f"ranks_{ranks}")
+                if not isinstance(cfg, dict):
+                    fail(f"BENCH_fabric.json entry {i} {op} lacks ranks_{ranks}")
+                for key in ("measured_us", "model_us"):
+                    if not (isinstance(cfg.get(key), (int, float))
+                            and cfg[key] > 0):
+                        fail(f"BENCH_fabric.json entry {i} {op} ranks_{ranks} "
+                             f"'{key}' must be a positive number")
+    print(f"check_docs: BENCH_fabric.json: {len(data)} "
+          f"entr{'y' if len(data) == 1 else 'ies'} cover ranks 2/4/8 "
+          "with measured+model latencies")
+
 def check_doc_paths() -> int:
     docs = [os.path.join(ROOT, "README.md")] + sorted(
         glob.glob(os.path.join(ROOT, "docs", "*.md")))
@@ -75,6 +102,7 @@ def check_doc_paths() -> int:
 
 def main() -> None:
     check_bench_json()
+    check_bench_fabric()
     check_doc_paths()
     print("check_docs: OK")
 

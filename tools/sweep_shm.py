@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Sweep leaked DistTGL shared-memory segments from /dev/shm.
+
+Every shm segment the fabric creates is named "/disttgl.<pid>.<n>..."
+(see src/distributed/shm.hpp).  A correct run unlinks all of them; a
+crashed or SIGKILLed run can leave segments behind.  This script is
+wired into CTest as the `fabric_shm_sweep` cleanup fixture: it runs
+after the fabric suites and, with --fail-on-leak, turns any leftover
+segment into a test failure while still deleting it so one leaky run
+cannot poison the next.
+
+Usage:
+    sweep_shm.py [--fail-on-leak] [--prefix PREFIX] [--dry-run]
+"""
+
+import argparse
+import os
+import sys
+
+SHM_DIR = "/dev/shm"
+DEFAULT_PREFIX = "disttgl."  # /dev/shm entries drop the leading '/'
+
+
+def find_segments(prefix: str) -> list[str]:
+    try:
+        entries = os.listdir(SHM_DIR)
+    except FileNotFoundError:
+        return []
+    return sorted(e for e in entries if e.startswith(prefix))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fail-on-leak",
+        action="store_true",
+        help="exit nonzero if any segment was found (after removing it)",
+    )
+    parser.add_argument(
+        "--prefix",
+        default=DEFAULT_PREFIX,
+        help=f"segment name prefix to sweep (default: {DEFAULT_PREFIX})",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="list leaked segments without removing them",
+    )
+    args = parser.parse_args()
+
+    leaked = find_segments(args.prefix)
+    for name in leaked:
+        path = os.path.join(SHM_DIR, name)
+        if args.dry_run:
+            print(f"leaked (not removed): {path}")
+            continue
+        try:
+            os.unlink(path)
+            print(f"removed leaked segment: {path}")
+        except OSError as err:
+            print(f"failed to remove {path}: {err}", file=sys.stderr)
+
+    if leaked and args.fail_on_leak:
+        print(
+            f"FAIL: {len(leaked)} leaked shm segment(s) with prefix "
+            f"'{args.prefix}'",
+            file=sys.stderr,
+        )
+        return 1
+    if not leaked:
+        print(f"no leaked shm segments with prefix '{args.prefix}'")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
