@@ -67,10 +67,10 @@ class LegacyThreadComm {
       staged_.assign(ranks_ * data.size(), 0.0f);
       stride_ = data.size();
     }
-    token.wait();
+    (void)token.wait();
     std::memcpy(staged_.data() + rank * stride_, data.data(),
                 data.size() * sizeof(float));
-    token.wait();
+    (void)token.wait();
     const double inv = 1.0 / static_cast<double>(ranks_);
     for (std::size_t i = 0; i < data.size(); ++i) {
       double acc = 0.0;
@@ -78,7 +78,7 @@ class LegacyThreadComm {
         acc += static_cast<double>(staged_[r * stride_ + i]);
       data[i] = static_cast<float>(acc * inv);
     }
-    token.wait();
+    (void)token.wait();
   }
 
  private:
@@ -149,10 +149,10 @@ double time_rounds(std::size_t ranks, std::size_t iters, PerRankBody&& body) {
       BarrierToken token(gate);
       for (std::size_t w = 0; w < 2; ++w) body(rank);  // warm-up
       for (std::size_t rep = 0; rep < kReps; ++rep) {
-        token.wait();
+        (void)token.wait();
         WallTimer timer;
         for (std::size_t it = 0; it < iters; ++it) body(rank);
-        token.wait();
+        (void)token.wait();
         if (rank == 0)
           best = std::min(best,
                           timer.seconds() * 1e6 / static_cast<double>(iters));

@@ -1,0 +1,200 @@
+// Recovery-path cost — the trajectory behind BENCH_recovery.json
+// (bench/run_recovery.sh appends one labelled entry per invocation;
+// docs/BENCHMARKS.md).
+//
+// Measures the three operations elastic training pays for, at the
+// paper's memory dimensions (mem_dim 100, mail raw dim 186):
+//
+//   snapshot_save      One full coordinated snapshot set written to
+//                      disk: core shard (flat weights), a memory shard
+//                      (every node's memory/mail/timestamps/flags), and
+//                      one rank shard per trainer (Adam moments + loss
+//                      subtotals), each an atomic tmp+fsync+rename.
+//   snapshot_load      Discovery + full restore: find_latest_snapshot
+//                      (which checksum-validates every shard of every
+//                      candidate set) followed by reading the core,
+//                      memory, and all rank shards back.
+//   restart            Supervisor restart latency on a live training
+//                      run: an injected kill, teardown, snapshot
+//                      discovery, and the resumed trainer reaching its
+//                      first iteration — train_supervised end to end,
+//                      minus the two training halves.
+//
+//   bench_recovery_ops [--iters=N] [--params=P] [--nodes=V] [--world=W]
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench_common.hpp"
+#include "core/checkpoint.hpp"
+#include "core/recovery.hpp"
+#include "datagen/generator.hpp"
+#include "memory/memory_state.hpp"
+#include "util/timer.hpp"
+
+namespace disttgl {
+namespace {
+
+std::size_t arg_or(int argc, char** argv, const char* name,
+                   std::size_t fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0)
+      return static_cast<std::size_t>(std::stoull(arg.substr(prefix.size())));
+  }
+  return fallback;
+}
+
+struct SnapshotGeometry {
+  std::size_t world = 4;
+  std::size_t params = 200'000;  // flat model weights (and Adam m+v each)
+  std::size_t nodes = 10'000;
+  std::size_t mem_dim = 100;   // paper memory dimension
+  std::size_t mail_dim = 186;  // raw mail row at the paper's edge dims
+
+  double set_bytes() const {
+    const double core = static_cast<double>(params) * 4.0;
+    const double mem = static_cast<double>(nodes) *
+                       (static_cast<double>(mem_dim + mail_dim + 2) * 4.0 + 1.0);
+    const double ranks =
+        static_cast<double>(world) * 2.0 * static_cast<double>(params) * 4.0;
+    return core + mem + ranks;
+  }
+};
+
+void fill_snapshot_set(const std::string& dir, const SnapshotGeometry& geo,
+                       std::size_t iter, const MemoryState& state) {
+  const std::string stem = snapshot_stem(dir, iter);
+  CoreShard core;
+  core.fingerprint = 0xbe7cULL;
+  core.iteration = iter;
+  core.world = geo.world;
+  core.mem_copies = 1;
+  core.weights.assign(geo.params, 0.125f);
+  write_core_shard(stem, core);
+  write_mem_shard(stem, make_mem_shard(state, 0xbe7cULL, iter, 0));
+  RankShard rs;
+  rs.fingerprint = 0xbe7cULL;
+  rs.iteration = iter;
+  rs.adam_steps = iter;
+  rs.adam_m.assign(geo.params, 0.25f);
+  rs.adam_v.assign(geo.params, 0.5f);
+  for (std::size_t r = 0; r < geo.world; ++r) {
+    rs.rank = r;
+    write_rank_shard(stem, rs);
+  }
+  CommitShard commit;
+  commit.fingerprint = 0xbe7cULL;
+  commit.iteration = iter;
+  commit.world = geo.world;
+  commit.mem_copies = 1;
+  write_commit_shard(stem, commit);
+}
+
+}  // namespace
+}  // namespace disttgl
+
+int main(int argc, char** argv) {
+  using namespace disttgl;
+  namespace fs = std::filesystem;
+
+  SnapshotGeometry geo;
+  const std::size_t iters = arg_or(argc, argv, "iters", 5);
+  geo.params = arg_or(argc, argv, "params", geo.params);
+  geo.nodes = arg_or(argc, argv, "nodes", geo.nodes);
+  geo.world = arg_or(argc, argv, "world", geo.world);
+
+  bench::header("recovery_ops (BENCH_recovery.json trajectory)",
+                "atomic snapshot save, checksum-validated discovery+load, "
+                "and supervised restart latency at paper memory dims");
+
+  const std::string dir =
+      "/tmp/disttgl-ckpt/bench." + std::to_string(::getpid());
+  fs::create_directories(dir);
+  MemoryState state(geo.nodes, geo.mem_dim, geo.mail_dim);
+  const double mb = geo.set_bytes() / 1e6;
+
+  bench::section("snapshot save (core + mem + rank shards + commit)");
+  {
+    fill_snapshot_set(dir, geo, 0, state);  // warm the allocator/page cache
+    WallTimer timer;
+    for (std::size_t t = 1; t <= iters; ++t)
+      fill_snapshot_set(dir, geo, t, state);
+    const double us = timer.seconds() * 1e6 / static_cast<double>(iters);
+    std::printf(
+        "recovery_ops op=snapshot_save world=%zu params=%zu nodes=%zu "
+        "mb=%.2f measured_us=%.2f mb_per_s=%.1f\n",
+        geo.world, geo.params, geo.nodes, mb, us, mb / (us / 1e6) / 1.0);
+  }
+
+  bench::section("snapshot discovery + validated load");
+  {
+    // Steady-state directory shape: retention keeps the newest two sets,
+    // so discovery validates what a real resume would scan.
+    retain_snapshots(dir, 2);
+    WallTimer timer;
+    for (std::size_t t = 0; t < iters; ++t) {
+      const auto snap =
+          find_latest_snapshot(dir, 0xbe7cULL, geo.world, 1);
+      if (!snap) return 1;
+      const CoreShard core = read_core_shard(snap->stem);
+      const MemShard mem = read_mem_shard(snap->stem, 0);
+      std::size_t rank_bytes = 0;
+      for (std::size_t r = 0; r < geo.world; ++r)
+        rank_bytes += read_rank_shard(snap->stem, r).adam_m.size();
+      if (core.weights.empty() || mem.mem.empty() || rank_bytes == 0) return 1;
+    }
+    const double us = timer.seconds() * 1e6 / static_cast<double>(iters);
+    std::printf(
+        "recovery_ops op=snapshot_load world=%zu params=%zu nodes=%zu "
+        "mb=%.2f measured_us=%.2f mb_per_s=%.1f\n",
+        geo.world, geo.params, geo.nodes, mb, us, mb / (us / 1e6));
+  }
+  fs::remove_all(dir);
+
+  bench::section("supervised restart (injected kill, resume, retrain)");
+  {
+    datagen::SynthSpec spec;
+    spec.num_src = 40;
+    spec.num_dst = 20;
+    spec.num_events = 800;
+    spec.edge_feat_dim = 4;
+    spec.seed = 7;
+    TemporalGraph g = datagen::generate(spec);
+
+    TrainingConfig cfg;
+    cfg.model.mem_dim = 100;  // paper dim: model build dominates restart
+    cfg.model.time_dim = 100;
+    cfg.model.attn_dim = 100;
+    cfg.model.emb_dim = 100;
+    cfg.local_batch = 40;
+    cfg.epochs = 1;
+    cfg.seed = 11;
+    cfg.parallel = {.i = 1, .j = 2, .k = 1};
+    cfg.recovery.checkpoint_dir = dir + ".restart";
+    fs::create_directories(cfg.recovery.checkpoint_dir);
+    cfg.recovery.checkpoint_every = 3;
+    cfg.recovery.max_restarts = 1;
+    cfg.recovery.backoff_ms = 0;
+    cfg.fabric.fault.kill_armed = true;
+    cfg.fabric.fault.kill_rank = 1;
+    cfg.fabric.fault.kill_iteration = 5;
+
+    WallTimer timer;
+    const SupervisedResult sup = train_supervised(cfg, g);
+    const double total_s = timer.seconds();
+    const double recover_ms = sup.restart_latency_seconds.empty()
+                                  ? 0.0
+                                  : sup.restart_latency_seconds[0] * 1e3;
+    std::printf(
+        "recovery_ops op=restart restarts=%zu recover_ms=%.2f "
+        "supervised_wall_s=%.3f resumed_iterations=%zu\n",
+        sup.restarts, recover_ms, total_s, sup.result.iterations);
+    fs::remove_all(cfg.recovery.checkpoint_dir);
+  }
+  return 0;
+}

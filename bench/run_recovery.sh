@@ -1,0 +1,83 @@
+#!/usr/bin/env sh
+# Run bench_recovery_ops and append a labelled entry to
+# BENCH_recovery.json, the recovery-path trajectory (docs/BENCHMARKS.md).
+#
+#   bench/run_recovery.sh [label] [path/to/bench_recovery_ops] [extra args...]
+#
+# Defaults: label = current git revision,
+# binary = build/bench/bench_recovery_ops. Extra args are passed through
+# (e.g. --iters=10 --params=500000).
+#
+# Each entry records the atomic snapshot-save and validated-load cost of
+# a full paper-dim snapshot set, and the supervisor's measured restart
+# latency around an injected kill.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+label=${1:-$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unlabelled)}
+bin=${2:-"$repo_root/build/bench/bench_recovery_ops"}
+[ $# -ge 1 ] && shift
+[ $# -ge 1 ] && shift
+out="$repo_root/BENCH_recovery.json"
+
+if [ ! -x "$bin" ]; then
+  echo "error: $bin not found or not executable." >&2
+  echo "Configure with -DDISTTGL_BUILD_BENCH=ON and build bench_recovery_ops." >&2
+  exit 1
+fi
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+"$bin" "$@" | tee "$raw"
+
+LABEL="$label" RAW="$raw" OUT="$out" python3 - <<'EOF'
+import datetime
+import json
+import os
+import re
+
+snapshot = {}
+restart = {}
+with open(os.environ["RAW"]) as f:
+    for line in f:
+        m = re.match(
+            r"recovery_ops op=(snapshot_save|snapshot_load) world=(\d+) "
+            r"params=(\d+) nodes=(\d+) mb=([\d.]+) measured_us=([\d.]+) "
+            r"mb_per_s=([\d.]+)", line)
+        if m:
+            snapshot[m.group(1)] = {
+                "world": int(m.group(2)),
+                "params": int(m.group(3)),
+                "nodes": int(m.group(4)),
+                "mb": float(m.group(5)),
+                "measured_us": float(m.group(6)),
+                "mb_per_s": float(m.group(7)),
+            }
+            continue
+        m = re.match(
+            r"recovery_ops op=restart restarts=(\d+) recover_ms=([\d.]+) "
+            r"supervised_wall_s=([\d.]+) resumed_iterations=(\d+)", line)
+        if m:
+            restart = {
+                "restarts": int(m.group(1)),
+                "recover_ms": float(m.group(2)),
+                "supervised_wall_s": float(m.group(3)),
+                "resumed_iterations": int(m.group(4)),
+            }
+
+entry = {
+    "label": os.environ["LABEL"],
+    "date": datetime.date.today().isoformat(),
+    "snapshot": snapshot,
+    "restart": restart,
+}
+
+out = os.environ["OUT"]
+trajectory = json.load(open(out)) if os.path.exists(out) else []
+trajectory.append(entry)
+with open(out, "w") as f:
+    json.dump(trajectory, f, indent=2)
+    f.write("\n")
+print(f"appended entry '{entry['label']}' "
+      f"({len(snapshot)} snapshot ops + restart) to {out}")
+EOF

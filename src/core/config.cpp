@@ -27,6 +27,18 @@ void validate(const TrainingConfig& cfg) {
                "FabricKind::kProc requires machines == 1");
   DT_CHECK_GT(cfg.fabric.timeout_ms, 0u);
   DT_CHECK_GT(cfg.fabric.launch_timeout_ms, 0u);
+  DT_CHECK_MSG(cfg.recovery.checkpoint_every == 0 ||
+                   !cfg.recovery.checkpoint_dir.empty(),
+               "recovery.checkpoint_every requires recovery.checkpoint_dir");
+  DT_CHECK_GT(cfg.recovery.keep_last, 0u);
+  // A stalled *thread* would wedge the whole in-process group (no parent
+  // to kill it); stall injection is a proc-fabric chaos knob only.
+  DT_CHECK_MSG(!cfg.fabric.fault.stall_armed ||
+                   cfg.fabric.kind == FabricKind::kProc,
+               "fabric.fault.stall_armed requires FabricKind::kProc");
+  DT_CHECK_MSG(cfg.recovery.heartbeat_ms == 0 ||
+                   cfg.fabric.kind == FabricKind::kProc,
+               "recovery.heartbeat_ms requires FabricKind::kProc");
 }
 
 }  // namespace disttgl

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "memory/mailbox.hpp"
 
@@ -55,6 +56,27 @@ enum class PipelineMode : std::uint8_t { kLegacy, kPooled };
 // per-GPU worker processes.
 enum class FabricKind : std::uint8_t { kThread, kProc };
 
+// Chaos-injection knobs for the recovery test/bench harness
+// (docs/TUNING.md "Fault injection"). All default-off; armed faults fire
+// exactly once inside run_rank and are disarmed by the supervisor before
+// it restarts the group, so a restarted run trains clean.
+struct FaultConfig {
+  // SIGKILL (proc fabric) / throw kInjectedFault (thread fabric) on rank
+  // `kill_rank` at the top of global iteration `kill_iteration`.
+  bool kill_armed = false;
+  std::size_t kill_rank = 0;
+  std::size_t kill_iteration = 0;
+  // Stop making progress (and heartbeating) on `stall_rank` at iteration
+  // `stall_iteration` without dying — exercises hung-rank detection.
+  // Proc fabric only: a stalled thread would wedge the in-process group.
+  bool stall_armed = false;
+  std::size_t stall_rank = 0;
+  std::size_t stall_iteration = 0;
+  // Supervisor-side: flip one payload byte in the newest snapshot before
+  // the first restart, forcing the fallback-to-previous path.
+  bool corrupt_latest_checkpoint = false;
+};
+
 struct FabricConfig {
   FabricKind kind = FabricKind::kThread;
   // Bounded-spin budget before every fabric wait parks on a futex
@@ -73,6 +95,40 @@ struct FabricConfig {
   // node count). An oversized request is a typed kCapacity error.
   std::size_t slot_read_nodes = 0;
   std::size_t slot_write_nodes = 0;
+  // Chaos harness (tests/benches only in practice; defaults are inert).
+  FaultConfig fault;
+};
+
+// Elastic-recovery knobs (docs/TUNING.md "Recovery",
+// docs/ARCHITECTURE.md "Recovery"). Defaults keep every PR 6 behaviour:
+// no snapshots, no restarts, no heartbeats — a dead rank is a fail-fast
+// typed FabricError exactly as before.
+struct RecoveryConfig {
+  // Write a full-state snapshot after every N global iterations
+  // (0 = never). Snapshots land in `checkpoint_dir` as ckpt_<iter>.*
+  // shard sets committed by an atomically-renamed .commit marker.
+  std::size_t checkpoint_every = 0;
+  std::string checkpoint_dir;
+  // Retain the newest K committed snapshots (>=1); older sets are
+  // deleted marker-first so an interrupted sweep never leaves a
+  // commit pointing at missing shards.
+  std::size_t keep_last = 2;
+  // Supervisor restart budget for train_supervised; 0 = fail fast on the
+  // first FabricError (identical to calling train_distributed).
+  std::size_t max_restarts = 0;
+  // Exponential backoff between restart attempts: backoff_ms * 2^attempt
+  // capped at backoff_cap_ms.
+  std::size_t backoff_ms = 100;
+  std::size_t backoff_cap_ms = 5'000;
+  // Proc fabric: children emit a heartbeat frame on the result pipe at
+  // least every heartbeat_ms (0 = off); the parent SIGKILLs the group
+  // and reports kHeartbeatLost when a rank goes silent longer than
+  // heartbeat_timeout_ms (0 = auto: 10 x heartbeat_ms).
+  std::size_t heartbeat_ms = 0;
+  std::size_t heartbeat_timeout_ms = 0;
+  // Resume from this snapshot stem (".../ckpt_<iter>", no extension);
+  // empty = fresh start. Set by the supervisor, settable by hand.
+  std::string resume_from;
 };
 
 struct TrainingConfig {
@@ -115,6 +171,9 @@ struct TrainingConfig {
 
   // Transport fabric selection + knobs (docs/TUNING.md "Fabric").
   FabricConfig fabric;
+
+  // Checkpointing + supervised-restart knobs (docs/TUNING.md "Recovery").
+  RecoveryConfig recovery;
 
   float lr() const {
     return scale_lr_with_world

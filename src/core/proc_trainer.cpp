@@ -83,6 +83,8 @@ std::vector<std::uint8_t> run_child(const TrainingConfig& cfg,
     dc.j = cfg.parallel.j;
     dc.reset_before_round =
         trainer.schedule().groups[m].reset_before_round;
+    dc.start_round = std::min(trainer.start_iteration(),
+                              trainer.schedule().rounds_per_group);
     dc.wait = wait;
     server = std::make_unique<ShmDaemonServer>(trainer.state(m), dc, channel);
     server->start();
@@ -187,7 +189,25 @@ ThreadedTrainResult train_multiprocess(const TrainingConfig& cfg,
       });
   dist::rendezvous_host(socket_path, info, launch_timeout);
 
-  std::vector<dist::ChildResult> results = group.wait(launch_timeout);
+  // Heartbeat supervision (recovery.heartbeat_ms > 0): hold each rank to
+  // its beat cadence once it starts framing; the explicit timeout wins,
+  // else 10 beats of grace.
+  const auto hb_timeout = std::chrono::milliseconds(
+      cfg.recovery.heartbeat_ms > 0
+          ? (cfg.recovery.heartbeat_timeout_ms > 0
+                 ? cfg.recovery.heartbeat_timeout_ms
+                 : 10 * cfg.recovery.heartbeat_ms)
+          : 0);
+
+  std::vector<dist::ChildResult> results = group.wait(launch_timeout,
+                                                      hb_timeout);
+  // A lost heartbeat SIGKILLs the whole group, so sibling ranks also die
+  // "killed by signal 9" — prefer the root-cause result when throwing.
+  for (const dist::ChildResult& r : results) {
+    if (!r.ok && r.errc == dist::FabricErrc::kHeartbeatLost)
+      throw dist::FabricError(
+          r.errc, "rank " + std::to_string(r.rank) + ": " + r.message);
+  }
   for (const dist::ChildResult& r : results) {
     if (!r.ok)
       throw dist::FabricError(

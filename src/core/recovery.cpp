@@ -1,0 +1,104 @@
+#include "core/recovery.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "core/checkpoint.hpp"
+#include "distributed/socket.hpp"
+#include "util/timer.hpp"
+
+namespace disttgl {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// fabric.fault.corrupt_latest_checkpoint: flip one payload byte of the
+// newest valid snapshot's core shard. The container checksum then fails,
+// validate_snapshot rejects the whole set, and recovery must fall back
+// to the previous snapshot — the torn-write drill, end to end.
+void corrupt_latest(const std::string& dir, std::uint64_t fingerprint,
+                    std::size_t world, std::size_t mem_copies) {
+  const auto latest =
+      find_latest_snapshot(dir, fingerprint, world, mem_copies);
+  if (!latest) return;
+  const std::string path = latest->stem + ".core";
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  if (ec || size < 32) return;
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  if (!f) return;
+  f.seekg(-1, std::ios::end);
+  char byte = 0;
+  f.get(byte);
+  f.seekp(-1, std::ios::end);
+  f.put(static_cast<char>(byte ^ 0x5a));
+}
+
+// Stale atomic-write leftovers from the killed attempt. Committed
+// snapshots are never *.tmp, so this can only reclaim garbage.
+void sweep_tmp(const std::string& dir) {
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".tmp") fs::remove(entry.path(), ec);
+  }
+}
+
+}  // namespace
+
+SupervisedResult train_supervised(const TrainingConfig& cfg,
+                                  const TemporalGraph& graph,
+                                  const Matrix* static_memory) {
+  SupervisedResult sup;
+  TrainingConfig attempt_cfg = cfg;
+  const std::uint64_t fingerprint =
+      config_fingerprint(cfg, graph.num_nodes(), graph.num_events());
+  const std::size_t world = cfg.parallel.total_trainers();
+
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      sup.result = train_distributed(attempt_cfg, graph, static_memory);
+      return sup;
+    } catch (const dist::FabricError& e) {
+      if (attempt >= cfg.recovery.max_restarts) throw;
+      sup.failures.push_back(e.what());
+
+      WallTimer recovery_timer;
+      // The injected fault fired; a real transient fault would not
+      // recur either. Disarm everything before the retry.
+      attempt_cfg.fabric.fault = FaultConfig{};
+      if (attempt == 0 && cfg.fabric.fault.corrupt_latest_checkpoint &&
+          !cfg.recovery.checkpoint_dir.empty())
+        corrupt_latest(cfg.recovery.checkpoint_dir, fingerprint, world,
+                       cfg.parallel.k);
+      if (!cfg.recovery.checkpoint_dir.empty())
+        sweep_tmp(cfg.recovery.checkpoint_dir);
+
+      // Newest snapshot whose every shard validates (checksum, version,
+      // fingerprint, geometry); torn or corrupted sets are skipped, so
+      // this is also the fallback-to-previous path.
+      attempt_cfg.recovery.resume_from.clear();
+      if (!cfg.recovery.checkpoint_dir.empty()) {
+        if (const auto snap = find_latest_snapshot(
+                cfg.recovery.checkpoint_dir, fingerprint, world,
+                cfg.parallel.k))
+          attempt_cfg.recovery.resume_from = snap->stem;
+      }
+      sup.resume_stems.push_back(attempt_cfg.recovery.resume_from);
+
+      const std::uint64_t backoff = std::min<std::uint64_t>(
+          cfg.recovery.backoff_ms << std::min<std::size_t>(attempt, 20),
+          cfg.recovery.backoff_cap_ms);
+      if (backoff > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+
+      ++sup.restarts;
+      sup.restart_latency_seconds.push_back(recovery_timer.seconds());
+    }
+  }
+}
+
+}  // namespace disttgl

@@ -1,0 +1,50 @@
+// Elastic supervisor: restart-on-failure around train_distributed.
+//
+// train_supervised runs the configured fabric under a restart loop
+// driven by cfg.recovery: a training attempt that dies with a
+// FabricError (crashed rank, lost heartbeat, poisoned collective) is
+// torn down — the proc fabric's owning locals reclaim shm and the
+// launcher SIGKILLs stragglers on unwind — and retried up to
+// recovery.max_restarts times with exponential backoff. Each retry
+// resumes from the newest *valid* snapshot in recovery.checkpoint_dir
+// (checkpoint.hpp's find_latest_snapshot skips torn or corrupt
+// snapshot sets, falling back to the previous one), or from scratch
+// when no valid snapshot exists yet.
+//
+// Determinism contract (tests/test_equivalence): a run killed at
+// iteration n and resumed from its snapshot produces final weights,
+// loss totals, and memory digests bitwise equal to the uninterrupted
+// run — on both fabrics.
+//
+// With recovery.max_restarts == 0 (the default) the supervisor adds
+// nothing: the first FabricError propagates to the caller unchanged
+// (fail fast, typed).
+#pragma once
+
+#include "core/proc_trainer.hpp"
+
+namespace disttgl {
+
+struct SupervisedResult {
+  ThreadedTrainResult result;
+  // Restart accounting for bench/recovery_ops and the recovery tests.
+  std::size_t restarts = 0;
+  // Per-restart recovery latency: teardown already happened when the
+  // error surfaced; this measures snapshot discovery + backoff + the
+  // decision overhead between "attempt died" and "next attempt starts".
+  std::vector<double> restart_latency_seconds;
+  // what() of each failed attempt's error, in order.
+  std::vector<std::string> failures;
+  // Stem each restart resumed from ("" = from scratch).
+  std::vector<std::string> resume_stems;
+};
+
+// Runs train_distributed under the restart policy above. Fault-injection
+// knobs (cfg.fabric.fault) fire on the first attempt only — the
+// supervisor disarms them in its working copy before retrying, exactly
+// like a real transient fault that does not recur.
+SupervisedResult train_supervised(const TrainingConfig& cfg,
+                                  const TemporalGraph& graph,
+                                  const Matrix* static_memory = nullptr);
+
+}  // namespace disttgl

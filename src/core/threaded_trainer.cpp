@@ -1,10 +1,16 @@
 #include "core/threaded_trainer.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <csignal>
 #include <span>
 #include <thread>
 
+#include "core/checkpoint.hpp"
+#include "distributed/launch.hpp"
+#include "distributed/socket.hpp"
+#include "distributed/wire.hpp"
 #include "util/timer.hpp"
 
 namespace disttgl {
@@ -85,6 +91,41 @@ ThreadedTrainer::ThreadedTrainer(const TrainingConfig& cfg,
   rank_loss_.assign(n, 0.0);
   rank_loss_count_.assign(n, 0);
   rank_events_.assign(n, 0);
+
+  fingerprint_ =
+      config_fingerprint(cfg_, graph.num_nodes(), graph.num_events());
+  if (!cfg_.recovery.resume_from.empty()) restore_from_snapshot();
+}
+
+void ThreadedTrainer::restore_from_snapshot() {
+  const std::string& stem = cfg_.recovery.resume_from;
+  const auto& par = cfg_.parallel;
+  const CoreShard core = read_core_shard(stem);
+  if (core.fingerprint != fingerprint_)
+    throw CheckpointError(
+        CheckpointErrc::kFingerprintMismatch, stem + ".core",
+        "snapshot " + stem + " belongs to a different run configuration",
+        fingerprint_, core.fingerprint);
+  if (core.world != par.total_trainers() || core.mem_copies != par.k)
+    throw CheckpointError(CheckpointErrc::kShapeMismatch, stem + ".core",
+                          "snapshot " + stem + " world/memory geometry "
+                          "disagrees with the configuration",
+                          par.total_trainers(), core.world);
+  if (core.weights.size() != models_[0]->num_parameters())
+    throw CheckpointError(CheckpointErrc::kShapeMismatch, stem + ".core",
+                          "snapshot weight count disagrees with the model",
+                          models_[0]->num_parameters(), core.weights.size());
+  if (core.iteration >= schedule_.total_iterations)
+    throw CheckpointError(CheckpointErrc::kShapeMismatch, stem + ".core",
+                          "snapshot iteration is past the end of the run",
+                          schedule_.total_iterations, core.iteration);
+  for (auto& model : models_) {
+    const std::span<float> values = model->flat_values();
+    std::copy(core.weights.begin(), core.weights.end(), values.begin());
+  }
+  for (std::size_t m = 0; m < par.k; ++m)
+    apply_mem_shard(read_mem_shard(stem, m), states_[m]);
+  start_iteration_ = core.iteration;
 }
 
 // Fused allreduce→step chunk hook: global grad-clip scale from the
@@ -118,7 +159,19 @@ std::pair<std::size_t, std::size_t> ThreadedTrainer::chunk_events(
 }
 
 void ThreadedTrainer::trainer_thread(std::size_t rank) {
-  run_rank(rank, *daemons_[schedule_.trainers[rank].mem_copy], *comm_);
+  try {
+    run_rank(rank, *daemons_[schedule_.trainers[rank].mem_copy], *comm_);
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      if (!first_failure_) first_failure_ = std::current_exception();
+    }
+    // Poison every rendezvous point so siblings blocked in the
+    // collective or the daemon protocol fail kAborted instead of
+    // hanging on a partner that will never arrive.
+    comm_->abort_session();
+    for (auto& d : daemons_) d->abort();
+  }
 }
 
 void ThreadedTrainer::run_rank(std::size_t rank, DaemonChannel& daemon,
@@ -129,11 +182,14 @@ void ThreadedTrainer::run_rank(std::size_t rank, DaemonChannel& daemon,
   nn::Adam& opt = *optimizers_[rank];
   const std::vector<nn::Parameter*>& params = model.cached_parameters();
 
+  const std::size_t t0 = start_iteration_;
+
   // Prefetch requests: one per version-0 (memory-op) item. Empty chunks
-  // yield no request but still take part in the daemon protocol.
+  // yield no request but still take part in the daemon protocol. On
+  // resume, items already executed by the snapshot yield none either.
   std::vector<Prefetcher::Request> requests;
   for (const WorkItem& item : ts.items) {
-    if (!item.memory_ops) continue;
+    if (!item.memory_ops || item.iteration < t0) continue;
     const auto [begin, end] = chunk_events(item.global_batch, ts.chunk);
     if (begin >= end) continue;
     Prefetcher::Request req;
@@ -178,7 +234,98 @@ void ThreadedTrainer::run_rank(std::size_t rank, DaemonChannel& daemon,
   TimingLog iteration_log;  // filled for rank 0 only
 
   std::size_t cursor = 0;
-  for (std::size_t t = 0; t < schedule_.total_iterations; ++t) {
+  while (cursor < ts.items.size() && ts.items[cursor].iteration < t0) ++cursor;
+
+  // A rank snapshotted mid version-chain resumes with the chain's read
+  // slice from its shard and the chain's batch rebuilt here — the
+  // builder is a pure function of (graph, batch range, negative
+  // groups), so the rebuild is bit-identical to the batch the
+  // interrupted run popped.
+  MiniBatch resume_batch;
+  bool resume_active = false;
+  if (t0 > 0) {
+    const RankShard shard = read_rank_shard(cfg_.recovery.resume_from, rank);
+    if (shard.fingerprint != fingerprint_)
+      throw CheckpointError(CheckpointErrc::kFingerprintMismatch,
+                            cfg_.recovery.resume_from + ".rank" +
+                                std::to_string(rank),
+                            "rank shard belongs to a different run",
+                            fingerprint_, shard.fingerprint);
+    local_loss = shard.loss_sum;
+    local_count = shard.loss_count;
+    local_events = shard.events;
+    opt.restore_state(shard.adam_steps, shard.adam_m, shard.adam_v);
+    if (shard.has_slice) {
+      DT_CHECK(cursor < ts.items.size());
+      const WorkItem& item = ts.items[cursor];
+      DT_CHECK(!item.memory_ops);  // mid-chain ⇒ next item recomputes
+      slice.mem.resize(shard.slice_nodes, shard.slice_mem_dim);
+      std::copy(shard.slice_mem.begin(), shard.slice_mem.end(),
+                slice.mem.data());
+      slice.mem_ts = shard.slice_mem_ts;
+      slice.mail.resize(shard.slice_nodes, shard.slice_mail_dim);
+      std::copy(shard.slice_mail.begin(), shard.slice_mail.end(),
+                slice.mail.data());
+      slice.mail_ts = shard.slice_mail_ts;
+      slice.has_mail = shard.slice_flags;
+      const auto [begin, end] = chunk_events(item.global_batch, ts.chunk);
+      DT_CHECK_LT(begin, end);  // an empty chunk never holds a batch
+      std::vector<std::size_t> groups;
+      if (model.task() == TGNModel::Task::kLinkPrediction) {
+        for (std::size_t v = 0; v < par.j; ++v)
+          groups.push_back(
+              (item.cycle * par.j * par.k + ts.mem_copy * par.j + v) %
+              cfg_.neg_groups);
+        DT_CHECK_EQ(groups[item.version], item.neg_group);
+      }
+      builder_->build_into(item.global_batch * par.i + ts.chunk, begin, end,
+                           groups, resume_batch);
+      resume_active = true;
+    }
+  }
+
+  // Fault injection + heartbeat state (both inert by default).
+  const FaultConfig& fault = cfg_.fabric.fault;
+  const bool proc_fabric = cfg_.fabric.kind == FabricKind::kProc;
+  const int control_fd = dist::child_control_fd();
+  const auto beat_every = std::chrono::milliseconds(cfg_.recovery.heartbeat_ms);
+  const bool beat = cfg_.recovery.heartbeat_ms != 0 && control_fd >= 0;
+  // First beat fires on the first iteration: supervision starts at a
+  // rank's first frame, so beating must begin before any injected stall
+  // can silence the rank.
+  auto last_beat = std::chrono::steady_clock::now() - beat_every;
+  const std::size_t ckpt_every = cfg_.recovery.checkpoint_every;
+  const bool snapshots = ckpt_every != 0 && !cfg_.recovery.checkpoint_dir.empty();
+
+  for (std::size_t t = t0; t < schedule_.total_iterations; ++t) {
+    if (fault.kill_armed && rank == fault.kill_rank &&
+        t == fault.kill_iteration) {
+      // Proc fabric: die exactly as a crashed worker does. Thread
+      // fabric: a SIGKILL would take the whole test process, so the
+      // typed throw stands in for the death.
+      if (proc_fabric) ::raise(SIGKILL);
+      dist::throw_fabric(dist::FabricErrc::kInjectedFault,
+                         "injected kill on rank " + std::to_string(rank) +
+                             " at iteration " + std::to_string(t));
+    }
+    if (fault.stall_armed && proc_fabric && rank == fault.stall_rank &&
+        t == fault.stall_iteration) {
+      // Hang without dying (and without heartbeating) — the supervisor
+      // must notice via heartbeat silence, not via an EOF.
+      std::this_thread::sleep_for(std::chrono::hours(24));
+    }
+    if (beat) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_beat >= beat_every) {
+        dist::WireWriter w;
+        w.put_u64(rank);
+        w.put_u64(t);
+        dist::write_frame(control_fd, dist::MsgType::kHeartbeat, w.bytes(),
+                          dist::deadline_after(std::chrono::milliseconds(
+                              cfg_.fabric.timeout_ms)));
+        last_beat = now;
+      }
+    }
     const WorkItem* item = nullptr;
     if (cursor < ts.items.size() && ts.items[cursor].iteration == t)
       item = &ts.items[cursor];
@@ -194,6 +341,7 @@ void ThreadedTrainer::run_rank(std::size_t rank, DaemonChannel& daemon,
 
     if (item != nullptr) {
       if (item->memory_ops) {
+        resume_active = false;  // a fresh chain replaces the resumed one
         write.clear();  // train_step refills it for non-empty chunks
         const auto [begin, end] = chunk_events(item->global_batch, ts.chunk);
         if (begin >= end) {
@@ -217,13 +365,16 @@ void ThreadedTrainer::run_rank(std::size_t rank, DaemonChannel& daemon,
           post_write = true;
         }
       }
-      if (batch.has_value()) {
+      const MiniBatch* mb = batch.has_value()
+                                ? &*batch
+                                : (resume_active ? &resume_batch : nullptr);
+      if (mb != nullptr) {
         ScopedAccumulator acc(iter_compute);
-        model.train_step_into(*batch, slice, item->version,
+        model.train_step_into(*mb, slice, item->version,
                               item->memory_ops ? &write : nullptr, step);
         local_loss += step.loss;
         ++local_count;
-        local_events += batch->num_pos();
+        local_events += mb->num_pos();
       }
       ++cursor;
     }
@@ -251,6 +402,17 @@ void ThreadedTrainer::run_rank(std::size_t rank, DaemonChannel& daemon,
     if (rank == 0)
       iteration_log.add(iter_wait, iter_compute, iter_read_wait,
                         iter_write_wait);
+
+    if (snapshots && (t + 1) % ckpt_every == 0 &&
+        t + 1 < schedule_.total_iterations) {
+      // Mid-chain ⇔ the next item recomputes on the currently held
+      // batch+slice, so the read slice must ride along in the shard.
+      const bool mid_chain = cursor < ts.items.size() &&
+                             !ts.items[cursor].memory_ops &&
+                             (batch.has_value() || resume_active);
+      write_snapshot(rank, t + 1, daemon, comm, opt, local_loss, local_count,
+                     local_events, mid_chain, slice);
+    }
   }
 
   batch.release();  // hand the buffer back before the prefetcher drains
@@ -270,6 +432,82 @@ void ThreadedTrainer::run_rank(std::size_t rank, DaemonChannel& daemon,
   }
 }
 
+void ThreadedTrainer::write_snapshot(std::size_t rank, std::size_t done,
+                                     DaemonChannel& daemon, dist::Comm& comm,
+                                     nn::Adam& opt, double loss_sum,
+                                     std::size_t loss_count,
+                                     std::size_t events, bool mid_chain,
+                                     const MemorySlice& slice) {
+  const TrainerSchedule& ts = schedule_.trainers[rank];
+  const std::string stem =
+      snapshot_stem(cfg_.recovery.checkpoint_dir, done);
+
+  RankShard rs;
+  rs.fingerprint = fingerprint_;
+  rs.iteration = done;
+  rs.rank = rank;
+  rs.loss_sum = loss_sum;
+  rs.loss_count = loss_count;
+  rs.events = events;
+  rs.adam_steps = opt.steps_taken();
+  rs.adam_m.assign(opt.moment1().begin(), opt.moment1().end());
+  rs.adam_v.assign(opt.moment2().begin(), opt.moment2().end());
+  rs.has_slice = mid_chain;
+  if (mid_chain) {
+    rs.slice_nodes = slice.size();
+    rs.slice_mem_dim = slice.mem.cols();
+    rs.slice_mail_dim = slice.mail.cols();
+    rs.slice_mem.assign(slice.mem.data(), slice.mem.data() + slice.mem.size());
+    rs.slice_mem_ts = slice.mem_ts;
+    rs.slice_mail.assign(slice.mail.data(),
+                         slice.mail.data() + slice.mail.size());
+    rs.slice_mail_ts = slice.mail_ts;
+    rs.slice_flags = slice.has_mail;
+  }
+  write_rank_shard(stem, rs);
+
+  if (ts.group_rank == 0) {
+    // Quiesce the group's daemon: every round before `done` is fully
+    // served (writes applied), and no round-`done` traffic can start
+    // until every rank passes the barrier below — so this capture races
+    // nothing, including the (deferred) epoch-wrap reset.
+    daemon.await_rounds(std::min(done, schedule_.rounds_per_group));
+    write_mem_shard(stem, make_mem_shard(states_[ts.mem_copy], fingerprint_,
+                                         done, ts.mem_copy));
+  }
+  if (rank == 0) {
+    CoreShard cs;
+    cs.fingerprint = fingerprint_;
+    cs.iteration = done;
+    cs.world = cfg_.parallel.total_trainers();
+    cs.mem_copies = cfg_.parallel.k;
+    const std::span<const float> values = models_[rank]->flat_values();
+    cs.weights.assign(values.begin(), values.end());
+    write_core_shard(stem, cs);
+  }
+
+  // Every shard durable ⇒ commit. Only rank 0 lingers to write the
+  // marker and prune; everyone else resumes training immediately.
+  comm.barrier(rank);
+  if (rank == 0) {
+    CommitShard commit;
+    commit.fingerprint = fingerprint_;
+    commit.iteration = done;
+    commit.world = cfg_.parallel.total_trainers();
+    commit.mem_copies = cfg_.parallel.k;
+    write_commit_shard(stem, commit);
+    retain_snapshots(cfg_.recovery.checkpoint_dir, cfg_.recovery.keep_last);
+    const int control_fd = dist::child_control_fd();
+    if (control_fd >= 0) {
+      dist::WireWriter w;
+      w.put_u64(done);
+      dist::write_frame(control_fd, dist::MsgType::kCheckpointNote, w.bytes(),
+                        dist::deadline_after(std::chrono::milliseconds(
+                            cfg_.fabric.timeout_ms)));
+    }
+  }
+}
+
 ThreadedTrainResult ThreadedTrainer::train() {
   const auto& par = cfg_.parallel;
   const std::size_t n = par.total_trainers();
@@ -280,6 +518,7 @@ ThreadedTrainResult ThreadedTrainer::train() {
     dc.i = par.i;
     dc.j = par.j;
     dc.reset_before_round = schedule_.groups[m].reset_before_round;
+    dc.start_round = std::min(start_iteration_, schedule_.rounds_per_group);
     // Fan large gathers/scatters over the shared prefetch workers on
     // multi-core hosts (parallel_for's caller participation means a busy
     // pool can never stall the daemon; output is thread-count
@@ -298,7 +537,18 @@ ThreadedTrainResult ThreadedTrainer::train() {
   for (std::size_t r = 0; r < n; ++r)
     threads.emplace_back([this, r] { trainer_thread(r); });
   for (auto& th : threads) th.join();
-  for (auto& d : daemons_) d->join();
+  for (auto& d : daemons_) {
+    try {
+      d->join();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      if (!first_failure_) first_failure_ = std::current_exception();
+    }
+  }
+
+  // A failed rank poisons everything, every thread and daemon is joined
+  // above — now surface the root cause, not a secondary kAborted.
+  if (first_failure_) std::rethrow_exception(first_failure_);
 
   ThreadedTrainResult result;
   result.wall_seconds = timer.seconds();

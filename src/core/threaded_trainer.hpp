@@ -42,6 +42,8 @@
 #include "pipeline/prefetcher.hpp"
 #include "util/thread_pool.hpp"
 
+#include <exception>
+
 namespace disttgl {
 
 struct ThreadedTrainResult {
@@ -113,6 +115,11 @@ class ThreadedTrainer {
   MemoryState& state(std::size_t m) { return states_[m]; }
   std::size_t num_parameters() const { return models_[0]->num_parameters(); }
   std::size_t mail_raw_dim() const { return models_[0]->mail_raw_dim(); }
+  // Iterations already completed by the snapshot this trainer resumed
+  // from (0 = fresh start). run_rank starts its loop here; daemons must
+  // be started at round min(start_iteration, rounds_per_group).
+  std::size_t start_iteration() const { return start_iteration_; }
+  std::uint64_t fingerprint() const { return fingerprint_; }
   double rank_loss(std::size_t r) const { return rank_loss_[r]; }
   std::size_t rank_loss_count(std::size_t r) const {
     return rank_loss_count_[r];
@@ -123,6 +130,20 @@ class ThreadedTrainer {
   void trainer_thread(std::size_t rank);
   std::pair<std::size_t, std::size_t> chunk_events(std::size_t global_batch,
                                                    std::size_t chunk) const;
+  // Replicated-state restore from cfg.recovery.resume_from: weights into
+  // every replica, every memory copy, start_iteration_. Per-rank state
+  // (Adam moments, loss subtotals, in-flight slice) is restored inside
+  // run_rank from that rank's own shard.
+  void restore_from_snapshot();
+  // The coordinated snapshot at an iteration boundary (`done` iterations
+  // complete): every rank writes its rank shard; group hosts quiesce
+  // their daemon (await_rounds) and capture the memory copy; rank 0
+  // writes weights — then one barrier, and rank 0 commits + prunes.
+  void write_snapshot(std::size_t rank, std::size_t done,
+                      DaemonChannel& daemon, dist::Comm& comm, nn::Adam& opt,
+                      double loss_sum, std::size_t loss_count,
+                      std::size_t events, bool mid_chain,
+                      const MemorySlice& slice);
 
   TrainingConfig cfg_;
   const TemporalGraph* graph_;
@@ -156,6 +177,16 @@ class ThreadedTrainer {
   // Loss/event totals are kept per rank and summed in rank order so the
   // totals are independent of thread completion order (and comparable
   // bit-for-bit across fabrics).
+  // Elastic-recovery state: the config fingerprint stamped into every
+  // shard, and the resume position (0 = fresh).
+  std::uint64_t fingerprint_ = 0;
+  std::size_t start_iteration_ = 0;
+
+  // Thread-fabric failure funnel: the first exception a trainer thread
+  // (or daemon) dies with; siblings then fail kAborted via the poisoned
+  // comm/daemons and train() rethrows this one after joining everything.
+  std::exception_ptr first_failure_;
+
   std::mutex stats_mu_;
   std::vector<double> rank_loss_;
   std::vector<std::size_t> rank_loss_count_;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "distributed/fabric_error.hpp"
 #include "util/check.hpp"
 
 namespace disttgl::dist {
@@ -63,15 +64,20 @@ void ThreadComm::reserve(std::size_t max_elems) {
   max_elems_ = max_elems;
 }
 
+void ThreadComm::sync(BarrierToken& token) {
+  if (!token.wait())
+    throw_fabric(FabricErrc::kAborted, "thread collective aborted by a peer");
+}
+
 // Payload sizes are identical across ranks by contract, so every rank
 // evaluates the same predicate here and either all enter the grow phase
 // or none do (max_elems_ only changes inside it, between barriers).
 void ThreadComm::grow_if_needed(std::size_t rank, std::size_t size,
                                 BarrierToken& token) {
   if (size <= max_elems_) return;
-  token.wait();
+  sync(token);
   if (rank == 0) reserve(size);
-  token.wait();
+  sync(token);
 }
 
 void ThreadComm::check_uniform_size(std::size_t rank, std::size_t size) {
@@ -100,7 +106,7 @@ void ThreadComm::allreduce_mean(std::size_t rank, std::span<float> data) {
     std::memcpy(staged_.data() + rank * max_elems_, data.data(),
                 size * sizeof(float));
   account(rank, size);
-  token.wait();
+  sync(token);
 
   // Phase 2: reduce-scatter — this rank reduces only its owned chunks,
   // each in fixed rank order (deterministic), into the shared result row
@@ -121,7 +127,7 @@ void ThreadComm::allreduce_mean(std::size_t rank, std::span<float> data) {
       data[i] = mean;
     }
   }
-  token.wait();
+  sync(token);
 
   // Phase 3: allgather — copy the chunks other ranks reduced. No closing
   // barrier: a rank re-entering can only write its own staging row (not
@@ -155,9 +161,9 @@ void ThreadComm::allreduce_step(std::size_t rank, std::span<float> grads,
   if (norms_.size() < num_chunks) {
     // Only reachable with a shrinking chunk_elems option; sized here
     // under the same all-ranks-agree reasoning as grow_if_needed.
-    token.wait();
+    sync(token);
     if (rank == 0) norms_.resize(num_chunks, 0.0);
-    token.wait();
+    sync(token);
   }
 
   // Phase 1: deposit gradients.
@@ -166,7 +172,7 @@ void ThreadComm::allreduce_step(std::size_t rank, std::span<float> grads,
     std::memcpy(staged_.data() + rank * max_elems_, grads.data(),
                 size * sizeof(float));
   account(rank, size);
-  token.wait();
+  sync(token);
 
   // Phase 2: reduce-scatter the mean gradient into this rank's own
   // grads span (owned chunks only) and record per-chunk partial norms.
@@ -186,7 +192,7 @@ void ThreadComm::allreduce_step(std::size_t rank, std::span<float> grads,
     }
     norms_[c] = partial;
   }
-  token.wait();
+  sync(token);
 
   // Phase 3: global norm (chunk-order sum — deterministic), then step
   // the owned chunks and publish the updated parameters.
@@ -199,7 +205,7 @@ void ThreadComm::allreduce_step(std::size_t rank, std::span<float> grads,
     std::memcpy(result_.data() + lo, params.data() + lo,
                 (hi - lo) * sizeof(float));
   }
-  token.wait();
+  sync(token);
 
   // Phase 4: allgather updated parameters (same re-entry argument as
   // allreduce_mean's phase 3).

@@ -92,6 +92,20 @@ class Comm {
   virtual std::uint64_t logical_bytes() const = 0;
   virtual std::uint64_t num_allreduces() const = 0;
 
+  // Poisons the collective: peers currently parked (or arriving later)
+  // fail with kAborted instead of waiting for a rank that will never
+  // come. Error paths and the recovery supervisor use this for fast
+  // group teardown. Idempotent; callable from any thread.
+  virtual void abort_session() = 0;
+  virtual bool aborted() const = 0;
+
+  // Full-group synchronization point, used by the checkpoint protocol.
+  // A size-0 allreduce: both fabrics handle empty payloads (the memcpys
+  // are guarded and the chunk loops are no-ops), so this reuses the
+  // existing deadline/abort machinery instead of adding a second
+  // barrier implementation per transport.
+  void barrier(std::size_t rank) { allreduce_mean(rank, {}); }
+
   // Chunk partition of a payload of `size` elements.
   std::size_t chunk_elems_for(std::size_t size) const;
   std::size_t num_chunks_for(std::size_t size) const;
@@ -133,7 +147,19 @@ class ThreadComm final : public Comm {
   }
   std::uint64_t num_allreduces() const override { return num_calls_.load(); }
 
+  void abort_session() override {
+    aborted_.store(true, std::memory_order_release);
+    barrier_.poison();
+  }
+  bool aborted() const override {
+    return aborted_.load(std::memory_order_acquire);
+  }
+
  private:
+  // Barrier arrival that converts a poisoned barrier into the same
+  // typed kAborted the proc fabric throws, so trainer error handling is
+  // fabric-independent.
+  void sync(BarrierToken& token);
   void grow_if_needed(std::size_t rank, std::size_t size, BarrierToken& token);
   void check_uniform_size(std::size_t rank, std::size_t size);
   void account(std::size_t rank, std::size_t size);
@@ -150,6 +176,7 @@ class ThreadComm final : public Comm {
   std::size_t max_elems_ = 0;
   std::atomic<std::uint64_t> logical_bytes_{0};
   std::atomic<std::uint64_t> num_calls_{0};
+  std::atomic<bool> aborted_{false};
 };
 
 }  // namespace disttgl::dist

@@ -29,6 +29,8 @@ enum class FabricErrc {
   kChildFailed,      // a launched rank exited nonzero / was signaled
   kShmFailure,       // shm_open/ftruncate/mmap failed
   kSocketFailure,    // socket syscall failed (errno-level)
+  kInjectedFault,    // fabric.fault chaos knob fired (tests/benches)
+  kHeartbeatLost,    // rank stopped heartbeating past the timeout
 };
 
 inline const char* fabric_errc_name(FabricErrc c) {
@@ -47,6 +49,8 @@ inline const char* fabric_errc_name(FabricErrc c) {
     case FabricErrc::kChildFailed: return "child_failed";
     case FabricErrc::kShmFailure: return "shm_failure";
     case FabricErrc::kSocketFailure: return "socket_failure";
+    case FabricErrc::kInjectedFault: return "injected_fault";
+    case FabricErrc::kHeartbeatLost: return "heartbeat_lost";
   }
   return "unknown";
 }

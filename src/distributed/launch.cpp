@@ -14,12 +14,18 @@
 namespace disttgl::dist {
 namespace {
 
+// The forked child's end of its result pipe, published for control
+// frames (heartbeats). Set once in child_main before the rank function
+// runs; a fork has exactly one rank, so a plain global is enough.
+int g_child_control_fd = -1;
+
 // Child side: run the rank function, frame the outcome onto `fd`, and
 // _Exit. Never returns. Catches everything — an exception escaping to a
 // forked child would unwind into gtest/main machinery cloned from the
 // parent and produce duplicate output.
 [[noreturn]] void child_main(std::size_t rank, const ProcGroup::RankFn& fn,
                              int fd) {
+  g_child_control_fd = fd;
   const Deadline deadline = deadline_after(std::chrono::milliseconds(30'000));
   int exit_code = 0;
   try {
@@ -51,6 +57,8 @@ namespace {
 }
 
 }  // namespace
+
+int child_control_fd() { return g_child_control_fd; }
 
 ProcGroup ProcGroup::spawn(std::size_t world, const RankFn& fn) {
   ProcGroup group;
@@ -103,7 +111,9 @@ void ProcGroup::kill_rank(std::size_t rank) {
   ::kill(pids_.at(rank), SIGKILL);
 }
 
-std::vector<ChildResult> ProcGroup::wait(std::chrono::milliseconds timeout) {
+std::vector<ChildResult> ProcGroup::wait(
+    std::chrono::milliseconds timeout,
+    std::chrono::milliseconds heartbeat_timeout) {
   const std::size_t world = pids_.size();
   std::vector<ChildResult> results(world);
   for (std::size_t r = 0; r < world; ++r) results[r].rank = r;
@@ -113,6 +123,13 @@ std::vector<ChildResult> ProcGroup::wait(std::chrono::milliseconds timeout) {
   std::vector<FrameReader> readers(world);
   std::vector<bool> pipe_done(world, false);
   std::vector<bool> got_frame(world, false);
+  // Heartbeat supervision: last_seen[r] is meaningful once beating[r] —
+  // a rank is held to the cadence only after its first frame, so model
+  // construction before the first beat can't trip the timeout.
+  const bool supervise = heartbeat_timeout.count() > 0;
+  std::vector<bool> beating(world, false);
+  std::vector<std::chrono::steady_clock::time_point> last_seen(world);
+  bool hb_killed = false;
 
   // Drain every pipe until EOF (or deadline). A child's frame may be
   // followed by EOF in the same poll round; EOF without a frame means
@@ -129,46 +146,73 @@ std::vector<ChildResult> ProcGroup::wait(std::chrono::milliseconds timeout) {
     }
     const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
         deadline - std::chrono::steady_clock::now());
+    // Short poll slices while supervising so silence is noticed at a
+    // fraction of the heartbeat timeout, not at the 1 s drain cadence.
+    const long long slice = supervise ? 50 : 1000;
     const int rc = ::poll(pfds.data(), pfds.size(),
                           static_cast<int>(std::max<long long>(
-                              0, std::min<long long>(left.count(), 1000))));
+                              0, std::min<long long>(left.count(), slice))));
     if (rc < 0 && errno != EINTR)
       throw_fabric(FabricErrc::kSocketFailure,
                    std::string("poll: ") + std::strerror(errno));
-    if (rc <= 0) continue;
-    for (std::size_t k = 0; k < pfds.size(); ++k) {
-      if ((pfds[k].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
-      const std::size_t r = pfd_rank[k];
-      const ssize_t n = ::read(pfds[k].fd, buf, sizeof(buf));
-      if (n > 0) {
-        try {
-          readers[r].feed({buf, static_cast<std::size_t>(n)});
-          Frame frame;
-          while (readers[r].poll(frame)) {
-            got_frame[r] = true;
-            if (frame.type == MsgType::kResult) {
-              results[r].ok = true;
-              results[r].payload = std::move(frame.payload);
-            } else if (frame.type == MsgType::kErrorReport) {
-              WireCursor c(frame.payload);
-              results[r].ok = false;
-              results[r].errc = static_cast<FabricErrc>(c.get_u32());
-              results[r].message = c.get_string();
+    if (rc > 0) {
+      for (std::size_t k = 0; k < pfds.size(); ++k) {
+        if ((pfds[k].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+        const std::size_t r = pfd_rank[k];
+        const ssize_t n = ::read(pfds[k].fd, buf, sizeof(buf));
+        if (n > 0) {
+          try {
+            readers[r].feed({buf, static_cast<std::size_t>(n)});
+            Frame frame;
+            while (readers[r].poll(frame)) {
+              beating[r] = true;
+              last_seen[r] = std::chrono::steady_clock::now();
+              if (frame.type == MsgType::kResult) {
+                got_frame[r] = true;
+                results[r].ok = true;
+                results[r].payload = std::move(frame.payload);
+              } else if (frame.type == MsgType::kErrorReport) {
+                WireCursor c(frame.payload);
+                got_frame[r] = true;
+                results[r].ok = false;
+                results[r].errc = static_cast<FabricErrc>(c.get_u32());
+                results[r].message = c.get_string();
+              }
+              // kHeartbeat / kCheckpointNote: liveness only, consumed.
             }
+          } catch (const FabricError& e) {
+            // Garbage on the pipe — classify, stop reading this child.
+            got_frame[r] = true;
+            results[r].ok = false;
+            results[r].errc = e.code();
+            results[r].message = e.what();
+            pipe_done[r] = true;
+            --open_pipes;
           }
-        } catch (const FabricError& e) {
-          // Garbage on the pipe — classify, stop reading this child.
-          got_frame[r] = true;
-          results[r].ok = false;
-          results[r].errc = e.code();
-          results[r].message = e.what();
+        } else if (n == 0 || (n < 0 && errno != EINTR && errno != EAGAIN)) {
           pipe_done[r] = true;
           --open_pipes;
         }
-      } else if (n == 0 || (n < 0 && errno != EINTR && errno != EAGAIN)) {
-        pipe_done[r] = true;
-        --open_pipes;
       }
+    }
+    if (supervise && !hb_killed) {
+      const auto now = std::chrono::steady_clock::now();
+      for (std::size_t r = 0; r < world; ++r) {
+        if (pipe_done[r] || got_frame[r] || !beating[r]) continue;
+        if (now - last_seen[r] < heartbeat_timeout) continue;
+        // A beating rank went silent: dead or hung. Either way the
+        // group cannot finish — SIGKILL everyone and let the pipes
+        // drain to EOF below.
+        results[r].ok = false;
+        results[r].errc = FabricErrc::kHeartbeatLost;
+        results[r].message =
+            "rank went silent for longer than the heartbeat timeout (" +
+            std::to_string(heartbeat_timeout.count()) + " ms)";
+        got_frame[r] = true;
+        hb_killed = true;
+      }
+      if (hb_killed)
+        for (pid_t p : pids_) ::kill(p, SIGKILL);
     }
   }
 

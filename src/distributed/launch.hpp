@@ -56,7 +56,17 @@ class ProcGroup {
   // Collects every child's result, SIGKILLing any still alive past the
   // deadline. Idempotent; the destructor calls it with a short deadline
   // if the caller forgot.
-  std::vector<ChildResult> wait(std::chrono::milliseconds timeout);
+  //
+  // When `heartbeat_timeout` is nonzero, the parent also supervises
+  // liveness: once a rank has sent its first frame (heartbeat, note,
+  // result — anything), silence from it longer than the timeout means
+  // the rank is dead OR hung, so the whole group is SIGKILLed and the
+  // silent rank reported kHeartbeatLost. Ranks that never frame are
+  // covered by the launch deadline as before (startup cost must not
+  // count against the beat cadence).
+  std::vector<ChildResult> wait(
+      std::chrono::milliseconds timeout,
+      std::chrono::milliseconds heartbeat_timeout = std::chrono::milliseconds(0));
 
   // SIGKILL one rank (fault injection).
   void kill_rank(std::size_t rank);
@@ -78,5 +88,10 @@ class ProcGroup {
 std::vector<std::vector<std::uint8_t>> disttgl_launch(
     std::size_t world, const ProcGroup::RankFn& fn,
     std::chrono::milliseconds timeout);
+
+// Inside a forked rank: the child's end of its result pipe, for control
+// frames (kHeartbeat, kCheckpointNote) ahead of the final result frame.
+// -1 everywhere else (parent, thread fabric) — callers must gate on it.
+int child_control_fd();
 
 }  // namespace disttgl::dist

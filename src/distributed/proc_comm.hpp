@@ -72,8 +72,8 @@ class ProcComm final : public Comm {
   // Poisons the barrier: peers currently parked (or arriving later)
   // throw kAborted instead of waiting out their deadline. Error paths
   // and the fault tests use this for fast collective teardown.
-  void abort_session();
-  bool aborted() const;
+  void abort_session() override;
+  bool aborted() const override;
 
   const std::string& shm_name() const { return segment_.name(); }
 

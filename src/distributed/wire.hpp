@@ -42,6 +42,8 @@ enum class MsgType : std::uint16_t {
   kResult = 3,   // rank 0 → launcher parent: serialized train result
   kErrorReport = 4,  // any child → parent: {errc, message}
   kShutdown = 5,     // orderly teardown notice
+  kHeartbeat = 6,    // child → parent liveness beacon: {rank, iteration}
+  kCheckpointNote = 7,  // rank 0 → parent: snapshot committed {iteration}
 };
 
 struct Frame {

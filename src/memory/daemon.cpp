@@ -1,5 +1,6 @@
 #include "memory/daemon.hpp"
 
+#include "distributed/fabric_error.hpp"
 #include "util/check.hpp"
 
 namespace disttgl {
@@ -7,11 +8,35 @@ namespace disttgl {
 // The bounded-spin → park slot waits live in util/wait.hpp now (shared
 // with the collective barrier and the process fabric); the spin budget
 // arrives through DaemonConfig::wait instead of a hardcoded constant.
+//
+// Abort protocol: abort() stores kStatusPoison into every slot status
+// word (and a sentinel into the round counter) with a wake. Trainer-side
+// waits and posts observe the poison and throw kAborted; the daemon
+// thread observes it and exits its serve loop. Posts are CAS transitions
+// so a post racing an abort can never resurrect a poisoned word — the
+// only writer that does not CAS is abort() itself, and everything it
+// clobbers is wreckage by definition.
+
+namespace {
+// All-ones round counter = aborted (a real schedule never gets close).
+constexpr std::uint64_t kRoundsPoison = ~std::uint64_t{0};
+
+void poison_word(std::atomic<int>& word) {
+  word.store(kStatusPoison, std::memory_order_release);
+  word.notify_all();
+}
+
+[[noreturn]] void throw_aborted(const char* what) {
+  dist::throw_fabric(dist::FabricErrc::kAborted, what);
+}
+}  // namespace
 
 MemoryDaemon::MemoryDaemon(MemoryState& state, DaemonConfig config)
     : state_(state), config_(std::move(config)) {
   DT_CHECK_GT(config_.i, 0u);
   DT_CHECK_GT(config_.j, 0u);
+  DT_CHECK_LE(config_.start_round, config_.reset_before_round.size());
+  rounds_served_.store(config_.start_round, std::memory_order_relaxed);
   const std::size_t n = config_.i * config_.j;
   slots_.reserve(n);
   for (std::size_t r = 0; r < n; ++r) slots_.push_back(std::make_unique<Slot>());
@@ -32,26 +57,54 @@ void MemoryDaemon::join() {
   if (thread_.joinable()) thread_.join();
 }
 
+void MemoryDaemon::abort() {
+  aborted_.store(true, std::memory_order_release);
+  for (auto& slot : slots_) {
+    poison_word(slot->read_status);
+    poison_word(slot->write_status);
+  }
+  rounds_served_.store(kRoundsPoison, std::memory_order_release);
+  rounds_served_.notify_all();
+}
+
 void MemoryDaemon::read(std::size_t rank, std::span<const NodeId> nodes,
                         MemorySlice& out) {
   DT_CHECK_LT(rank, slots_.size());
   Slot& slot = *slots_[rank];
   // The slot must be free (previous request fully served).
-  await_status(slot.read_status, 0, config_.wait);
+  if (!await_status_abortable(slot.read_status, 0, config_.wait))
+    throw_aborted("memory daemon aborted (read slot)");
   slot.read_nodes = nodes.data();
   slot.read_count = nodes.size();
   slot.read_out = &out;
-  post_status(slot.read_status, 1);
-  await_status(slot.read_status, 0, config_.wait);  // gathered into `out`
+  if (!try_post_status(slot.read_status, 0, 1))
+    throw_aborted("memory daemon aborted (read post)");
+  // Gathered into `out`.
+  if (!await_status_abortable(slot.read_status, 0, config_.wait))
+    throw_aborted("memory daemon aborted (read wait)");
 }
 
 void MemoryDaemon::write(std::size_t rank, const MemoryWrite& w) {
   DT_CHECK_LT(rank, slots_.size());
   Slot& slot = *slots_[rank];
-  await_status(slot.write_status, 0, config_.wait);
+  if (!await_status_abortable(slot.write_status, 0, config_.wait))
+    throw_aborted("memory daemon aborted (write slot)");
   slot.write_req = &w;
-  post_status(slot.write_status, 1);
-  await_status(slot.write_status, 0, config_.wait);  // applied
+  if (!try_post_status(slot.write_status, 0, 1))
+    throw_aborted("memory daemon aborted (write post)");
+  // Applied.
+  if (!await_status_abortable(slot.write_status, 0, config_.wait))
+    throw_aborted("memory daemon aborted (write wait)");
+}
+
+void MemoryDaemon::await_rounds(std::size_t rounds) {
+  for (;;) {
+    if (aborted_.load(std::memory_order_acquire))
+      throw_aborted("memory daemon aborted (await_rounds)");
+    const std::uint64_t cur = rounds_served_.load(std::memory_order_acquire);
+    if (cur >= rounds) return;
+    rounds_served_.wait(cur, std::memory_order_acquire);
+  }
 }
 
 std::vector<std::string> MemoryDaemon::trace() const {
@@ -72,8 +125,7 @@ std::string trace_op(char tag, std::size_t rank) {
 
 void MemoryDaemon::run() {
   const std::size_t rounds = config_.reset_before_round.size();
-  for (std::size_t round = 0; round < rounds; ++round) {
-    if (config_.reset_before_round[round] != 0) state_.reset();
+  for (std::size_t round = config_.start_round; round < rounds; ++round) {
     const std::size_t sub = round % config_.j;
     const std::size_t base = sub * config_.i;
     // Serve all reads of this subgroup, then all writes — the
@@ -81,23 +133,29 @@ void MemoryDaemon::run() {
     // ordering requirement; we serve them by rank.
     for (std::size_t r = base; r < base + config_.i; ++r) {
       Slot& slot = *slots_[r];
-      await_status(slot.read_status, 1, config_.wait);
+      if (!await_status_abortable(slot.read_status, 1, config_.wait)) return;
+      // Epoch-wrap reset, deferred until the round's first read request
+      // arrives: a checkpoint captured between rounds (await_rounds
+      // happens-before any round-r post) can then never race the zeroing.
+      if (r == base && config_.reset_before_round[round] != 0) state_.reset();
       state_.read_into({slot.read_nodes, slot.read_count}, *slot.read_out,
                        config_.gather_pool);
       slot.read_nodes = nullptr;
       slot.read_count = 0;
       slot.read_out = nullptr;
       if (trace_enabled_) trace_.push_back(trace_op('R', r));
-      post_status(slot.read_status, 0);
+      if (!try_post_status(slot.read_status, 1, 0)) return;
     }
     for (std::size_t r = base; r < base + config_.i; ++r) {
       Slot& slot = *slots_[r];
-      await_status(slot.write_status, 1, config_.wait);
+      if (!await_status_abortable(slot.write_status, 1, config_.wait)) return;
       state_.write(*slot.write_req, config_.gather_pool);
       slot.write_req = nullptr;
       if (trace_enabled_) trace_.push_back(trace_op('W', r));
-      post_status(slot.write_status, 0);
+      if (!try_post_status(slot.write_status, 1, 0)) return;
     }
+    rounds_served_.store(round + 1, std::memory_order_release);
+    rounds_served_.notify_all();
   }
 }
 

@@ -57,6 +57,9 @@ struct DaemonConfig {
   // Per-round epoch-reset flags; size() is the total number of rounds
   // this daemon will serve before exiting.
   std::vector<std::uint8_t> reset_before_round;
+  // First round to serve (resumed runs skip the rounds already executed
+  // before the snapshot; reset flags for skipped rounds never fire).
+  std::size_t start_round = 0;
   // Optional pool for fanning large gathers/scatters over
   // ThreadPool::parallel_for (results stay bit-identical; see
   // MemoryState::read_into). Borrowed; must outlive the daemon.
@@ -98,6 +101,17 @@ class MemoryDaemon final : public DaemonChannel {
   // Posts a write request and blocks until the daemon has applied it
   // straight from `w` (lent for the duration of the call only).
   void write(std::size_t rank, const MemoryWrite& w) override;
+  // Blocks until the daemon has completed >= `rounds` brackets (abort
+  // wakes the wait with a kAborted throw).
+  void await_rounds(std::size_t rounds) override;
+
+  // Poisons every slot status word and wakes all parked parties —
+  // trainers mid-handshake and the daemon thread itself bail with
+  // kAborted instead of waiting for peers that will never post. The
+  // in-process analogue of ShmDaemonChannel::abort_session, used by the
+  // threaded trainer's failure teardown. Idempotent, any thread.
+  void abort();
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
 
   // Diagnostics: serialized operation trace "(R|W)<rank>" in service
   // order, captured when trace_enabled (used by tests and Fig 7 dump).
@@ -122,6 +136,12 @@ class MemoryDaemon final : public DaemonChannel {
   DaemonConfig config_;
   std::vector<std::unique_ptr<Slot>> slots_;
   std::thread thread_;
+  std::atomic<bool> aborted_{false};
+  // Completed (R…R)(W…W) brackets, counted from round 0 of the full
+  // schedule (initialized to start_round on resume); bumped with a
+  // release store + notify_all so await_rounds establishes
+  // happens-before with everything the bracket wrote.
+  std::atomic<std::uint64_t> rounds_served_{0};
   bool started_ = false;
   bool trace_enabled_ = false;
   std::vector<std::string> trace_;  // daemon-thread only until join()

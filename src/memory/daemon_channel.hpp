@@ -26,6 +26,15 @@ class DaemonChannel {
                     MemorySlice& out) = 0;
   // Blocks until the daemon has applied `w`.
   virtual void write(std::size_t rank, const MemoryWrite& w) = 0;
+
+  // Blocks until the serving daemon has completed at least `rounds`
+  // full (R…R)(W…W) brackets. The checkpoint protocol uses this to
+  // establish a happens-before edge with the daemon thread/process
+  // before snapshotting the MemoryState it owns: after every rank has
+  // passed the pre-snapshot barrier the daemon has necessarily finished
+  // the bracket, so the wait returns promptly — this is an ordering
+  // handshake, not a rendezvous.
+  virtual void await_rounds(std::size_t rounds) = 0;
 };
 
 }  // namespace disttgl

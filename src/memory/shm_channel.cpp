@@ -30,6 +30,10 @@ struct ShmDaemonHeader {
   std::uint64_t max_read_nodes;
   std::uint64_t max_write_nodes;
   alignas(64) std::atomic<std::uint32_t> aborted;
+  // Completed (R…R)(W…W) brackets, counted from round 0 of the full
+  // schedule (a resumed server seeds it with start_round). 32-bit so the
+  // shared futex can park on it directly; round counts are tiny.
+  alignas(64) std::atomic<std::uint32_t> rounds_served;
 };
 
 static_assert(std::atomic<std::uint32_t>::is_always_lock_free);
@@ -119,6 +123,37 @@ void shm_post(std::atomic<std::uint32_t>& word, std::uint32_t value) {
   futex_wake_all_shared(&word);
 }
 
+// shm_await with a >= predicate, for the monotone round counter.
+void shm_await_ge(std::atomic<std::uint32_t>& word, std::uint32_t want,
+                  const WaitPolicy& policy,
+                  std::atomic<std::uint32_t>& aborted,
+                  std::chrono::milliseconds timeout, const char* what) {
+  for (std::uint32_t p = 0; p < policy.spin_polls; ++p) {
+    if (word.load(std::memory_order_acquire) >= want) return;
+    if ((p & 0x3f) == 0x3f) std::this_thread::yield();
+  }
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    const std::uint32_t cur = word.load(std::memory_order_acquire);
+    if (cur >= want) return;
+    if (aborted.load(std::memory_order_acquire) != 0)
+      throw_fabric(FabricErrc::kAborted,
+                   std::string(what) + ": channel poisoned");
+    const auto left = deadline - std::chrono::steady_clock::now();
+    if (left.count() <= 0) {
+      aborted.store(1, std::memory_order_release);
+      futex_wake_all_shared(&word);
+      throw_fabric(FabricErrc::kPeerTimeout,
+                   std::string(what) + ": peer absent after " +
+                       std::to_string(timeout.count()) + " ms");
+    }
+    futex_wait_shared(
+        &word, cur,
+        std::min(std::chrono::duration_cast<std::chrono::nanoseconds>(left),
+                 std::chrono::nanoseconds(100'000'000)));
+  }
+}
+
 }  // namespace
 
 // Typed pointers into one rank's block (recomputed per call — cheap,
@@ -157,6 +192,7 @@ ShmSegment ShmDaemonChannel::create_segment(const std::string& name,
   hdr->max_read_nodes = spec.max_read_nodes;
   hdr->max_write_nodes = spec.max_write_nodes;
   hdr->aborted.store(0, std::memory_order_relaxed);
+  hdr->rounds_served.store(0, std::memory_order_relaxed);
   hdr->magic = kShmDaemonMagic;
   return seg;
 }
@@ -233,6 +269,12 @@ bool ShmDaemonChannel::aborted() const {
              std::memory_order_acquire) != 0;
 }
 
+void ShmDaemonChannel::await_rounds(std::size_t rounds) {
+  auto* hdr = segment_.as<ShmDaemonHeader>();
+  shm_await_ge(hdr->rounds_served, static_cast<std::uint32_t>(rounds), wait_,
+               hdr->aborted, timeout_, "await rounds");
+}
+
 void ShmDaemonChannel::read(std::size_t rank, std::span<const NodeId> nodes,
                             MemorySlice& out) {
   const std::size_t n = nodes.size();
@@ -293,6 +335,7 @@ ShmDaemonServer::ShmDaemonServer(MemoryState& state, DaemonConfig config,
   DT_CHECK_GT(config_.i, 0u);
   DT_CHECK_GT(config_.j, 0u);
   DT_CHECK_EQ(config_.i * config_.j, channel_.spec().slots);
+  DT_CHECK_LE(config_.start_round, config_.reset_before_round.size());
 }
 
 ShmDaemonServer::~ShmDaemonServer() {
@@ -320,11 +363,16 @@ void ShmDaemonServer::join() {
 }
 
 void ShmDaemonServer::run() {
-  auto& aborted = channel_.segment_.as<ShmDaemonHeader>()->aborted;
+  auto* hdr = channel_.segment_.as<ShmDaemonHeader>();
+  auto& aborted = hdr->aborted;
   const ShmDaemonSpec& spec = channel_.spec();
   const std::size_t rounds = config_.reset_before_round.size();
-  for (std::size_t round = 0; round < rounds; ++round) {
-    if (config_.reset_before_round[round] != 0) state_.reset();
+  // Publish the resume position so await_rounds(start_round) callers in
+  // other processes don't wait on brackets nobody will serve.
+  hdr->rounds_served.store(static_cast<std::uint32_t>(config_.start_round),
+                           std::memory_order_release);
+  futex_wake_all_shared(&hdr->rounds_served);
+  for (std::size_t round = config_.start_round; round < rounds; ++round) {
     const std::size_t sub = round % config_.j;
     const std::size_t base = sub * config_.i;
     // Same (R..R)(W..W) bracket as MemoryDaemon::run, rank order within
@@ -333,6 +381,10 @@ void ShmDaemonServer::run() {
       ShmDaemonChannel::SlotView v = channel_.slot(r);
       shm_await(*v.read_status, 1, config_.wait, aborted,
                 channel_.timeout_, "serve read");
+      // Epoch-wrap reset, deferred until the round's first read request
+      // arrives — same checkpoint-capture ordering argument as
+      // MemoryDaemon::run.
+      if (r == base && config_.reset_before_round[round] != 0) state_.reset();
       const std::size_t n = *v.read_count;
       read_nodes_.assign(v.read_nodes, v.read_nodes + n);
       state_.read_into(read_nodes_, slice_, config_.gather_pool);
@@ -369,6 +421,7 @@ void ShmDaemonServer::run() {
       state_.write(write_, config_.gather_pool);
       shm_post(*v.write_status, 0);
     }
+    shm_post(hdr->rounds_served, static_cast<std::uint32_t>(round + 1));
   }
 }
 

@@ -67,6 +67,9 @@ class ShmDaemonChannel final : public DaemonChannel {
   void read(std::size_t rank, std::span<const NodeId> nodes,
             MemorySlice& out) override;
   void write(std::size_t rank, const MemoryWrite& w) override;
+  // Blocks until the serving ShmDaemonServer has completed >= `rounds`
+  // brackets (deadline-bounded; abort poisons it like every shm wait).
+  void await_rounds(std::size_t rounds) override;
 
   // Poison the channel: all current and future waits throw kAborted.
   void abort_session();

@@ -1,5 +1,6 @@
 #include "nn/optim.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/check.hpp"
@@ -78,6 +79,16 @@ void Adam::step_range(std::size_t lo, std::size_t hi) {
                "Adam::step_range requires contiguous flat parameter storage "
                "(Module::freeze_flat_storage)");
   update_span(lo, hi, value_base_ + lo, grad_base_ + lo);
+}
+
+void Adam::restore_state(std::size_t steps, std::span<const float> m,
+                         std::span<const float> v) {
+  DT_CHECK_EQ(m.size(), total_);
+  DT_CHECK_EQ(v.size(), total_);
+  t_ = steps;
+  std::copy(m.begin(), m.end(), m_.begin());
+  std::copy(v.begin(), v.end(), v_.begin());
+  // bc1_/bc2_ are derived from t_ at the next begin_step()/step().
 }
 
 void Adam::zero_grad() {

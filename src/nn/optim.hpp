@@ -1,6 +1,7 @@
 // Optimizers over Parameter sets.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "nn/module.hpp"
@@ -45,6 +46,17 @@ class Adam {
   void begin_step();
   void step_range(std::size_t lo, std::size_t hi);
   std::size_t num_elements() const { return total_; }
+
+  // ---- checkpoint support (core/checkpoint.hpp) ----
+  // The full optimizer trajectory is (t_, m_, v_): bias corrections are
+  // recomputed from t_ at the next begin_step()/step(), so restoring
+  // these three reproduces the update stream bitwise. On the fused path
+  // each rank only ever steps its owned chunks, so moments are
+  // *per-rank* state and each rank snapshots/restores its own.
+  std::span<const float> moment1() const { return m_; }
+  std::span<const float> moment2() const { return v_; }
+  void restore_state(std::size_t steps, std::span<const float> m,
+                     std::span<const float> v);
 
  private:
   void update_span(std::size_t lo, std::size_t hi, float* values,

@@ -8,9 +8,16 @@
 //
 // Waiting follows the shared bounded-spin → park policy (util/wait.hpp):
 // a thread whose peers are one step away resolves in the spin stage; one
-// descheduled for a while parks on the sense word instead of burning a
+// descheduled for a while parks on the barrier word instead of burning a
 // core. The spin budget comes from WaitPolicy so the fabric benches can
 // sweep it and spin_polls = 0 (pure park) is a tested configuration.
+//
+// The barrier is poisonable: a failing trainer calls poison() and every
+// current and future arrival returns false instead of waiting for peers
+// that will never come (the recovery subsystem's in-process analogue of
+// ProcComm::abort_session). The barrier word packs the epoch sense in
+// bit 0 and the poison flag in bit 1, so parked waiters wake on either
+// transition via the same futex.
 #pragma once
 
 #include <atomic>
@@ -24,25 +31,44 @@ namespace disttgl {
 class SpinBarrier {
  public:
   explicit SpinBarrier(std::size_t parties, WaitPolicy policy = {})
-      : parties_(parties), policy_(policy), remaining_(parties), sense_(false) {}
+      : parties_(parties), policy_(policy), remaining_(parties), word_(0) {}
 
-  // Blocks until all `parties` threads have arrived. Safe for repeated
-  // use; threads must each pass their own `local_sense` initialized to
-  // false (see BarrierToken).
-  void arrive_and_wait(bool& local_sense) {
+  // Blocks until all `parties` threads have arrived or the barrier is
+  // poisoned; returns false in the poisoned case. Safe for repeated use;
+  // threads must each pass their own `local_sense` initialized to false
+  // (see BarrierToken).
+  bool arrive_and_wait(bool& local_sense) {
     local_sense = !local_sense;
+    const int want = local_sense ? 1 : 0;
     if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       remaining_.store(parties_, std::memory_order_relaxed);
-      sense_.store(local_sense, std::memory_order_release);
-      sense_.notify_all();
-    } else {
-      for (std::uint32_t p = 0; p < policy_.spin_polls; ++p) {
-        if (sense_.load(std::memory_order_acquire) == local_sense) return;
-        if ((p & 0x3f) == 0x3f) std::this_thread::yield();
-      }
-      while (sense_.load(std::memory_order_acquire) != local_sense)
-        sense_.wait(!local_sense, std::memory_order_acquire);
+      const int prev = word_.fetch_xor(1, std::memory_order_acq_rel);
+      word_.notify_all();
+      return (prev & 2) == 0;
     }
+    for (std::uint32_t p = 0; p < policy_.spin_polls; ++p) {
+      const int cur = word_.load(std::memory_order_acquire);
+      if (cur & 2) return false;
+      if ((cur & 1) == want) return true;
+      if ((p & 0x3f) == 0x3f) std::this_thread::yield();
+    }
+    for (;;) {
+      const int cur = word_.load(std::memory_order_acquire);
+      if (cur & 2) return false;
+      if ((cur & 1) == want) return true;
+      word_.wait(cur, std::memory_order_acquire);
+    }
+  }
+
+  // Marks the barrier failed and wakes every parked waiter. Idempotent;
+  // callable from any thread (including one not participating).
+  void poison() {
+    word_.fetch_or(2, std::memory_order_acq_rel);
+    word_.notify_all();
+  }
+
+  bool poisoned() const {
+    return (word_.load(std::memory_order_acquire) & 2) != 0;
   }
 
   std::size_t parties() const { return parties_; }
@@ -51,14 +77,15 @@ class SpinBarrier {
   const std::size_t parties_;
   const WaitPolicy policy_;
   std::atomic<std::size_t> remaining_;
-  std::atomic<bool> sense_;
+  // Bit 0: epoch sense. Bit 1: poison.
+  std::atomic<int> word_;
 };
 
 // Per-thread barrier handle bundling the thread-local sense bit.
 class BarrierToken {
  public:
   explicit BarrierToken(SpinBarrier& barrier) : barrier_(barrier) {}
-  void wait() { barrier_.arrive_and_wait(sense_); }
+  [[nodiscard]] bool wait() { return barrier_.arrive_and_wait(sense_); }
 
  private:
   SpinBarrier& barrier_;

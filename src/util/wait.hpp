@@ -50,4 +50,41 @@ inline void post_status(std::atomic<int>& status, int value) {
   status.notify_one();
 }
 
+// Poison value for abortable slot protocols: an aborting peer stores it
+// into every status word so parked waiters wake and bail instead of
+// waiting forever for a handshake that will never come.
+inline constexpr int kStatusPoison = -1;
+
+// Like await_status, but returns false when the word is poisoned instead
+// of waiting for `value` (which must not itself be the poison value).
+inline bool await_status_abortable(std::atomic<int>& status, int value,
+                                   const WaitPolicy& policy = {}) {
+  for (std::uint32_t p = 0; p < policy.spin_polls; ++p) {
+    const int cur = status.load(std::memory_order_acquire);
+    if (cur == value) return true;
+    if (cur == kStatusPoison) return false;
+    if ((p & 0x3f) == 0x3f) std::this_thread::yield();
+  }
+  for (;;) {
+    const int cur = status.load(std::memory_order_acquire);
+    if (cur == value) return true;
+    if (cur == kStatusPoison) return false;
+    status.wait(cur, std::memory_order_acquire);
+  }
+}
+
+// CAS-based post for abortable protocols: succeeds only on the expected
+// `from` → `to` transition. Failure means another writer raced us — in
+// the slot protocols the only legal racer is an aborting peer storing
+// kStatusPoison, so false ⇔ the session is being torn down. notify_all
+// because an aborter may be observing the word alongside the peer.
+inline bool try_post_status(std::atomic<int>& status, int from, int to) {
+  int expected = from;
+  if (!status.compare_exchange_strong(expected, to, std::memory_order_acq_rel,
+                                      std::memory_order_acquire))
+    return false;
+  status.notify_all();
+  return true;
+}
+
 }  // namespace disttgl

@@ -6,10 +6,15 @@
 // leak state between iterations: a stale byte in any recycled MiniBatch
 // would diverge the weights bit-for-bit.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <atomic>
 #include <cmath>
+#include <filesystem>
+#include <string>
 
 #include "core/proc_trainer.hpp"
+#include "core/recovery.hpp"
 #include "core/threaded_trainer.hpp"
 #include "core/trainer.hpp"
 #include "datagen/generator.hpp"
@@ -289,6 +294,79 @@ TEST(ProcFabricEquivalence, ZeroSpinBudgetCompletesAndMatches) {
   cfg.fabric.spin_polls = 0;
   expect_cross_fabric_equivalent(cfg, g);
 }
+
+// ---- elastic recovery: deterministic resume ------------------------------
+
+// The recovery contract on top of the equivalence contract: a run
+// killed at iteration n and restarted from its latest snapshot must
+// land bitwise where the uninterrupted run lands — weights, rank-order
+// loss totals, and the digest of every memory copy — for every {i,j,k}
+// cell on BOTH fabrics. Snapshot cadence 3 with the kill at iteration 5
+// makes most cells resume mid version-chain (j > 1), exercising the
+// held-slice restore path, not just clean boundaries.
+void expect_resume_equivalent(TrainingConfig cfg, const TemporalGraph& g,
+                              const std::string& tag) {
+  static std::atomic<int> counter{0};
+  const ThreadedTrainResult base = train_distributed(cfg, g, nullptr);
+
+  cfg.recovery.checkpoint_dir =
+      "/tmp/disttgl-ckpt/eq_" + tag + "." + std::to_string(::getpid()) + "." +
+      std::to_string(counter.fetch_add(1));
+  std::filesystem::create_directories(cfg.recovery.checkpoint_dir);
+  cfg.recovery.checkpoint_every = 3;
+  cfg.recovery.max_restarts = 2;
+  cfg.recovery.backoff_ms = 1;
+  cfg.fabric.fault.kill_armed = true;
+  cfg.fabric.fault.kill_rank = cfg.parallel.total_trainers() - 1;
+  cfg.fabric.fault.kill_iteration = 5;
+
+  const SupervisedResult sup = train_supervised(cfg, g);
+  EXPECT_EQ(sup.restarts, 1u);
+
+  ASSERT_EQ(base.weights.size(), sup.result.weights.size());
+  for (std::size_t x = 0; x < base.weights.size(); ++x)
+    ASSERT_EQ(base.weights[x], sup.result.weights[x])
+        << "weight " << x << " diverged after resume";
+  EXPECT_EQ(base.loss_sum, sup.result.loss_sum);
+  EXPECT_EQ(base.loss_count, sup.result.loss_count);
+  EXPECT_DOUBLE_EQ(base.final_val, sup.result.final_val);
+  EXPECT_DOUBLE_EQ(base.final_test, sup.result.final_test);
+  ASSERT_EQ(base.memory_digests.size(), sup.result.memory_digests.size());
+  for (std::size_t m = 0; m < base.memory_digests.size(); ++m)
+    EXPECT_EQ(base.memory_digests[m], sup.result.memory_digests[m])
+        << "memory copy " << m << " diverged after resume";
+}
+
+class ResumeEquivalence : public ::testing::TestWithParam<EqCase> {};
+
+TEST_P(ResumeEquivalence, KilledAndResumedMatchesUninterruptedThreadFabric) {
+  const auto [i, j, k] = GetParam();
+  TemporalGraph g = graph_for_equivalence();
+  TrainingConfig cfg = config_for_equivalence();
+  cfg.epochs = 2;
+  cfg.parallel.i = i;
+  cfg.parallel.j = j;
+  cfg.parallel.k = k;
+  expect_resume_equivalent(cfg, g, "thr");
+}
+
+TEST_P(ResumeEquivalence, KilledAndResumedMatchesUninterruptedProcFabric) {
+  const auto [i, j, k] = GetParam();
+  TemporalGraph g = graph_for_equivalence();
+  TrainingConfig cfg = config_for_equivalence();
+  cfg.epochs = 2;
+  cfg.parallel.i = i;
+  cfg.parallel.j = j;
+  cfg.parallel.k = k;
+  cfg.fabric.kind = FabricKind::kProc;
+  cfg.fabric.timeout_ms = 2'000;  // survivors of the SIGKILL fail fast
+  expect_resume_equivalent(cfg, g, "proc");
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ResumeEquivalence,
+                         ::testing::Values(EqCase{1, 1, 1}, EqCase{2, 1, 1},
+                                           EqCase{1, 2, 1}, EqCase{1, 1, 2},
+                                           EqCase{2, 2, 1}, EqCase{1, 2, 2}));
 
 TEST(ThreadedTrainer, ReportsThroughputAndAttribution) {
   TemporalGraph g = graph_for_equivalence();

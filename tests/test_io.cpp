@@ -188,10 +188,19 @@ TEST(Checkpoint, RejectsShapeMismatch) {
   auto params = a.model.parameters();
   save_checkpoint(path, params, {&a.state});
 
-  // Wrong memory dimensions.
+  // Wrong memory dimensions: the typed error names the path and carries
+  // the expected/got pair that disagreed.
   MemoryState small(a.graph.num_nodes(), a.cfg.mem_dim / 2, a.cfg.mem_dim);
   std::vector<MemoryState*> states = {&small};
-  EXPECT_THROW(load_checkpoint(path, params, states), std::logic_error);
+  try {
+    load_checkpoint(path, params, states);
+    FAIL() << "shape mismatch not detected";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.code(), CheckpointErrc::kShapeMismatch);
+    EXPECT_EQ(e.path(), path);
+    EXPECT_EQ(e.expected(), a.cfg.mem_dim / 2);  // the live state's dim
+    EXPECT_EQ(e.got(), a.cfg.mem_dim);           // the checkpoint's dim
+  }
   std::remove(path.c_str());
 }
 
@@ -204,7 +213,14 @@ TEST(Checkpoint, RejectsGarbageFile) {
   CheckpointFixture a;
   auto params = a.model.parameters();
   std::vector<MemoryState*> states = {&a.state};
-  EXPECT_THROW(load_checkpoint(path, params, states), std::logic_error);
+  try {
+    load_checkpoint(path, params, states);
+    FAIL() << "garbage file not detected";
+  } catch (const CheckpointError& e) {
+    // 16 bytes of prose is shorter than the container header.
+    EXPECT_EQ(e.code(), CheckpointErrc::kTruncated);
+    EXPECT_EQ(e.path(), path);
+  }
   std::remove(path.c_str());
 }
 

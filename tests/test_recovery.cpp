@@ -1,0 +1,501 @@
+// Elastic fault tolerance, bottom to top: the checkpoint v2 container
+// (atomic shard writes, checksummed reads, typed rejection of every
+// corruption class), snapshot-set validation with fallback to the
+// previous set, retention, and the supervisor restart loop driven by
+// fabric.fault chaos knobs — injected kills on both fabrics, a hung
+// rank caught by heartbeat silence, and a corrupted latest snapshot
+// forcing the fallback path. The deterministic-resume contract itself
+// (killed + resumed == uninterrupted, bitwise) is asserted here against
+// supervised runs and again across the full {i,j,k} grid in
+// tests/test_equivalence.cpp.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/proc_trainer.hpp"
+#include "core/recovery.hpp"
+#include "datagen/generator.hpp"
+#include "distributed/fabric_error.hpp"
+#include "memory/memory_state.hpp"
+
+namespace disttgl {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Unique scratch dir per test, under the sweep fixture's root so the
+// fabric_shm_sweep cleanup fixture reclaims (and leak-checks) it.
+std::string fresh_dir(const std::string& tag) {
+  static std::atomic<int> counter{0};
+  const std::string dir = "/tmp/disttgl-ckpt/" + tag + "." +
+                          std::to_string(::getpid()) + "." +
+                          std::to_string(counter.fetch_add(1));
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::vector<std::uint8_t> slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(f), std::istreambuf_iterator<char>()};
+}
+
+void spit(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+}
+
+CheckpointErrc code_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const CheckpointError& e) {
+    return e.code();
+  }
+  return static_cast<CheckpointErrc>(0);  // did not throw
+}
+
+CoreShard sample_core(std::uint64_t fp = 0xfeedULL) {
+  CoreShard core;
+  core.fingerprint = fp;
+  core.iteration = 5;
+  core.world = 2;
+  core.mem_copies = 1;
+  core.weights = {0.5f, -1.25f, 3.0f, 0.0f, 42.0f, -0.125f, 7.5f, 2.0f};
+  return core;
+}
+
+// ---- shard containers ----------------------------------------------------
+
+TEST(CheckpointShards, CoreRoundTrip) {
+  const std::string stem = fresh_dir("core_rt") + "/ckpt_5";
+  const CoreShard core = sample_core();
+  write_core_shard(stem, core);
+  const CoreShard back = read_core_shard(stem);
+  EXPECT_EQ(back.fingerprint, core.fingerprint);
+  EXPECT_EQ(back.iteration, core.iteration);
+  EXPECT_EQ(back.world, core.world);
+  EXPECT_EQ(back.mem_copies, core.mem_copies);
+  EXPECT_EQ(back.weights, core.weights);
+}
+
+TEST(CheckpointShards, MemShardRoundTripsFullState) {
+  const std::string stem = fresh_dir("mem_rt") + "/ckpt_3";
+  MemoryState state(7, 4, 6);
+  {
+    MemoryWrite w;
+    w.nodes = {1, 3, 6};
+    w.mem.resize(3, 4);
+    w.mail.resize(3, 6);
+    for (std::size_t x = 0; x < w.mem.size(); ++x)
+      w.mem.data()[x] = 0.25f * static_cast<float>(x + 1);
+    for (std::size_t x = 0; x < w.mail.size(); ++x)
+      w.mail.data()[x] = -0.5f * static_cast<float>(x + 1);
+    w.mem_ts = {1.0f, 2.0f, 3.0f};
+    w.mail_ts = {4.0f, 5.0f, 6.0f};
+    state.write(w);
+  }
+
+  write_mem_shard(stem, make_mem_shard(state, 0xabcULL, 3, 0));
+  const MemShard shard = read_mem_shard(stem, 0);
+  EXPECT_EQ(shard.fingerprint, 0xabcULL);
+  EXPECT_EQ(shard.iteration, 3u);
+  EXPECT_EQ(shard.nodes, 7u);
+
+  MemoryState restored(7, 4, 6);
+  apply_mem_shard(shard, restored);
+  EXPECT_EQ(memory_digest(restored), memory_digest(state));
+}
+
+TEST(CheckpointShards, RankShardRoundTripsIncludingSlice) {
+  const std::string stem = fresh_dir("rank_rt") + "/ckpt_4";
+  RankShard rs;
+  rs.fingerprint = 0x77ULL;
+  rs.iteration = 4;
+  rs.rank = 1;
+  rs.loss_sum = 2.5;
+  rs.loss_count = 9;
+  rs.events = 123;
+  rs.adam_steps = 4;
+  rs.adam_m = {0.1f, 0.2f, 0.3f};
+  rs.adam_v = {0.4f, 0.5f, 0.6f};
+  rs.has_slice = true;
+  rs.slice_nodes = 2;
+  rs.slice_mem_dim = 3;
+  rs.slice_mail_dim = 2;
+  rs.slice_mem = {1, 2, 3, 4, 5, 6};
+  rs.slice_mem_ts = {7, 8};
+  rs.slice_mail = {9, 10, 11, 12};
+  rs.slice_mail_ts = {13, 14};
+  rs.slice_flags = {1, 0};
+  write_rank_shard(stem, rs);
+
+  const RankShard back = read_rank_shard(stem, 1);
+  EXPECT_EQ(back.fingerprint, rs.fingerprint);
+  EXPECT_EQ(back.loss_sum, rs.loss_sum);
+  EXPECT_EQ(back.loss_count, rs.loss_count);
+  EXPECT_EQ(back.events, rs.events);
+  EXPECT_EQ(back.adam_steps, rs.adam_steps);
+  EXPECT_EQ(back.adam_m, rs.adam_m);
+  EXPECT_EQ(back.adam_v, rs.adam_v);
+  ASSERT_TRUE(back.has_slice);
+  EXPECT_EQ(back.slice_nodes, rs.slice_nodes);
+  EXPECT_EQ(back.slice_mem, rs.slice_mem);
+  EXPECT_EQ(back.slice_mem_ts, rs.slice_mem_ts);
+  EXPECT_EQ(back.slice_mail, rs.slice_mail);
+  EXPECT_EQ(back.slice_mail_ts, rs.slice_mail_ts);
+  EXPECT_EQ(back.slice_flags, rs.slice_flags);
+}
+
+TEST(CheckpointShards, MissingFileIsTyped) {
+  const std::string stem = fresh_dir("missing") + "/ckpt_9";
+  try {
+    (void)read_core_shard(stem);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.code(), CheckpointErrc::kMissingFile);
+    EXPECT_EQ(e.path(), stem + ".core");
+  }
+}
+
+// A write interrupted at ANY byte boundary must read back as a typed
+// truncation, never as garbage state: prefixes shorter than the header
+// and prefixes cutting the payload are both kTruncated by construction
+// (declared payload length vs bytes actually present).
+TEST(CheckpointShards, TornWriteAtEveryByteRejected) {
+  const std::string dir = fresh_dir("torn");
+  write_core_shard(dir + "/ckpt_1", sample_core());
+  const std::vector<std::uint8_t> full = slurp(dir + "/ckpt_1.core");
+  ASSERT_GT(full.size(), 24u);
+
+  const std::string torn = dir + "/ckpt_2";
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    spit(torn + ".core", {full.begin(), full.begin() + len});
+    EXPECT_EQ(code_of([&] { (void)read_core_shard(torn); }),
+              CheckpointErrc::kTruncated)
+        << "prefix of " << len << " bytes";
+  }
+}
+
+TEST(CheckpointShards, BitFlipCaughtByChecksum) {
+  const std::string dir = fresh_dir("flip");
+  write_core_shard(dir + "/ckpt_1", sample_core());
+  const std::vector<std::uint8_t> full = slurp(dir + "/ckpt_1.core");
+
+  // Flip one bit in every payload byte position — the FNV-1a checksum
+  // must catch each one.
+  const std::string mut = dir + "/ckpt_2";
+  for (std::size_t pos = 24; pos < full.size(); ++pos) {
+    std::vector<std::uint8_t> bytes = full;
+    bytes[pos] ^= 0x10;
+    spit(mut + ".core", bytes);
+    EXPECT_EQ(code_of([&] { (void)read_core_shard(mut); }),
+              CheckpointErrc::kBadChecksum)
+        << "payload byte " << pos;
+  }
+}
+
+TEST(CheckpointShards, HeaderSkewRejectedTyped) {
+  const std::string dir = fresh_dir("skew");
+  write_core_shard(dir + "/ckpt_1", sample_core());
+  const std::vector<std::uint8_t> full = slurp(dir + "/ckpt_1.core");
+  const std::string mut = dir + "/ckpt_2";
+
+  std::vector<std::uint8_t> bad_magic = full;
+  bad_magic[0] ^= 0xff;
+  spit(mut + ".core", bad_magic);
+  EXPECT_EQ(code_of([&] { (void)read_core_shard(mut); }),
+            CheckpointErrc::kBadMagic);
+
+  std::vector<std::uint8_t> bad_version = full;
+  bad_version[4] = 0x7f;  // future format version
+  spit(mut + ".core", bad_version);
+  EXPECT_EQ(code_of([&] { (void)read_core_shard(mut); }),
+            CheckpointErrc::kBadVersion);
+
+  // Kind confusion: a core container presented as a mem shard.
+  fs::copy_file(dir + "/ckpt_1.core", mut + ".mem0",
+                fs::copy_options::overwrite_existing);
+  EXPECT_EQ(code_of([&] { (void)read_mem_shard(mut, 0); }),
+            CheckpointErrc::kBadKind);
+}
+
+// ---- snapshot sets: validation, fallback, retention ----------------------
+
+void write_snapshot_set(const std::string& dir, std::uint64_t fp,
+                        std::size_t iter) {
+  const std::string stem = snapshot_stem(dir, iter);
+  CoreShard core = sample_core(fp);
+  core.iteration = iter;
+  write_core_shard(stem, core);
+  MemoryState state(5, 3, 4);
+  write_mem_shard(stem, make_mem_shard(state, fp, iter, 0));
+  for (std::size_t r = 0; r < 2; ++r) {
+    RankShard rs;
+    rs.fingerprint = fp;
+    rs.iteration = iter;
+    rs.rank = r;
+    rs.adam_m = {0.0f};
+    rs.adam_v = {0.0f};
+    write_rank_shard(stem, rs);
+  }
+  CommitShard commit;
+  commit.fingerprint = fp;
+  commit.iteration = iter;
+  commit.world = 2;
+  commit.mem_copies = 1;
+  write_commit_shard(stem, commit);
+}
+
+TEST(Snapshots, LatestValidWinsAndCorruptionFallsBack) {
+  const std::string dir = fresh_dir("fallback");
+  const std::uint64_t fp = 0x1234ULL;
+  write_snapshot_set(dir, fp, 3);
+  write_snapshot_set(dir, fp, 6);
+
+  auto latest = find_latest_snapshot(dir, fp, 2, 1);
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->iteration, 6u);
+  EXPECT_EQ(latest->stem, snapshot_stem(dir, 6));
+
+  // Corrupt the newest core shard: the whole set stops validating and
+  // discovery falls back to the previous snapshot.
+  std::vector<std::uint8_t> bytes = slurp(snapshot_stem(dir, 6) + ".core");
+  bytes.back() ^= 0x01;
+  spit(snapshot_stem(dir, 6) + ".core", bytes);
+  EXPECT_FALSE(validate_snapshot(snapshot_stem(dir, 6), fp, 2, 1));
+
+  latest = find_latest_snapshot(dir, fp, 2, 1);
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->iteration, 3u);
+}
+
+TEST(Snapshots, MissingShardInvalidatesTheSet) {
+  const std::string dir = fresh_dir("missing_shard");
+  write_snapshot_set(dir, 0x9ULL, 4);
+  fs::remove(snapshot_stem(dir, 4) + ".rank1");
+  EXPECT_FALSE(validate_snapshot(snapshot_stem(dir, 4), 0x9ULL, 2, 1));
+  EXPECT_FALSE(find_latest_snapshot(dir, 0x9ULL, 2, 1).has_value());
+}
+
+TEST(Snapshots, FingerprintAndGeometryMismatchesSkipped) {
+  const std::string dir = fresh_dir("fp_skip");
+  write_snapshot_set(dir, 0xaaULL, 4);
+  EXPECT_TRUE(validate_snapshot(snapshot_stem(dir, 4), 0xaaULL, 2, 1));
+  EXPECT_FALSE(validate_snapshot(snapshot_stem(dir, 4), 0xbbULL, 2, 1));
+  EXPECT_FALSE(validate_snapshot(snapshot_stem(dir, 4), 0xaaULL, 4, 1));
+  EXPECT_FALSE(find_latest_snapshot(dir, 0xbbULL, 2, 1).has_value());
+}
+
+TEST(Snapshots, RetentionKeepsNewestAndSweepsTmp) {
+  const std::string dir = fresh_dir("retain");
+  const std::uint64_t fp = 0x5ULL;
+  write_snapshot_set(dir, fp, 2);
+  write_snapshot_set(dir, fp, 4);
+  write_snapshot_set(dir, fp, 6);
+  spit(dir + "/ckpt_8.core.tmp", {1, 2, 3});  // interrupted atomic write
+
+  retain_snapshots(dir, 2);
+
+  EXPECT_FALSE(fs::exists(snapshot_stem(dir, 2) + ".commit"));
+  EXPECT_FALSE(fs::exists(snapshot_stem(dir, 2) + ".core"));
+  EXPECT_FALSE(fs::exists(dir + "/ckpt_8.core.tmp"));
+  EXPECT_TRUE(validate_snapshot(snapshot_stem(dir, 4), fp, 2, 1));
+  EXPECT_TRUE(validate_snapshot(snapshot_stem(dir, 6), fp, 2, 1));
+}
+
+// ---- supervisor: restart, resume, chaos ----------------------------------
+
+TemporalGraph recovery_graph() {
+  datagen::SynthSpec spec;
+  spec.num_src = 40;
+  spec.num_dst = 20;
+  spec.num_events = 800;
+  spec.edge_feat_dim = 4;
+  spec.seed = 7;
+  return datagen::generate(spec);
+}
+
+TrainingConfig recovery_config() {
+  TrainingConfig cfg;
+  cfg.model.mem_dim = 8;
+  cfg.model.time_dim = 4;
+  cfg.model.attn_dim = 8;
+  cfg.model.emb_dim = 8;
+  cfg.model.num_neighbors = 4;
+  cfg.model.head_hidden = 8;
+  cfg.local_batch = 40;  // 14 batches over the 560-event train split
+  cfg.epochs = 1;
+  cfg.seed = 11;
+  cfg.recovery.backoff_ms = 1;
+  return cfg;
+}
+
+void expect_bitwise_equal(const ThreadedTrainResult& base,
+                          const ThreadedTrainResult& res) {
+  ASSERT_EQ(base.weights.size(), res.weights.size());
+  for (std::size_t x = 0; x < base.weights.size(); ++x)
+    ASSERT_EQ(base.weights[x], res.weights[x]) << "weight " << x;
+  EXPECT_EQ(base.loss_sum, res.loss_sum);
+  EXPECT_EQ(base.loss_count, res.loss_count);
+  EXPECT_DOUBLE_EQ(base.final_val, res.final_val);
+  EXPECT_DOUBLE_EQ(base.final_test, res.final_test);
+  ASSERT_EQ(base.memory_digests.size(), res.memory_digests.size());
+  for (std::size_t m = 0; m < base.memory_digests.size(); ++m)
+    EXPECT_EQ(base.memory_digests[m], res.memory_digests[m])
+        << "memory copy " << m;
+}
+
+TEST(Supervisor, MaxRestartsZeroFailsFastTyped) {
+  TemporalGraph g = recovery_graph();
+  TrainingConfig cfg = recovery_config();
+  cfg.parallel = {.i = 1, .j = 2, .k = 1};
+  cfg.fabric.fault.kill_armed = true;
+  cfg.fabric.fault.kill_rank = 1;
+  cfg.fabric.fault.kill_iteration = 2;
+  ASSERT_EQ(cfg.recovery.max_restarts, 0u);  // the fail-fast default
+  try {
+    (void)train_supervised(cfg, g);
+    FAIL() << "expected FabricError";
+  } catch (const dist::FabricError& e) {
+    EXPECT_EQ(e.code(), dist::FabricErrc::kInjectedFault);
+  }
+}
+
+TEST(Supervisor, KilledRunResumesBitwiseOnThreadFabric) {
+  TemporalGraph g = recovery_graph();
+  TrainingConfig cfg = recovery_config();
+  cfg.parallel = {.i = 1, .j = 2, .k = 1};
+  const ThreadedTrainResult base = train_distributed(cfg, g, nullptr);
+
+  cfg.recovery.checkpoint_dir = fresh_dir("thread_resume");
+  cfg.recovery.checkpoint_every = 3;
+  cfg.recovery.max_restarts = 2;
+  cfg.fabric.fault.kill_armed = true;
+  cfg.fabric.fault.kill_rank = 1;
+  cfg.fabric.fault.kill_iteration = 5;
+
+  const SupervisedResult sup = train_supervised(cfg, g);
+  EXPECT_EQ(sup.restarts, 1u);
+  ASSERT_EQ(sup.resume_stems.size(), 1u);
+  EXPECT_EQ(sup.resume_stems[0],
+            snapshot_stem(cfg.recovery.checkpoint_dir, 3));
+  ASSERT_EQ(sup.failures.size(), 1u);
+  EXPECT_NE(sup.failures[0].find("injected"), std::string::npos);
+  expect_bitwise_equal(base, sup.result);
+}
+
+TEST(Supervisor, ScratchRestartWhenNoSnapshotExists) {
+  TemporalGraph g = recovery_graph();
+  TrainingConfig cfg = recovery_config();
+  cfg.parallel = {.i = 2, .j = 1, .k = 1};
+  const ThreadedTrainResult base = train_distributed(cfg, g, nullptr);
+
+  cfg.recovery.checkpoint_dir = fresh_dir("scratch");
+  cfg.recovery.checkpoint_every = 100;  // never reached before the kill
+  cfg.recovery.max_restarts = 1;
+  cfg.fabric.fault.kill_armed = true;
+  cfg.fabric.fault.kill_rank = 0;
+  cfg.fabric.fault.kill_iteration = 2;
+
+  const SupervisedResult sup = train_supervised(cfg, g);
+  EXPECT_EQ(sup.restarts, 1u);
+  ASSERT_EQ(sup.resume_stems.size(), 1u);
+  EXPECT_TRUE(sup.resume_stems[0].empty()) << sup.resume_stems[0];
+  expect_bitwise_equal(base, sup.result);
+}
+
+TEST(Supervisor, CorruptLatestSnapshotFallsBackToPrevious) {
+  TemporalGraph g = recovery_graph();
+  TrainingConfig cfg = recovery_config();
+  cfg.parallel = {.i = 1, .j = 2, .k = 1};
+  const ThreadedTrainResult base = train_distributed(cfg, g, nullptr);
+
+  cfg.recovery.checkpoint_dir = fresh_dir("corrupt_latest");
+  cfg.recovery.checkpoint_every = 2;  // snapshots at 2, 4 (keep_last=2)
+  cfg.recovery.max_restarts = 1;
+  cfg.fabric.fault.kill_armed = true;
+  cfg.fabric.fault.kill_rank = 0;
+  cfg.fabric.fault.kill_iteration = 5;
+  cfg.fabric.fault.corrupt_latest_checkpoint = true;
+
+  const SupervisedResult sup = train_supervised(cfg, g);
+  EXPECT_EQ(sup.restarts, 1u);
+  ASSERT_EQ(sup.resume_stems.size(), 1u);
+  EXPECT_EQ(sup.resume_stems[0],
+            snapshot_stem(cfg.recovery.checkpoint_dir, 2));
+  expect_bitwise_equal(base, sup.result);
+}
+
+TEST(Supervisor, KilledProcessRankResumesBitwise) {
+  TemporalGraph g = recovery_graph();
+  TrainingConfig cfg = recovery_config();
+  cfg.parallel = {.i = 2, .j = 1, .k = 1};
+  const ThreadedTrainResult base = train_distributed(cfg, g, nullptr);
+
+  cfg.fabric.kind = FabricKind::kProc;
+  cfg.fabric.timeout_ms = 2'000;  // surviving ranks fail fast
+  cfg.recovery.checkpoint_dir = fresh_dir("proc_resume");
+  cfg.recovery.checkpoint_every = 3;
+  cfg.recovery.max_restarts = 2;
+  cfg.fabric.fault.kill_armed = true;
+  cfg.fabric.fault.kill_rank = 1;  // SIGKILLs itself mid-run
+  cfg.fabric.fault.kill_iteration = 4;
+
+  const SupervisedResult sup = train_supervised(cfg, g);
+  EXPECT_EQ(sup.restarts, 1u);
+  ASSERT_EQ(sup.resume_stems.size(), 1u);
+  EXPECT_EQ(sup.resume_stems[0],
+            snapshot_stem(cfg.recovery.checkpoint_dir, 3));
+  expect_bitwise_equal(base, sup.result);
+}
+
+TEST(Supervisor, HungRankCaughtByHeartbeatAndRecovered) {
+  TemporalGraph g = recovery_graph();
+  TrainingConfig cfg = recovery_config();
+  cfg.parallel = {.i = 2, .j = 1, .k = 1};
+  const ThreadedTrainResult base = train_distributed(cfg, g, nullptr);
+
+  cfg.fabric.kind = FabricKind::kProc;
+  cfg.fabric.timeout_ms = 5'000;  // heartbeat must win, not the shm timeout
+  cfg.recovery.heartbeat_ms = 50;
+  cfg.recovery.heartbeat_timeout_ms = 400;
+  cfg.recovery.max_restarts = 1;
+  cfg.fabric.fault.stall_armed = true;
+  cfg.fabric.fault.stall_rank = 0;
+  cfg.fabric.fault.stall_iteration = 2;
+
+  const SupervisedResult sup = train_supervised(cfg, g);
+  EXPECT_EQ(sup.restarts, 1u);
+  ASSERT_EQ(sup.failures.size(), 1u);
+  EXPECT_NE(sup.failures[0].find("heartbeat"), std::string::npos)
+      << sup.failures[0];
+  expect_bitwise_equal(base, sup.result);
+}
+
+TEST(Supervisor, HungRankFailsTypedWithoutRestartBudget) {
+  TemporalGraph g = recovery_graph();
+  TrainingConfig cfg = recovery_config();
+  cfg.parallel = {.i = 2, .j = 1, .k = 1};
+  cfg.fabric.kind = FabricKind::kProc;
+  cfg.fabric.timeout_ms = 5'000;
+  cfg.recovery.heartbeat_ms = 50;
+  cfg.recovery.heartbeat_timeout_ms = 400;
+  cfg.fabric.fault.stall_armed = true;
+  cfg.fabric.fault.stall_rank = 1;
+  cfg.fabric.fault.stall_iteration = 2;
+  try {
+    (void)train_supervised(cfg, g);
+    FAIL() << "expected FabricError";
+  } catch (const dist::FabricError& e) {
+    EXPECT_EQ(e.code(), dist::FabricErrc::kHeartbeatLost);
+  }
+}
+
+}  // namespace
+}  // namespace disttgl

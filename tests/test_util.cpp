@@ -145,11 +145,11 @@ TEST(SpinBarrier, SynchronizesThreads) {
       BarrierToken token(barrier);
       for (int round = 0; round < 50; ++round) {
         phase_counter.fetch_add(1);
-        token.wait();
+        (void)token.wait();
         // Between the two waits every thread must observe the full count.
         if (phase_counter.load() != static_cast<int>(n) * (round + 1))
           mismatch.store(true);
-        token.wait();
+        (void)token.wait();
       }
     });
   }

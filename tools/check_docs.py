@@ -79,6 +79,42 @@ def check_bench_fabric() -> None:
           f"entr{'y' if len(data) == 1 else 'ies'} cover ranks 2/4/8 "
           "with measured+model latencies")
 
+def check_bench_recovery() -> None:
+    """BENCH_recovery.json records the recovery-path costs: every entry
+    must carry snapshot save+load measurements (positive latency and
+    nonzero payload) and a restart block whose supervised run actually
+    restarted."""
+    path = os.path.join(ROOT, "BENCH_recovery.json")
+    if not os.path.exists(path):
+        fail("BENCH_recovery.json is missing at the repo root")
+    with open(path) as f:
+        data = json.load(f)
+    for i, entry in enumerate(data):
+        snapshot = entry.get("snapshot")
+        if not isinstance(snapshot, dict):
+            fail(f"BENCH_recovery.json entry {i} is missing 'snapshot'")
+        for op in ("snapshot_save", "snapshot_load"):
+            cfg = snapshot.get(op)
+            if not isinstance(cfg, dict):
+                fail(f"BENCH_recovery.json entry {i} lacks '{op}'")
+            for key in ("measured_us", "mb"):
+                if not (isinstance(cfg.get(key), (int, float)) and cfg[key] > 0):
+                    fail(f"BENCH_recovery.json entry {i} {op} '{key}' "
+                         "must be a positive number")
+        restart = entry.get("restart")
+        if not isinstance(restart, dict):
+            fail(f"BENCH_recovery.json entry {i} is missing 'restart'")
+        if not restart.get("restarts"):
+            fail(f"BENCH_recovery.json entry {i} restart block shows no "
+                 "restart happened")
+        if not (isinstance(restart.get("recover_ms"), (int, float))
+                and restart["recover_ms"] > 0):
+            fail(f"BENCH_recovery.json entry {i} 'recover_ms' must be a "
+                 "positive number")
+    print(f"check_docs: BENCH_recovery.json: {len(data)} "
+          f"entr{'y' if len(data) == 1 else 'ies'} cover snapshot save/load "
+          "+ supervised restart")
+
 def check_doc_paths() -> int:
     docs = [os.path.join(ROOT, "README.md")] + sorted(
         glob.glob(os.path.join(ROOT, "docs", "*.md")))
@@ -103,6 +139,7 @@ def check_doc_paths() -> int:
 def main() -> None:
     check_bench_json()
     check_bench_fabric()
+    check_bench_recovery()
     check_doc_paths()
     print("check_docs: OK")
 

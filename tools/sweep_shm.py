@@ -9,16 +9,25 @@ after the fabric suites and, with --fail-on-leak, turns any leftover
 segment into a test failure while still deleting it so one leaky run
 cannot poison the next.
 
+The same contract extends to checkpoint scratch space: checkpoint.cpp's
+atomic writes stage every shard as "<name>.tmp" and rename it into
+place, so a surviving *.tmp under --ckpt-dir means an interrupted write
+that nothing reclaimed.  The sweep fails on those too (recursively),
+then removes the whole scratch directory so runs stay hermetic.
+
 Usage:
-    sweep_shm.py [--fail-on-leak] [--prefix PREFIX] [--dry-run]
+    sweep_shm.py [--fail-on-leak] [--prefix PREFIX] [--ckpt-dir DIR]
+                 [--dry-run]
 """
 
 import argparse
 import os
+import shutil
 import sys
 
 SHM_DIR = "/dev/shm"
 DEFAULT_PREFIX = "disttgl."  # /dev/shm entries drop the leading '/'
+DEFAULT_CKPT_DIR = "/tmp/disttgl-ckpt"
 
 
 def find_segments(prefix: str) -> list[str]:
@@ -27,6 +36,15 @@ def find_segments(prefix: str) -> list[str]:
     except FileNotFoundError:
         return []
     return sorted(e for e in entries if e.startswith(prefix))
+
+
+def find_tmp_shards(ckpt_dir: str) -> list[str]:
+    leaked = []
+    for root, _dirs, files in os.walk(ckpt_dir):
+        leaked.extend(
+            os.path.join(root, f) for f in files if f.endswith(".tmp")
+        )
+    return sorted(leaked)
 
 
 def main() -> int:
@@ -40,6 +58,12 @@ def main() -> int:
         "--prefix",
         default=DEFAULT_PREFIX,
         help=f"segment name prefix to sweep (default: {DEFAULT_PREFIX})",
+    )
+    parser.add_argument(
+        "--ckpt-dir",
+        default=DEFAULT_CKPT_DIR,
+        help="checkpoint scratch dir to sweep for leaked *.tmp shards "
+        f"(default: {DEFAULT_CKPT_DIR})",
     )
     parser.add_argument(
         "--dry-run",
@@ -60,15 +84,30 @@ def main() -> int:
         except OSError as err:
             print(f"failed to remove {path}: {err}", file=sys.stderr)
 
-    if leaked and args.fail_on_leak:
+    leaked_tmp = find_tmp_shards(args.ckpt_dir)
+    for path in leaked_tmp:
+        if args.dry_run:
+            print(f"leaked tmp shard (not removed): {path}")
+        else:
+            print(f"leaked tmp shard: {path}")
+    if not args.dry_run and os.path.isdir(args.ckpt_dir):
+        shutil.rmtree(args.ckpt_dir, ignore_errors=True)
+        print(f"removed checkpoint scratch dir: {args.ckpt_dir}")
+
+    failures = len(leaked) + len(leaked_tmp)
+    if failures and args.fail_on_leak:
         print(
             f"FAIL: {len(leaked)} leaked shm segment(s) with prefix "
-            f"'{args.prefix}'",
+            f"'{args.prefix}', {len(leaked_tmp)} leaked *.tmp shard(s) "
+            f"under '{args.ckpt_dir}'",
             file=sys.stderr,
         )
         return 1
-    if not leaked:
-        print(f"no leaked shm segments with prefix '{args.prefix}'")
+    if not failures:
+        print(
+            f"no leaked shm segments with prefix '{args.prefix}' and no "
+            f"*.tmp shards under '{args.ckpt_dir}'"
+        )
     return 0
 
 
