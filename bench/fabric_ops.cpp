@@ -22,7 +22,13 @@
 // wherever CI runs, so `ratio` is a shape check (does measured scale
 // with ranks like the model says), not a calibration target.
 //
-//   bench_fabric_ops [--iters=N] [--elems=E] [--ranks=R]
+// With --hosts=H (H >= 1) the allreduce section instead measures the
+// TCP fabric's hierarchical collective (HierComm): per-host shm
+// staging, the leader chain + allgather over loopback TCP. Model:
+// allreduce_seconds(..., machines=H) — the Ethernet ring term. The
+// daemon rounds are unchanged (that plane stays shm on the TCP fabric).
+//
+//   bench_fabric_ops [--iters=N] [--elems=E] [--ranks=R] [--hosts=H]
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -32,9 +38,12 @@
 
 #include "bench_common.hpp"
 #include "distributed/fabric.hpp"
+#include "distributed/hier_comm.hpp"
 #include "distributed/launch.hpp"
 #include "distributed/proc_comm.hpp"
+#include "distributed/rendezvous.hpp"
 #include "distributed/shm.hpp"
+#include "distributed/socket.hpp"
 #include "distributed/throughput_model.hpp"
 #include "distributed/wire.hpp"
 #include "memory/shm_channel.hpp"
@@ -100,6 +109,75 @@ double bench_allreduce(std::size_t world, std::size_t elems,
         return w.take();
       },
       kLaunchTimeout);
+  return max_mean_us(payloads);
+}
+
+// HierComm over loopback TCP: per-host segments + rendezvous + leader
+// ring, the same wiring train_multiprocess uses for FabricKind::kTcp.
+double bench_tcp_allreduce(std::size_t world, std::size_t hosts,
+                           std::size_t elems, std::size_t iters) {
+  using dist::ClusterMap;
+  using dist::FdHandle;
+  using dist::HierComm;
+  using dist::ProcGroup;
+
+  const std::string prefix = dist::make_session_prefix();
+  const dist::Comm::Options opts{};
+  ClusterMap map;
+  map.world = static_cast<std::uint32_t>(world);
+  map.session_prefix = prefix;
+  map.bind_host = "127.0.0.1";
+  std::vector<ProcComm> owners;
+  for (std::size_t h = 0; h < hosts; ++h) {
+    const auto [begin, end] = dist::host_span(h, world, hosts);
+    const std::string name = prefix + ".hc" + std::to_string(h);
+    owners.push_back(
+        ProcComm::create(name, end - begin, elems, opts, kAttachTimeout));
+    map.host_comm_shms.push_back(name);
+    map.spans.push_back({static_cast<std::uint32_t>(begin),
+                         static_cast<std::uint32_t>(end), 0});
+  }
+  std::uint16_t rdv_port = 0;
+  FdHandle listener = dist::tcp_listen("127.0.0.1", 0, 16, rdv_port);
+
+  ProcGroup group = ProcGroup::spawn(world, [&](std::size_t rank) {
+    const auto topo = HierComm::topology_for(rank, world, hosts);
+    FdHandle ring_listen;
+    std::uint16_t ring_port = 0;
+    if (topo.local_rank == 0 && hosts > 1)
+      ring_listen = dist::tcp_listen("127.0.0.1", 0, 16, ring_port);
+    const ClusterMap m = dist::tcp_rendezvous_client(
+        "127.0.0.1", rdv_port, static_cast<std::uint32_t>(world),
+        static_cast<std::uint32_t>(rank), ring_port, kAttachTimeout);
+    ProcComm local = ProcComm::attach(m.host_comm_shms[topo.host],
+                                      topo.local_world, opts, kAttachTimeout);
+    dist::RingEndpoints ring;
+    if (topo.local_rank == 0 && hosts > 1)
+      ring = dist::connect_ring(ring_listen.get(), m, topo.host,
+                                dist::deadline_after(kAttachTimeout), true);
+    ring_listen.reset();
+    HierComm comm(std::move(local), topo, std::move(ring), kAttachTimeout);
+    comm.reserve(elems);
+
+    std::vector<float> data(elems);
+    for (std::size_t x = 0; x < elems; ++x)
+      data[x] = static_cast<float>((rank * 131 + x) % 97) * 0.01f;
+    for (std::size_t t = 0; t < kWarm; ++t) comm.allreduce_mean(rank, data);
+    WallTimer timer;
+    for (std::size_t t = 0; t < iters; ++t) comm.allreduce_mean(rank, data);
+    WireWriter w;
+    w.put_f64(timer.seconds() * 1e6 / static_cast<double>(iters));
+    return w.take();
+  });
+  dist::tcp_rendezvous_host(listener.get(), map, kLaunchTimeout);
+  std::vector<dist::ChildResult> results = group.wait(kLaunchTimeout);
+  std::vector<std::vector<std::uint8_t>> payloads;
+  for (dist::ChildResult& r : results) {
+    if (!r.ok)
+      dist::throw_fabric(r.errc, "rank " + std::to_string(r.rank) +
+                                     " failed: " + r.message);
+    payloads.push_back(std::move(r.payload));
+  }
   return max_mean_us(payloads);
 }
 
@@ -192,6 +270,7 @@ int main(int argc, char** argv) {
   const std::size_t iters = arg_or(argc, argv, "iters", 40);
   const std::size_t elems = arg_or(argc, argv, "elems", 100'000);
   const std::size_t only_ranks = arg_or(argc, argv, "ranks", 0);
+  const std::size_t hosts = arg_or(argc, argv, "hosts", 0);
 
   bench::header("fabric_ops (BENCH_fabric.json trajectory)",
                 "cross-process allreduce and daemon rounds scale with rank "
@@ -201,17 +280,36 @@ int main(int argc, char** argv) {
   const dist::SystemConstants consts;
   const DaemonGeometry geo;
 
-  bench::section("allreduce (ProcComm, forked ranks, one shm segment)");
-  for (std::size_t world : {2u, 4u, 8u}) {
-    if (only_ranks != 0 && world != only_ranks) continue;
-    const double measured = bench_allreduce(world, elems, iters);
-    const double model =
-        dist::allreduce_seconds(fabric, elems * sizeof(float), world, 1) * 1e6;
-    std::printf(
-        "fabric_ops op=allreduce ranks=%zu elems=%zu mb=%.3f "
-        "measured_us=%.2f model_us=%.2f ratio=%.2f\n",
-        world, elems, elems * sizeof(float) / 1e6, measured, model,
-        measured / model);
+  if (hosts == 0) {
+    bench::section("allreduce (ProcComm, forked ranks, one shm segment)");
+    for (std::size_t world : {2u, 4u, 8u}) {
+      if (only_ranks != 0 && world != only_ranks) continue;
+      const double measured = bench_allreduce(world, elems, iters);
+      const double model =
+          dist::allreduce_seconds(fabric, elems * sizeof(float), world, 1) *
+          1e6;
+      std::printf(
+          "fabric_ops op=allreduce ranks=%zu elems=%zu mb=%.3f "
+          "measured_us=%.2f model_us=%.2f ratio=%.2f\n",
+          world, elems, elems * sizeof(float) / 1e6, measured, model,
+          measured / model);
+    }
+  } else {
+    bench::section(
+        "allreduce (HierComm: per-host shm + loopback-TCP leader ring)");
+    for (std::size_t world : {2u, 4u, 8u}) {
+      if (only_ranks != 0 && world != only_ranks) continue;
+      const std::size_t h = std::min(hosts, world);
+      const double measured = bench_tcp_allreduce(world, h, elems, iters);
+      const double model =
+          dist::allreduce_seconds(fabric, elems * sizeof(float), world, h) *
+          1e6;
+      std::printf(
+          "fabric_ops op=tcp_allreduce ranks=%zu hosts=%zu elems=%zu "
+          "mb=%.3f measured_us=%.2f model_us=%.2f ratio=%.2f\n",
+          world, h, elems, elems * sizeof(float) / 1e6, measured, model,
+          measured / model);
+    }
   }
 
   bench::section("daemon round (ShmDaemonServer bracket, read+write/rank)");

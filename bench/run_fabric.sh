@@ -11,6 +11,11 @@
 # Each entry records, per rank count {2,4,8}, the measured cross-process
 # allreduce and daemon-round latency next to the throughput model's
 # prediction for the same payload — measured-vs-model in one place.
+#
+# When the binary was invoked with --hosts=H it emits op=tcp_allreduce
+# lines instead; the entry then carries "fabric": "tcp" and each
+# allreduce config gains a "hosts" field (the tcp-entry convention,
+# docs/BENCHMARKS.md; validated by tools/check_docs.py).
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -38,6 +43,7 @@ import re
 
 allreduce = {}
 daemon = {}
+tcp = False
 with open(os.environ["RAW"]) as f:
     for line in f:
         m = re.match(
@@ -51,6 +57,22 @@ with open(os.environ["RAW"]) as f:
                 "measured_us": float(m.group(4)),
                 "model_us": float(m.group(5)),
                 "ratio": float(m.group(6)),
+            }
+            continue
+        m = re.match(
+            r"fabric_ops op=tcp_allreduce ranks=(\d+) hosts=(\d+) "
+            r"elems=(\d+) mb=([\d.]+) measured_us=([\d.]+) "
+            r"model_us=([\d.]+) ratio=([\d.]+)", line)
+        if m:
+            tcp = True
+            allreduce[f"ranks_{m.group(1)}"] = {
+                "ranks": int(m.group(1)),
+                "hosts": int(m.group(2)),
+                "elems": int(m.group(3)),
+                "mb": float(m.group(4)),
+                "measured_us": float(m.group(5)),
+                "model_us": float(m.group(6)),
+                "ratio": float(m.group(7)),
             }
             continue
         m = re.match(
@@ -74,6 +96,8 @@ entry = {
     "allreduce": allreduce,
     "daemon_round": daemon,
 }
+if tcp:
+    entry["fabric"] = "tcp"
 
 out = os.environ["OUT"]
 trajectory = json.load(open(out)) if os.path.exists(out) else []

@@ -20,25 +20,35 @@ void validate(const TrainingConfig& cfg) {
   DT_CHECK_GT(cfg.epochs, 0u);
   DT_CHECK_GT(cfg.neg_groups, 0u);
   DT_CHECK_GT(cfg.base_lr, 0.0f);
-  // The process fabric is single-machine (POSIX shm + UNIX sockets);
-  // cross-machine layouts stay on the simulated fabric model.
+  // The process fabrics are single-machine (POSIX shm; the TCP fabric
+  // simulates hosts over loopback); cross-machine layouts stay on the
+  // simulated fabric model.
   DT_CHECK_MSG(cfg.fabric.kind == FabricKind::kThread ||
                    cfg.parallel.machines <= 1,
-               "FabricKind::kProc requires machines == 1");
+               "FabricKind::kProc/kTcp require machines == 1");
   DT_CHECK_GT(cfg.fabric.timeout_ms, 0u);
   DT_CHECK_GT(cfg.fabric.launch_timeout_ms, 0u);
+  if (cfg.fabric.kind == FabricKind::kTcp) {
+    DT_CHECK_GT(cfg.fabric.tcp.hosts, 0u);
+    DT_CHECK_MSG(cfg.fabric.tcp.hosts <= cfg.parallel.total_trainers(),
+                 "fabric.tcp.hosts must not exceed the trainer world");
+    DT_CHECK_MSG(!cfg.fabric.tcp.bind_host.empty(),
+                 "fabric.tcp.bind_host must be set");
+    DT_CHECK_GT(cfg.fabric.tcp.connect_timeout_ms, 0u);
+    DT_CHECK_GT(cfg.fabric.tcp.listen_backlog, 0u);
+  }
   DT_CHECK_MSG(cfg.recovery.checkpoint_every == 0 ||
                    !cfg.recovery.checkpoint_dir.empty(),
                "recovery.checkpoint_every requires recovery.checkpoint_dir");
   DT_CHECK_GT(cfg.recovery.keep_last, 0u);
   // A stalled *thread* would wedge the whole in-process group (no parent
-  // to kill it); stall injection is a proc-fabric chaos knob only.
+  // to kill it); stall injection is a forked-fabric chaos knob only.
   DT_CHECK_MSG(!cfg.fabric.fault.stall_armed ||
-                   cfg.fabric.kind == FabricKind::kProc,
-               "fabric.fault.stall_armed requires FabricKind::kProc");
+                   cfg.fabric.kind != FabricKind::kThread,
+               "fabric.fault.stall_armed requires a forked fabric");
   DT_CHECK_MSG(cfg.recovery.heartbeat_ms == 0 ||
-                   cfg.fabric.kind == FabricKind::kProc,
-               "recovery.heartbeat_ms requires FabricKind::kProc");
+                   cfg.fabric.kind != FabricKind::kThread,
+               "recovery.heartbeat_ms requires a forked fabric");
 }
 
 }  // namespace disttgl

@@ -53,8 +53,13 @@ enum class PipelineMode : std::uint8_t { kLegacy, kPooled };
 // threads over shared vectors. kProc forks one OS process per rank and
 // runs the identical algorithms over POSIX shared memory, with control
 // traffic on UNIX sockets — the single-machine analogue of the paper's
-// per-GPU worker processes.
-enum class FabricKind : std::uint8_t { kThread, kProc };
+// per-GPU worker processes. kTcp layers the multi-machine topology on
+// top: ranks are grouped into `fabric.tcp.hosts` simulated hosts, the
+// collective runs shm intra-host and a framed-TCP leader ring
+// inter-host (docs/ARCHITECTURE.md "The multi-machine fabric"), with
+// reduction order fixed by global rank so results stay bitwise
+// identical to the other two fabrics.
+enum class FabricKind : std::uint8_t { kThread, kProc, kTcp };
 
 // Chaos-injection knobs for the recovery test/bench harness
 // (docs/TUNING.md "Fault injection"). All default-off; armed faults fire
@@ -75,6 +80,30 @@ struct FaultConfig {
   // Supervisor-side: flip one payload byte in the newest snapshot before
   // the first restart, forcing the fallback-to-previous path.
   bool corrupt_latest_checkpoint = false;
+  // Sleep this long inside every snapshot write, after the pre-save
+  // kCheckpointNote is emitted — deterministically simulates an
+  // fsync-bound save that outlasts heartbeat_timeout_ms, exercising the
+  // checkpoint grace window in ProcGroup::wait. 0 = off.
+  std::size_t slow_save_ms = 0;
+};
+
+// TCP-fabric knobs (FabricKind::kTcp only; docs/TUNING.md "Fabric").
+struct TcpFabricConfig {
+  // Simulated host count: ranks are split into `hosts` contiguous,
+  // balanced spans; each span shares one shm segment and elects its
+  // first rank as leader for the inter-host TCP ring.
+  std::size_t hosts = 2;
+  // Interface the rendezvous listener and the leader rings bind. The
+  // simulated topology runs everything over loopback.
+  std::string bind_host = "127.0.0.1";
+  // Rendezvous listener port; 0 = ephemeral (kernel-assigned).
+  std::uint16_t port = 0;
+  // TCP_NODELAY on every fabric connection: collective frames are
+  // latency-bound request/response pairs, so Nagle only hurts.
+  bool nodelay = true;
+  // Per-connect bound while dialing the rendezvous host / ring peers.
+  std::size_t connect_timeout_ms = 10'000;
+  std::size_t listen_backlog = 64;
 };
 
 struct FabricConfig {
@@ -95,6 +124,8 @@ struct FabricConfig {
   // node count). An oversized request is a typed kCapacity error.
   std::size_t slot_read_nodes = 0;
   std::size_t slot_write_nodes = 0;
+  // Multi-machine (simulated) topology knobs, used when kind == kTcp.
+  TcpFabricConfig tcp;
   // Chaos harness (tests/benches only in practice; defaults are inert).
   FaultConfig fault;
 };
@@ -126,6 +157,12 @@ struct RecoveryConfig {
   // heartbeat_timeout_ms (0 = auto: 10 x heartbeat_ms).
   std::size_t heartbeat_ms = 0;
   std::size_t heartbeat_timeout_ms = 0;
+  // Extra silence allowed after a rank announces a snapshot write (the
+  // pre-save kCheckpointNote): an fsync-bound save stalls the beat loop
+  // without the rank being dead or hung, so the supervisor widens the
+  // window instead of firing a false kHeartbeatLost. 0 = auto:
+  // max(30 s, 10 x the effective heartbeat timeout).
+  std::size_t checkpoint_grace_ms = 0;
   // Resume from this snapshot stem (".../ckpt_<iter>", no extension);
   // empty = fresh start. Set by the supervisor, settable by hand.
   std::string resume_from;

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "distributed/hier_comm.hpp"
 #include "distributed/launch.hpp"
 #include "distributed/proc_comm.hpp"
 #include "distributed/rendezvous.hpp"
@@ -38,40 +39,22 @@ std::size_t auto_write_nodes(const TrainingConfig& cfg,
   return std::min<std::size_t>(graph.num_nodes(), 2 * cfg.local_batch + 64);
 }
 
-// One rank's whole life, run inside a forked child. The returned bytes
-// ride the launcher's result pipe back to the parent.
-std::vector<std::uint8_t> run_child(const TrainingConfig& cfg,
-                                    const TemporalGraph& graph,
-                                    const Matrix* static_memory,
-                                    const std::string& socket_path,
-                                    std::size_t rank) {
-  const std::size_t world = cfg.parallel.total_trainers();
+// Shared tail of a forked rank's life, once its collective is wired
+// (ProcComm for the process fabric, HierComm for the TCP fabric): host
+// the group daemon on group_rank 0, train, and serialize the rank's
+// subtotals for the launcher's result pipe.
+std::vector<std::uint8_t> run_rank_and_report(
+    const TrainingConfig& cfg, ThreadedTrainer& trainer, dist::Comm& comm,
+    const std::vector<std::string>& daemon_shms, std::size_t rank) {
   const auto timeout = std::chrono::milliseconds(cfg.fabric.timeout_ms);
   const WaitPolicy wait{.spin_polls = cfg.fabric.spin_polls};
-
-  // Rendezvous FIRST (cheap), heavy construction after: the host's
-  // accept deadline only has to cover process startup, not model build.
-  const dist::RendezvousInfo info =
-      dist::rendezvous_client(socket_path, static_cast<std::uint32_t>(world),
-                              static_cast<std::uint32_t>(rank), timeout);
-
-  // Own trainer, constructed post-fork: the schedule, replicas, and
-  // negative streams are pure functions of cfg + graph, so every process
-  // derives identical state — and no pre-fork threads are inherited.
-  ThreadedTrainer trainer(cfg, graph, static_memory);
   const TrainerSchedule& ts = trainer.schedule().trainers[rank];
   const std::size_t m = ts.mem_copy;
-
-  dist::ProcComm comm = dist::ProcComm::attach(
-      info.comm_shm, world,
-      dist::Comm::Options{.chunk_elems = cfg.comm_chunk_elems, .wait = wait},
-      timeout);
-  comm.reserve(trainer.num_parameters());
 
   // Declared before the server so the server (which borrows it) is
   // destroyed first on every path, including exceptional unwinds.
   ShmDaemonChannel channel =
-      ShmDaemonChannel::attach(info.daemon_shms[m], wait, timeout);
+      ShmDaemonChannel::attach(daemon_shms[m], wait, timeout);
 
   // group_rank 0 (= rank m·i·j) hosts its group's daemon. Rank 0 is
   // therefore always a host, and always hosts memory copy 0 — which is
@@ -114,6 +97,91 @@ std::vector<std::uint8_t> run_child(const TrainingConfig& cfg,
   return w.take();
 }
 
+// One rank's whole life on the process fabric, run inside a forked
+// child. The returned bytes ride the launcher's result pipe back.
+std::vector<std::uint8_t> run_child(const TrainingConfig& cfg,
+                                    const TemporalGraph& graph,
+                                    const Matrix* static_memory,
+                                    const std::string& socket_path,
+                                    std::size_t rank) {
+  const std::size_t world = cfg.parallel.total_trainers();
+  const auto timeout = std::chrono::milliseconds(cfg.fabric.timeout_ms);
+  const WaitPolicy wait{.spin_polls = cfg.fabric.spin_polls};
+
+  // Rendezvous FIRST (cheap), heavy construction after: the host's
+  // accept deadline only has to cover process startup, not model build.
+  const dist::RendezvousInfo info =
+      dist::rendezvous_client(socket_path, static_cast<std::uint32_t>(world),
+                              static_cast<std::uint32_t>(rank), timeout);
+
+  // Own trainer, constructed post-fork: the schedule, replicas, and
+  // negative streams are pure functions of cfg + graph, so every process
+  // derives identical state — and no pre-fork threads are inherited.
+  ThreadedTrainer trainer(cfg, graph, static_memory);
+
+  dist::ProcComm comm = dist::ProcComm::attach(
+      info.comm_shm, world,
+      dist::Comm::Options{.chunk_elems = cfg.comm_chunk_elems, .wait = wait},
+      timeout);
+  comm.reserve(trainer.num_parameters());
+  return run_rank_and_report(cfg, trainer, comm, info.daemon_shms, rank);
+}
+
+// One rank's whole life on the TCP fabric. The `hosts` simulated
+// machines each get a private ProcComm staging segment; host leaders
+// additionally join the inter-host TCP ring. Daemon channels stay shm —
+// the simulated hosts share one machine, and memory groups never span a
+// host boundary larger than the segment allows (see train_multiprocess).
+std::vector<std::uint8_t> run_child_tcp(const TrainingConfig& cfg,
+                                        const TemporalGraph& graph,
+                                        const Matrix* static_memory,
+                                        std::uint16_t rendezvous_port,
+                                        std::size_t rank) {
+  const std::size_t world = cfg.parallel.total_trainers();
+  const auto timeout = std::chrono::milliseconds(cfg.fabric.timeout_ms);
+  const WaitPolicy wait{.spin_polls = cfg.fabric.spin_polls};
+  const TcpFabricConfig& tcp = cfg.fabric.tcp;
+
+  const dist::HierComm::Topology topo =
+      dist::HierComm::topology_for(rank, world, tcp.hosts);
+
+  // Leaders bind their ring listener BEFORE rendezvous so the port they
+  // announce in HELLO is live by the time any peer learns it.
+  dist::FdHandle ring_listen;
+  std::uint16_t leader_port = 0;
+  if (topo.local_rank == 0 && topo.hosts > 1)
+    ring_listen = dist::tcp_listen(tcp.bind_host, 0,
+                                   static_cast<int>(tcp.listen_backlog),
+                                   leader_port);
+
+  const dist::ClusterMap map = dist::tcp_rendezvous_client(
+      tcp.bind_host, rendezvous_port, static_cast<std::uint32_t>(world),
+      static_cast<std::uint32_t>(rank), leader_port, timeout);
+
+  ThreadedTrainer trainer(cfg, graph, static_memory);
+
+  dist::ProcComm local = dist::ProcComm::attach(
+      map.host_comm_shms[topo.host], topo.local_world,
+      dist::Comm::Options{.chunk_elems = cfg.comm_chunk_elems, .wait = wait},
+      timeout);
+
+  dist::RingEndpoints ring;
+  if (topo.local_rank == 0 && topo.hosts > 1) {
+    // The ring handshake waits on peers that are also mid-model-build;
+    // bound it by the launch deadline, not the per-op fabric timeout.
+    ring = dist::connect_ring(
+        ring_listen.get(), map, topo.host,
+        dist::deadline_after(
+            std::chrono::milliseconds(cfg.fabric.launch_timeout_ms)),
+        tcp.nodelay);
+  }
+  ring_listen.reset();  // ring wired (or follower): stop listening
+
+  dist::HierComm comm(std::move(local), topo, std::move(ring), timeout);
+  comm.reserve(trainer.num_parameters());
+  return run_rank_and_report(cfg, trainer, comm, map.daemon_shms, rank);
+}
+
 }  // namespace
 
 ThreadedTrainResult train_multiprocess(const TrainingConfig& cfg,
@@ -148,17 +216,14 @@ ThreadedTrainResult train_multiprocess(const TrainingConfig& cfg,
     mail_dim = probe.mail_raw_dim();
   }
 
-  // All session resources live under one prefix: the collective segment,
-  // k daemon segments, and the rendezvous socket. The parent is the only
-  // creator and the only unlinker (see shm.hpp) — every exit path out of
-  // this function reclaims everything via these owning locals.
+  // All session resources live under one prefix: the collective
+  // segment(s), k daemon segments, and the rendezvous endpoint. The
+  // parent is the only creator and the only unlinker (see shm.hpp) —
+  // every exit path out of this function reclaims everything via these
+  // owning locals.
+  const bool tcp_fabric = cfg.fabric.kind == FabricKind::kTcp;
   const std::string prefix = dist::make_session_prefix();
   const std::string socket_path = "/tmp" + prefix + ".sock";
-
-  dist::ProcComm comm_owner = dist::ProcComm::create(
-      prefix + ".comm", world, num_params,
-      dist::Comm::Options{.chunk_elems = cfg.comm_chunk_elems, .wait = wait},
-      timeout);
 
   ShmDaemonSpec spec;
   spec.slots = par.i * par.j;
@@ -167,16 +232,53 @@ ThreadedTrainResult train_multiprocess(const TrainingConfig& cfg,
   spec.max_read_nodes = auto_read_nodes(cfg, graph);
   spec.max_write_nodes = auto_write_nodes(cfg, graph);
 
-  dist::RendezvousInfo info;
-  info.world = static_cast<std::uint32_t>(world);
-  info.session_prefix = prefix;
-  info.comm_shm = comm_owner.shm_name();
+  std::vector<std::string> daemon_shms;
   std::vector<ShmSegment> daemon_segments;
   daemon_segments.reserve(par.k);
   for (std::size_t m = 0; m < par.k; ++m) {
     const std::string name = prefix + ".mem" + std::to_string(m);
     daemon_segments.push_back(ShmDaemonChannel::create_segment(name, spec));
-    info.daemon_shms.push_back(name);
+    daemon_shms.push_back(name);
+  }
+
+  const dist::Comm::Options comm_opts{.chunk_elems = cfg.comm_chunk_elems,
+                                      .wait = wait};
+  // kProc: one world-wide segment. kTcp: one segment per simulated host
+  // (the intra-host staging plane); the inter-host plane is TCP.
+  std::vector<dist::ProcComm> comm_owners;
+  dist::RendezvousInfo info;   // kProc bootstrap payload
+  dist::ClusterMap map;        // kTcp bootstrap payload
+  dist::FdHandle rdv_listen;   // kTcp rendezvous listener, bound pre-fork
+  std::uint16_t rdv_port = 0;  // inherited by children through the fork
+  if (!tcp_fabric) {
+    comm_owners.push_back(
+        dist::ProcComm::create(prefix + ".comm", world, num_params, comm_opts,
+                               timeout));
+    info.world = static_cast<std::uint32_t>(world);
+    info.session_prefix = prefix;
+    info.comm_shm = comm_owners.back().shm_name();
+    info.daemon_shms = daemon_shms;
+  } else {
+    const std::size_t hosts = cfg.fabric.tcp.hosts;
+    map.world = static_cast<std::uint32_t>(world);
+    map.session_prefix = prefix;
+    map.bind_host = cfg.fabric.tcp.bind_host;
+    map.daemon_shms = daemon_shms;
+    for (std::size_t h = 0; h < hosts; ++h) {
+      const auto [begin, end] = dist::host_span(h, world, hosts);
+      const std::string name = prefix + ".hc" + std::to_string(h);
+      comm_owners.push_back(
+          dist::ProcComm::create(name, end - begin, num_params, comm_opts,
+                                 timeout));
+      map.host_comm_shms.push_back(name);
+      map.spans.push_back({static_cast<std::uint32_t>(begin),
+                           static_cast<std::uint32_t>(end), 0});
+    }
+    // Bind before forking so every child knows the port without any
+    // out-of-band channel; leaders fill in their ring ports at HELLO.
+    rdv_listen = dist::tcp_listen(
+        cfg.fabric.tcp.bind_host, cfg.fabric.tcp.port,
+        static_cast<int>(cfg.fabric.tcp.listen_backlog), rdv_port);
   }
 
   WallTimer timer;
@@ -185,9 +287,14 @@ ThreadedTrainResult train_multiprocess(const TrainingConfig& cfg,
   // exists and every segment above is created).
   dist::ProcGroup group = dist::ProcGroup::spawn(
       world, [&](std::size_t rank) {
-        return run_child(cfg, graph, static_memory, socket_path, rank);
+        return tcp_fabric
+                   ? run_child_tcp(cfg, graph, static_memory, rdv_port, rank)
+                   : run_child(cfg, graph, static_memory, socket_path, rank);
       });
-  dist::rendezvous_host(socket_path, info, launch_timeout);
+  if (tcp_fabric)
+    dist::tcp_rendezvous_host(rdv_listen.get(), map, launch_timeout);
+  else
+    dist::rendezvous_host(socket_path, info, launch_timeout);
 
   // Heartbeat supervision (recovery.heartbeat_ms > 0): hold each rank to
   // its beat cadence once it starts framing; the explicit timeout wins,
@@ -198,9 +305,18 @@ ThreadedTrainResult train_multiprocess(const TrainingConfig& cfg,
                  ? cfg.recovery.heartbeat_timeout_ms
                  : 10 * cfg.recovery.heartbeat_ms)
           : 0);
+  // Checkpoint grace (see ProcGroup::wait): explicit knob wins, else
+  // auto — wide enough that an fsync-bound save never reads as a lost
+  // heartbeat, narrow enough that a genuinely hung rank still dies.
+  const auto ckpt_grace = std::chrono::milliseconds(
+      hb_timeout.count() > 0
+          ? (cfg.recovery.checkpoint_grace_ms > 0
+                 ? static_cast<long long>(cfg.recovery.checkpoint_grace_ms)
+                 : std::max<long long>(30'000, 10 * hb_timeout.count()))
+          : 0);
 
-  std::vector<dist::ChildResult> results = group.wait(launch_timeout,
-                                                      hb_timeout);
+  std::vector<dist::ChildResult> results =
+      group.wait(launch_timeout, hb_timeout, ckpt_grace);
   // A lost heartbeat SIGKILLs the whole group, so sibling ranks also die
   // "killed by signal 9" — prefer the root-cause result when throwing.
   for (const dist::ChildResult& r : results) {
@@ -250,7 +366,7 @@ ThreadedTrainResult train_multiprocess(const TrainingConfig& cfg,
 ThreadedTrainResult train_distributed(const TrainingConfig& cfg,
                                       const TemporalGraph& graph,
                                       const Matrix* static_memory) {
-  if (cfg.fabric.kind == FabricKind::kProc)
+  if (cfg.fabric.kind != FabricKind::kThread)
     return train_multiprocess(cfg, graph, static_memory);
   ThreadedTrainer trainer(cfg, graph, static_memory);
   return trainer.train();

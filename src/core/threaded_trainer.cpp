@@ -286,7 +286,9 @@ void ThreadedTrainer::run_rank(std::size_t rank, DaemonChannel& daemon,
 
   // Fault injection + heartbeat state (both inert by default).
   const FaultConfig& fault = cfg_.fabric.fault;
-  const bool proc_fabric = cfg_.fabric.kind == FabricKind::kProc;
+  // Forked fabrics (proc, tcp) have a parent process supervising: an
+  // injected kill can be a real SIGKILL and a stall is survivable.
+  const bool proc_fabric = cfg_.fabric.kind != FabricKind::kThread;
   const int control_fd = dist::child_control_fd();
   const auto beat_every = std::chrono::milliseconds(cfg_.recovery.heartbeat_ms);
   const bool beat = cfg_.recovery.heartbeat_ms != 0 && control_fd >= 0;
@@ -441,6 +443,23 @@ void ThreadedTrainer::write_snapshot(std::size_t rank, std::size_t done,
   const TrainerSchedule& ts = schedule_.trainers[rank];
   const std::string stem =
       snapshot_stem(cfg_.recovery.checkpoint_dir, done);
+
+  // Announce the save *before* the fsync-bound shard writes: the
+  // supervisor widens this rank's heartbeat window (checkpoint grace in
+  // ProcGroup::wait) so a slow disk doesn't read as a dead rank.
+  {
+    const int control_fd = dist::child_control_fd();
+    if (control_fd >= 0) {
+      dist::WireWriter w;
+      w.put_u64(done);
+      dist::write_frame(control_fd, dist::MsgType::kCheckpointNote, w.bytes(),
+                        dist::deadline_after(std::chrono::milliseconds(
+                            cfg_.fabric.timeout_ms)));
+    }
+  }
+  if (cfg_.fabric.fault.slow_save_ms > 0)
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(cfg_.fabric.fault.slow_save_ms));
 
   RankShard rs;
   rs.fingerprint = fingerprint_;

@@ -1,0 +1,434 @@
+#include "distributed/hier_comm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace disttgl::dist {
+namespace {
+
+// kCollective mini-header, little-endian like every wire integer:
+//   u32 kind · u32 block_host · u64 seq · u64 body bytes
+// The bulk body (doubles / floats) is raw host memory — the simulated
+// hosts share one machine, so cross-endian concerns don't arise (and
+// put_f32s sets the same precedent for result frames).
+constexpr std::size_t kRingHeaderBytes = 24;
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  append_u32(out, static_cast<std::uint32_t>(v));
+  append_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t load_u32(const std::uint8_t* p) {
+  return p[0] | (std::uint32_t{p[1]} << 8) | (std::uint32_t{p[2]} << 16) |
+         (std::uint32_t{p[3]} << 24);
+}
+
+std::uint64_t load_u64(const std::uint8_t* p) {
+  return load_u32(p) | (std::uint64_t{load_u32(p + 4)} << 32);
+}
+
+struct RingHeader {
+  HierComm::RingMsg kind;
+  std::uint32_t block_host;
+  std::uint64_t seq;
+  std::uint64_t body_len;
+};
+
+RingHeader parse_ring_header(const Frame& frame) {
+  if (frame.type != MsgType::kCollective)
+    throw_fabric(FabricErrc::kBadMagic,
+                 "ring stream desync: expected kCollective, got type " +
+                     std::to_string(static_cast<int>(frame.type)));
+  if (frame.payload.size() < kRingHeaderBytes)
+    throw_fabric(FabricErrc::kTruncated,
+                 "kCollective frame shorter than its mini-header");
+  const std::uint8_t* p = frame.payload.data();
+  RingHeader h;
+  h.kind = static_cast<HierComm::RingMsg>(load_u32(p));
+  h.block_host = load_u32(p + 4);
+  h.seq = load_u64(p + 8);
+  h.body_len = load_u64(p + 16);
+  if (h.body_len != frame.payload.size() - kRingHeaderBytes)
+    throw_fabric(FabricErrc::kTruncated,
+                 "kCollective body " +
+                     std::to_string(frame.payload.size() - kRingHeaderBytes) +
+                     " bytes, declared " + std::to_string(h.body_len));
+  return h;
+}
+
+}  // namespace
+
+std::pair<std::size_t, std::size_t> host_span(std::size_t host,
+                                              std::size_t world,
+                                              std::size_t hosts) {
+  DT_CHECK_LT(host, hosts);
+  const std::size_t base = world / hosts;
+  const std::size_t rem = world % hosts;
+  const std::size_t begin = host * base + std::min(host, rem);
+  return {begin, begin + base + (host < rem ? 1 : 0)};
+}
+
+std::size_t host_of_rank(std::size_t rank, std::size_t world,
+                         std::size_t hosts) {
+  DT_CHECK_LT(rank, world);
+  for (std::size_t h = 0; h < hosts; ++h) {
+    const auto [begin, end] = host_span(h, world, hosts);
+    if (rank >= begin && rank < end) return h;
+  }
+  DT_CHECK_MSG(false, "rank " << rank << " outside every host span");
+  return hosts;
+}
+
+RingEndpoints connect_ring(int listen_fd, const ClusterMap& map,
+                           std::size_t host, Deadline deadline, bool nodelay) {
+  RingEndpoints ring;
+  const std::size_t hosts = map.hosts();
+  if (hosts <= 1) return ring;
+  const std::size_t next_host = (host + 1) % hosts;
+  const std::size_t prev_host = (host + hosts - 1) % hosts;
+
+  // Dial the successor first: the kernel backlog completes the connect
+  // even while the peer is itself dialing, so no accept ordering can
+  // deadlock the ring.
+  ring.next = TcpEndpoint(tcp_connect(
+      map.bind_host, map.spans[next_host].leader_port, deadline, nodelay));
+  std::vector<std::uint8_t> hs;
+  append_u32(hs, static_cast<std::uint32_t>(HierComm::RingMsg::kHandshake));
+  append_u32(hs, static_cast<std::uint32_t>(host));
+  append_u64(hs, 0);
+  append_u64(hs, 0);
+  ring.next.send(MsgType::kCollective, hs, deadline);
+
+  FdHandle conn = accept_conn(listen_fd, deadline);
+  if (nodelay) tcp_set_nodelay(conn.get());
+  ring.prev = TcpEndpoint(std::move(conn));
+  Frame frame;
+  if (!ring.prev.recv(frame, deadline))
+    throw_fabric(FabricErrc::kPeerClosed,
+                 "ring predecessor closed before its handshake");
+  const RingHeader h = parse_ring_header(frame);
+  if (h.kind != HierComm::RingMsg::kHandshake || h.block_host != prev_host)
+    throw_fabric(FabricErrc::kRankConflict,
+                 "ring mis-wired: host " + std::to_string(host) +
+                     " expected predecessor " + std::to_string(prev_host) +
+                     ", got host " + std::to_string(h.block_host));
+  return ring;
+}
+
+HierComm::Topology HierComm::topology_for(std::size_t rank, std::size_t world,
+                                          std::size_t hosts) {
+  Topology t;
+  t.world = world;
+  t.hosts = hosts;
+  t.host = host_of_rank(rank, world, hosts);
+  const auto [begin, end] = host_span(t.host, world, hosts);
+  t.global_rank = rank;
+  t.local_rank = rank - begin;
+  t.local_world = end - begin;
+  return t;
+}
+
+HierComm::HierComm(ProcComm local, Topology topo, RingEndpoints ring,
+                   std::chrono::milliseconds timeout)
+    : Comm(topo.world, local.opts_),
+      local_(std::move(local)),
+      topo_(topo),
+      ring_(std::move(ring)),
+      timeout_(timeout) {
+  DT_CHECK_EQ(local_.ranks(), topo_.local_world);
+  const bool needs_ring = topo_.hosts > 1 && topo_.local_rank == 0;
+  DT_CHECK_MSG(ring_.next.valid() == needs_ring &&
+                   ring_.prev.valid() == needs_ring,
+               "ring endpoints must be connected exactly on multi-host "
+               "leaders (host "
+                   << topo_.host << ", local rank " << topo_.local_rank
+                   << ")");
+}
+
+void HierComm::send_ring(RingMsg kind, std::size_t block_host,
+                         std::span<const std::uint8_t> body,
+                         Deadline deadline) {
+  body_.clear();
+  append_u32(body_, static_cast<std::uint32_t>(kind));
+  append_u32(body_, static_cast<std::uint32_t>(block_host));
+  append_u64(body_, seq_);
+  append_u64(body_, body.size());
+  body_.insert(body_.end(), body.begin(), body.end());
+  ring_.next.send(MsgType::kCollective, body_, deadline);
+}
+
+std::span<const std::uint8_t> HierComm::recv_ring(RingMsg kind,
+                                                  std::size_t expect_host,
+                                                  Deadline deadline) {
+  if (!ring_.prev.recv(frame_, deadline))
+    throw_fabric(FabricErrc::kPeerClosed,
+                 "ring predecessor closed mid-collective");
+  const RingHeader h = parse_ring_header(frame_);
+  if (h.kind != kind || h.seq != seq_ || h.block_host != expect_host)
+    throw_fabric(FabricErrc::kBadMagic,
+                 "ring stream desync: got {kind " +
+                     std::to_string(static_cast<int>(h.kind)) + ", host " +
+                     std::to_string(h.block_host) + ", seq " +
+                     std::to_string(h.seq) + "}, expected {kind " +
+                     std::to_string(static_cast<int>(kind)) + ", host " +
+                     std::to_string(expect_host) + ", seq " +
+                     std::to_string(seq_) + "}");
+  return {frame_.payload.data() + kRingHeaderBytes,
+          static_cast<std::size_t>(h.body_len)};
+}
+
+void HierComm::owned_ranges(
+    std::size_t h, std::size_t size,
+    std::vector<std::pair<std::size_t, std::size_t>>& out) const {
+  out.clear();
+  const auto [begin, end] = host_span(h, topo_.world, topo_.hosts);
+  const std::size_t chunk = chunk_elems_for(size);
+  const std::size_t num_chunks = num_chunks_for(size);
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    const std::size_t owner = c % ranks_;
+    if (owner < begin || owner >= end) continue;
+    const std::size_t lo = c * chunk;
+    out.emplace_back(lo, std::min(lo + chunk, size));
+  }
+}
+
+// The left fold over global ranks, distributed: host 0 starts the
+// double accumulator at zero, every host folds its local staged rows
+// one rank at a time (local order == contiguous global order), the last
+// host rounds to float means — the identical arithmetic, in the
+// identical order, as ThreadComm's per-element loop.
+void HierComm::leader_reduce_broadcast(std::size_t size) {
+  const Deadline deadline = deadline_after(timeout_);
+  const std::size_t hosts = topo_.hosts;
+  const std::size_t stride = local_.capacity();
+  const float* staged = local_.staged_;
+  float* result = local_.result_;
+
+  acc_.resize(size);
+  if (topo_.host == 0) {
+    std::fill(acc_.begin(), acc_.end(), 0.0);
+  } else {
+    const auto body = recv_ring(RingMsg::kReduce, topo_.host - 1, deadline);
+    DT_CHECK_MSG(body.size() == size * sizeof(double),
+                 "cross-host allreduce size mismatch: host "
+                     << topo_.host - 1 << " sent " << body.size()
+                     << " bytes, expected " << size * sizeof(double));
+    if (size > 0) std::memcpy(acc_.data(), body.data(), body.size());
+  }
+  for (std::size_t r = 0; r < topo_.local_world; ++r) {
+    const float* row = staged + r * stride;
+    for (std::size_t i = 0; i < size; ++i)
+      acc_[i] += static_cast<double>(row[i]);
+  }
+
+  if (topo_.host + 1 < hosts) {
+    send_ring(RingMsg::kReduce, topo_.host,
+              {reinterpret_cast<const std::uint8_t*>(acc_.data()),
+               size * sizeof(double)},
+              deadline);
+    // The float means ring back from the last host (which alone holds
+    // the completed fold), origin-tagged so a desynced ring fails typed.
+    const auto body = recv_ring(RingMsg::kBroadcast, hosts - 1, deadline);
+    DT_CHECK_MSG(body.size() == size * sizeof(float),
+                 "cross-host broadcast size mismatch");
+    if (size > 0) std::memcpy(result, body.data(), body.size());
+    // Forward until the hop before the origin: hosts 0..H-3 relay.
+    if (topo_.host + 1 < hosts - 1)
+      send_ring(RingMsg::kBroadcast, hosts - 1, body, deadline);
+  } else {
+    const double inv = 1.0 / static_cast<double>(ranks_);
+    for (std::size_t i = 0; i < size; ++i)
+      result[i] = static_cast<float>(acc_[i] * inv);
+    if (hosts > 1)
+      send_ring(RingMsg::kBroadcast, topo_.host,
+                {reinterpret_cast<const std::uint8_t*>(result),
+                 size * sizeof(float)},
+                deadline);
+  }
+}
+
+// Ring allgather of the per-host stepped-parameter blocks: at step s a
+// leader forwards the block it most recently holds and receives the
+// next one from its predecessor. Host 0 receives before sending, which
+// breaks the all-sending cycle a bounded socket buffer could deadlock.
+void HierComm::leader_allgather_params(std::size_t size) {
+  const Deadline deadline = deadline_after(timeout_);
+  const std::size_t hosts = topo_.hosts;
+  float* result = local_.result_;
+
+  const auto pack = [&](std::size_t h) {
+    owned_ranges(h, size, ranges_);
+    block_.clear();
+    for (const auto& [lo, hi] : ranges_)
+      block_.insert(block_.end(), result + lo, result + hi);
+    send_ring(RingMsg::kGather, h,
+              {reinterpret_cast<const std::uint8_t*>(block_.data()),
+               block_.size() * sizeof(float)},
+              deadline);
+  };
+  const auto unpack = [&](std::size_t h) {
+    const auto body = recv_ring(RingMsg::kGather, h, deadline);
+    owned_ranges(h, size, ranges_);
+    std::size_t expect = 0;
+    for (const auto& [lo, hi] : ranges_) expect += hi - lo;
+    DT_CHECK_MSG(body.size() == expect * sizeof(float),
+                 "cross-host allgather size mismatch for host " << h);
+    const auto* src = reinterpret_cast<const float*>(body.data());
+    for (const auto& [lo, hi] : ranges_) {
+      std::memcpy(result + lo, src, (hi - lo) * sizeof(float));
+      src += hi - lo;
+    }
+  };
+
+  for (std::size_t s = 0; s + 1 < hosts; ++s) {
+    const std::size_t send_host = (topo_.host + hosts - s) % hosts;
+    const std::size_t recv_host = (topo_.host + hosts - s - 1) % hosts;
+    if (topo_.host == 0) {
+      unpack(recv_host);
+      pack(send_host);
+    } else {
+      pack(send_host);
+      unpack(recv_host);
+    }
+  }
+}
+
+void HierComm::allreduce_mean(std::size_t rank, std::span<float> data) {
+  DT_CHECK_EQ(rank, topo_.global_rank);
+  if (ranks_ == 1) return;
+  const std::size_t size = data.size();
+  local_.reserve(size);  // typed kCapacity on overflow; never grows
+  const std::size_t stride = local_.capacity();
+  ++seq_;
+
+  // Phase 1: deposit the contribution in this rank's local staging row.
+  local_.sizes_[topo_.local_rank] = size;
+  if (size > 0)
+    std::memcpy(local_.staged_ + topo_.local_rank * stride, data.data(),
+                size * sizeof(float));
+  if (topo_.global_rank == 0) local_.account_raw(1, ring_bytes(size));
+  local_.barrier_wait(topo_.local_rank);
+
+  // Phase 2: the leader runs the cross-host fold and lands the float
+  // means in the shared result row. Its receipt of the broadcast
+  // transitively proves every host contributed, so the collective is a
+  // *global* synchronization point even for empty payloads (which is
+  // what Comm::barrier leans on across the checkpoint protocol).
+  if (is_leader()) {
+    local_.check_uniform_size(topo_.local_rank, size);
+    try {
+      leader_reduce_broadcast(size);
+    } catch (...) {
+      // Fail the followers fast (kAborted) instead of letting them wait
+      // out their own barrier deadline on a ring that is already dead.
+      local_.abort_session();
+      throw;
+    }
+  }
+  local_.barrier_wait(topo_.local_rank);
+
+  // Phase 3: everyone copies the means out. No closing barrier — the
+  // result row is only rewritten after every local rank has passed the
+  // *next* call's phase-1 barrier, i.e. finished this copy.
+  if (size > 0)
+    std::memcpy(data.data(), local_.result_, size * sizeof(float));
+}
+
+void HierComm::allreduce_step(std::size_t rank, std::span<float> grads,
+                              std::span<float> params, ChunkStepFn fn,
+                              void* ctx) {
+  DT_CHECK_EQ(rank, topo_.global_rank);
+  DT_CHECK_EQ(grads.size(), params.size());
+  const std::size_t size = grads.size();
+  if (ranks_ == 1) {
+    step_single_rank(grads, fn, ctx);
+    return;
+  }
+  local_.reserve(size);
+  const std::size_t stride = local_.capacity();
+  const std::size_t chunk = chunk_elems_for(size);
+  const std::size_t num_chunks = num_chunks_for(size);
+  ++seq_;
+
+  // Phase 1: deposit gradients.
+  local_.sizes_[topo_.local_rank] = size;
+  if (size > 0)
+    std::memcpy(local_.staged_ + topo_.local_rank * stride, grads.data(),
+                size * sizeof(float));
+  if (topo_.global_rank == 0) local_.account_raw(1, ring_bytes(size));
+  local_.barrier_wait(topo_.local_rank);
+
+  // Phase 2: leader chain — result row becomes the full mean gradient.
+  if (is_leader()) {
+    local_.check_uniform_size(topo_.local_rank, size);
+    try {
+      leader_reduce_broadcast(size);
+    } catch (...) {
+      local_.abort_session();
+      throw;
+    }
+  }
+  local_.barrier_wait(topo_.local_rank);
+
+  // Phase 3: every rank takes the means and re-derives the global
+  // squared norm: per-chunk partial sums in double, folded in chunk
+  // order — the identical arithmetic ThreadComm's owners publish via
+  // norms_[], so the clipping decision is fabric-independent. The
+  // barrier below keeps phase-4 result-row writes from racing this
+  // read.
+  if (size > 0)
+    std::memcpy(grads.data(), local_.result_, size * sizeof(float));
+  double sq = 0.0;
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    const std::size_t lo = c * chunk;
+    const std::size_t hi = std::min(lo + chunk, size);
+    double partial = 0.0;
+    for (std::size_t i = lo; i < hi; ++i)
+      partial += static_cast<double>(grads[i]) * grads[i];
+    sq += partial;
+  }
+  local_.barrier_wait(topo_.local_rank);
+
+  // Phase 4: step the chunks this *global* rank owns, publish the
+  // updated parameters to the result row.
+  for (std::size_t c = topo_.global_rank; c < num_chunks; c += ranks_) {
+    const std::size_t lo = c * chunk;
+    const std::size_t hi = std::min(lo + chunk, size);
+    fn(ctx, lo, hi, sq);
+    std::memcpy(local_.result_ + lo, params.data() + lo,
+                (hi - lo) * sizeof(float));
+  }
+  local_.barrier_wait(topo_.local_rank);
+
+  // Phase 5: leaders exchange the per-host stepped blocks, completing
+  // every host's result row.
+  if (is_leader() && topo_.hosts > 1) {
+    try {
+      leader_allgather_params(size);
+    } catch (...) {
+      local_.abort_session();
+      throw;
+    }
+  }
+  local_.barrier_wait(topo_.local_rank);
+
+  // Phase 6: allgather — take every chunk this rank didn't step.
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    if (c % ranks_ == topo_.global_rank) continue;
+    const std::size_t lo = c * chunk;
+    const std::size_t hi = std::min(lo + chunk, size);
+    std::memcpy(params.data() + lo, local_.result_ + lo,
+                (hi - lo) * sizeof(float));
+  }
+}
+
+}  // namespace disttgl::dist

@@ -1,0 +1,166 @@
+// Hierarchical collective for the simulated multi-machine fabric:
+// shm staging intra-host, a framed-TCP leader ring inter-host.
+//
+// Topology: the global world is split into `hosts` contiguous, balanced
+// rank spans (host_span below). Ranks of one host share a ProcComm
+// segment — reused verbatim for its staged rows, shared result row, and
+// epoch barrier — and the first rank of each span is the host's leader,
+// holding two TCP connections: one dialed to the successor leader, one
+// accepted from the predecessor (all ring traffic flows in successor
+// direction, so one duplex pair per leader suffices).
+//
+// Bitwise equivalence with ThreadComm/ProcComm is the load-bearing
+// property (tests/test_equivalence.cpp compares weights, losses, and
+// memory digests across fabrics with ASSERT_EQ, not tolerances), and it
+// forbids the textbook hierarchical trick of reducing per-host partial
+// sums and then combining them — float/double addition is not
+// associative, so ((a+b)+(c+d)) need not equal (((a+b)+c)+d). Instead
+// the reduction is a single left fold in double over global ranks 0..R-1
+// in rank order, exactly the fold ThreadComm runs per element:
+//
+//   reduce:    a running double accumulator travels the leader chain
+//              host 0 → 1 → … → H-1; each leader folds its local ranks'
+//              staged rows one rank at a time (local order == contiguous
+//              global order)
+//   mean:      the last host computes mean = float(acc * (1/R)) — the
+//              identical rounding point ThreadComm uses
+//   broadcast: the float means ring forward H-1 → 0 → … → H-2; every
+//              leader deposits them in its host's shared result row
+//
+// The chain serializes the payload through each host, which costs
+// latency a production ring reduce-scatter would pipeline away — that
+// trade (bitwise determinism over peak bandwidth) is deliberate and
+// measured in BENCH_fabric.json against the throughput_model's
+// cross-machine prediction.
+//
+// Fault containment matches ProcComm: every TCP wait carries a deadline,
+// a leader that fails its ring I/O poisons the local barrier before
+// rethrowing, so non-leader ranks fail kAborted instead of waiting out
+// their own timeout, and a SIGKILLed remote host surfaces as a typed
+// kPeerClosed/kPeerTimeout on its ring neighbours.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "distributed/proc_comm.hpp"
+#include "distributed/rendezvous.hpp"
+#include "distributed/socket.hpp"
+
+namespace disttgl::dist {
+
+// Balanced contiguous split: host h of H runs global ranks
+// [h*base + min(h, rem), …) with base = world/H, rem = world%H. Pure
+// function of (world, hosts) so the launcher, rendezvous map, and every
+// rank derive the identical layout.
+std::pair<std::size_t, std::size_t> host_span(std::size_t host,
+                                              std::size_t world,
+                                              std::size_t hosts);
+std::size_t host_of_rank(std::size_t rank, std::size_t world,
+                         std::size_t hosts);
+
+// The two ring connections a host leader holds (invalid for followers
+// and for hosts == 1).
+struct RingEndpoints {
+  TcpEndpoint next;  // dialed to the successor leader (all sends)
+  TcpEndpoint prev;  // accepted from the predecessor (all receives)
+};
+
+// Leader side of ring setup: dial the successor's ring listener, accept
+// the predecessor, and exchange an identity handshake both ways. Safe in
+// any leader order — the kernel backlog completes a dial before the
+// peer's accept runs, so dial-then-accept cannot deadlock.
+RingEndpoints connect_ring(int listen_fd, const ClusterMap& map,
+                           std::size_t host, Deadline deadline, bool nodelay);
+
+class HierComm final : public Comm {
+ public:
+  // Sub-kind word inside kCollective frames.
+  enum class RingMsg : std::uint32_t {
+    kHandshake = 1,  // ring setup: {host_from}
+    kReduce = 2,     // forward chain: running double accumulator
+    kBroadcast = 3,  // forward chain: final float means
+    kGather = 4,     // ring allgather: one host's stepped param block
+  };
+
+  struct Topology {
+    std::size_t world = 0;
+    std::size_t hosts = 0;
+    std::size_t host = 0;
+    std::size_t global_rank = 0;
+    std::size_t local_rank = 0;
+    std::size_t local_world = 0;
+  };
+  static Topology topology_for(std::size_t rank, std::size_t world,
+                               std::size_t hosts);
+
+  // `local` is this host's shared staging segment (attach()ed by ranks,
+  // create()d by the launcher), already sized for the payload. Leaders
+  // pass their connected ring; followers pass a default RingEndpoints.
+  HierComm(ProcComm local, Topology topo, RingEndpoints ring,
+           std::chrono::milliseconds timeout);
+
+  void reserve(std::size_t max_elems) override { local_.reserve(max_elems); }
+  std::size_t capacity() const override { return local_.capacity(); }
+
+  void allreduce_mean(std::size_t rank, std::span<float> data) override;
+  void allreduce_step(std::size_t rank, std::span<float> grads,
+                      std::span<float> params, ChunkStepFn fn,
+                      void* ctx) override;
+
+  // Counters live in host 0's segment header and are bumped by global
+  // rank 0 (the convention every fabric shares: rank 0 accounts, rank 0
+  // reports).
+  std::uint64_t logical_bytes() const override {
+    return local_.logical_bytes();
+  }
+  std::uint64_t num_allreduces() const override {
+    return local_.num_allreduces();
+  }
+
+  void abort_session() override { local_.abort_session(); }
+  bool aborted() const override { return local_.aborted(); }
+
+  const Topology& topology() const { return topo_; }
+  // Wire bytes this leader framed onto the ring (0 on followers).
+  std::uint64_t tcp_bytes() const { return ring_.next.bytes_sent(); }
+
+ private:
+  bool is_leader() const { return topo_.local_rank == 0; }
+
+  // Leader-only phases. Each fills the host's shared result row; any
+  // ring failure poisons the local barrier before rethrowing.
+  void leader_reduce_broadcast(std::size_t size);
+  void leader_allgather_params(std::size_t size);
+
+  void send_ring(RingMsg kind, std::size_t block_host,
+                 std::span<const std::uint8_t> body, Deadline deadline);
+  // Receives one kCollective frame, validating kind/seq/host; returns
+  // the body (payload after the mini-header).
+  std::span<const std::uint8_t> recv_ring(RingMsg kind,
+                                          std::size_t expect_host,
+                                          Deadline deadline);
+
+  // Chunks owned by host `h`'s ranks, as (lo, hi) element ranges of a
+  // `size`-element payload, in chunk order.
+  void owned_ranges(std::size_t h, std::size_t size,
+                    std::vector<std::pair<std::size_t, std::size_t>>& out)
+      const;
+
+  ProcComm local_;
+  Topology topo_;
+  RingEndpoints ring_;
+  std::chrono::milliseconds timeout_;
+
+  // Leader scratch (persistent so steady-state calls stay cheap).
+  std::vector<double> acc_;
+  std::vector<float> block_;
+  std::vector<std::uint8_t> body_;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges_;
+  Frame frame_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace disttgl::dist

@@ -113,7 +113,8 @@ void ProcGroup::kill_rank(std::size_t rank) {
 
 std::vector<ChildResult> ProcGroup::wait(
     std::chrono::milliseconds timeout,
-    std::chrono::milliseconds heartbeat_timeout) {
+    std::chrono::milliseconds heartbeat_timeout,
+    std::chrono::milliseconds checkpoint_grace) {
   const std::size_t world = pids_.size();
   std::vector<ChildResult> results(world);
   for (std::size_t r = 0; r < world; ++r) results[r].rank = r;
@@ -129,6 +130,12 @@ std::vector<ChildResult> ProcGroup::wait(
   const bool supervise = heartbeat_timeout.count() > 0;
   std::vector<bool> beating(world, false);
   std::vector<std::chrono::steady_clock::time_point> last_seen(world);
+  // A rank that announced a snapshot write (kCheckpointNote) is allowed
+  // to go quiet until grace_until[r]: the save is fsync-bound and stalls
+  // its beat loop without the rank being dead or hung. Any later frame
+  // (the post-commit note, the next heartbeat) clears the allowance.
+  std::vector<std::chrono::steady_clock::time_point> grace_until(
+      world, std::chrono::steady_clock::time_point::min());
   bool hb_killed = false;
 
   // Drain every pipe until EOF (or deadline). A child's frame may be
@@ -167,6 +174,10 @@ std::vector<ChildResult> ProcGroup::wait(
             while (readers[r].poll(frame)) {
               beating[r] = true;
               last_seen[r] = std::chrono::steady_clock::now();
+              grace_until[r] = std::chrono::steady_clock::time_point::min();
+              if (frame.type == MsgType::kCheckpointNote &&
+                  checkpoint_grace.count() > 0)
+                grace_until[r] = last_seen[r] + checkpoint_grace;
               if (frame.type == MsgType::kResult) {
                 got_frame[r] = true;
                 results[r].ok = true;
@@ -200,6 +211,7 @@ std::vector<ChildResult> ProcGroup::wait(
       for (std::size_t r = 0; r < world; ++r) {
         if (pipe_done[r] || got_frame[r] || !beating[r]) continue;
         if (now - last_seen[r] < heartbeat_timeout) continue;
+        if (now < grace_until[r]) continue;  // mid-checkpoint stall
         // A beating rank went silent: dead or hung. Either way the
         // group cannot finish — SIGKILL everyone and let the pipes
         // drain to EOF below.

@@ -64,9 +64,16 @@ class ProcGroup {
   // silent rank reported kHeartbeatLost. Ranks that never frame are
   // covered by the launch deadline as before (startup cost must not
   // count against the beat cadence).
+  //
+  // `checkpoint_grace` widens the window per rank after a
+  // kCheckpointNote frame: a snapshot write is fsync-bound and stalls
+  // the beat loop without the rank being dead or hung, so a rank that
+  // announced a save may stay silent up to the grace (instead of the
+  // beat timeout) before the supervisor fires. 0 = no widening.
   std::vector<ChildResult> wait(
       std::chrono::milliseconds timeout,
-      std::chrono::milliseconds heartbeat_timeout = std::chrono::milliseconds(0));
+      std::chrono::milliseconds heartbeat_timeout = std::chrono::milliseconds(0),
+      std::chrono::milliseconds checkpoint_grace = std::chrono::milliseconds(0));
 
   // SIGKILL one rank (fault injection).
   void kill_rank(std::size_t rank);

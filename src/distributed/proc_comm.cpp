@@ -212,6 +212,11 @@ void ProcComm::account(std::size_t rank, std::size_t size) {
   hdr_->logical_bytes.fetch_add(ring_bytes(size), std::memory_order_relaxed);
 }
 
+void ProcComm::account_raw(std::uint64_t calls, std::uint64_t bytes) {
+  hdr_->num_calls.fetch_add(calls, std::memory_order_relaxed);
+  hdr_->logical_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
 // The phase structure below is ThreadComm's, line for line, with the
 // segment arrays in place of the vectors — same chunk partition, same
 // fixed rank-order double accumulation, so results are bit-identical

@@ -78,12 +78,20 @@ class ProcComm final : public Comm {
   const std::string& shm_name() const { return segment_.name(); }
 
  private:
+  // HierComm reuses this segment as its intra-host transport: the staged
+  // rows, the shared result row, and the epoch barrier — with its own
+  // global-rank reduction on top (hier_comm.hpp).
+  friend class HierComm;
+
   ProcComm(ShmSegment segment, std::size_t world, Options opts,
            std::chrono::milliseconds timeout);
 
   void barrier_wait(std::size_t rank);
   void check_uniform_size(std::size_t rank, std::size_t size);
   void account(std::size_t rank, std::size_t size);
+  // Raw counter bump for HierComm, whose ring_bytes is computed over the
+  // GLOBAL world (account() above would use this segment's local world).
+  void account_raw(std::uint64_t calls, std::uint64_t bytes);
 
   // Typed views into the mapped segment (set once in the ctor).
   struct ProcCommHeader* hdr_ = nullptr;

@@ -86,6 +86,134 @@ void rendezvous_host(const std::string& socket_path,
   }
 }
 
+std::vector<std::uint8_t> encode_cluster_map(const ClusterMap& map) {
+  WireWriter w;
+  w.put_u32(map.world);
+  w.put_string(map.session_prefix);
+  w.put_string(map.bind_host);
+  w.put_u64(map.host_comm_shms.size());
+  for (const std::string& s : map.host_comm_shms) w.put_string(s);
+  w.put_u64(map.daemon_shms.size());
+  for (const std::string& s : map.daemon_shms) w.put_string(s);
+  w.put_u64(map.spans.size());
+  for (const HostSpan& span : map.spans) {
+    w.put_u32(span.begin);
+    w.put_u32(span.end);
+    w.put_u32(span.leader_port);
+  }
+  return w.take();
+}
+
+ClusterMap decode_cluster_map(std::span<const std::uint8_t> payload) {
+  WireCursor c(payload);
+  ClusterMap map;
+  map.world = c.get_u32();
+  map.session_prefix = c.get_string();
+  map.bind_host = c.get_string();
+  const std::uint64_t n_comm = c.get_u64();
+  map.host_comm_shms.reserve(n_comm);
+  for (std::uint64_t i = 0; i < n_comm; ++i)
+    map.host_comm_shms.push_back(c.get_string());
+  const std::uint64_t n_daemon = c.get_u64();
+  map.daemon_shms.reserve(n_daemon);
+  for (std::uint64_t i = 0; i < n_daemon; ++i)
+    map.daemon_shms.push_back(c.get_string());
+  const std::uint64_t n_spans = c.get_u64();
+  map.spans.reserve(n_spans);
+  for (std::uint64_t i = 0; i < n_spans; ++i) {
+    HostSpan span;
+    span.begin = c.get_u32();
+    span.end = c.get_u32();
+    span.leader_port = static_cast<std::uint16_t>(c.get_u32());
+    map.spans.push_back(span);
+  }
+  return map;
+}
+
+void tcp_rendezvous_host(int listen_fd, ClusterMap map,
+                         std::chrono::milliseconds timeout) {
+  const Deadline deadline = deadline_after(timeout);
+  std::vector<bool> seen(map.world, false);
+  // Connections stay parked until every rank (and so every leader ring
+  // port) has arrived — answering early would hand out an incomplete
+  // map.
+  std::vector<FdHandle> conns(map.world);
+  std::uint32_t arrived = 0;
+  while (arrived < map.world) {
+    FdHandle conn = accept_conn(listen_fd, deadline);
+    Frame hello;
+    if (!read_frame(conn.get(), hello, deadline))
+      throw_fabric(FabricErrc::kPeerClosed,
+                   "rank closed the connection before HELLO");
+    if (hello.type != MsgType::kHello)
+      throw_fabric(FabricErrc::kBadMagic,
+                   "expected HELLO, got frame type " +
+                       std::to_string(static_cast<int>(hello.type)));
+    WireCursor c(hello.payload);
+    const std::uint32_t peer_world = c.get_u32();
+    const std::uint32_t rank = c.get_u32();
+    const std::uint32_t leader_port = c.get_u32();
+    if (peer_world != map.world || rank >= map.world || seen[rank]) {
+      const std::string msg =
+          rank < seen.size() && seen[rank]
+              ? "rank " + std::to_string(rank) + " already registered"
+              : "bad HELLO: world " + std::to_string(peer_world) + " rank " +
+                    std::to_string(rank) + " vs world " +
+                    std::to_string(map.world);
+      WireWriter err;
+      err.put_u32(static_cast<std::uint32_t>(FabricErrc::kRankConflict));
+      err.put_string(msg);
+      write_frame(conn.get(), MsgType::kErrorReport, err.bytes(), deadline);
+      throw_fabric(FabricErrc::kRankConflict, msg);
+    }
+    seen[rank] = true;
+    conns[rank] = std::move(conn);
+    if (leader_port != 0) {
+      for (HostSpan& span : map.spans)
+        if (span.begin == rank)
+          span.leader_port = static_cast<std::uint16_t>(leader_port);
+    }
+    ++arrived;
+  }
+  // A single-host cluster has no ring, so leaders rightly bind nothing.
+  if (map.hosts() > 1)
+    for (const HostSpan& span : map.spans)
+      if (span.end > span.begin && span.leader_port == 0)
+        throw_fabric(FabricErrc::kRankConflict,
+                     "leader rank " + std::to_string(span.begin) +
+                         " announced no ring port");
+  const std::vector<std::uint8_t> welcome = encode_cluster_map(map);
+  for (std::uint32_t rank = 0; rank < map.world; ++rank)
+    write_frame(conns[rank].get(), MsgType::kWelcome, welcome, deadline);
+}
+
+ClusterMap tcp_rendezvous_client(const std::string& host, std::uint16_t port,
+                                 std::uint32_t world, std::uint32_t rank,
+                                 std::uint16_t leader_port,
+                                 std::chrono::milliseconds timeout) {
+  const Deadline deadline = deadline_after(timeout);
+  FdHandle conn = tcp_connect(host, port, deadline);
+  WireWriter hello;
+  hello.put_u32(world);
+  hello.put_u32(rank);
+  hello.put_u32(leader_port);
+  write_frame(conn.get(), MsgType::kHello, hello.bytes(), deadline);
+
+  Frame reply;
+  if (!read_frame(conn.get(), reply, deadline))
+    throw_fabric(FabricErrc::kPeerClosed, "host closed before WELCOME");
+  if (reply.type == MsgType::kErrorReport) {
+    WireCursor c(reply.payload);
+    const auto code = static_cast<FabricErrc>(c.get_u32());
+    throw_fabric(code, "rendezvous rejected: " + c.get_string());
+  }
+  if (reply.type != MsgType::kWelcome)
+    throw_fabric(FabricErrc::kBadMagic,
+                 "expected WELCOME, got frame type " +
+                     std::to_string(static_cast<int>(reply.type)));
+  return decode_cluster_map(reply.payload);
+}
+
 RendezvousInfo rendezvous_client(const std::string& socket_path,
                                  std::uint32_t world, std::uint32_t rank,
                                  std::chrono::milliseconds timeout) {

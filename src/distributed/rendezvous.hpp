@@ -47,4 +47,50 @@ RendezvousInfo rendezvous_client(const std::string& socket_path,
                                  std::uint32_t world, std::uint32_t rank,
                                  std::chrono::milliseconds timeout);
 
+// ---- cross-host (TCP) rendezvous ----------------------------------------
+
+// One simulated host's slice of the world: the contiguous global-rank
+// span [begin, end) it runs, and the TCP port its leader (global rank
+// `begin`) listens on for the inter-host collective ring.
+struct HostSpan {
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+  std::uint16_t leader_port = 0;
+};
+
+// Everything a rank needs to join a multi-host session: which span is
+// whose, where each leader rings, and which shm segments carry the
+// intra-host traffic. Serialized into the WELCOME payload.
+struct ClusterMap {
+  std::uint32_t world = 0;
+  std::string session_prefix;
+  std::string bind_host;                  // interface the leader rings use
+  std::vector<std::string> host_comm_shms;  // one staging segment per host
+  std::vector<std::string> daemon_shms;     // one per memory group
+  std::vector<HostSpan> spans;              // one per host, rank-ordered
+
+  std::size_t hosts() const { return spans.size(); }
+};
+
+std::vector<std::uint8_t> encode_cluster_map(const ClusterMap& map);
+ClusterMap decode_cluster_map(std::span<const std::uint8_t> payload);
+
+// Host side: serves rendezvous on an already-bound TCP listener (the
+// launcher binds pre-fork so every child knows the port). Unlike the
+// UNIX-socket flavour this must collect *all* HELLOs before answering
+// any of them: each leader's HELLO carries its freshly-bound ring port,
+// and the map is only complete — and worth WELCOMEing with — once every
+// leader has checked in. Rank/world conflicts are typed kRankConflict,
+// reported to the offender before the session fails.
+void tcp_rendezvous_host(int listen_fd, ClusterMap map,
+                         std::chrono::milliseconds timeout);
+
+// Rank side: dials the rendezvous listener, HELLOs {world, rank,
+// leader_port} (leader_port 0 for non-leaders), returns the decoded
+// cluster map.
+ClusterMap tcp_rendezvous_client(const std::string& host, std::uint16_t port,
+                                 std::uint32_t world, std::uint32_t rank,
+                                 std::uint16_t leader_port,
+                                 std::chrono::milliseconds timeout);
+
 }  // namespace disttgl::dist

@@ -1,5 +1,9 @@
 #include "distributed/socket.hpp"
 
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -13,15 +17,6 @@ namespace {
 
 [[noreturn]] void throw_errno(FabricErrc code, const std::string& op) {
   throw_fabric(code, op + ": " + std::strerror(errno));
-}
-
-// Remaining milliseconds until `deadline`, clamped for poll(2).
-int poll_timeout_ms(Deadline deadline) {
-  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
-      deadline - std::chrono::steady_clock::now());
-  if (left.count() <= 0) return 0;
-  if (left.count() > 60'000) return 60'000;
-  return static_cast<int>(left.count());
 }
 
 // Polls `fd` for `events`; returns true when ready, throws kPeerTimeout
@@ -55,6 +50,20 @@ FdHandle make_socket() {
 }
 
 }  // namespace
+
+int poll_timeout_ms(Deadline deadline) {
+  const Deadline now = std::chrono::steady_clock::now();
+  if (deadline <= now) return 0;
+  // Clamp in the clock's native duration *before* any cast: a sentinel
+  // like kNoDeadline leaves `left` near the representable maximum, and
+  // a duration_cast of that would overflow to a negative count — which
+  // the old code folded to a 0 ms timeout, busy-spinning the caller.
+  const Deadline::duration left = deadline - now;
+  constexpr auto kMaxSlice = std::chrono::milliseconds(60'000);
+  if (left >= kMaxSlice) return 60'000;
+  return static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(left).count());
+}
 
 void FdHandle::reset() {
   if (fd_ >= 0) {
@@ -144,8 +153,29 @@ FdHandle unix_listen(const std::string& path, int backlog) {
   }
   if (errno != EADDRINUSE) throw_errno(FabricErrc::kSocketFailure, "bind");
 
-  // The path exists. Probe it: a live listener accepts (or at least
-  // doesn't refuse); a stale file from a crashed run refuses.
+  // The path exists. Serialize recovery through an O_EXCL lockfile
+  // before probing: two processes racing this path could otherwise both
+  // see the stale socket refuse, both unlink, and both bind a fresh
+  // listener (the second unlink removes the first's live socket). With
+  // the lock exactly one recovers; the loser gets a deterministic
+  // kAddrInUse instead of a coin flip.
+  const std::string lock_path = path + ".lock";
+  const int lock_fd =
+      ::open(lock_path.c_str(), O_CREAT | O_EXCL | O_WRONLY | O_CLOEXEC, 0600);
+  if (lock_fd < 0) {
+    if (errno == EEXIST)
+      throw_fabric(FabricErrc::kAddrInUse,
+                   path + ": another process is recovering this address");
+    throw_errno(FabricErrc::kSocketFailure, "open " + lock_path);
+  }
+  FdHandle lock(lock_fd);
+  struct LockGuard {
+    const std::string& p;
+    ~LockGuard() { ::unlink(p.c_str()); }
+  } lock_guard{lock_path};
+
+  // Probe under the lock: a live listener accepts (or at least doesn't
+  // refuse); a stale file from a crashed run refuses.
   {
     FdHandle probe = make_socket();
     if (::connect(probe.get(), reinterpret_cast<const sockaddr*>(&addr),
@@ -192,6 +222,97 @@ FdHandle accept_conn(int listen_fd, Deadline deadline) {
     if (errno != EINTR && errno != EAGAIN && errno != ECONNABORTED)
       throw_errno(FabricErrc::kSocketFailure, "accept");
   }
+}
+
+// ---- TCP -----------------------------------------------------------------
+
+namespace {
+
+sockaddr_in make_inet_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw_fabric(FabricErrc::kSocketFailure,
+                 "not an IPv4 address: " + host);
+  return addr;
+}
+
+FdHandle make_tcp_socket() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno(FabricErrc::kSocketFailure, "socket(tcp)");
+  return FdHandle(fd);
+}
+
+}  // namespace
+
+void tcp_set_nodelay(int fd) {
+  const int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0)
+    throw_errno(FabricErrc::kSocketFailure, "setsockopt TCP_NODELAY");
+}
+
+FdHandle tcp_listen(const std::string& host, std::uint16_t port, int backlog,
+                    std::uint16_t& bound_port) {
+  const sockaddr_in addr = make_inet_addr(host, port);
+  FdHandle fd = make_tcp_socket();
+  // SO_REUSEADDR: a just-closed listener's TIME_WAIT remnants must not
+  // make rapid test restarts flaky. Safe here — exactly one live
+  // listener per port still holds (bind of a *live* port fails).
+  const int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0)
+    throw_errno(FabricErrc::kSocketFailure, "setsockopt SO_REUSEADDR");
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    if (errno == EADDRINUSE)
+      throw_fabric(FabricErrc::kAddrInUse,
+                   "live listener already on " + host + ":" +
+                       std::to_string(port));
+    throw_errno(FabricErrc::kSocketFailure, "bind(tcp)");
+  }
+  if (::listen(fd.get(), backlog) != 0)
+    throw_errno(FabricErrc::kSocketFailure, "listen(tcp)");
+  sockaddr_in actual{};
+  socklen_t len = sizeof(actual);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&actual), &len) != 0)
+    throw_errno(FabricErrc::kSocketFailure, "getsockname");
+  bound_port = ntohs(actual.sin_port);
+  return fd;
+}
+
+FdHandle tcp_connect(const std::string& host, std::uint16_t port,
+                     Deadline deadline, bool nodelay) {
+  const sockaddr_in addr = make_inet_addr(host, port);
+  for (;;) {
+    FdHandle fd = make_tcp_socket();
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      if (nodelay) tcp_set_nodelay(fd.get());
+      return fd;
+    }
+    if (errno != ECONNREFUSED && errno != EINTR && errno != EAGAIN)
+      throw_errno(FabricErrc::kSocketFailure,
+                  "connect " + host + ":" + std::to_string(port));
+    if (std::chrono::steady_clock::now() >= deadline)
+      throw_fabric(FabricErrc::kPeerTimeout, "connect " + host + ":" +
+                                                 std::to_string(port) +
+                                                 ": deadline");
+    // Listener not up yet (rendezvous race) — back off briefly.
+    timespec ts{0, 2'000'000};  // 2 ms
+    nanosleep(&ts, nullptr);
+  }
+}
+
+void TcpEndpoint::send(MsgType type, std::span<const std::uint8_t> payload,
+                       Deadline deadline) {
+  send_buf_.clear();
+  encode_frame(type, payload, send_buf_);
+  write_exact(fd_.get(), send_buf_, deadline);
+  bytes_sent_ += send_buf_.size();
+}
+
+bool TcpEndpoint::recv(Frame& out, Deadline deadline) {
+  return read_frame(fd_.get(), out, deadline);
 }
 
 }  // namespace disttgl::dist

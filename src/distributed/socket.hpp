@@ -1,4 +1,5 @@
-// UNIX-domain socket plumbing for the process fabric's control plane.
+// Socket plumbing (UNIX-domain + TCP) for the fabric's control and
+// inter-host data planes.
 //
 // Everything here is deadline-bounded and EINTR-safe: a peer that dies
 // mid-write must surface as kPeerClosed/kTruncated within the caller's
@@ -7,7 +8,10 @@
 // prove it). Listener creation handles the stale-socket case — a
 // previous run that crashed leaves its socket file behind; we probe it
 // with connect() and only unlink-and-rebind when the probe confirms no
-// live listener (ECONNREFUSED). A live listener is kAddrInUse.
+// live listener (ECONNREFUSED). A live listener is kAddrInUse, and the
+// recovery itself is serialized through an O_EXCL lockfile so two
+// probers cannot both unlink-and-bind — exactly one wins, the loser
+// gets a deterministic kAddrInUse.
 #pragma once
 
 #include <chrono>
@@ -22,9 +26,26 @@ namespace disttgl::dist {
 
 using Deadline = std::chrono::steady_clock::time_point;
 
+// "No deadline" sentinel: every wait still runs in bounded poll slices,
+// it just never expires.
+inline constexpr Deadline kNoDeadline = Deadline::max();
+
+// Saturating: a duration too large to represent as a time_point (e.g.
+// milliseconds::max() as an "effectively forever" bound) becomes
+// kNoDeadline instead of overflowing now + ms into the past — which
+// would turn every poll timeout into 0 ms and busy-spin the caller.
 inline Deadline deadline_after(std::chrono::milliseconds ms) {
-  return std::chrono::steady_clock::now() + ms;
+  const Deadline now = std::chrono::steady_clock::now();
+  const auto headroom = std::chrono::duration_cast<std::chrono::milliseconds>(
+      Deadline::max() - now);
+  if (ms >= headroom) return kNoDeadline;
+  return now + ms;
 }
+
+// Remaining milliseconds until `deadline`, clamped to [0, 60'000] for
+// poll(2). The subtraction and comparison happen in the clock's native
+// duration; nothing here can overflow even for kNoDeadline.
+int poll_timeout_ms(Deadline deadline);
 
 // Owning file descriptor (close-on-destroy, move-only).
 class FdHandle {
@@ -69,7 +90,8 @@ void write_frame(int fd, MsgType type, std::span<const std::uint8_t> payload,
                  Deadline deadline);
 
 // Binds + listens on `path`, recovering from a stale socket file. Throws
-// kAddrInUse when a live listener owns the path.
+// kAddrInUse when a live listener owns the path, or when another process
+// holds the recovery lock (`path + ".lock"`) mid-probe.
 FdHandle unix_listen(const std::string& path, int backlog);
 
 // Connects to `path`, retrying ECONNREFUSED/ENOENT until the deadline
@@ -78,5 +100,51 @@ FdHandle unix_connect(const std::string& path, Deadline deadline);
 
 // Accepts one connection, polling until the deadline.
 FdHandle accept_conn(int listen_fd, Deadline deadline);
+
+// ---- TCP (inter-host data plane) ----------------------------------------
+
+// Binds + listens on host:port (SO_REUSEADDR; port 0 = ephemeral) and
+// reports the actual bound port in `bound_port`. A port someone else
+// owns is a typed kAddrInUse.
+FdHandle tcp_listen(const std::string& host, std::uint16_t port, int backlog,
+                    std::uint16_t& bound_port);
+
+// Connects to host:port, retrying ECONNREFUSED until the deadline (the
+// peer's listener may not be up yet during rendezvous). Sets TCP_NODELAY
+// when `nodelay` — fabric frames are latency-bound request/response
+// pairs, so Nagle only adds round trips.
+FdHandle tcp_connect(const std::string& host, std::uint16_t port,
+                     Deadline deadline, bool nodelay = true);
+
+// TCP_NODELAY on an already-connected socket (accepted connections don't
+// inherit it portably).
+void tcp_set_nodelay(int fd);
+
+// One framed TCP connection. Thin owner around the fd: send/recv speak
+// the same validated wire protocol as read_frame/write_frame, with a
+// persistent send buffer so steady-state collective traffic does not
+// reallocate per frame.
+class TcpEndpoint {
+ public:
+  TcpEndpoint() = default;
+  explicit TcpEndpoint(FdHandle fd) : fd_(std::move(fd)) {}
+
+  bool valid() const { return fd_.valid(); }
+  int fd() const { return fd_.get(); }
+
+  void send(MsgType type, std::span<const std::uint8_t> payload,
+            Deadline deadline);
+  // False on orderly EOF at a frame boundary (peer closed cleanly).
+  bool recv(Frame& out, Deadline deadline);
+
+  // Bytes framed onto the wire so far (headers included) — the leak/
+  // traffic accounting hook for BENCH_fabric.
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  FdHandle fd_;
+  std::vector<std::uint8_t> send_buf_;
+  std::uint64_t bytes_sent_ = 0;
+};
 
 }  // namespace disttgl::dist

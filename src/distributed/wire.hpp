@@ -43,7 +43,9 @@ enum class MsgType : std::uint16_t {
   kErrorReport = 4,  // any child → parent: {errc, message}
   kShutdown = 5,     // orderly teardown notice
   kHeartbeat = 6,    // child → parent liveness beacon: {rank, iteration}
-  kCheckpointNote = 7,  // rank 0 → parent: snapshot committed {iteration}
+  kCheckpointNote = 7,  // any rank → parent: snapshot begun/committed
+  kCollective = 8,  // leader ↔ leader: HierComm ring traffic
+                    // {kind, host_from, seq, elem count, raw elems}
 };
 
 struct Frame {

@@ -223,9 +223,9 @@ TEST(GradientSyncEquivalence, FusedStepCloseWithDefaultClipping) {
 // spaces). Fork safety: every trainer joins its threads and pools
 // before train_distributed returns, so the process is single-threaded
 // again whenever the proc fabric forks.
-void expect_cross_fabric_equivalent(TrainingConfig cfg,
-                                    const TemporalGraph& g) {
-  cfg.fabric.kind = FabricKind::kProc;
+void expect_cross_fabric_equivalent(TrainingConfig cfg, const TemporalGraph& g,
+                                    FabricKind kind = FabricKind::kProc) {
+  cfg.fabric.kind = kind;
   const ThreadedTrainResult proc = train_distributed(cfg, g, nullptr);
 
   cfg.fabric.kind = FabricKind::kThread;
@@ -293,6 +293,95 @@ TEST(ProcFabricEquivalence, ZeroSpinBudgetCompletesAndMatches) {
   cfg.parallel = {.i = 2, .j = 1, .k = 1};
   cfg.fabric.spin_polls = 0;
   expect_cross_fabric_equivalent(cfg, g);
+}
+
+// ---- cross-fabric grid: thread fabric vs TCP (multi-machine) fabric ------
+
+// The TCP fabric splits the world into `hosts` simulated machines —
+// shm staging intra-host, a framed-TCP leader ring inter-host — and the
+// hierarchical reduction is REQUIRED to stay a single rank-order double
+// fold (hier_comm.hpp), so every cell must land bit-identically where
+// the thread fabric lands. The grid covers ring sizes 2..4, one rank
+// per host (pure-TCP reduction, empty intra fold), and an unbalanced
+// split (world % hosts != 0), all over real loopback sockets.
+struct TcpCase {
+  std::size_t i, j, k, hosts;
+};
+
+std::string tcp_case_name(const ::testing::TestParamInfo<TcpCase>& info) {
+  const TcpCase& c = info.param;
+  return std::to_string(c.i) + "x" + std::to_string(c.j) + "x" +
+         std::to_string(c.k) + "_hosts" + std::to_string(c.hosts);
+}
+
+class TcpFabricEquivalence : public ::testing::TestWithParam<TcpCase> {};
+
+TEST_P(TcpFabricEquivalence, BitIdenticalAcrossSimulatedHosts) {
+  const TcpCase c = GetParam();
+  TemporalGraph g = graph_for_equivalence();
+  TrainingConfig cfg = config_for_equivalence();
+  cfg.epochs = 2;
+  cfg.parallel.i = c.i;
+  cfg.parallel.j = c.j;
+  cfg.parallel.k = c.k;
+  cfg.fabric.tcp.hosts = c.hosts;
+  expect_cross_fabric_equivalent(cfg, g, FabricKind::kTcp);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, TcpFabricEquivalence,
+    ::testing::Values(TcpCase{2, 1, 1, 2},   // 2 ranks, 1 per host
+                      TcpCase{1, 2, 1, 2},   // version parallelism split
+                      TcpCase{1, 1, 2, 2},   // memory groups split
+                      TcpCase{2, 2, 1, 2},   // 2 ranks per host
+                      TcpCase{1, 2, 2, 2},   // mixed j×k over 2 hosts
+                      TcpCase{2, 2, 1, 4},   // ring of 4, 1 rank each
+                      TcpCase{1, 2, 2, 3}),  // unbalanced spans 2/1/1
+    tcp_case_name);
+
+TEST(TcpFabricEquivalence, SingleHostDegeneratesToProcPath) {
+  // hosts=1: no ring at all — HierComm must still match bit for bit
+  // through its local-only reduction.
+  TemporalGraph g = graph_for_equivalence();
+  TrainingConfig cfg = config_for_equivalence();
+  cfg.epochs = 2;
+  cfg.parallel = {.i = 2, .j = 2, .k = 1};
+  cfg.fabric.tcp.hosts = 1;
+  expect_cross_fabric_equivalent(cfg, g, FabricKind::kTcp);
+}
+
+TEST(TcpFabricEquivalence, ChunkedCollectiveStaysBitIdentical) {
+  TemporalGraph g = graph_for_equivalence();
+  TrainingConfig cfg = config_for_equivalence();
+  cfg.epochs = 2;
+  cfg.parallel = {.i = 2, .j = 2, .k = 1};
+  cfg.comm_chunk_elems = 64;
+  cfg.fabric.tcp.hosts = 2;
+  expect_cross_fabric_equivalent(cfg, g, FabricKind::kTcp);
+}
+
+TEST(TcpFabricEquivalence, FusedStepStaysBitIdentical) {
+  // The fused path is the hard case: chunk norms and the step itself
+  // are re-derived per rank from the broadcast means, and the allgather
+  // ships each host's stepped chunks around the ring.
+  TemporalGraph g = graph_for_equivalence();
+  TrainingConfig cfg = config_for_equivalence();
+  cfg.epochs = 2;
+  cfg.parallel = {.i = 2, .j = 2, .k = 1};
+  cfg.comm_fused_step = true;
+  cfg.fabric.tcp.hosts = 2;
+  expect_cross_fabric_equivalent(cfg, g, FabricKind::kTcp);
+}
+
+TEST(TcpFabricEquivalence, NagleOnStaysBitIdentical) {
+  // nodelay=false only changes packet coalescing, never bytes or order.
+  TemporalGraph g = graph_for_equivalence();
+  TrainingConfig cfg = config_for_equivalence();
+  cfg.epochs = 2;
+  cfg.parallel = {.i = 2, .j = 1, .k = 1};
+  cfg.fabric.tcp.hosts = 2;
+  cfg.fabric.tcp.nodelay = false;
+  expect_cross_fabric_equivalent(cfg, g, FabricKind::kTcp);
 }
 
 // ---- elastic recovery: deterministic resume ------------------------------
@@ -367,6 +456,22 @@ INSTANTIATE_TEST_SUITE_P(Grid, ResumeEquivalence,
                          ::testing::Values(EqCase{1, 1, 1}, EqCase{2, 1, 1},
                                            EqCase{1, 2, 1}, EqCase{1, 1, 2},
                                            EqCase{2, 2, 1}, EqCase{1, 2, 2}));
+
+TEST(ResumeEquivalence, KilledAndResumedMatchesUninterruptedTcpFabric) {
+  // The elastic-recovery contract carries over the TCP fabric unchanged:
+  // a rank SIGKILLed mid-iteration takes its host's ring connection with
+  // it, the supervisor reaps the group, and the restarted run (resuming
+  // from the latest atomic snapshot over a *fresh* ring) must land
+  // bitwise where the uninterrupted run lands.
+  TemporalGraph g = graph_for_equivalence();
+  TrainingConfig cfg = config_for_equivalence();
+  cfg.epochs = 2;
+  cfg.parallel = {.i = 2, .j = 2, .k = 1};
+  cfg.fabric.kind = FabricKind::kTcp;
+  cfg.fabric.tcp.hosts = 2;
+  cfg.fabric.timeout_ms = 2'000;  // survivors of the SIGKILL fail fast
+  expect_resume_equivalent(cfg, g, "tcp");
+}
 
 TEST(ThreadedTrainer, ReportsThroughputAndAttribution) {
   TemporalGraph g = graph_for_equivalence();

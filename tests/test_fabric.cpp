@@ -15,10 +15,14 @@
 #include <thread>
 #include <vector>
 
+#include <functional>
+
+#include "distributed/hier_comm.hpp"
 #include "distributed/launch.hpp"
 #include "distributed/proc_comm.hpp"
 #include "distributed/rendezvous.hpp"
 #include "distributed/shm.hpp"
+#include "distributed/socket.hpp"
 #include "distributed/wire.hpp"
 #include "memory/shm_channel.hpp"
 
@@ -213,6 +217,296 @@ TEST(ProcCommFabric, ReserveBeyondSegmentCapacityIsTyped) {
     }
   }
   EXPECT_TRUE(list_shm(prefix).empty());
+}
+
+// ---- hierarchical TCP comm (simulated multi-machine) ---------------------
+
+TEST(HierTopology, BalancedSpansCoverTheWorldInOrder) {
+  for (const std::size_t world : {1u, 2u, 4u, 5u, 7u}) {
+    for (std::size_t hosts = 1; hosts <= world; ++hosts) {
+      std::size_t prev_end = 0;
+      std::size_t min_len = world, max_len = 0;
+      for (std::size_t h = 0; h < hosts; ++h) {
+        const auto [begin, end] = host_span(h, world, hosts);
+        ASSERT_EQ(begin, prev_end) << "gap before host " << h;
+        ASSERT_LT(begin, end) << "empty host " << h;
+        min_len = std::min(min_len, end - begin);
+        max_len = std::max(max_len, end - begin);
+        for (std::size_t r = begin; r < end; ++r)
+          ASSERT_EQ(host_of_rank(r, world, hosts), h);
+        prev_end = end;
+      }
+      ASSERT_EQ(prev_end, world);
+      ASSERT_LE(max_len - min_len, 1u) << "unbalanced split";
+    }
+  }
+}
+
+TEST(HierTopology, TopologyForAgreesWithSpans) {
+  const std::size_t world = 5, hosts = 2;  // spans [0,3) and [3,5)
+  for (std::size_t r = 0; r < world; ++r) {
+    const auto t = HierComm::topology_for(r, world, hosts);
+    EXPECT_EQ(t.world, world);
+    EXPECT_EQ(t.hosts, hosts);
+    EXPECT_EQ(t.global_rank, r);
+    EXPECT_EQ(t.host, r < 3 ? 0u : 1u);
+    EXPECT_EQ(t.local_rank, r < 3 ? r : r - 3);
+    EXPECT_EQ(t.local_world, r < 3 ? 3u : 2u);
+  }
+}
+
+// Forked multi-host harness mirroring train_multiprocess's TCP setup:
+// per-host shm segments, a loopback TCP rendezvous, leaders on a real
+// loopback ring. `fn` runs inside each forked rank with its HierComm.
+std::vector<std::vector<std::uint8_t>> run_hier(
+    std::size_t world, std::size_t hosts, Comm::Options opts,
+    std::size_t max_elems,
+    const std::function<std::vector<std::uint8_t>(std::size_t, HierComm&)>&
+        fn) {
+  const std::string prefix = make_session_prefix();
+  ClusterMap map;
+  map.world = static_cast<std::uint32_t>(world);
+  map.session_prefix = prefix;
+  map.bind_host = "127.0.0.1";
+  std::vector<ProcComm> owners;
+  for (std::size_t h = 0; h < hosts; ++h) {
+    const auto [begin, end] = host_span(h, world, hosts);
+    const std::string name = prefix + ".hc" + std::to_string(h);
+    owners.push_back(
+        ProcComm::create(name, end - begin, max_elems, opts, kTimeout));
+    map.host_comm_shms.push_back(name);
+    map.spans.push_back({static_cast<std::uint32_t>(begin),
+                         static_cast<std::uint32_t>(end), 0});
+  }
+  std::uint16_t rdv_port = 0;
+  FdHandle listener = tcp_listen("127.0.0.1", 0, 16, rdv_port);
+
+  ProcGroup group = ProcGroup::spawn(world, [&](std::size_t rank) {
+    const auto topo = HierComm::topology_for(rank, world, hosts);
+    FdHandle ring_listen;
+    std::uint16_t ring_port = 0;
+    if (topo.local_rank == 0 && hosts > 1)
+      ring_listen = tcp_listen("127.0.0.1", 0, 16, ring_port);
+    const ClusterMap m = tcp_rendezvous_client(
+        "127.0.0.1", rdv_port, static_cast<std::uint32_t>(world),
+        static_cast<std::uint32_t>(rank), ring_port, kTimeout);
+    ProcComm local = ProcComm::attach(m.host_comm_shms[topo.host],
+                                      topo.local_world, opts, kTimeout);
+    RingEndpoints ring;
+    if (topo.local_rank == 0 && hosts > 1)
+      ring = connect_ring(ring_listen.get(), m, topo.host,
+                          deadline_after(kTimeout), true);
+    ring_listen.reset();
+    HierComm comm(std::move(local), topo, std::move(ring), kTimeout);
+    return fn(rank, comm);
+  });
+  tcp_rendezvous_host(listener.get(), map, kTimeout);
+
+  std::vector<ChildResult> results = group.wait(kTimeout);
+  for (const ChildResult& r : results)
+    if (!r.ok)
+      throw_fabric(r.errc, "rank " + std::to_string(r.rank) +
+                               " failed: " + r.message);
+  std::vector<std::vector<std::uint8_t>> payloads;
+  payloads.reserve(world);
+  for (ChildResult& r : results) payloads.push_back(std::move(r.payload));
+  return payloads;
+}
+
+TEST(HierCommFabric, AllreduceMeanBitIdenticalToThreadComm) {
+  struct Cell {
+    std::size_t world, hosts;
+  };
+  for (const Cell cell : {Cell{4, 2}, Cell{5, 2}, Cell{4, 4}, Cell{3, 1}}) {
+    for (const std::size_t chunk : {0u, 37u}) {
+      const std::size_t size = 500;
+      const auto data = make_payloads(cell.world, size, 9);
+      const Comm::Options opts{.chunk_elems = chunk};
+      const std::vector<float> want = thread_comm_mean(data, opts);
+
+      const auto payloads = run_hier(
+          cell.world, cell.hosts, opts, size,
+          [&](std::size_t rank, HierComm& comm) {
+            std::vector<float> mine = data[rank];
+            comm.allreduce_mean(rank, mine);
+            WireWriter w;
+            w.put_f32s(mine);
+            return w.take();
+          });
+      for (std::size_t r = 0; r < cell.world; ++r) {
+        WireCursor c(payloads[r]);
+        ASSERT_EQ(c.get_f32s(), want)
+            << "world=" << cell.world << " hosts=" << cell.hosts
+            << " chunk=" << chunk << " rank=" << r;
+      }
+    }
+  }
+}
+
+TEST(HierCommFabric, FusedStepBitIdenticalToThreadComm) {
+  const std::size_t world = 5, hosts = 2, size = 131, rounds = 5;
+  const Comm::Options opts{.chunk_elems = 16};
+  const std::vector<float> init = make_payloads(1, size, 21)[0];
+
+  // In-process reference (same toy optimizer as the ProcComm test).
+  std::vector<float> want;
+  {
+    ThreadComm comm(world, opts);
+    std::vector<std::vector<float>> params(world, init);
+    std::vector<std::vector<float>> grads(world, std::vector<float>(size));
+    std::vector<std::thread> threads;
+    for (std::size_t r = 0; r < world; ++r) {
+      threads.emplace_back([&, r] {
+        for (std::size_t t = 0; t < rounds; ++t) {
+          grads[r] =
+              make_payloads(world, size, static_cast<std::uint32_t>(t))[r];
+          ToyStep ctx{grads[r], params[r]};
+          comm.allreduce_step(r, grads[r], params[r], &toy_chunk_step, &ctx);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    want = params[0];
+  }
+
+  const auto payloads = run_hier(
+      world, hosts, opts, size, [&](std::size_t rank, HierComm& comm) {
+        std::vector<float> params = init;
+        std::vector<float> grads(size);
+        for (std::size_t t = 0; t < rounds; ++t) {
+          grads =
+              make_payloads(world, size, static_cast<std::uint32_t>(t))[rank];
+          ToyStep ctx{grads, params};
+          comm.allreduce_step(rank, grads, params, &toy_chunk_step, &ctx);
+        }
+        WireWriter w;
+        w.put_f32s(params);
+        return w.take();
+      });
+  for (std::size_t r = 0; r < world; ++r) {
+    WireCursor c(payloads[r]);
+    ASSERT_EQ(c.get_f32s(), want) << "rank " << r << " replica diverged";
+  }
+}
+
+TEST(HierCommFabric, AccountingMatchesThreadCommConvention) {
+  // Global rank 0 accounts into host 0's segment header with the GLOBAL
+  // ring_bytes formula — so the parent's owning handle for host 0 sees
+  // exactly what a ThreadComm/ProcComm of the same world would report.
+  const std::size_t world = 4, hosts = 2, size = 256;
+  const Comm::Options opts{};
+  const auto data = make_payloads(world, size, 2);
+
+  const std::string prefix = make_session_prefix();
+  ClusterMap map;
+  map.world = static_cast<std::uint32_t>(world);
+  map.session_prefix = prefix;
+  map.bind_host = "127.0.0.1";
+  std::vector<ProcComm> owners;
+  for (std::size_t h = 0; h < hosts; ++h) {
+    const auto [begin, end] = host_span(h, world, hosts);
+    const std::string name = prefix + ".hc" + std::to_string(h);
+    owners.push_back(
+        ProcComm::create(name, end - begin, size, opts, kTimeout));
+    map.host_comm_shms.push_back(name);
+    map.spans.push_back({static_cast<std::uint32_t>(begin),
+                         static_cast<std::uint32_t>(end), 0});
+  }
+  std::uint16_t rdv_port = 0;
+  FdHandle listener = tcp_listen("127.0.0.1", 0, 16, rdv_port);
+  ProcGroup group = ProcGroup::spawn(world, [&](std::size_t rank) {
+    const auto topo = HierComm::topology_for(rank, world, hosts);
+    FdHandle ring_listen;
+    std::uint16_t ring_port = 0;
+    if (topo.local_rank == 0)
+      ring_listen = tcp_listen("127.0.0.1", 0, 16, ring_port);
+    const ClusterMap m = tcp_rendezvous_client(
+        "127.0.0.1", rdv_port, static_cast<std::uint32_t>(world),
+        static_cast<std::uint32_t>(rank), ring_port, kTimeout);
+    ProcComm local = ProcComm::attach(m.host_comm_shms[topo.host],
+                                      topo.local_world, opts, kTimeout);
+    RingEndpoints ring;
+    if (topo.local_rank == 0)
+      ring = connect_ring(ring_listen.get(), m, topo.host,
+                          deadline_after(kTimeout), true);
+    ring_listen.reset();
+    HierComm comm(std::move(local), topo, std::move(ring), kTimeout);
+    std::vector<float> mine = data[rank];
+    comm.allreduce_mean(rank, mine);
+    return std::vector<std::uint8_t>{};
+  });
+  tcp_rendezvous_host(listener.get(), map, kTimeout);
+  for (const ChildResult& r : group.wait(kTimeout))
+    ASSERT_TRUE(r.ok) << "rank " << r.rank << ": " << r.message;
+
+  EXPECT_EQ(owners[0].num_allreduces(), 1u);
+  EXPECT_EQ(owners[0].logical_bytes(),
+            static_cast<std::uint64_t>(2.0 * (world - 1) / world * size *
+                                       sizeof(float) * world));
+  // Host 1's segment carries no global counters (rank 0 lives on host 0).
+  EXPECT_EQ(owners[1].num_allreduces(), 0u);
+}
+
+// ---- TCP endpoint + deadline plumbing ------------------------------------
+
+TEST(TcpSocket, FramedRoundTripOverLoopback) {
+  std::uint16_t port = 0;
+  FdHandle listener = tcp_listen("127.0.0.1", 0, 4, port);
+  ASSERT_GT(port, 0);
+
+  const Deadline deadline = deadline_after(kTimeout);
+  FdHandle dialed = tcp_connect("127.0.0.1", port, deadline);
+  FdHandle accepted = accept_conn(listener.get(), deadline);
+  tcp_set_nodelay(accepted.get());
+
+  TcpEndpoint a(std::move(dialed));
+  TcpEndpoint b(std::move(accepted));
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 42, 0, 255};
+  a.send(MsgType::kCollective, payload, deadline);
+  Frame f;
+  ASSERT_TRUE(b.recv(f, deadline));
+  EXPECT_EQ(f.type, MsgType::kCollective);
+  EXPECT_EQ(f.payload, payload);
+  // Header (16B) + payload, counted on the sender.
+  EXPECT_EQ(a.bytes_sent(), 16u + payload.size());
+  EXPECT_EQ(b.bytes_sent(), 0u);
+
+  // Duplex: the accepted side answers on the same connection.
+  b.send(MsgType::kHeartbeat, {}, deadline);
+  ASSERT_TRUE(a.recv(f, deadline));
+  EXPECT_EQ(f.type, MsgType::kHeartbeat);
+  EXPECT_TRUE(f.payload.empty());
+}
+
+TEST(TcpSocket, SecondListenerOnSamePortIsAddrInUse) {
+  std::uint16_t port = 0;
+  FdHandle listener = tcp_listen("127.0.0.1", 0, 4, port);
+  std::uint16_t other = 0;
+  try {
+    FdHandle second = tcp_listen("127.0.0.1", port, 4, other);
+    FAIL() << "binding a live TCP port must throw";
+  } catch (const FabricError& e) {
+    EXPECT_EQ(e.code(), FabricErrc::kAddrInUse);
+  }
+}
+
+TEST(SocketDeadline, DeadlineAfterSaturatesInsteadOfOverflowing) {
+  // milliseconds::max() used to overflow now + ms into the distant past,
+  // which turned every poll timeout into 0 ms — a busy spin.
+  const Deadline d = deadline_after(std::chrono::milliseconds::max());
+  EXPECT_EQ(d, kNoDeadline);
+  EXPECT_EQ(poll_timeout_ms(d), 60'000);  // bounded slice, not 0
+
+  // A deadline already in the past polls 0 (immediate), never negative.
+  const Deadline past =
+      std::chrono::steady_clock::now() - std::chrono::seconds(5);
+  EXPECT_EQ(poll_timeout_ms(past), 0);
+
+  // A near deadline yields a positive bounded slice.
+  const Deadline soon = deadline_after(std::chrono::milliseconds(1'500));
+  const int ms = poll_timeout_ms(soon);
+  EXPECT_GT(ms, 0);
+  EXPECT_LE(ms, 1'500);
 }
 
 // ---- rendezvous ----------------------------------------------------------

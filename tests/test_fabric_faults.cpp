@@ -10,6 +10,7 @@
 //     listener → kAddrInUse.
 //   * duplicate rank / wrong world at rendezvous → kRankConflict.
 //   * oversized daemon-channel request → kCapacity before any copy.
+#include <fcntl.h>
 #include <gtest/gtest.h>
 #include <pthread.h>
 #include <signal.h>
@@ -22,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "distributed/hier_comm.hpp"
 #include "distributed/launch.hpp"
 #include "distributed/proc_comm.hpp"
 #include "distributed/rendezvous.hpp"
@@ -203,6 +205,159 @@ TEST(FabricFaults, EintrStormOnBlockingReadIsInvisible) {
   EXPECT_EQ(got.payload, payload);
 }
 
+// ---- TCP fabric faults ---------------------------------------------------
+
+TEST(FabricFaults, KilledPeerMidTcpCollectiveIsTypedNotAHang) {
+  // World 4 over 2 simulated hosts; the victim is host 1's LEADER, so
+  // its death severs the TCP ring mid-collective. Host 0's leader must
+  // see the dead connection (kPeerClosed/kPeerTimeout), poison its local
+  // barrier, and every survivor must fail typed within the collective
+  // timeout — never hang on a half-open socket.
+  const std::size_t world = 4, hosts = 2;
+  const std::chrono::milliseconds collective_timeout{2'000};
+  const std::string prefix = make_session_prefix();
+  {
+    ClusterMap map;
+    map.world = static_cast<std::uint32_t>(world);
+    map.session_prefix = prefix;
+    map.bind_host = "127.0.0.1";
+    std::vector<ProcComm> owners;
+    for (std::size_t h = 0; h < hosts; ++h) {
+      const auto [begin, end] = host_span(h, world, hosts);
+      const std::string name = prefix + ".hc" + std::to_string(h);
+      owners.push_back(ProcComm::create(name, end - begin, 64,
+                                        Comm::Options{}, collective_timeout));
+      map.host_comm_shms.push_back(name);
+      map.spans.push_back({static_cast<std::uint32_t>(begin),
+                           static_cast<std::uint32_t>(end), 0});
+    }
+    std::uint16_t rdv_port = 0;
+    FdHandle listener = tcp_listen("127.0.0.1", 0, 16, rdv_port);
+    ProcGroup group = ProcGroup::spawn(world, [&](std::size_t rank) {
+      const auto topo = HierComm::topology_for(rank, world, hosts);
+      FdHandle ring_listen;
+      std::uint16_t ring_port = 0;
+      if (topo.local_rank == 0)
+        ring_listen = tcp_listen("127.0.0.1", 0, 16, ring_port);
+      const ClusterMap m = tcp_rendezvous_client(
+          "127.0.0.1", rdv_port, static_cast<std::uint32_t>(world),
+          static_cast<std::uint32_t>(rank), ring_port, kLong);
+      ProcComm local =
+          ProcComm::attach(m.host_comm_shms[topo.host], topo.local_world,
+                           Comm::Options{}, collective_timeout);
+      RingEndpoints ring;
+      if (topo.local_rank == 0)
+        ring = connect_ring(ring_listen.get(), m, topo.host,
+                            deadline_after(kLong), true);
+      ring_listen.reset();
+      HierComm comm(std::move(local), topo, std::move(ring),
+                    collective_timeout);
+      std::vector<float> data(64, static_cast<float>(rank));
+      comm.allreduce_mean(rank, data);  // round 1: everyone participates
+      if (rank == 2) {
+        // Host 1's leader parks here until SIGKILLed.
+        for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+      }
+      comm.allreduce_mean(rank, data);  // round 2: the ring is severed
+      return std::vector<std::uint8_t>{};
+    });
+    tcp_rendezvous_host(listener.get(), map, kLong);
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    group.kill_rank(2);
+    const std::vector<ChildResult> results = group.wait(kLong);
+    ASSERT_EQ(results.size(), world);
+    for (const std::size_t survivor : {0ul, 1ul, 3ul}) {
+      EXPECT_FALSE(results[survivor].ok);
+      EXPECT_TRUE(results[survivor].errc == FabricErrc::kPeerClosed ||
+                  results[survivor].errc == FabricErrc::kPeerTimeout ||
+                  results[survivor].errc == FabricErrc::kAborted)
+          << "rank " << survivor << " died with "
+          << fabric_errc_name(results[survivor].errc) << ": "
+          << results[survivor].message;
+    }
+    EXPECT_FALSE(results[2].ok);
+    EXPECT_EQ(results[2].errc, FabricErrc::kChildFailed);
+  }
+  EXPECT_TRUE(list_shm(prefix).empty()) << "killed TCP peer leaked shm";
+}
+
+TEST(FabricFaults, HalfOpenTcpPeerKilledBetweenFramesIsCleanEof) {
+  // SIGKILL between frames closes the connection at a frame boundary:
+  // the kernel FINs on process death, so the survivor's next recv is an
+  // orderly false — the caller decides, no exception, no hang.
+  std::uint16_t port = 0;
+  FdHandle listener = tcp_listen("127.0.0.1", 0, 4, port);
+  ProcGroup group = ProcGroup::spawn(1, [&](std::size_t) {
+    TcpEndpoint peer(
+        tcp_connect("127.0.0.1", port, deadline_after(kLong)));
+    const std::vector<std::uint8_t> payload(32, 0x7e);
+    peer.send(MsgType::kCollective, payload, deadline_after(kLong));
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+    return std::vector<std::uint8_t>{};
+  });
+  TcpEndpoint conn(accept_conn(listener.get(), deadline_after(kLong)));
+  Frame f;
+  ASSERT_TRUE(conn.recv(f, deadline_after(kLong)));  // the sent frame
+  EXPECT_EQ(f.type, MsgType::kCollective);
+  group.kill_rank(0);
+  EXPECT_FALSE(conn.recv(f, deadline_after(kLong)));  // clean EOF
+  group.wait(kLong);
+}
+
+TEST(FabricFaults, HalfOpenTcpPeerKilledMidFrameIsTruncated) {
+  // SIGKILL mid-frame instead: the survivor has consumed a partial
+  // header/payload when the FIN lands — that must be kTruncated, the
+  // "peer died mid-message" signal, not a silent short read.
+  std::uint16_t port = 0;
+  FdHandle listener = tcp_listen("127.0.0.1", 0, 4, port);
+  ProcGroup group = ProcGroup::spawn(1, [&](std::size_t) {
+    FdHandle peer = tcp_connect("127.0.0.1", port, deadline_after(kLong));
+    std::vector<std::uint8_t> stream;
+    encode_frame(MsgType::kCollective, std::vector<std::uint8_t>(64, 1),
+                 stream);
+    write_exact(peer.get(), {stream.data(), stream.size() - 7},
+                deadline_after(kLong));
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+    return std::vector<std::uint8_t>{};
+  });
+  FdHandle conn = accept_conn(listener.get(), deadline_after(kLong));
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  group.kill_rank(0);
+  Frame f;
+  try {
+    read_frame(conn.get(), f, deadline_after(kLong));
+    FAIL() << "expected kTruncated";
+  } catch (const FabricError& e) {
+    EXPECT_EQ(e.code(), FabricErrc::kTruncated);
+  }
+  group.wait(kLong);
+}
+
+TEST(FabricFaults, SplitTcpFrameReadsAreInvisible) {
+  // A TCP stream fragments arbitrarily; dribbling a frame byte by byte
+  // over loopback is the adversarial version. read_frame must reassemble
+  // it bit-for-bit, checksum included.
+  std::uint16_t port = 0;
+  FdHandle listener = tcp_listen("127.0.0.1", 0, 4, port);
+  FdHandle dialed = tcp_connect("127.0.0.1", port, deadline_after(kLong));
+  FdHandle conn = accept_conn(listener.get(), deadline_after(kLong));
+
+  const std::vector<std::uint8_t> payload = {9, 8, 7, 6, 5, 4, 3, 2, 1, 0};
+  std::vector<std::uint8_t> stream;
+  encode_frame(MsgType::kCollective, payload, stream);
+  std::thread dribbler([&] {
+    for (const std::uint8_t byte : stream) {
+      write_exact(dialed.get(), {&byte, 1}, deadline_after(kLong));
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  Frame f;
+  ASSERT_TRUE(read_frame(conn.get(), f, deadline_after(kLong)));
+  dribbler.join();
+  EXPECT_EQ(f.type, MsgType::kCollective);
+  EXPECT_EQ(f.payload, payload);
+}
+
 // ---- rendezvous faults ---------------------------------------------------
 
 std::string temp_sock_path() {
@@ -237,6 +392,34 @@ TEST(FabricFaults, LiveListenerIsAddrInUseNotSilentTheft) {
   } catch (const FabricError& e) {
     EXPECT_EQ(e.code(), FabricErrc::kAddrInUse);
   }
+  ::unlink(path.c_str());
+}
+
+TEST(FabricFaults, StaleSocketRecoveryIsSerializedByLockfile) {
+  // The probe→unlink→rebind recovery used to be a TOCTOU window: two
+  // processes could both probe-dead and race the rebind. It is now
+  // serialized through an O_EXCL lockfile — while someone holds it, a
+  // second recoverer gets a deterministic kAddrInUse instead of a race.
+  const std::string path = temp_sock_path();
+  {
+    FdHandle crashed = unix_listen(path, 4);
+  }  // stale socket file left behind
+  const std::string lock = path + ".lock";
+  const int lock_fd = ::open(lock.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0600);
+  ASSERT_GE(lock_fd, 0);
+  try {
+    FdHandle contender = unix_listen(path, 4);
+    FAIL() << "recovery while the lock is held must throw";
+  } catch (const FabricError& e) {
+    EXPECT_EQ(e.code(), FabricErrc::kAddrInUse);
+  }
+  ::close(lock_fd);
+  ::unlink(lock.c_str());
+  // Lock released: recovery proceeds and leaves no lockfile behind.
+  FdHandle recovered = unix_listen(path, 4);
+  EXPECT_TRUE(recovered.valid());
+  EXPECT_NE(::access(path.c_str(), F_OK), -1);
+  EXPECT_EQ(::access(lock.c_str(), F_OK), -1) << "lockfile leaked";
   ::unlink(path.c_str());
 }
 

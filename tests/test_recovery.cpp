@@ -478,6 +478,85 @@ TEST(Supervisor, HungRankCaughtByHeartbeatAndRecovered) {
   expect_bitwise_equal(base, sup.result);
 }
 
+TEST(Supervisor, FsyncBoundCheckpointIsNotAFalseHeartbeatLoss) {
+  // A snapshot write longer than the heartbeat timeout must not read as
+  // a hung rank: every rank announces the save (pre-write
+  // kCheckpointNote), which extends its grace window in ProcGroup::wait.
+  // Without the note, this config SIGKILLed a healthy group mid-fsync.
+  TemporalGraph g = recovery_graph();
+  TrainingConfig cfg = recovery_config();
+  cfg.parallel = {.i = 2, .j = 1, .k = 1};
+  const ThreadedTrainResult base = train_distributed(cfg, g, nullptr);
+
+  cfg.fabric.kind = FabricKind::kProc;
+  cfg.recovery.checkpoint_dir = fresh_dir("slow_save");
+  cfg.recovery.checkpoint_every = 3;
+  cfg.recovery.heartbeat_ms = 50;
+  cfg.recovery.heartbeat_timeout_ms = 400;
+  cfg.recovery.checkpoint_grace_ms = 5'000;  // explicit knob
+  cfg.fabric.fault.slow_save_ms = 1'200;     // 3x the heartbeat timeout
+
+  const ThreadedTrainResult res = train_distributed(cfg, g, nullptr);
+  expect_bitwise_equal(base, res);
+}
+
+TEST(Supervisor, CheckpointGraceDoesNotMaskARealStall) {
+  // The grace is scoped to announced saves, not a blanket widening: a
+  // rank that hangs in its iteration loop (last frame = plain heartbeat,
+  // which clears any grace) is still caught at the beat cadence even
+  // with checkpointing and slow saves active in the same run.
+  TemporalGraph g = recovery_graph();
+  TrainingConfig cfg = recovery_config();
+  cfg.parallel = {.i = 2, .j = 1, .k = 1};
+  const ThreadedTrainResult base = train_distributed(cfg, g, nullptr);
+
+  cfg.fabric.kind = FabricKind::kProc;
+  cfg.fabric.timeout_ms = 5'000;  // heartbeat must win, not the shm timeout
+  cfg.recovery.checkpoint_dir = fresh_dir("grace_stall");
+  cfg.recovery.checkpoint_every = 3;
+  cfg.recovery.heartbeat_ms = 50;
+  cfg.recovery.heartbeat_timeout_ms = 400;
+  cfg.recovery.max_restarts = 1;
+  cfg.fabric.fault.slow_save_ms = 600;  // saves outlive the beat timeout
+  cfg.fabric.fault.stall_armed = true;
+  cfg.fabric.fault.stall_rank = 0;
+  cfg.fabric.fault.stall_iteration = 4;  // after the iteration-3 snapshot
+
+  const SupervisedResult sup = train_supervised(cfg, g);
+  EXPECT_EQ(sup.restarts, 1u);
+  ASSERT_EQ(sup.failures.size(), 1u);
+  EXPECT_NE(sup.failures[0].find("heartbeat"), std::string::npos)
+      << sup.failures[0];
+  expect_bitwise_equal(base, sup.result);
+}
+
+TEST(Supervisor, KilledTcpRankResumesBitwise) {
+  // The supervisor loop is fabric-agnostic: an injected SIGKILL on the
+  // TCP fabric (which also severs the leader ring) restarts and resumes
+  // bitwise from the latest snapshot, same as the process fabric.
+  TemporalGraph g = recovery_graph();
+  TrainingConfig cfg = recovery_config();
+  cfg.parallel = {.i = 2, .j = 1, .k = 1};
+  const ThreadedTrainResult base = train_distributed(cfg, g, nullptr);
+
+  cfg.fabric.kind = FabricKind::kTcp;
+  cfg.fabric.tcp.hosts = 2;
+  cfg.fabric.timeout_ms = 2'000;  // surviving ranks fail fast
+  cfg.recovery.checkpoint_dir = fresh_dir("tcp_resume");
+  cfg.recovery.checkpoint_every = 3;
+  cfg.recovery.max_restarts = 2;
+  cfg.fabric.fault.kill_armed = true;
+  cfg.fabric.fault.kill_rank = 1;
+  cfg.fabric.fault.kill_iteration = 4;
+
+  const SupervisedResult sup = train_supervised(cfg, g);
+  EXPECT_EQ(sup.restarts, 1u);
+  ASSERT_EQ(sup.resume_stems.size(), 1u);
+  EXPECT_EQ(sup.resume_stems[0],
+            snapshot_stem(cfg.recovery.checkpoint_dir, 3));
+  expect_bitwise_equal(base, sup.result);
+}
+
 TEST(Supervisor, HungRankFailsTypedWithoutRestartBudget) {
   TemporalGraph g = recovery_graph();
   TrainingConfig cfg = recovery_config();

@@ -55,13 +55,20 @@ def check_bench_json() -> int:
 def check_bench_fabric() -> None:
     """BENCH_fabric.json carries the measured-vs-model contract: every
     entry must cover ranks {2,4,8} for both fabric ops, each config
-    pairing a positive measured_us with a positive model_us."""
+    pairing a positive measured_us with a positive model_us. An entry
+    with "fabric": "tcp" follows the tcp-entry convention
+    (docs/BENCHMARKS.md): its allreduce configs measured HierComm over
+    the TCP ring, so each must also carry hosts >= 2 (the throughput
+    model's `machines` argument)."""
     path = os.path.join(ROOT, "BENCH_fabric.json")
     if not os.path.exists(path):
         fail("BENCH_fabric.json is missing at the repo root")
     with open(path) as f:
         data = json.load(f)
+    tcp_entries = 0
     for i, entry in enumerate(data):
+        is_tcp = entry.get("fabric") == "tcp"
+        tcp_entries += is_tcp
         for op in ("allreduce", "daemon_round"):
             configs = entry.get(op)
             if not isinstance(configs, dict):
@@ -75,9 +82,15 @@ def check_bench_fabric() -> None:
                             and cfg[key] > 0):
                         fail(f"BENCH_fabric.json entry {i} {op} ranks_{ranks} "
                              f"'{key}' must be a positive number")
+                if is_tcp and op == "allreduce":
+                    if not (isinstance(cfg.get("hosts"), int)
+                            and cfg["hosts"] >= 2):
+                        fail(f"BENCH_fabric.json entry {i} (fabric=tcp) "
+                             f"allreduce ranks_{ranks} must record "
+                             "hosts >= 2")
     print(f"check_docs: BENCH_fabric.json: {len(data)} "
           f"entr{'y' if len(data) == 1 else 'ies'} cover ranks 2/4/8 "
-          "with measured+model latencies")
+          f"with measured+model latencies ({tcp_entries} tcp)")
 
 def check_bench_recovery() -> None:
     """BENCH_recovery.json records the recovery-path costs: every entry

@@ -15,9 +15,17 @@ place, so a surviving *.tmp under --ckpt-dir means an interrupted write
 that nothing reclaimed.  The sweep fails on those too (recursively),
 then removes the whole scratch directory so runs stay hermetic.
 
+It also covers the socket plane (src/distributed/socket.cpp): the UNIX
+rendezvous leaves "/tmp/disttgl.*.sock" files (plus "*.sock.lock" from
+the serialized stale-socket recovery) that the host unlinks on clean
+exit, and the TCP fabric holds listener sockets that FdHandle closes on
+every path.  A surviving socket/lock file, or a listener fd still open
+in THIS process (--check-fds, used by tests that exec the sweep after
+closing everything), is a leak.
+
 Usage:
     sweep_shm.py [--fail-on-leak] [--prefix PREFIX] [--ckpt-dir DIR]
-                 [--dry-run]
+                 [--sock-dir DIR] [--check-fds] [--dry-run]
 """
 
 import argparse
@@ -28,6 +36,7 @@ import sys
 SHM_DIR = "/dev/shm"
 DEFAULT_PREFIX = "disttgl."  # /dev/shm entries drop the leading '/'
 DEFAULT_CKPT_DIR = "/tmp/disttgl-ckpt"
+DEFAULT_SOCK_DIR = "/tmp"
 
 
 def find_segments(prefix: str) -> list[str]:
@@ -47,6 +56,61 @@ def find_tmp_shards(ckpt_dir: str) -> list[str]:
     return sorted(leaked)
 
 
+def find_socket_litter(sock_dir: str, prefix: str) -> list[str]:
+    """Rendezvous socket files and recovery lockfiles left behind by a
+    crashed session (a clean host unlinks both)."""
+    try:
+        entries = os.listdir(sock_dir)
+    except FileNotFoundError:
+        return []
+    return sorted(
+        os.path.join(sock_dir, e)
+        for e in entries
+        if e.startswith(prefix) and (e.endswith(".sock")
+                                     or e.endswith(".lock"))
+    )
+
+
+def find_open_listener_fds() -> list[str]:
+    """Listener sockets still open in this process (Linux: /proc/self/fd
+    + /proc/net). A test that swept its fabric should hold none."""
+    fd_dir = "/proc/self/fd"
+    try:
+        fds = os.listdir(fd_dir)
+    except FileNotFoundError:
+        return []  # not Linux; nothing to check
+    # Inodes of listening TCP sockets (state 0A) and of bound UNIX
+    # listeners whose path matches the fabric's naming.
+    listening = set()
+    try:
+        with open("/proc/net/tcp") as f:
+            for line in list(f)[1:]:
+                parts = line.split()
+                if len(parts) > 9 and parts[3] == "0A":
+                    listening.add(parts[9])
+    except OSError:
+        pass
+    try:
+        with open("/proc/net/unix") as f:
+            for line in list(f)[1:]:
+                parts = line.split()
+                if len(parts) >= 8 and "disttgl" in parts[-1]:
+                    listening.add(parts[6])
+    except OSError:
+        pass
+    leaked = []
+    for fd in fds:
+        try:
+            target = os.readlink(os.path.join(fd_dir, fd))
+        except OSError:
+            continue
+        if target.startswith("socket:["):
+            inode = target[len("socket:["):-1]
+            if inode in listening:
+                leaked.append(f"fd {fd} -> {target}")
+    return leaked
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -64,6 +128,17 @@ def main() -> int:
         default=DEFAULT_CKPT_DIR,
         help="checkpoint scratch dir to sweep for leaked *.tmp shards "
         f"(default: {DEFAULT_CKPT_DIR})",
+    )
+    parser.add_argument(
+        "--sock-dir",
+        default=DEFAULT_SOCK_DIR,
+        help="directory to sweep for leaked rendezvous *.sock files and "
+        f"recovery *.lock files (default: {DEFAULT_SOCK_DIR})",
+    )
+    parser.add_argument(
+        "--check-fds",
+        action="store_true",
+        help="also fail on listener sockets still open in this process",
     )
     parser.add_argument(
         "--dry-run",
@@ -94,19 +169,38 @@ def main() -> int:
         shutil.rmtree(args.ckpt_dir, ignore_errors=True)
         print(f"removed checkpoint scratch dir: {args.ckpt_dir}")
 
-    failures = len(leaked) + len(leaked_tmp)
+    leaked_sock = find_socket_litter(args.sock_dir, args.prefix)
+    for path in leaked_sock:
+        if args.dry_run:
+            print(f"leaked socket artifact (not removed): {path}")
+            continue
+        try:
+            os.unlink(path)
+            print(f"removed leaked socket artifact: {path}")
+        except OSError as err:
+            print(f"failed to remove {path}: {err}", file=sys.stderr)
+
+    leaked_fds = find_open_listener_fds() if args.check_fds else []
+    for desc in leaked_fds:
+        print(f"leaked listener socket: {desc}")
+
+    failures = (len(leaked) + len(leaked_tmp) + len(leaked_sock)
+                + len(leaked_fds))
     if failures and args.fail_on_leak:
         print(
             f"FAIL: {len(leaked)} leaked shm segment(s) with prefix "
             f"'{args.prefix}', {len(leaked_tmp)} leaked *.tmp shard(s) "
-            f"under '{args.ckpt_dir}'",
+            f"under '{args.ckpt_dir}', {len(leaked_sock)} leaked socket "
+            f"artifact(s) under '{args.sock_dir}', {len(leaked_fds)} open "
+            "listener fd(s)",
             file=sys.stderr,
         )
         return 1
     if not failures:
         print(
-            f"no leaked shm segments with prefix '{args.prefix}' and no "
-            f"*.tmp shards under '{args.ckpt_dir}'"
+            f"no leaked shm segments with prefix '{args.prefix}', no "
+            f"*.tmp shards under '{args.ckpt_dir}', no socket artifacts "
+            f"under '{args.sock_dir}'"
         )
     return 0
 
