@@ -19,11 +19,23 @@
 //                      discovery, and the resumed trainer reaching its
 //                      first iteration — train_supervised end to end,
 //                      minus the two training halves.
+//   reconnect          The cheaper tier above restart (docs/ARCHITECTURE
+//                      "Recovery ladder"): a seeded chaos reset tears the
+//                      leader ring mid-collective and the reconnect tier
+//                      re-dials + replays the phase in-flight. Measured
+//                      on an in-process two-leader loopback ring so
+//                      HierComm's reconnect counters are read directly,
+//                      and compared against the restart tier's recover_ms
+//                      for the reconnect-vs-restart entry in
+//                      BENCH_recovery.json.
 //
 //   bench_recovery_ops [--iters=N] [--params=P] [--nodes=V] [--world=W]
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <unistd.h>
@@ -32,6 +44,8 @@
 #include "core/checkpoint.hpp"
 #include "core/recovery.hpp"
 #include "datagen/generator.hpp"
+#include "distributed/hier_comm.hpp"
+#include "distributed/shm.hpp"
 #include "memory/memory_state.hpp"
 #include "util/timer.hpp"
 
@@ -95,6 +109,104 @@ void fill_snapshot_set(const std::string& dir, const SnapshotGeometry& geo,
   write_commit_shard(stem, commit);
 }
 
+// Two in-process host leaders (local_world 1 each) on a loopback leader
+// ring — the minimal fabric whose transient faults the reconnect tier
+// can heal. Host 0's dialed endpoint carries a one-shot chaos reset at
+// `reset_at_byte` wire bytes, so the ring tears mid-collective; both
+// leaders re-dial through their retained listeners and replay the phase.
+// Cost is read straight off HierComm's reconnect counters (backoff +
+// re-dial per leader), with no training stack in the way.
+struct ReconnectCost {
+  std::uint64_t reconnects = 0;  // summed over both leaders
+  double stall_ms = 0.0;         // max per-leader redial time
+};
+
+ReconnectCost run_ring_reconnect(std::size_t elems, std::size_t iters,
+                                 std::uint64_t reset_at_byte) {
+  const auto timeout = std::chrono::milliseconds(10'000);
+  const std::string prefix = dist::make_session_prefix();
+  const dist::Comm::Options opts{};
+
+  dist::ClusterMap map;
+  map.world = 2;
+  map.session_prefix = prefix;
+  map.bind_host = "127.0.0.1";
+  std::vector<dist::ProcComm> locals;
+  std::vector<dist::FdHandle> listeners(2);
+  for (std::size_t h = 0; h < 2; ++h) {
+    const std::string name = prefix + ".rc" + std::to_string(h);
+    locals.push_back(dist::ProcComm::create(name, 1, elems, opts, timeout));
+    map.host_comm_shms.push_back(name);
+    std::uint16_t port = 0;
+    listeners[h] = dist::tcp_listen("127.0.0.1", 0, 16, port);
+    map.spans.push_back({static_cast<std::uint32_t>(h),
+                         static_cast<std::uint32_t>(h + 1), port});
+  }
+
+  struct Out {
+    std::uint64_t reconnects = 0;
+    double secs = 0.0;
+    std::string err;
+  };
+  std::vector<Out> out(2);
+  std::vector<std::thread> leaders;
+  for (std::size_t h = 0; h < 2; ++h) {
+    leaders.emplace_back([&, h] {
+      try {
+        dist::ChaosConfig chaos;
+        if (h == 0) {
+          chaos.enabled = true;
+          chaos.reset_at_byte = reset_at_byte;
+        }
+        dist::RetryConfig retry;
+        retry.max_attempts = 3;
+        retry.backoff_ms = 0;  // measure the re-dial, not a configured sleep
+        dist::RingEndpoints ring =
+            dist::connect_ring(listeners[h].get(), map, h,
+                               dist::deadline_after(timeout), true, chaos);
+        dist::HierComm::Topology topo;
+        topo.world = 2;
+        topo.hosts = 2;
+        topo.host = h;
+        topo.global_rank = h;
+        topo.local_rank = 0;
+        topo.local_world = 1;
+        dist::HierComm comm(std::move(locals[h]), topo, std::move(ring),
+                            timeout);
+        dist::HierComm::ReconnectPolicy policy;
+        policy.listener = std::move(listeners[h]);
+        policy.map = map;
+        policy.nodelay = true;
+        policy.retry = retry;
+        policy.chaos = chaos;
+        policy.jitter_seed = 0x5eedULL + h;
+        comm.enable_reconnect(std::move(policy));
+        comm.reserve(elems);
+
+        std::vector<float> data(elems);
+        for (std::size_t x = 0; x < elems; ++x)
+          data[x] = static_cast<float>((h * 131 + x) % 97) * 0.01f;
+        for (std::size_t t = 0; t < iters; ++t)
+          comm.allreduce_mean(h, data);
+        out[h].reconnects = comm.reconnects();
+        out[h].secs = comm.reconnect_seconds();
+      } catch (const std::exception& e) {
+        out[h].err = e.what();
+      }
+    });
+  }
+  for (std::thread& t : leaders) t.join();
+
+  ReconnectCost cost;
+  for (const Out& o : out) {
+    if (!o.err.empty())
+      throw std::runtime_error("ring leader failed: " + o.err);
+    cost.reconnects += o.reconnects;
+    cost.stall_ms = std::max(cost.stall_ms, o.secs * 1e3);
+  }
+  return cost;
+}
+
 }  // namespace
 }  // namespace disttgl
 
@@ -156,6 +268,7 @@ int main(int argc, char** argv) {
   }
   fs::remove_all(dir);
 
+  double restart_recover_ms = 0.0;
   bench::section("supervised restart (injected kill, resume, retrain)");
   {
     datagen::SynthSpec spec;
@@ -190,11 +303,43 @@ int main(int argc, char** argv) {
     const double recover_ms = sup.restart_latency_seconds.empty()
                                   ? 0.0
                                   : sup.restart_latency_seconds[0] * 1e3;
+    restart_recover_ms = recover_ms;
     std::printf(
         "recovery_ops op=restart restarts=%zu recover_ms=%.2f "
         "supervised_wall_s=%.3f resumed_iterations=%zu\n",
         sup.restarts, recover_ms, total_s, sup.result.iterations);
     fs::remove_all(cfg.recovery.checkpoint_dir);
+  }
+
+  bench::section("ring reconnect (injected reset healed in-flight)");
+  {
+    // ~200 KB of kReduce wire bytes per collective on host 0's dialed
+    // endpoint, so a 1 MB reset boundary fires around iteration 5 of 12
+    // — mid-loop, never at the edge. The loop completing at all proves
+    // the heal (a torn ring with no reconnect tier is a typed abort);
+    // reconnects == 0 would mean the boundary never fired, which is a
+    // broken benchmark, not a fast one.
+    // One reset is a one-shot event, so scheduler noise dominates a
+    // single sample: take the best of three independent rings, the
+    // bench convention for latency floors.
+    const std::size_t elems = 25'000;
+    ReconnectCost cost;
+    for (std::size_t rep = 0; rep < 3; ++rep) {
+      const ReconnectCost c = run_ring_reconnect(elems, 12, 1'000'000);
+      if (c.reconnects == 0) {
+        std::fprintf(stderr,
+                     "reconnect bench: injected reset never fired "
+                     "(vacuous boundary)\n");
+        return 1;
+      }
+      if (rep == 0 || c.stall_ms < cost.stall_ms) cost = c;
+    }
+    const double speedup =
+        cost.stall_ms > 0.0 ? restart_recover_ms / cost.stall_ms : 0.0;
+    std::printf(
+        "recovery_ops op=reconnect elems=%zu reconnects=%zu "
+        "reconnect_ms=%.3f restart_ms=%.2f speedup_vs_restart=%.1f\n",
+        elems, cost.reconnects, cost.stall_ms, restart_recover_ms, speedup);
   }
   return 0;
 }

@@ -9,8 +9,9 @@
 # (e.g. --iters=10 --params=500000).
 #
 # Each entry records the atomic snapshot-save and validated-load cost of
-# a full paper-dim snapshot set, and the supervisor's measured restart
-# latency around an injected kill.
+# a full paper-dim snapshot set, the supervisor's measured restart
+# latency around an injected kill, and the ring-reconnect tier's heal
+# latency (injected chaos reset) next to that restart cost.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -38,6 +39,7 @@ import re
 
 snapshot = {}
 restart = {}
+reconnect = {}
 with open(os.environ["RAW"]) as f:
     for line in f:
         m = re.match(
@@ -64,6 +66,19 @@ with open(os.environ["RAW"]) as f:
                 "supervised_wall_s": float(m.group(3)),
                 "resumed_iterations": int(m.group(4)),
             }
+            continue
+        m = re.match(
+            r"recovery_ops op=reconnect elems=(\d+) reconnects=(\d+) "
+            r"reconnect_ms=([\d.]+) restart_ms=([\d.]+) "
+            r"speedup_vs_restart=([\d.]+)", line)
+        if m:
+            reconnect = {
+                "elems": int(m.group(1)),
+                "reconnects": int(m.group(2)),
+                "reconnect_ms": float(m.group(3)),
+                "restart_ms": float(m.group(4)),
+                "speedup_vs_restart": float(m.group(5)),
+            }
 
 entry = {
     "label": os.environ["LABEL"],
@@ -71,6 +86,8 @@ entry = {
     "snapshot": snapshot,
     "restart": restart,
 }
+if reconnect:
+    entry["reconnect"] = reconnect
 
 out = os.environ["OUT"]
 trajectory = json.load(open(out)) if os.path.exists(out) else []
@@ -79,5 +96,6 @@ with open(out, "w") as f:
     json.dump(trajectory, f, indent=2)
     f.write("\n")
 print(f"appended entry '{entry['label']}' "
-      f"({len(snapshot)} snapshot ops + restart) to {out}")
+      f"({len(snapshot)} snapshot ops + restart"
+      f"{' + reconnect' if reconnect else ''}) to {out}")
 EOF

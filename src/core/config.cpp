@@ -49,6 +49,28 @@ void validate(const TrainingConfig& cfg) {
   DT_CHECK_MSG(cfg.recovery.heartbeat_ms == 0 ||
                    cfg.fabric.kind != FabricKind::kThread,
                "recovery.heartbeat_ms requires a forked fabric");
+  // Chaos injection wraps the leader-ring endpoints, which only exist on
+  // the TCP fabric.
+  DT_CHECK_MSG(!cfg.fabric.chaos.enabled ||
+                   cfg.fabric.kind == FabricKind::kTcp,
+               "fabric.chaos requires FabricKind::kTcp");
+  const auto prob_ok = [](double p) { return p >= 0.0 && p <= 1.0; };
+  DT_CHECK_MSG(prob_ok(cfg.fabric.chaos.drop_prob) &&
+                   prob_ok(cfg.fabric.chaos.duplicate_prob) &&
+                   prob_ok(cfg.fabric.chaos.delay_prob) &&
+                   prob_ok(cfg.fabric.chaos.flip_prob) &&
+                   prob_ok(cfg.fabric.chaos.truncate_prob),
+               "fabric.chaos probabilities must lie in [0, 1]");
+  DT_CHECK_MSG(cfg.fabric.chaos.delay_ms <= 60'000,
+               "fabric.chaos.delay_ms above 60 s would outlive every "
+               "fabric deadline");
+  DT_CHECK_MSG(cfg.fabric.retry.max_attempts == 0 ||
+                   cfg.fabric.kind == FabricKind::kTcp,
+               "fabric.retry (ring reconnect) requires FabricKind::kTcp");
+  DT_CHECK_MSG((cfg.recovery.restart_window_ms == 0) ==
+                   (cfg.recovery.restart_window_max == 0),
+               "recovery.restart_window_ms and restart_window_max must be "
+               "set together");
 }
 
 }  // namespace disttgl

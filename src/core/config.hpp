@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "distributed/chaos.hpp"
 #include "memory/mailbox.hpp"
 
 namespace disttgl {
@@ -128,6 +129,16 @@ struct FabricConfig {
   TcpFabricConfig tcp;
   // Chaos harness (tests/benches only in practice; defaults are inert).
   FaultConfig fault;
+  // Wire-level chaos injection (kTcp only): seeded per-frame faults on
+  // the leader ring, surfacing as typed FabricErrors (docs/TUNING.md
+  // "Network chaos"). Defaults are inert.
+  dist::ChaosConfig chaos;
+  // Ring reconnect tier: on a transient leader-connection failure the
+  // leaders re-dial and retry the in-flight collective from its last
+  // completed barrier epoch, up to max_attempts times before escalating
+  // to checkpoint restart. 0 attempts = tier disabled (fail straight to
+  // the supervisor, the pre-chaos behaviour).
+  dist::RetryConfig retry;
 };
 
 // Elastic-recovery knobs (docs/TUNING.md "Recovery",
@@ -166,6 +177,13 @@ struct RecoveryConfig {
   // Resume from this snapshot stem (".../ckpt_<iter>", no extension);
   // empty = fresh start. Set by the supervisor, settable by hand.
   std::string resume_from;
+  // Sliding-window restart budget: more than restart_window_max restarts
+  // inside any restart_window_ms span is a crash loop — the supervisor
+  // fails fast with a typed kRestartStorm instead of burning the whole
+  // max_restarts budget one backoff at a time. 0/0 = disabled; both must
+  // be set together.
+  std::size_t restart_window_ms = 0;
+  std::size_t restart_window_max = 0;
 };
 
 struct TrainingConfig {

@@ -173,11 +173,27 @@ std::vector<std::uint8_t> run_child_tcp(const TrainingConfig& cfg,
         ring_listen.get(), map, topo.host,
         dist::deadline_after(
             std::chrono::milliseconds(cfg.fabric.launch_timeout_ms)),
-        tcp.nodelay);
+        tcp.nodelay, cfg.fabric.chaos);
   }
-  ring_listen.reset();  // ring wired (or follower): stop listening
 
   dist::HierComm comm(std::move(local), topo, std::move(ring), timeout);
+  if (topo.local_rank == 0 && topo.hosts > 1 &&
+      cfg.fabric.retry.max_attempts > 0) {
+    // Reconnect tier armed: the ring listener stays alive inside the
+    // policy so a transient mid-run connection loss is healed by a
+    // re-dial instead of a group restart.
+    dist::HierComm::ReconnectPolicy policy;
+    policy.listener = std::move(ring_listen);
+    policy.map = map;
+    policy.nodelay = tcp.nodelay;
+    policy.retry = cfg.fabric.retry;
+    policy.chaos = cfg.fabric.chaos;
+    policy.jitter_seed =
+        cfg.seed ^ (0x9e3779b97f4a7c15ULL * (topo.host + 1));
+    comm.enable_reconnect(std::move(policy));
+  } else {
+    ring_listen.reset();  // ring wired (or follower): stop listening
+  }
   comm.reserve(trainer.num_parameters());
   return run_rank_and_report(cfg, trainer, comm, map.daemon_shms, rank);
 }

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <deque>
 #include <filesystem>
 #include <fstream>
 #include <thread>
 
 #include "core/checkpoint.hpp"
 #include "distributed/socket.hpp"
+#include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace disttgl {
@@ -49,6 +51,17 @@ void sweep_tmp(const std::string& dir) {
 
 }  // namespace
 
+std::uint64_t restart_backoff_ms(const RecoveryConfig& rc,
+                                 std::uint64_t seed, std::size_t attempt) {
+  const std::uint64_t base = std::min<std::uint64_t>(
+      rc.backoff_ms << std::min<std::size_t>(attempt, 20), rc.backoff_cap_ms);
+  if (base <= 1) return base;
+  // Per-(seed, attempt) stream: the same run replays the same delays,
+  // while differently-seeded supervisors spread across [base/2, base].
+  Rng jitter(seed ^ (0x9e3779b97f4a7c15ULL * (attempt + 1)));
+  return base / 2 + jitter.uniform_int(base - base / 2 + 1);
+}
+
 SupervisedResult train_supervised(const TrainingConfig& cfg,
                                   const TemporalGraph& graph,
                                   const Matrix* static_memory) {
@@ -57,6 +70,8 @@ SupervisedResult train_supervised(const TrainingConfig& cfg,
   const std::uint64_t fingerprint =
       config_fingerprint(cfg, graph.num_nodes(), graph.num_events());
   const std::size_t world = cfg.parallel.total_trainers();
+  // Sliding window of recent restart times for the crash-loop detector.
+  std::deque<std::chrono::steady_clock::time_point> restart_times;
 
   for (std::size_t attempt = 0;; ++attempt) {
     try {
@@ -64,6 +79,23 @@ SupervisedResult train_supervised(const TrainingConfig& cfg,
       return sup;
     } catch (const dist::FabricError& e) {
       if (attempt >= cfg.recovery.max_restarts) throw;
+      if (cfg.recovery.restart_window_max > 0) {
+        const auto now = std::chrono::steady_clock::now();
+        const auto window =
+            std::chrono::milliseconds(cfg.recovery.restart_window_ms);
+        restart_times.push_back(now);
+        while (!restart_times.empty() && now - restart_times.front() > window)
+          restart_times.pop_front();
+        if (restart_times.size() > cfg.recovery.restart_window_max)
+          throw dist::FabricError(
+              dist::FabricErrc::kRestartStorm,
+              "supervisor: " + std::to_string(restart_times.size()) +
+                  " restarts inside " +
+                  std::to_string(cfg.recovery.restart_window_ms) +
+                  " ms (budget " +
+                  std::to_string(cfg.recovery.restart_window_max) +
+                  ") — crash loop, failing fast; last error: " + e.what());
+      }
       sup.failures.push_back(e.what());
 
       WallTimer recovery_timer;
@@ -89,9 +121,8 @@ SupervisedResult train_supervised(const TrainingConfig& cfg,
       }
       sup.resume_stems.push_back(attempt_cfg.recovery.resume_from);
 
-      const std::uint64_t backoff = std::min<std::uint64_t>(
-          cfg.recovery.backoff_ms << std::min<std::size_t>(attempt, 20),
-          cfg.recovery.backoff_cap_ms);
+      const std::uint64_t backoff =
+          restart_backoff_ms(cfg.recovery, cfg.seed, attempt);
       if (backoff > 0)
         std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
 

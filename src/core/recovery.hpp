@@ -42,9 +42,22 @@ struct SupervisedResult {
 // Runs train_distributed under the restart policy above. Fault-injection
 // knobs (cfg.fabric.fault) fire on the first attempt only — the
 // supervisor disarms them in its working copy before retrying, exactly
-// like a real transient fault that does not recur.
+// like a real transient fault that does not recur. Chaos knobs
+// (cfg.fabric.chaos) stay armed: they model the environment, which a
+// restart does not fix. With recovery.restart_window_{ms,max} set, a
+// crash-looping group (more restarts than the budget inside the sliding
+// window) fails fast with a typed kRestartStorm.
 SupervisedResult train_supervised(const TrainingConfig& cfg,
                                   const TemporalGraph& graph,
                                   const Matrix* static_memory = nullptr);
+
+// Backoff before restart attempt `attempt` (0-based): capped exponential
+// base backoff_ms * 2^attempt (cap backoff_cap_ms) with deterministic
+// seeded jitter drawn uniformly from [base/2, base] — anti-stampede, so
+// co-scheduled supervisors with different seeds desynchronise while any
+// single run stays reproducible. Bases of 0/1 ms are returned as-is
+// (nothing to jitter).
+std::uint64_t restart_backoff_ms(const RecoveryConfig& rc,
+                                 std::uint64_t seed, std::size_t attempt);
 
 }  // namespace disttgl

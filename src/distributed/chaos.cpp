@@ -1,0 +1,102 @@
+#include "distributed/chaos.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace disttgl::dist {
+
+ChaosEndpoint::ChaosEndpoint(TcpEndpoint ep, const ChaosConfig& cfg,
+                             std::uint64_t stream_id)
+    : ep_(std::move(ep)),
+      cfg_(cfg),
+      rng_(cfg.seed ^ (0x9e3779b97f4a7c15ULL * (stream_id + 1))) {}
+
+void ChaosEndpoint::close() { ep_.close(); }
+
+bool ChaosEndpoint::recv(Frame& out, Deadline deadline) {
+  return ep_.recv(out, deadline);
+}
+
+void ChaosEndpoint::send(MsgType type, std::span<const std::uint8_t> payload,
+                         Deadline deadline) {
+  buf_.clear();
+  encode_frame(type, payload, buf_);
+  if (cfg_.enabled) {
+    // One-shot connection reset at a byte boundary: deliver the prefix
+    // (orderly close flushes it), then fail typed. The boundary check
+    // runs before any probability draw so the reset point is a pure
+    // function of traffic volume, independent of the other knobs.
+    if (cfg_.reset_at_byte > 0 && !reset_fired_ &&
+        bytes_sent_ + buf_.size() > cfg_.reset_at_byte) {
+      reset_fired_ = true;
+      ++faults_;
+      const std::size_t keep =
+          cfg_.reset_at_byte > bytes_sent_
+              ? std::min<std::size_t>(cfg_.reset_at_byte - bytes_sent_,
+                                      buf_.size() - 1)
+              : 0;
+      if (keep > 0) write_exact(ep_.fd(), {buf_.data(), keep}, deadline);
+      bytes_sent_ += keep;
+      close();
+      throw_fabric(FabricErrc::kPeerClosed,
+                   "chaos: injected connection reset after " +
+                       std::to_string(bytes_sent_) + " wire bytes");
+    }
+    if (cfg_.drop_prob > 0.0 && rng_.bernoulli(cfg_.drop_prob)) {
+      // The frame vanishes; the connection stays up. The receiver's
+      // deadline converts the starvation into a typed kPeerTimeout.
+      ++faults_;
+      return;
+    }
+    if (cfg_.duplicate_prob > 0.0 && rng_.bernoulli(cfg_.duplicate_prob)) {
+      ++faults_;
+      write_exact(ep_.fd(), buf_, deadline);
+      write_exact(ep_.fd(), buf_, deadline);
+      bytes_sent_ += 2 * buf_.size();
+      return;
+    }
+    if (cfg_.flip_prob > 0.0 && rng_.bernoulli(cfg_.flip_prob)) {
+      // One flipped payload bit must be caught by the frame checksum;
+      // empty payloads flip a checksum-field bit instead, which fails
+      // the same validation. Either way the receiver sees kBadChecksum,
+      // never silently corrupted data.
+      ++faults_;
+      const bool has_payload = buf_.size() > kWireHeaderBytes;
+      const std::size_t lo = has_payload ? kWireHeaderBytes : 12;
+      const std::size_t span = has_payload ? buf_.size() - kWireHeaderBytes : 4;
+      const std::size_t at =
+          lo + static_cast<std::size_t>(rng_.uniform_int(span));
+      buf_[at] ^= static_cast<std::uint8_t>(
+          1u << static_cast<unsigned>(rng_.uniform_int(8)));
+      write_exact(ep_.fd(), buf_, deadline);
+      bytes_sent_ += buf_.size();
+      return;
+    }
+    if (cfg_.truncate_prob > 0.0 && rng_.bernoulli(cfg_.truncate_prob)) {
+      // Strict-prefix write then close: the peer that died mid-write.
+      // Receiver classification: kTruncated mid-frame, orderly EOF when
+      // the cut lands exactly on a frame boundary (keep == 0).
+      ++faults_;
+      const std::size_t keep =
+          static_cast<std::size_t>(rng_.uniform_int(buf_.size()));
+      if (keep > 0) write_exact(ep_.fd(), {buf_.data(), keep}, deadline);
+      bytes_sent_ += keep;
+      close();
+      throw_fabric(FabricErrc::kPeerClosed,
+                   "chaos: injected truncation (" + std::to_string(keep) +
+                       "/" + std::to_string(buf_.size()) + " frame bytes)");
+    }
+    if (cfg_.delay_prob > 0.0 && rng_.bernoulli(cfg_.delay_prob)) {
+      // Slow link: bounded sleep, then intact delivery. The write below
+      // still carries the caller's deadline, so a delay that outlasts it
+      // is a typed kPeerTimeout, not a hang.
+      ++faults_;
+      std::this_thread::sleep_for(std::chrono::milliseconds(cfg_.delay_ms));
+    }
+  }
+  write_exact(ep_.fd(), buf_, deadline);
+  bytes_sent_ += buf_.size();
+}
+
+}  // namespace disttgl::dist

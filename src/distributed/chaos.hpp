@@ -1,0 +1,125 @@
+// Deterministic network-chaos layer for the multi-machine fabric.
+//
+// ChaosEndpoint wraps a framed stream endpoint (TCP or UNIX — it is
+// fd-level, so both socket families work) and injects seeded,
+// reproducible faults on the SEND side: dropped frames, duplicated
+// frames, single-bit payload corruption, partial-write truncation,
+// bounded delivery delay, and a one-shot connection reset at a byte
+// boundary. Every injected fault must surface on some peer as a *typed*
+// FabricError — kBadChecksum for a flip, kTruncated/kPeerClosed for a
+// cut, kPeerTimeout for a drop — never a hang and never silently wrong
+// data; tests/test_fabric_chaos.cpp soaks a seeded grid of fault mixes
+// over both socket families to pin exactly that.
+//
+// Injection is send-side only and per-frame: the receive path stays the
+// production decoder, so what the chaos harness exercises is the real
+// validation chain (FrameReader checksums, read_exact truncation
+// classification, deadline bounds), not a parallel mock of it. Faults
+// draw from a SplitMix64 stream seeded by (chaos.seed, stream id), so a
+// failing grid cell replays bit-for-bit.
+//
+// RetryConfig is the companion policy knob set: how many times the
+// HierComm leader ring re-dials after a *transient* fault (see
+// fabric_errc_transient) before escalating to the supervisor's
+// checkpoint restart — the middle rung of the recovery ladder
+// (docs/ARCHITECTURE.md "Recovery ladder").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "distributed/socket.hpp"
+#include "util/rng.hpp"
+
+namespace disttgl::dist {
+
+// fabric.chaos.* knobs (docs/TUNING.md "Network chaos"). All defaults
+// are inert; `enabled` gates every draw so a default config costs one
+// branch per send. Probabilities are per-frame and evaluated in a fixed
+// order (reset, drop, duplicate, flip, truncate, delay) with at most one
+// fault firing per frame, which keeps grid cells interpretable.
+struct ChaosConfig {
+  bool enabled = false;
+  // Seed for the per-endpoint fault stream; combined with the stream id
+  // (the sending host's index) so distinct links draw independently.
+  std::uint64_t seed = 1;
+  // Per-frame probability that the frame is silently not written. The
+  // receiver's deadline turns a dropped frame into a typed kPeerTimeout.
+  double drop_prob = 0.0;
+  // Per-frame probability that the frame is written twice. The second
+  // copy desyncs the ring sequence check (kBadMagic) unless a reconnect
+  // heals the stream first.
+  double duplicate_prob = 0.0;
+  // Per-frame probability of sleeping delay_ms before the write — the
+  // slow-link case; delivery stays bitwise intact.
+  double delay_prob = 0.0;
+  std::size_t delay_ms = 10;
+  // Per-frame probability of flipping one payload bit (or a checksum bit
+  // for empty payloads) — guaranteed kBadChecksum at the receiver.
+  double flip_prob = 0.0;
+  // Per-frame probability of writing only a strict prefix and closing
+  // the connection: kPeerClosed at the sender, kTruncated (or orderly
+  // EOF at a frame boundary) at the receiver.
+  double truncate_prob = 0.0;
+  // One-shot: when cumulative bytes sent on the endpoint would cross
+  // this boundary, deliver the bytes up to it, close the connection, and
+  // fail kPeerClosed — the reproducible "transient mid-run connection
+  // reset" the ring-reconnect tier is built to heal. 0 = off.
+  std::uint64_t reset_at_byte = 0;
+};
+
+// fabric.retry.* knobs (docs/TUNING.md "Network chaos"): bounded ring
+// re-dial after a transient fault. max_attempts == 0 disables the tier
+// entirely — every ring fault escalates straight to the supervisor,
+// which is the pre-chaos behaviour.
+struct RetryConfig {
+  std::size_t max_attempts = 0;
+  // Capped exponential backoff between re-dials: backoff_ms · 2^attempt
+  // capped at backoff_cap_ms, jittered into [base/2, base] from the
+  // deterministic per-host seed so simultaneously-failing leaders don't
+  // stampede each other's listeners.
+  std::size_t backoff_ms = 50;
+  std::size_t backoff_cap_ms = 2'000;
+};
+
+// A framed endpoint with seeded send-side fault injection. With
+// cfg.enabled == false this is a plain framed endpoint (one branch of
+// overhead), so the ring uses it unconditionally.
+class ChaosEndpoint {
+ public:
+  ChaosEndpoint() = default;
+  // Passthrough wrapper (chaos disabled) — lets test harnesses assign a
+  // bare TcpEndpoint into RingEndpoints unchanged.
+  ChaosEndpoint(TcpEndpoint ep) : ep_(std::move(ep)) {}  // NOLINT(runtime/explicit)
+  ChaosEndpoint(TcpEndpoint ep, const ChaosConfig& cfg,
+                std::uint64_t stream_id);
+
+  bool valid() const { return ep_.valid(); }
+  int fd() const { return ep_.fd(); }
+  // Closes the underlying connection (FIN). Orderly close matters: bytes
+  // already written are still delivered, so a peer of an injected reset
+  // observes a well-defined prefix, never lost acknowledged data.
+  void close();
+
+  void send(MsgType type, std::span<const std::uint8_t> payload,
+            Deadline deadline);
+  // Receive is the untouched production path (chaos is send-side only).
+  bool recv(Frame& out, Deadline deadline);
+
+  // Bytes actually written to the wire (headers + injected duplicates,
+  // minus dropped/cut frames).
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  // Faults injected on this endpoint so far (soak-test accounting).
+  std::uint64_t faults_injected() const { return faults_; }
+
+ private:
+  TcpEndpoint ep_;
+  ChaosConfig cfg_{};
+  Rng rng_{1};
+  std::vector<std::uint8_t> buf_;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t faults_ = 0;
+  bool reset_fired_ = false;
+};
+
+}  // namespace disttgl::dist

@@ -31,6 +31,7 @@ enum class FabricErrc {
   kSocketFailure,    // socket syscall failed (errno-level)
   kInjectedFault,    // fabric.fault chaos knob fired (tests/benches)
   kHeartbeatLost,    // rank stopped heartbeating past the timeout
+  kRestartStorm,     // supervisor restart budget exhausted in its window
 };
 
 inline const char* fabric_errc_name(FabricErrc c) {
@@ -51,8 +52,29 @@ inline const char* fabric_errc_name(FabricErrc c) {
     case FabricErrc::kSocketFailure: return "socket_failure";
     case FabricErrc::kInjectedFault: return "injected_fault";
     case FabricErrc::kHeartbeatLost: return "heartbeat_lost";
+    case FabricErrc::kRestartStorm: return "restart_storm";
   }
   return "unknown";
+}
+
+// Transient vs fatal classification for the tiered recovery ladder
+// (docs/ARCHITECTURE.md "Recovery ladder"): a transient code is one a
+// fresh connection plus a retry of the in-flight collective can heal —
+// the peer is (or may be) still alive, only the stream between us died.
+// Everything else (rank conflicts, capacity, aborted sessions, dead
+// children) is a property of the run, not the link, and escalates
+// straight past the reconnect tier.
+inline bool fabric_errc_transient(FabricErrc c) {
+  switch (c) {
+    case FabricErrc::kPeerTimeout:
+    case FabricErrc::kPeerClosed:
+    case FabricErrc::kTruncated:
+    case FabricErrc::kBadChecksum:
+    case FabricErrc::kSocketFailure:
+      return true;
+    default:
+      return false;
+  }
 }
 
 class FabricError : public std::runtime_error {

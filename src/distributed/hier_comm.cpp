@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cstring>
+#include <thread>
 
 #include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace disttgl::dist {
 namespace {
@@ -89,7 +92,8 @@ std::size_t host_of_rank(std::size_t rank, std::size_t world,
 }
 
 RingEndpoints connect_ring(int listen_fd, const ClusterMap& map,
-                           std::size_t host, Deadline deadline, bool nodelay) {
+                           std::size_t host, Deadline deadline, bool nodelay,
+                           const ChaosConfig& chaos, std::uint64_t epoch) {
   RingEndpoints ring;
   const std::size_t hosts = map.hosts();
   if (hosts <= 1) return ring;
@@ -99,29 +103,47 @@ RingEndpoints connect_ring(int listen_fd, const ClusterMap& map,
   // Dial the successor first: the kernel backlog completes the connect
   // even while the peer is itself dialing, so no accept ordering can
   // deadlock the ring.
-  ring.next = TcpEndpoint(tcp_connect(
-      map.bind_host, map.spans[next_host].leader_port, deadline, nodelay));
+  ring.next = ChaosEndpoint(
+      TcpEndpoint(tcp_connect(map.bind_host,
+                              map.spans[next_host].leader_port, deadline,
+                              nodelay)),
+      chaos, host);
   std::vector<std::uint8_t> hs;
   append_u32(hs, static_cast<std::uint32_t>(HierComm::RingMsg::kHandshake));
   append_u32(hs, static_cast<std::uint32_t>(host));
-  append_u64(hs, 0);
+  append_u64(hs, epoch);
   append_u64(hs, 0);
   ring.next.send(MsgType::kCollective, hs, deadline);
 
-  FdHandle conn = accept_conn(listen_fd, deadline);
-  if (nodelay) tcp_set_nodelay(conn.get());
-  ring.prev = TcpEndpoint(std::move(conn));
-  Frame frame;
-  if (!ring.prev.recv(frame, deadline))
-    throw_fabric(FabricErrc::kPeerClosed,
-                 "ring predecessor closed before its handshake");
-  const RingHeader h = parse_ring_header(frame);
-  if (h.kind != HierComm::RingMsg::kHandshake || h.block_host != prev_host)
-    throw_fabric(FabricErrc::kRankConflict,
-                 "ring mis-wired: host " + std::to_string(host) +
-                     " expected predecessor " + std::to_string(prev_host) +
-                     ", got host " + std::to_string(h.block_host));
-  return ring;
+  for (;;) {
+    FdHandle conn = accept_conn(listen_fd, deadline);
+    if (nodelay) tcp_set_nodelay(conn.get());
+    ring.prev = ChaosEndpoint(TcpEndpoint(std::move(conn)));
+    Frame frame;
+    if (!ring.prev.recv(frame, deadline))
+      throw_fabric(FabricErrc::kPeerClosed,
+                   "ring predecessor closed before its handshake");
+    const RingHeader h = parse_ring_header(frame);
+    if (h.kind != HierComm::RingMsg::kHandshake || h.block_host != prev_host)
+      throw_fabric(FabricErrc::kRankConflict,
+                   "ring mis-wired: host " + std::to_string(host) +
+                       " expected predecessor " + std::to_string(prev_host) +
+                       ", got host " + std::to_string(h.block_host));
+    if (h.seq < epoch) {
+      // Leftover dial from an abandoned reconnect attempt at an earlier
+      // collective — drop it and wait for the live one.
+      ring.prev.close();
+      continue;
+    }
+    if (h.seq > epoch)
+      throw_fabric(FabricErrc::kAborted,
+                   "ring epoch mismatch: predecessor host " +
+                       std::to_string(prev_host) + " reconnecting at seq " +
+                       std::to_string(h.seq) + ", we are at seq " +
+                       std::to_string(epoch) +
+                       " — collective state diverged, restart required");
+    return ring;
+  }
 }
 
 HierComm::Topology HierComm::topology_for(std::size_t rank, std::size_t world,
@@ -152,6 +174,65 @@ HierComm::HierComm(ProcComm local, Topology topo, RingEndpoints ring,
                "leaders (host "
                    << topo_.host << ", local rank " << topo_.local_rank
                    << ")");
+}
+
+void HierComm::enable_reconnect(ReconnectPolicy policy) {
+  DT_CHECK_MSG(policy.listener.valid(),
+               "reconnect policy needs the live ring listener");
+  reconnect_ = std::move(policy);
+}
+
+void HierComm::redial_ring(std::size_t attempt) {
+  // Close both streams first so the neighbours' blocked ring I/O fails
+  // fast (transient) and they enter their own re-dial — H=2 leaders
+  // converge on retrying the same seq; larger rings that diverged are
+  // caught by the handshake's epoch check.
+  ring_.next.close();
+  ring_.prev.close();
+
+  const RetryConfig& retry = reconnect_->retry;
+  const std::uint64_t base = std::min<std::uint64_t>(
+      retry.backoff_ms << std::min<std::size_t>(attempt, 20),
+      retry.backoff_cap_ms);
+  if (base > 1) {
+    // Deterministic jitter into [base/2, base]: leaders that failed
+    // together de-synchronize their re-dials without losing replay.
+    Rng jitter(reconnect_->jitter_seed ^ (seq_ * 0x9e3779b97f4a7c15ULL) ^
+               attempt);
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        base / 2 + jitter.uniform_int(base / 2 + 1)));
+  } else if (base == 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  ChaosConfig chaos = reconnect_->chaos;
+  chaos.reset_at_byte = 0;  // the injected reset models ONE transient fault
+  ring_ = connect_ring(reconnect_->listener.get(), reconnect_->map,
+                       topo_.host, deadline_after(timeout_),
+                       reconnect_->nodelay, chaos, seq_);
+}
+
+void HierComm::run_leader_phase(void (HierComm::*phase)(std::size_t),
+                                std::size_t size) {
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      (this->*phase)(size);
+      return;
+    } catch (const FabricError& e) {
+      // kBadMagic here is a ring stream desync (duplicate/garbled
+      // frame): a fresh stream plus the epoch-checked phase retry heals
+      // it exactly like a torn connection, so it rides the same tier.
+      const bool recoverable = fabric_errc_transient(e.code()) ||
+                               e.code() == FabricErrc::kBadMagic;
+      if (!reconnect_ || !recoverable ||
+          attempt >= reconnect_->retry.max_attempts)
+        throw;
+      WallTimer timer;
+      redial_ring(attempt);
+      ++reconnects_;
+      reconnect_seconds_ += timer.seconds();
+    }
+  }
 }
 
 void HierComm::send_ring(RingMsg kind, std::size_t block_host,
@@ -326,7 +407,7 @@ void HierComm::allreduce_mean(std::size_t rank, std::span<float> data) {
   if (is_leader()) {
     local_.check_uniform_size(topo_.local_rank, size);
     try {
-      leader_reduce_broadcast(size);
+      run_leader_phase(&HierComm::leader_reduce_broadcast, size);
     } catch (...) {
       // Fail the followers fast (kAborted) instead of letting them wait
       // out their own barrier deadline on a ring that is already dead.
@@ -371,7 +452,7 @@ void HierComm::allreduce_step(std::size_t rank, std::span<float> grads,
   if (is_leader()) {
     local_.check_uniform_size(topo_.local_rank, size);
     try {
-      leader_reduce_broadcast(size);
+      run_leader_phase(&HierComm::leader_reduce_broadcast, size);
     } catch (...) {
       local_.abort_session();
       throw;
@@ -413,7 +494,7 @@ void HierComm::allreduce_step(std::size_t rank, std::span<float> grads,
   // every host's result row.
   if (is_leader() && topo_.hosts > 1) {
     try {
-      leader_allgather_params(size);
+      run_leader_phase(&HierComm::leader_allgather_params, size);
     } catch (...) {
       local_.abort_session();
       throw;

@@ -42,9 +42,11 @@
 
 #include <chrono>
 #include <cstdint>
+#include <optional>
 #include <utility>
 #include <vector>
 
+#include "distributed/chaos.hpp"
 #include "distributed/proc_comm.hpp"
 #include "distributed/rendezvous.hpp"
 #include "distributed/socket.hpp"
@@ -62,18 +64,31 @@ std::size_t host_of_rank(std::size_t rank, std::size_t world,
                          std::size_t hosts);
 
 // The two ring connections a host leader holds (invalid for followers
-// and for hosts == 1).
+// and for hosts == 1). ChaosEndpoints so the whole ring can run under
+// seeded fault injection; with chaos disabled they are plain framed
+// endpoints.
 struct RingEndpoints {
-  TcpEndpoint next;  // dialed to the successor leader (all sends)
-  TcpEndpoint prev;  // accepted from the predecessor (all receives)
+  ChaosEndpoint next;  // dialed to the successor leader (all sends)
+  ChaosEndpoint prev;  // accepted from the predecessor (all receives)
 };
 
 // Leader side of ring setup: dial the successor's ring listener, accept
 // the predecessor, and exchange an identity handshake both ways. Safe in
 // any leader order — the kernel backlog completes a dial before the
 // peer's accept runs, so dial-then-accept cannot deadlock.
+//
+// `epoch` is the collective sequence number the caller is (re)joining
+// at: 0 on initial setup, the in-flight seq on a reconnect. It rides the
+// handshake's seq field, and the accept side uses it to agree on where
+// the retried collective resumes — a stale dial from an abandoned
+// earlier attempt (lower seq) is discarded and re-accepted, while a
+// predecessor at a *different* live epoch is a typed kAborted: the
+// leaders disagree about which collective is in flight, which only the
+// checkpoint-restart tier can reconcile.
 RingEndpoints connect_ring(int listen_fd, const ClusterMap& map,
-                           std::size_t host, Deadline deadline, bool nodelay);
+                           std::size_t host, Deadline deadline, bool nodelay,
+                           const ChaosConfig& chaos = {},
+                           std::uint64_t epoch = 0);
 
 class HierComm final : public Comm {
  public:
@@ -127,6 +142,34 @@ class HierComm final : public Comm {
   // Wire bytes this leader framed onto the ring (0 on followers).
   std::uint64_t tcp_bytes() const { return ring_.next.bytes_sent(); }
 
+  // Reconnect tier (docs/ARCHITECTURE.md "Recovery ladder"): with a
+  // policy installed, a leader whose ring phase dies with a *transient*
+  // FabricError (fabric_errc_transient, plus kBadMagic stream desync —
+  // a fresh stream plus an epoch-checked retry heals both) re-dials the
+  // ring through the retained listener and re-runs the whole phase.
+  // Re-running is bitwise safe: every phase reads only staged/result
+  // rows frozen by the preceding barrier and rewrites its outputs by
+  // idempotent copies, so a phase retried from its last completed
+  // barrier epoch lands the identical bytes. Exhausted attempts or a
+  // fatal code escalate to the existing poison-and-rethrow, i.e. the
+  // supervisor's checkpoint-restart tier.
+  struct ReconnectPolicy {
+    FdHandle listener;  // the leader's ring listener, kept alive
+    ClusterMap map;
+    bool nodelay = true;
+    RetryConfig retry;
+    // Chaos knobs re-applied to the fresh endpoints; reset_at_byte is
+    // disarmed on re-dial (the injected reset models ONE transient
+    // fault), while the probabilistic knobs persist — they model the
+    // environment, which a reconnect does not fix.
+    ChaosConfig chaos;
+    std::uint64_t jitter_seed = 0;  // deterministic backoff jitter
+  };
+  void enable_reconnect(ReconnectPolicy policy);
+  // Reconnect accounting for BENCH_recovery and the soak tests.
+  std::uint64_t reconnects() const { return reconnects_; }
+  double reconnect_seconds() const { return reconnect_seconds_; }
+
  private:
   bool is_leader() const { return topo_.local_rank == 0; }
 
@@ -134,6 +177,13 @@ class HierComm final : public Comm {
   // ring failure poisons the local barrier before rethrowing.
   void leader_reduce_broadcast(std::size_t size);
   void leader_allgather_params(std::size_t size);
+
+  // Runs a leader phase under the reconnect policy: transient failure →
+  // backoff (capped exponential + deterministic jitter) → re-dial at the
+  // current seq → re-run the phase, up to retry.max_attempts times.
+  void run_leader_phase(void (HierComm::*phase)(std::size_t),
+                        std::size_t size);
+  void redial_ring(std::size_t attempt);
 
   void send_ring(RingMsg kind, std::size_t block_host,
                  std::span<const std::uint8_t> body, Deadline deadline);
@@ -153,6 +203,9 @@ class HierComm final : public Comm {
   Topology topo_;
   RingEndpoints ring_;
   std::chrono::milliseconds timeout_;
+  std::optional<ReconnectPolicy> reconnect_;
+  std::uint64_t reconnects_ = 0;
+  double reconnect_seconds_ = 0.0;
 
   // Leader scratch (persistent so steady-state calls stay cheap).
   std::vector<double> acc_;

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <utility>
 
 namespace disttgl::dist {
@@ -16,6 +17,32 @@ class PathGuard {
  private:
   std::string path_;
 };
+
+// Reads one connection's HELLO under its own (shorter) deadline on top
+// of the session one: a half-open client that connects and never speaks
+// must cost at most hello_timeout, not the whole rendezvous window.
+Frame read_hello(int fd, Deadline session_deadline,
+                 std::chrono::milliseconds hello_timeout) {
+  const Deadline hello_deadline =
+      std::min(session_deadline, deadline_after(hello_timeout));
+  Frame hello;
+  try {
+    if (!read_frame(fd, hello, hello_deadline))
+      throw_fabric(FabricErrc::kPeerClosed,
+                   "rank closed the connection before HELLO");
+  } catch (const FabricError& e) {
+    if (e.code() == FabricErrc::kPeerTimeout)
+      throw_fabric(FabricErrc::kPeerTimeout,
+                   "rendezvous: connection sent no HELLO within its "
+                   "deadline (half-open client?)");
+    throw;
+  }
+  if (hello.type != MsgType::kHello)
+    throw_fabric(FabricErrc::kBadMagic,
+                 "expected HELLO, got frame type " +
+                     std::to_string(static_cast<int>(hello.type)));
+  return hello;
+}
 
 }  // namespace
 
@@ -44,7 +71,8 @@ RendezvousInfo decode_rendezvous_info(std::span<const std::uint8_t> payload) {
 
 void rendezvous_host(const std::string& socket_path,
                      const RendezvousInfo& info,
-                     std::chrono::milliseconds timeout) {
+                     std::chrono::milliseconds timeout,
+                     std::chrono::milliseconds hello_timeout) {
   const Deadline deadline = deadline_after(timeout);
   FdHandle listener = unix_listen(socket_path, static_cast<int>(info.world));
   PathGuard guard(socket_path);
@@ -54,14 +82,7 @@ void rendezvous_host(const std::string& socket_path,
   std::uint32_t arrived = 0;
   while (arrived < info.world) {
     FdHandle conn = accept_conn(listener.get(), deadline);
-    Frame hello;
-    if (!read_frame(conn.get(), hello, deadline))
-      throw_fabric(FabricErrc::kPeerClosed,
-                   "rank closed the connection before HELLO");
-    if (hello.type != MsgType::kHello)
-      throw_fabric(FabricErrc::kBadMagic,
-                   "expected HELLO, got frame type " +
-                       std::to_string(static_cast<int>(hello.type)));
+    Frame hello = read_hello(conn.get(), deadline, hello_timeout);
     WireCursor c(hello.payload);
     const std::uint32_t peer_world = c.get_u32();
     const std::uint32_t rank = c.get_u32();
@@ -131,7 +152,8 @@ ClusterMap decode_cluster_map(std::span<const std::uint8_t> payload) {
 }
 
 void tcp_rendezvous_host(int listen_fd, ClusterMap map,
-                         std::chrono::milliseconds timeout) {
+                         std::chrono::milliseconds timeout,
+                         std::chrono::milliseconds hello_timeout) {
   const Deadline deadline = deadline_after(timeout);
   std::vector<bool> seen(map.world, false);
   // Connections stay parked until every rank (and so every leader ring
@@ -141,14 +163,7 @@ void tcp_rendezvous_host(int listen_fd, ClusterMap map,
   std::uint32_t arrived = 0;
   while (arrived < map.world) {
     FdHandle conn = accept_conn(listen_fd, deadline);
-    Frame hello;
-    if (!read_frame(conn.get(), hello, deadline))
-      throw_fabric(FabricErrc::kPeerClosed,
-                   "rank closed the connection before HELLO");
-    if (hello.type != MsgType::kHello)
-      throw_fabric(FabricErrc::kBadMagic,
-                   "expected HELLO, got frame type " +
-                       std::to_string(static_cast<int>(hello.type)));
+    Frame hello = read_hello(conn.get(), deadline, hello_timeout);
     WireCursor c(hello.payload);
     const std::uint32_t peer_world = c.get_u32();
     const std::uint32_t rank = c.get_u32();

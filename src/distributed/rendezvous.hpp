@@ -36,10 +36,16 @@ RendezvousInfo decode_rendezvous_info(std::span<const std::uint8_t> payload);
 
 // Host side: binds `socket_path` (recovering stale files), accepts until
 // every rank in [0, info.world) has said HELLO, answers each with
-// WELCOME. Unlinks the socket on return and on error.
-void rendezvous_host(const std::string& socket_path,
-                     const RendezvousInfo& info,
-                     std::chrono::milliseconds timeout);
+// WELCOME. Unlinks the socket on return and on error. Each accepted
+// connection must deliver its HELLO within `hello_timeout` (and within
+// the overall `timeout`) — a half-open client that connects and goes
+// silent is a typed kPeerTimeout, not a parked fd that wedges the whole
+// rendezvous until the session deadline.
+void rendezvous_host(
+    const std::string& socket_path, const RendezvousInfo& info,
+    std::chrono::milliseconds timeout,
+    std::chrono::milliseconds hello_timeout = std::chrono::milliseconds(
+        10'000));
 
 // Rank side: connects (retrying until the host is up), HELLOs, returns
 // the decoded WELCOME.
@@ -81,9 +87,14 @@ ClusterMap decode_cluster_map(std::span<const std::uint8_t> payload);
 // any of them: each leader's HELLO carries its freshly-bound ring port,
 // and the map is only complete — and worth WELCOMEing with — once every
 // leader has checked in. Rank/world conflicts are typed kRankConflict,
-// reported to the offender before the session fails.
-void tcp_rendezvous_host(int listen_fd, ClusterMap map,
-                         std::chrono::milliseconds timeout);
+// reported to the offender before the session fails. As with
+// rendezvous_host, each connection gets `hello_timeout` to say HELLO so
+// a half-open client surfaces as kPeerTimeout instead of parking until
+// the session deadline.
+void tcp_rendezvous_host(
+    int listen_fd, ClusterMap map, std::chrono::milliseconds timeout,
+    std::chrono::milliseconds hello_timeout = std::chrono::milliseconds(
+        10'000));
 
 // Rank side: dials the rendezvous listener, HELLOs {world, rank,
 // leader_port} (leader_port 0 for non-leaders), returns the decoded

@@ -9,6 +9,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -283,22 +284,34 @@ FdHandle tcp_listen(const std::string& host, std::uint16_t port, int backlog,
 FdHandle tcp_connect(const std::string& host, std::uint16_t port,
                      Deadline deadline, bool nodelay) {
   const sockaddr_in addr = make_inet_addr(host, port);
-  for (;;) {
+  for (std::size_t attempt = 0;; ++attempt) {
     FdHandle fd = make_tcp_socket();
     if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
                   sizeof(addr)) == 0) {
       if (nodelay) tcp_set_nodelay(fd.get());
       return fd;
     }
-    if (errno != ECONNREFUSED && errno != EINTR && errno != EAGAIN)
+    // Transient connect failures all retry under the same deadline: a
+    // listener not yet bound (rendezvous race, ECONNREFUSED), a SYN
+    // dropped by a full backlog or lossy link (ETIMEDOUT), a reset
+    // handed out mid-handshake (ECONNRESET), and routing blips while a
+    // peer host reboots (EHOSTUNREACH/ENETUNREACH).
+    const bool transient = errno == ECONNREFUSED || errno == ETIMEDOUT ||
+                           errno == ECONNRESET || errno == EHOSTUNREACH ||
+                           errno == ENETUNREACH || errno == EINTR ||
+                           errno == EAGAIN;
+    if (!transient)
       throw_errno(FabricErrc::kSocketFailure,
                   "connect " + host + ":" + std::to_string(port));
     if (std::chrono::steady_clock::now() >= deadline)
       throw_fabric(FabricErrc::kPeerTimeout, "connect " + host + ":" +
                                                  std::to_string(port) +
                                                  ": deadline");
-    // Listener not up yet (rendezvous race) — back off briefly.
-    timespec ts{0, 2'000'000};  // 2 ms
+    // Capped exponential backoff: quick on the common rendezvous race
+    // (2 ms), without hammering a host that is genuinely rebooting.
+    const long ms = std::min<long>(2L << std::min<std::size_t>(attempt, 6),
+                                   100L);
+    timespec ts{ms / 1000, (ms % 1000) * 1'000'000L};
     nanosleep(&ts, nullptr);
   }
 }

@@ -109,10 +109,12 @@ FdHandle accept_conn(int listen_fd, Deadline deadline);
 FdHandle tcp_listen(const std::string& host, std::uint16_t port, int backlog,
                     std::uint16_t& bound_port);
 
-// Connects to host:port, retrying ECONNREFUSED until the deadline (the
-// peer's listener may not be up yet during rendezvous). Sets TCP_NODELAY
-// when `nodelay` — fabric frames are latency-bound request/response
-// pairs, so Nagle only adds round trips.
+// Connects to host:port, retrying the transient errno set (ECONNREFUSED
+// from a not-yet-bound listener, plus ETIMEDOUT / ECONNRESET /
+// EHOSTUNREACH / ENETUNREACH from routing and backlog blips) under the
+// deadline, with capped exponential backoff between attempts. Sets
+// TCP_NODELAY when `nodelay` — fabric frames are latency-bound
+// request/response pairs, so Nagle only adds round trips.
 FdHandle tcp_connect(const std::string& host, std::uint16_t port,
                      Deadline deadline, bool nodelay = true);
 
@@ -131,6 +133,10 @@ class TcpEndpoint {
 
   bool valid() const { return fd_.valid(); }
   int fd() const { return fd_.get(); }
+  // Closes the connection (FIN — already-written bytes still deliver).
+  // Used by the chaos layer's injected resets and by the ring-reconnect
+  // path to tear a stream down before re-dialing.
+  void close() { fd_.reset(); }
 
   void send(MsgType type, std::span<const std::uint8_t> payload,
             Deadline deadline);

@@ -384,6 +384,73 @@ TEST(TcpFabricEquivalence, NagleOnStaysBitIdentical) {
   expect_cross_fabric_equivalent(cfg, g, FabricKind::kTcp);
 }
 
+// ---- reconnect tier: transient ring fault healed without restart ---------
+
+// The reconnect contract (hier_comm.hpp ReconnectPolicy): a transient
+// leader-connection reset mid-run is healed by a ring re-dial plus a
+// leader-phase retry — no group restart, no snapshot. train_distributed
+// has NO restart capability at all, so mere completion already proves
+// the reconnect tier absorbed the fault; the bitwise check against the
+// thread fabric proves that re-running a leader phase from its last
+// completed barrier epoch is exact, not just close.
+//
+// The thread-fabric baseline runs with chaos/retry disarmed (they are
+// TCP-only knobs and validate() rightly rejects them elsewhere), so the
+// comparison is chaos-and-reconnect vs a pristine run.
+void expect_reconnect_equivalent(TrainingConfig cfg, const TemporalGraph& g) {
+  cfg.fabric.kind = FabricKind::kTcp;
+  const ThreadedTrainResult tcp = train_distributed(cfg, g, nullptr);
+
+  cfg.fabric.kind = FabricKind::kThread;
+  cfg.fabric.chaos = dist::ChaosConfig{};
+  cfg.fabric.retry = dist::RetryConfig{};
+  const ThreadedTrainResult thr = train_distributed(cfg, g, nullptr);
+
+  ASSERT_EQ(thr.weights.size(), tcp.weights.size());
+  for (std::size_t x = 0; x < thr.weights.size(); ++x)
+    ASSERT_EQ(thr.weights[x], tcp.weights[x])
+        << "weight " << x << " diverged after ring reconnect";
+  EXPECT_DOUBLE_EQ(thr.final_val, tcp.final_val);
+  EXPECT_DOUBLE_EQ(thr.final_test, tcp.final_test);
+  EXPECT_EQ(thr.loss_sum, tcp.loss_sum);
+  EXPECT_EQ(thr.loss_count, tcp.loss_count);
+  ASSERT_EQ(thr.memory_digests.size(), tcp.memory_digests.size());
+  for (std::size_t m = 0; m < thr.memory_digests.size(); ++m)
+    EXPECT_EQ(thr.memory_digests[m], tcp.memory_digests[m])
+        << "memory copy " << m << " diverged after ring reconnect";
+}
+
+TEST(ReconnectEquivalence, InjectedResetHealsWithoutRestartBitIdentical) {
+  TemporalGraph g = graph_for_equivalence();
+  TrainingConfig cfg = config_for_equivalence();
+  cfg.epochs = 2;
+  cfg.parallel = {.i = 2, .j = 2, .k = 1};
+  cfg.fabric.tcp.hosts = 2;
+  cfg.fabric.chaos.enabled = true;
+  cfg.fabric.chaos.reset_at_byte = 100'000;  // mid-run, well past setup
+  cfg.fabric.retry.max_attempts = 3;
+  cfg.fabric.retry.backoff_ms = 1;
+  expect_reconnect_equivalent(cfg, g);
+}
+
+TEST(ReconnectEquivalence, InjectedResetHealsUnderFusedStepBitIdentical) {
+  // Same contract through the fused allreduce→step path, whose
+  // allgather phase ships stepped parameter blocks around the ring —
+  // the retried phase must re-ship identical bytes.
+  TemporalGraph g = graph_for_equivalence();
+  TrainingConfig cfg = config_for_equivalence();
+  cfg.epochs = 2;
+  cfg.parallel = {.i = 2, .j = 2, .k = 1};
+  cfg.grad_clip = 1e9f;  // keep the fused path bit-exact (see above)
+  cfg.comm_fused_step = true;
+  cfg.fabric.tcp.hosts = 2;
+  cfg.fabric.chaos.enabled = true;
+  cfg.fabric.chaos.reset_at_byte = 100'000;
+  cfg.fabric.retry.max_attempts = 3;
+  cfg.fabric.retry.backoff_ms = 1;
+  expect_reconnect_equivalent(cfg, g);
+}
+
 // ---- elastic recovery: deterministic resume ------------------------------
 
 // The recovery contract on top of the equivalence contract: a run

@@ -1,0 +1,561 @@
+// Network-chaos suite (distributed/chaos.hpp): every injected wire
+// fault — drop, duplicate, bit flip, truncation, bounded delay, one-shot
+// connection reset — must surface as a *typed* FabricError or deliver
+// bitwise-intact frames; never a hang, never silently wrong data. Three
+// layers:
+//   1. per-knob unit tests on a single ChaosEndpoint pair, over both
+//      socket families (TCP loopback and a UNIX socketpair — the
+//      endpoint is fd-level);
+//   2. a seeded wire-level soak grid (fault mixes × families × seeds)
+//      pumping frame streams through the production decoder;
+//   3. a training-level soak grid on the kTcp fabric where each cell
+//      must end either bitwise-identical to the thread-fabric baseline
+//      or in a typed FabricError — the chaos contract end to end,
+//      including the ring-reconnect tier healing injected resets;
+// plus the supervisor's sliding-window restart budget (kRestartStorm)
+// and a leak sweep (tools/sweep_shm.py) proving chaos-killed
+// connections leave no shm segments, socket files, or listener fds.
+//
+// CI runs this file under the `chaos_soak` CTest label with
+// DISTTGL_CHAOS_ITERS bounding the seeded grid width.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/proc_trainer.hpp"
+#include "core/recovery.hpp"
+#include "datagen/generator.hpp"
+#include "distributed/chaos.hpp"
+#include "distributed/hier_comm.hpp"
+#include "distributed/socket.hpp"
+#include "distributed/wire.hpp"
+
+namespace disttgl::dist {
+namespace {
+
+constexpr std::chrono::milliseconds kTimeout{30'000};
+
+// Seeded-grid width; CI bounds it via DISTTGL_CHAOS_ITERS.
+std::size_t soak_iters(std::size_t dflt) {
+  if (const char* env = std::getenv("DISTTGL_CHAOS_ITERS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return dflt;
+}
+
+// A connected stream pair of the given family. The listener (TCP only)
+// rides along so it closes with the pair.
+struct StreamPair {
+  TcpEndpoint a;
+  TcpEndpoint b;
+  FdHandle listener;
+};
+
+StreamPair make_stream_pair(bool tcp_family) {
+  StreamPair p;
+  if (tcp_family) {
+    std::uint16_t port = 0;
+    p.listener = tcp_listen("127.0.0.1", 0, 4, port);
+    FdHandle dial = tcp_connect("127.0.0.1", port, deadline_after(kTimeout));
+    FdHandle acc = accept_conn(p.listener.get(), deadline_after(kTimeout));
+    p.a = TcpEndpoint(std::move(dial));
+    p.b = TcpEndpoint(std::move(acc));
+    return p;
+  }
+  int sv[2] = {-1, -1};
+  EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  p.a = TcpEndpoint(FdHandle(sv[0]));
+  p.b = TcpEndpoint(FdHandle(sv[1]));
+  return p;
+}
+
+std::vector<std::uint8_t> indexed_payload(std::uint64_t index) {
+  WireWriter w;
+  w.put_u64(index);
+  w.put_string("chaos-frame-" + std::to_string(index));
+  return w.take();
+}
+
+// ---- per-knob unit tests -------------------------------------------------
+
+TEST(ChaosEndpoint, DisabledIsPassthroughBothFamilies) {
+  for (const bool tcp : {true, false}) {
+    StreamPair p = make_stream_pair(tcp);
+    ChaosEndpoint sender(std::move(p.a));  // chaos disabled
+    for (std::uint64_t i = 0; i < 8; ++i)
+      sender.send(MsgType::kResult, indexed_payload(i),
+                  deadline_after(kTimeout));
+    Frame f;
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      ASSERT_TRUE(p.b.recv(f, deadline_after(kTimeout))) << "tcp=" << tcp;
+      EXPECT_EQ(f.payload, indexed_payload(i));
+    }
+    EXPECT_EQ(sender.faults_injected(), 0u);
+  }
+}
+
+TEST(ChaosEndpoint, BitFlipSurfacesAsBadChecksumBothFamilies) {
+  for (const bool tcp : {true, false}) {
+    StreamPair p = make_stream_pair(tcp);
+    ChaosConfig cfg;
+    cfg.enabled = true;
+    cfg.seed = 11;
+    cfg.flip_prob = 1.0;
+    ChaosEndpoint sender(std::move(p.a), cfg, 0);
+    sender.send(MsgType::kResult, indexed_payload(7),
+                deadline_after(kTimeout));
+    Frame f;
+    try {
+      p.b.recv(f, deadline_after(kTimeout));
+      FAIL() << "flipped frame decoded cleanly (tcp=" << tcp << ")";
+    } catch (const FabricError& e) {
+      EXPECT_EQ(e.code(), FabricErrc::kBadChecksum);
+    }
+    EXPECT_EQ(sender.faults_injected(), 1u);
+  }
+}
+
+TEST(ChaosEndpoint, EmptyPayloadFlipStillSurfacesAsBadChecksum) {
+  StreamPair p = make_stream_pair(true);
+  ChaosConfig cfg;
+  cfg.enabled = true;
+  cfg.flip_prob = 1.0;
+  ChaosEndpoint sender(std::move(p.a), cfg, 0);
+  sender.send(MsgType::kHello, {}, deadline_after(kTimeout));
+  Frame f;
+  try {
+    p.b.recv(f, deadline_after(kTimeout));
+    FAIL() << "flipped empty frame decoded cleanly";
+  } catch (const FabricError& e) {
+    EXPECT_EQ(e.code(), FabricErrc::kBadChecksum);
+  }
+}
+
+TEST(ChaosEndpoint, TruncationTypedAtBothEnds) {
+  for (const bool tcp : {true, false}) {
+    StreamPair p = make_stream_pair(tcp);
+    ChaosConfig cfg;
+    cfg.enabled = true;
+    cfg.seed = 5;
+    cfg.truncate_prob = 1.0;
+    ChaosEndpoint sender(std::move(p.a), cfg, 0);
+    try {
+      sender.send(MsgType::kResult, indexed_payload(0),
+                  deadline_after(kTimeout));
+      FAIL() << "truncating send did not fail (tcp=" << tcp << ")";
+    } catch (const FabricError& e) {
+      EXPECT_EQ(e.code(), FabricErrc::kPeerClosed);
+    }
+    // Receiver: kTruncated mid-frame, or orderly EOF if the cut landed
+    // exactly on the (empty-stream) frame boundary. Either is typed and
+    // well-defined; silent success with a frame is the only failure.
+    Frame f;
+    try {
+      EXPECT_FALSE(p.b.recv(f, deadline_after(kTimeout)))
+          << "truncated stream yielded a whole frame (tcp=" << tcp << ")";
+    } catch (const FabricError& e) {
+      EXPECT_EQ(e.code(), FabricErrc::kTruncated);
+    }
+  }
+}
+
+TEST(ChaosEndpoint, ResetAtByteDeliversPrefixThenFiresOnce) {
+  StreamPair p = make_stream_pair(true);
+  ChaosConfig cfg;
+  cfg.enabled = true;
+  cfg.reset_at_byte = 40;  // frame 1 (< 40 cumulative bytes) passes
+  ChaosEndpoint sender(std::move(p.a), cfg, 0);
+  const std::vector<std::uint8_t> payload(8, 0x5a);  // 24 wire bytes
+  sender.send(MsgType::kResult, payload, deadline_after(kTimeout));
+  try {
+    sender.send(MsgType::kResult, payload, deadline_after(kTimeout));
+    FAIL() << "send across the reset boundary did not fail";
+  } catch (const FabricError& e) {
+    EXPECT_EQ(e.code(), FabricErrc::kPeerClosed);
+    EXPECT_NE(std::string(e.what()).find("injected connection reset"),
+              std::string::npos);
+  }
+  EXPECT_FALSE(sender.valid()) << "reset must close the connection";
+  // The peer sees the pre-reset frame intact, then a typed cut.
+  Frame f;
+  ASSERT_TRUE(p.b.recv(f, deadline_after(kTimeout)));
+  EXPECT_EQ(f.payload, payload);
+  try {
+    EXPECT_FALSE(p.b.recv(f, deadline_after(kTimeout)))
+        << "post-reset bytes decoded into a whole frame";
+  } catch (const FabricError& e) {
+    EXPECT_EQ(e.code(), FabricErrc::kTruncated);
+  }
+}
+
+TEST(ChaosEndpoint, DuplicateDeliversTheFrameTwice) {
+  StreamPair p = make_stream_pair(true);
+  ChaosConfig cfg;
+  cfg.enabled = true;
+  cfg.duplicate_prob = 1.0;
+  ChaosEndpoint sender(std::move(p.a), cfg, 0);
+  sender.send(MsgType::kResult, indexed_payload(3), deadline_after(kTimeout));
+  Frame f;
+  for (int copy = 0; copy < 2; ++copy) {
+    ASSERT_TRUE(p.b.recv(f, deadline_after(kTimeout))) << "copy " << copy;
+    EXPECT_EQ(f.payload, indexed_payload(3));
+  }
+}
+
+TEST(ChaosEndpoint, DropIsSilentAtSenderTimeoutAtReceiver) {
+  StreamPair p = make_stream_pair(true);
+  ChaosConfig cfg;
+  cfg.enabled = true;
+  cfg.drop_prob = 1.0;
+  ChaosEndpoint sender(std::move(p.a), cfg, 0);
+  sender.send(MsgType::kResult, indexed_payload(0), deadline_after(kTimeout));
+  EXPECT_EQ(sender.faults_injected(), 1u);
+  Frame f;
+  try {
+    p.b.recv(f, deadline_after(std::chrono::milliseconds(150)));
+    FAIL() << "dropped frame arrived";
+  } catch (const FabricError& e) {
+    EXPECT_EQ(e.code(), FabricErrc::kPeerTimeout);
+  }
+}
+
+TEST(ChaosEndpoint, DelayDeliversIntact) {
+  StreamPair p = make_stream_pair(true);
+  ChaosConfig cfg;
+  cfg.enabled = true;
+  cfg.delay_prob = 1.0;
+  cfg.delay_ms = 20;
+  ChaosEndpoint sender(std::move(p.a), cfg, 0);
+  sender.send(MsgType::kResult, indexed_payload(9), deadline_after(kTimeout));
+  Frame f;
+  ASSERT_TRUE(p.b.recv(f, deadline_after(kTimeout)));
+  EXPECT_EQ(f.payload, indexed_payload(9));
+  EXPECT_EQ(sender.faults_injected(), 1u);
+}
+
+TEST(ChaosEndpoint, FaultStreamIsDeterministicPerSeedAndStream) {
+  // Same (seed, stream id) must replay the same fault decisions — the
+  // property that makes a failing soak cell reproducible.
+  auto run = [](std::uint64_t seed, std::uint64_t stream) {
+    StreamPair p = make_stream_pair(false);
+    ChaosConfig cfg;
+    cfg.enabled = true;
+    cfg.seed = seed;
+    cfg.drop_prob = 0.5;
+    ChaosEndpoint sender(std::move(p.a), cfg, stream);
+    std::uint64_t delivered = 0;
+    Frame f;
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      sender.send(MsgType::kResult, indexed_payload(i),
+                  deadline_after(kTimeout));
+      // Drain what actually hit the wire (every non-dropped frame) so
+      // the socketpair buffer never fills; drops are the only fault
+      // here, so arithmetic on the fault counter is exact.
+      while (delivered < i + 1 - sender.faults_injected()) {
+        if (!p.b.recv(f, deadline_after(kTimeout))) {
+          ADD_FAILURE() << "unexpected EOF mid-stream";
+          break;
+        }
+        ++delivered;
+      }
+    }
+    return std::pair<std::uint64_t, std::uint64_t>(sender.faults_injected(),
+                                                   delivered);
+  };
+  EXPECT_EQ(run(42, 1), run(42, 1));
+  EXPECT_NE(run(42, 1).first, 0u);
+  EXPECT_NE(run(42, 1).first, 64u) << "p=0.5 dropped everything";
+}
+
+// ---- wire-level seeded soak grid -----------------------------------------
+
+struct WireCell {
+  const char* name;
+  ChaosConfig cfg;
+};
+
+std::vector<WireCell> wire_cells() {
+  std::vector<WireCell> cells;
+  ChaosConfig c;
+  c.enabled = true;
+  c.drop_prob = 0.2;
+  cells.push_back({"drop", c});
+  c = ChaosConfig{};
+  c.enabled = true;
+  c.flip_prob = 0.2;
+  cells.push_back({"flip", c});
+  c = ChaosConfig{};
+  c.enabled = true;
+  c.truncate_prob = 0.2;
+  cells.push_back({"truncate", c});
+  c = ChaosConfig{};
+  c.enabled = true;
+  c.duplicate_prob = 0.2;
+  cells.push_back({"duplicate", c});
+  c = ChaosConfig{};
+  c.enabled = true;
+  c.delay_prob = 0.3;
+  c.delay_ms = 2;
+  cells.push_back({"delay", c});
+  c = ChaosConfig{};
+  c.enabled = true;
+  c.drop_prob = 0.1;
+  c.duplicate_prob = 0.1;
+  c.flip_prob = 0.1;
+  c.truncate_prob = 0.1;
+  c.delay_prob = 0.1;
+  c.delay_ms = 1;
+  c.reset_at_byte = 2'000;
+  cells.push_back({"mix", c});
+  return cells;
+}
+
+TEST(ChaosSoak, WireGridTypedErrorOrIntactOrderedDelivery) {
+  // Every cell of {fault mix} × {tcp, unix} × seeds pumps a numbered
+  // frame stream through the production decoder. The contract per cell:
+  // the receiver sees only bitwise-intact payloads, in non-decreasing
+  // index order (drops skip, duplicates repeat), and any abnormal end is
+  // a typed FabricError — bounded by deadlines, so no cell can hang.
+  constexpr std::uint64_t kFrames = 40;
+  const std::size_t seeds = soak_iters(3);
+  for (const WireCell& cell : wire_cells()) {
+    for (const bool tcp : {true, false}) {
+      for (std::size_t seed = 1; seed <= seeds; ++seed) {
+        StreamPair p = make_stream_pair(tcp);
+        ChaosConfig cfg = cell.cfg;
+        cfg.seed = seed;
+        ChaosEndpoint sender(std::move(p.a), cfg, seed);
+        std::thread pump([&] {
+          try {
+            for (std::uint64_t i = 0; i < kFrames; ++i)
+              sender.send(MsgType::kResult, indexed_payload(i),
+                          deadline_after(kTimeout));
+          } catch (const FabricError&) {
+            // Injected cut: typed at the sender, stream ends for the
+            // receiver. Exactly the contract.
+          }
+          sender.close();  // orderly EOF ends the receive loop
+        });
+        std::uint64_t last = 0, got = 0;
+        try {
+          Frame f;
+          while (p.b.recv(f, deadline_after(kTimeout))) {
+            WireCursor c(f.payload);
+            const std::uint64_t index = c.get_u64();
+            EXPECT_EQ(c.get_string(), "chaos-frame-" + std::to_string(index))
+                << cell.name << " corrupt payload decoded cleanly";
+            EXPECT_LT(index, kFrames) << cell.name;
+            EXPECT_GE(index, last) << cell.name << " reordered delivery";
+            last = index;
+            ++got;
+          }
+        } catch (const FabricError& e) {
+          // Typed failure is an accepted cell outcome; record which.
+          SCOPED_TRACE(e.what());
+          EXPECT_NE(fabric_errc_name(e.code()), std::string("aborted"))
+              << cell.name << ": chaos must never surface as kAborted here";
+        }
+        pump.join();
+        EXPECT_LE(got, 2 * kFrames) << cell.name;
+      }
+    }
+  }
+}
+
+// ---- training-level soak grid on the TCP fabric --------------------------
+
+TemporalGraph chaos_graph() {
+  datagen::SynthSpec spec;
+  spec.num_src = 40;
+  spec.num_dst = 20;
+  spec.num_events = 1200;
+  spec.edge_feat_dim = 4;
+  spec.seed = 77;
+  return datagen::generate(spec);
+}
+
+TrainingConfig chaos_config() {
+  TrainingConfig cfg;
+  cfg.model.mem_dim = 8;
+  cfg.model.time_dim = 4;
+  cfg.model.attn_dim = 8;
+  cfg.model.emb_dim = 8;
+  cfg.model.num_neighbors = 4;
+  cfg.model.head_hidden = 8;
+  cfg.local_batch = 60;
+  cfg.epochs = 1;
+  cfg.seed = 23;
+  cfg.parallel = {.i = 2, .j = 2, .k = 1};
+  return cfg;
+}
+
+struct TrainCell {
+  const char* name;
+  ChaosConfig chaos;
+  RetryConfig retry;
+};
+
+std::vector<TrainCell> train_cells() {
+  std::vector<TrainCell> cells;
+  ChaosConfig c;
+  RetryConfig healed;  // reconnect tier armed
+  healed.max_attempts = 3;
+  healed.backoff_ms = 1;
+
+  c = ChaosConfig{};
+  c.enabled = true;
+  c.flip_prob = 0.05;
+  cells.push_back({"flip", c, RetryConfig{}});
+  cells.push_back({"flip_retry", c, healed});
+  c = ChaosConfig{};
+  c.enabled = true;
+  c.drop_prob = 0.03;
+  cells.push_back({"drop", c, RetryConfig{}});
+  cells.push_back({"drop_retry", c, healed});
+  c = ChaosConfig{};
+  c.enabled = true;
+  c.duplicate_prob = 0.05;
+  cells.push_back({"duplicate_retry", c, healed});
+  c = ChaosConfig{};
+  c.enabled = true;
+  c.truncate_prob = 0.03;
+  cells.push_back({"truncate_retry", c, healed});
+  c = ChaosConfig{};
+  c.enabled = true;
+  c.delay_prob = 0.25;
+  c.delay_ms = 2;
+  cells.push_back({"delay", c, RetryConfig{}});
+  c = ChaosConfig{};
+  c.enabled = true;
+  // Mid-run for this config's ~40-60 KB of total ring traffic — probed,
+  // not guessed: a boundary past the total would never fire and the
+  // cell would pass vacuously.
+  c.reset_at_byte = 20'000;
+  cells.push_back({"reset_retry", c, healed});
+  return cells;
+}
+
+TEST(ChaosSoak, TrainingGridTypedErrorOrBitwiseCorrect) {
+  // End-to-end contract over the real kTcp fabric: under every chaos
+  // cell the run either completes bitwise-identical to the pristine
+  // thread-fabric baseline (chaos absorbed — delay always, others when
+  // the reconnect tier heals them) or dies with a typed FabricError.
+  // Anything else — a hang (deadlines forbid it), a crash, or a
+  // *different* completed result — fails the cell.
+  const TemporalGraph g = chaos_graph();
+  TrainingConfig base_cfg = chaos_config();
+  base_cfg.fabric.kind = FabricKind::kThread;
+  const ThreadedTrainResult base = train_distributed(base_cfg, g, nullptr);
+
+  const std::size_t seeds = soak_iters(2);
+  for (const TrainCell& cell : train_cells()) {
+    for (std::size_t seed = 1; seed <= seeds; ++seed) {
+      SCOPED_TRACE(std::string(cell.name) + " seed " + std::to_string(seed));
+      TrainingConfig cfg = chaos_config();
+      cfg.fabric.kind = FabricKind::kTcp;
+      cfg.fabric.tcp.hosts = 2;
+      cfg.fabric.timeout_ms = 2'000;  // dropped frames fail fast
+      cfg.fabric.chaos = cell.chaos;
+      cfg.fabric.chaos.seed = seed;
+      cfg.fabric.retry = cell.retry;
+      try {
+        const ThreadedTrainResult got = train_distributed(cfg, g, nullptr);
+        ASSERT_EQ(got.weights.size(), base.weights.size());
+        for (std::size_t x = 0; x < base.weights.size(); ++x)
+          ASSERT_EQ(got.weights[x], base.weights[x])
+              << "weight " << x << " diverged under surviving chaos";
+        EXPECT_EQ(got.loss_sum, base.loss_sum);
+        EXPECT_EQ(got.iterations, base.iterations);
+      } catch (const FabricError& e) {
+        // Typed failure: acceptable. The code set is the protocol's own
+        // vocabulary — anything else would be an unclassified fault.
+        SUCCEED() << "typed: " << e.what();
+      }
+    }
+  }
+}
+
+// ---- supervisor: sliding-window restart budget ---------------------------
+
+TEST(ChaosRecovery, RestartStormFailsFastTyped) {
+  // flip_prob = 1 corrupts the ring handshake itself, so every attempt
+  // dies in setup and the supervisor would happily burn all 10 restarts
+  // one backoff at a time. The sliding window must cut that short with
+  // a typed kRestartStorm after 2 restarts inside its 60 s window.
+  const TemporalGraph g = chaos_graph();
+  TrainingConfig cfg = chaos_config();
+  cfg.fabric.kind = FabricKind::kTcp;
+  cfg.fabric.tcp.hosts = 2;
+  cfg.fabric.timeout_ms = 2'000;
+  cfg.fabric.chaos.enabled = true;
+  cfg.fabric.chaos.flip_prob = 1.0;
+  cfg.recovery.max_restarts = 10;
+  cfg.recovery.backoff_ms = 1;
+  cfg.recovery.restart_window_ms = 60'000;
+  cfg.recovery.restart_window_max = 2;
+  try {
+    train_supervised(cfg, g);
+    FAIL() << "crash-looping run completed";
+  } catch (const FabricError& e) {
+    EXPECT_EQ(e.code(), FabricErrc::kRestartStorm);
+    EXPECT_NE(std::string(e.what()).find("crash loop"), std::string::npos);
+  }
+}
+
+// ---- leak sweep after chaos-killed connections ---------------------------
+
+TEST(ChaosLeakSweep, NoLeakedSegmentsSocketsOrFdsAfterChaos) {
+  // Run a reset-and-reconnect cell and a hard-failure cell in this
+  // process, then exec tools/sweep_shm.py against THIS pid: zero leaked
+  // shm segments, checkpoint scratch, rendezvous socket files, or open
+  // listener fds may survive. The prefix is pid-scoped so concurrently
+  // running fabric tests (other processes) cannot cross-talk.
+  if (std::system("python3 --version > /dev/null 2>&1") != 0)
+    GTEST_SKIP() << "python3 unavailable";
+  const TemporalGraph g = chaos_graph();
+
+  TrainingConfig cfg = chaos_config();
+  cfg.fabric.kind = FabricKind::kTcp;
+  cfg.fabric.tcp.hosts = 2;
+  cfg.fabric.timeout_ms = 2'000;
+  cfg.fabric.chaos.enabled = true;
+  cfg.fabric.chaos.reset_at_byte = 20'000;  // mid-run (see train_cells)
+  cfg.fabric.retry.max_attempts = 3;
+  cfg.fabric.retry.backoff_ms = 1;
+  try {
+    (void)train_distributed(cfg, g, nullptr);
+  } catch (const FabricError&) {
+  }
+
+  cfg.fabric.chaos = ChaosConfig{};
+  cfg.fabric.chaos.enabled = true;
+  cfg.fabric.chaos.truncate_prob = 0.5;  // dies fast, no reconnect
+  cfg.fabric.retry = RetryConfig{};
+  try {
+    (void)train_distributed(cfg, g, nullptr);
+  } catch (const FabricError&) {
+  }
+
+  const std::string ckpt_dir =
+      "/tmp/disttgl-ckpt/chaos_sweep." + std::to_string(::getpid());
+  std::filesystem::create_directories(ckpt_dir);
+  const std::string cmd =
+      "python3 " DISTTGL_TEST_DIR "/../tools/sweep_shm.py --fail-on-leak"
+      " --prefix disttgl." + std::to_string(::getpid()) +
+      " --ckpt-dir " + ckpt_dir +
+      " --check-fds --fd-pid " + std::to_string(::getpid());
+  EXPECT_EQ(std::system(cmd.c_str()), 0)
+      << "sweep found leaked segments/sockets/fds after chaos";
+}
+
+}  // namespace
+}  // namespace disttgl::dist

@@ -475,6 +475,60 @@ TEST(FabricFaults, WorldSizeDisagreementIsRankConflict) {
   ASSERT_TRUE(host_error != nullptr);
 }
 
+TEST(FabricFaults, HalfOpenUnixRendezvousClientIsTypedTimeout) {
+  // A client that connects and never says HELLO used to park its
+  // connection until the whole session deadline. The per-connection
+  // HELLO deadline must surface it as kPeerTimeout within ~hello_timeout
+  // while the overall budget is still far away.
+  const std::string path = temp_sock_path();
+  std::thread silent([&] {
+    FdHandle conn = unix_connect(path, deadline_after(kLong));
+    // Connected, silent, and still open well past the HELLO deadline.
+    std::this_thread::sleep_for(std::chrono::milliseconds(800));
+  });
+  RendezvousInfo info;
+  info.world = 1;
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    rendezvous_host(path, info, kLong, std::chrono::milliseconds(200));
+    FAIL() << "half-open client must not be awaited forever";
+  } catch (const FabricError& e) {
+    EXPECT_EQ(e.code(), FabricErrc::kPeerTimeout);
+    EXPECT_NE(std::string(e.what()).find("no HELLO"), std::string::npos);
+  }
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(5'000))
+      << "HELLO deadline did not bound the wait";
+  silent.join();
+  ::unlink(path.c_str());
+}
+
+TEST(FabricFaults, HalfOpenTcpRendezvousClientIsTypedTimeout) {
+  // Same contract for the cross-host flavour, whose parked-connection
+  // design (collect every HELLO before answering any) made it the worse
+  // offender: one silent client used to stall the entire cluster's
+  // rendezvous until the launch deadline.
+  std::uint16_t port = 0;
+  FdHandle listener = tcp_listen("127.0.0.1", 0, 4, port);
+  ClusterMap map;
+  map.world = 1;
+  map.bind_host = "127.0.0.1";
+  map.spans.push_back(HostSpan{0, 1, 0});
+  FdHandle silent = tcp_connect("127.0.0.1", port, deadline_after(kLong));
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    tcp_rendezvous_host(listener.get(), map, kLong,
+                        std::chrono::milliseconds(200));
+    FAIL() << "half-open client must not be awaited forever";
+  } catch (const FabricError& e) {
+    EXPECT_EQ(e.code(), FabricErrc::kPeerTimeout);
+    EXPECT_NE(std::string(e.what()).find("no HELLO"), std::string::npos);
+  }
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(5'000))
+      << "HELLO deadline did not bound the wait";
+}
+
 // ---- daemon-channel faults -----------------------------------------------
 
 TEST(FabricFaults, OversizedDaemonRequestIsCapacityBeforeAnyCopy) {

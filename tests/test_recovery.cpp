@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <filesystem>
 #include <fstream>
@@ -349,6 +350,36 @@ void expect_bitwise_equal(const ThreadedTrainResult& base,
   for (std::size_t m = 0; m < base.memory_digests.size(); ++m)
     EXPECT_EQ(base.memory_digests[m], res.memory_digests[m])
         << "memory copy " << m;
+}
+
+TEST(Supervisor, RestartBackoffIsJitteredCappedAndDeterministic) {
+  RecoveryConfig rc;
+  rc.backoff_ms = 100;
+  rc.backoff_cap_ms = 5'000;
+  for (std::size_t attempt = 0; attempt < 12; ++attempt) {
+    const std::uint64_t base = std::min<std::uint64_t>(
+        rc.backoff_ms << std::min<std::size_t>(attempt, 20),
+        rc.backoff_cap_ms);
+    const std::uint64_t got = restart_backoff_ms(rc, 7, attempt);
+    // Jitter stays inside [base/2, base] — anti-stampede without ever
+    // shortening the wait below half of the exponential schedule.
+    EXPECT_GE(got, base / 2) << "attempt " << attempt;
+    EXPECT_LE(got, base) << "attempt " << attempt;
+    // Same (seed, attempt) replays the same delay; a different seed
+    // lands elsewhere in the window (checked in aggregate below).
+    EXPECT_EQ(got, restart_backoff_ms(rc, 7, attempt));
+  }
+  // Differently-seeded supervisors must actually desynchronise.
+  bool any_differ = false;
+  for (std::size_t attempt = 0; attempt < 12 && !any_differ; ++attempt)
+    any_differ = restart_backoff_ms(rc, 7, attempt) !=
+                 restart_backoff_ms(rc, 8, attempt);
+  EXPECT_TRUE(any_differ) << "jitter ignores the seed";
+  // Degenerate bases pass through unjittered (nothing to spread).
+  rc.backoff_ms = 0;
+  EXPECT_EQ(restart_backoff_ms(rc, 7, 0), 0u);
+  rc.backoff_ms = 1;
+  EXPECT_EQ(restart_backoff_ms(rc, 7, 0), 1u);
 }
 
 TEST(Supervisor, MaxRestartsZeroFailsFastTyped) {

@@ -96,12 +96,18 @@ def check_bench_recovery() -> None:
     """BENCH_recovery.json records the recovery-path costs: every entry
     must carry snapshot save+load measurements (positive latency and
     nonzero payload) and a restart block whose supervised run actually
-    restarted."""
+    restarted.  Entries may additionally carry a 'reconnect' block (the
+    ring-reconnect tier, docs/BENCHMARKS.md): it must show at least one
+    heal, positive latencies on both sides of the comparison, and the
+    ladder's ordering claim — reconnect at least 5x cheaper than
+    restart.  At least one entry in the file must carry it, so the
+    reconnect-vs-restart trajectory can never silently disappear."""
     path = os.path.join(ROOT, "BENCH_recovery.json")
     if not os.path.exists(path):
         fail("BENCH_recovery.json is missing at the repo root")
     with open(path) as f:
         data = json.load(f)
+    reconnect_entries = 0
     for i, entry in enumerate(data):
         snapshot = entry.get("snapshot")
         if not isinstance(snapshot, dict):
@@ -124,9 +130,33 @@ def check_bench_recovery() -> None:
                 and restart["recover_ms"] > 0):
             fail(f"BENCH_recovery.json entry {i} 'recover_ms' must be a "
                  "positive number")
+        reconnect = entry.get("reconnect")
+        if reconnect is None:
+            continue
+        reconnect_entries += 1
+        if not isinstance(reconnect, dict):
+            fail(f"BENCH_recovery.json entry {i} 'reconnect' must be an "
+                 "object")
+        if not (isinstance(reconnect.get("reconnects"), int)
+                and reconnect["reconnects"] >= 1):
+            fail(f"BENCH_recovery.json entry {i} reconnect block shows no "
+                 "heal happened (reconnects must be >= 1)")
+        for key in ("reconnect_ms", "restart_ms"):
+            if not (isinstance(reconnect.get(key), (int, float))
+                    and reconnect[key] > 0):
+                fail(f"BENCH_recovery.json entry {i} reconnect '{key}' "
+                     "must be a positive number")
+        speedup = reconnect.get("speedup_vs_restart")
+        if not (isinstance(speedup, (int, float)) and speedup >= 5):
+            fail(f"BENCH_recovery.json entry {i} reconnect "
+                 "'speedup_vs_restart' must be >= 5 (the recovery "
+                 "ladder's ordering claim)")
+    if reconnect_entries == 0:
+        fail("BENCH_recovery.json has no entry with a 'reconnect' block "
+             "(reconnect-vs-restart trajectory lost)")
     print(f"check_docs: BENCH_recovery.json: {len(data)} "
           f"entr{'y' if len(data) == 1 else 'ies'} cover snapshot save/load "
-          "+ supervised restart")
+          f"+ supervised restart ({reconnect_entries} with ring reconnect)")
 
 def check_doc_paths() -> int:
     docs = [os.path.join(ROOT, "README.md")] + sorted(

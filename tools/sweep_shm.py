@@ -71,10 +71,12 @@ def find_socket_litter(sock_dir: str, prefix: str) -> list[str]:
     )
 
 
-def find_open_listener_fds() -> list[str]:
-    """Listener sockets still open in this process (Linux: /proc/self/fd
-    + /proc/net). A test that swept its fabric should hold none."""
-    fd_dir = "/proc/self/fd"
+def find_open_listener_fds(pid: str = "self") -> list[str]:
+    """Listener sockets still open in process `pid` (Linux: /proc/<pid>/fd
+    + /proc/net). A test that swept its fabric should hold none; tests
+    that exec this sweep pass --fd-pid with their own pid, since
+    /proc/self would be the python interpreter, not the test."""
+    fd_dir = f"/proc/{pid}/fd"
     try:
         fds = os.listdir(fd_dir)
     except FileNotFoundError:
@@ -141,6 +143,12 @@ def main() -> int:
         help="also fail on listener sockets still open in this process",
     )
     parser.add_argument(
+        "--fd-pid",
+        default="self",
+        help="pid whose fd table --check-fds inspects (default: self; "
+        "tests that exec the sweep pass their own pid)",
+    )
+    parser.add_argument(
         "--dry-run",
         action="store_true",
         help="list leaked segments without removing them",
@@ -180,7 +188,7 @@ def main() -> int:
         except OSError as err:
             print(f"failed to remove {path}: {err}", file=sys.stderr)
 
-    leaked_fds = find_open_listener_fds() if args.check_fds else []
+    leaked_fds = find_open_listener_fds(args.fd_pid) if args.check_fds else []
     for desc in leaked_fds:
         print(f"leaked listener socket: {desc}")
 
