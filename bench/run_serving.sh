@@ -1,0 +1,93 @@
+#!/usr/bin/env sh
+# Run bench_serving_ops and append a labelled entry to
+# BENCH_serving.json, the serving-tier trajectory (docs/BENCHMARKS.md).
+#
+#   bench/run_serving.sh [label] [path/to/bench_serving_ops] [extra args...]
+#
+# Defaults: label = current git revision,
+# binary = build/bench/bench_serving_ops. Extra args are passed through
+# (e.g. --transport=tcp --batch=128 --iters=500).
+#
+# Each entry records closed-loop p50/p99 latency and saturation QPS per
+# reader-thread count (threads_1, threads_2, ...) plus the in-process
+# version-churn phase (installs racing scorers, torn-retry count).
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+label=${1:-$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unlabelled)}
+bin=${2:-"$repo_root/build/bench/bench_serving_ops"}
+[ $# -ge 1 ] && shift
+[ $# -ge 1 ] && shift
+out="$repo_root/BENCH_serving.json"
+
+if [ ! -x "$bin" ]; then
+  echo "error: $bin not found or not executable." >&2
+  echo "Configure with -DDISTTGL_BUILD_BENCH=ON and build bench_serving_ops." >&2
+  exit 1
+fi
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+"$bin" "$@" | tee "$raw"
+
+LABEL="$label" RAW="$raw" OUT="$out" python3 - <<'EOF'
+import datetime
+import json
+import os
+import re
+
+configs = {}
+transport = None
+batch = None
+churn = {}
+with open(os.environ["RAW"]) as f:
+    for line in f:
+        m = re.match(
+            r"serving_ops op=score transport=(\w+) threads=(\d+) "
+            r"clients=(\d+) batch=(\d+) iters=(\d+) p50_us=([\d.]+) "
+            r"p99_us=([\d.]+) qps=([\d.]+)", line)
+        if m:
+            transport = m.group(1)
+            batch = int(m.group(4))
+            configs[f"threads_{m.group(2)}"] = {
+                "p50_us": float(m.group(6)),
+                "p99_us": float(m.group(7)),
+                "qps": float(m.group(8)),
+            }
+            continue
+        m = re.match(
+            r"serving_ops op=churn threads=(\d+) batch=(\d+) iters=(\d+) "
+            r"installs=(\d+) torn_retries=(\d+) p50_us=([\d.]+) "
+            r"p99_us=([\d.]+) qps=([\d.]+)", line)
+        if m:
+            churn = {
+                "threads": int(m.group(1)),
+                "installs": int(m.group(4)),
+                "torn_retries": int(m.group(5)),
+                "p50_us": float(m.group(6)),
+                "p99_us": float(m.group(7)),
+                "qps": float(m.group(8)),
+            }
+
+if not configs:
+    raise SystemExit("no serving_ops score lines found in bench output")
+
+entry = {
+    "label": os.environ["LABEL"],
+    "date": datetime.date.today().isoformat(),
+    "transport": transport,
+    "batch": batch,
+    "configs": configs,
+}
+if churn:
+    entry["churn"] = churn
+
+out = os.environ["OUT"]
+trajectory = json.load(open(out)) if os.path.exists(out) else []
+trajectory.append(entry)
+with open(out, "w") as f:
+    json.dump(trajectory, f, indent=2)
+    f.write("\n")
+print(f"appended entry '{entry['label']}' ({len(configs)} reader configs"
+      f"{' + churn' if churn else ''}) to {out}")
+EOF

@@ -573,6 +573,13 @@ bool validate_snapshot(const std::string& stem, std::uint64_t fingerprint,
   }
 }
 
+std::vector<SnapshotRef> list_snapshots(const std::string& dir) {
+  std::vector<SnapshotRef> out;
+  for (const std::uint64_t iter : committed_iterations(dir))
+    out.push_back(SnapshotRef{snapshot_stem(dir, iter), iter});
+  return out;
+}
+
 std::optional<SnapshotRef> find_latest_snapshot(const std::string& dir,
                                                 std::uint64_t fingerprint,
                                                 std::uint64_t world,

@@ -175,6 +175,12 @@ struct SnapshotRef {
 bool validate_snapshot(const std::string& stem, std::uint64_t fingerprint,
                        std::uint64_t world, std::uint64_t mem_copies);
 
+// Every committed snapshot in `dir` (commit markers present), newest
+// first. Presence of the marker is all this checks — callers that need
+// more (the trainers' full validate_snapshot, the serving tier's
+// core+mem-only check) validate per stem and fall back down the list.
+std::vector<SnapshotRef> list_snapshots(const std::string& dir);
+
 // Newest fully-valid snapshot in `dir`, scanning commit markers in
 // descending iteration order — a torn/corrupt newest set falls back to
 // the previous one. nullopt when nothing valid exists (fresh start).

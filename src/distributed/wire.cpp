@@ -147,6 +147,12 @@ void WireWriter::put_f32s(std::span<const float> v) {
   data_.insert(data_.end(), raw, raw + v.size() * sizeof(float));
 }
 
+void WireWriter::put_u32s(std::span<const std::uint32_t> v) {
+  put_u64(v.size());
+  const auto* raw = reinterpret_cast<const std::uint8_t*>(v.data());
+  data_.insert(data_.end(), raw, raw + v.size() * sizeof(std::uint32_t));
+}
+
 // ---- WireCursor ----------------------------------------------------------
 
 void WireCursor::need(std::size_t n) const {
@@ -203,6 +209,24 @@ std::vector<float> WireCursor::get_f32s() {
   std::memcpy(out.data(), data_.data() + pos_, count * sizeof(float));
   pos_ += count * sizeof(float);
   return out;
+}
+
+void WireCursor::get_f32s_into(std::vector<float>& out) {
+  const std::uint64_t count = get_u64();
+  if (count > data_.size()) throw_fabric(FabricErrc::kTruncated, "f32 count");
+  need(count * sizeof(float));
+  out.resize(count);
+  std::memcpy(out.data(), data_.data() + pos_, count * sizeof(float));
+  pos_ += count * sizeof(float);
+}
+
+void WireCursor::get_u32s_into(std::vector<std::uint32_t>& out) {
+  const std::uint64_t count = get_u64();
+  if (count > data_.size()) throw_fabric(FabricErrc::kTruncated, "u32 count");
+  need(count * sizeof(std::uint32_t));
+  out.resize(count);
+  std::memcpy(out.data(), data_.data() + pos_, count * sizeof(std::uint32_t));
+  pos_ += count * sizeof(std::uint32_t);
 }
 
 }  // namespace disttgl::dist

@@ -46,6 +46,10 @@ enum class MsgType : std::uint16_t {
   kCheckpointNote = 7,  // any rank → parent: snapshot begun/committed
   kCollective = 8,  // leader ↔ leader: HierComm ring traffic
                     // {kind, host_from, seq, elem count, raw elems}
+  kScoreRequest = 9,   // client → serving tier: {id, memory copy,
+                       //  n, src[n], dst[n], ts[n]} (score_wire.hpp)
+  kScoreResponse = 10,  // serving tier → client: {id, snapshot
+                        //  version, iteration, n, scores[n]}
 };
 
 struct Frame {
@@ -92,9 +96,13 @@ class WireWriter {
   void put_bytes(std::span<const std::uint8_t> bytes);  // u64 length prefix
   void put_string(const std::string& s);                // u64 length prefix
   void put_f32s(std::span<const float> v);              // u64 count prefix
+  void put_u32s(std::span<const std::uint32_t> v);      // u64 count prefix
 
   std::span<const std::uint8_t> bytes() const { return data_; }
   std::vector<std::uint8_t> take() { return std::move(data_); }
+  // Empties the writer, keeping heap capacity — a long-lived writer
+  // (serving response encoder, TcpEndpoint) reuses one buffer per frame.
+  void clear() { data_.clear(); }
 
  private:
   std::vector<std::uint8_t> data_;
@@ -112,6 +120,14 @@ class WireCursor {
   std::vector<std::uint8_t> get_bytes();
   std::string get_string();
   std::vector<float> get_f32s();
+  // Capacity-preserving counterparts: decode a count-prefixed array into
+  // a caller-owned vector (resize within capacity, then one memcpy), so
+  // a steady-state decode loop — the serving tier's request path — never
+  // touches the allocator once buffers reach their high-water size. The
+  // count is bounds-checked against the remaining payload *before* the
+  // resize, so a hostile count field costs nothing.
+  void get_f32s_into(std::vector<float>& out);
+  void get_u32s_into(std::vector<std::uint32_t>& out);
 
   std::size_t remaining() const { return data_.size() - pos_; }
 

@@ -41,6 +41,19 @@ void Module::freeze_flat_storage() {
   frozen_ = true;
 }
 
+void Module::bind_external_values(const float* storage) {
+  // The const_cast is confined here: a bound matrix only *writes*
+  // through its pointer on paths this module must not take while bound
+  // (optimizer steps, unflatten_values) — inference reads only. The
+  // shared snapshot buffer itself stays logically immutable.
+  float* base = const_cast<float*>(storage);
+  std::size_t off = 0;
+  for (Parameter* p : cached_parameters()) {
+    p->value.rebind_external(base + off);
+    off += p->size();
+  }
+}
+
 std::size_t Module::num_parameters() {
   std::size_t n = 0;
   for (Parameter* p : cached_parameters()) n += p->size();

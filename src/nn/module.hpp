@@ -68,6 +68,17 @@ class Module {
   // their elements live). Call once after construction; idempotent.
   void freeze_flat_storage();
   bool has_flat_storage() const { return frozen_; }
+  // Read-only counterpart of freeze_flat_storage: re-points every
+  // parameter's *value* matrix at `storage` (flatten_values order, no
+  // copy in either direction), so a scorer replica reads its weights
+  // straight out of an externally owned immutable buffer — e.g. a
+  // published ServingSnapshot shared by many reader threads. Gradients
+  // keep their own storage (inference never touches them). The caller
+  // owns `storage` and its lifetime; rebinding to a different buffer is
+  // just another call, and after the first call the swap touches no
+  // heap — which is what keeps snapshot installs invisible to the
+  // allocation-free score path.
+  void bind_external_values(const float* storage);
   // Contiguous all-parameter spans; empty until freeze_flat_storage().
   std::span<float> flat_values() { return flat_values_; }
   std::span<float> flat_grads() { return flat_grads_; }

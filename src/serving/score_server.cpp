@@ -1,0 +1,205 @@
+#include "serving/score_server.hpp"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace disttgl::serving {
+
+using dist::Deadline;
+using dist::deadline_after;
+using dist::FabricErrc;
+using dist::FabricError;
+using dist::Frame;
+using dist::MsgType;
+using dist::WireCursor;
+using dist::WireWriter;
+
+namespace {
+
+// kErrorReport payloads carry {u32 code, string}; fabric codes travel
+// as themselves, serving codes offset into a disjoint range so the
+// client can reconstruct the right exception type.
+constexpr std::uint32_t kServingCodeBase = 0x100;
+
+void send_error(int fd, std::uint32_t code, const std::string& what,
+                Deadline deadline) {
+  WireWriter w;
+  w.put_u32(code);
+  w.put_string(what);
+  try {
+    dist::write_frame(fd, MsgType::kErrorReport, w.bytes(), deadline);
+  } catch (...) {
+    // Peer already gone; the connection is being torn down regardless.
+  }
+}
+
+}  // namespace
+
+ScoreServer::ScoreServer(ModelServer& server, const ScoreServerConfig& cfg)
+    : server_(&server), cfg_(cfg) {
+  DT_CHECK_GT(cfg_.reader_threads, 0u);
+  if (!cfg_.unix_path.empty()) {
+    listener_ = dist::unix_listen(cfg_.unix_path, cfg_.backlog);
+  } else {
+    listener_ =
+        dist::tcp_listen(cfg_.tcp_host, cfg_.tcp_port, cfg_.backlog, port_);
+  }
+  // Non-blocking listener: N workers accept on the same fd, and a
+  // worker that loses the race must fall back to accept_conn's poll
+  // loop (which honors the stop-check deadline) instead of parking in
+  // accept4 until the next connection.
+  ::fcntl(listener_.get(), F_SETFL,
+          ::fcntl(listener_.get(), F_GETFL) | O_NONBLOCK);
+  conn_fds_.assign(cfg_.reader_threads, -1);
+  workers_.reserve(cfg_.reader_threads);
+  for (std::size_t i = 0; i < cfg_.reader_threads; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ScoreServer::~ScoreServer() { stop(); }
+
+void ScoreServer::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  stop_.store(true, std::memory_order_release);
+  // Unblock accept() and any in-flight read_frame: shutdown() forces an
+  // orderly EOF on live connections without racing the worker's close
+  // (entries are cleared under the lock before the fd is closed).
+  ::shutdown(listener_.get(), SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (int fd : conn_fds_)
+      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  listener_.reset();
+  if (!cfg_.unix_path.empty()) std::remove(cfg_.unix_path.c_str());
+}
+
+void ScoreServer::worker_loop(std::size_t idx) {
+  // One scorer per worker: private model replica + recycled buffers.
+  std::unique_ptr<ModelServer::Scorer> scorer = server_->make_scorer();
+  while (!stop_.load(std::memory_order_acquire)) {
+    dist::FdHandle conn;
+    try {
+      conn = dist::accept_conn(listener_.get(),
+                               deadline_after(std::chrono::milliseconds(250)));
+    } catch (const FabricError&) {
+      // Timeout tick (re-check the stop flag) or listener torn down.
+      continue;
+    }
+    if (cfg_.unix_path.empty()) dist::tcp_set_nodelay(conn.get());
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conn_fds_[idx] = conn.get();
+    }
+    serve_connection(conn.get(), *scorer);
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conn_fds_[idx] = -1;
+    }
+  }
+}
+
+void ScoreServer::serve_connection(int fd, ModelServer::Scorer& scorer) {
+  // All per-connection state is recycled across requests: the frame, the
+  // decoded request, the response, the payload writer, and the framed
+  // output bytes all keep their capacity, so a warm connection's request
+  // loop is allocation-free (tests/test_serving_alloc pins the in-
+  // process equivalent of exactly this loop).
+  Frame in;
+  ScoreRequest req;
+  ScoreResponse resp;
+  WireWriter payload;
+  std::vector<std::uint8_t> out;
+  while (!stop_.load(std::memory_order_acquire)) {
+    const Deadline deadline =
+        deadline_after(std::chrono::milliseconds(cfg_.io_timeout_ms));
+    try {
+      if (!dist::read_frame(fd, in, deadline)) return;  // orderly EOF
+    } catch (const FabricError&) {
+      // Torn frame, poisoned stream, timeout, or stop()'s shutdown.
+      return;
+    }
+    try {
+      if (in.type != MsgType::kScoreRequest)
+        dist::throw_fabric(FabricErrc::kBadMagic,
+                           "expected SCORE_REQUEST, got frame type " +
+                               std::to_string(static_cast<int>(in.type)));
+      decode_score_request(in.payload, req);
+      scorer.score(req, resp);
+    } catch (const ServingError& e) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      send_error(fd, kServingCodeBase + static_cast<std::uint32_t>(e.code()),
+                 e.what(), deadline);
+      return;
+    } catch (const FabricError& e) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      send_error(fd, static_cast<std::uint32_t>(e.code()), e.what(), deadline);
+      return;
+    }
+    payload.clear();
+    encode_score_response(resp, payload);
+    out.clear();
+    dist::encode_frame(MsgType::kScoreResponse, payload.bytes(), out);
+    // Count before the write so the increment happens-before the client
+    // can observe the response: a caller that has N answers in hand is
+    // guaranteed to read requests_served() >= N.
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    try {
+      dist::write_exact(fd, out, deadline);
+    } catch (const FabricError&) {
+      return;  // client went away mid-response
+    }
+  }
+}
+
+// ---- ScoreClient ---------------------------------------------------------
+
+ScoreClient ScoreClient::connect_unix(const std::string& path,
+                                      Deadline deadline) {
+  return ScoreClient(dist::unix_connect(path, deadline));
+}
+
+ScoreClient ScoreClient::connect_tcp(const std::string& host,
+                                     std::uint16_t port, Deadline deadline) {
+  return ScoreClient(dist::tcp_connect(host, port, deadline));
+}
+
+void ScoreClient::score(const ScoreRequest& req, ScoreResponse& resp,
+                        Deadline deadline) {
+  writer_.clear();
+  encode_score_request(req, writer_);
+  frame_.clear();
+  dist::encode_frame(MsgType::kScoreRequest, writer_.bytes(), frame_);
+  dist::write_exact(fd_.get(), frame_, deadline);
+
+  if (!dist::read_frame(fd_.get(), in_, deadline))
+    dist::throw_fabric(FabricErrc::kPeerClosed,
+                       "server closed before responding");
+  if (in_.type == MsgType::kErrorReport) {
+    WireCursor c(in_.payload);
+    const std::uint32_t code = c.get_u32();
+    const std::string what = c.get_string();
+    if (code >= kServingCodeBase)
+      throw ServingError(static_cast<ServingErrc>(code - kServingCodeBase),
+                         what);
+    dist::throw_fabric(static_cast<FabricErrc>(code), "server: " + what);
+  }
+  if (in_.type != MsgType::kScoreResponse)
+    dist::throw_fabric(FabricErrc::kBadMagic,
+                       "expected SCORE_RESPONSE, got frame type " +
+                           std::to_string(static_cast<int>(in_.type)));
+  decode_score_response(in_.payload, resp);
+  if (resp.id != req.id)
+    dist::throw_fabric(FabricErrc::kBadChecksum,
+                       "response id " + std::to_string(resp.id) +
+                           " does not match request " +
+                           std::to_string(req.id));
+}
+
+}  // namespace disttgl::serving

@@ -1,0 +1,116 @@
+// ScoreServer / ScoreClient: the serving tier's network front end.
+//
+// A ScoreServer owns one listener (UNIX-domain when `unix_path` is set,
+// TCP otherwise — the same two endpoints the training fabric uses) and
+// N worker threads. Each worker holds its own ModelServer::Scorer, so
+// workers score concurrently against the published snapshot without
+// sharing any mutable state; a connection is handled by one worker from
+// accept to close (requests on one connection are served in order, a
+// natural fit for a closed-loop client).
+//
+// Per-connection loop: read one kScoreRequest frame → decode into the
+// worker's recycled request struct → score → encode into the worker's
+// recycled writer → write one kScoreResponse frame. Any failure —
+// malformed frame, bad request, no snapshot — answers with a
+// kErrorReport frame {u32 code, string message} and closes the
+// connection (the framing layer may already be poisoned, so per-error
+// connection teardown is the only safe protocol state to re-enter).
+// The steady-state success path performs no allocations once buffers
+// reach their high-water sizes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "distributed/socket.hpp"
+#include "serving/model_server.hpp"
+
+namespace disttgl::serving {
+
+struct ScoreServerConfig {
+  // UNIX socket path; empty → TCP on tcp_host:tcp_port (0 = ephemeral,
+  // actual port via ScoreServer::port()).
+  std::string unix_path;
+  std::string tcp_host = "127.0.0.1";
+  std::uint16_t tcp_port = 0;
+  std::size_t reader_threads = 2;
+  int backlog = 64;
+  // Per-frame I/O deadline; also bounds how long a worker waits for the
+  // next request before checking the stop flag.
+  std::uint64_t io_timeout_ms = 30'000;
+};
+
+class ScoreServer {
+ public:
+  // Binds the listener and starts the workers; `server` must outlive
+  // this object.
+  ScoreServer(ModelServer& server, const ScoreServerConfig& cfg);
+  ~ScoreServer();
+
+  ScoreServer(const ScoreServer&) = delete;
+  ScoreServer& operator=(const ScoreServer&) = delete;
+
+  // Joins the workers, closes the listener, and removes the UNIX socket
+  // file. Idempotent.
+  void stop();
+
+  // Actual TCP port (0 for a UNIX server).
+  std::uint16_t port() const { return port_; }
+  const std::string& unix_path() const { return cfg_.unix_path; }
+
+  std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t errors() const {
+    return errors_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void worker_loop(std::size_t idx);
+  void serve_connection(int fd, ModelServer::Scorer& scorer);
+
+  ModelServer* server_;
+  ScoreServerConfig cfg_;
+  dist::FdHandle listener_;
+  std::uint16_t port_ = 0;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stop_{false};
+  bool stopped_ = false;
+  // Live per-worker connection fds (−1 = idle), so stop() can shutdown()
+  // a blocked read without racing the worker's close.
+  std::mutex conns_mu_;
+  std::vector<int> conn_fds_;
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> errors_{0};
+};
+
+// Blocking request/response client over one connection. Not
+// thread-safe; give each load-generator thread its own client.
+class ScoreClient {
+ public:
+  static ScoreClient connect_unix(const std::string& path,
+                                  dist::Deadline deadline);
+  static ScoreClient connect_tcp(const std::string& host, std::uint16_t port,
+                                 dist::Deadline deadline);
+
+  // Sends `req`, waits for the matching response (ids must agree).
+  // Throws ServingError when the server answered kErrorReport with a
+  // serving code, FabricError for transport/protocol failures.
+  void score(const ScoreRequest& req, ScoreResponse& resp,
+             dist::Deadline deadline);
+
+ private:
+  explicit ScoreClient(dist::FdHandle fd) : fd_(std::move(fd)) {}
+
+  dist::FdHandle fd_;
+  dist::WireWriter writer_;          // recycled request encoder
+  std::vector<std::uint8_t> frame_;  // recycled framed bytes
+  dist::Frame in_;                   // recycled response frame
+};
+
+}  // namespace disttgl::serving

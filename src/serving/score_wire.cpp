@@ -1,0 +1,85 @@
+#include "serving/score_wire.hpp"
+
+#include <string>
+
+namespace disttgl::serving {
+
+using dist::FabricErrc;
+using dist::throw_fabric;
+using dist::WireCursor;
+using dist::WireWriter;
+
+namespace {
+
+// The leading count is the gate: reject a hostile or corrupt n before
+// any array is decoded or any output buffer sized.
+std::uint32_t checked_count(WireCursor& c, const char* what) {
+  const std::uint32_t n = c.get_u32();
+  if (n > kMaxScoreBatch)
+    throw_fabric(FabricErrc::kOversize, std::string(what) + " count " +
+                                            std::to_string(n) + " exceeds " +
+                                            std::to_string(kMaxScoreBatch));
+  return n;
+}
+
+void check_array(std::size_t got, std::uint32_t n, const char* what) {
+  if (got != n)
+    throw_fabric(FabricErrc::kTruncated,
+                 std::string(what) + " array length " + std::to_string(got) +
+                     " disagrees with count " + std::to_string(n));
+}
+
+void check_consumed(const WireCursor& c, const char* what) {
+  if (c.remaining() != 0)
+    throw_fabric(FabricErrc::kTruncated,
+                 std::string(what) + ": " + std::to_string(c.remaining()) +
+                     " trailing bytes");
+}
+
+}  // namespace
+
+void encode_score_request(const ScoreRequest& req, WireWriter& w) {
+  w.put_u64(req.id);
+  w.put_u32(req.copy);
+  w.put_u32(static_cast<std::uint32_t>(req.size()));
+  w.put_u32s(req.src);
+  w.put_u32s(req.dst);
+  w.put_f32s(req.ts);
+}
+
+void encode_score_response(const ScoreResponse& resp, WireWriter& w) {
+  w.put_u64(resp.id);
+  w.put_u64(resp.version);
+  w.put_u64(resp.iteration);
+  w.put_u32(static_cast<std::uint32_t>(resp.scores.size()));
+  w.put_f32s(resp.scores);
+}
+
+void decode_score_request(std::span<const std::uint8_t> payload,
+                          ScoreRequest& out) {
+  WireCursor c(payload);
+  out.id = c.get_u64();
+  out.copy = c.get_u32();
+  const std::uint32_t n = checked_count(c, "score request");
+  c.get_u32s_into(out.src);
+  check_array(out.src.size(), n, "src");
+  c.get_u32s_into(out.dst);
+  check_array(out.dst.size(), n, "dst");
+  c.get_f32s_into(out.ts);
+  check_array(out.ts.size(), n, "ts");
+  check_consumed(c, "score request");
+}
+
+void decode_score_response(std::span<const std::uint8_t> payload,
+                           ScoreResponse& out) {
+  WireCursor c(payload);
+  out.id = c.get_u64();
+  out.version = c.get_u64();
+  out.iteration = c.get_u64();
+  const std::uint32_t n = checked_count(c, "score response");
+  c.get_f32s_into(out.scores);
+  check_array(out.scores.size(), n, "scores");
+  check_consumed(c, "score response");
+}
+
+}  // namespace disttgl::serving

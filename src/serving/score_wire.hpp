@@ -1,0 +1,79 @@
+// Score request/response payloads and their wire codecs.
+//
+// The serving tier speaks the existing framed protocol (dist/wire.hpp):
+// a request travels as one kScoreRequest frame, the answer as one
+// kScoreResponse frame, so it inherits the fabric's corruption story
+// (checksummed frames, typed poisoning) and its sockets unchanged.
+//
+// Payload layouts (little-endian, fixed field order; `u32s`/`f32s` are
+// the protocol's standard u64-count-prefixed arrays and every array's
+// own count must equal the leading n):
+//
+//   kScoreRequest   u64 id | u32 copy | u32 n |
+//                   u32s src | u32s dst | f32s ts
+//   kScoreResponse  u64 id | u64 version | u64 iteration | u32 n |
+//                   f32s scores
+//
+// Decoders are written against an adversarial client: the node count is
+// validated against kMaxScoreBatch and the remaining payload length
+// BEFORE any buffer is sized or any byte copied — a hostile 4-billion
+// count field costs nothing — and trailing bytes are a typed error, not
+// silently ignored. Both sides are capacity-preserving: encode into a
+// recycled WireWriter, decode into recycled request/response structs,
+// so the steady-state score path never touches the allocator.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "distributed/wire.hpp"
+#include "graph/types.hpp"
+
+namespace disttgl::serving {
+
+// Hard wire-level cap on positives per request; the server's max_batch
+// knob may only tighten it. Bounds a hostile request's work and keeps
+// every per-request buffer's high-water mark small.
+inline constexpr std::size_t kMaxScoreBatch = 8192;
+
+// One batched link-prediction query: score edges (src[e], dst[e]) as of
+// time ts[e], against memory copy `copy` of the pinned snapshot.
+struct ScoreRequest {
+  std::uint64_t id = 0;    // client-chosen correlation id, echoed back
+  std::uint32_t copy = 0;  // memory-parallel copy to read
+  std::vector<NodeId> src, dst;
+  std::vector<float> ts;
+
+  std::size_t size() const { return src.size(); }
+  void clear() {
+    src.clear();
+    dst.clear();
+    ts.clear();
+  }
+};
+
+struct ScoreResponse {
+  std::uint64_t id = 0;         // echo of the request id
+  std::uint64_t version = 0;    // published snapshot version served
+  std::uint64_t iteration = 0;  // training iteration of that snapshot
+  std::vector<float> scores;    // [n] edge scores (pre-sigmoid logits)
+
+  void clear() { scores.clear(); }
+};
+
+// Encoders append to a caller-owned (recycled) writer; callers frame the
+// bytes with encode_frame(kScoreRequest / kScoreResponse, ...).
+void encode_score_request(const ScoreRequest& req, dist::WireWriter& w);
+void encode_score_response(const ScoreResponse& resp, dist::WireWriter& w);
+
+// Decoders throw FabricError (kOversize for a count past kMaxScoreBatch,
+// kTruncated for short or trailing payload) before touching `out`'s
+// contents on the failure paths that matter (oversize, short count
+// field).
+void decode_score_request(std::span<const std::uint8_t> payload,
+                          ScoreRequest& out);
+void decode_score_response(std::span<const std::uint8_t> payload,
+                           ScoreResponse& out);
+
+}  // namespace disttgl::serving

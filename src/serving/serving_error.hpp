@@ -1,0 +1,54 @@
+// Typed errors for the read-only serving tier.
+//
+// Same philosophy as FabricError/CheckpointError: every failure a
+// client, a stale checkpoint directory, or a scheduling hiccup can
+// inflict on the scorer surfaces as a machine-checkable code — never a
+// hang, never a silently wrong score. The socket front end forwards the
+// code inside a kErrorReport frame so a remote client sees the same
+// taxonomy an in-process caller does.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace disttgl::serving {
+
+enum class ServingErrc : std::uint8_t {
+  kNoSnapshot = 1,  // score() before the first install_snapshot
+  kBadRequest,      // empty batch, mismatched src/dst/ts lengths,
+                    // node id out of range, batch over max_batch
+  kWrongCopy,       // request names a memory copy the snapshot lacks
+  kShapeMismatch,   // snapshot geometry disagrees with the live model
+  kDrainTimeout,    // install could not drain a slot's pinned readers
+};
+
+inline const char* serving_errc_name(ServingErrc c) {
+  switch (c) {
+    case ServingErrc::kNoSnapshot: return "no_snapshot";
+    case ServingErrc::kBadRequest: return "bad_request";
+    case ServingErrc::kWrongCopy: return "wrong_copy";
+    case ServingErrc::kShapeMismatch: return "shape_mismatch";
+    case ServingErrc::kDrainTimeout: return "drain_timeout";
+  }
+  return "unknown";
+}
+
+class ServingError : public std::runtime_error {
+ public:
+  ServingError(ServingErrc code, const std::string& what)
+      : std::runtime_error(std::string("serving[") + serving_errc_name(code) +
+                           "]: " + what),
+        code_(code) {}
+
+  ServingErrc code() const { return code_; }
+
+ private:
+  ServingErrc code_;
+};
+
+[[noreturn]] inline void throw_serving(ServingErrc code,
+                                       const std::string& what) {
+  throw ServingError(code, what);
+}
+
+}  // namespace disttgl::serving

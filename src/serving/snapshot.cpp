@@ -1,0 +1,48 @@
+#include "serving/snapshot.hpp"
+
+namespace disttgl::serving {
+
+std::shared_ptr<const ServingSnapshot> load_snapshot(const std::string& stem) {
+  const CommitShard commit = read_commit_shard(stem);
+  CoreShard core = read_core_shard(stem);
+  if (core.fingerprint != commit.fingerprint ||
+      core.iteration != commit.iteration || core.world != commit.world ||
+      core.mem_copies != commit.mem_copies)
+    throw CheckpointError(CheckpointErrc::kFingerprintMismatch, stem + ".core",
+                          "core shard disagrees with the commit marker",
+                          commit.fingerprint, core.fingerprint);
+
+  auto snap = std::make_shared<ServingSnapshot>();
+  snap->iteration = core.iteration;
+  snap->fingerprint = core.fingerprint;
+  snap->world = core.world;
+  snap->weights = std::move(core.weights);
+  snap->states.reserve(commit.mem_copies);
+  for (std::uint64_t m = 0; m < commit.mem_copies; ++m) {
+    const MemShard shard = read_mem_shard(stem, m);
+    if (shard.fingerprint != commit.fingerprint ||
+        shard.iteration != commit.iteration)
+      throw CheckpointError(CheckpointErrc::kFingerprintMismatch,
+                            stem + ".mem" + std::to_string(m),
+                            "mem shard belongs to a different snapshot",
+                            commit.fingerprint, shard.fingerprint);
+    MemoryState state(shard.nodes, shard.mem_dim, shard.mail_dim);
+    apply_mem_shard(shard, state);
+    snap->states.push_back(std::move(state));
+  }
+  return snap;
+}
+
+std::shared_ptr<const ServingSnapshot> load_latest_servable(
+    const std::string& dir) {
+  for (const SnapshotRef& ref : list_snapshots(dir)) {
+    try {
+      return load_snapshot(ref.stem);
+    } catch (const CheckpointError&) {
+      // Torn or mixed set — fall back to the next-newest commit.
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace disttgl::serving

@@ -74,6 +74,15 @@ void Matrix::bind_external(float* storage) {
   view_ = true;
 }
 
+void Matrix::rebind_external(float* storage) {
+  if (!view_) {
+    data_.clear();
+    data_.shrink_to_fit();
+  }
+  ptr_ = storage;
+  view_ = true;
+}
+
 void Matrix::fill(float value) { std::fill(ptr_, ptr_ + size(), value); }
 
 void Matrix::reshape(std::size_t rows, std::size_t cols) {
@@ -242,7 +251,11 @@ void Matrix::slice_rows_into(std::size_t lo, std::size_t hi, Matrix& out) const 
   DT_CHECK_LE(hi, rows_);
   DT_CHECK(&out != this);
   out.reset_shape(hi - lo, cols_);
-  std::memcpy(out.data(), ptr_ + lo * cols_, (hi - lo) * cols_ * sizeof(float));
+  // An empty slice (hi == lo, or zero columns) has nothing to copy and
+  // may legitimately have a null destination buffer.
+  if (hi != lo && cols_ != 0)
+    std::memcpy(out.data(), ptr_ + lo * cols_,
+                (hi - lo) * cols_ * sizeof(float));
 }
 
 float Matrix::squared_norm() const {

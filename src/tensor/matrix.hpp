@@ -45,6 +45,14 @@ class Matrix {
   // nn::Module::freeze_flat_storage(): parameters stay ordinary Matrices
   // while their elements live in one contiguous buffer.
   void bind_external(float* storage);
+  // As bind_external, but *adopting*: current contents are discarded and
+  // `storage` is read as-is — nothing is written through the pointer, so
+  // many matrices may rebind onto one shared immutable buffer (the
+  // serving tier points every reader model's weights at the published
+  // snapshot this way). Callable repeatedly, including on an existing
+  // view; after the first call it never touches the heap, which keeps
+  // snapshot swaps on the score path allocation-free.
+  void rebind_external(float* storage);
   bool is_view() const { return view_; }
 
   float& operator()(std::size_t r, std::size_t c) {

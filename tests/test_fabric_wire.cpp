@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "distributed/wire.hpp"
+#include "serving/score_wire.hpp"
 
 namespace disttgl::dist {
 namespace {
@@ -260,6 +261,136 @@ TEST(WireCursorFuzz, HugeDeclaredCountsDoNotAllocate) {
   {
     WireCursor c(bytes);
     EXPECT_THROW((void)c.get_string(), FabricError);
+  }
+}
+
+// ---- score frames (serving/score_wire.hpp) -------------------------------
+
+serving::ScoreRequest sample_score_request(std::size_t n) {
+  serving::ScoreRequest req;
+  req.id = 0x1122334455667788ULL;
+  req.copy = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    req.src.push_back(static_cast<std::uint32_t>(i * 3));
+    req.dst.push_back(static_cast<std::uint32_t>(i * 7 + 1));
+    req.ts.push_back(0.5f * static_cast<float>(i) - 2.0f);
+  }
+  return req;
+}
+
+TEST(ScoreWire, RequestRoundTripsSplitInvariant) {
+  std::mt19937_64 rng(0x5c0eULL);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{7},
+                              std::size_t{300}}) {
+    const serving::ScoreRequest req = sample_score_request(n);
+    WireWriter w;
+    serving::encode_score_request(req, w);
+    std::vector<std::uint8_t> stream;
+    encode_frame(MsgType::kScoreRequest, w.bytes(), stream);
+
+    const DecodeResult whole = decode_whole(stream);
+    ASSERT_FALSE(whole.poisoned);
+    ASSERT_EQ(whole.frames.size(), 1u);
+    EXPECT_EQ(whole.frames[0].type, MsgType::kScoreRequest);
+    for (int s = 0; s < 3; ++s) {
+      const DecodeResult split =
+          decode_with_splits(stream, random_splits(rng, stream.size()));
+      ASSERT_TRUE(split == whole) << "n=" << n;
+    }
+
+    serving::ScoreRequest back;
+    serving::decode_score_request(whole.frames[0].payload, back);
+    EXPECT_EQ(back.id, req.id);
+    EXPECT_EQ(back.copy, req.copy);
+    EXPECT_EQ(back.src, req.src);
+    EXPECT_EQ(back.dst, req.dst);
+    EXPECT_EQ(back.ts, req.ts);
+  }
+}
+
+TEST(ScoreWire, ResponseRoundTrips) {
+  serving::ScoreResponse resp;
+  resp.id = 42;
+  resp.version = 9;
+  resp.iteration = 300;
+  resp.scores = {0.125f, -3.5f, 0.0f, 17.0f};
+  WireWriter w;
+  serving::encode_score_response(resp, w);
+  std::vector<std::uint8_t> stream;
+  encode_frame(MsgType::kScoreResponse, w.bytes(), stream);
+
+  const DecodeResult whole = decode_whole(stream);
+  ASSERT_FALSE(whole.poisoned);
+  ASSERT_EQ(whole.frames.size(), 1u);
+  serving::ScoreResponse back;
+  serving::decode_score_response(whole.frames[0].payload, back);
+  EXPECT_EQ(back.id, resp.id);
+  EXPECT_EQ(back.version, resp.version);
+  EXPECT_EQ(back.iteration, resp.iteration);
+  EXPECT_EQ(back.scores, resp.scores);
+}
+
+TEST(ScoreWire, OversizedNodeCountRejectedBeforeAnyCopy) {
+  // A hostile count field one past the cap must be rejected from the
+  // leading n alone — before any array is decoded and before the output
+  // buffers are touched (capacity stays zero: no allocation happened).
+  WireWriter w;
+  w.put_u64(1);  // id
+  w.put_u32(0);  // copy
+  w.put_u32(static_cast<std::uint32_t>(serving::kMaxScoreBatch + 1));
+  // No array bytes at all: the count gate must fire before the decoder
+  // ever notices the arrays are missing.
+  serving::ScoreRequest out;
+  try {
+    serving::decode_score_request(w.bytes(), out);
+    FAIL() << "oversized count decoded";
+  } catch (const FabricError& e) {
+    EXPECT_EQ(e.code(), FabricErrc::kOversize);
+  }
+  EXPECT_EQ(out.src.capacity(), 0u);
+  EXPECT_EQ(out.dst.capacity(), 0u);
+  EXPECT_EQ(out.ts.capacity(), 0u);
+}
+
+TEST(ScoreWire, TruncatedSkewedAndTrailingPayloadsAreTyped) {
+  const serving::ScoreRequest req = sample_score_request(5);
+  WireWriter w;
+  serving::encode_score_request(req, w);
+  const std::span<const std::uint8_t> full = w.bytes();
+
+  // Every strict prefix is kTruncated (count gates before array reads).
+  for (std::size_t cut = 0; cut < full.size(); cut += 7) {
+    serving::ScoreRequest out;
+    try {
+      serving::decode_score_request(full.subspan(0, cut), out);
+      FAIL() << "prefix of " << cut << " bytes decoded";
+    } catch (const FabricError& e) {
+      EXPECT_EQ(e.code(), FabricErrc::kTruncated) << "cut=" << cut;
+    }
+  }
+
+  // Trailing bytes are an error, not silently ignored.
+  std::vector<std::uint8_t> padded(full.begin(), full.end());
+  padded.push_back(0);
+  serving::ScoreRequest out;
+  try {
+    serving::decode_score_request(padded, out);
+    FAIL() << "trailing byte accepted";
+  } catch (const FabricError& e) {
+    EXPECT_EQ(e.code(), FabricErrc::kTruncated);
+  }
+
+  // An array whose own count disagrees with the leading n is typed.
+  WireWriter skewed;
+  skewed.put_u64(1);
+  skewed.put_u32(0);
+  skewed.put_u32(3);  // n = 3 ...
+  skewed.put_u32s(std::vector<std::uint32_t>(2, 9));  // ... but src has 2
+  try {
+    serving::decode_score_request(skewed.bytes(), out);
+    FAIL() << "skewed array count accepted";
+  } catch (const FabricError& e) {
+    EXPECT_EQ(e.code(), FabricErrc::kTruncated);
   }
 }
 

@@ -1,0 +1,213 @@
+// Allocation-freedom of the steady-state score path: once warm-up has
+// grown every recycled buffer to its high-water mark, the full
+//
+//   request frame → FrameReader → decode → build batch → memory read →
+//   infer_into → encode response → frame
+//
+// loop must never touch the allocator again — serially, and with
+// several scorer threads running the same loop concurrently (each on
+// its own context, as the ScoreServer's workers do). Same
+// counting-global-allocator technique as test_memory_alloc; the
+// counter lives in this binary only.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "datagen/generator.hpp"
+#include "serving/model_server.hpp"
+#include "util/barrier.hpp"
+
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t al) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(al),
+                                   (size + static_cast<std::size_t>(al) - 1) /
+                                       static_cast<std::size_t>(al) *
+                                       static_cast<std::size_t>(al)))
+    return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t al) {
+  return ::operator new(size, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace disttgl {
+namespace {
+
+using serving::ModelServer;
+using serving::ScoreRequest;
+using serving::ScoreResponse;
+using serving::ServingConfig;
+using serving::ServingSnapshot;
+
+struct Fixture {
+  TemporalGraph graph;
+  ModelConfig cfg;
+  ModelServer server;
+  // Three differently-shaped pre-encoded request frames, so the
+  // recycled buffers shrink and grow across iterations as a real
+  // client mix would make them.
+  std::vector<std::vector<std::uint8_t>> frames;
+
+  Fixture()
+      : graph([] {
+          datagen::SynthSpec spec;
+          spec.num_src = 50;
+          spec.num_dst = 25;
+          spec.num_events = 2400;
+          spec.edge_feat_dim = 4;
+          spec.seed = 29;
+          return datagen::generate(spec);
+        }()),
+        cfg([] {
+          ModelConfig c;
+          c.mem_dim = 8;
+          c.time_dim = 4;
+          c.attn_dim = 8;
+          c.num_heads = 2;
+          c.emb_dim = 8;
+          c.num_neighbors = 4;
+          c.head_hidden = 8;
+          return c;
+        }()),
+        server(cfg, ServingConfig{}, graph) {
+    // One hand-built snapshot: fresh-model weights, lightly patterned
+    // memory (contents are irrelevant here — only the path matters).
+    Rng rng(41);
+    TGNModel probe(cfg, graph, nullptr, rng);
+    auto snap = std::make_shared<ServingSnapshot>();
+    snap->iteration = 1;
+    nn::flatten_values(probe.cached_parameters(), snap->weights);
+    snap->states.emplace_back(graph.num_nodes(), cfg.mem_dim,
+                              probe.mail_raw_dim());
+    server.install_snapshot(std::move(snap));
+
+    const std::size_t spans[][2] = {{0, 200}, {200, 260}, {260, 460}};
+    for (const auto& sp : spans) {
+      ScoreRequest req;
+      req.id = sp[0];
+      for (std::size_t i = sp[0]; i < sp[1]; ++i) {
+        const TemporalEdge& e = graph.event(static_cast<EdgeId>(i));
+        req.src.push_back(e.src);
+        req.dst.push_back(e.dst);
+        req.ts.push_back(e.ts);
+      }
+      dist::WireWriter w;
+      serving::encode_score_request(req, w);
+      std::vector<std::uint8_t> frame;
+      dist::encode_frame(dist::MsgType::kScoreRequest, w.bytes(), frame);
+      frames.push_back(std::move(frame));
+    }
+  }
+};
+
+// One worker's full in-process request loop over pre-framed bytes —
+// exactly what ScoreServer::serve_connection does between the socket
+// reads, which is the part with an allocation story to pin
+// (read_frame's per-call payload vector is why the FrameReader path is
+// the steady-state decode seam).
+struct ScoreLoop {
+  dist::FrameReader reader;
+  dist::Frame frame;
+  ScoreRequest req;
+  ScoreResponse resp;
+  dist::WireWriter writer;
+  std::vector<std::uint8_t> out;
+  std::unique_ptr<ModelServer::Scorer> scorer;
+
+  explicit ScoreLoop(ModelServer& server) : scorer(server.make_scorer()) {}
+
+  void run_once(const std::vector<std::uint8_t>& request_frame) {
+    reader.feed(request_frame);
+    ASSERT_TRUE(reader.poll(frame));
+    serving::decode_score_request(frame.payload, req);
+    scorer->score(req, resp);
+    writer.clear();
+    serving::encode_score_response(resp, writer);
+    out.clear();
+    dist::encode_frame(dist::MsgType::kScoreResponse, writer.bytes(), out);
+  }
+};
+
+constexpr std::size_t kWarmup = 12;
+constexpr std::size_t kMeasured = 30;
+
+TEST(ServingAllocationFree, SerialScorePathSteadyState) {
+  Fixture fx;
+  ScoreLoop loop(fx.server);
+
+  for (std::size_t it = 0; it < kWarmup; ++it)
+    loop.run_once(fx.frames[it % fx.frames.size()]);
+
+  const std::size_t before = g_alloc_count.load();
+  for (std::size_t it = 0; it < kMeasured; ++it)
+    loop.run_once(fx.frames[it % fx.frames.size()]);
+  const std::size_t after = g_alloc_count.load();
+
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state score path allocated " << (after - before) << " times";
+  EXPECT_EQ(loop.scorer->stats().requests, kWarmup + kMeasured);
+}
+
+TEST(ServingAllocationFree, ConcurrentScorersSteadyState) {
+  Fixture fx;
+  constexpr std::size_t kThreads = 3;
+
+  // Warm-up and measurement are phase-separated by barriers so the
+  // global counter delta observes only steady-state iterations.
+  SpinBarrier barrier(kThreads + 1);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&fx, &barrier, t] {
+      BarrierToken token(barrier);
+      ScoreLoop loop(fx.server);
+      for (std::size_t it = 0; it < kWarmup; ++it)
+        loop.run_once(fx.frames[(t + it) % fx.frames.size()]);
+      ASSERT_TRUE(token.wait());  // warm-up done everywhere
+      ASSERT_TRUE(token.wait());  // main thread has sampled the counter
+      for (std::size_t it = 0; it < kMeasured; ++it)
+        loop.run_once(fx.frames[(t + it) % fx.frames.size()]);
+      ASSERT_TRUE(token.wait());  // measurement done everywhere
+    });
+  }
+
+  BarrierToken token(barrier);
+  ASSERT_TRUE(token.wait());
+  const std::size_t before = g_alloc_count.load();
+  ASSERT_TRUE(token.wait());
+  ASSERT_TRUE(token.wait());
+  const std::size_t after = g_alloc_count.load();
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(after - before, 0u)
+      << "concurrent steady-state score path allocated " << (after - before)
+      << " times";
+}
+
+}  // namespace
+}  // namespace disttgl

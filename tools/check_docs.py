@@ -158,6 +158,49 @@ def check_bench_recovery() -> None:
           f"entr{'y' if len(data) == 1 else 'ies'} cover snapshot save/load "
           f"+ supervised restart ({reconnect_entries} with ring reconnect)")
 
+def check_bench_serving() -> None:
+    """BENCH_serving.json records the serving-tier load trajectory: every
+    entry must cover at least two reader-thread configs (the scaling
+    claim needs more than one point), each with p50 <= p99 and a
+    positive saturation QPS.  Entries may additionally carry a 'churn'
+    block (scoring while snapshots install); it must show at least one
+    install actually happened during the measurement."""
+    path = os.path.join(ROOT, "BENCH_serving.json")
+    if not os.path.exists(path):
+        fail("BENCH_serving.json is missing at the repo root")
+    with open(path) as f:
+        data = json.load(f)
+    churn_entries = 0
+    for i, entry in enumerate(data):
+        configs = entry.get("configs")
+        if not isinstance(configs, dict):
+            fail(f"BENCH_serving.json entry {i} is missing 'configs'")
+        thread_cfgs = [k for k in configs if re.fullmatch(r"threads_\d+", k)]
+        if len(thread_cfgs) < 2:
+            fail(f"BENCH_serving.json entry {i} must cover at least two "
+                 "reader-thread configs (threads_N)")
+        for key in thread_cfgs:
+            cfg = configs[key]
+            for field in ("p50_us", "p99_us", "qps"):
+                if not (isinstance(cfg.get(field), (int, float))
+                        and cfg[field] > 0):
+                    fail(f"BENCH_serving.json entry {i} {key} '{field}' "
+                         "must be a positive number")
+            if cfg["p50_us"] > cfg["p99_us"]:
+                fail(f"BENCH_serving.json entry {i} {key} has p50_us > "
+                     "p99_us (percentiles out of order)")
+        churn = entry.get("churn")
+        if churn is None:
+            continue
+        churn_entries += 1
+        if not (isinstance(churn.get("installs"), int)
+                and churn["installs"] >= 1):
+            fail(f"BENCH_serving.json entry {i} churn block shows no "
+                 "install happened (installs must be >= 1)")
+    print(f"check_docs: BENCH_serving.json: {len(data)} "
+          f"entr{'y' if len(data) == 1 else 'ies'} cover >= 2 reader "
+          f"configs with ordered percentiles ({churn_entries} with churn)")
+
 def check_doc_paths() -> int:
     docs = [os.path.join(ROOT, "README.md")] + sorted(
         glob.glob(os.path.join(ROOT, "docs", "*.md")))
@@ -183,6 +226,7 @@ def main() -> None:
     check_bench_json()
     check_bench_fabric()
     check_bench_recovery()
+    check_bench_serving()
     check_doc_paths()
     print("check_docs: OK")
 
